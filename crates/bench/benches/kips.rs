@@ -1,0 +1,31 @@
+//! Simulator throughput (Table 2's KIPS metric): committed target
+//! instructions per host second on the sequential cycle-by-cycle engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sk_core::{CoreModel, TargetConfig};
+use sk_kernels::Scale;
+
+fn bench_kips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kips");
+    group.sample_size(10);
+    for model in [CoreModel::InOrder, CoreModel::OutOfOrder] {
+        let mut cfg = TargetConfig::paper_8core();
+        cfg.core.model = model;
+        for w in sk_kernels::paper_suite(8, Scale::Test) {
+            // Pre-measure the instruction count for throughput reporting.
+            let instr = sk_core::run_sequential(&w.program, &cfg).total_committed();
+            group.throughput(Throughput::Elements(instr));
+            group.bench_function(format!("{:?}/{}", model, w.name), |b| {
+                b.iter(|| {
+                    let r = sk_core::run_sequential(&w.program, &cfg);
+                    assert!(r.total_committed() > 0);
+                    r.exec_cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kips);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Wall-clock cost of the parallel engine per slack scheme (the real-
+//! threads counterpart of Figure 8). On a single-CPU host this measures
+//! synchronization overhead rather than speedup; on a multicore host the
+//! ranking approaches the paper's.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sk_core::{CoreModel, Scheme, TargetConfig};
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schemes");
+    group.sample_size(10);
+    let w = sk_kernels::micro::lock_sweep(4, 20);
+    let mut cfg = TargetConfig::paper_8core();
+    cfg.n_cores = 4;
+    cfg.core.model = CoreModel::InOrder;
+
+    group.bench_function("sequential-CC", |b| {
+        b.iter(|| sk_core::run_sequential(&w.program, &cfg).exec_cycles)
+    });
+    for scheme in Scheme::paper_suite(cfg.critical_latency()) {
+        group.bench_function(scheme.short_name(), |b| {
+            b.iter(|| sk_core::run_parallel(&w.program, scheme, &cfg).exec_cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Calibration sweep for the virtual-host cost model: replays real engine
+//! traces under a parameter grid and reports the constants that best match
+//! the paper's Figure 8 bands (log-ratio least squares). The winning
+//! constants are hard-coded as `sk_hostsim::CostModel::default()`; re-run
+//! this tool after changing the engine's work-unit accounting.
+//!
+//! ```text
+//! cargo run --release -p sk-bench --bin calibrate
+//! ```
+
+use sk_core::Scheme;
+use sk_hostsim::{CostModel, VirtualHost};
+
+fn main() {
+    let mut cfg = sk_core::TargetConfig::paper_8core();
+    cfg.record_trace = true;
+    let mut data = vec![];
+    for w in sk_kernels::paper_suite(8, sk_kernels::Scale::Bench).into_iter().take(2) {
+        let r = sk_core::run_sequential(&w.program, &cfg);
+        let ev = r.engine.events_processed as f64 / r.exec_cycles.max(1) as f64;
+        let traces = r.traces.unwrap();
+        let avg: f64 = traces.iter().flat_map(|t| t.iter().map(|&w| w as f64)).sum::<f64>()
+            / traces.iter().map(|t| t.len()).sum::<usize>() as f64;
+        println!("{}: ev_rate={ev:.3} avg_work={avg:.2} cycles={}", w.name, r.exec_cycles);
+        data.push((traces, ev));
+    }
+    let targets = [
+        (Scheme::CycleByCycle, [2.0, 2.3, 2.6]),
+        (Scheme::Quantum(10), [3.4, 3.9, 4.3]),
+        (Scheme::BoundedSlack(9), [3.5, 4.1, 5.2]),
+        (Scheme::BoundedSlack(100), [3.6, 4.6, 6.1]),
+        (Scheme::Unbounded, [3.7, 5.0, 6.8]),
+    ];
+    let mut best = (f64::MAX, CostModel::default());
+    for &rh in &[16u64, 24, 48] {
+        for &wl in &[32.0, 64.0, 96.0] {
+            for &me in &[55.0, 90.0, 130.0, 180.0] {
+                for &th in &[0.5, 1.0, 1.6] {
+                    for &wi in &[2.0, 5.0] {
+                        let cost = CostModel { wake_latency: wl, mgr_event: me, thrash: th,
+                            reply_horizon: rh, wake_issue: wi, ..CostModel::default() };
+                        let mut err = 0.0f64;
+                        for (traces, ev) in &data {
+                            let base = VirtualHost { h: 1, cost }
+                                .run_with_events(traces, Scheme::CycleByCycle, *ev);
+                            for (sch, tgt) in targets {
+                                for (hi, &h) in [2usize, 4, 8].iter().enumerate() {
+                                    let s = VirtualHost { h, cost }
+                                        .run_with_events(traces, sch, *ev)
+                                        .speedup_vs(&base);
+                                    let e = (s / tgt[hi]).ln();
+                                    err += e * e;
+                                }
+                            }
+                        }
+                        if err < best.0 {
+                            best = (err, cost);
+                            println!("err={err:.3} {cost:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("\nBest: {:?}", best.1);
+    let cost = best.1;
+    for (traces, ev) in &data {
+        let base = VirtualHost { h: 1, cost }.run_with_events(traces, Scheme::CycleByCycle, *ev);
+        for (sch, tgt) in targets {
+            print!("{:>5}:", sch.short_name());
+            for (hi, &h) in [2usize, 4, 8].iter().enumerate() {
+                let s = VirtualHost { h, cost }.run_with_events(traces, sch, *ev).speedup_vs(&base);
+                print!("  {s:.2} (tgt {:.1})", tgt[hi]);
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,321 @@
+//! `slacksim` — command-line driver for the SlackSim reproduction.
+//!
+//! ```text
+//! slacksim run   --bench fft --scheme S9 [options]   run one benchmark
+//! slacksim suite [options]                           run the whole suite
+//! slacksim asm   <file.s> --scheme CC [options]      assemble + run a file
+//! slacksim fig2                                      print the scheme timelines
+//! slacksim list                                      list benchmarks/schemes
+//! ```
+//!
+//! Common options:
+//!
+//! ```text
+//!   --scheme  CC|Q<n>|L<n>|S<n>|S<n>*|SU|A<min>-<max>   (default S9)
+//!   --cores   <n>        target cores / workload threads (default 8)
+//!   --shards  <n>        sharded memory managers (default 0 = single)
+//!   --scale   test|bench|full                            (default bench)
+//!   --model   inorder|ooo                                (default ooo)
+//!   --seq                use the sequential reference engine
+//!   --track-violations   count slack-induced violations
+//!   --fast-forward       enable fast-forwarding compensation
+//!   --stats              print the full statistics block
+//! ```
+
+use sk_core::{CoreModel, Scheme, SimReport, TargetConfig};
+use sk_kernels::{Scale, Workload};
+use std::process::ExitCode;
+
+struct Opts {
+    scheme: Scheme,
+    cores: usize,
+    scale: Scale,
+    model: CoreModel,
+    shards: usize,
+    seq: bool,
+    track: bool,
+    fast_forward: bool,
+    stats: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        scheme: Scheme::BoundedSlack(9),
+        cores: 8,
+        scale: Scale::Bench,
+        model: CoreModel::OutOfOrder,
+        shards: 0,
+        seq: false,
+        track: false,
+        fast_forward: false,
+        stats: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i).ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--scheme" => o.scheme = take(&mut i)?.parse()?,
+            "--cores" => o.cores = take(&mut i)?.parse().map_err(|e| format!("--cores: {e}"))?,
+            "--shards" => {
+                o.shards = take(&mut i)?.parse().map_err(|e| format!("--shards: {e}"))?
+            }
+            "--scale" => {
+                o.scale = match take(&mut i)?.as_str() {
+                    "test" => Scale::Test,
+                    "bench" => Scale::Bench,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale '{other}'")),
+                }
+            }
+            "--model" => {
+                o.model = match take(&mut i)?.as_str() {
+                    "inorder" => CoreModel::InOrder,
+                    "ooo" => CoreModel::OutOfOrder,
+                    other => return Err(format!("unknown model '{other}'")),
+                }
+            }
+            "--seq" => o.seq = true,
+            "--track-violations" => o.track = true,
+            "--fast-forward" => o.fast_forward = true,
+            "--stats" => o.stats = true,
+            "--bench" => i += 1, // handled by the caller
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            _ => {}
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn config_for(o: &Opts) -> TargetConfig {
+    let mut cfg = TargetConfig::paper_8core();
+    cfg.n_cores = o.cores;
+    cfg.core.model = o.model;
+    cfg.track_workload_violations = o.track;
+    cfg.fast_forward_compensation = o.fast_forward;
+    cfg.mem.track_violations = o.track;
+    cfg.mem_shards = o.shards;
+    cfg
+}
+
+fn run_one(w: &Workload, o: &Opts) -> SimReport {
+    let cfg = config_for(o);
+    let r = if o.seq {
+        sk_core::run_sequential(&w.program, &cfg)
+    } else {
+        sk_core::run_parallel(&w.program, o.scheme, &cfg)
+    };
+    let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+    let ok = printed == w.expected;
+    println!(
+        "{:<16} {:<18} scheme={:<5} cycles={:<9} instr={:<9} KIPS={:<8.1} output={}",
+        w.name,
+        w.input,
+        if o.seq { "seq".into() } else { r.scheme.clone() },
+        r.exec_cycles,
+        r.total_committed(),
+        r.kips(),
+        if ok { "OK" } else { "MISMATCH" },
+    );
+    if o.stats {
+        print_stats(&r);
+    }
+    r
+}
+
+fn print_stats(r: &SimReport) {
+    println!("  engine: blocks={} wakeups={} events={} max_slack={}",
+        r.engine.blocks, r.engine.wakeups, r.engine.events_processed, r.engine.max_observed_slack);
+    println!("  uncore: L2 hits={} misses={} inv_out={} downgrades={} writebacks={}",
+        r.dir.l2_hits, r.dir.l2_misses, r.dir.invalidations_out, r.dir.downgrades_out,
+        r.dir.writebacks);
+    println!("  bus:    grants={} conflicts={} inversions={}",
+        r.bus.grants, r.bus.conflicts, r.bus.inversions);
+    println!("  sync:   lock_acq={} lock_waits={} barriers={} sema_waits={}",
+        r.sync.lock_acquisitions, r.sync.lock_waits, r.sync.barrier_episodes, r.sync.sema_waits);
+    println!("  violations: store-past-load={} load-past-store={} compensations={}",
+        r.violations.store_past_load, r.violations.load_past_store, r.violations.compensations);
+    for (i, c) in r.cores.iter().enumerate() {
+        println!(
+            "  core {i}: cycles={} committed={} ipc={:.2} l1d-miss={:.1}% l1i-miss={:.1}% bp-miss={:.1}%",
+            c.cycles, c.committed, c.ipc(),
+            100.0 * c.l1d.miss_rate(), 100.0 * c.l1i.miss_rate(),
+            100.0 * c.mispredict_rate());
+    }
+}
+
+fn benches(o: &Opts) -> Vec<Workload> {
+    let mut v = sk_kernels::extended_suite(o.cores, o.scale);
+    v.push(sk_kernels::micro::pingpong(200));
+    v.push(sk_kernels::micro::lock_sweep(o.cores, 50));
+    v.push(sk_kernels::micro::private_compute(o.cores, 200));
+    v
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = if args.is_empty() { &args[..] } else { &args[1..] };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "run" => {
+            let name = rest
+                .iter()
+                .position(|a| a == "--bench")
+                .and_then(|i| rest.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("fft");
+            let all = benches(&opts);
+            let Some(w) = all.iter().find(|w| w.name.eq_ignore_ascii_case(name)) else {
+                eprintln!("unknown benchmark '{name}'; try: slacksim list");
+                return ExitCode::FAILURE;
+            };
+            run_one(w, &opts);
+        }
+        "suite" => {
+            for w in benches(&opts) {
+                run_one(&w, &opts);
+            }
+        }
+        "asm" => {
+            let Some(path) = rest.iter().find(|a| !a.starts_with("--")) else {
+                eprintln!("usage: slacksim asm <file.s> [options]");
+                return ExitCode::FAILURE;
+            };
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match sk_isa::asm::assemble(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = config_for(&opts);
+            let r = if opts.seq {
+                sk_core::run_sequential(&program, &cfg)
+            } else {
+                sk_core::run_parallel(&program, opts.scheme, &cfg)
+            };
+            for (core, v) in r.printed() {
+                println!("[core {core}] {v}");
+            }
+            println!("cycles={} instructions={}", r.exec_cycles, r.total_committed());
+            if opts.stats {
+                print_stats(&r);
+            }
+        }
+        "fig2" => {
+            let costs = sk_hostsim::gantt::paper_example(6);
+            for scheme in [
+                Scheme::CycleByCycle,
+                Scheme::Quantum(3),
+                Scheme::BoundedSlack(2),
+                Scheme::Unbounded,
+            ] {
+                println!("{}", sk_hostsim::gantt::render(&costs, scheme));
+            }
+        }
+        "list" => {
+            println!("benchmarks:");
+            for w in benches(&opts) {
+                println!("  {:<18} {}", w.name, w.input);
+            }
+            println!("schemes: CC  Q<n>  L<n>  S<n>  S<n>*  SU  A<min>-<max>");
+        }
+        _ => {
+            println!("{}", HELP);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+const HELP: &str = "slacksim - parallel CMP-on-CMP simulation with slack schemes
+
+USAGE:
+  slacksim run   --bench <name> [options]   run one benchmark
+  slacksim suite [options]                  run all benchmarks
+  slacksim asm   <file.s> [options]         assemble and run a program
+  slacksim fig2                             pedagogical scheme timelines
+  slacksim list                             list benchmarks and schemes
+
+OPTIONS:
+  --scheme CC|Q<n>|L<n>|S<n>|S<n>*|SU|A<min>-<max>  slack scheme (default S9)
+  --cores <n>          target cores (default 8)
+  --shards <n>         sharded memory-manager threads (default 0 = single)
+  --scale test|bench|full
+  --model inorder|ooo
+  --seq                sequential reference engine (cycle-by-cycle)
+  --track-violations   count slack-induced violations
+  --fast-forward       fast-forwarding compensation (paper S3.2.3)
+  --stats              detailed statistics";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse_opts(&[]).unwrap();
+        assert_eq!(o.scheme, Scheme::BoundedSlack(9));
+        assert_eq!(o.cores, 8);
+        assert_eq!(o.model, CoreModel::OutOfOrder);
+        assert!(!o.seq && !o.track && !o.fast_forward && !o.stats);
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let o = parse_opts(&args(&[
+            "--scheme", "S9*", "--cores", "4", "--scale", "test", "--model", "inorder",
+            "--seq", "--track-violations", "--fast-forward", "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(o.scheme, Scheme::OldestFirstBounded(9));
+        assert_eq!(o.cores, 4);
+        assert_eq!(o.scale, Scale::Test);
+        assert_eq!(o.model, CoreModel::InOrder);
+        assert!(o.seq && o.track && o.fast_forward && o.stats);
+    }
+
+    #[test]
+    fn rejects_unknown_options_and_values() {
+        assert!(parse_opts(&args(&["--bogus"])).is_err());
+        assert!(parse_opts(&args(&["--scale", "huge"])).is_err());
+        assert!(parse_opts(&args(&["--scheme", "Z9"])).is_err());
+        assert!(parse_opts(&args(&["--cores"])).is_err());
+    }
+
+    #[test]
+    fn bench_name_is_ignored_by_the_option_parser() {
+        let o = parse_opts(&args(&["--bench", "fft", "--scheme", "SU"])).unwrap();
+        assert_eq!(o.scheme, Scheme::Unbounded);
+    }
+
+    #[test]
+    fn config_reflects_options() {
+        let o = parse_opts(&args(&["--cores", "2", "--track-violations"])).unwrap();
+        let cfg = config_for(&o);
+        assert_eq!(cfg.n_cores, 2);
+        assert!(cfg.track_workload_violations);
+        assert!(cfg.mem.track_violations);
+    }
+}
+

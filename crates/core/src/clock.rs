@@ -1,0 +1,503 @@
+//! The three-clock time discipline (paper §2.1) and thread parking.
+//!
+//! Each core thread owns a **local time** it increments every simulated
+//! cycle; the manager owns the **global time** (the minimum local time over
+//! unfinished cores) and each core's **max local time**, set per the active
+//! scheme. The invariant enforced here is the paper's:
+//!
+//! > `Global Time ≤ Local Time ≤ Max Local Time`
+//!
+//! Communication is through shared atomics — the whole point of SlackSim
+//! versus the message-passing simulators it compares against ("our
+//! simulator uses R/W accesses to shared variables to synchronize threads",
+//! §5). A core blocked at its window parks on a per-core condvar; the
+//! manager parks on its own condvar and is signalled whenever a core
+//! produces an event, blocks, or finishes.
+
+use crossbeam::utils::CachePadded;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::time::Duration;
+
+/// Core run states, as observed by the manager.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CoreState {
+    /// Simulating cycles.
+    Running = 0,
+    /// Parked at `local == max_local`.
+    Blocked = 1,
+    /// Workload thread exited; excluded from the global minimum.
+    Finished = 2,
+    /// No workload thread yet (awaiting Spawn); excluded from the global
+    /// minimum so an idle core cannot hold the simulation back.
+    Parked = 3,
+    /// Blocked inside a sync API call (barrier/lock) awaiting the
+    /// manager's release: the clock is suspended and fast-forwarded on
+    /// release, so waiting never burns simulated cycles (the paper's
+    /// "idle time must be undetectable by the program"). Safe to exclude
+    /// from the global minimum because a sync-blocked core performs no
+    /// memory activity.
+    SyncWait = 4,
+    /// Pipeline provably inert, waiting for an InQ message: the thread
+    /// sleeps (saving host CPU) but the clock stays visible — the core
+    /// REMAINS part of the global minimum, freezing global time exactly
+    /// as if it were still ticking inert cycles. This keeps cycle-by-cycle
+    /// lockstep (and thus determinism) intact.
+    MemWait = 5,
+}
+
+impl CoreState {
+    fn from_u8(v: u8) -> CoreState {
+        match v {
+            0 => CoreState::Running,
+            1 => CoreState::Blocked,
+            2 => CoreState::Finished,
+            3 => CoreState::Parked,
+            4 => CoreState::SyncWait,
+            _ => CoreState::MemWait,
+        }
+    }
+}
+
+struct CoreClock {
+    local: CachePadded<AtomicU64>,
+    max_local: CachePadded<AtomicU64>,
+    state: AtomicU8,
+    park: Mutex<()>,
+    cond: Condvar,
+}
+
+/// Shared clock state for all cores plus the manager.
+pub struct ClockBoard {
+    cores: Vec<CoreClock>,
+    global: CachePadded<AtomicU64>,
+    stop: AtomicBool,
+    mgr_park: Mutex<bool>,
+    mgr_cond: Condvar,
+    /// Number of times any core blocked at its window.
+    pub blocks: AtomicU64,
+    /// Number of times the manager woke a blocked core.
+    pub wakeups: AtomicU64,
+}
+
+impl ClockBoard {
+    /// A board for `n` cores, all clocks at zero and windows at
+    /// `initial_window`.
+    pub fn new(n: usize, initial_window: u64) -> Self {
+        ClockBoard {
+            cores: (0..n)
+                .map(|_| CoreClock {
+                    local: CachePadded::new(AtomicU64::new(0)),
+                    max_local: CachePadded::new(AtomicU64::new(initial_window)),
+                    state: AtomicU8::new(CoreState::Running as u8),
+                    park: Mutex::new(()),
+                    cond: Condvar::new(),
+                })
+                .collect(),
+            global: CachePadded::new(AtomicU64::new(0)),
+            stop: AtomicBool::new(false),
+            mgr_park: Mutex::new(false),
+            mgr_cond: Condvar::new(),
+            blocks: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of cores on the board.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    // ---- core-thread side ----
+
+    /// This core's local time.
+    #[inline]
+    pub fn local(&self, core: usize) -> u64 {
+        self.cores[core].local.load(Ordering::Relaxed)
+    }
+
+    /// Publish a new local time (must be exactly old + 1).
+    #[inline]
+    pub fn advance_local(&self, core: usize, new_local: u64) {
+        debug_assert_eq!(new_local, self.local(core) + 1);
+        debug_assert!(
+            new_local <= self.max_local(core),
+            "core {core} would pass its window: {new_local} > {}",
+            self.max_local(core)
+        );
+        self.cores[core].local.store(new_local, Ordering::Release);
+    }
+
+    /// This core's window bound.
+    #[inline]
+    pub fn max_local(&self, core: usize) -> u64 {
+        self.cores[core].max_local.load(Ordering::Acquire)
+    }
+
+    /// May this core simulate the cycle after `local`?
+    #[inline]
+    pub fn may_advance(&self, core: usize, local: u64) -> bool {
+        local < self.max_local(core)
+    }
+
+    /// Park until the window opens past `local`, the stop flag rises, or a
+    /// periodic timeout elapses (the caller re-checks and re-parks).
+    ///
+    /// Returns `false` if the simulation is stopping.
+    pub fn wait_for_window(&self, core: usize, local: u64) -> bool {
+        let cc = &self.cores[core];
+        cc.state.store(CoreState::Blocked as u8, Ordering::Release);
+        self.blocks.fetch_add(1, Ordering::Relaxed);
+        self.signal_manager();
+        let mut guard = cc.park.lock();
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                cc.state.store(CoreState::Running as u8, Ordering::Release);
+                return false;
+            }
+            if local < cc.max_local.load(Ordering::Acquire) {
+                cc.state.store(CoreState::Running as u8, Ordering::Release);
+                return true;
+            }
+            // The timeout is a liveness backstop only; wakeups normally
+            // arrive from the manager's notify.
+            cc.cond.wait_for(&mut guard, Duration::from_millis(10));
+        }
+    }
+
+    /// Set local time forward without cycling (idle skip for cores with no
+    /// workload thread). Clamped to the window; monotone.
+    pub fn jump_local(&self, core: usize, target: u64) {
+        let cc = &self.cores[core];
+        let cur = cc.local.load(Ordering::Relaxed);
+        let bounded = target.min(cc.max_local.load(Ordering::Acquire));
+        if bounded > cur {
+            cc.local.store(bounded, Ordering::Release);
+        }
+    }
+
+    /// Mark this core as having no workload thread (excluded from the
+    /// global minimum until unparked).
+    pub fn park(&self, core: usize) {
+        self.park_as(core, CoreState::Parked);
+    }
+
+    /// Mark this core as blocked in a sync API call (clock suspended).
+    pub fn sync_park(&self, core: usize) {
+        self.park_as(core, CoreState::SyncWait);
+    }
+
+    /// Mark this core as inert-waiting for an InQ message (clock visible).
+    pub fn mem_park(&self, core: usize) {
+        self.park_as(core, CoreState::MemWait);
+    }
+
+    fn park_as(&self, core: usize, state: CoreState) {
+        self.cores[core].state.store(state as u8, Ordering::Release);
+        self.signal_manager();
+    }
+
+    /// Wake a parked or sync-waiting core (a message is on its way).
+    /// No-op in other states.
+    pub fn unpark(&self, core: usize) {
+        let cc = &self.cores[core];
+        if matches!(
+            self.state(core),
+            CoreState::Parked | CoreState::SyncWait | CoreState::MemWait
+        ) {
+            cc.state.store(CoreState::Running as u8, Ordering::Release);
+            let _guard = cc.park.lock();
+            cc.cond.notify_one();
+        }
+    }
+
+    /// Park until unparked, stopped, or a liveness timeout. Returns
+    /// `false` if the simulation is stopping.
+    pub fn wait_parked(&self, core: usize) -> bool {
+        let cc = &self.cores[core];
+        let mut guard = cc.park.lock();
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                cc.state.store(CoreState::Running as u8, Ordering::Release);
+                return false;
+            }
+            if !matches!(
+                self.state(core),
+                CoreState::Parked | CoreState::SyncWait | CoreState::MemWait
+            ) {
+                return true;
+            }
+            if cc.cond.wait_for(&mut guard, Duration::from_millis(10)).timed_out() {
+                // Liveness backstop: let the caller re-check its queues.
+                cc.state.store(CoreState::Running as u8, Ordering::Release);
+                return true;
+            }
+        }
+    }
+
+    /// Jump a sync-parked core's clock forward to `target` (the release
+    /// timestamp): waiting inside a sync call consumes no simulated work,
+    /// so the clock teleports. Unlike [`ClockBoard::jump_local`] this is
+    /// not clamped to the window — the manager raises windows after the
+    /// global minimum catches up.
+    pub fn jump_local_unclamped(&self, core: usize, target: u64) {
+        let cc = &self.cores[core];
+        let cur = cc.local.load(Ordering::Relaxed);
+        if target > cur {
+            cc.local.store(target, Ordering::Release);
+        }
+    }
+
+    /// Number of cores currently Running or Blocked (driving global time).
+    pub fn active_count(&self) -> usize {
+        (0..self.cores.len())
+            .filter(|&i| matches!(self.state(i), CoreState::Running | CoreState::Blocked))
+            .count()
+    }
+
+    /// Is any core suspended waiting for a memory reply? (Such a core's
+    /// work is pending at a memory manager, so the simulation is not
+    /// deadlocked even if nothing else is runnable.)
+    pub fn any_mem_waiting(&self) -> bool {
+        (0..self.cores.len()).any(|i| self.state(i) == CoreState::MemWait)
+    }
+
+    /// Mark this core's workload as finished and wake the manager.
+    pub fn finish(&self, core: usize) {
+        self.cores[core].state.store(CoreState::Finished as u8, Ordering::Release);
+        self.signal_manager();
+    }
+
+    /// Wake the manager thread (new OutQ entry, block, finish).
+    #[inline]
+    pub fn signal_manager(&self) {
+        let mut pending = self.mgr_park.lock();
+        *pending = true;
+        self.mgr_cond.notify_one();
+    }
+
+    // ---- manager side ----
+
+    /// Park the manager until a core signals or `timeout` elapses.
+    pub fn manager_wait(&self, timeout: Duration) {
+        let mut pending = self.mgr_park.lock();
+        if !*pending {
+            self.mgr_cond.wait_for(&mut pending, timeout);
+        }
+        *pending = false;
+    }
+
+    /// A core's run state.
+    pub fn state(&self, core: usize) -> CoreState {
+        CoreState::from_u8(self.cores[core].state.load(Ordering::Acquire))
+    }
+
+    /// Raise a core's window. Monotone: lowering is ignored. Wakes the core
+    /// if it was blocked below the new bound.
+    pub fn raise_max_local(&self, core: usize, new_max: u64) {
+        let cc = &self.cores[core];
+        let cur = cc.max_local.load(Ordering::Relaxed);
+        if new_max <= cur {
+            return;
+        }
+        cc.max_local.store(new_max, Ordering::Release);
+        if self.state(core) == CoreState::Blocked {
+            // Lock/notify pairs with the blocked core's re-check under the
+            // same mutex, so the wakeup cannot be lost.
+            let _guard = cc.park.lock();
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+            cc.cond.notify_one();
+        }
+    }
+
+    /// Recompute and publish the global time: the minimum local time over
+    /// unfinished cores. Returns `(global, all_finished)`.
+    pub fn recompute_global(&self) -> (u64, bool) {
+        let mut min = u64::MAX;
+        let mut all_finished = true;
+        for (i, cc) in self.cores.iter().enumerate() {
+            match self.state(i) {
+                // Finished cores are done; parked cores have no thread and
+                // must not hold the global time back. Both count as "done"
+                // for termination (a parked core with a Start in flight is
+                // flipped to Running by `unpark` before the message lands).
+                CoreState::Finished | CoreState::Parked => continue,
+                // Sync-waiting cores have suspended clocks: excluded from
+                // the minimum, but they are NOT done.
+                CoreState::SyncWait => {
+                    all_finished = false;
+                    continue;
+                }
+                // Mem-waiting cores stay in the minimum: their frozen
+                // clock freezes global time, preserving lockstep.
+                _ => {}
+            }
+            all_finished = false;
+            min = min.min(cc.local.load(Ordering::Acquire));
+        }
+        let prev = self.global.load(Ordering::Relaxed);
+        if all_finished {
+            return (prev, true);
+        }
+        if min == u64::MAX {
+            // No core is actively driving time (all sync-parked): the
+            // global clock holds until someone resumes.
+            return (prev, false);
+        }
+        // Global time never decreases (isochrones never cross, §3.2).
+        let g = min.max(prev);
+        self.global.store(g, Ordering::Release);
+        (g, false)
+    }
+
+    /// The current global time.
+    #[inline]
+    pub fn global(&self) -> u64 {
+        self.global.load(Ordering::Acquire)
+    }
+
+    /// Largest `local - global` over unfinished cores (observed slack).
+    pub fn observed_slack(&self) -> u64 {
+        let g = self.global();
+        (0..self.cores.len())
+            .filter(|&i| {
+                matches!(
+                    self.state(i),
+                    CoreState::Running | CoreState::Blocked | CoreState::MemWait
+                )
+            })
+            .map(|i| self.local(i).saturating_sub(g))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Raise the stop flag and wake every thread.
+    pub fn stop_all(&self) {
+        self.stop.store(true, Ordering::Release);
+        for cc in &self.cores {
+            let _guard = cc.park.lock();
+            cc.cond.notify_one();
+        }
+        self.signal_manager();
+    }
+
+    /// Has the stop flag been raised?
+    #[inline]
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn invariant_global_le_local_le_max() {
+        let b = ClockBoard::new(2, 5);
+        b.advance_local(0, 1);
+        b.advance_local(1, 1);
+        b.advance_local(1, 2);
+        let (g, done) = b.recompute_global();
+        assert_eq!(g, 1);
+        assert!(!done);
+        assert!(g <= b.local(0) && b.local(0) <= b.max_local(0));
+        assert!(g <= b.local(1) && b.local(1) <= b.max_local(1));
+    }
+
+    #[test]
+    fn global_ignores_finished_cores() {
+        let b = ClockBoard::new(2, 100);
+        b.advance_local(0, 1);
+        b.finish(0);
+        for c in 1..=7 {
+            b.advance_local(1, c);
+        }
+        let (g, done) = b.recompute_global();
+        assert_eq!(g, 7);
+        assert!(!done);
+        b.finish(1);
+        let (_, done) = b.recompute_global();
+        assert!(done);
+    }
+
+    #[test]
+    fn global_is_monotone() {
+        let b = ClockBoard::new(1, 100);
+        for c in 1..=5 {
+            b.advance_local(0, c);
+        }
+        b.recompute_global();
+        assert_eq!(b.global(), 5);
+        // A finished core can no longer lower the minimum.
+        b.finish(0);
+        let (g, _) = b.recompute_global();
+        assert_eq!(g, 5);
+    }
+
+    #[test]
+    fn raise_max_local_is_monotone() {
+        let b = ClockBoard::new(1, 10);
+        b.raise_max_local(0, 5); // lowering ignored
+        assert_eq!(b.max_local(0), 10);
+        b.raise_max_local(0, 12);
+        assert_eq!(b.max_local(0), 12);
+    }
+
+    #[test]
+    fn blocked_core_wakes_on_window_raise() {
+        let b = Arc::new(ClockBoard::new(1, 1));
+        b.advance_local(0, 1); // local == max_local
+        let b2 = b.clone();
+        let t = thread::spawn(move || b2.wait_for_window(0, 1));
+        // Wait until the core registers as blocked.
+        while b.state(0) != CoreState::Blocked {
+            thread::yield_now();
+        }
+        b.raise_max_local(0, 2);
+        assert!(t.join().unwrap(), "core should resume, not stop");
+        assert!(b.wakeups.load(Ordering::Relaxed) >= 1);
+        assert_eq!(b.blocks.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stop_unblocks_parked_core() {
+        let b = Arc::new(ClockBoard::new(1, 1));
+        b.advance_local(0, 1);
+        let b2 = b.clone();
+        let t = thread::spawn(move || b2.wait_for_window(0, 1));
+        while b.state(0) != CoreState::Blocked {
+            thread::yield_now();
+        }
+        b.stop_all();
+        assert!(!t.join().unwrap(), "stop returns false");
+    }
+
+    #[test]
+    fn observed_slack() {
+        let b = ClockBoard::new(3, 100);
+        for c in 1..=4 {
+            b.advance_local(0, c);
+        }
+        b.advance_local(1, 1);
+        // core 2 stays at 0
+        b.recompute_global();
+        assert_eq!(b.global(), 0);
+        assert_eq!(b.observed_slack(), 4);
+    }
+
+    #[test]
+    fn manager_wait_consumes_signal() {
+        let b = ClockBoard::new(1, 1);
+        b.signal_manager();
+        // Signal pending: returns immediately.
+        b.manager_wait(Duration::from_secs(10));
+        // No signal: the short timeout path.
+        let t0 = std::time::Instant::now();
+        b.manager_wait(Duration::from_millis(1));
+        assert!(t0.elapsed() >= Duration::from_micros(500));
+    }
+}

@@ -1,0 +1,241 @@
+//! Target-machine and simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use sk_isa::FuClass;
+use sk_mem::MemConfig;
+
+/// Which core timing model simulates each target core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreModel {
+    /// 4-wide out-of-order core, NetBurst-like (paper §2.2/§4.1): values
+    /// are fetched just before execution, instructions execute when they
+    /// reach an execution unit.
+    OutOfOrder,
+    /// Single-issue in-order core that stalls on cache misses. Used for
+    /// ablations ("the simulation continuation can be as simple as just
+    /// incrementing the local clock", §2.2).
+    InOrder,
+}
+
+/// Microarchitectural parameters of one target core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Timing model.
+    pub model: CoreModel,
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer entries ("64 in-flight instructions", §4.1).
+    pub rob_entries: usize,
+    /// Load/store-queue entries.
+    pub lsq_entries: usize,
+    /// Fetch-queue entries.
+    pub fetch_queue: usize,
+    /// Post-commit store-buffer entries.
+    pub store_buffer: usize,
+    /// Bimodal branch-predictor table size (entries, power of two).
+    pub bpred_entries: usize,
+    /// Pipeline refill penalty after a branch misprediction, cycles.
+    pub mispredict_penalty: u64,
+    /// Reserved: spin interval of the legacy retry-based lock emulation
+    /// (contended sync ops are now queued at the manager and grant in
+    /// event time, so nothing spins).
+    pub spin_interval: u64,
+}
+
+impl CoreConfig {
+    /// The paper's target core: 4-way OoO with 64 in-flight instructions.
+    pub fn paper_ooo() -> Self {
+        CoreConfig {
+            model: CoreModel::OutOfOrder,
+            fetch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_entries: 64,
+            lsq_entries: 32,
+            fetch_queue: 8,
+            store_buffer: 8,
+            bpred_entries: 2048,
+            mispredict_penalty: 5,
+            spin_interval: 10,
+        }
+    }
+
+    /// A simple in-order core (ablation / fast simulation).
+    pub fn simple_inorder() -> Self {
+        CoreConfig { model: CoreModel::InOrder, ..Self::paper_ooo() }
+    }
+
+    /// Execution latency of a functional-unit class, cycles.
+    pub fn fu_latency(&self, class: FuClass) -> u64 {
+        match class {
+            FuClass::IntAlu | FuClass::Branch | FuClass::Jump | FuClass::Nop => 1,
+            FuClass::IntMul => 3,
+            FuClass::IntDiv => 20,
+            FuClass::FpAdd => 4,
+            FuClass::FpMul => 4,
+            FuClass::FpDiv => 12,
+            FuClass::FpSqrt => 20,
+            FuClass::Load => 1,  // address generation; memory adds on top
+            FuClass::Store => 1, // address generation
+            FuClass::Syscall => 1,
+        }
+    }
+
+    /// Number of functional units of each class the issue stage can use
+    /// per cycle.
+    pub fn fu_count(&self, class: FuClass) -> usize {
+        match class {
+            FuClass::IntAlu | FuClass::Branch | FuClass::Jump | FuClass::Nop => 2,
+            FuClass::IntMul | FuClass::IntDiv => 1,
+            FuClass::FpAdd | FuClass::FpMul => 2,
+            FuClass::FpDiv | FuClass::FpSqrt => 1,
+            FuClass::Load | FuClass::Store => 2,
+            FuClass::Syscall => 1,
+        }
+    }
+
+    /// Whether a class's unit pipelines back-to-back operations.
+    pub fn fu_pipelined(&self, class: FuClass) -> bool {
+        !matches!(class, FuClass::IntDiv | FuClass::FpDiv | FuClass::FpSqrt)
+    }
+}
+
+/// When the simulation stops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopCondition {
+    /// All workload threads called `exit`.
+    ProgramExit,
+    /// Stop once this many instructions have been committed inside the
+    /// region of interest, across all cores (the paper simulates 100 M).
+    RoiInstructions(u64),
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TargetConfig {
+    /// Number of target cores (8 throughout the paper's evaluation).
+    pub n_cores: usize,
+    /// Per-core microarchitecture.
+    pub core: CoreConfig,
+    /// Memory hierarchy.
+    pub mem: MemConfig,
+    /// Stop condition.
+    pub stop: StopCondition,
+    /// Hard safety limit on simulated cycles (deadlock backstop).
+    pub max_cycles: u64,
+    /// Detect conflicting-access reorderings (paper §3.2.3, Fig. 7).
+    pub track_workload_violations: bool,
+    /// Compensate detected Store/Load reorderings by fast-forwarding
+    /// (paper §3.2.3; SlackSim itself did *not* compensate — off by
+    /// default to match).
+    pub fast_forward_compensation: bool,
+    /// Record a per-cycle work trace for the virtual-host model.
+    pub record_trace: bool,
+    /// Number of sharded memory-manager threads (0 = the classic single
+    /// manager of the paper's Figure 1). The paper's §2.2 notes the
+    /// manager can be split "into several threads" if it bottlenecks;
+    /// shards partition the directory by L2 bank.
+    pub mem_shards: usize,
+}
+
+impl TargetConfig {
+    /// The paper's evaluated target: 8-core CMP, 4-way OoO cores, 16 KB
+    /// L1s, 256 KB shared NUCA L2, directory MESI.
+    pub fn paper_8core() -> Self {
+        TargetConfig {
+            n_cores: 8,
+            core: CoreConfig::paper_ooo(),
+            mem: MemConfig::paper_8core(),
+            stop: StopCondition::ProgramExit,
+            max_cycles: 2_000_000_000,
+            track_workload_violations: false,
+            fast_forward_compensation: false,
+            record_trace: false,
+            mem_shards: 0,
+        }
+    }
+
+    /// A small configuration for unit tests: 2–4 simple cores.
+    pub fn small(n_cores: usize) -> Self {
+        TargetConfig {
+            n_cores,
+            core: CoreConfig::simple_inorder(),
+            mem: MemConfig::paper_8core(),
+            stop: StopCondition::ProgramExit,
+            max_cycles: 50_000_000,
+            track_workload_violations: false,
+            fast_forward_compensation: false,
+            record_trace: false,
+            mem_shards: 0,
+        }
+    }
+
+    /// The critical latency of this target (bounds safe quantum/slack).
+    pub fn critical_latency(&self) -> u64 {
+        self.mem.critical_latency()
+    }
+
+    /// Structural sanity checks, run once per simulation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cores == 0 || self.n_cores > 64 {
+            return Err(format!("n_cores {} out of range 1..=64", self.n_cores));
+        }
+        if self.mem_shards > self.mem.n_banks {
+            return Err(format!(
+                "mem_shards {} exceeds the {} L2 banks",
+                self.mem_shards, self.mem.n_banks
+            ));
+        }
+        if self.core.rob_entries == 0 || self.core.fetch_width == 0 || self.core.issue_width == 0 {
+            return Err("core widths/ROB must be nonzero".into());
+        }
+        if self.mem.mshrs == 0 || self.core.store_buffer == 0 {
+            return Err("MSHRs and store buffer must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_4_1() {
+        let t = TargetConfig::paper_8core();
+        assert_eq!(t.n_cores, 8);
+        assert_eq!(t.core.rob_entries, 64);
+        assert_eq!(t.core.issue_width, 4);
+        assert_eq!(t.mem.l1d.size_bytes, 16 * 1024);
+        assert_eq!(t.critical_latency(), 10);
+    }
+
+    #[test]
+    fn fu_latencies_are_positive_and_classified() {
+        let c = CoreConfig::paper_ooo();
+        for class in [
+            FuClass::IntAlu,
+            FuClass::IntMul,
+            FuClass::IntDiv,
+            FuClass::FpAdd,
+            FuClass::FpMul,
+            FuClass::FpDiv,
+            FuClass::FpSqrt,
+            FuClass::Load,
+            FuClass::Store,
+            FuClass::Branch,
+            FuClass::Jump,
+            FuClass::Syscall,
+            FuClass::Nop,
+        ] {
+            assert!(c.fu_latency(class) >= 1);
+            assert!(c.fu_count(class) >= 1);
+        }
+        assert!(!c.fu_pipelined(FuClass::IntDiv));
+        assert!(c.fu_pipelined(FuClass::IntMul));
+    }
+}

@@ -1,0 +1,709 @@
+//! The core thread: one target core + its L1s, driven by the time
+//! discipline (paper §2.1–2.2).
+//!
+//! A [`CoreSim`] owns a CPU timing model, the consumer end of its InQ, the
+//! producer end of its OutQ, and the syscall runtime. It exposes a
+//! single-cycle [`CoreSim::step_cycle`] used by both the parallel engine
+//! (via [`CoreSim::run`], the Pthread body) and the sequential reference
+//! engine (which drives all cores round-robin in one thread).
+//!
+//! InQ handling follows the paper: "the core thread enquires its InQ in
+//! every cycle in order to see if its request has been processed ... the
+//! core thread reads out the data field of the entry when its local time
+//! becomes equal to the timestamp of the entry." Because eager slack
+//! schemes can deliver entries whose timestamps are *not* monotone, the
+//! queue is drained into a local min-heap and entries are applied when
+//! local time reaches them.
+
+use crate::clock::ClockBoard;
+use crate::config::TargetConfig;
+use crate::cpu::{cycle_work, CoreHost, Cpu, CpuCtx, SysOutcome};
+use crate::msg::{InKind, InMsg, OutEvent, OutKind, SyncOp};
+use crate::spsc::{Consumer, Producer};
+use crate::stats::CoreStats;
+use crate::violation::ConflictTracker;
+use sk_isa::Syscall;
+use sk_mem::FuncMemory;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Consecutive inert cycles before a core mem-parks. A core's inert
+/// streak can never exceed its scheme's slack (its window is at most
+/// `global + slack` and global tracks the slowest core), so with a
+/// threshold of 24 the conservative schemes (CC, Q10, L10, S9, S9*) never
+/// trigger this path and stay exactly deterministic; only large-slack
+/// schemes (S100, SU) use it, where the induced reordering is part of the
+/// accepted distortion.
+const INERT_PARK_AFTER: u32 = 24;
+
+/// Region-of-interest state shared by all cores and the manager.
+#[derive(Debug, Default)]
+pub struct RoiState {
+    /// Set when the workload signals `RoiBegin`.
+    pub active: AtomicBool,
+    /// Committed instructions inside the ROI, summed across cores.
+    pub committed: AtomicU64,
+}
+
+/// Heap-ordered InQ entry: (timestamp, source ring, per-ring order). The
+/// source ring breaks same-timestamp ties deterministically even when
+/// multiple managers (coordinator + shards) deliver concurrently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct HeapMsg {
+    ts: u64,
+    ring: usize,
+    arrival: u64,
+    msg: InMsg,
+}
+
+impl Ord for HeapMsg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ts, self.ring, self.arrival).cmp(&(other.ts, other.ring, other.arrival))
+    }
+}
+impl PartialOrd for HeapMsg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SysPhase {
+    Idle,
+    /// Waiting for the manager's SyncReply (the core's clock is suspended
+    /// meanwhile and fast-forwarded to the reply timestamp).
+    WaitReply { op: SyncOp },
+}
+
+/// State behind the [`CoreHost`] the CPU model talks to.
+struct HostState {
+    core_id: usize,
+    n_cores: usize,
+    tid: u32,
+    mem: FuncMemory,
+    tracker: Option<Arc<ConflictTracker>>,
+    pending_out: Vec<OutKind>,
+    sys_phase: SysPhase,
+    sync_reply: Option<i64>,
+    printed: Vec<i64>,
+    roi_begin_seen: bool,
+    roi_end_seen: bool,
+    stall_request: u64,
+    retries: u64,
+}
+
+impl HostState {
+    fn build_sync_op(&self, code: Syscall, args: [u64; 4]) -> Option<SyncOp> {
+        Some(match code {
+            Syscall::InitLock => SyncOp::InitLock { id: args[0] as u32 },
+            Syscall::Lock => SyncOp::Lock { id: args[0] as u32 },
+            Syscall::Unlock => SyncOp::Unlock { id: args[0] as u32 },
+            Syscall::InitBarrier => {
+                SyncOp::InitBarrier { id: args[0] as u32, count: args[1] as u32 }
+            }
+            Syscall::Barrier => SyncOp::BarrierArrive { id: args[0] as u32 },
+            Syscall::InitSema => SyncOp::InitSema { id: args[0] as u32, count: args[1] as i64 },
+            Syscall::SemaWait => SyncOp::SemaWait { id: args[0] as u32 },
+            Syscall::SemaSignal => SyncOp::SemaSignal { id: args[0] as u32 },
+            Syscall::Spawn => SyncOp::Spawn { entry: args[0], arg: args[1] },
+            _ => return None,
+        })
+    }
+}
+
+impl CoreHost for HostState {
+    fn load(&mut self, addr: u64, ts: u64) -> u64 {
+        if let Some(t) = &self.tracker {
+            let r = t.record_load(self.core_id, addr, ts);
+            self.stall_request += r.stall;
+        }
+        self.mem.read(addr)
+    }
+
+    fn store(&mut self, addr: u64, val: u64, ts: u64) {
+        if let Some(t) = &self.tracker {
+            let r = t.record_store(self.core_id, addr, ts);
+            self.stall_request += r.stall;
+        }
+        self.mem.write(addr, val);
+    }
+
+    fn fetch_word(&mut self, addr: u64) -> u64 {
+        self.mem.read(addr)
+    }
+
+    fn emit(&mut self, kind: OutKind) {
+        self.pending_out.push(kind);
+    }
+
+    fn sys_start(&mut self, code: u16, args: [u64; 4], now: u64) -> SysOutcome {
+        let Some(sc) = Syscall::from_code(code) else {
+            // Unknown syscall: tolerate as a no-op (workload bug).
+            return SysOutcome::Done(None);
+        };
+        match sc {
+            Syscall::Exit => {
+                self.emit(OutKind::Exit { code: args[0] });
+                SysOutcome::Exit
+            }
+            Syscall::PrintInt => {
+                self.printed.push(args[0] as i64);
+                SysOutcome::Done(None)
+            }
+            Syscall::PrintFloat => {
+                self.printed.push(f64::from_bits(args[0]) as i64);
+                SysOutcome::Done(None)
+            }
+            Syscall::GetTid => SysOutcome::Done(Some(self.tid as u64)),
+            Syscall::GetNcores => SysOutcome::Done(Some(self.n_cores as u64)),
+            Syscall::ReadCycle => SysOutcome::Done(Some(now)),
+            Syscall::RoiBegin => {
+                self.roi_begin_seen = true;
+                self.emit(OutKind::RoiBegin);
+                SysOutcome::Done(None)
+            }
+            Syscall::RoiEnd => {
+                self.roi_end_seen = true;
+                self.emit(OutKind::RoiEnd);
+                SysOutcome::Done(None)
+            }
+            _ => {
+                let op = self.build_sync_op(sc, args).expect("sync syscall");
+                self.sync_reply = None;
+                self.sys_phase = SysPhase::WaitReply { op };
+                self.emit(OutKind::Sync(op));
+                SysOutcome::Pending
+            }
+        }
+    }
+
+    fn sys_poll(&mut self, _now: u64) -> SysOutcome {
+        match self.sys_phase {
+            SysPhase::Idle => SysOutcome::Done(None),
+            SysPhase::WaitReply { op } => {
+                let Some(v) = self.sync_reply.take() else {
+                    return SysOutcome::Pending;
+                };
+                if matches!(op, SyncOp::Lock { .. } | SyncOp::SemaWait { .. }) && v != 1 {
+                    // Withheld grants always deliver 1; any other value is
+                    // a protocol bug.
+                    debug_assert_eq!(v, 1, "unexpected sync grant value");
+                }
+                self.sys_phase = SysPhase::Idle;
+                match op {
+                    SyncOp::Spawn { .. } => SysOutcome::Done(Some(v as u64)),
+                    _ => SysOutcome::Done(None),
+                }
+            }
+        }
+    }
+}
+
+/// Final output of one core thread.
+pub struct CoreOutput {
+    /// Per-core counters.
+    pub stats: CoreStats,
+    /// Optional per-cycle work trace.
+    pub trace: Option<Vec<u16>>,
+}
+
+/// One simulated core: CPU model + queues + syscall runtime.
+pub struct CoreSim {
+    id: usize,
+    cpu: Box<dyn Cpu>,
+    /// InQ consumers: index 0 is the coordination manager's ring;
+    /// indices 1.. are the memory shards' reply rings (sharded mode).
+    inqs: Vec<Consumer<InMsg>>,
+    /// OutQ to the coordination manager.
+    outq: Producer<OutEvent>,
+    /// OutQs to the memory shards (empty in single-manager mode).
+    shard_outqs: Vec<Producer<OutEvent>>,
+    /// Wakeup signals for the shards (parallel engine only).
+    shard_signals: Vec<Arc<crate::shard::ShardSignal>>,
+    /// Shards this cycle's events were routed to (scratch bitmask).
+    shards_touched: u64,
+    n_banks: usize,
+    heap: BinaryHeap<Reverse<HeapMsg>>,
+    arrival: u64,
+    host: HostState,
+    stats: CoreStats,
+    seq: u64,
+    local: u64,
+    stop_seen: bool,
+    roi: Arc<RoiState>,
+    roi_base_committed: u64,
+    roi_frozen: Option<u64>,
+    trace: Option<Vec<u16>>,
+    inert_streak: u32,
+}
+
+impl CoreSim {
+    /// Assemble a core.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: usize,
+        cfg: &TargetConfig,
+        cpu: Box<dyn Cpu>,
+        inq: Consumer<InMsg>,
+        outq: Producer<OutEvent>,
+        mem: FuncMemory,
+        tracker: Option<Arc<ConflictTracker>>,
+        roi: Arc<RoiState>,
+    ) -> Self {
+        CoreSim {
+            id,
+            cpu,
+            inqs: vec![inq],
+            outq,
+            shard_outqs: Vec::new(),
+            shard_signals: Vec::new(),
+            shards_touched: 0,
+            n_banks: cfg.mem.n_banks,
+            heap: BinaryHeap::new(),
+            arrival: 0,
+            host: HostState {
+                core_id: id,
+                n_cores: cfg.n_cores,
+                tid: id as u32,
+                mem,
+                tracker,
+                pending_out: Vec::with_capacity(8),
+                sys_phase: SysPhase::Idle,
+                sync_reply: None,
+                printed: vec![],
+                roi_begin_seen: false,
+                roi_end_seen: false,
+                stall_request: 0,
+                retries: 0,
+            },
+            stats: CoreStats::default(),
+            seq: 0,
+            local: 0,
+            stop_seen: false,
+            roi: roi.clone(),
+            roi_base_committed: 0,
+            roi_frozen: None,
+            trace: if cfg.record_trace { Some(Vec::new()) } else { None },
+            inert_streak: 0,
+        }
+    }
+
+    /// Core index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Attach sharded memory-manager endpoints (sharded mode).
+    pub fn attach_shards(
+        &mut self,
+        reply_rings: Vec<Consumer<InMsg>>,
+        event_rings: Vec<Producer<OutEvent>>,
+        signals: Vec<Arc<crate::shard::ShardSignal>>,
+    ) {
+        assert_eq!(reply_rings.len(), event_rings.len());
+        self.inqs.extend(reply_rings);
+        self.shard_outqs = event_rings;
+        self.shard_signals = signals;
+    }
+
+
+    /// Current local time (completed cycles).
+    pub fn local(&self) -> u64 {
+        self.local
+    }
+
+    /// Start the initial workload thread directly (core 0 at init).
+    pub fn start_main(&mut self, entry: u64) {
+        self.cpu.start_thread(entry, 0, self.id as u32);
+    }
+
+    /// Has the workload thread on this core exited?
+    pub fn finished(&self) -> bool {
+        self.cpu.finished()
+    }
+
+    /// Is a workload thread running (started and not exited)?
+    pub fn running(&self) -> bool {
+        self.cpu.running() && !self.cpu.finished()
+    }
+
+    /// Was a `Stop` message received?
+    pub fn stopped(&self) -> bool {
+        self.stop_seen
+    }
+
+    /// Pipeline diagnostic (for stall debugging).
+    pub fn debug_state(&self) -> String {
+        format!("core {}: local={} {}", self.id, self.local, self.cpu.debug_state())
+    }
+
+    /// Is the workload blocked awaiting a sync reply (barrier release,
+    /// lock grant/denial, spawn acknowledgement, ...)? Such a core
+    /// suspends its clock (see `ClockBoard::sync_park`): waiting consumes
+    /// no simulated work, and the reply timestamp tells the core how far
+    /// to fast-forward. Spin-retry intervals between lock attempts are
+    /// still burned in simulated time.
+    pub fn sync_waiting(&self) -> bool {
+        matches!(self.host.sys_phase, SysPhase::WaitReply { .. }) && self.host.sync_reply.is_none()
+    }
+
+    /// Timestamp of the earliest queued `SyncReply`, if any (drains the
+    /// InQ first). Used to fast-forward a sync-parked clock.
+    pub fn earliest_sync_reply_ts(&mut self) -> Option<u64> {
+        self.drain_inq();
+        self.heap
+            .iter()
+            .filter(|Reverse(h)| matches!(h.msg.kind, InKind::SyncReply { .. }))
+            .map(|Reverse(h)| h.ts)
+            .min()
+    }
+
+    /// Timestamp of the earliest queued InQ message of any kind.
+    pub fn earliest_msg_ts(&mut self) -> Option<u64> {
+        self.drain_inq();
+        self.heap.peek().map(|Reverse(h)| h.ts)
+    }
+
+    /// Retained for engine symmetry: with manager-queued locks there is no
+    /// spin-retry phase any more, so nothing must keep ticking.
+    pub fn sync_retrying(&self) -> bool {
+        false
+    }
+
+    /// Fast-forward the suspended clock to `target` (release ts - 1).
+    pub fn sync_jump(&mut self, target: u64) {
+        if target > self.local {
+            self.local = target;
+        }
+    }
+
+    /// Pull everything out of the InQs into the local timestamp heap.
+    fn drain_inq(&mut self) {
+        for (ring, q) in self.inqs.iter_mut().enumerate() {
+            while let Some(m) = q.pop() {
+                if matches!(m.kind, InKind::Stop) {
+                    self.stop_seen = true;
+                    continue;
+                }
+                self.arrival += 1;
+                self.heap
+                    .push(Reverse(HeapMsg { ts: m.ts, ring, arrival: self.arrival, msg: m }));
+            }
+        }
+    }
+
+    /// Timestamp of the earliest pending InQ message, if any.
+    pub fn next_msg_ts(&mut self) -> Option<u64> {
+        self.drain_inq();
+        self.heap.peek().map(|Reverse(h)| h.ts)
+    }
+
+    fn apply_due_msgs(&mut self, now: u64) {
+        while let Some(&Reverse(h)) = self.heap.peek() {
+            if h.ts > now {
+                break;
+            }
+            self.heap.pop();
+            match h.msg.kind {
+                InKind::DMemReply { block, granted } => self.cpu.mem_reply(block, granted, h.ts),
+                InKind::IMemReply { block } => self.cpu.imem_reply(block, h.ts),
+                InKind::SyncReply { value } => self.host.sync_reply = Some(value),
+                InKind::Invalidate { block, downgrade } => self.cpu.invalidate(block, downgrade),
+                InKind::Start { entry, arg, tid } => {
+                    self.host.tid = tid;
+                    self.cpu.start_thread(entry, arg, tid);
+                }
+                InKind::Stop => self.stop_seen = true,
+            }
+        }
+    }
+
+    /// Simulate one cycle labelled `now` (normally `local() + 1`; a larger
+    /// gap is allowed for cores that were idle-skipped while no workload
+    /// thread was running). Returns the number of OutQ events emitted.
+    pub fn step_cycle(&mut self, now: u64) -> u32 {
+        debug_assert!(now > self.local);
+        self.drain_inq();
+        self.apply_due_msgs(now);
+
+        let committed0 = self.stats.committed;
+        let issued0 = self.stats.issued;
+        let fetched0 = self.stats.fetched;
+
+        {
+            let mut ctx = CpuCtx { now, host: &mut self.host, stats: &mut self.stats };
+            self.cpu.step(&mut ctx);
+        }
+
+        // Fast-forward compensation requested by the tracker.
+        if self.host.stall_request > 0 {
+            self.cpu.add_stall(self.host.stall_request);
+            self.host.stall_request = 0;
+        }
+
+        // ROI bookkeeping. The cycle that commits RoiBegin itself counts
+        // from the post-syscall committed total, so the shared budget
+        // counter and the per-core ROI statistic agree exactly.
+        let mut roi_floor = committed0;
+        if self.host.roi_begin_seen {
+            self.host.roi_begin_seen = false;
+            self.roi.active.store(true, Ordering::Release);
+            self.roi_base_committed = self.stats.committed;
+            roi_floor = self.stats.committed;
+        }
+        if self.host.roi_end_seen {
+            self.host.roi_end_seen = false;
+            self.roi_frozen = Some(self.stats.committed);
+        }
+        let committed_delta = self.stats.committed.saturating_sub(roi_floor);
+        if committed_delta > 0 && self.roi.active.load(Ordering::Relaxed) && self.roi_frozen.is_none()
+        {
+            self.roi.committed.fetch_add(committed_delta, Ordering::Relaxed);
+        }
+
+        // Flush emitted events with this cycle's timestamp. Memory events
+        // route to their bank's shard when sharded managers are attached;
+        // everything else (sync, exit, ROI) goes to the coordinator.
+        let mut events = 0u32;
+        self.shards_touched = 0;
+        let pending: Vec<_> = self.host.pending_out.drain(..).collect();
+        for kind in pending {
+            let ev = OutEvent { ts: now, seq: self.seq, kind };
+            self.seq += 1;
+            events += 1;
+            let shard = if self.shard_outqs.is_empty() {
+                None
+            } else {
+                match kind {
+                    OutKind::DMem { block, .. } | OutKind::IMem { block } => Some(
+                        crate::shard::shard_of(block, self.n_banks, self.shard_outqs.len()),
+                    ),
+                    _ => None,
+                }
+            };
+            if let Some(si) = shard {
+                self.shards_touched |= 1 << si;
+            }
+            let mut item = ev;
+            loop {
+                let res = match shard {
+                    Some(si) => self.shard_outqs[si].try_push(item),
+                    None => self.outq.try_push(item),
+                };
+                match res {
+                    Ok(()) => break,
+                    Err(back) => {
+                        // The ring is generously sized; a full ring means
+                        // the manager is far behind — yield to it. If the
+                        // simulation is being torn down, drop the event.
+                        if let Some(sig) = shard.and_then(|si| self.shard_signals.get(si)) {
+                            sig.signal();
+                        }
+                        self.drain_inq();
+                        if self.stop_seen {
+                            break;
+                        }
+                        item = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+
+        if let Some(trace) = &mut self.trace {
+            // Idle-skipped cycles (no workload thread) cost ~no host work.
+            if (trace.len() as u64) < now - 1 {
+                trace.resize((now - 1) as usize, 0);
+            }
+            trace.push(cycle_work(
+                self.stats.committed - committed0,
+                self.stats.issued - issued0,
+                self.stats.fetched - fetched0,
+                events as u64,
+            ));
+        }
+
+        self.local = now;
+        events
+    }
+
+    /// Set local time without simulating (used to skip the dead time of a
+    /// core that has not started a thread yet; it has no state to advance).
+    fn jump_local(&mut self, target: u64) {
+        debug_assert!(!self.cpu.running());
+        self.local = self.local.max(target);
+    }
+
+    fn finalize(mut self) -> CoreOutput {
+        self.stats.cycles = self.local;
+        if let Some(trace) = &mut self.trace {
+            if (trace.len() as u64) < self.local {
+                trace.resize(self.local as usize, 0);
+            }
+        }
+        self.stats.sys_retries = self.host.retries;
+        self.stats.printed = std::mem::take(&mut self.host.printed);
+        let end = self.roi_frozen.unwrap_or(self.stats.committed);
+        if self.roi.active.load(Ordering::Relaxed) {
+            self.stats.roi_committed = end.saturating_sub(self.roi_base_committed);
+        }
+        self.cpu.flush_cache_stats(&mut self.stats);
+        CoreOutput { stats: self.stats, trace: self.trace }
+    }
+
+    /// The Pthread body: run under the board's time discipline until the
+    /// simulation stops or this core's workload finishes.
+    pub fn run(mut self, board: &ClockBoard) -> CoreOutput {
+        loop {
+            if board.stopping() || self.stop_seen {
+                break;
+            }
+            if self.cpu.finished() {
+                board.finish(self.id);
+                break;
+            }
+            if !self.cpu.running() {
+                // No thread yet: idle-skip toward the first pending message
+                // or park until the manager sends one.
+                match self.next_msg_ts() {
+                    Some(ts) => {
+                        if ts > self.local + 1 {
+                            let target = (ts - 1).min(board.max_local(self.id));
+                            if target > self.local {
+                                self.jump_local(target);
+                                board.jump_local(self.id, target);
+                            }
+                        }
+                    }
+                    None => {
+                        board.park(self.id);
+                        // Re-check after publishing Parked to close the race
+                        // with a concurrent push+unpark.
+                        if self.next_msg_ts().is_some() {
+                            board.unpark(self.id);
+                            continue;
+                        }
+                        if !board.wait_parked(self.id) {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+            }
+            if self.sync_waiting() {
+                // The clock is suspended while waiting at a barrier; it
+                // fast-forwards to the release timestamp (paper §3.2.3:
+                // idle time must be undetectable by the program). Without
+                // this, a barrier waiter under large slack burns simulated
+                // cycles as fast as the host allows.
+                match self.earliest_sync_reply_ts() {
+                    Some(r) => {
+                        let target = r.saturating_sub(1);
+                        if target > self.local {
+                            self.sync_jump(target);
+                            board.jump_local_unclamped(self.id, target);
+                            board.signal_manager();
+                        }
+                        // Fall through: the next cycle applies the release.
+                    }
+                    None => {
+                        board.sync_park(self.id);
+                        if self.earliest_sync_reply_ts().is_some() {
+                            board.unpark(self.id);
+                            continue;
+                        }
+                        if !board.wait_parked(self.id) {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+            }
+            if !board.may_advance(self.id, self.local) {
+                if !board.wait_for_window(self.id, self.local) {
+                    break;
+                }
+                continue;
+            }
+            let now = self.local + 1;
+            let c0 = self.stats.committed;
+            let i0 = self.stats.issued;
+            let f0 = self.stats.fetched;
+            let events = self.step_cycle(now);
+            board.advance_local(self.id, now);
+            if events > 0 {
+                board.signal_manager();
+                let mut touched = self.shards_touched;
+                while touched != 0 {
+                    let si = touched.trailing_zeros() as usize;
+                    touched &= touched - 1;
+                    self.shard_signals[si].signal();
+                }
+            }
+
+            // Inert-cycle suspension: a cycle with no commits, issues,
+            // fetches or events changes nothing observable. After a run of
+            // them the pipeline is provably waiting for an InQ message, so
+            // ticking further only burns host time (and, under large
+            // slack, lets the clock run far past pending reply
+            // timestamps, distorting timing). Suspend and fast-forward to
+            // the next message — the skipped cycles are inert, so the
+            // simulated outcome is bit-identical. Spin-retry phases must
+            // keep ticking to reach their retry time.
+            let inert = self.stats.committed == c0
+                && self.stats.issued == i0
+                && self.stats.fetched == f0
+                && events == 0;
+            if inert && !self.sync_retrying() {
+                self.inert_streak += 1;
+            } else {
+                self.inert_streak = 0;
+            }
+            if self.inert_streak >= INERT_PARK_AFTER {
+                match self.earliest_msg_ts() {
+                    Some(ts) if ts > self.local + 1 => {
+                        // Clamp to the window: the skipped cycles are inert
+                        // so the outcome is identical either way, but the
+                        // clock must not escape the slack discipline (the
+                        // laggard's window is its own local + slack).
+                        let target = (ts - 1).min(board.max_local(self.id));
+                        if target > self.local {
+                            self.sync_jump(target);
+                            board.jump_local_unclamped(self.id, target);
+                            board.signal_manager();
+                        }
+                        self.inert_streak = 0;
+                    }
+                    Some(_) => {
+                        // A message is due: the next cycle consumes it.
+                        self.inert_streak = 0;
+                    }
+                    None => {
+                        // Unlike a sync wait, the clock stays visible so
+                        // global time freezes with us (lockstep preserved).
+                        board.mem_park(self.id);
+                        if self.earliest_msg_ts().is_some() {
+                            board.unpark(self.id);
+                            continue;
+                        }
+                        if !board.wait_parked(self.id) {
+                            break;
+                        }
+                        self.inert_streak = 0;
+                    }
+                }
+            }
+        }
+        if self.cpu.finished() {
+            board.finish(self.id);
+        }
+        self.finalize()
+    }
+
+    /// Finalize without running (sequential engine path).
+    pub fn into_output(self) -> CoreOutput {
+        self.finalize()
+    }
+}

@@ -1,0 +1,486 @@
+//! Single-issue in-order core that stalls on cache misses.
+//!
+//! The paper notes the simplest core thread "just increment\[s\] the local
+//! clock of the core if the core is a simple in-order core that stalls on a
+//! cache miss" (§2.2). This model is that core: one instruction at a time,
+//! blocking L1 misses, no speculation. It shares the L1/MSHR-free request
+//! protocol with the OoO model and is used for ablations and fast tests.
+
+use super::{Cpu, CpuCtx, SysOutcome};
+use crate::config::{CoreConfig, TargetConfig};
+use crate::exec::{self, Operands};
+use crate::msg::OutKind;
+use crate::stats::CoreStats;
+use sk_isa::{decode, layout, Instr, Reg, WORD_BYTES};
+use sk_mem::l1::ReqKind;
+use sk_mem::{block_of, BlockAddr, L1Cache, L1Outcome, LineState};
+
+/// Destination of an in-flight load.
+#[derive(Clone, Copy, Debug)]
+enum LoadDst {
+    Int(u8),
+    Fp(u8),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Phase {
+    /// Ready to fetch/execute the next instruction.
+    Ready,
+    /// Waiting for an instruction-cache fill.
+    WaitIFetch { block: BlockAddr, ready: Option<u64> },
+    /// Waiting for a data fill to complete a load.
+    WaitLoad { block: BlockAddr, addr: u64, dst: LoadDst, ready: Option<u64> },
+    /// Waiting for write permission to complete a store.
+    WaitStore { block: BlockAddr, addr: u64, val: u64, ready: Option<u64> },
+    /// A syscall is pending at the host.
+    SysPending,
+}
+
+/// The in-order core model.
+pub struct InOrderCpu {
+    cfg: CoreConfig,
+    l1_hit_lat: u64,
+    pc: u64,
+    regs: [u64; 32],
+    fregs: [f64; 32],
+    running: bool,
+    finished: bool,
+    l1i: L1Cache,
+    l1d: L1Cache,
+    phase: Phase,
+    busy_until: u64,
+    extra_stall: u64,
+    pending_evictions: Vec<(ReqKind, BlockAddr)>,
+    /// Blocks invalidated while their fill was outstanding; the fill is
+    /// immediately undone to keep directory bookkeeping authoritative.
+    inv_while_pending: Vec<BlockAddr>,
+}
+
+impl InOrderCpu {
+    /// Build an idle core (no thread started).
+    pub fn new(cfg: &TargetConfig) -> Self {
+        InOrderCpu {
+            cfg: cfg.core,
+            l1_hit_lat: cfg.mem.l1_hit_lat,
+            pc: 0,
+            regs: [0; 32],
+            fregs: [0.0; 32],
+            running: false,
+            finished: false,
+            l1i: L1Cache::new(cfg.mem.l1i),
+            l1d: L1Cache::new(cfg.mem.l1d),
+            phase: Phase::Ready,
+            busy_until: 0,
+            extra_stall: 0,
+            pending_evictions: Vec::new(),
+            inv_while_pending: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        if r.index() != 0 {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn operands(&self, i: &Instr) -> Operands {
+        let [s1, s2] = i.int_srcs();
+        let [f1, f2] = i.fp_srcs();
+        Operands {
+            rs1: s1.map_or(0, |r| self.reg(r)),
+            rs2: s2.map_or(0, |r| self.reg(r)),
+            fs1: f1.map_or(0.0, |f| self.fregs[f.index()]),
+            fs2: f2.map_or(0.0, |f| self.fregs[f.index()]),
+            pc: self.pc,
+        }
+    }
+
+    fn note_eviction(&mut self, ev: Option<sk_mem::l1::Eviction>) {
+        if let Some(e) = ev {
+            self.pending_evictions.push((e.kind, e.block));
+        }
+    }
+
+    fn fill_tracked(&mut self, block: BlockAddr, granted: LineState) {
+        let ev = self.l1d.fill(block, granted);
+        self.note_eviction(ev);
+        if let Some(pos) = self.inv_while_pending.iter().position(|&b| b == block) {
+            self.inv_while_pending.swap_remove(pos);
+            self.l1d.apply_invalidate(block);
+        }
+    }
+
+    /// Execute one fetched instruction; returns true if an instruction
+    /// retired this cycle (i.e. we are not now waiting on memory/syscall).
+    fn execute_one(&mut self, i: Instr, ctx: &mut CpuCtx<'_>) {
+        let now = ctx.now;
+        let ops = self.operands(&i);
+        let fx = exec::execute(&i, ops);
+        ctx.stats.issued += 1;
+
+        if let Instr::Syscall { code } = i {
+            let args =
+                [self.reg(Reg::arg(0)), self.reg(Reg::arg(1)), self.reg(Reg::arg(2)), self.reg(Reg::arg(3))];
+            match ctx.host.sys_start(code, args, now) {
+                SysOutcome::Done(ret) => {
+                    if let Some(v) = ret {
+                        self.set_reg(Reg::arg(0), v);
+                    }
+                    self.pc += WORD_BYTES;
+                    self.busy_until = now + 1;
+                    ctx.stats.committed += 1;
+                }
+                SysOutcome::Pending => self.phase = Phase::SysPending,
+                SysOutcome::Exit => {
+                    self.finished = true;
+                    ctx.stats.committed += 1;
+                }
+            }
+            return;
+        }
+
+        if let Some(mem) = fx.mem {
+            let block = block_of(mem.addr);
+            if mem.is_store {
+                match self.l1d.write(block) {
+                    L1Outcome::Hit => {
+                        ctx.host.store(mem.addr, mem.store_val, now);
+                        self.pc += WORD_BYTES;
+                        self.busy_until = now + self.l1_hit_lat;
+                        ctx.stats.committed += 1;
+                        ctx.stats.stores += 1;
+                    }
+                    outcome => {
+                        let req = if outcome == L1Outcome::MissUpgrade {
+                            ReqKind::Upgrade
+                        } else {
+                            ReqKind::GetM
+                        };
+                        ctx.host.emit(OutKind::DMem { req, block });
+                        self.phase = Phase::WaitStore { block, addr: mem.addr, val: mem.store_val, ready: None };
+                    }
+                }
+            } else {
+                let dst = match i {
+                    Instr::Fld { fd, .. } => LoadDst::Fp(fd.0),
+                    _ => LoadDst::Int(i.int_dst().map_or(0, |r| r.0)),
+                };
+                match self.l1d.read(block) {
+                    L1Outcome::Hit => {
+                        let v = ctx.host.load(mem.addr, now);
+                        match dst {
+                            LoadDst::Int(r) => self.set_reg(Reg::new(r), v),
+                            LoadDst::Fp(f) => self.fregs[f as usize] = f64::from_bits(v),
+                        }
+                        self.pc += WORD_BYTES;
+                        self.busy_until = now + self.l1_hit_lat;
+                        ctx.stats.committed += 1;
+                        ctx.stats.loads += 1;
+                    }
+                    _ => {
+                        ctx.host.emit(OutKind::DMem { req: ReqKind::GetS, block });
+                        self.phase = Phase::WaitLoad { block, addr: mem.addr, dst, ready: None };
+                    }
+                }
+            }
+            return;
+        }
+
+        if let Some(br) = fx.branch {
+            if let Some(v) = fx.int_result {
+                if let Some(rd) = i.int_dst() {
+                    self.set_reg(rd, v);
+                }
+            }
+            if i.is_cond_branch() {
+                ctx.stats.branches += 1;
+            }
+            if br.taken {
+                self.pc = br.target;
+                // Taken control transfers cost one fetch bubble in-order.
+                self.busy_until = now + 2;
+            } else {
+                self.pc += WORD_BYTES;
+                self.busy_until = now + 1;
+            }
+            ctx.stats.committed += 1;
+            return;
+        }
+
+        if let Some(v) = fx.int_result {
+            if let Some(rd) = i.int_dst() {
+                self.set_reg(rd, v);
+            }
+        }
+        if let Some(v) = fx.fp_result {
+            if let Some(fd) = i.fp_dst() {
+                self.fregs[fd.index()] = v;
+            }
+        }
+        self.pc += WORD_BYTES;
+        self.busy_until = now + self.cfg.fu_latency(i.fu_class());
+        ctx.stats.committed += 1;
+    }
+}
+
+impl Cpu for InOrderCpu {
+    fn step(&mut self, ctx: &mut CpuCtx<'_>) {
+        let now = ctx.now;
+        for (kind, block) in self.pending_evictions.drain(..) {
+            ctx.host.emit(OutKind::DMem { req: kind, block });
+        }
+        if !self.running || self.finished {
+            ctx.stats.idle_cycles += 1;
+            return;
+        }
+        if self.extra_stall > 0 {
+            self.extra_stall -= 1;
+            ctx.stats.ff_stall_cycles += 1;
+            return;
+        }
+        if now < self.busy_until {
+            ctx.stats.stall_cycles += 1;
+            return;
+        }
+        match self.phase {
+            Phase::SysPending => match ctx.host.sys_poll(now) {
+                SysOutcome::Done(ret) => {
+                    if let Some(v) = ret {
+                        self.set_reg(Reg::arg(0), v);
+                    }
+                    self.pc += WORD_BYTES;
+                    self.busy_until = now + 1;
+                    self.phase = Phase::Ready;
+                    ctx.stats.committed += 1;
+                }
+                SysOutcome::Pending => {
+                    ctx.stats.stall_cycles += 1;
+                }
+                SysOutcome::Exit => {
+                    self.finished = true;
+                    ctx.stats.committed += 1;
+                }
+            },
+            Phase::WaitIFetch { ready, .. } => match ready {
+                Some(ts) if ts <= now => self.phase = Phase::Ready,
+                _ => ctx.stats.stall_cycles += 1,
+            },
+            Phase::WaitLoad { addr, dst, ready, .. } => match ready {
+                Some(ts) if ts <= now => {
+                    let v = ctx.host.load(addr, now);
+                    match dst {
+                        LoadDst::Int(r) => self.set_reg(Reg::new(r), v),
+                        LoadDst::Fp(f) => self.fregs[f as usize] = f64::from_bits(v),
+                    }
+                    self.pc += WORD_BYTES;
+                    self.phase = Phase::Ready;
+                    self.busy_until = now + 1;
+                    ctx.stats.committed += 1;
+                    ctx.stats.loads += 1;
+                }
+                _ => ctx.stats.stall_cycles += 1,
+            },
+            Phase::WaitStore { addr, val, ready, .. } => match ready {
+                Some(ts) if ts <= now => {
+                    ctx.host.store(addr, val, now);
+                    self.pc += WORD_BYTES;
+                    self.phase = Phase::Ready;
+                    self.busy_until = now + 1;
+                    ctx.stats.committed += 1;
+                    ctx.stats.stores += 1;
+                }
+                _ => ctx.stats.stall_cycles += 1,
+            },
+            Phase::Ready => {
+                let block = block_of(self.pc);
+                match self.l1i.read(block) {
+                    L1Outcome::Hit => {
+                        ctx.stats.fetched += 1;
+                        let word = ctx.host.fetch_word(self.pc);
+                        match decode(word) {
+                            Ok(i) => self.execute_one(i, ctx),
+                            Err(_) => {
+                                // Fetching garbage means the workload ran off
+                                // its text segment: treat as thread exit.
+                                self.finished = true;
+                            }
+                        }
+                    }
+                    _ => {
+                        ctx.host.emit(OutKind::IMem { block });
+                        self.phase = Phase::WaitIFetch { block, ready: None };
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_thread(&mut self, entry: u64, arg: u64, tid: u32) {
+        self.pc = entry;
+        self.regs = [0; 32];
+        self.fregs = [0.0; 32];
+        self.set_reg(Reg::arg(0), arg);
+        self.set_reg(Reg::TP, tid as u64);
+        self.set_reg(Reg::SP, layout::stack_top(tid as usize));
+        self.set_reg(Reg::GP, layout::DATA_BASE);
+        self.running = true;
+    }
+
+    fn running(&self) -> bool {
+        self.running
+    }
+
+    fn finished(&self) -> bool {
+        self.finished
+    }
+
+    fn mem_reply(&mut self, block: BlockAddr, granted: LineState, ts: u64) {
+        self.fill_tracked(block, granted);
+        match &mut self.phase {
+            Phase::WaitLoad { block: b, ready, .. } if *b == block => *ready = Some(ts),
+            Phase::WaitStore { block: b, ready, .. } if *b == block => *ready = Some(ts),
+            _ => {}
+        }
+    }
+
+    fn imem_reply(&mut self, block: BlockAddr, ts: u64) {
+        self.l1i.fill(block, LineState::Shared);
+        if let Phase::WaitIFetch { block: b, ready } = &mut self.phase {
+            if *b == block {
+                *ready = Some(ts);
+            }
+        }
+    }
+
+    fn invalidate(&mut self, block: BlockAddr, downgrade: bool) {
+        if downgrade {
+            self.l1d.apply_downgrade(block);
+            return;
+        }
+        let waiting = matches!(
+            self.phase,
+            Phase::WaitLoad { block: b, ready: None, .. } | Phase::WaitStore { block: b, ready: None, .. } if b == block
+        );
+        if waiting {
+            self.inv_while_pending.push(block);
+        }
+        self.l1d.apply_invalidate(block);
+        self.l1i.apply_invalidate(block);
+    }
+
+    fn add_stall(&mut self, cycles: u64) {
+        self.extra_stall += cycles;
+    }
+
+    fn flush_cache_stats(&self, stats: &mut CoreStats) {
+        stats.l1d = self.l1d.stats();
+        stats.l1i = self.l1i.stats();
+    }
+
+    fn quiesced(&self) -> bool {
+        matches!(self.phase, Phase::Ready) && self.pending_evictions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::tests_support::run_to_exit;
+    use sk_isa::{ProgramBuilder, Syscall};
+
+    #[test]
+    fn straight_line_arithmetic_commits() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::tmp(0), 6);
+        b.li(Reg::tmp(1), 7);
+        b.mul(Reg::arg(0), Reg::tmp(0), Reg::tmp(1));
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, stats) = run_to_exit(|cfg| Box::new(InOrderCpu::new(cfg)), &p, 10_000);
+        assert_eq!(host.printed, vec![42]);
+        assert_eq!(stats.committed, 5);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip_through_memory() {
+        let mut b = ProgramBuilder::new();
+        let buf = b.zeros("buf", 4);
+        b.li(Reg::tmp(2), buf as i64);
+        b.li(Reg::tmp(0), 1234);
+        b.st(Reg::tmp(0), Reg::tmp(2), 8);
+        b.ld(Reg::arg(0), Reg::tmp(2), 8);
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, stats) = run_to_exit(|cfg| Box::new(InOrderCpu::new(cfg)), &p, 10_000);
+        assert_eq!(host.printed, vec![1234]);
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.stores, 1);
+    }
+
+    #[test]
+    fn loop_branches_execute() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::tmp(0), 10);
+        b.li(Reg::arg(0), 0);
+        let top = b.here("top");
+        b.add(Reg::arg(0), Reg::arg(0), Reg::tmp(0));
+        b.addi(Reg::tmp(0), Reg::tmp(0), -1);
+        b.bne(Reg::tmp(0), Reg::ZERO, top);
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, stats) = run_to_exit(|cfg| Box::new(InOrderCpu::new(cfg)), &p, 10_000);
+        assert_eq!(host.printed, vec![55]);
+        assert_eq!(stats.branches, 10);
+    }
+
+    #[test]
+    fn fp_pipeline_computes() {
+        use sk_isa::FReg;
+        let mut b = ProgramBuilder::new();
+        let c = b.floats("c", &[2.0, 8.0]);
+        b.li(Reg::tmp(2), c as i64);
+        b.fld(FReg::new(1), Reg::tmp(2), 0);
+        b.fld(FReg::new(2), Reg::tmp(2), 8);
+        b.fmul(FReg::new(3), FReg::new(1), FReg::new(2)); // 16.0
+        b.fsqrt(FReg::new(3), FReg::new(3)); // 4.0
+        b.emit(Instr::Fcvtfl { rd: Reg::arg(0), fs1: FReg::new(3) });
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, _) = run_to_exit(|cfg| Box::new(InOrderCpu::new(cfg)), &p, 10_000);
+        assert_eq!(host.printed, vec![4]);
+    }
+
+    #[test]
+    fn miss_costs_more_than_hit() {
+        // Two identical loads: the first misses (cold), the second hits.
+        let mut b = ProgramBuilder::new();
+        let buf = b.zeros("buf", 1);
+        b.li(Reg::tmp(2), buf as i64);
+        b.ld(Reg::tmp(0), Reg::tmp(2), 0);
+        b.ld(Reg::tmp(1), Reg::tmp(2), 0);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (_, stats) = run_to_exit(|cfg| Box::new(InOrderCpu::new(cfg)), &p, 10_000);
+        assert_eq!(stats.l1d.misses, 1);
+        assert_eq!(stats.l1d.hits, 1);
+    }
+
+    #[test]
+    fn runaway_pc_terminates_thread() {
+        let mut b = ProgramBuilder::new();
+        b.nop(); // falls through past the end of text
+        let p = b.build().unwrap();
+        let (_, stats) = run_to_exit(|cfg| Box::new(InOrderCpu::new(cfg)), &p, 10_000);
+        assert!(stats.committed >= 1);
+    }
+}

@@ -1,0 +1,1272 @@
+//! The 4-way out-of-order core model (paper §2.2, §4.1).
+//!
+//! A NetBurst-like window machine: 64-entry reorder buffer, unified
+//! load/store queue with store-to-load forwarding, bimodal branch
+//! prediction with squash-and-redirect recovery, non-blocking L1D through
+//! MSHRs, and a post-commit store buffer. As the paper emphasizes for
+//! SlackSim, "register values are fetched just before execution" and
+//! "each instruction \[executes\] when it reaches an execution unit" — the
+//! functional work happens at issue/complete, never at dispatch.
+//!
+//! Pipeline stages, processed oldest-machinery-first each cycle:
+//! complete → commit → store-buffer drain → issue → dispatch → fetch.
+
+use super::{Cpu, CpuCtx, SysOutcome};
+use crate::config::{CoreConfig, TargetConfig};
+use crate::exec::{self, Operands};
+use crate::msg::OutKind;
+use crate::stats::CoreStats;
+use sk_isa::{decode, layout, FuClass, Instr, Reg, WORD_BYTES};
+use sk_mem::l1::ReqKind;
+use sk_mem::mshr::MshrAlloc;
+use sk_mem::{block_of, BlockAddr, L1Cache, L1Outcome, LineState, MshrFile};
+use std::collections::VecDeque;
+
+type RobId = u64;
+
+/// MSHR waiter tokens.
+///
+/// ROB ids are monotone and never reused, so a squashed load's waiter is
+/// recognized simply by its entry no longer existing (or no longer being
+/// in `WaitMem`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Waiter {
+    /// A load in the ROB.
+    Load { id: RobId },
+    /// The post-commit store buffer.
+    StoreBuf,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EState {
+    /// In the ROB, waiting for operands / a functional unit.
+    Dispatched,
+    /// Occupying a functional unit until `done`.
+    Executing { done: u64 },
+    /// A load waiting for its MSHR reply.
+    WaitMem,
+    /// Result available.
+    Completed,
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    id: RobId,
+    pc: u64,
+    instr: Instr,
+    state: EState,
+    src_int: [Option<RobId>; 2],
+    src_fp: [Option<RobId>; 2],
+    int_result: Option<u64>,
+    fp_result: Option<f64>,
+    pred_taken: bool,
+    pred_target: u64,
+    mem_addr: Option<u64>,
+    store_val: Option<u64>,
+    /// Load value was forwarded from an in-flight store.
+    forwarded: Option<u64>,
+    mispredicted: bool,
+    /// Fetch ran off the text segment; commit terminates the thread.
+    bad_fetch: bool,
+}
+
+impl RobEntry {
+    fn is_load(&self) -> bool {
+        self.instr.is_load()
+    }
+    fn is_store(&self) -> bool {
+        self.instr.is_store()
+    }
+    fn is_syscall(&self) -> bool {
+        matches!(self.instr, Instr::Syscall { .. })
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SbState {
+    /// Needs an L1D write access (and possibly a GetM/Upgrade request).
+    Need,
+    /// Waiting for the directory grant.
+    Waiting,
+    /// Grant arrived; write at `ts`.
+    Ready(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SbEntry {
+    addr: u64,
+    val: u64,
+    state: SbState,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SysState {
+    Idle,
+    Pending,
+}
+
+/// Fetched, predicted instruction awaiting dispatch.
+#[derive(Clone, Copy, Debug)]
+struct Fetched {
+    pc: u64,
+    instr: Instr,
+    pred_taken: bool,
+    pred_target: u64,
+    bad_fetch: bool,
+}
+
+const N_CLASSES: usize = 13;
+
+/// Return-address-stack depth.
+const RAS_DEPTH: usize = 8;
+
+fn class_idx(c: FuClass) -> usize {
+    match c {
+        FuClass::IntAlu => 0,
+        FuClass::IntMul => 1,
+        FuClass::IntDiv => 2,
+        FuClass::FpAdd => 3,
+        FuClass::FpMul => 4,
+        FuClass::FpDiv => 5,
+        FuClass::FpSqrt => 6,
+        FuClass::Load => 7,
+        FuClass::Store => 8,
+        FuClass::Branch => 9,
+        FuClass::Jump => 10,
+        FuClass::Syscall => 11,
+        FuClass::Nop => 12,
+    }
+}
+
+/// The out-of-order core.
+pub struct OooCpu {
+    cfg: CoreConfig,
+    l1_hit_lat: u64,
+
+    pc: u64,
+    regs: [u64; 32],
+    fregs: [f64; 32],
+    running: bool,
+    finished: bool,
+
+    int_map: [Option<RobId>; 32],
+    fp_map: [Option<RobId>; 32],
+    rob: VecDeque<RobEntry>,
+    next_id: RobId,
+    lsq_used: usize,
+    fetch_q: VecDeque<Fetched>,
+    bpred: super::bpred::Bimodal,
+
+    l1i: L1Cache,
+    l1d: L1Cache,
+    mshr: MshrFile<Waiter>,
+    ifetch: Option<(BlockAddr, Option<u64>)>,
+    fetch_stall_until: u64,
+    wait_jalr: bool,
+    /// Return-address stack: call sites push their link, `ret` pops a
+    /// predicted target so returns don't stall fetch (extension beyond
+    /// the paper's NetBurst-like core; corrupted entries are corrected by
+    /// the ordinary mispredict flush).
+    ras: Vec<u64>,
+    fu_busy_until: [u64; N_CLASSES],
+
+    store_buffer: VecDeque<SbEntry>,
+    sys_state: SysState,
+    extra_stall: u64,
+    pending_evictions: Vec<(ReqKind, BlockAddr)>,
+    inv_while_pending: Vec<BlockAddr>,
+}
+
+impl OooCpu {
+    /// Build an idle core.
+    pub fn new(cfg: &TargetConfig) -> Self {
+        OooCpu {
+            cfg: cfg.core,
+            l1_hit_lat: cfg.mem.l1_hit_lat,
+            pc: 0,
+            regs: [0; 32],
+            fregs: [0.0; 32],
+            running: false,
+            finished: false,
+            int_map: [None; 32],
+            fp_map: [None; 32],
+            rob: VecDeque::with_capacity(cfg.core.rob_entries),
+            next_id: 0,
+            lsq_used: 0,
+            fetch_q: VecDeque::with_capacity(cfg.core.fetch_queue),
+            bpred: super::bpred::Bimodal::new(cfg.core.bpred_entries),
+            l1i: L1Cache::new(cfg.mem.l1i),
+            l1d: L1Cache::new(cfg.mem.l1d),
+            mshr: MshrFile::new(cfg.mem.mshrs),
+            ifetch: None,
+            fetch_stall_until: 0,
+            wait_jalr: false,
+            ras: Vec::with_capacity(RAS_DEPTH),
+            fu_busy_until: [0; N_CLASSES],
+            store_buffer: VecDeque::with_capacity(cfg.core.store_buffer),
+            sys_state: SysState::Idle,
+            extra_stall: 0,
+            pending_evictions: Vec::new(),
+            inv_while_pending: Vec::new(),
+        }
+    }
+
+    // Ids are unique and monotone but NOT contiguous (flushes leave gaps,
+    // since squashed ids are never reused), so lookups binary-search the
+    // id-sorted ROB.
+    #[inline]
+    fn entry(&self, id: RobId) -> Option<&RobEntry> {
+        let idx = self.rob.binary_search_by_key(&id, |e| e.id).ok()?;
+        self.rob.get(idx)
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, id: RobId) -> Option<&mut RobEntry> {
+        let idx = self.rob.binary_search_by_key(&id, |e| e.id).ok()?;
+        self.rob.get_mut(idx)
+    }
+
+    fn src_ready(&self, src: Option<RobId>) -> bool {
+        match src {
+            None => true,
+            Some(id) => match self.entry(id) {
+                None => true, // producer committed to the register file
+                Some(e) => e.state == EState::Completed,
+            },
+        }
+    }
+
+    fn int_value(&self, src: Option<RobId>, arch: Reg) -> u64 {
+        match src {
+            None => self.regs[arch.index()],
+            Some(id) => match self.entry(id) {
+                None => self.regs[arch.index()],
+                Some(e) => e.int_result.unwrap_or_else(|| panic!("int producer without value: {:?}", e)),
+            },
+        }
+    }
+
+    fn fp_value(&self, src: Option<RobId>, arch: sk_isa::FReg) -> f64 {
+        match src {
+            None => self.fregs[arch.index()],
+            Some(id) => match self.entry(id) {
+                None => self.fregs[arch.index()],
+                Some(e) => e.fp_result.unwrap_or_else(|| panic!("fp producer without value: {:?}", e)),
+            },
+        }
+    }
+
+    fn operands_for(&self, e: &RobEntry) -> Operands {
+        for id in e.src_int.iter().chain(&e.src_fp).flatten() {
+            if let Some(p) = self.entry(*id) {
+                if p.state != EState::Completed {
+                    panic!("consumer {e:?} reads unready producer {p:?}");
+                }
+            }
+        }
+        let [s1, s2] = e.instr.int_srcs();
+        let [f1, f2] = e.instr.fp_srcs();
+        Operands {
+            rs1: s1.map_or(0, |r| self.int_value(e.src_int[0], r)),
+            rs2: s2.map_or(0, |r| self.int_value(e.src_int[1], r)),
+            fs1: f1.map_or(0.0, |f| self.fp_value(e.src_fp[0], f)),
+            fs2: f2.map_or(0.0, |f| self.fp_value(e.src_fp[1], f)),
+            pc: e.pc,
+        }
+    }
+
+    fn note_eviction(&mut self, ev: Option<sk_mem::l1::Eviction>) {
+        if let Some(e) = ev {
+            self.pending_evictions.push((e.kind, e.block));
+        }
+    }
+
+    fn fill_tracked(&mut self, block: BlockAddr, granted: LineState) {
+        let ev = self.l1d.fill(block, granted);
+        self.note_eviction(ev);
+        if let Some(pos) = self.inv_while_pending.iter().position(|&b| b == block) {
+            self.inv_while_pending.swap_remove(pos);
+            self.l1d.apply_invalidate(block);
+        }
+    }
+
+    /// Squash everything younger than `keep_id` and redirect fetch.
+    fn flush_after(&mut self, keep_id: RobId, new_pc: u64, now: u64) {
+        while let Some(back) = self.rob.back() {
+            if back.id <= keep_id {
+                break;
+            }
+            let e = self.rob.pop_back().unwrap();
+            if e.instr.is_mem() {
+                self.lsq_used -= 1;
+            }
+        }
+        // Rebuild the rename maps from the surviving entries.
+        self.int_map = [None; 32];
+        self.fp_map = [None; 32];
+        for e in &self.rob {
+            if let Some(rd) = e.instr.int_dst() {
+                if rd.index() != 0 {
+                    self.int_map[rd.index()] = Some(e.id);
+                }
+            }
+            if let Some(fd) = e.instr.fp_dst() {
+                self.fp_map[fd.index()] = Some(e.id);
+            }
+        }
+        self.fetch_q.clear();
+        self.pc = new_pc;
+        self.fetch_stall_until = now + self.cfg.mispredict_penalty;
+        self.wait_jalr = false;
+        self.ifetch = None;
+    }
+
+    // ---- pipeline stages ----
+
+    fn stage_complete(&mut self, ctx: &mut CpuCtx<'_>) {
+        let now = ctx.now;
+        let mut i = 0;
+        while i < self.rob.len() {
+            let ready = matches!(self.rob[i].state, EState::Executing { done } if done <= now);
+            if !ready {
+                i += 1;
+                continue;
+            }
+            let id = self.rob[i].id;
+            let ops = self.operands_for(&self.rob[i]);
+            let e = &self.rob[i];
+
+            if e.is_load() {
+                let addr = e.mem_addr.expect("issued load has an address");
+                let val = match e.forwarded {
+                    Some(v) => v,
+                    None => ctx.host.load(addr, now),
+                };
+                let e = &mut self.rob[i];
+                if matches!(e.instr, Instr::Fld { .. }) {
+                    e.fp_result = Some(f64::from_bits(val));
+                } else {
+                    e.int_result = Some(val);
+                }
+                e.state = EState::Completed;
+                i += 1;
+                continue;
+            }
+
+            let fx = exec::execute(&self.rob[i].instr, ops);
+            let e = &mut self.rob[i];
+            e.int_result = fx.int_result;
+            e.fp_result = fx.fp_result;
+            if e.is_store() {
+                let m = fx.mem.expect("store produces a memory op");
+                e.mem_addr = Some(m.addr);
+                e.store_val = Some(m.store_val);
+            }
+            e.state = EState::Completed;
+
+            if let Some(br) = fx.branch {
+                let actual_target = if br.taken { br.target } else { e.pc + WORD_BYTES };
+                let predicted = if e.pred_taken { e.pred_target } else { e.pc + WORD_BYTES };
+                if actual_target != predicted {
+                    e.mispredicted = true;
+                    if e.instr.is_cond_branch() {
+                        ctx.stats.mispredicts += 1;
+                    }
+                    self.flush_after(id, actual_target, now);
+                    return; // everything younger is gone
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn stage_commit(&mut self, ctx: &mut CpuCtx<'_>) -> u64 {
+        let now = ctx.now;
+        let mut committed = 0;
+        while committed < self.cfg.commit_width as u64 {
+            let Some(head) = self.rob.front() else { break };
+
+            if head.bad_fetch {
+                // Architecturally reached a non-instruction: thread is done.
+                self.finished = true;
+                break;
+            }
+
+            if head.is_syscall() {
+                // Serializing: wait for the store buffer to drain so the
+                // syscall observes (and is observed after) all prior stores.
+                if !self.store_buffer.is_empty() {
+                    break;
+                }
+                let outcome = match self.sys_state {
+                    SysState::Idle => {
+                        let code = match head.instr {
+                            Instr::Syscall { code } => code,
+                            _ => unreachable!(),
+                        };
+                        let args = [
+                            self.regs[Reg::arg(0).index()],
+                            self.regs[Reg::arg(1).index()],
+                            self.regs[Reg::arg(2).index()],
+                            self.regs[Reg::arg(3).index()],
+                        ];
+                        ctx.host.sys_start(code, args, now)
+                    }
+                    SysState::Pending => ctx.host.sys_poll(now),
+                };
+                match outcome {
+                    SysOutcome::Done(ret) => {
+                        if let Some(v) = ret {
+                            self.regs[Reg::arg(0).index()] = v;
+                        }
+                        self.sys_state = SysState::Idle;
+                        self.rob.pop_front();
+                        committed += 1;
+                        ctx.stats.committed += 1;
+                    }
+                    SysOutcome::Pending => {
+                        self.sys_state = SysState::Pending;
+                        ctx.stats.sys_retries += 1;
+                    }
+                    SysOutcome::Exit => {
+                        self.finished = true;
+                        ctx.stats.committed += 1;
+                    }
+                }
+                break; // at most one syscall interaction per cycle
+            }
+
+            if head.state != EState::Completed {
+                break;
+            }
+
+            if head.is_store() {
+                if self.store_buffer.len() >= self.cfg.store_buffer {
+                    break;
+                }
+                let addr = head.mem_addr.unwrap();
+                let val = head.store_val.unwrap();
+                self.store_buffer.push_back(SbEntry { addr, val, state: SbState::Need });
+                ctx.stats.stores += 1;
+            }
+            if head.is_load() {
+                ctx.stats.loads += 1;
+            }
+            if head.instr.is_cond_branch() {
+                ctx.stats.branches += 1;
+                let taken = head.mispredicted != head.pred_taken;
+                let pc = head.pc;
+                self.bpred.update(pc, taken);
+            }
+
+            let head = self.rob.pop_front().unwrap();
+            if head.instr.is_mem() {
+                self.lsq_used -= 1;
+            }
+            if let Some(rd) = head.instr.int_dst() {
+                if rd.index() != 0 {
+                    self.regs[rd.index()] = head.int_result.expect("completed int result");
+                    if self.int_map[rd.index()] == Some(head.id) {
+                        self.int_map[rd.index()] = None;
+                    }
+                }
+            }
+            if let Some(fd) = head.instr.fp_dst() {
+                self.fregs[fd.index()] = head.fp_result.expect("completed fp result");
+                if self.fp_map[fd.index()] == Some(head.id) {
+                    self.fp_map[fd.index()] = None;
+                }
+            }
+            committed += 1;
+            ctx.stats.committed += 1;
+        }
+        committed
+    }
+
+    fn stage_store_buffer(&mut self, ctx: &mut CpuCtx<'_>) {
+        let now = ctx.now;
+        let Some(head) = self.store_buffer.front().copied() else { return };
+        let block = block_of(head.addr);
+        match head.state {
+            SbState::Need => match self.l1d.write(block) {
+                L1Outcome::Hit => {
+                    ctx.host.store(head.addr, head.val, now);
+                    self.store_buffer.pop_front();
+                }
+                outcome => {
+                    let req = if outcome == L1Outcome::MissUpgrade {
+                        ReqKind::Upgrade
+                    } else {
+                        ReqKind::GetM
+                    };
+                    match self.mshr.allocate(block, Waiter::StoreBuf) {
+                        MshrAlloc::Primary => {
+                            ctx.host.emit(OutKind::DMem { req, block });
+                            self.store_buffer.front_mut().unwrap().state = SbState::Waiting;
+                        }
+                        MshrAlloc::Secondary => {
+                            self.store_buffer.front_mut().unwrap().state = SbState::Waiting;
+                        }
+                        MshrAlloc::Full => {} // retry next cycle
+                    }
+                }
+            },
+            SbState::Waiting => {}
+            SbState::Ready(ts) if ts <= now => {
+                // The store performs at grant time even if a later
+                // transaction's invalidation already landed (its timestamp
+                // can precede our reply because 3-hop latencies are folded
+                // into completion times): the write happened in the window
+                // where this core held M. Without this, two cores writing
+                // the same block can livelock, each fill annihilated by the
+                // other's invalidation before its store drains.
+                let _ = self.l1d.write(block); // touch LRU/state if present
+                ctx.host.store(head.addr, head.val, now);
+                self.store_buffer.pop_front();
+            }
+            SbState::Ready(_) => {}
+        }
+    }
+
+    fn stage_issue(&mut self, ctx: &mut CpuCtx<'_>) {
+        let now = ctx.now;
+        let mut used = [0usize; N_CLASSES];
+        let mut budget = self.cfg.issue_width;
+        let mut idx = 0;
+        while budget > 0 && idx < self.rob.len() {
+            if self.rob[idx].state != EState::Dispatched
+                || self.rob[idx].is_syscall()
+                || self.rob[idx].bad_fetch
+            {
+                idx += 1;
+                continue;
+            }
+            let class = self.rob[idx].instr.fu_class();
+            let ci = class_idx(class);
+            if used[ci] >= self.cfg.fu_count(class)
+                || (!self.cfg.fu_pipelined(class) && self.fu_busy_until[ci] > now)
+            {
+                idx += 1;
+                continue;
+            }
+            let e = &self.rob[idx];
+            if !(self.src_ready(e.src_int[0])
+                && self.src_ready(e.src_int[1])
+                && self.src_ready(e.src_fp[0])
+                && self.src_ready(e.src_fp[1]))
+            {
+                idx += 1;
+                continue;
+            }
+
+            if self.rob[idx].instr.is_mem() {
+                if !self.try_issue_mem(idx, now, ctx) {
+                    idx += 1;
+                    continue;
+                }
+            } else {
+                let lat = self.cfg.fu_latency(class);
+                self.rob[idx].state = EState::Executing { done: now + lat };
+                if !self.cfg.fu_pipelined(class) {
+                    self.fu_busy_until[ci] = now + lat;
+                }
+            }
+            used[ci] += 1;
+            budget -= 1;
+            ctx.stats.issued += 1;
+            idx += 1;
+        }
+    }
+
+    /// Try to issue the memory instruction at ROB index `idx`.
+    /// Returns false if it must wait (dependences, MSHRs, ordering).
+    fn try_issue_mem(&mut self, idx: usize, now: u64, ctx: &mut CpuCtx<'_>) -> bool {
+        let ops = self.operands_for(&self.rob[idx]);
+        let fx = exec::execute(&self.rob[idx].instr, ops);
+        let m = fx.mem.expect("memory instruction");
+        let is_store = self.rob[idx].is_store();
+
+        if is_store {
+            // Stores "execute" by recording address + value; the access
+            // happens post-commit through the store buffer.
+            let e = &mut self.rob[idx];
+            e.mem_addr = Some(m.addr);
+            e.store_val = Some(m.store_val);
+            e.state = EState::Executing { done: now + 1 };
+            return true;
+        }
+
+        // Loads: conservative memory ordering — all older stores must have
+        // known addresses.
+        let mut forward: Option<u64> = None;
+        for j in (0..idx).rev() {
+            let older = &self.rob[j];
+            if !older.is_store() {
+                continue;
+            }
+            match older.mem_addr {
+                None => return false, // unknown older store address
+                Some(a) if a == m.addr => {
+                    forward = Some(older.store_val.expect("store address implies value"));
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        if forward.is_none() {
+            // The post-commit store buffer also forwards (youngest first).
+            for sb in self.store_buffer.iter().rev() {
+                if sb.addr == m.addr {
+                    forward = Some(sb.val);
+                    break;
+                }
+            }
+        }
+
+        if let Some(v) = forward {
+            let e = &mut self.rob[idx];
+            e.mem_addr = Some(m.addr);
+            e.forwarded = Some(v);
+            e.state = EState::Executing { done: now + 1 };
+            return true;
+        }
+
+        let block = block_of(m.addr);
+        match self.l1d.read(block) {
+            L1Outcome::Hit => {
+                let lat = self.l1_hit_lat;
+                let e = &mut self.rob[idx];
+                e.mem_addr = Some(m.addr);
+                e.state = EState::Executing { done: now + lat };
+                true
+            }
+            _ => {
+                let id = self.rob[idx].id;
+                match self.mshr.allocate(block, Waiter::Load { id }) {
+                    MshrAlloc::Primary => {
+                        ctx.host.emit(OutKind::DMem { req: ReqKind::GetS, block });
+                    }
+                    MshrAlloc::Secondary => {}
+                    MshrAlloc::Full => return false,
+                }
+                let e = &mut self.rob[idx];
+                e.mem_addr = Some(m.addr);
+                e.state = EState::WaitMem;
+                true
+            }
+        }
+    }
+
+    fn stage_dispatch(&mut self, ctx: &mut CpuCtx<'_>) {
+        let mut budget = self.cfg.issue_width;
+        while budget > 0 && self.rob.len() < self.cfg.rob_entries {
+            // Serialize on syscalls: nothing dispatches past one.
+            if self.rob.iter().any(|e| e.is_syscall()) {
+                break;
+            }
+            let Some(f) = self.fetch_q.front().copied() else { break };
+            if f.instr.is_mem() && self.lsq_used >= self.cfg.lsq_entries {
+                break;
+            }
+            self.fetch_q.pop_front();
+
+            let [s1, s2] = f.instr.int_srcs();
+            let [f1, f2] = f.instr.fp_srcs();
+            let src_int = [
+                s1.and_then(|r| self.int_map[r.index()]),
+                s2.and_then(|r| self.int_map[r.index()]),
+            ];
+            let src_fp = [
+                f1.and_then(|r| self.fp_map[r.index()]),
+                f2.and_then(|r| self.fp_map[r.index()]),
+            ];
+            let id = self.next_id;
+            self.next_id += 1;
+            if f.instr.is_mem() {
+                self.lsq_used += 1;
+            }
+            if let Some(rd) = f.instr.int_dst() {
+                if rd.index() != 0 {
+                    self.int_map[rd.index()] = Some(id);
+                }
+            }
+            if let Some(fd) = f.instr.fp_dst() {
+                self.fp_map[fd.index()] = Some(id);
+            }
+            let state = if matches!(f.instr, Instr::Nop) && !f.bad_fetch {
+                EState::Completed
+            } else {
+                EState::Dispatched
+            };
+            self.rob.push_back(RobEntry {
+                id,
+                pc: f.pc,
+                instr: f.instr,
+                state,
+                src_int,
+                src_fp,
+                int_result: None,
+                fp_result: None,
+                pred_taken: f.pred_taken,
+                pred_target: f.pred_target,
+                mem_addr: None,
+                store_val: None,
+                forwarded: None,
+                mispredicted: false,
+                bad_fetch: f.bad_fetch,
+            });
+            budget -= 1;
+            let _ = ctx;
+        }
+    }
+
+    fn stage_fetch(&mut self, ctx: &mut CpuCtx<'_>) {
+        let now = ctx.now;
+        if self.wait_jalr || now < self.fetch_stall_until || self.ifetch.is_some() {
+            return;
+        }
+        let mut budget = self.cfg.fetch_width;
+        while budget > 0 && self.fetch_q.len() < self.cfg.fetch_queue {
+            let block = block_of(self.pc);
+            match self.l1i.read(block) {
+                L1Outcome::Hit => {}
+                _ => {
+                    ctx.host.emit(OutKind::IMem { block });
+                    self.ifetch = Some((block, None));
+                    return;
+                }
+            }
+            let word = ctx.host.fetch_word(self.pc);
+            let (instr, bad) = match decode(word) {
+                Ok(i) => (i, false),
+                Err(_) => (Instr::Nop, true),
+            };
+            ctx.stats.fetched += 1;
+
+            let mut pred_taken = false;
+            let mut pred_target = 0;
+            let mut redirect: Option<u64> = None;
+            let mut stop_fetch = bad; // don't fetch past garbage
+            match instr {
+                Instr::J { off } => {
+                    pred_taken = true;
+                    pred_target = exec::rel_target(self.pc, off);
+                    redirect = Some(pred_target);
+                }
+                Instr::Jal { rd, off } => {
+                    if rd == Reg::RA {
+                        // A call: remember the return address.
+                        if self.ras.len() == RAS_DEPTH {
+                            self.ras.remove(0);
+                        }
+                        self.ras.push(self.pc + WORD_BYTES);
+                    }
+                    pred_taken = true;
+                    pred_target = exec::rel_target(self.pc, off);
+                    redirect = Some(pred_target);
+                }
+                Instr::Jalr { rd, rs1, .. } if rd == Reg::ZERO && rs1 == Reg::RA => {
+                    // A return: predict through the RAS; fall back to a
+                    // fetch stall when the stack is empty. A wrong pop is
+                    // repaired by the normal mispredict flush at execute.
+                    match self.ras.pop() {
+                        Some(t) => {
+                            pred_taken = true;
+                            pred_target = t;
+                            redirect = Some(t);
+                        }
+                        None => {
+                            self.wait_jalr = true;
+                            stop_fetch = true;
+                        }
+                    }
+                }
+                Instr::Jalr { rd, .. } => {
+                    if rd == Reg::RA {
+                        // Indirect call: push the link even though the
+                        // target itself stalls fetch.
+                        if self.ras.len() == RAS_DEPTH {
+                            self.ras.remove(0);
+                        }
+                        self.ras.push(self.pc + WORD_BYTES);
+                    }
+                    // Target unknown until execute: stall fetch.
+                    self.wait_jalr = true;
+                    stop_fetch = true;
+                }
+                ref i if i.is_cond_branch() => {
+                    let off = i.rel_target().expect("conditional branches are direct");
+                    let target = exec::rel_target(self.pc, off);
+                    if self.bpred.predict(self.pc) {
+                        pred_taken = true;
+                        pred_target = target;
+                        redirect = Some(target);
+                    } else {
+                        pred_target = target;
+                    }
+                }
+                _ => {}
+            }
+
+            self.fetch_q.push_back(Fetched {
+                pc: self.pc,
+                instr,
+                pred_taken,
+                pred_target,
+                bad_fetch: bad,
+            });
+            budget -= 1;
+            match redirect {
+                Some(t) => {
+                    self.pc = t;
+                    // A taken control transfer ends the fetch group.
+                    break;
+                }
+                None => self.pc += WORD_BYTES,
+            }
+            if stop_fetch {
+                break;
+            }
+        }
+    }
+}
+
+impl Cpu for OooCpu {
+    fn step(&mut self, ctx: &mut CpuCtx<'_>) {
+        for (kind, block) in self.pending_evictions.drain(..) {
+            ctx.host.emit(OutKind::DMem { req: kind, block });
+        }
+        if !self.running || self.finished {
+            ctx.stats.idle_cycles += 1;
+            return;
+        }
+        if self.extra_stall > 0 {
+            self.extra_stall -= 1;
+            ctx.stats.ff_stall_cycles += 1;
+            return;
+        }
+        self.stage_complete(ctx);
+        let committed = self.stage_commit(ctx);
+        if committed == 0 && !self.finished {
+            ctx.stats.stall_cycles += 1;
+        }
+        if self.finished {
+            return;
+        }
+        self.stage_store_buffer(ctx);
+        self.stage_issue(ctx);
+        self.stage_dispatch(ctx);
+        self.stage_fetch(ctx);
+    }
+
+    fn start_thread(&mut self, entry: u64, arg: u64, tid: u32) {
+        self.pc = entry;
+        self.regs = [0; 32];
+        self.fregs = [0.0; 32];
+        self.regs[Reg::arg(0).index()] = arg;
+        self.regs[Reg::TP.index()] = tid as u64;
+        self.regs[Reg::SP.index()] = layout::stack_top(tid as usize);
+        self.regs[Reg::GP.index()] = layout::DATA_BASE;
+        self.running = true;
+    }
+
+    fn running(&self) -> bool {
+        self.running
+    }
+
+    fn finished(&self) -> bool {
+        self.finished
+    }
+
+    fn mem_reply(&mut self, block: BlockAddr, granted: LineState, ts: u64) {
+        self.fill_tracked(block, granted);
+        for w in self.mshr.complete(block) {
+            match w {
+                Waiter::Load { id } => {
+                    // Squashed loads simply no longer exist (ids are never
+                    // reused), so surviving-but-flushed-epoch loads still
+                    // get their wakeup.
+                    if let Some(entry) = self.entry_mut(id) {
+                        if entry.state == EState::WaitMem {
+                            entry.state = EState::Executing { done: ts };
+                        }
+                    }
+                }
+                Waiter::StoreBuf => {
+                    for sb in self.store_buffer.iter_mut() {
+                        if block_of(sb.addr) == block && sb.state == SbState::Waiting {
+                            sb.state = SbState::Ready(ts);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn imem_reply(&mut self, block: BlockAddr, ts: u64) {
+        self.l1i.fill(block, LineState::Shared);
+        if let Some((b, _)) = self.ifetch {
+            if b == block {
+                // Fetch resumes once the fill's timestamp has passed.
+                self.fetch_stall_until = self.fetch_stall_until.max(ts);
+                self.ifetch = None;
+            }
+        }
+    }
+
+    fn invalidate(&mut self, block: BlockAddr, downgrade: bool) {
+        if downgrade {
+            self.l1d.apply_downgrade(block);
+            return;
+        }
+        if self.mshr.contains(block) {
+            self.inv_while_pending.push(block);
+        }
+        self.l1d.apply_invalidate(block);
+        self.l1i.apply_invalidate(block);
+    }
+
+    fn add_stall(&mut self, cycles: u64) {
+        self.extra_stall += cycles;
+    }
+
+    fn flush_cache_stats(&self, stats: &mut CoreStats) {
+        stats.l1d = self.l1d.stats();
+        stats.l1i = self.l1i.stats();
+    }
+
+    fn quiesced(&self) -> bool {
+        self.rob.is_empty()
+            && self.store_buffer.is_empty()
+            && self.fetch_q.is_empty()
+            && self.mshr.is_empty()
+    }
+
+    fn debug_state(&self) -> String {
+        format!(
+            "pc={:#x} rob[{}] head={:?} sb={:?} mshr=[{}] ifetch={:?} wait_jalr={} sys={:?} fq={}",
+            self.pc,
+            self.rob.len(),
+            self.rob.front().map(|e| (e.id, e.instr, e.state)),
+            self.store_buffer.iter().map(|e| (sk_mem::block_of(e.addr), e.state)).collect::<Vec<_>>(),
+            self.mshr.iter().map(|(b, w)| format!("{b}:{w:?}")).collect::<Vec<_>>().join(","),
+            self.ifetch,
+            self.wait_jalr,
+            self.sys_state,
+            self.fetch_q.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::tests_support::run_to_exit;
+    use sk_isa::{FReg, ProgramBuilder, Syscall};
+
+    fn ooo(cfg: &TargetConfig) -> Box<dyn Cpu> {
+        let mut c = *cfg;
+        c.core = crate::config::CoreConfig::paper_ooo();
+        Box::new(OooCpu::new(&c))
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::tmp(0), 6);
+        b.li(Reg::tmp(1), 7);
+        b.mul(Reg::arg(0), Reg::tmp(0), Reg::tmp(1));
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, stats) = run_to_exit(ooo, &p, 10_000);
+        assert_eq!(host.printed, vec![42]);
+        assert_eq!(stats.committed, 5);
+    }
+
+    #[test]
+    fn dependent_chain_respects_dataflow() {
+        // r = ((((1+1)+1)...)+1) 20 times; any renaming bug corrupts it.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::arg(0), 1);
+        for _ in 0..20 {
+            b.addi(Reg::arg(0), Reg::arg(0), 1);
+        }
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, _) = run_to_exit(ooo, &p, 10_000);
+        assert_eq!(host.printed, vec![21]);
+    }
+
+    #[test]
+    fn loop_with_branches() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::tmp(0), 100);
+        b.li(Reg::arg(0), 0);
+        let top = b.here("top");
+        b.add(Reg::arg(0), Reg::arg(0), Reg::tmp(0));
+        b.addi(Reg::tmp(0), Reg::tmp(0), -1);
+        b.bne(Reg::tmp(0), Reg::ZERO, top);
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, stats) = run_to_exit(ooo, &p, 50_000);
+        assert_eq!(host.printed, vec![5050]);
+        assert_eq!(stats.branches, 100);
+        // The predictor learns the loop after a couple of iterations.
+        assert!(stats.mispredicts < 10, "mispredicts = {}", stats.mispredicts);
+    }
+
+    #[test]
+    fn wrong_path_work_is_squashed() {
+        // A data-dependent unpredictable branch alternates each iteration.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::tmp(0), 50);
+        b.li(Reg::arg(0), 0);
+        b.li(Reg::tmp(1), 0); // parity
+        let top = b.here("top");
+        let skip = b.new_label("skip");
+        b.andi(Reg::tmp(2), Reg::tmp(0), 1);
+        b.beq(Reg::tmp(2), Reg::ZERO, skip);
+        b.addi(Reg::arg(0), Reg::arg(0), 1); // odd iterations only
+        b.bind(skip);
+        b.addi(Reg::tmp(0), Reg::tmp(0), -1);
+        b.bne(Reg::tmp(0), Reg::ZERO, top);
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, stats) = run_to_exit(ooo, &p, 50_000);
+        assert_eq!(host.printed, vec![25]);
+        assert!(stats.fetched > stats.committed, "speculation fetches extra work");
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let mut b = ProgramBuilder::new();
+        let buf = b.zeros("buf", 1);
+        b.li(Reg::tmp(2), buf as i64);
+        b.li(Reg::tmp(0), 777);
+        b.st(Reg::tmp(0), Reg::tmp(2), 0);
+        b.ld(Reg::arg(0), Reg::tmp(2), 0); // must see 777 via forwarding
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, _) = run_to_exit(ooo, &p, 10_000);
+        assert_eq!(host.printed, vec![777]);
+    }
+
+    #[test]
+    fn memory_results_round_trip() {
+        let mut b = ProgramBuilder::new();
+        let buf = b.zeros("buf", 8);
+        b.li(Reg::tmp(2), buf as i64);
+        for i in 0..8 {
+            b.li(Reg::tmp(0), (i * i) as i64);
+            b.st(Reg::tmp(0), Reg::tmp(2), i * 8);
+        }
+        b.li(Reg::arg(0), 0);
+        for i in 0..8 {
+            b.ld(Reg::tmp(1), Reg::tmp(2), i * 8);
+            b.add(Reg::arg(0), Reg::arg(0), Reg::tmp(1));
+        }
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, stats) = run_to_exit(ooo, &p, 50_000);
+        assert_eq!(host.printed, vec![(0..8).map(|i| i * i).sum::<i64>()]);
+        assert_eq!(stats.stores, 8);
+        assert_eq!(stats.loads, 8);
+    }
+
+    #[test]
+    fn fp_dataflow() {
+        let mut b = ProgramBuilder::new();
+        let c = b.floats("c", &[3.0, 4.0]);
+        b.li(Reg::tmp(2), c as i64);
+        b.fld(FReg::new(1), Reg::tmp(2), 0);
+        b.fld(FReg::new(2), Reg::tmp(2), 8);
+        b.fmul(FReg::new(1), FReg::new(1), FReg::new(1)); // 9
+        b.fmul(FReg::new(2), FReg::new(2), FReg::new(2)); // 16
+        b.fadd(FReg::new(3), FReg::new(1), FReg::new(2)); // 25
+        b.fsqrt(FReg::new(3), FReg::new(3)); // 5
+        b.emit(Instr::Fcvtfl { rd: Reg::arg(0), fs1: FReg::new(3) });
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, _) = run_to_exit(ooo, &p, 10_000);
+        assert_eq!(host.printed, vec![5]);
+    }
+
+    #[test]
+    fn function_calls_through_jalr() {
+        let mut b = ProgramBuilder::new();
+        let main = b.new_label("main");
+        let double = b.new_label("double");
+        b.entry(main);
+        b.bind(double);
+        b.add(Reg::arg(0), Reg::arg(0), Reg::arg(0));
+        b.ret();
+        b.bind(main);
+        b.li(Reg::arg(0), 21);
+        b.call(double);
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, _) = run_to_exit(ooo, &p, 10_000);
+        assert_eq!(host.printed, vec![42]);
+    }
+
+    /// A loop whose body is 8 independent adds (high ILP, warm I-cache).
+    fn ilp_loop(iters: i64) -> sk_isa::Program {
+        let mut b = ProgramBuilder::new();
+        for i in 0..8 {
+            b.li(Reg::saved(i), 1);
+        }
+        b.li(Reg::tmp(0), iters);
+        let top = b.here("top");
+        for i in 0..8 {
+            b.addi(Reg::saved(i), Reg::saved(i), 1);
+        }
+        b.addi(Reg::tmp(0), Reg::tmp(0), -1);
+        b.bne(Reg::tmp(0), Reg::ZERO, top);
+        b.sys(Syscall::Exit);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ooo_is_faster_than_inorder_on_ilp() {
+        let (_, ooo_stats) = run_to_exit(ooo, &ilp_loop(200), 100_000);
+        let (_, io_stats) = run_to_exit(
+            |cfg| Box::new(crate::cpu::inorder::InOrderCpu::new(cfg)) as Box<dyn Cpu>,
+            &ilp_loop(200),
+            100_000,
+        );
+        assert!(
+            ooo_stats.cycles * 2 < io_stats.cycles,
+            "OoO {} cycles vs in-order {} cycles",
+            ooo_stats.cycles,
+            io_stats.cycles
+        );
+    }
+
+    #[test]
+    fn ilp_ipc_exceeds_one() {
+        let (_, stats) = run_to_exit(ooo, &ilp_loop(200), 100_000);
+        assert!(stats.ipc() > 1.2, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn returns_are_predicted_through_the_ras() {
+        // A tight call loop: with the RAS, returns should not stall fetch,
+        // so the loop runs much faster than one call per ~10 cycles.
+        let mut b = ProgramBuilder::new();
+        let main = b.new_label("main");
+        let f = b.new_label("f");
+        b.entry(main);
+        b.bind(f);
+        b.addi(Reg::arg(0), Reg::arg(0), 1);
+        b.ret();
+        b.bind(main);
+        b.li(Reg::arg(0), 0);
+        b.li(Reg::tmp(0), 100);
+        let top = b.here("top");
+        b.call(f);
+        b.addi(Reg::tmp(0), Reg::tmp(0), -1);
+        b.bne(Reg::tmp(0), Reg::ZERO, top);
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, stats) = run_to_exit(ooo, &p, 50_000);
+        assert_eq!(host.printed, vec![100]);
+        // 100 iterations x 4 instructions + overhead: with predicted
+        // returns this takes ~2-4 cycles/iteration; a stalling return
+        // would cost >= 7 cycles/iteration.
+        assert!(stats.cycles < 600, "cycles = {} (RAS not effective?)", stats.cycles);
+    }
+
+    #[test]
+    fn unpipelined_divides_serialize_on_their_unit() {
+        // Two independent divides must serialize (1 unpipelined divider);
+        // two independent multiplies pipeline back to back.
+        let mk = |div: bool| {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg::tmp(0), 1000);
+            b.li(Reg::tmp(1), 7);
+            for i in 0..6 {
+                if div {
+                    b.div(Reg::saved(i), Reg::tmp(0), Reg::tmp(1));
+                } else {
+                    b.mul(Reg::saved(i), Reg::tmp(0), Reg::tmp(1));
+                }
+            }
+            b.sys(Syscall::Exit);
+            b.build().unwrap()
+        };
+        let (_, div_stats) = run_to_exit(ooo, &mk(true), 10_000);
+        let (_, mul_stats) = run_to_exit(ooo, &mk(false), 10_000);
+        // 6 divides at 20 cycles unpipelined >= 120 cycles; 6 pipelined
+        // multiplies complete in a small fraction of that.
+        assert!(
+            div_stats.cycles > mul_stats.cycles + 80,
+            "div {} vs mul {}",
+            div_stats.cycles,
+            mul_stats.cycles
+        );
+    }
+
+    #[test]
+    fn rename_map_survives_a_flush() {
+        // A mispredicted branch flushes younger instructions; values
+        // produced before the branch must still reach consumers dispatched
+        // after the recovery (exercises the map rebuild).
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::saved(0), 17); // produced before the branch
+        b.li(Reg::tmp(0), 1);
+        let skip = b.new_label("skip");
+        // Data-dependent branch the bimodal cannot know yet: taken.
+        b.bne(Reg::tmp(0), Reg::ZERO, skip);
+        b.li(Reg::saved(0), 999); // wrong path
+        b.bind(skip);
+        b.addi(Reg::arg(0), Reg::saved(0), 5); // must read 17
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, _) = run_to_exit(ooo, &p, 10_000);
+        assert_eq!(host.printed, vec![22]);
+    }
+
+    #[test]
+    fn store_buffer_drains_in_order() {
+        // More committed stores than store-buffer slots: all must land,
+        // later loads must see the final values.
+        let mut b = ProgramBuilder::new();
+        let buf = b.zeros("buf", 16);
+        b.li(Reg::tmp(2), buf as i64);
+        for round in 0..2 {
+            for i in 0..16 {
+                b.li(Reg::tmp(0), (round * 100 + i) as i64);
+                b.st(Reg::tmp(0), Reg::tmp(2), i * 8);
+            }
+        }
+        b.li(Reg::arg(0), 0);
+        for i in 0..16 {
+            b.ld(Reg::tmp(1), Reg::tmp(2), i * 8);
+            b.add(Reg::arg(0), Reg::arg(0), Reg::tmp(1));
+        }
+        b.sys(Syscall::PrintInt);
+        b.sys(Syscall::Exit);
+        let p = b.build().unwrap();
+        let (host, _) = run_to_exit(ooo, &p, 50_000);
+        let expected: i64 = (0..16).map(|i| 100 + i).sum();
+        assert_eq!(host.printed, vec![expected]);
+    }
+
+    #[test]
+    fn runaway_pc_terminates() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        let p = b.build().unwrap();
+        let (_, _) = run_to_exit(ooo, &p, 10_000);
+    }
+}

@@ -1,0 +1,349 @@
+//! The parallel simulation engine: N core Pthreads + one manager thread.
+//!
+//! This is SlackSim's execution model (paper Fig. 1): each target core is
+//! simulated by one host thread; the simulation manager thread simulates
+//! the lower cache hierarchy and paces the run by publishing global time
+//! and per-core max local times through shared memory.
+
+use crate::clock::ClockBoard;
+use crate::config::{CoreModel, StopCondition, TargetConfig};
+use crate::core_thread::{CoreOutput, CoreSim, RoiState};
+use crate::cpu::{inorder::InOrderCpu, ooo::OooCpu, Cpu};
+use crate::msg::{InMsg, OutEvent};
+use crate::scheme::Scheme;
+use crate::spsc;
+use crate::stats::{EngineStats, SimReport, ViolationReport};
+use crate::uncore::Uncore;
+use crate::violation::ConflictTracker;
+use sk_isa::Program;
+use sk_mem::FuncMemory;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Ring capacity of each InQ/OutQ.
+const QUEUE_CAP: usize = 4096;
+
+pub(crate) fn build_cpu(cfg: &TargetConfig) -> Box<dyn Cpu> {
+    match cfg.core.model {
+        CoreModel::OutOfOrder => Box::new(OooCpu::new(cfg)),
+        CoreModel::InOrder => Box::new(InOrderCpu::new(cfg)),
+    }
+}
+
+pub(crate) struct Plumbing {
+    pub cores: Vec<CoreSim>,
+    pub out_consumers: Vec<spsc::Consumer<OutEvent>>,
+    pub in_producers: Vec<spsc::Producer<InMsg>>,
+    pub tracker: Option<Arc<ConflictTracker>>,
+    pub roi: Arc<RoiState>,
+}
+
+/// Wire up cores, queues, functional memory and the violation tracker.
+pub(crate) fn plumb(program: &Program, cfg: &TargetConfig) -> Plumbing {
+    cfg.validate().expect("invalid target configuration");
+    program.validate().expect("program failed validation");
+    let mem = FuncMemory::new();
+    mem.load(program.image());
+    let tracker = if cfg.track_workload_violations || cfg.fast_forward_compensation {
+        Some(Arc::new(ConflictTracker::new(cfg.fast_forward_compensation)))
+    } else {
+        None
+    };
+    let roi = Arc::new(RoiState::default());
+
+    let mut cores = Vec::with_capacity(cfg.n_cores);
+    let mut out_consumers = Vec::with_capacity(cfg.n_cores);
+    let mut in_producers = Vec::with_capacity(cfg.n_cores);
+    for id in 0..cfg.n_cores {
+        let (in_p, in_c) = spsc::channel(QUEUE_CAP);
+        let (out_p, out_c) = spsc::channel(QUEUE_CAP);
+        let cpu = build_cpu(cfg);
+        cores.push(CoreSim::new(id, cfg, cpu, in_c, out_p, mem.clone(), tracker.clone(), roi.clone()));
+        out_consumers.push(out_c);
+        in_producers.push(in_p);
+    }
+    cores[0].start_main(program.entry);
+    Plumbing { cores, out_consumers, in_producers, tracker, roi }
+}
+
+pub(crate) fn violation_report(tracker: &Option<Arc<ConflictTracker>>) -> ViolationReport {
+    match tracker {
+        None => ViolationReport::default(),
+        Some(t) => ViolationReport {
+            store_past_load: t.stats.store_past_load.load(Ordering::Relaxed),
+            load_past_store: t.stats.load_past_store.load(Ordering::Relaxed),
+            compensations: t.stats.compensations.load(Ordering::Relaxed),
+            compensation_cycles: t.stats.compensation_cycles.load(Ordering::Relaxed),
+        },
+    }
+}
+
+pub(crate) fn assemble_report(
+    scheme: Scheme,
+    cfg: &TargetConfig,
+    outputs: Vec<CoreOutput>,
+    uncore: &Uncore,
+    engine: EngineStats,
+    violations: ViolationReport,
+    wall: Duration,
+) -> SimReport {
+    let exec_end = outputs.iter().map(|o| o.stats.cycles).max().unwrap_or(0);
+    let roi_start = uncore.roi_start.unwrap_or(0);
+    let mut traces = Vec::new();
+    let mut cores = Vec::new();
+    let mut have_traces = false;
+    for o in outputs {
+        if let Some(t) = o.trace {
+            have_traces = true;
+            traces.push(t);
+        } else {
+            traces.push(Vec::new());
+        }
+        cores.push(o.stats);
+    }
+    SimReport {
+        scheme: scheme.short_name(),
+        n_cores: cfg.n_cores,
+        exec_cycles: exec_end.saturating_sub(roi_start),
+        wall,
+        cores,
+        dir: uncore.dir.stats,
+        bus: uncore.dir.bus_stats(),
+        sync: uncore.sync.stats,
+        engine,
+        violations,
+        traces: if have_traces { Some(traces) } else { None },
+        slack_profile: None,
+    }
+}
+
+/// Run `program` on the parallel engine under `scheme`.
+///
+/// One host thread per target core plus a manager thread, exactly as in
+/// the paper ("simulation is composed of 9 POSIX threads that simulate an
+/// 8-core target CMP"). With `cfg.mem_shards > 0`, additional sharded
+/// memory-manager threads carry the directory/L2 work (the paper's §2.2
+/// "split the manager" suggestion; see `crate::shard`).
+pub fn run_parallel(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> SimReport {
+    let Plumbing { mut cores, mut out_consumers, in_producers, tracker, roi } = plumb(program, cfg);
+    let n = cfg.n_cores;
+
+    let initial_window = match scheme {
+        Scheme::AdaptiveQuantum { min, .. } => min,
+        s => s.window(0),
+    };
+    let board = Arc::new(ClockBoard::new(n, initial_window));
+    let mut uncore = Uncore::new(cfg, scheme, in_producers, Some(board.clone()));
+
+    // ---- sharded memory managers (extension; cfg.mem_shards > 0) ----
+    let n_shards = cfg.mem_shards.min(cfg.mem.n_banks);
+    let mut shards: Vec<crate::shard::MemShard> = Vec::new();
+    let mut shard_signals: Vec<Arc<crate::shard::ShardSignal>> = Vec::new();
+    if n_shards > 0 {
+        // rings[s][c]: events core c -> shard s; replies shard s -> core c.
+        let mut ev_consumers: Vec<Vec<spsc::Consumer<OutEvent>>> =
+            (0..n_shards).map(|_| Vec::new()).collect();
+        let mut reply_producers: Vec<Vec<spsc::Producer<InMsg>>> =
+            (0..n_shards).map(|_| Vec::new()).collect();
+        shard_signals = (0..n_shards)
+            .map(|_| Arc::new(crate::shard::ShardSignal::default()))
+            .collect();
+        for core in cores.iter_mut() {
+            let mut my_reply_rings = Vec::new();
+            let mut my_event_rings = Vec::new();
+            for s in 0..n_shards {
+                let (ev_p, ev_c) = spsc::channel(QUEUE_CAP);
+                let (rep_p, rep_c) = spsc::channel(QUEUE_CAP);
+                ev_consumers[s].push(ev_c);
+                reply_producers[s].push(rep_p);
+                my_event_rings.push(ev_p);
+                my_reply_rings.push(rep_c);
+            }
+            core.attach_shards(my_reply_rings, my_event_rings, shard_signals.clone());
+        }
+        for (s, (evc, repp)) in ev_consumers.into_iter().zip(reply_producers).enumerate() {
+            shards.push(crate::shard::MemShard::new(s, cfg, scheme, evc, repp, board.clone()));
+        }
+    }
+    let shard_frontiers: Vec<_> = shards.iter().map(|s| s.frontier.clone()).collect();
+    let ordered_scheme =
+        scheme.ordering() != crate::scheme::EventOrdering::Eager && !shard_frontiers.is_empty();
+
+    let t0 = Instant::now();
+    let mut engine = EngineStats::default();
+    let mut slack_profile: Vec<(u64, u64)> = Vec::new();
+    // Consecutive manager iterations with nothing to do while unfinished
+    // cores exist: a workload deadlock (e.g. a barrier that can never be
+    // released). Global time is frozen in that state, so the max_cycles
+    // backstop alone cannot fire.
+    let mut quiet_iters = 0u32;
+
+    let mut shard_results: Vec<crate::shard::MemShard> = Vec::new();
+    let outputs: Vec<CoreOutput> = std::thread::scope(|s| {
+        let handles: Vec<_> = cores
+            .into_iter()
+            .map(|core| {
+                let board = board.clone();
+                s.spawn(move || core.run(&board))
+            })
+            .collect();
+        let shard_handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let sig = shard_signals[shard.index].clone();
+                s.spawn(move || shard.run(sig))
+            })
+            .collect();
+
+        // ---- the manager thread (paper §2.1) ----
+        loop {
+            board.manager_wait(Duration::from_micros(200));
+            // Order matters for determinism of ordered schemes: publish
+            // global time first, then drain (every event with ts ≤ global
+            // is already in its ring by the release/acquire pairing on
+            // local time), then process up to the horizon.
+            let (g, all_done) = board.recompute_global();
+            engine.global_updates += 1;
+            let slack_now = board.observed_slack();
+            engine.max_observed_slack = engine.max_observed_slack.max(slack_now);
+            if cfg.record_trace
+                && slack_profile.len() < 1_000_000
+                && slack_profile.last().map(|&(pg, _)| pg) != Some(g)
+            {
+                slack_profile.push((g, slack_now));
+            }
+            for (c, q) in out_consumers.iter_mut().enumerate() {
+                while let Some(ev) = q.pop() {
+                    uncore.ingest(c, ev);
+                }
+            }
+            // When no core is actively driving global time (all blocked in
+            // sync calls / parked / finished), advance the processing
+            // horizon to the earliest queued event so barrier arrivals can
+            // complete and release the waiters.
+            let quiescent = board.active_count() == 0;
+            let g_eff = if quiescent {
+                uncore.min_pending_ts().map_or(g, |t| g.max(t))
+            } else {
+                g
+            };
+            if quiescent {
+                // Sync-blocked cores cannot complete the current quantum;
+                // process pending events directly so they can be released.
+                uncore.process_all_upto(g_eff);
+            } else {
+                uncore.process_ready(g_eff);
+            }
+            // Windows derive from the *true* global time: g_eff is only a
+            // processing horizon and may sit on a future event timestamp —
+            // deriving windows from it would let cores tick past
+            // global + slack, breaking the discipline. With sharded
+            // managers and an ordered scheme, windows additionally hold
+            // back to the slowest shard's processed frontier so no core
+            // outruns an undelivered reply.
+            let g_window = if ordered_scheme {
+                let fmin = shard_frontiers
+                    .iter()
+                    .map(|f| f.load(Ordering::Acquire))
+                    .min()
+                    .unwrap_or(g);
+                g.min(fmin)
+            } else {
+                g
+            };
+            let w = uncore.window(g_window);
+            for c in 0..n {
+                board.raise_max_local(c, w);
+            }
+            uncore.flush_overflow();
+
+            if all_done {
+                if std::env::var_os("SK_TRACE").is_some() {
+                    eprintln!("[mgr] stop: all_done at g={g}");
+                }
+                break;
+            }
+            if quiescent && !board.any_mem_waiting() && uncore.min_pending_ts().is_none() {
+                quiet_iters += 1;
+                if quiet_iters > 500 {
+                    // ~100 ms of continuous quiescence: the workload is
+                    // deadlocked (sync-blocked with nothing in flight).
+                    break;
+                }
+            } else {
+                quiet_iters = 0;
+            }
+            if let StopCondition::RoiInstructions(limit) = cfg.stop {
+                if roi.committed.load(Ordering::Relaxed) >= limit {
+                    break;
+                }
+            }
+            if g >= cfg.max_cycles {
+                if std::env::var_os("SK_TRACE").is_some() {
+                    eprintln!("[mgr] stop: max_cycles at g={g}");
+                }
+                break;
+            }
+            if board.stopping() {
+                if std::env::var_os("SK_TRACE").is_some() {
+                    eprintln!("[mgr] stop: stopping at g={g}");
+                }
+                break;
+            }
+        }
+        uncore.broadcast_stop();
+        board.stop_all();
+        for sig in &shard_signals {
+            sig.signal();
+        }
+
+        // Final drain so late events (Exit, statistics) are accounted.
+        let handles: Vec<CoreOutput> = handles.into_iter().map(|h| h.join().expect("core thread panicked")).collect();
+        shard_results = shard_handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect();
+        for (c, q) in out_consumers.iter_mut().enumerate() {
+            while let Some(ev) = q.pop() {
+                uncore.ingest(c, ev);
+            }
+        }
+        uncore.process_ready(u64::MAX);
+        handles
+    });
+
+    engine.blocks = board.blocks.load(Ordering::Relaxed);
+    engine.wakeups = board.wakeups.load(Ordering::Relaxed);
+    engine.events_processed =
+        uncore.events_processed + shard_results.iter().map(|s| s.events_processed).sum::<u64>();
+    engine.final_quantum = uncore.current_quantum();
+
+    let violations = violation_report(&tracker);
+    let mut report =
+        assemble_report(scheme, cfg, outputs, &uncore, engine, violations, t0.elapsed());
+    if cfg.record_trace {
+        report.slack_profile = Some(slack_profile);
+    }
+    // Merge sharded directory/interconnect statistics.
+    for sh in &shard_results {
+        let d = sh.dir_stats();
+        let r = &mut report.dir;
+        r.gets += d.gets;
+        r.getm += d.getm;
+        r.upgrades += d.upgrades;
+        r.puts += d.puts;
+        r.invalidations_out += d.invalidations_out;
+        r.downgrades_out += d.downgrades_out;
+        r.l2_hits += d.l2_hits;
+        r.l2_misses += d.l2_misses;
+        r.writebacks += d.writebacks;
+        r.transition_inversions += d.transition_inversions;
+        let b = sh.bus_stats();
+        report.bus.grants += b.grants;
+        report.bus.conflicts += b.conflicts;
+        report.bus.wait_cycles += b.wait_cycles;
+        report.bus.inversions += b.inversions;
+    }
+    report
+}

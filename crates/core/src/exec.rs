@@ -1,0 +1,320 @@
+//! Functional (architectural) semantics of the mini ISA.
+//!
+//! Both core timing models delegate here. The paper stresses that SlackSim,
+//! unlike SimpleScalar, "executes each instruction when it reaches an
+//! execution unit" with "register values fetched just before execution"
+//! (§2.2) — so this module is invoked from the *execute* stage of the OoO
+//! model, never at dispatch.
+
+use sk_isa::{Instr, WORD_BYTES};
+
+/// Source operand values, read just before execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Operands {
+    /// First integer source.
+    pub rs1: u64,
+    /// Second integer source.
+    pub rs2: u64,
+    /// First FP source.
+    pub fs1: f64,
+    /// Second FP source.
+    pub fs2: f64,
+    /// PC of the instruction (for branches/links).
+    pub pc: u64,
+}
+
+/// Resolved control transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchOut {
+    /// Whether the branch/jump transfers control.
+    pub taken: bool,
+    /// Target PC when taken.
+    pub target: u64,
+}
+
+/// A memory access computed at execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemOp {
+    /// Effective byte address (word aligned).
+    pub addr: u64,
+    /// True for stores.
+    pub is_store: bool,
+    /// Store value (bit pattern for FP stores).
+    pub store_val: u64,
+}
+
+/// Architectural effects of one instruction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Effects {
+    /// Integer register result.
+    pub int_result: Option<u64>,
+    /// FP register result.
+    pub fp_result: Option<f64>,
+    /// Control transfer (conditional branches always present, with
+    /// `taken` resolved; jumps always taken).
+    pub branch: Option<BranchOut>,
+    /// Memory operation (loads fill `int/fp_result` later, when data
+    /// returns).
+    pub mem: Option<MemOp>,
+}
+
+#[inline]
+fn b2u(b: bool) -> u64 {
+    b as u64
+}
+
+/// PC-relative target of a branch with instruction offset `off`.
+#[inline]
+pub fn rel_target(pc: u64, off: i32) -> u64 {
+    pc.wrapping_add(WORD_BYTES)
+        .wrapping_add((off as i64).wrapping_mul(WORD_BYTES as i64) as u64)
+}
+
+/// Execute `i` over `ops`. Memory values are *not* read here: loads produce
+/// a [`MemOp`] and their result arrives from the memory system, preserving
+/// the timing-directed value semantics slack simulation depends on.
+pub fn execute(i: &Instr, ops: Operands) -> Effects {
+    use Instr::*;
+    let mut fx = Effects::default();
+    let link = ops.pc.wrapping_add(WORD_BYTES);
+    match *i {
+        Nop | Syscall { .. } => {}
+
+        Add { .. } => fx.int_result = Some(ops.rs1.wrapping_add(ops.rs2)),
+        Sub { .. } => fx.int_result = Some(ops.rs1.wrapping_sub(ops.rs2)),
+        Mul { .. } => fx.int_result = Some(ops.rs1.wrapping_mul(ops.rs2)),
+        Div { .. } => {
+            let (a, b) = (ops.rs1 as i64, ops.rs2 as i64);
+            fx.int_result = Some(if b == 0 { u64::MAX } else { a.wrapping_div(b) as u64 });
+        }
+        Rem { .. } => {
+            let (a, b) = (ops.rs1 as i64, ops.rs2 as i64);
+            fx.int_result = Some(if b == 0 { a as u64 } else { a.wrapping_rem(b) as u64 });
+        }
+        And { .. } => fx.int_result = Some(ops.rs1 & ops.rs2),
+        Or { .. } => fx.int_result = Some(ops.rs1 | ops.rs2),
+        Xor { .. } => fx.int_result = Some(ops.rs1 ^ ops.rs2),
+        Sll { .. } => fx.int_result = Some(ops.rs1.wrapping_shl(ops.rs2 as u32 & 63)),
+        Srl { .. } => fx.int_result = Some(ops.rs1.wrapping_shr(ops.rs2 as u32 & 63)),
+        Sra { .. } => {
+            fx.int_result = Some(((ops.rs1 as i64).wrapping_shr(ops.rs2 as u32 & 63)) as u64)
+        }
+        Slt { .. } => fx.int_result = Some(b2u((ops.rs1 as i64) < (ops.rs2 as i64))),
+        Sltu { .. } => fx.int_result = Some(b2u(ops.rs1 < ops.rs2)),
+
+        Addi { imm, .. } => fx.int_result = Some(ops.rs1.wrapping_add(imm as i64 as u64)),
+        Andi { imm, .. } => fx.int_result = Some(ops.rs1 & (imm as i64 as u64)),
+        Ori { imm, .. } => fx.int_result = Some(ops.rs1 | (imm as i64 as u64)),
+        Xori { imm, .. } => fx.int_result = Some(ops.rs1 ^ (imm as i64 as u64)),
+        Slli { imm, .. } => fx.int_result = Some(ops.rs1.wrapping_shl(imm as u32 & 63)),
+        Srli { imm, .. } => fx.int_result = Some(ops.rs1.wrapping_shr(imm as u32 & 63)),
+        Srai { imm, .. } => {
+            fx.int_result = Some(((ops.rs1 as i64).wrapping_shr(imm as u32 & 63)) as u64)
+        }
+        Slti { imm, .. } => fx.int_result = Some(b2u((ops.rs1 as i64) < (imm as i64))),
+        Li { imm, .. } => fx.int_result = Some(imm as i64 as u64),
+        Addih { imm, .. } => {
+            fx.int_result = Some(ops.rs1.wrapping_add(((imm as i64) << 32) as u64))
+        }
+
+        // Effective addresses are aligned down to the word: the machine
+        // ignores the low 3 bits (and wrong-path speculation routinely
+        // produces garbage addresses that must not fault the simulator).
+        Ld { imm, .. } | Fld { imm, .. } => {
+            fx.mem = Some(MemOp {
+                addr: ops.rs1.wrapping_add(imm as i64 as u64) & !7,
+                is_store: false,
+                store_val: 0,
+            });
+        }
+        St { imm, .. } => {
+            fx.mem = Some(MemOp {
+                addr: ops.rs1.wrapping_add(imm as i64 as u64) & !7,
+                is_store: true,
+                store_val: ops.rs2,
+            });
+        }
+        Fst { imm, .. } => {
+            fx.mem = Some(MemOp {
+                addr: ops.rs1.wrapping_add(imm as i64 as u64) & !7,
+                is_store: true,
+                store_val: ops.fs1.to_bits(),
+            });
+        }
+
+        Beq { off, .. } => {
+            fx.branch = Some(BranchOut { taken: ops.rs1 == ops.rs2, target: rel_target(ops.pc, off) })
+        }
+        Bne { off, .. } => {
+            fx.branch = Some(BranchOut { taken: ops.rs1 != ops.rs2, target: rel_target(ops.pc, off) })
+        }
+        Blt { off, .. } => fx.branch = Some(BranchOut {
+            taken: (ops.rs1 as i64) < (ops.rs2 as i64),
+            target: rel_target(ops.pc, off),
+        }),
+        Bge { off, .. } => fx.branch = Some(BranchOut {
+            taken: (ops.rs1 as i64) >= (ops.rs2 as i64),
+            target: rel_target(ops.pc, off),
+        }),
+        Bltu { off, .. } => {
+            fx.branch = Some(BranchOut { taken: ops.rs1 < ops.rs2, target: rel_target(ops.pc, off) })
+        }
+        Bgeu { off, .. } => {
+            fx.branch = Some(BranchOut { taken: ops.rs1 >= ops.rs2, target: rel_target(ops.pc, off) })
+        }
+        J { off } => fx.branch = Some(BranchOut { taken: true, target: rel_target(ops.pc, off) }),
+        Jal { off, .. } => {
+            fx.int_result = Some(link);
+            fx.branch = Some(BranchOut { taken: true, target: rel_target(ops.pc, off) });
+        }
+        Jalr { imm, .. } => {
+            fx.int_result = Some(link);
+            fx.branch = Some(BranchOut {
+                taken: true,
+                target: ops.rs1.wrapping_add(imm as i64 as u64) & !7,
+            });
+        }
+
+        Fadd { .. } => fx.fp_result = Some(ops.fs1 + ops.fs2),
+        Fsub { .. } => fx.fp_result = Some(ops.fs1 - ops.fs2),
+        Fmul { .. } => fx.fp_result = Some(ops.fs1 * ops.fs2),
+        Fdiv { .. } => fx.fp_result = Some(ops.fs1 / ops.fs2),
+        Fmin { .. } => fx.fp_result = Some(ops.fs1.min(ops.fs2)),
+        Fmax { .. } => fx.fp_result = Some(ops.fs1.max(ops.fs2)),
+        Fsqrt { .. } => fx.fp_result = Some(ops.fs1.sqrt()),
+        Fneg { .. } => fx.fp_result = Some(-ops.fs1),
+        Fabs { .. } => fx.fp_result = Some(ops.fs1.abs()),
+        Feq { .. } => fx.int_result = Some(b2u(ops.fs1 == ops.fs2)),
+        Flt { .. } => fx.int_result = Some(b2u(ops.fs1 < ops.fs2)),
+        Fle { .. } => fx.int_result = Some(b2u(ops.fs1 <= ops.fs2)),
+        Fcvtlf { .. } => fx.fp_result = Some(ops.rs1 as i64 as f64),
+        Fcvtfl { .. } => fx.int_result = Some(ops.fs1 as i64 as u64),
+        Fmvxf { .. } => fx.int_result = Some(ops.fs1.to_bits()),
+        Fmvfx { .. } => fx.fp_result = Some(f64::from_bits(ops.rs1)),
+    }
+    fx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_isa::{FReg, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+    fn f(i: u8) -> FReg {
+        FReg::new(i)
+    }
+    fn ops(rs1: u64, rs2: u64) -> Operands {
+        Operands { rs1, rs2, ..Default::default() }
+    }
+    fn fops(fs1: f64, fs2: f64) -> Operands {
+        Operands { fs1, fs2, ..Default::default() }
+    }
+
+    #[test]
+    fn integer_arithmetic_wraps() {
+        let i = Instr::Add { rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(execute(&i, ops(u64::MAX, 1)).int_result, Some(0));
+        let i = Instr::Mul { rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(execute(&i, ops(1 << 63, 2)).int_result, Some(0));
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let d = Instr::Div { rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(execute(&d, ops(10, 0)).int_result, Some(u64::MAX));
+        assert_eq!(execute(&d, ops(i64::MIN as u64, (-1i64) as u64)).int_result,
+                   Some(i64::MIN as u64));
+        assert_eq!(execute(&d, ops((-7i64) as u64, 2)).int_result, Some((-3i64) as u64));
+        let m = Instr::Rem { rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(execute(&m, ops(7, 0)).int_result, Some(7));
+        assert_eq!(execute(&m, ops((-7i64) as u64, 2)).int_result, Some((-1i64) as u64));
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        let i = Instr::Sll { rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(execute(&i, ops(1, 64)).int_result, Some(1));
+        let i = Instr::Sra { rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(execute(&i, ops((-8i64) as u64, 1)).int_result, Some((-4i64) as u64));
+    }
+
+    #[test]
+    fn compares_signed_and_unsigned() {
+        let slt = Instr::Slt { rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(execute(&slt, ops((-1i64) as u64, 0)).int_result, Some(1));
+        let sltu = Instr::Sltu { rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(execute(&sltu, ops((-1i64) as u64, 0)).int_result, Some(0));
+    }
+
+    #[test]
+    fn branch_targets_and_direction() {
+        let pc = 0x1000;
+        let b = Instr::Beq { rs1: r(1), rs2: r(2), off: -2 };
+        let fx = execute(&b, Operands { rs1: 5, rs2: 5, pc, ..Default::default() });
+        assert_eq!(fx.branch, Some(BranchOut { taken: true, target: 0x1000 + 8 - 16 }));
+        let fx = execute(&b, Operands { rs1: 5, rs2: 6, pc, ..Default::default() });
+        assert!(!fx.branch.unwrap().taken);
+    }
+
+    #[test]
+    fn jal_links_and_jumps() {
+        let pc = 0x2000;
+        let j = Instr::Jal { rd: Reg::RA, off: 3 };
+        let fx = execute(&j, Operands { pc, ..Default::default() });
+        assert_eq!(fx.int_result, Some(0x2008));
+        assert_eq!(fx.branch, Some(BranchOut { taken: true, target: 0x2008 + 24 }));
+        let jr = Instr::Jalr { rd: Reg::ZERO, rs1: r(1), imm: 4 };
+        let fx = execute(&jr, Operands { rs1: 0x3000, pc, ..Default::default() });
+        assert_eq!(fx.branch.unwrap().target, 0x3000); // aligned down
+    }
+
+    #[test]
+    fn memory_effective_addresses() {
+        let ld = Instr::Ld { rd: r(1), rs1: r(2), imm: -8 };
+        let fx = execute(&ld, ops(0x100, 0));
+        assert_eq!(fx.mem, Some(MemOp { addr: 0xf8, is_store: false, store_val: 0 }));
+        let st = Instr::St { rs2: r(3), rs1: r(2), imm: 16 };
+        let fx = execute(&st, ops(0x100, 77));
+        assert_eq!(fx.mem, Some(MemOp { addr: 0x110, is_store: true, store_val: 77 }));
+        let fst = Instr::Fst { fs: f(1), rs1: r(2), imm: 0 };
+        let fx = execute(&fst, Operands { rs1: 0x40, fs1: 2.5, ..Default::default() });
+        assert_eq!(fx.mem.unwrap().store_val, 2.5f64.to_bits());
+    }
+
+    #[test]
+    fn fp_ops() {
+        let a = Instr::Fadd { fd: f(1), fs1: f(2), fs2: f(3) };
+        assert_eq!(execute(&a, fops(1.5, 2.25)).fp_result, Some(3.75));
+        let s = Instr::Fsqrt { fd: f(1), fs1: f(2) };
+        assert_eq!(execute(&s, fops(9.0, 0.0)).fp_result, Some(3.0));
+        let c = Instr::Flt { rd: r(1), fs1: f(2), fs2: f(3) };
+        assert_eq!(execute(&c, fops(1.0, 2.0)).int_result, Some(1));
+        assert_eq!(execute(&c, fops(f64::NAN, 2.0)).int_result, Some(0));
+    }
+
+    #[test]
+    fn conversions_and_moves() {
+        let c = Instr::Fcvtlf { fd: f(1), rs1: r(2) };
+        assert_eq!(execute(&c, ops((-3i64) as u64, 0)).fp_result, Some(-3.0));
+        let c = Instr::Fcvtfl { rd: r(1), fs1: f(2) };
+        assert_eq!(execute(&c, fops(-3.7, 0.0)).int_result, Some((-3i64) as u64));
+        // NaN saturates to 0 with Rust `as` semantics.
+        assert_eq!(execute(&c, fops(f64::NAN, 0.0)).int_result, Some(0));
+        let mv = Instr::Fmvxf { rd: r(1), fs1: f(2) };
+        assert_eq!(execute(&mv, fops(1.5, 0.0)).int_result, Some(1.5f64.to_bits()));
+        let mv = Instr::Fmvfx { fd: f(1), rs1: r(2) };
+        assert_eq!(execute(&mv, ops(1.5f64.to_bits(), 0)).fp_result, Some(1.5));
+    }
+
+    #[test]
+    fn li_and_addih_compose_64_bit_constants() {
+        let li = Instr::Li { rd: r(1), imm: -1 };
+        let low = execute(&li, ops(0, 0)).int_result.unwrap();
+        let hi = Instr::Addih { rd: r(1), rs1: r(1), imm: 1 };
+        let v = execute(&hi, ops(low, 0)).int_result.unwrap();
+        assert_eq!(v, (-1i64).wrapping_add(1 << 32) as u64);
+    }
+}

@@ -1,0 +1,280 @@
+//! Slack simulation schemes (paper §3).
+//!
+//! A scheme answers two questions for the simulation manager:
+//!
+//! 1. **Window** — given the current global time, how far may each core
+//!    thread run? (its *max local time*)
+//! 2. **Event ordering** — when and in what order do OutQ requests become
+//!    globally visible?
+//!
+//! | scheme | max local time | event processing |
+//! |---|---|---|
+//! | CC  | `g + 1` | ts ≤ g, (ts, core, seq) order |
+//! | Q*q* | next multiple of `q` above `g` | at the barrier, ordered |
+//! | L*l* | `g + l` | ts ≤ g, ordered (conservative lookahead) |
+//! | S*s* | `g + s` (sliding window) | eagerly, arrival order |
+//! | S*s*\* | `g + s` | ts ≤ g, ordered (oldest-first) |
+//! | SU | unbounded | eagerly, arrival order |
+//! | A*min*-*max* | adaptive quantum | at the barrier, ordered |
+//!
+//! The invariant `global ≤ local ≤ max_local` (paper §2.1) holds for every
+//! scheme; `window()` is monotone in `g`, which makes max-local updates
+//! monotone and lets cores read them without locks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A slack simulation scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Cycle-by-cycle synchronization — the accuracy gold standard.
+    CycleByCycle,
+    /// Barrier synchronization every `quantum` cycles (WWT-style).
+    Quantum(u64),
+    /// Conservative lookahead of `l` cycles.
+    Lookahead(u64),
+    /// Bounded slack: sliding window of `s` cycles, eager processing.
+    BoundedSlack(u64),
+    /// Bounded slack with oldest-first (timestamp-ordered) processing —
+    /// conservative, same accuracy as quantum, higher speedup.
+    OldestFirstBounded(u64),
+    /// Unbounded slack: no synchronization at all.
+    Unbounded,
+    /// Extension (after Falcón et al. \[8\]): quantum-based with the quantum
+    /// adapted to coherence traffic between `min` and `max`.
+    AdaptiveQuantum {
+        /// Smallest quantum (used under heavy sharing traffic).
+        min: u64,
+        /// Largest quantum (used when cores do not interact).
+        max: u64,
+    },
+}
+
+/// How the manager consumes the global queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventOrdering {
+    /// Process events as they arrive (bounded/unbounded slack).
+    Eager,
+    /// Process in (ts, core, seq) order, only events with `ts ≤ global`.
+    TimestampOrdered,
+    /// Like `TimestampOrdered`, but only when all cores sit at the
+    /// quantum barrier (quantum / adaptive quantum).
+    AtBarrier,
+}
+
+impl Scheme {
+    /// The max local time allowed when the global time is `g`.
+    ///
+    /// Monotone in `g` for every scheme.
+    pub fn window(&self, g: u64) -> u64 {
+        debug_assert!(self.is_valid(), "degenerate scheme parameter: {self:?}");
+        match *self {
+            Scheme::CycleByCycle => g + 1,
+            Scheme::Quantum(q) => (g / q.max(1) + 1) * q.max(1),
+            Scheme::Lookahead(l) => g + l,
+            Scheme::BoundedSlack(s) => g + s,
+            Scheme::OldestFirstBounded(s) => g + s,
+            Scheme::Unbounded => u64::MAX,
+            Scheme::AdaptiveQuantum { .. } => {
+                unreachable!("adaptive quantum windows come from Scheme::adaptive_window")
+            }
+        }
+    }
+
+    /// Window for the adaptive-quantum scheme given the quantum currently
+    /// chosen by the manager's controller.
+    pub fn adaptive_window(g: u64, quantum: u64) -> u64 {
+        (g / quantum + 1) * quantum
+    }
+
+    /// The event-ordering discipline of this scheme.
+    pub fn ordering(&self) -> EventOrdering {
+        match self {
+            Scheme::CycleByCycle | Scheme::Lookahead(_) | Scheme::OldestFirstBounded(_) => {
+                EventOrdering::TimestampOrdered
+            }
+            Scheme::Quantum(_) | Scheme::AdaptiveQuantum { .. } => EventOrdering::AtBarrier,
+            Scheme::BoundedSlack(_) | Scheme::Unbounded => EventOrdering::Eager,
+        }
+    }
+
+    /// A scheme is valid when its parameter allows progress (no zero
+    /// quanta/slacks, adaptive bounds ordered).
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            Scheme::CycleByCycle | Scheme::Unbounded => true,
+            Scheme::Quantum(n)
+            | Scheme::Lookahead(n)
+            | Scheme::BoundedSlack(n)
+            | Scheme::OldestFirstBounded(n) => n >= 1,
+            Scheme::AdaptiveQuantum { min, max } => min >= 1 && min <= max,
+        }
+    }
+
+    /// Conservative schemes never produce timing violations when their
+    /// parameter stays at or below the target's critical latency (§3.2).
+    pub fn is_conservative(&self) -> bool {
+        matches!(
+            self,
+            Scheme::CycleByCycle
+                | Scheme::Quantum(_)
+                | Scheme::Lookahead(_)
+                | Scheme::OldestFirstBounded(_)
+                | Scheme::AdaptiveQuantum { .. }
+        )
+    }
+
+    /// Short name as used in the paper's Figure 8 (CC, Q10, L10, S9, S9*,
+    /// S100, SU).
+    pub fn short_name(&self) -> String {
+        match *self {
+            Scheme::CycleByCycle => "CC".into(),
+            Scheme::Quantum(q) => format!("Q{q}"),
+            Scheme::Lookahead(l) => format!("L{l}"),
+            Scheme::BoundedSlack(s) => format!("S{s}"),
+            Scheme::OldestFirstBounded(s) => format!("S{s}*"),
+            Scheme::Unbounded => "SU".into(),
+            Scheme::AdaptiveQuantum { min, max } => format!("A{min}-{max}"),
+        }
+    }
+
+    /// The paper's evaluated scheme set for a target whose critical latency
+    /// is `crit` (10 in the paper): CC, Q*crit*, L*crit*, S*crit-1*,
+    /// S*crit-1*\*, S100, SU.
+    pub fn paper_suite(crit: u64) -> Vec<Scheme> {
+        vec![
+            Scheme::CycleByCycle,
+            Scheme::Quantum(crit),
+            Scheme::Lookahead(crit),
+            Scheme::BoundedSlack(crit - 1),
+            Scheme::OldestFirstBounded(crit - 1),
+            Scheme::BoundedSlack(100),
+            Scheme::Unbounded,
+        ]
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short_name())
+    }
+}
+
+impl FromStr for Scheme {
+    type Err = String;
+
+    /// Parse the Figure-8 notation: `CC`, `Q10`, `L10`, `S9`, `S9*`, `SU`,
+    /// `A10-1000`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        match s {
+            "CC" | "cc" => return Ok(Scheme::CycleByCycle),
+            "SU" | "su" => return Ok(Scheme::Unbounded),
+            _ => {}
+        }
+        let (head, rest) = s.split_at(1);
+        let parse_n = |txt: &str| -> Result<u64, String> {
+            txt.parse::<u64>().map_err(|_| format!("bad scheme parameter in '{s}'"))
+        };
+        let scheme = match head {
+            "Q" | "q" => Scheme::Quantum(parse_n(rest)?),
+            "L" | "l" => Scheme::Lookahead(parse_n(rest)?),
+            "S" | "s" => {
+                if let Some(core) = rest.strip_suffix('*') {
+                    Scheme::OldestFirstBounded(parse_n(core)?)
+                } else {
+                    Scheme::BoundedSlack(parse_n(rest)?)
+                }
+            }
+            "A" | "a" => {
+                let (lo, hi) = rest
+                    .split_once('-')
+                    .ok_or_else(|| format!("adaptive scheme '{s}' needs 'Amin-max'"))?;
+                Scheme::AdaptiveQuantum { min: parse_n(lo)?, max: parse_n(hi)? }
+            }
+            _ => return Err(format!("unknown scheme '{s}'")),
+        };
+        if !scheme.is_valid() {
+            return Err(format!("degenerate scheme parameter in '{s}'"));
+        }
+        Ok(scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_match_paper_semantics() {
+        // CC: a core may simulate exactly one cycle past the global time.
+        assert_eq!(Scheme::CycleByCycle.window(0), 1);
+        assert_eq!(Scheme::CycleByCycle.window(7), 8);
+        // Quantum 3: barrier at 3, 6, 9, ...
+        let q = Scheme::Quantum(3);
+        assert_eq!(q.window(0), 3);
+        assert_eq!(q.window(2), 3);
+        assert_eq!(q.window(3), 6);
+        // Bounded slack 2: sliding window [g, g+2].
+        let s = Scheme::BoundedSlack(2);
+        assert_eq!(s.window(0), 2);
+        assert_eq!(s.window(5), 7);
+        assert_eq!(Scheme::Unbounded.window(123), u64::MAX);
+    }
+
+    #[test]
+    fn windows_are_monotone() {
+        for scheme in Scheme::paper_suite(10) {
+            let mut prev = 0;
+            for g in 0..200 {
+                let w = scheme.window(g);
+                assert!(w >= prev, "{scheme} window not monotone at g={g}");
+                assert!(w > g || w == u64::MAX, "{scheme} must allow progress at g={g}");
+                prev = w;
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_classification() {
+        assert_eq!(Scheme::CycleByCycle.ordering(), EventOrdering::TimestampOrdered);
+        assert_eq!(Scheme::Quantum(10).ordering(), EventOrdering::AtBarrier);
+        assert_eq!(Scheme::Lookahead(10).ordering(), EventOrdering::TimestampOrdered);
+        assert_eq!(Scheme::BoundedSlack(9).ordering(), EventOrdering::Eager);
+        assert_eq!(Scheme::OldestFirstBounded(9).ordering(), EventOrdering::TimestampOrdered);
+        assert_eq!(Scheme::Unbounded.ordering(), EventOrdering::Eager);
+    }
+
+    #[test]
+    fn conservative_flags() {
+        assert!(Scheme::CycleByCycle.is_conservative());
+        assert!(Scheme::Quantum(10).is_conservative());
+        assert!(Scheme::OldestFirstBounded(9).is_conservative());
+        assert!(!Scheme::BoundedSlack(9).is_conservative());
+        assert!(!Scheme::Unbounded.is_conservative());
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for s in Scheme::paper_suite(10) {
+            assert_eq!(s.short_name().parse::<Scheme>().unwrap(), s);
+        }
+        let a = Scheme::AdaptiveQuantum { min: 10, max: 1000 };
+        assert_eq!(a.short_name().parse::<Scheme>().unwrap(), a);
+        assert!("X5".parse::<Scheme>().is_err());
+        assert!("Sx".parse::<Scheme>().is_err());
+        // Degenerate parameters are rejected, not deadlocked on.
+        assert!("Q0".parse::<Scheme>().is_err());
+        assert!("S0".parse::<Scheme>().is_err());
+        assert!("L0".parse::<Scheme>().is_err());
+        assert!("A10-5".parse::<Scheme>().is_err());
+    }
+
+    #[test]
+    fn paper_suite_matches_figure_8() {
+        let names: Vec<String> =
+            Scheme::paper_suite(10).iter().map(|s| s.short_name()).collect();
+        assert_eq!(names, vec!["CC", "Q10", "L10", "S9", "S9*", "S100", "SU"]);
+    }
+}

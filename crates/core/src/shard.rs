@@ -1,0 +1,297 @@
+//! Sharded memory managers (the paper's §2.2 extension).
+//!
+//! > "If the simulation manager thread ever becomes a bottleneck it is
+//! > possible to split the functionality of the manager thread also into
+//! > several threads."
+//!
+//! This module implements that split: the *coordination* manager keeps the
+//! clocks, windows, sync objects and thread placement, while the
+//! lower-hierarchy memory work (directory + L2 banks) is partitioned over
+//! `n` **memory-shard** threads by bank (`shard = bank mod n`). Each shard
+//! owns its banks' directory state and an interconnect channel, consumes
+//! per-core SPSC rings of memory events, and produces replies and
+//! invalidations on per-core SPSC rings of its own.
+//!
+//! Ordering: within a shard, timestamp-ordered schemes process events in
+//! `(ts, core, seq)` order behind the global-time horizon, exactly like
+//! the single manager, and the coordinator holds ordered-scheme windows
+//! back to the slowest shard's published **frontier** so no core ever
+//! ticks past an undelivered reply. The result (asserted by tests): the
+//! sharded engine is fully *deterministic* for every conservative scheme
+//! at any shard count, and differs in timing from the single manager only
+//! through the interconnect model — one occupancy channel per bank group
+//! instead of one shared channel (sub-1% on the paper kernels, exactly
+//! zero when the shared channel was uncontended). Eager schemes skip the
+//! frontier (the paper's semantics have no such coupling) and simply gain
+//! manager throughput — which measurably shrinks their host-induced
+//! timing error.
+
+use crate::clock::ClockBoard;
+use crate::config::TargetConfig;
+use crate::msg::{GlobalEvent, InKind, InMsg, OutEvent, OutKind};
+use crate::scheme::{EventOrdering, Scheme};
+use crate::spsc::{Consumer, Producer};
+use parking_lot::{Condvar, Mutex};
+use sk_mem::l1::ReqKind;
+use sk_mem::Directory;
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wakeup channel for one shard manager.
+#[derive(Default)]
+pub struct ShardSignal {
+    pending: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl ShardSignal {
+    /// Notify the shard that events are available.
+    pub fn signal(&self) {
+        let mut p = self.pending.lock();
+        *p = true;
+        self.cond.notify_one();
+    }
+
+    /// Park until signalled or `timeout`.
+    pub fn wait(&self, timeout: Duration) {
+        let mut p = self.pending.lock();
+        if !*p {
+            self.cond.wait_for(&mut p, timeout);
+        }
+        *p = false;
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct OrderedEv(GlobalEvent);
+
+impl Ord for OrderedEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.key().cmp(&other.0.key())
+    }
+}
+impl PartialOrd for OrderedEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One memory-shard manager: a directory shard plus its queue endpoints.
+pub struct MemShard {
+    /// Shard index (owns banks where `bank % n_shards == index`).
+    pub index: usize,
+    scheme: Scheme,
+    dir: Directory,
+    ordered: std::collections::BinaryHeap<Reverse<OrderedEv>>,
+    /// Event rings, one per core (this shard is the consumer).
+    pub from_cores: Vec<Consumer<OutEvent>>,
+    /// Reply rings, one per core (this shard is the producer).
+    to_cores: Vec<Producer<InMsg>>,
+    overflow: Vec<VecDeque<InMsg>>,
+    board: Arc<ClockBoard>,
+    /// Global time through which this shard has processed *and delivered*
+    /// every event (its frontier). The coordinator holds ordered-scheme
+    /// windows back to the slowest shard frontier, which is what makes
+    /// sharded conservative schemes deterministic: no core can tick past
+    /// a timestamp whose events are still in flight.
+    pub frontier: Arc<AtomicU64>,
+    /// Events processed by this shard.
+    pub events_processed: u64,
+}
+
+impl MemShard {
+    /// Assemble a shard.
+    pub fn new(
+        index: usize,
+        cfg: &TargetConfig,
+        scheme: Scheme,
+        from_cores: Vec<Consumer<OutEvent>>,
+        to_cores: Vec<Producer<InMsg>>,
+        board: Arc<ClockBoard>,
+    ) -> Self {
+        MemShard {
+            index,
+            scheme,
+            dir: Directory::new(cfg.n_cores, cfg.mem),
+            ordered: Default::default(),
+            from_cores,
+            to_cores,
+            overflow: (0..cfg.n_cores).map(|_| VecDeque::new()).collect(),
+            board,
+            frontier: Arc::new(AtomicU64::new(0)),
+            events_processed: 0,
+        }
+    }
+
+    fn push_to_core(&mut self, core: usize, msg: InMsg) {
+        if self.overflow[core].is_empty() {
+            if let Err(back) = self.to_cores[core].try_push(msg) {
+                self.overflow[core].push_back(back);
+            }
+        } else {
+            self.overflow[core].push_back(msg);
+        }
+        self.board.unpark(core);
+    }
+
+    fn flush_overflow(&mut self) {
+        for core in 0..self.overflow.len() {
+            while let Some(msg) = self.overflow[core].front().copied() {
+                match self.to_cores[core].try_push(msg) {
+                    Ok(()) => {
+                        self.overflow[core].pop_front();
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    fn process_event(&mut self, ge: GlobalEvent) {
+        self.events_processed += 1;
+        let core = ge.core;
+        let ts = ge.ev.ts;
+        match ge.ev.kind {
+            OutKind::DMem { req, block } => {
+                let out = self.dir.handle(core, req, block, ts);
+                for inv in &out.invalidations {
+                    self.push_to_core(
+                        inv.core,
+                        InMsg {
+                            ts: inv.ts,
+                            kind: InKind::Invalidate { block: inv.block, downgrade: inv.downgrade },
+                        },
+                    );
+                }
+                if let Some(granted) = out.granted {
+                    self.push_to_core(
+                        core,
+                        InMsg { ts: out.done_ts, kind: InKind::DMemReply { block, granted } },
+                    );
+                }
+            }
+            OutKind::IMem { block } => {
+                let out = self.dir.handle(core, ReqKind::GetS, block, ts);
+                for inv in &out.invalidations {
+                    self.push_to_core(
+                        inv.core,
+                        InMsg {
+                            ts: inv.ts,
+                            kind: InKind::Invalidate { block: inv.block, downgrade: inv.downgrade },
+                        },
+                    );
+                }
+                self.push_to_core(core, InMsg { ts: out.done_ts, kind: InKind::IMemReply { block } });
+            }
+            // Memory shards receive only memory events.
+            _ => unreachable!("non-memory event routed to a shard"),
+        }
+    }
+
+    /// One iteration: drain rings, process per the scheme discipline.
+    pub fn iterate(&mut self) {
+        let g = self.board.global();
+        for c in 0..self.from_cores.len() {
+            while let Some(ev) = self.from_cores[c].pop() {
+                match self.scheme.ordering() {
+                    EventOrdering::Eager => self.process_event(GlobalEvent { core: c, ev }),
+                    _ => self.ordered.push(Reverse(OrderedEv(GlobalEvent { core: c, ev }))),
+                }
+            }
+        }
+        let horizon = match self.scheme.ordering() {
+            EventOrdering::Eager => None,
+            EventOrdering::TimestampOrdered => Some(g),
+            EventOrdering::AtBarrier => match self.scheme {
+                Scheme::Quantum(q) => Some((g / q) * q),
+                _ => Some(g),
+            },
+        };
+        if let Some(h) = horizon {
+            while let Some(&Reverse(OrderedEv(ge))) = self.ordered.peek() {
+                if ge.ev.ts > h {
+                    break;
+                }
+                self.ordered.pop();
+                self.process_event(ge);
+            }
+        }
+        self.flush_overflow();
+        // Publish the processed frontier: every event with ts <= g had
+        // arrived before g was computed (cores push before advancing their
+        // local clocks) and has now been processed and delivered.
+        if self.overflow.iter().all(|o| o.is_empty()) {
+            self.frontier.fetch_max(g, Ordering::Release);
+        }
+    }
+
+    /// Drain everything unconditionally (shutdown).
+    pub fn finish(&mut self) {
+        for c in 0..self.from_cores.len() {
+            while let Some(ev) = self.from_cores[c].pop() {
+                self.ordered.push(Reverse(OrderedEv(GlobalEvent { core: c, ev })));
+            }
+        }
+        while let Some(Reverse(OrderedEv(ge))) = self.ordered.pop() {
+            self.process_event(ge);
+        }
+        self.flush_overflow();
+    }
+
+    /// This shard's directory statistics.
+    pub fn dir_stats(&self) -> sk_mem::directory::DirStats {
+        self.dir.stats
+    }
+
+    /// This shard's interconnect statistics.
+    pub fn bus_stats(&self) -> sk_mem::bus::BusStats {
+        self.dir.bus_stats()
+    }
+
+    /// The thread body for a shard manager.
+    pub fn run(mut self, signal: Arc<ShardSignal>) -> MemShard {
+        loop {
+            signal.wait(Duration::from_micros(200));
+            self.iterate();
+            if self.board.stopping() {
+                self.finish();
+                return self;
+            }
+        }
+    }
+}
+
+/// The shard owning `block` among `n` shards (bank-interleaved).
+#[inline]
+pub fn shard_of(block: sk_mem::BlockAddr, n_banks: usize, n_shards: usize) -> usize {
+    ((block as usize) % n_banks) % n_shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_routing_is_bank_interleaved() {
+        // 8 banks over 2 shards: even banks -> shard 0, odd -> shard 1.
+        for block in 0..64u64 {
+            let s = shard_of(block, 8, 2);
+            assert_eq!(s, (block % 8 % 2) as usize);
+        }
+    }
+
+    #[test]
+    fn signal_wakes_waiter() {
+        let sig = Arc::new(ShardSignal::default());
+        sig.signal();
+        // Pending flag consumed without blocking.
+        sig.wait(Duration::from_secs(5));
+        // No pending: times out quickly.
+        let t0 = std::time::Instant::now();
+        sig.wait(Duration::from_millis(1));
+        assert!(t0.elapsed() >= Duration::from_micros(500));
+    }
+}

@@ -1,0 +1,255 @@
+//! Bounded single-producer / single-consumer ring with consumer-side peek.
+//!
+//! The paper's communication structure is strictly SPSC: each core thread's
+//! OutQ has the core as producer and the manager as consumer; each InQ has
+//! the manager as producer and the core as consumer (§2.2). A dedicated
+//! lock-free ring keeps the per-cycle InQ poll ("the core thread enquires
+//! its InQ in every cycle") down to one atomic load, and `peek` lets the
+//! consumer inspect a timestamped entry without committing to pop it — the
+//! core leaves future-stamped replies queued until its local time reaches
+//! them.
+//!
+//! Memory ordering follows the classic Lamport queue: the producer
+//! publishes with a `Release` store of `tail`; the consumer acquires it, so
+//! the slot write happens-before the read (Rust Atomics and Locks, ch. 5).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    capacity: usize,
+    head: AtomicUsize, // next index to pop (owned by consumer)
+    tail: AtomicUsize, // next index to push (owned by producer)
+}
+
+// Safety: only one producer touches `tail`/writes slots, only one consumer
+// touches `head`/reads slots; the Release/Acquire pair on `tail` (push) and
+// `head` (pop) orders the slot accesses.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+/// Producer endpoint. Not `Clone`: exactly one producer may exist.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached head, refreshed only when the ring looks full.
+    cached_head: usize,
+}
+
+/// Consumer endpoint. Not `Clone`: exactly one consumer may exist.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached tail, refreshed only when the ring looks empty.
+    cached_tail: usize,
+}
+
+/// Create a bounded SPSC channel holding at most `capacity` items.
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0);
+    let buf: Vec<UnsafeCell<MaybeUninit<T>>> =
+        (0..capacity + 1).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let ring = Arc::new(Ring {
+        buf: buf.into_boxed_slice(),
+        capacity: capacity + 1, // one slot sacrificed to distinguish full/empty
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer { ring: ring.clone(), cached_head: 0 },
+        Consumer { ring, cached_tail: 0 },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Try to enqueue; returns the value back if the ring is full.
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let next = if tail + 1 == ring.capacity { 0 } else { tail + 1 };
+        if next == self.cached_head {
+            self.cached_head = ring.head.load(Ordering::Acquire);
+            if next == self.cached_head {
+                return Err(value);
+            }
+        }
+        // Safety: slot `tail` is not visible to the consumer until the
+        // Release store below, and no other producer exists.
+        unsafe { (*ring.buf[tail].get()).write(value) };
+        ring.tail.store(next, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of free slots (approximate from the producer's view).
+    pub fn free_slots(&self) -> usize {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Acquire);
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let used = if tail >= head { tail - head } else { tail + ring.capacity - head };
+        ring.capacity - 1 - used
+    }
+}
+
+impl<T> Consumer<T> {
+    #[inline]
+    fn nonempty(&mut self) -> bool {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            self.cached_tail = ring.tail.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Look at the oldest element without removing it.
+    pub fn peek(&mut self) -> Option<&T> {
+        if !self.nonempty() {
+            return None;
+        }
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        // Safety: the slot was published by the producer's Release store,
+        // observed by the Acquire load in `nonempty`, and will not be
+        // overwritten until we advance `head`.
+        Some(unsafe { (*ring.buf[head].get()).assume_init_ref() })
+    }
+
+    /// Remove and return the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        if !self.nonempty() {
+            return None;
+        }
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        // Safety: as in `peek`; ownership moves out and `head` advances so
+        // the slot is never read again.
+        let value = unsafe { (*ring.buf[head].get()).assume_init_read() };
+        let next = if head + 1 == ring.capacity { 0 } else { head + 1 };
+        ring.head.store(next, Ordering::Release);
+        Some(value)
+    }
+
+    /// True if no element is currently visible.
+    pub fn is_empty(&mut self) -> bool {
+        !self.nonempty()
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Drop any items still in the queue.
+        let mut head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        while head != tail {
+            unsafe { (*self.buf[head].get()).assume_init_drop() };
+            head = if head + 1 == self.capacity { 0 } else { head + 1 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let (mut p, mut c) = channel(4);
+        for i in 0..4 {
+            p.try_push(i).unwrap();
+        }
+        assert!(p.try_push(99).is_err(), "ring full at capacity");
+        for i in 0..4 {
+            assert_eq!(c.peek(), Some(&i));
+            assert_eq!(c.pop(), Some(i));
+        }
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let (mut p, mut c) = channel(2);
+        p.try_push(7).unwrap();
+        assert_eq!(c.peek(), Some(&7));
+        assert_eq!(c.peek(), Some(&7));
+        assert_eq!(c.pop(), Some(7));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn wraps_around() {
+        let (mut p, mut c) = channel(3);
+        for round in 0..10 {
+            for i in 0..3 {
+                p.try_push(round * 10 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(c.pop(), Some(round * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn free_slots_reporting() {
+        let (mut p, mut c) = channel(4);
+        assert_eq!(p.free_slots(), 4);
+        p.try_push(1).unwrap();
+        assert_eq!(p.free_slots(), 3);
+        c.pop();
+        assert_eq!(p.free_slots(), 4);
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        let (mut p, mut c) = channel(16);
+        let n = 100_000u64;
+        let producer = thread::spawn(move || {
+            for i in 0..n {
+                let mut v = i;
+                loop {
+                    match p.try_push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0;
+        while expected < n {
+            if let Some(v) = c.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn drops_unconsumed_items() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut p, c) = channel(8);
+        for _ in 0..5 {
+            p.try_push(D).unwrap();
+        }
+        drop(c);
+        drop(p);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+}

@@ -1,0 +1,372 @@
+//! The simulation-manager logic (paper §2.1–2.2, §3).
+//!
+//! [`Uncore`] is the manager's brain, independent of threading so the
+//! parallel engine's manager thread and the sequential reference engine
+//! drive the *same* code:
+//!
+//! * consolidates every core's OutQ into the global queue (GQ);
+//! * resolves memory events against the directory/L2 and sync events
+//!   against the [`SyncTable`];
+//! * replies through the per-core InQs (with bounded-ring overflow
+//!   spilling);
+//! * applies the active scheme's event-ordering discipline: eager
+//!   (arrival order), timestamp-ordered with a `ts ≤ global` horizon, or
+//!   at-barrier (quantum multiples);
+//! * computes each core's window (max local time), including the adaptive
+//!   quantum controller extension.
+
+use crate::clock::ClockBoard;
+use crate::config::TargetConfig;
+use crate::msg::{GlobalEvent, InKind, InMsg, OutEvent, OutKind, SyncOp};
+use crate::scheme::{EventOrdering, Scheme};
+use crate::spsc::Producer;
+use crate::sync::SyncTable;
+use sk_mem::l1::ReqKind;
+use sk_mem::Directory;
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Heap wrapper ordering [`GlobalEvent`]s by (ts, core, seq).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct OrderedEv(GlobalEvent);
+
+impl Ord for OrderedEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.key().cmp(&other.0.key())
+    }
+}
+impl PartialOrd for OrderedEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Adaptive-quantum controller state (extension, after Falcón et al. [8]).
+#[derive(Clone, Copy, Debug)]
+struct Adaptive {
+    min: u64,
+    max: u64,
+    quantum: u64,
+    next_boundary: u64,
+    traffic_mark: u64,
+}
+
+/// The simulation manager state machine.
+pub struct Uncore {
+    scheme: Scheme,
+    /// Directory + L2 + interconnect model.
+    pub dir: Directory,
+    /// Table 1 sync objects.
+    pub sync: SyncTable,
+    ordered: std::collections::BinaryHeap<Reverse<OrderedEv>>,
+    inqs: Vec<Producer<InMsg>>,
+    overflow: Vec<VecDeque<InMsg>>,
+    board: Option<Arc<ClockBoard>>,
+    started: Vec<bool>,
+    exited: Vec<bool>,
+    sync_latency: u64,
+    spawn_latency: u64,
+    adaptive: Option<Adaptive>,
+    /// OutQ events consumed.
+    pub events_processed: u64,
+    /// Global time at which the region of interest began, if it has.
+    pub roi_start: Option<u64>,
+}
+
+impl Uncore {
+    /// Build the manager state. `board` is `None` for the sequential
+    /// engine (no parked threads to wake).
+    pub fn new(
+        cfg: &TargetConfig,
+        scheme: Scheme,
+        inqs: Vec<Producer<InMsg>>,
+        board: Option<Arc<ClockBoard>>,
+    ) -> Self {
+        let n = cfg.n_cores;
+        assert_eq!(inqs.len(), n);
+        let mut started = vec![false; n];
+        started[0] = true; // the initial workload thread runs on core 0
+        let adaptive = match scheme {
+            Scheme::AdaptiveQuantum { min, max } => Some(Adaptive {
+                min,
+                max,
+                quantum: min,
+                next_boundary: min,
+                traffic_mark: 0,
+            }),
+            _ => None,
+        };
+        Uncore {
+            scheme,
+            dir: Directory::new(n, cfg.mem),
+            sync: SyncTable::new(),
+            ordered: std::collections::BinaryHeap::new(),
+            inqs,
+            overflow: (0..n).map(|_| VecDeque::new()).collect(),
+            board,
+            started,
+            exited: vec![false; n],
+            sync_latency: cfg.mem.critical_latency(),
+            spawn_latency: cfg.mem.critical_latency(),
+            adaptive,
+            events_processed: 0,
+            roi_start: None,
+        }
+    }
+
+    /// Number of workload threads started so far.
+    pub fn n_started(&self) -> usize {
+        self.started.iter().filter(|&&b| b).count()
+    }
+
+    /// Have all started workload threads exited?
+    pub fn all_workloads_done(&self) -> bool {
+        self.started
+            .iter()
+            .zip(&self.exited)
+            .all(|(&s, &e)| !s || e)
+    }
+
+    fn push_to_core(&mut self, core: usize, msg: InMsg) {
+        if self.overflow[core].is_empty() {
+            if let Err(back) = self.inqs[core].try_push(msg) {
+                self.overflow[core].push_back(back);
+            }
+        } else {
+            self.overflow[core].push_back(msg);
+        }
+        if let Some(b) = &self.board {
+            b.unpark(core);
+        }
+    }
+
+    /// Retry overflowed InQ pushes (called every manager iteration).
+    pub fn flush_overflow(&mut self) {
+        for core in 0..self.overflow.len() {
+            while let Some(msg) = self.overflow[core].front().copied() {
+                match self.inqs[core].try_push(msg) {
+                    Ok(()) => {
+                        self.overflow[core].pop_front();
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    /// Accept one OutQ event from `core`. Eager schemes process it
+    /// immediately (arrival order); ordered schemes queue it.
+    pub fn ingest(&mut self, core: usize, ev: OutEvent) {
+        match self.scheme.ordering() {
+            EventOrdering::Eager => self.process_event(GlobalEvent { core, ev }),
+            _ => self.ordered.push(Reverse(OrderedEv(GlobalEvent { core, ev }))),
+        }
+    }
+
+    /// The event-processing horizon for global time `g`: events stamped at
+    /// or before it may take effect. `None` means "everything" (eager).
+    pub fn horizon(&self, g: u64) -> Option<u64> {
+        match self.scheme.ordering() {
+            EventOrdering::Eager => None,
+            EventOrdering::TimestampOrdered => Some(g),
+            EventOrdering::AtBarrier => {
+                let q = match self.adaptive {
+                    Some(a) => a.quantum,
+                    None => match self.scheme {
+                        Scheme::Quantum(q) => q,
+                        _ => unreachable!("AtBarrier implies a quantum"),
+                    },
+                };
+                // The last completed barrier; events inside the current
+                // quantum wait ("requests are not globally visible until
+                // the end of each quantum").
+                Some((g / q) * q)
+            }
+        }
+    }
+
+    /// Process queued events up to the horizon for global time `g`, in
+    /// (ts, core, seq) order. Also steps the adaptive-quantum controller.
+    pub fn process_ready(&mut self, g: u64) {
+        if let Some(h) = self.horizon(g) {
+            while let Some(&Reverse(OrderedEv(ge))) = self.ordered.peek() {
+                if ge.ev.ts > h {
+                    break;
+                }
+                self.ordered.pop();
+                self.process_event(ge);
+            }
+        }
+        if let Some(mut a) = self.adaptive {
+            if g >= a.next_boundary {
+                // Re-tune the quantum by coherence traffic in the last one:
+                // sharing-heavy phases need fine-grain sync; idle phases
+                // can run long quanta.
+                let traffic =
+                    self.dir.stats.invalidations_out + self.dir.stats.downgrades_out;
+                // saturating: an ROI begin may have reset the counters.
+                let delta = traffic.saturating_sub(a.traffic_mark);
+                a.traffic_mark = traffic;
+                a.quantum = if delta > 0 {
+                    (a.quantum / 2).max(a.min)
+                } else {
+                    (a.quantum * 2).min(a.max)
+                };
+                a.next_boundary = g.saturating_add(a.quantum);
+                self.adaptive = Some(a);
+            }
+        }
+    }
+
+    /// Process every queued event with `ts ≤ g` in (ts, core, seq) order,
+    /// bypassing the at-barrier quantization. Used when no core is
+    /// actively driving global time (all are blocked in sync calls):
+    /// events inside the current quantum must still complete so the
+    /// blocked cores can be released.
+    pub fn process_all_upto(&mut self, g: u64) {
+        while let Some(&Reverse(OrderedEv(ge))) = self.ordered.peek() {
+            if ge.ev.ts > g {
+                break;
+            }
+            self.ordered.pop();
+            self.process_event(ge);
+        }
+    }
+
+    /// The max-local window each core may run to when the global time is
+    /// `g`.
+    pub fn window(&self, g: u64) -> u64 {
+        match self.adaptive {
+            Some(a) => a.next_boundary.max(g + 1),
+            None => self.scheme.window(g),
+        }
+    }
+
+    /// Current adaptive quantum (for stats; the static quantum otherwise).
+    pub fn current_quantum(&self) -> u64 {
+        match (self.adaptive, self.scheme) {
+            (Some(a), _) => a.quantum,
+            (None, Scheme::Quantum(q)) => q,
+            _ => 0,
+        }
+    }
+
+    fn process_event(&mut self, ge: GlobalEvent) {
+        self.events_processed += 1;
+        let core = ge.core;
+        let ts = ge.ev.ts;
+        match ge.ev.kind {
+            OutKind::DMem { req, block } => {
+                let out = self.dir.handle(core, req, block, ts);
+                for inv in &out.invalidations {
+                    self.push_to_core(
+                        inv.core,
+                        InMsg {
+                            ts: inv.ts,
+                            kind: InKind::Invalidate { block: inv.block, downgrade: inv.downgrade },
+                        },
+                    );
+                }
+                if let Some(granted) = out.granted {
+                    self.push_to_core(
+                        core,
+                        InMsg { ts: out.done_ts, kind: InKind::DMemReply { block, granted } },
+                    );
+                }
+            }
+            OutKind::IMem { block } => {
+                let out = self.dir.handle(core, ReqKind::GetS, block, ts);
+                for inv in &out.invalidations {
+                    self.push_to_core(
+                        inv.core,
+                        InMsg {
+                            ts: inv.ts,
+                            kind: InKind::Invalidate { block: inv.block, downgrade: inv.downgrade },
+                        },
+                    );
+                }
+                self.push_to_core(core, InMsg { ts: out.done_ts, kind: InKind::IMemReply { block } });
+            }
+            OutKind::Sync(SyncOp::Spawn { entry, arg }) => {
+                let target = self.started.iter().position(|&s| !s);
+                let value = match target {
+                    Some(t) => {
+                        self.started[t] = true;
+                        self.push_to_core(
+                            t,
+                            InMsg {
+                                ts: ts + self.spawn_latency,
+                                kind: InKind::Start { entry, arg, tid: t as u32 },
+                            },
+                        );
+                        t as i64
+                    }
+                    None => -1,
+                };
+                self.push_to_core(
+                    core,
+                    InMsg { ts: ts + self.sync_latency, kind: InKind::SyncReply { value } },
+                );
+            }
+            OutKind::Sync(op) => {
+                let out = self.sync.apply(core, op, ts);
+                if let Some(v) = out.reply {
+                    self.push_to_core(
+                        core,
+                        InMsg { ts: ts + self.sync_latency, kind: InKind::SyncReply { value: v } },
+                    );
+                }
+                for (c, v, req_ts) in out.releases {
+                    // Causal grant stamping: a released waiter resumes no
+                    // earlier than the releasing event (barrier: the last
+                    // arrival; lock/semaphore: the unlock/signal), in every
+                    // scheme. Under eager schemes the releasing event may
+                    // carry a far-ahead frame — that drag is the honest
+                    // cost of slack-distorted hand-offs.
+                    let base = req_ts.max(ts);
+                    self.push_to_core(
+                        c,
+                        InMsg {
+                            ts: base + self.sync_latency,
+                            kind: InKind::SyncReply { value: v },
+                        },
+                    );
+                }
+            }
+            OutKind::Exit { .. } => {
+                self.exited[core] = true;
+            }
+            OutKind::RoiBegin => {
+                self.dir.reset_stats();
+                self.sync.stats = Default::default();
+                self.roi_start = Some(ts);
+            }
+            OutKind::RoiEnd => {
+                // Statistics freeze is handled core-side; the manager only
+                // records that the ROI closed (exec-time accounting).
+            }
+        }
+    }
+
+    /// Broadcast `Stop` to every core (end of simulation).
+    pub fn broadcast_stop(&mut self) {
+        for core in 0..self.inqs.len() {
+            self.push_to_core(core, InMsg { ts: 0, kind: InKind::Stop });
+        }
+        self.flush_overflow();
+    }
+
+    /// Events still waiting in the GQ (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// Timestamp of the earliest queued event, if any. Used to advance the
+    /// processing horizon when every core's clock is suspended in a sync
+    /// call (classic PDES: when all are idle, virtual time jumps to the
+    /// next event).
+    pub fn min_pending_ts(&self) -> Option<u64> {
+        self.ordered.peek().map(|Reverse(OrderedEv(ge))| ge.ev.ts)
+    }
+}

@@ -1,0 +1,531 @@
+//! End-to-end engine tests: multithreaded workloads under every scheme.
+
+use sk_core::{run_parallel, run_sequential, CoreModel, Scheme, StopCondition, TargetConfig};
+use sk_isa::{Program, ProgramBuilder, Reg, Syscall};
+
+/// Build the canonical shared-counter workload: `n` threads each add their
+/// tid-distinct contribution to a lock-protected counter `iters` times,
+/// meet at a barrier, then thread 0 prints the total and everyone exits.
+fn counter_workload(n: usize, iters: i64) -> Program {
+    let a0 = Reg::arg(0);
+    let a1 = Reg::arg(1);
+    let mut b = ProgramBuilder::new();
+    let counter = b.zeros("counter", 1);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    // init_lock(0); init_barrier(1, n)
+    b.li(a0, 0);
+    b.sys(Syscall::InitLock);
+    b.li(a0, 1);
+    b.li(a1, n as i64);
+    b.sys(Syscall::InitBarrier);
+    // spawn workers 1..n
+    for _ in 1..n {
+        b.la_text(a0, worker);
+        b.li(a1, 0);
+        b.sys(Syscall::Spawn);
+    }
+    b.sys(Syscall::RoiBegin);
+    b.j(worker);
+
+    // worker: for iters { lock; counter += tid+1; unlock } ; barrier
+    b.bind(worker);
+    let t_iter = Reg::saved(0);
+    let t_addr = Reg::saved(1);
+    let t_val = Reg::tmp(1);
+    let t_inc = Reg::saved(2);
+    b.li(t_iter, iters);
+    b.li(t_addr, counter as i64);
+    b.sys(Syscall::GetTid); // a0 = tid
+    b.addi(t_inc, a0, 1);
+    let loop_top = b.here("loop");
+    b.li(a0, 0);
+    b.sys(Syscall::Lock);
+    b.ld(t_val, t_addr, 0);
+    b.add(t_val, t_val, t_inc);
+    b.st(t_val, t_addr, 0);
+    b.li(a0, 0);
+    b.sys(Syscall::Unlock);
+    b.addi(t_iter, t_iter, -1);
+    b.bne(t_iter, Reg::ZERO, loop_top);
+    // barrier
+    b.li(a0, 1);
+    b.sys(Syscall::Barrier);
+    // thread 0 prints the final counter
+    let done = b.new_label("done");
+    b.sys(Syscall::GetTid);
+    b.bne(a0, Reg::ZERO, done);
+    b.ld(a0, t_addr, 0);
+    b.sys(Syscall::PrintInt);
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    b.build().unwrap()
+}
+
+fn expected_total(n: usize, iters: i64) -> i64 {
+    (1..=n as i64).sum::<i64>() * iters
+}
+
+fn small_cfg(n: usize, model: CoreModel) -> TargetConfig {
+    let mut cfg = TargetConfig::small(n);
+    cfg.core.model = model;
+    cfg.max_cycles = 5_000_000;
+    cfg
+}
+
+#[test]
+fn sequential_engine_runs_multithreaded_workload() {
+    let n = 4;
+    let p = counter_workload(n, 5);
+    let cfg = small_cfg(n, CoreModel::InOrder);
+    let r = run_sequential(&p, &cfg);
+    assert_eq!(r.printed(), vec![(0, expected_total(n, 5))]);
+    assert!(r.exec_cycles > 0 && r.exec_cycles < cfg.max_cycles);
+    assert_eq!(r.sync.barrier_episodes, 1);
+    assert!(r.sync.lock_acquisitions >= (n as u64) * 5);
+    // All four threads did work.
+    for c in 0..n {
+        assert!(r.cores[c].committed > 0, "core {c} committed nothing");
+    }
+}
+
+#[test]
+fn sequential_engine_is_deterministic() {
+    let n = 4;
+    let p = counter_workload(n, 5);
+    let cfg = small_cfg(n, CoreModel::InOrder);
+    let a = run_sequential(&p, &cfg);
+    let b = run_sequential(&p, &cfg);
+    assert_eq!(a.exec_cycles, b.exec_cycles);
+    assert_eq!(a.total_committed(), b.total_committed());
+    assert_eq!(a.dir, b.dir);
+}
+
+#[test]
+fn parallel_cc_matches_sequential_exactly() {
+    let n = 4;
+    let p = counter_workload(n, 5);
+    let cfg = small_cfg(n, CoreModel::InOrder);
+    let seq = run_sequential(&p, &cfg);
+    let par = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    assert_eq!(par.printed(), seq.printed());
+    assert_eq!(
+        par.exec_cycles, seq.exec_cycles,
+        "parallel CC must be cycle-exact against the sequential reference"
+    );
+    for c in 0..n {
+        assert_eq!(par.cores[c].committed, seq.cores[c].committed, "core {c} committed");
+    }
+    assert_eq!(par.dir.gets, seq.dir.gets);
+    assert_eq!(par.dir.getm, seq.dir.getm);
+    assert_eq!(par.dir.invalidations_out, seq.dir.invalidations_out);
+}
+
+#[test]
+fn parallel_cc_matches_sequential_with_ooo_cores() {
+    let n = 2;
+    let p = counter_workload(n, 4);
+    let cfg = small_cfg(n, CoreModel::OutOfOrder);
+    let seq = run_sequential(&p, &cfg);
+    let par = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    assert_eq!(par.printed(), seq.printed());
+    assert_eq!(par.exec_cycles, seq.exec_cycles);
+}
+
+#[test]
+fn all_schemes_execute_workload_correctly() {
+    let n = 4;
+    let iters = 5;
+    let p = counter_workload(n, iters);
+    let cfg = small_cfg(n, CoreModel::InOrder);
+    for scheme in Scheme::paper_suite(cfg.critical_latency()) {
+        let r = run_parallel(&p, scheme, &cfg);
+        assert_eq!(
+            r.printed(),
+            vec![(0, expected_total(n, iters))],
+            "scheme {scheme} corrupted the workload"
+        );
+        assert!(r.exec_cycles > 0);
+    }
+}
+
+#[test]
+fn adaptive_quantum_scheme_runs() {
+    let n = 4;
+    let p = counter_workload(n, 5);
+    let cfg = small_cfg(n, CoreModel::InOrder);
+    let r = run_parallel(&p, Scheme::AdaptiveQuantum { min: 10, max: 1000 }, &cfg);
+    assert_eq!(r.printed(), vec![(0, expected_total(n, 5))]);
+    assert!(r.engine.final_quantum >= 10);
+}
+
+#[test]
+fn conservative_schemes_match_cc_exec_time() {
+    // Q10, L10 and S9* are conservative: with quantum/lookahead at the
+    // critical latency they must report the same execution time as CC.
+    let n = 4;
+    let p = counter_workload(n, 5);
+    let cfg = small_cfg(n, CoreModel::InOrder);
+    let base = run_sequential(&p, &cfg);
+    let crit = cfg.critical_latency();
+    for scheme in [
+        Scheme::Quantum(crit),
+        Scheme::Lookahead(crit),
+        Scheme::OldestFirstBounded(crit - 1),
+    ] {
+        let r = run_parallel(&p, scheme, &cfg);
+        assert_eq!(r.printed(), base.printed(), "{scheme}");
+        // Event processing granularity differs, so allow sub-percent skew,
+        // but conservative schemes may not drift materially.
+        let err = r.exec_time_error(&base);
+        assert!(err < 0.01, "{scheme} exec-time error {err} vs CC");
+    }
+}
+
+#[test]
+fn bounded_slack_error_is_small_and_unbounded_larger() {
+    let n = 4;
+    let p = counter_workload(n, 8);
+    let cfg = small_cfg(n, CoreModel::InOrder);
+    let base = run_sequential(&p, &cfg);
+    let s9 = run_parallel(&p, Scheme::BoundedSlack(9), &cfg);
+    assert_eq!(s9.printed(), base.printed());
+    // Slack errors are run-dependent (host scheduling); on this tiny
+    // lock-heavy kernel they stay within a few percent. The paper-scale
+    // accuracy claims are exercised by the Table 3 harness on the full
+    // kernels, not here.
+    let err9 = s9.exec_time_error(&base);
+    assert!(err9 < 0.15, "S9 error {err9} implausibly large");
+    let su = run_parallel(&p, Scheme::Unbounded, &cfg);
+    assert_eq!(su.printed(), base.printed());
+}
+
+#[test]
+fn observed_slack_respects_bound() {
+    // On a compute-only workload the only clock fast-forwards are the
+    // Spawn replies (one sync latency each), and ticking is strictly
+    // window-gated in between — so the observed slack is bounded by the
+    // scheme bound plus one critical latency. (With locks/barriers the
+    // asynchronously-sampled diagnostic gets spikier.)
+    let n = 4;
+    let mut b = ProgramBuilder::new();
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    for _ in 1..n {
+        b.la_text(Reg::arg(0), worker);
+        b.li(Reg::arg(1), 0);
+        b.sys(Syscall::Spawn);
+    }
+    b.j(worker);
+    b.bind(worker);
+    b.li(Reg::saved(0), 500);
+    let top = b.here("top");
+    b.addi(Reg::tmp(0), Reg::tmp(0), 1);
+    b.addi(Reg::saved(0), Reg::saved(0), -1);
+    b.bne(Reg::saved(0), Reg::ZERO, top);
+    b.sys(Syscall::Exit);
+    b.entry(main);
+    let p = b.build().unwrap();
+
+    let cfg = small_cfg(n, CoreModel::InOrder);
+    let crit = cfg.critical_latency();
+    let s9 = run_parallel(&p, Scheme::BoundedSlack(9), &cfg);
+    assert!(
+        s9.engine.max_observed_slack <= 9 + crit,
+        "observed slack {} exceeds the S9 bound + critical latency",
+        s9.engine.max_observed_slack
+    );
+    // CC still fast-forwards across the Spawn syscall's reply latency
+    // (the spawning core suspends for critical-latency cycles), so the
+    // sampled diagnostic can briefly read up to 1 + critical latency.
+    let cc = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    assert!(
+        cc.engine.max_observed_slack <= 1 + crit,
+        "CC slack {}",
+        cc.engine.max_observed_slack
+    );
+}
+
+#[test]
+fn violation_tracking_counts_conflicting_accesses() {
+    // A racy workload: threads hammer the same word WITHOUT a lock. Under
+    // unbounded slack with violation tracking on, conflicting-pair
+    // inversions should be observable (Fig. 7); under CC there are none.
+    let n = 4;
+    let mut b = ProgramBuilder::new();
+    let word = b.zeros("word", 1);
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    for _ in 1..n {
+        b.la_text(Reg::arg(0), worker);
+        b.li(Reg::arg(1), 0);
+        b.sys(Syscall::Spawn);
+    }
+    b.j(worker);
+    b.bind(worker);
+    b.li(Reg::saved(0), 200);
+    b.li(Reg::saved(1), word as i64);
+    let top = b.here("top");
+    b.ld(Reg::tmp(1), Reg::saved(1), 0);
+    b.addi(Reg::tmp(1), Reg::tmp(1), 1);
+    b.st(Reg::tmp(1), Reg::saved(1), 0);
+    b.addi(Reg::saved(0), Reg::saved(0), -1);
+    b.bne(Reg::saved(0), Reg::ZERO, top);
+    b.sys(Syscall::Exit);
+    b.entry(main);
+    let p = b.build().unwrap();
+
+    let mut cfg = small_cfg(n, CoreModel::InOrder);
+    cfg.track_workload_violations = true;
+    let cc = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    assert_eq!(cc.violations.total(), 0, "CC must be violation-free");
+    // SU is *allowed* to produce violations; we only assert the machinery
+    // does not corrupt the run (threads complete).
+    let su = run_parallel(&p, Scheme::Unbounded, &cfg);
+    assert!(su.exec_cycles > 0);
+}
+
+#[test]
+fn fast_forward_compensation_injects_stalls_only_when_violating() {
+    let n = 2;
+    let p = counter_workload(n, 5);
+    let mut cfg = small_cfg(n, CoreModel::InOrder);
+    cfg.track_workload_violations = true;
+    cfg.fast_forward_compensation = true;
+    // Lock-protected workload under CC: no violations, no compensation.
+    let r = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    assert_eq!(r.violations.compensations, 0);
+    assert_eq!(r.printed(), vec![(0, expected_total(n, 5))]);
+}
+
+#[test]
+fn roi_instruction_budget_stops_simulation() {
+    // An infinite loop after RoiBegin: only the instruction budget stops it.
+    let mut b = ProgramBuilder::new();
+    b.sys(Syscall::RoiBegin);
+    let top = b.here("spin");
+    b.addi(Reg::tmp(0), Reg::tmp(0), 1);
+    b.j(top);
+    let p = b.build().unwrap();
+    let mut cfg = small_cfg(1, CoreModel::InOrder);
+    cfg.stop = StopCondition::RoiInstructions(10_000);
+    let r = run_parallel(&p, Scheme::BoundedSlack(9), &cfg);
+    assert!(r.total_roi_committed() >= 10_000);
+    assert!(r.total_committed() < 200_000, "should stop soon after the budget");
+}
+
+#[test]
+fn max_cycles_backstop_prevents_hangs() {
+    // Deadlock: barrier initialized for 2 participants, only 1 arrives.
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::arg(0), 0);
+    b.li(Reg::arg(1), 2);
+    b.sys(Syscall::InitBarrier);
+    b.li(Reg::arg(0), 0);
+    b.sys(Syscall::Barrier);
+    b.sys(Syscall::Exit);
+    let p = b.build().unwrap();
+    let mut cfg = small_cfg(1, CoreModel::InOrder);
+    cfg.max_cycles = 20_000;
+    let r = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    // The deadlocked barrier is detected by the manager's quiescence
+    // backstop (the waiting core's clock is suspended, so the run ends
+    // without burning 20k simulated cycles).
+    assert_eq!(r.sync.barrier_episodes, 0, "barrier must never release");
+    assert!(r.exec_cycles < 20_000, "quiescence detection beats the cycle cap");
+}
+
+#[test]
+fn semaphores_order_producer_consumer() {
+    // Thread 0 produces a value then signals; thread 1 waits then reads.
+    let n = 2;
+    let a0 = Reg::arg(0);
+    let a1 = Reg::arg(1);
+    let mut b = ProgramBuilder::new();
+    let slot = b.zeros("slot", 1);
+    let consumer = b.new_label("consumer");
+    let main = b.here("main");
+    b.li(a0, 0);
+    b.li(a1, 0);
+    b.sys(Syscall::InitSema);
+    b.la_text(a0, consumer);
+    b.li(a1, 0);
+    b.sys(Syscall::Spawn);
+    // produce
+    b.li(Reg::tmp(0), 9876);
+    b.li(Reg::tmp(1), slot as i64);
+    b.st(Reg::tmp(0), Reg::tmp(1), 0);
+    b.li(a0, 0);
+    b.sys(Syscall::SemaSignal);
+    b.sys(Syscall::Exit);
+    // consume
+    b.bind(consumer);
+    b.li(a0, 0);
+    b.sys(Syscall::SemaWait);
+    b.li(Reg::tmp(1), slot as i64);
+    b.ld(a0, Reg::tmp(1), 0);
+    b.sys(Syscall::PrintInt);
+    b.sys(Syscall::Exit);
+    b.entry(main);
+    let p = b.build().unwrap();
+
+    let cfg = small_cfg(n, CoreModel::InOrder);
+    for scheme in [Scheme::CycleByCycle, Scheme::BoundedSlack(9), Scheme::Unbounded] {
+        let r = run_parallel(&p, scheme, &cfg);
+        assert_eq!(r.printed(), vec![(1, 9876)], "{scheme}");
+    }
+}
+
+#[test]
+fn sharded_memory_managers_are_cycle_exact_for_conservative_schemes() {
+    // The paper's §2.2 extension: split the manager into several threads.
+    // The frontier backpressure makes conservative schemes cycle-exact
+    // against the single-manager engine at any shard count; eager schemes
+    // keep their outputs and gain manager throughput.
+    let n = 4;
+    let p = counter_workload(n, 6);
+    let mut cfg = small_cfg(n, CoreModel::InOrder);
+    let base = run_sequential(&p, &cfg);
+    for shards in [1usize, 2, 4] {
+        cfg.mem_shards = shards;
+        for scheme in [
+            Scheme::CycleByCycle,
+            Scheme::OldestFirstBounded(9),
+            Scheme::BoundedSlack(9),
+            Scheme::Unbounded,
+        ] {
+            let r = run_parallel(&p, scheme, &cfg);
+            assert_eq!(r.printed(), base.printed(), "shards={shards} {scheme}");
+            if scheme.is_conservative() {
+                // Deterministic; timing may differ from the single manager
+                // only via per-shard interconnect channels (here the
+                // shared bus is uncontended, so it is exactly equal).
+                let r2 = run_parallel(&p, scheme, &cfg);
+                assert_eq!(r.exec_cycles, r2.exec_cycles, "shards={shards} {scheme} determinism");
+                let err = r.exec_time_error(&base);
+                assert!(err < 0.01, "shards={shards} {scheme} err {err}");
+            }
+        }
+    }
+}
+
+#[test]
+fn single_threaded_program_on_many_cores_parks_the_rest() {
+    // A program that never spawns: cores 1..n have no thread and must not
+    // slow down or corrupt the run.
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::saved(0), 300);
+    let top = b.here("top");
+    b.addi(Reg::tmp(0), Reg::tmp(0), 3);
+    b.addi(Reg::saved(0), Reg::saved(0), -1);
+    b.bne(Reg::saved(0), Reg::ZERO, top);
+    b.mv(Reg::arg(0), Reg::tmp(0));
+    b.sys(Syscall::PrintInt);
+    b.sys(Syscall::Exit);
+    let p = b.build().unwrap();
+    let cfg = small_cfg(8, CoreModel::InOrder);
+    let seq = run_sequential(&p, &cfg);
+    let par = run_parallel(&p, Scheme::BoundedSlack(9), &cfg);
+    assert_eq!(seq.printed(), vec![(0, 900)]);
+    assert_eq!(par.printed(), vec![(0, 900)]);
+    for c in 1..8 {
+        assert_eq!(par.cores[c].committed, 0, "core {c} should have no thread");
+    }
+}
+
+#[test]
+fn roi_budget_works_on_the_sequential_engine() {
+    let mut b = ProgramBuilder::new();
+    b.sys(Syscall::RoiBegin);
+    let top = b.here("spin");
+    b.addi(Reg::tmp(0), Reg::tmp(0), 1);
+    b.j(top);
+    let p = b.build().unwrap();
+    let mut cfg = small_cfg(1, CoreModel::InOrder);
+    cfg.stop = StopCondition::RoiInstructions(5_000);
+    let r = run_sequential(&p, &cfg);
+    assert!(r.total_roi_committed() >= 5_000);
+    assert!(r.total_committed() < 100_000);
+}
+
+#[test]
+fn tight_mshr_and_store_buffer_configs_still_work() {
+    // Starve the OoO core's structures: 1 MSHR, 1 store-buffer slot,
+    // 1-wide everything. Slower, but must stay correct.
+    let n = 2;
+    let p = counter_workload(n, 4);
+    let mut cfg = small_cfg(n, CoreModel::OutOfOrder);
+    cfg.mem.mshrs = 1;
+    cfg.core.store_buffer = 1;
+    cfg.core.fetch_width = 1;
+    cfg.core.issue_width = 1;
+    cfg.core.commit_width = 1;
+    cfg.core.rob_entries = 8;
+    cfg.core.lsq_entries = 4;
+    cfg.core.fetch_queue = 2;
+    let seq = run_sequential(&p, &cfg);
+    assert_eq!(seq.printed(), vec![(0, expected_total(n, 4))]);
+    let par = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    assert_eq!(par.exec_cycles, seq.exec_cycles, "starved config stays deterministic");
+    // Wider machine must not be slower.
+    let wide = run_sequential(&p, &small_cfg(n, CoreModel::OutOfOrder));
+    assert!(wide.exec_cycles < seq.exec_cycles, "{} < {}", wide.exec_cycles, seq.exec_cycles);
+}
+
+#[test]
+fn fast_forward_reduces_violations_on_racy_code() {
+    // Inline racy workload (cannot use sk-kernels here: it depends on us).
+    let n = 4;
+    let mut b = ProgramBuilder::new();
+    let word = b.zeros("word", 1);
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    for _ in 1..n {
+        b.la_text(Reg::arg(0), worker);
+        b.li(Reg::arg(1), 0);
+        b.sys(Syscall::Spawn);
+    }
+    b.j(worker);
+    b.bind(worker);
+    b.li(Reg::saved(0), 150);
+    b.li(Reg::saved(1), word as i64);
+    let top = b.here("top");
+    b.ld(Reg::tmp(1), Reg::saved(1), 0);
+    b.addi(Reg::tmp(1), Reg::tmp(1), 1);
+    b.st(Reg::tmp(1), Reg::saved(1), 0);
+    b.addi(Reg::saved(0), Reg::saved(0), -1);
+    b.bne(Reg::saved(0), Reg::ZERO, top);
+    b.sys(Syscall::Exit);
+    b.entry(main);
+    let p = b.build().unwrap();
+
+    let mut cfg = small_cfg(4, CoreModel::InOrder);
+    cfg.track_workload_violations = true;
+    // Without compensation, SU on racy code usually shows violations;
+    // with compensation, stalls are injected whenever anything was
+    // compensated.
+    let plain = run_parallel(&p, Scheme::Unbounded, &cfg);
+    cfg.fast_forward_compensation = true;
+    let ff = run_parallel(&p, Scheme::Unbounded, &cfg);
+    assert_eq!(ff.violations.compensations > 0, ff.violations.compensation_cycles > 0);
+    // Functional completion in both modes.
+    assert!(plain.exec_cycles > 0 && ff.exec_cycles > 0);
+}
+
+#[test]
+fn trace_recording_produces_per_core_traces() {
+    let n = 2;
+    let p = counter_workload(n, 3);
+    let mut cfg = small_cfg(n, CoreModel::InOrder);
+    cfg.record_trace = true;
+    let r = run_parallel(&p, Scheme::BoundedSlack(9), &cfg);
+    let traces = r.traces.as_ref().expect("traces recorded");
+    assert_eq!(traces.len(), n);
+    for (c, t) in traces.iter().enumerate() {
+        assert_eq!(t.len() as u64, r.cores[c].cycles, "trace length = cycles for core {c}");
+        assert!(t.iter().any(|&w| w > 0));
+    }
+}

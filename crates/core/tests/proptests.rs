@@ -1,0 +1,142 @@
+//! Property tests for the engine's core data structures.
+
+use proptest::prelude::*;
+use sk_core::clock::{ClockBoard, CoreState};
+use sk_core::violation::ConflictTracker;
+use sk_core::Scheme;
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::CycleByCycle),
+        (1u64..200).prop_map(Scheme::Quantum),
+        (1u64..200).prop_map(Scheme::Lookahead),
+        (1u64..200).prop_map(Scheme::BoundedSlack),
+        (1u64..200).prop_map(Scheme::OldestFirstBounded),
+        Just(Scheme::Unbounded),
+    ]
+}
+
+proptest! {
+    /// Window algebra: monotone in g, always allows progress, and the
+    /// short-name round-trips through the parser.
+    #[test]
+    fn scheme_window_algebra(scheme in arb_scheme(), g0 in 0u64..1_000_000, steps in 1u64..200) {
+        let mut prev = scheme.window(g0);
+        prop_assert!(prev > g0 || prev == u64::MAX);
+        for g in g0 + 1..g0 + steps {
+            let w = scheme.window(g);
+            prop_assert!(w >= prev, "{scheme} window regressed at g={g}");
+            prop_assert!(w > g || w == u64::MAX, "{scheme} denies progress at g={g}");
+            prev = w;
+        }
+        prop_assert_eq!(scheme.short_name().parse::<Scheme>().unwrap(), scheme);
+    }
+
+    /// The clock board's paper invariant `global <= local_i <= max_local_i`
+    /// holds under arbitrary interleavings of advances, window raises and
+    /// global recomputations.
+    #[test]
+    fn clock_invariant_under_random_ops(
+        ops in proptest::collection::vec((0u8..3, 0usize..4, 1u64..50), 1..300)
+    ) {
+        let board = ClockBoard::new(4, 10);
+        for (op, core, amount) in ops {
+            match op {
+                0 => {
+                    // advance the core within its window
+                    for _ in 0..amount {
+                        let l = board.local(core);
+                        if board.may_advance(core, l) {
+                            board.advance_local(core, l + 1);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                1 => {
+                    let (g, _) = board.recompute_global();
+                    // raise this core's window per a CC-ish rule
+                    board.raise_max_local(core, g + amount);
+                }
+                _ => {
+                    board.recompute_global();
+                }
+            }
+            let g = board.global();
+            for c in 0..4 {
+                let l = board.local(c);
+                prop_assert!(g <= l, "global {g} > local {l} of core {c}");
+                prop_assert!(l <= board.max_local(c), "core {c} past its window");
+            }
+        }
+    }
+
+    /// Parked cores never hold the global minimum back, and unparking
+    /// restores them.
+    #[test]
+    fn parking_excludes_from_global(advances in 1u64..100) {
+        let board = ClockBoard::new(2, u64::MAX);
+        board.park(1);
+        for i in 1..=advances {
+            board.advance_local(0, i);
+        }
+        let (g, done) = board.recompute_global();
+        prop_assert_eq!(g, advances, "parked core held global back");
+        prop_assert!(!done || advances == 0);
+        board.unpark(1);
+        prop_assert_eq!(board.state(1), CoreState::Running);
+        let (g2, _) = board.recompute_global();
+        // Global is monotone even though core 1 is behind.
+        prop_assert_eq!(g2, g);
+    }
+
+    /// The conflict tracker flags an inversion exactly when a reference
+    /// per-word model does.
+    #[test]
+    fn tracker_matches_reference(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0usize..3, 0u64..4, 0u64..100), 1..300)
+    ) {
+        let tracker = ConflictTracker::new(false);
+        #[derive(Default, Clone, Copy)]
+        struct Ref { st: u64, sc: usize, lt: u64, lc: usize }
+        let mut model = [Ref::default(); 4];
+        let mut expected_total = 0u64;
+        for (is_store, core, word, ts) in ops {
+            let addr = 0x1000 + word * 8;
+            let m = &mut model[word as usize];
+            if is_store {
+                let v = tracker.record_store(core, addr, ts);
+                let expect = m.lt > ts && m.lc != core;
+                prop_assert_eq!(v.violated, expect);
+                if expect { expected_total += 1; }
+                if ts >= m.st { m.st = ts; m.sc = core; }
+            } else {
+                let v = tracker.record_load(core, addr, ts);
+                let expect = m.st > ts && m.sc != core;
+                prop_assert_eq!(v.violated, expect);
+                if expect { expected_total += 1; }
+                if ts >= m.lt { m.lt = ts; m.lc = core; }
+            }
+        }
+        prop_assert_eq!(tracker.stats.total(), expected_total);
+    }
+
+    /// Fast-forward compensation never moves a timestamp backwards, and
+    /// the reported stall is exactly the bump.
+    #[test]
+    fn compensation_is_forward_only(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..3, 0u64..100), 1..200)
+    ) {
+        let tracker = ConflictTracker::new(true);
+        for (is_store, core, ts) in ops {
+            let r = if is_store {
+                tracker.record_store(core, 0x2000, ts)
+            } else {
+                tracker.record_load(core, 0x2000, ts)
+            };
+            prop_assert!(r.effective_ts >= ts);
+            prop_assert_eq!(r.stall, r.effective_ts - ts);
+        }
+    }
+}

@@ -1,0 +1,587 @@
+//! Text assembler.
+//!
+//! A small two-pass assembler accepting the syntax produced by
+//! [`crate::disasm`], plus labels and data directives:
+//!
+//! ```text
+//! .data
+//! counter:            # labels name the next word/instruction
+//!   .word 0
+//! table:
+//!   .float 1.0, 2.5
+//!   .zero 8           # reserve 8 zeroed words
+//!
+//! .text
+//! main:
+//!   li   t0, 10
+//! loop:
+//!   addi t0, t0, -1
+//!   bne  t0, zero, loop   # branches take labels or numeric offsets
+//!   syscall 0             # exit
+//! ```
+//!
+//! The entry point is the `main` label if present, else the first
+//! instruction. Comments start with `#` or `//`.
+
+use crate::instr::Instr;
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Assembly error with a 1-based source line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Split an operand list on commas, trimming whitespace.
+fn operands(s: &str) -> Vec<&str> {
+    s.split(',').map(str::trim).filter(|t| !t.is_empty()).collect()
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    if let Some(i) = line.find('#') {
+        end = end.min(i);
+    }
+    if let Some(i) = line.find("//") {
+        end = end.min(i);
+    }
+    line[..end].trim()
+}
+
+struct Ctx<'a> {
+    labels: &'a BTreeMap<String, (Section, usize)>,
+    line: usize,
+    index: usize, // index of the instruction being assembled
+}
+
+impl Ctx<'_> {
+    fn reg(&self, t: &str) -> Result<Reg, AsmError> {
+        Reg::parse(t).ok_or_else(|| AsmError {
+            line: self.line,
+            msg: format!("bad integer register '{t}'"),
+        })
+    }
+
+    fn freg(&self, t: &str) -> Result<FReg, AsmError> {
+        FReg::parse(t).ok_or_else(|| AsmError {
+            line: self.line,
+            msg: format!("bad fp register '{t}'"),
+        })
+    }
+
+    fn imm(&self, t: &str) -> Result<i32, AsmError> {
+        parse_int(t)
+            .and_then(|v| i32::try_from(v).ok())
+            .ok_or_else(|| AsmError { line: self.line, msg: format!("bad immediate '{t}'") })
+    }
+
+    /// An address-valued immediate: a numeric value or any label (text or
+    /// data), resolved to its byte address. Used by `li`/`la`.
+    fn addr_imm(&self, t: &str) -> Result<i32, AsmError> {
+        if let Some(v) = parse_int(t) {
+            return i32::try_from(v)
+                .map_err(|_| AsmError { line: self.line, msg: format!("'{t}' overflows li") });
+        }
+        let addr = match self.labels.get(t) {
+            Some((Section::Text, idx)) => Program::text_addr(*idx),
+            Some((Section::Data, idx)) => {
+                crate::layout::DATA_BASE + (*idx as u64) * crate::WORD_BYTES
+            }
+            None => return err(self.line, format!("unknown label '{t}'")),
+        };
+        i32::try_from(addr)
+            .map_err(|_| AsmError { line: self.line, msg: format!("address of '{t}' overflows li") })
+    }
+
+    /// A branch target: either a numeric offset or a text label.
+    fn target(&self, t: &str) -> Result<i32, AsmError> {
+        if let Some(v) = parse_int(t) {
+            return i32::try_from(v)
+                .map_err(|_| AsmError { line: self.line, msg: format!("offset '{t}' overflow") });
+        }
+        match self.labels.get(t) {
+            Some((Section::Text, idx)) => {
+                let off = *idx as i64 - (self.index as i64 + 1);
+                i32::try_from(off).map_err(|_| AsmError {
+                    line: self.line,
+                    msg: format!("branch to '{t}' out of range"),
+                })
+            }
+            Some((Section::Data, _)) => err(self.line, format!("'{t}' is a data label")),
+            None => err(self.line, format!("unknown label '{t}'")),
+        }
+    }
+
+    /// A `imm(base)` memory operand.
+    fn mem(&self, t: &str) -> Result<(i32, Reg), AsmError> {
+        let open = t
+            .find('(')
+            .ok_or_else(|| AsmError { line: self.line, msg: format!("bad memory operand '{t}'") })?;
+        if !t.ends_with(')') {
+            return err(self.line, format!("bad memory operand '{t}'"));
+        }
+        let off_txt = t[..open].trim();
+        let off = if off_txt.is_empty() { 0 } else { self.imm(off_txt)? };
+        let base = self.reg(t[open + 1..t.len() - 1].trim())?;
+        Ok((off, base))
+    }
+}
+
+fn parse_int(t: &str) -> Option<i64> {
+    let (neg, rest) = match t.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = rest.strip_prefix("0x").or_else(|| rest.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        rest.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_data_word(t: &str, line: usize) -> Result<u64, AsmError> {
+    // Data words cover the full u64 range (hex) as well as negative
+    // two's-complement decimals.
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        if let Ok(v) = u64::from_str_radix(hex, 16) {
+            return Ok(v);
+        }
+    } else if let Some(v) = parse_int(t) {
+        return Ok(v as u64);
+    }
+    err(line, format!("bad data word '{t}'"))
+}
+
+/// Assemble a source listing into a [`Program`].
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pass 1: count instructions / data words, bind labels.
+    let mut labels: BTreeMap<String, (Section, usize)> = BTreeMap::new();
+    let mut section = Section::Text;
+    let mut n_instr = 0usize;
+    let mut n_data = 0usize;
+
+    for (ln, raw) in src.lines().enumerate() {
+        let line_no = ln + 1;
+        let mut line = strip_comment(raw);
+        while let Some(colon) = line.find(':') {
+            let (label, rest) = line.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break; // not a label, e.g. nothing sensible — let pass 2 report
+            }
+            let pos = match section {
+                Section::Text => n_instr,
+                Section::Data => n_data,
+            };
+            if labels.insert(label.to_string(), (section, pos)).is_some() {
+                return err(line_no, format!("duplicate label '{label}'"));
+            }
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(dir) = line.strip_prefix('.') {
+            let (name, rest) = dir.split_once(char::is_whitespace).unwrap_or((dir, ""));
+            match name {
+                "text" => section = Section::Text,
+                "data" => section = Section::Data,
+                "word" | "float" => {
+                    if section != Section::Data {
+                        return err(line_no, format!(".{name} outside .data"));
+                    }
+                    n_data += operands(rest).len();
+                }
+                "zero" => {
+                    if section != Section::Data {
+                        return err(line_no, ".zero outside .data");
+                    }
+                    let n = parse_int(rest.trim())
+                        .filter(|&n| n >= 0)
+                        .ok_or_else(|| AsmError { line: line_no, msg: "bad .zero count".into() })?;
+                    n_data += n as usize;
+                }
+                other => return err(line_no, format!("unknown directive '.{other}'")),
+            }
+            continue;
+        }
+        match section {
+            Section::Text => n_instr += 1,
+            Section::Data => return err(line_no, "instruction in .data section"),
+        }
+    }
+
+    // Pass 2: emit.
+    let mut text: Vec<Instr> = Vec::with_capacity(n_instr);
+    let mut data: Vec<u64> = Vec::with_capacity(n_data);
+
+    for (ln, raw) in src.lines().enumerate() {
+        let line_no = ln + 1;
+        let mut line = strip_comment(raw);
+        while let Some(colon) = line.find(':') {
+            let (label, rest) = line.split_at(colon);
+            if label.trim().is_empty() || label.trim().contains(char::is_whitespace) {
+                break;
+            }
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(dir) = line.strip_prefix('.') {
+            let (name, rest) = dir.split_once(char::is_whitespace).unwrap_or((dir, ""));
+            match name {
+                // Section membership was validated in pass 1.
+                "text" | "data" => {}
+                "word" => {
+                    for t in operands(rest) {
+                        data.push(parse_data_word(t, line_no)?);
+                    }
+                }
+                "float" => {
+                    for t in operands(rest) {
+                        let v: f64 = t.parse().map_err(|_| AsmError {
+                            line: line_no,
+                            msg: format!("bad float '{t}'"),
+                        })?;
+                        data.push(v.to_bits());
+                    }
+                }
+                "zero" => {
+                    let n = parse_int(rest.trim()).unwrap() as usize;
+                    data.resize(data.len() + n, 0);
+                }
+                _ => unreachable!("validated in pass 1"),
+            }
+            continue;
+        }
+
+        let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let ops = operands(rest);
+        let ctx = Ctx { labels: &labels, line: line_no, index: text.len() };
+        text.push(parse_instr(mnemonic, &ops, &ctx)?);
+    }
+
+    let mut symbols = BTreeMap::new();
+    for (name, (sec, pos)) in &labels {
+        let addr = match sec {
+            Section::Text => Program::text_addr(*pos),
+            Section::Data => crate::layout::DATA_BASE + (*pos as u64) * crate::WORD_BYTES,
+        };
+        symbols.insert(name.clone(), addr);
+    }
+    let entry = symbols.get("main").copied().unwrap_or(Program::text_addr(0));
+
+    let p = Program { text, data, entry, symbols };
+    p.validate().map_err(|e| AsmError { line: 0, msg: e.to_string() })?;
+    Ok(p)
+}
+
+fn parse_instr(m: &str, ops: &[&str], c: &Ctx) -> Result<Instr, AsmError> {
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(c.line, format!("'{m}' expects {n} operands, got {}", ops.len()))
+        }
+    };
+
+    use Instr::*;
+    macro_rules! rrr {
+        ($v:ident) => {{
+            need(3)?;
+            $v { rd: c.reg(ops[0])?, rs1: c.reg(ops[1])?, rs2: c.reg(ops[2])? }
+        }};
+    }
+    macro_rules! rri {
+        ($v:ident) => {{
+            need(3)?;
+            $v { rd: c.reg(ops[0])?, rs1: c.reg(ops[1])?, imm: c.imm(ops[2])? }
+        }};
+    }
+    macro_rules! branch {
+        ($v:ident) => {{
+            need(3)?;
+            $v { rs1: c.reg(ops[0])?, rs2: c.reg(ops[1])?, off: c.target(ops[2])? }
+        }};
+    }
+    macro_rules! fff {
+        ($v:ident) => {{
+            need(3)?;
+            $v { fd: c.freg(ops[0])?, fs1: c.freg(ops[1])?, fs2: c.freg(ops[2])? }
+        }};
+    }
+    macro_rules! ff {
+        ($v:ident) => {{
+            need(2)?;
+            $v { fd: c.freg(ops[0])?, fs1: c.freg(ops[1])? }
+        }};
+    }
+    macro_rules! rff {
+        ($v:ident) => {{
+            need(3)?;
+            $v { rd: c.reg(ops[0])?, fs1: c.freg(ops[1])?, fs2: c.freg(ops[2])? }
+        }};
+    }
+
+    let i = match m {
+        "nop" => {
+            need(0)?;
+            Nop
+        }
+        "add" => rrr!(Add),
+        "sub" => rrr!(Sub),
+        "mul" => rrr!(Mul),
+        "div" => rrr!(Div),
+        "rem" => rrr!(Rem),
+        "and" => rrr!(And),
+        "or" => rrr!(Or),
+        "xor" => rrr!(Xor),
+        "sll" => rrr!(Sll),
+        "srl" => rrr!(Srl),
+        "sra" => rrr!(Sra),
+        "slt" => rrr!(Slt),
+        "sltu" => rrr!(Sltu),
+        "addi" => rri!(Addi),
+        "andi" => rri!(Andi),
+        "ori" => rri!(Ori),
+        "xori" => rri!(Xori),
+        "slli" => rri!(Slli),
+        "srli" => rri!(Srli),
+        "srai" => rri!(Srai),
+        "slti" => rri!(Slti),
+        "addih" => rri!(Addih),
+        // `li` (and its synonym `la`) accept numeric immediates or any
+        // label, which assembles to the label's byte address.
+        "li" | "la" => {
+            need(2)?;
+            Li { rd: c.reg(ops[0])?, imm: c.addr_imm(ops[1])? }
+        }
+        "ld" => {
+            need(2)?;
+            let (imm, rs1) = c.mem(ops[1])?;
+            Ld { rd: c.reg(ops[0])?, rs1, imm }
+        }
+        "st" => {
+            need(2)?;
+            let (imm, rs1) = c.mem(ops[1])?;
+            St { rs2: c.reg(ops[0])?, rs1, imm }
+        }
+        "fld" => {
+            need(2)?;
+            let (imm, rs1) = c.mem(ops[1])?;
+            Fld { fd: c.freg(ops[0])?, rs1, imm }
+        }
+        "fst" => {
+            need(2)?;
+            let (imm, rs1) = c.mem(ops[1])?;
+            Fst { fs: c.freg(ops[0])?, rs1, imm }
+        }
+        "beq" => branch!(Beq),
+        "bne" => branch!(Bne),
+        "blt" => branch!(Blt),
+        "bge" => branch!(Bge),
+        "bltu" => branch!(Bltu),
+        "bgeu" => branch!(Bgeu),
+        "j" => {
+            need(1)?;
+            J { off: c.target(ops[0])? }
+        }
+        "jal" => {
+            need(2)?;
+            Jal { rd: c.reg(ops[0])?, off: c.target(ops[1])? }
+        }
+        "jalr" => {
+            need(3)?;
+            Jalr { rd: c.reg(ops[0])?, rs1: c.reg(ops[1])?, imm: c.imm(ops[2])? }
+        }
+        "fadd" => fff!(Fadd),
+        "fsub" => fff!(Fsub),
+        "fmul" => fff!(Fmul),
+        "fdiv" => fff!(Fdiv),
+        "fmin" => fff!(Fmin),
+        "fmax" => fff!(Fmax),
+        "fsqrt" => ff!(Fsqrt),
+        "fneg" => ff!(Fneg),
+        "fabs" => ff!(Fabs),
+        "feq" => rff!(Feq),
+        "flt" => rff!(Flt),
+        "fle" => rff!(Fle),
+        "fcvtlf" => {
+            need(2)?;
+            Fcvtlf { fd: c.freg(ops[0])?, rs1: c.reg(ops[1])? }
+        }
+        "fcvtfl" => {
+            need(2)?;
+            Fcvtfl { rd: c.reg(ops[0])?, fs1: c.freg(ops[1])? }
+        }
+        "fmvxf" => {
+            need(2)?;
+            Fmvxf { rd: c.reg(ops[0])?, fs1: c.freg(ops[1])? }
+        }
+        "fmvfx" => {
+            need(2)?;
+            Fmvfx { fd: c.freg(ops[0])?, rs1: c.reg(ops[1])? }
+        }
+        "syscall" => {
+            need(1)?;
+            let code = c.imm(ops[0])?;
+            let code = u16::try_from(code)
+                .map_err(|_| AsmError { line: c.line, msg: "syscall code overflow".into() })?;
+            Syscall { code }
+        }
+        "ret" => {
+            need(0)?;
+            Jalr { rd: Reg::ZERO, rs1: Reg::RA, imm: 0 }
+        }
+        "mv" => {
+            need(2)?;
+            Addi { rd: c.reg(ops[0])?, rs1: c.reg(ops[1])?, imm: 0 }
+        }
+        "call" => {
+            need(1)?;
+            Jal { rd: Reg::RA, off: c.target(ops[0])? }
+        }
+        other => return err(c.line, format!("unknown mnemonic '{other}'")),
+    };
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::DATA_BASE;
+
+    #[test]
+    fn assembles_loop_with_labels() {
+        let p = assemble(
+            r#"
+            .data
+            counter: .word 5
+            .text
+            main:
+              li   t0, 10
+            loop:
+              addi t0, t0, -1
+              bne  t0, zero, loop
+              syscall 0
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.text_len(), 4);
+        assert_eq!(p.entry, Program::text_addr(0));
+        assert_eq!(p.symbol("counter"), Some(DATA_BASE));
+        assert_eq!(p.data, vec![5]);
+        assert_eq!(p.text[2], Instr::Bne { rs1: Reg::tmp(0), rs2: Reg::ZERO, off: -2 });
+    }
+
+    #[test]
+    fn forward_references_work() {
+        let p = assemble(
+            "main:\n  beq zero, zero, done\n  nop\ndone:\n  syscall 0\n",
+        )
+        .unwrap();
+        assert_eq!(p.text[0], Instr::Beq { rs1: Reg::ZERO, rs2: Reg::ZERO, off: 1 });
+    }
+
+    #[test]
+    fn data_directives() {
+        let p = assemble(
+            ".data\nv: .float 1.5, -2.0\nz: .zero 3\nw: .word 0x10, -1\n.text\n syscall 0\n",
+        )
+        .unwrap();
+        assert_eq!(p.data.len(), 7);
+        assert_eq!(p.data[0], 1.5f64.to_bits());
+        assert_eq!(p.data[1], (-2.0f64).to_bits());
+        assert_eq!(p.data[2..5], [0, 0, 0]);
+        assert_eq!(p.data[5], 0x10);
+        assert_eq!(p.data[6], u64::MAX);
+        assert_eq!(p.symbol("z"), Some(DATA_BASE + 16));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("main:\n  bogus t0, t1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("bogus"));
+
+        let e = assemble("  beq zero, zero, nowhere\n").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+
+        let e = assemble("  addi t0, t9, 1\n").unwrap_err();
+        assert!(e.msg.contains("t9"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let e = assemble("a:\n nop\na:\n nop\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("# header\n\n  nop // trailing\n  syscall 0 # end\n").unwrap();
+        assert_eq!(p.text_len(), 2);
+    }
+
+    #[test]
+    fn pseudo_ops() {
+        let p = assemble("main:\n call f\n syscall 0\nf:\n mv a0, a1\n ret\n").unwrap();
+        assert_eq!(p.text[0], Instr::Jal { rd: Reg::RA, off: 1 });
+        assert_eq!(p.text[2], Instr::Addi { rd: Reg::arg(0), rs1: Reg::arg(1), imm: 0 });
+        assert_eq!(p.text[3], Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, imm: 0 });
+    }
+
+    #[test]
+    fn li_and_la_resolve_labels() {
+        let p = assemble(
+            ".data\nbuf: .word 7\n.text\nmain:\n  la t0, buf\n  ld a0, 0(t0)\n  li t1, worker\n  syscall 0\nworker:\n  syscall 0\n",
+        )
+        .unwrap();
+        assert_eq!(p.text[0], Instr::Li { rd: Reg::tmp(0), imm: DATA_BASE as i32 });
+        assert_eq!(
+            p.text[2],
+            Instr::Li { rd: Reg::tmp(1), imm: Program::text_addr(4) as i32 }
+        );
+        let e = assemble("  li t0, nowhere\n").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = assemble("  ld a0, (sp)\n  st a0, -8(sp)\n  syscall 0\n").unwrap();
+        assert_eq!(p.text[0], Instr::Ld { rd: Reg::arg(0), rs1: Reg::SP, imm: 0 });
+        assert_eq!(p.text[1], Instr::St { rs2: Reg::arg(0), rs1: Reg::SP, imm: -8 });
+    }
+
+    #[test]
+    fn main_label_sets_entry() {
+        let p = assemble("  nop\nmain:\n  syscall 0\n").unwrap();
+        assert_eq!(p.entry, Program::text_addr(1));
+    }
+}

@@ -1,0 +1,142 @@
+//! Instruction formatting (disassembly).
+//!
+//! The output syntax is exactly what [`crate::asm::assemble`] accepts, so
+//! `assemble(disassemble(p))` reproduces the original text segment; this is
+//! enforced by property tests at the crate root.
+
+use crate::instr::Instr;
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Render one instruction in assembler syntax.
+pub fn format_instr(i: &Instr) -> String {
+    use Instr::*;
+    match *i {
+        Nop => "nop".into(),
+        Add { rd, rs1, rs2 } => format!("add {rd}, {rs1}, {rs2}"),
+        Sub { rd, rs1, rs2 } => format!("sub {rd}, {rs1}, {rs2}"),
+        Mul { rd, rs1, rs2 } => format!("mul {rd}, {rs1}, {rs2}"),
+        Div { rd, rs1, rs2 } => format!("div {rd}, {rs1}, {rs2}"),
+        Rem { rd, rs1, rs2 } => format!("rem {rd}, {rs1}, {rs2}"),
+        And { rd, rs1, rs2 } => format!("and {rd}, {rs1}, {rs2}"),
+        Or { rd, rs1, rs2 } => format!("or {rd}, {rs1}, {rs2}"),
+        Xor { rd, rs1, rs2 } => format!("xor {rd}, {rs1}, {rs2}"),
+        Sll { rd, rs1, rs2 } => format!("sll {rd}, {rs1}, {rs2}"),
+        Srl { rd, rs1, rs2 } => format!("srl {rd}, {rs1}, {rs2}"),
+        Sra { rd, rs1, rs2 } => format!("sra {rd}, {rs1}, {rs2}"),
+        Slt { rd, rs1, rs2 } => format!("slt {rd}, {rs1}, {rs2}"),
+        Sltu { rd, rs1, rs2 } => format!("sltu {rd}, {rs1}, {rs2}"),
+        Addi { rd, rs1, imm } => format!("addi {rd}, {rs1}, {imm}"),
+        Andi { rd, rs1, imm } => format!("andi {rd}, {rs1}, {imm}"),
+        Ori { rd, rs1, imm } => format!("ori {rd}, {rs1}, {imm}"),
+        Xori { rd, rs1, imm } => format!("xori {rd}, {rs1}, {imm}"),
+        Slli { rd, rs1, imm } => format!("slli {rd}, {rs1}, {imm}"),
+        Srli { rd, rs1, imm } => format!("srli {rd}, {rs1}, {imm}"),
+        Srai { rd, rs1, imm } => format!("srai {rd}, {rs1}, {imm}"),
+        Slti { rd, rs1, imm } => format!("slti {rd}, {rs1}, {imm}"),
+        Li { rd, imm } => format!("li {rd}, {imm}"),
+        Addih { rd, rs1, imm } => format!("addih {rd}, {rs1}, {imm}"),
+        Ld { rd, rs1, imm } => format!("ld {rd}, {imm}({rs1})"),
+        St { rs2, rs1, imm } => format!("st {rs2}, {imm}({rs1})"),
+        Fld { fd, rs1, imm } => format!("fld {fd}, {imm}({rs1})"),
+        Fst { fs, rs1, imm } => format!("fst {fs}, {imm}({rs1})"),
+        Beq { rs1, rs2, off } => format!("beq {rs1}, {rs2}, {off}"),
+        Bne { rs1, rs2, off } => format!("bne {rs1}, {rs2}, {off}"),
+        Blt { rs1, rs2, off } => format!("blt {rs1}, {rs2}, {off}"),
+        Bge { rs1, rs2, off } => format!("bge {rs1}, {rs2}, {off}"),
+        Bltu { rs1, rs2, off } => format!("bltu {rs1}, {rs2}, {off}"),
+        Bgeu { rs1, rs2, off } => format!("bgeu {rs1}, {rs2}, {off}"),
+        J { off } => format!("j {off}"),
+        Jal { rd, off } => format!("jal {rd}, {off}"),
+        Jalr { rd, rs1, imm } => format!("jalr {rd}, {rs1}, {imm}"),
+        Fadd { fd, fs1, fs2 } => format!("fadd {fd}, {fs1}, {fs2}"),
+        Fsub { fd, fs1, fs2 } => format!("fsub {fd}, {fs1}, {fs2}"),
+        Fmul { fd, fs1, fs2 } => format!("fmul {fd}, {fs1}, {fs2}"),
+        Fdiv { fd, fs1, fs2 } => format!("fdiv {fd}, {fs1}, {fs2}"),
+        Fmin { fd, fs1, fs2 } => format!("fmin {fd}, {fs1}, {fs2}"),
+        Fmax { fd, fs1, fs2 } => format!("fmax {fd}, {fs1}, {fs2}"),
+        Fsqrt { fd, fs1 } => format!("fsqrt {fd}, {fs1}"),
+        Fneg { fd, fs1 } => format!("fneg {fd}, {fs1}"),
+        Fabs { fd, fs1 } => format!("fabs {fd}, {fs1}"),
+        Feq { rd, fs1, fs2 } => format!("feq {rd}, {fs1}, {fs2}"),
+        Flt { rd, fs1, fs2 } => format!("flt {rd}, {fs1}, {fs2}"),
+        Fle { rd, fs1, fs2 } => format!("fle {rd}, {fs1}, {fs2}"),
+        Fcvtlf { fd, rs1 } => format!("fcvtlf {fd}, {rs1}"),
+        Fcvtfl { rd, fs1 } => format!("fcvtfl {rd}, {fs1}"),
+        Fmvxf { rd, fs1 } => format!("fmvxf {rd}, {fs1}"),
+        Fmvfx { fd, rs1 } => format!("fmvfx {fd}, {rs1}"),
+        Syscall { code } => format!("syscall {code}"),
+    }
+}
+
+/// Render a whole program as an assembler listing (text section only,
+/// with data emitted as `.data` directives).
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    if !p.data.is_empty() {
+        out.push_str(".data\n");
+        // Re-emit named data symbols where they fall; unnamed ranges get .word runs.
+        let mut names: Vec<(&String, u64)> = p
+            .symbols
+            .iter()
+            .filter(|(_, &a)| a >= crate::layout::DATA_BASE)
+            .map(|(n, &a)| (n, a))
+            .collect();
+        names.sort_by_key(|&(_, a)| a);
+        let mut name_at = std::collections::BTreeMap::new();
+        for (n, a) in names {
+            name_at.insert(a, n);
+        }
+        for (i, w) in p.data.iter().enumerate() {
+            let addr = crate::layout::DATA_BASE + (i as u64) * crate::WORD_BYTES;
+            if let Some(n) = name_at.get(&addr) {
+                let _ = writeln!(out, "{n}:");
+            }
+            let _ = writeln!(out, "  .word {w:#x}");
+        }
+    }
+    out.push_str(".text\n");
+    for (i, ins) in p.text.iter().enumerate() {
+        if p.entry == Program::text_addr(i) {
+            out.push_str("__entry:\n");
+        }
+        let _ = writeln!(out, "  {}", format_instr(ins));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn formats_use_abi_names() {
+        let i = Instr::Add { rd: Reg(10), rs1: Reg(2), rs2: Reg(18) };
+        assert_eq!(format_instr(&i), "add a0, sp, s0");
+    }
+
+    #[test]
+    fn memory_operands_use_offset_base_syntax() {
+        let i = Instr::Ld { rd: Reg(5), rs1: Reg(3), imm: -16 };
+        assert_eq!(format_instr(&i), "ld t0, -16(gp)");
+        let i = Instr::Fst { fs: FReg(7), rs1: Reg(2), imm: 8 };
+        assert_eq!(format_instr(&i), "fst f7, 8(sp)");
+    }
+
+    #[test]
+    fn listing_contains_entry_marker() {
+        let p = Program {
+            text: vec![Instr::Nop, Instr::Syscall { code: 0 }],
+            data: vec![],
+            entry: Program::text_addr(1),
+            symbols: Default::default(),
+        };
+        let s = disassemble(&p);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], ".text");
+        assert_eq!(lines[1], "  nop");
+        assert_eq!(lines[2], "__entry:");
+        assert_eq!(lines[3], "  syscall 0");
+    }
+}

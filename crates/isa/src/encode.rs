@@ -1,0 +1,365 @@
+//! Binary encoding of instructions.
+//!
+//! One instruction per 64-bit little-endian word:
+//!
+//! ```text
+//! bits  0..8    opcode
+//! bits  8..16   rd  (or fd)
+//! bits 16..24   rs1 (or fs1)
+//! bits 24..32   rs2 (or fs2 / store source)
+//! bits 32..64   imm (i32, also used for branch offsets and syscall codes)
+//! ```
+//!
+//! Every [`Instr`] encodes to exactly one word and decodes back to an equal
+//! value (`decode(encode(i)) == i`), which is enforced by property tests.
+
+use crate::instr::Instr;
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Error returned by [`decode`] for malformed instruction words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name an instruction.
+    BadOpcode(u8),
+    /// A register field exceeded 31.
+    BadRegister(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode byte {op:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "register field {r} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode space. Stable numbering: changing these breaks saved program images.
+// Opcode 0x00 is deliberately invalid so that zero-filled (never-written)
+// memory does not decode as a valid instruction — a runaway PC faults.
+mod op {
+    pub const NOP: u8 = 0x60;
+    pub const ADD: u8 = 0x01;
+    pub const SUB: u8 = 0x02;
+    pub const MUL: u8 = 0x03;
+    pub const DIV: u8 = 0x04;
+    pub const REM: u8 = 0x05;
+    pub const AND: u8 = 0x06;
+    pub const OR: u8 = 0x07;
+    pub const XOR: u8 = 0x08;
+    pub const SLL: u8 = 0x09;
+    pub const SRL: u8 = 0x0a;
+    pub const SRA: u8 = 0x0b;
+    pub const SLT: u8 = 0x0c;
+    pub const SLTU: u8 = 0x0d;
+    pub const ADDI: u8 = 0x10;
+    pub const ANDI: u8 = 0x11;
+    pub const ORI: u8 = 0x12;
+    pub const XORI: u8 = 0x13;
+    pub const SLLI: u8 = 0x14;
+    pub const SRLI: u8 = 0x15;
+    pub const SRAI: u8 = 0x16;
+    pub const SLTI: u8 = 0x17;
+    pub const LI: u8 = 0x18;
+    pub const ADDIH: u8 = 0x19;
+    pub const LD: u8 = 0x20;
+    pub const ST: u8 = 0x21;
+    pub const FLD: u8 = 0x22;
+    pub const FST: u8 = 0x23;
+    pub const BEQ: u8 = 0x30;
+    pub const BNE: u8 = 0x31;
+    pub const BLT: u8 = 0x32;
+    pub const BGE: u8 = 0x33;
+    pub const BLTU: u8 = 0x34;
+    pub const BGEU: u8 = 0x35;
+    pub const J: u8 = 0x38;
+    pub const JAL: u8 = 0x39;
+    pub const JALR: u8 = 0x3a;
+    pub const FADD: u8 = 0x40;
+    pub const FSUB: u8 = 0x41;
+    pub const FMUL: u8 = 0x42;
+    pub const FDIV: u8 = 0x43;
+    pub const FMIN: u8 = 0x44;
+    pub const FMAX: u8 = 0x45;
+    pub const FSQRT: u8 = 0x46;
+    pub const FNEG: u8 = 0x47;
+    pub const FABS: u8 = 0x48;
+    pub const FEQ: u8 = 0x49;
+    pub const FLT: u8 = 0x4a;
+    pub const FLE: u8 = 0x4b;
+    pub const FCVTLF: u8 = 0x4c;
+    pub const FCVTFL: u8 = 0x4d;
+    pub const FMVXF: u8 = 0x4e;
+    pub const FMVFX: u8 = 0x4f;
+    pub const SYSCALL: u8 = 0x50;
+}
+
+#[inline]
+fn pack(opcode: u8, rd: u8, rs1: u8, rs2: u8, imm: i32) -> u64 {
+    (opcode as u64)
+        | ((rd as u64) << 8)
+        | ((rs1 as u64) << 16)
+        | ((rs2 as u64) << 24)
+        | ((imm as u32 as u64) << 32)
+}
+
+/// Encode an instruction into its 64-bit memory representation.
+pub fn encode(i: &Instr) -> u64 {
+    use Instr::*;
+    match *i {
+        Nop => pack(op::NOP, 0, 0, 0, 0),
+        Add { rd, rs1, rs2 } => pack(op::ADD, rd.0, rs1.0, rs2.0, 0),
+        Sub { rd, rs1, rs2 } => pack(op::SUB, rd.0, rs1.0, rs2.0, 0),
+        Mul { rd, rs1, rs2 } => pack(op::MUL, rd.0, rs1.0, rs2.0, 0),
+        Div { rd, rs1, rs2 } => pack(op::DIV, rd.0, rs1.0, rs2.0, 0),
+        Rem { rd, rs1, rs2 } => pack(op::REM, rd.0, rs1.0, rs2.0, 0),
+        And { rd, rs1, rs2 } => pack(op::AND, rd.0, rs1.0, rs2.0, 0),
+        Or { rd, rs1, rs2 } => pack(op::OR, rd.0, rs1.0, rs2.0, 0),
+        Xor { rd, rs1, rs2 } => pack(op::XOR, rd.0, rs1.0, rs2.0, 0),
+        Sll { rd, rs1, rs2 } => pack(op::SLL, rd.0, rs1.0, rs2.0, 0),
+        Srl { rd, rs1, rs2 } => pack(op::SRL, rd.0, rs1.0, rs2.0, 0),
+        Sra { rd, rs1, rs2 } => pack(op::SRA, rd.0, rs1.0, rs2.0, 0),
+        Slt { rd, rs1, rs2 } => pack(op::SLT, rd.0, rs1.0, rs2.0, 0),
+        Sltu { rd, rs1, rs2 } => pack(op::SLTU, rd.0, rs1.0, rs2.0, 0),
+        Addi { rd, rs1, imm } => pack(op::ADDI, rd.0, rs1.0, 0, imm),
+        Andi { rd, rs1, imm } => pack(op::ANDI, rd.0, rs1.0, 0, imm),
+        Ori { rd, rs1, imm } => pack(op::ORI, rd.0, rs1.0, 0, imm),
+        Xori { rd, rs1, imm } => pack(op::XORI, rd.0, rs1.0, 0, imm),
+        Slli { rd, rs1, imm } => pack(op::SLLI, rd.0, rs1.0, 0, imm),
+        Srli { rd, rs1, imm } => pack(op::SRLI, rd.0, rs1.0, 0, imm),
+        Srai { rd, rs1, imm } => pack(op::SRAI, rd.0, rs1.0, 0, imm),
+        Slti { rd, rs1, imm } => pack(op::SLTI, rd.0, rs1.0, 0, imm),
+        Li { rd, imm } => pack(op::LI, rd.0, 0, 0, imm),
+        Addih { rd, rs1, imm } => pack(op::ADDIH, rd.0, rs1.0, 0, imm),
+        Ld { rd, rs1, imm } => pack(op::LD, rd.0, rs1.0, 0, imm),
+        St { rs2, rs1, imm } => pack(op::ST, 0, rs1.0, rs2.0, imm),
+        Fld { fd, rs1, imm } => pack(op::FLD, fd.0, rs1.0, 0, imm),
+        Fst { fs, rs1, imm } => pack(op::FST, 0, rs1.0, fs.0, imm),
+        Beq { rs1, rs2, off } => pack(op::BEQ, 0, rs1.0, rs2.0, off),
+        Bne { rs1, rs2, off } => pack(op::BNE, 0, rs1.0, rs2.0, off),
+        Blt { rs1, rs2, off } => pack(op::BLT, 0, rs1.0, rs2.0, off),
+        Bge { rs1, rs2, off } => pack(op::BGE, 0, rs1.0, rs2.0, off),
+        Bltu { rs1, rs2, off } => pack(op::BLTU, 0, rs1.0, rs2.0, off),
+        Bgeu { rs1, rs2, off } => pack(op::BGEU, 0, rs1.0, rs2.0, off),
+        J { off } => pack(op::J, 0, 0, 0, off),
+        Jal { rd, off } => pack(op::JAL, rd.0, 0, 0, off),
+        Jalr { rd, rs1, imm } => pack(op::JALR, rd.0, rs1.0, 0, imm),
+        Fadd { fd, fs1, fs2 } => pack(op::FADD, fd.0, fs1.0, fs2.0, 0),
+        Fsub { fd, fs1, fs2 } => pack(op::FSUB, fd.0, fs1.0, fs2.0, 0),
+        Fmul { fd, fs1, fs2 } => pack(op::FMUL, fd.0, fs1.0, fs2.0, 0),
+        Fdiv { fd, fs1, fs2 } => pack(op::FDIV, fd.0, fs1.0, fs2.0, 0),
+        Fmin { fd, fs1, fs2 } => pack(op::FMIN, fd.0, fs1.0, fs2.0, 0),
+        Fmax { fd, fs1, fs2 } => pack(op::FMAX, fd.0, fs1.0, fs2.0, 0),
+        Fsqrt { fd, fs1 } => pack(op::FSQRT, fd.0, fs1.0, 0, 0),
+        Fneg { fd, fs1 } => pack(op::FNEG, fd.0, fs1.0, 0, 0),
+        Fabs { fd, fs1 } => pack(op::FABS, fd.0, fs1.0, 0, 0),
+        Feq { rd, fs1, fs2 } => pack(op::FEQ, rd.0, fs1.0, fs2.0, 0),
+        Flt { rd, fs1, fs2 } => pack(op::FLT, rd.0, fs1.0, fs2.0, 0),
+        Fle { rd, fs1, fs2 } => pack(op::FLE, rd.0, fs1.0, fs2.0, 0),
+        Fcvtlf { fd, rs1 } => pack(op::FCVTLF, fd.0, rs1.0, 0, 0),
+        Fcvtfl { rd, fs1 } => pack(op::FCVTFL, rd.0, fs1.0, 0, 0),
+        Fmvxf { rd, fs1 } => pack(op::FMVXF, rd.0, fs1.0, 0, 0),
+        Fmvfx { fd, rs1 } => pack(op::FMVFX, fd.0, rs1.0, 0, 0),
+        Syscall { code } => pack(op::SYSCALL, 0, 0, 0, code as i32),
+    }
+}
+
+/// Decode a 64-bit instruction word.
+pub fn decode(word: u64) -> Result<Instr, DecodeError> {
+    let opcode = (word & 0xff) as u8;
+    let rd_b = ((word >> 8) & 0xff) as u8;
+    let rs1_b = ((word >> 16) & 0xff) as u8;
+    let rs2_b = ((word >> 24) & 0xff) as u8;
+    let imm = (word >> 32) as u32 as i32;
+
+    let reg = |b: u8| -> Result<Reg, DecodeError> {
+        if b < 32 {
+            Ok(Reg(b))
+        } else {
+            Err(DecodeError::BadRegister(b))
+        }
+    };
+    let freg = |b: u8| -> Result<FReg, DecodeError> {
+        if b < 32 {
+            Ok(FReg(b))
+        } else {
+            Err(DecodeError::BadRegister(b))
+        }
+    };
+
+    use Instr::*;
+    let i = match opcode {
+        op::NOP => Nop,
+        op::ADD => Add { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::SUB => Sub { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::MUL => Mul { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::DIV => Div { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::REM => Rem { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::AND => And { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::OR => Or { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::XOR => Xor { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::SLL => Sll { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::SRL => Srl { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::SRA => Sra { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::SLT => Slt { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::SLTU => Sltu { rd: reg(rd_b)?, rs1: reg(rs1_b)?, rs2: reg(rs2_b)? },
+        op::ADDI => Addi { rd: reg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::ANDI => Andi { rd: reg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::ORI => Ori { rd: reg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::XORI => Xori { rd: reg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::SLLI => Slli { rd: reg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::SRLI => Srli { rd: reg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::SRAI => Srai { rd: reg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::SLTI => Slti { rd: reg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::LI => Li { rd: reg(rd_b)?, imm },
+        op::ADDIH => Addih { rd: reg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::LD => Ld { rd: reg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::ST => St { rs2: reg(rs2_b)?, rs1: reg(rs1_b)?, imm },
+        op::FLD => Fld { fd: freg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::FST => Fst { fs: freg(rs2_b)?, rs1: reg(rs1_b)?, imm },
+        op::BEQ => Beq { rs1: reg(rs1_b)?, rs2: reg(rs2_b)?, off: imm },
+        op::BNE => Bne { rs1: reg(rs1_b)?, rs2: reg(rs2_b)?, off: imm },
+        op::BLT => Blt { rs1: reg(rs1_b)?, rs2: reg(rs2_b)?, off: imm },
+        op::BGE => Bge { rs1: reg(rs1_b)?, rs2: reg(rs2_b)?, off: imm },
+        op::BLTU => Bltu { rs1: reg(rs1_b)?, rs2: reg(rs2_b)?, off: imm },
+        op::BGEU => Bgeu { rs1: reg(rs1_b)?, rs2: reg(rs2_b)?, off: imm },
+        op::J => J { off: imm },
+        op::JAL => Jal { rd: reg(rd_b)?, off: imm },
+        op::JALR => Jalr { rd: reg(rd_b)?, rs1: reg(rs1_b)?, imm },
+        op::FADD => Fadd { fd: freg(rd_b)?, fs1: freg(rs1_b)?, fs2: freg(rs2_b)? },
+        op::FSUB => Fsub { fd: freg(rd_b)?, fs1: freg(rs1_b)?, fs2: freg(rs2_b)? },
+        op::FMUL => Fmul { fd: freg(rd_b)?, fs1: freg(rs1_b)?, fs2: freg(rs2_b)? },
+        op::FDIV => Fdiv { fd: freg(rd_b)?, fs1: freg(rs1_b)?, fs2: freg(rs2_b)? },
+        op::FMIN => Fmin { fd: freg(rd_b)?, fs1: freg(rs1_b)?, fs2: freg(rs2_b)? },
+        op::FMAX => Fmax { fd: freg(rd_b)?, fs1: freg(rs1_b)?, fs2: freg(rs2_b)? },
+        op::FSQRT => Fsqrt { fd: freg(rd_b)?, fs1: freg(rs1_b)? },
+        op::FNEG => Fneg { fd: freg(rd_b)?, fs1: freg(rs1_b)? },
+        op::FABS => Fabs { fd: freg(rd_b)?, fs1: freg(rs1_b)? },
+        op::FEQ => Feq { rd: reg(rd_b)?, fs1: freg(rs1_b)?, fs2: freg(rs2_b)? },
+        op::FLT => Flt { rd: reg(rd_b)?, fs1: freg(rs1_b)?, fs2: freg(rs2_b)? },
+        op::FLE => Fle { rd: reg(rd_b)?, fs1: freg(rs1_b)?, fs2: freg(rs2_b)? },
+        op::FCVTLF => Fcvtlf { fd: freg(rd_b)?, rs1: reg(rs1_b)? },
+        op::FCVTFL => Fcvtfl { rd: reg(rd_b)?, fs1: freg(rs1_b)? },
+        op::FMVXF => Fmvxf { rd: reg(rd_b)?, fs1: freg(rs1_b)? },
+        op::FMVFX => Fmvfx { fd: freg(rd_b)?, rs1: reg(rs1_b)? },
+        op::SYSCALL => Syscall { code: imm as u16 },
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn encode_is_one_word_per_instruction() {
+        let i = Instr::Addi { rd: Reg(5), rs1: Reg(6), imm: -1 };
+        let w = encode(&i);
+        assert_eq!(decode(w), Ok(i));
+        // imm occupies the upper 32 bits
+        assert_eq!((w >> 32) as u32, (-1i32) as u32);
+    }
+
+    #[test]
+    fn bad_opcode_is_rejected() {
+        assert_eq!(decode(0xff), Err(DecodeError::BadOpcode(0xff)));
+    }
+
+    #[test]
+    fn bad_register_is_rejected() {
+        // opcode ADD with rd = 40
+        let w = 0x01u64 | (40u64 << 8);
+        assert_eq!(decode(w), Err(DecodeError::BadRegister(40)));
+    }
+
+    #[test]
+    fn syscall_code_round_trips() {
+        for code in [0u16, 1, 17, u16::MAX] {
+            let i = Instr::Syscall { code };
+            assert_eq!(decode(encode(&i)), Ok(i));
+        }
+    }
+
+    #[test]
+    fn negative_offsets_round_trip() {
+        let i = Instr::Beq { rs1: Reg(1), rs2: Reg(2), off: i32::MIN };
+        assert_eq!(decode(encode(&i)), Ok(i));
+        let i = Instr::Fld { fd: FReg(31), rs1: Reg(31), imm: -8 };
+        assert_eq!(decode(encode(&i)), Ok(i));
+    }
+
+    #[test]
+    fn exhaustive_sample_round_trip() {
+        use Instr::*;
+        let r1 = Reg(1);
+        let r2 = Reg(2);
+        let r3 = Reg(3);
+        let f1 = FReg(1);
+        let f2 = FReg(2);
+        let f3 = FReg(3);
+        let all = vec![
+            Nop,
+            Add { rd: r1, rs1: r2, rs2: r3 },
+            Sub { rd: r1, rs1: r2, rs2: r3 },
+            Mul { rd: r1, rs1: r2, rs2: r3 },
+            Div { rd: r1, rs1: r2, rs2: r3 },
+            Rem { rd: r1, rs1: r2, rs2: r3 },
+            And { rd: r1, rs1: r2, rs2: r3 },
+            Or { rd: r1, rs1: r2, rs2: r3 },
+            Xor { rd: r1, rs1: r2, rs2: r3 },
+            Sll { rd: r1, rs1: r2, rs2: r3 },
+            Srl { rd: r1, rs1: r2, rs2: r3 },
+            Sra { rd: r1, rs1: r2, rs2: r3 },
+            Slt { rd: r1, rs1: r2, rs2: r3 },
+            Sltu { rd: r1, rs1: r2, rs2: r3 },
+            Addi { rd: r1, rs1: r2, imm: 7 },
+            Andi { rd: r1, rs1: r2, imm: 7 },
+            Ori { rd: r1, rs1: r2, imm: 7 },
+            Xori { rd: r1, rs1: r2, imm: 7 },
+            Slli { rd: r1, rs1: r2, imm: 7 },
+            Srli { rd: r1, rs1: r2, imm: 7 },
+            Srai { rd: r1, rs1: r2, imm: 7 },
+            Slti { rd: r1, rs1: r2, imm: 7 },
+            Li { rd: r1, imm: -7 },
+            Addih { rd: r1, rs1: r2, imm: 3 },
+            Ld { rd: r1, rs1: r2, imm: 8 },
+            St { rs2: r3, rs1: r2, imm: 8 },
+            Fld { fd: f1, rs1: r2, imm: 8 },
+            Fst { fs: f3, rs1: r2, imm: 8 },
+            Beq { rs1: r1, rs2: r2, off: -1 },
+            Bne { rs1: r1, rs2: r2, off: -1 },
+            Blt { rs1: r1, rs2: r2, off: -1 },
+            Bge { rs1: r1, rs2: r2, off: -1 },
+            Bltu { rs1: r1, rs2: r2, off: -1 },
+            Bgeu { rs1: r1, rs2: r2, off: -1 },
+            J { off: 5 },
+            Jal { rd: r1, off: 5 },
+            Jalr { rd: r1, rs1: r2, imm: 0 },
+            Fadd { fd: f1, fs1: f2, fs2: f3 },
+            Fsub { fd: f1, fs1: f2, fs2: f3 },
+            Fmul { fd: f1, fs1: f2, fs2: f3 },
+            Fdiv { fd: f1, fs1: f2, fs2: f3 },
+            Fmin { fd: f1, fs1: f2, fs2: f3 },
+            Fmax { fd: f1, fs1: f2, fs2: f3 },
+            Fsqrt { fd: f1, fs1: f2 },
+            Fneg { fd: f1, fs1: f2 },
+            Fabs { fd: f1, fs1: f2 },
+            Feq { rd: r1, fs1: f2, fs2: f3 },
+            Flt { rd: r1, fs1: f2, fs2: f3 },
+            Fle { rd: r1, fs1: f2, fs2: f3 },
+            Fcvtlf { fd: f1, rs1: r2 },
+            Fcvtfl { rd: r1, fs1: f2 },
+            Fmvxf { rd: r1, fs1: f2 },
+            Fmvfx { fd: f1, rs1: r2 },
+            Syscall { code: 42 },
+        ];
+        for i in all {
+            assert_eq!(decode(encode(&i)), Ok(i), "{i:?}");
+        }
+    }
+}

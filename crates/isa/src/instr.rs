@@ -1,0 +1,325 @@
+//! The instruction set.
+//!
+//! Every instruction occupies one 64-bit word in memory and is described by
+//! the [`Instr`] enum. The enum is the form the simulator pipelines operate
+//! on; the packed binary form lives in [`mod@crate::encode`].
+//!
+//! Branch and jump offsets are expressed in *instructions* (i.e. words)
+//! relative to the instruction following the branch, mirroring classic RISC
+//! delay-free relative addressing. Load/store immediates are in *bytes* and
+//! must produce 8-byte-aligned effective addresses.
+
+use crate::reg::{FReg, Reg};
+use serde::{Deserialize, Serialize};
+
+/// Functional-unit class of an instruction.
+///
+/// The timing model in `sk-core` assigns issue ports and latencies per
+/// class; the ISA only classifies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuClass {
+    /// Single-cycle integer ALU operation (also address generation).
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Unpipelined integer divide/remainder.
+    IntDiv,
+    /// Floating-point add/sub/compare/convert/move.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide.
+    FpDiv,
+    /// Floating-point square root.
+    FpSqrt,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Conditional branch (resolves in an integer ALU).
+    Branch,
+    /// Unconditional jump / call / return.
+    Jump,
+    /// Environment call; serializes the pipeline.
+    Syscall,
+    /// No operation.
+    Nop,
+}
+
+/// One architectural instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // operand fields follow a uniform rd/rs1/rs2/imm naming
+pub enum Instr {
+    // ---- integer register-register ----
+    Add { rd: Reg, rs1: Reg, rs2: Reg },
+    Sub { rd: Reg, rs1: Reg, rs2: Reg },
+    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    /// Signed divide. Division by zero writes all-ones, as in RISC-V.
+    Div { rd: Reg, rs1: Reg, rs2: Reg },
+    /// Signed remainder. Remainder by zero writes the dividend.
+    Rem { rd: Reg, rs1: Reg, rs2: Reg },
+    And { rd: Reg, rs1: Reg, rs2: Reg },
+    Or { rd: Reg, rs1: Reg, rs2: Reg },
+    Xor { rd: Reg, rs1: Reg, rs2: Reg },
+    Sll { rd: Reg, rs1: Reg, rs2: Reg },
+    Srl { rd: Reg, rs1: Reg, rs2: Reg },
+    Sra { rd: Reg, rs1: Reg, rs2: Reg },
+    /// Set-less-than, signed.
+    Slt { rd: Reg, rs1: Reg, rs2: Reg },
+    /// Set-less-than, unsigned.
+    Sltu { rd: Reg, rs1: Reg, rs2: Reg },
+
+    // ---- integer register-immediate ----
+    Addi { rd: Reg, rs1: Reg, imm: i32 },
+    Andi { rd: Reg, rs1: Reg, imm: i32 },
+    Ori { rd: Reg, rs1: Reg, imm: i32 },
+    Xori { rd: Reg, rs1: Reg, imm: i32 },
+    Slli { rd: Reg, rs1: Reg, imm: i32 },
+    Srli { rd: Reg, rs1: Reg, imm: i32 },
+    Srai { rd: Reg, rs1: Reg, imm: i32 },
+    Slti { rd: Reg, rs1: Reg, imm: i32 },
+    /// Load a sign-extended 32-bit immediate into `rd`.
+    Li { rd: Reg, imm: i32 },
+    /// `rd = rs1 + (imm << 32)`: pairs with [`Instr::Li`] to build 64-bit
+    /// constants in two instructions.
+    Addih { rd: Reg, rs1: Reg, imm: i32 },
+
+    // ---- memory ----
+    /// Load word: `rd = mem[rs1 + imm]`.
+    Ld { rd: Reg, rs1: Reg, imm: i32 },
+    /// Store word: `mem[rs1 + imm] = rs2`.
+    St { rs2: Reg, rs1: Reg, imm: i32 },
+    /// Load FP word: `fd = mem[rs1 + imm]` (bit pattern).
+    Fld { fd: FReg, rs1: Reg, imm: i32 },
+    /// Store FP word: `mem[rs1 + imm] = fs` (bit pattern).
+    Fst { fs: FReg, rs1: Reg, imm: i32 },
+
+    // ---- control flow ----
+    Beq { rs1: Reg, rs2: Reg, off: i32 },
+    Bne { rs1: Reg, rs2: Reg, off: i32 },
+    Blt { rs1: Reg, rs2: Reg, off: i32 },
+    Bge { rs1: Reg, rs2: Reg, off: i32 },
+    Bltu { rs1: Reg, rs2: Reg, off: i32 },
+    Bgeu { rs1: Reg, rs2: Reg, off: i32 },
+    /// Unconditional PC-relative jump.
+    J { off: i32 },
+    /// Jump-and-link: `rd = pc + 8`, then jump PC-relative.
+    Jal { rd: Reg, off: i32 },
+    /// Indirect jump-and-link: `rd = pc + 8; pc = rs1 + imm`.
+    Jalr { rd: Reg, rs1: Reg, imm: i32 },
+
+    // ---- floating point ----
+    Fadd { fd: FReg, fs1: FReg, fs2: FReg },
+    Fsub { fd: FReg, fs1: FReg, fs2: FReg },
+    Fmul { fd: FReg, fs1: FReg, fs2: FReg },
+    Fdiv { fd: FReg, fs1: FReg, fs2: FReg },
+    Fmin { fd: FReg, fs1: FReg, fs2: FReg },
+    Fmax { fd: FReg, fs1: FReg, fs2: FReg },
+    Fsqrt { fd: FReg, fs1: FReg },
+    Fneg { fd: FReg, fs1: FReg },
+    Fabs { fd: FReg, fs1: FReg },
+    /// `rd = (fs1 == fs2) ? 1 : 0` (IEEE quiet compare).
+    Feq { rd: Reg, fs1: FReg, fs2: FReg },
+    /// `rd = (fs1 < fs2) ? 1 : 0`.
+    Flt { rd: Reg, fs1: FReg, fs2: FReg },
+    /// `rd = (fs1 <= fs2) ? 1 : 0`.
+    Fle { rd: Reg, fs1: FReg, fs2: FReg },
+    /// Convert signed integer to f64: `fd = rs1 as f64`.
+    Fcvtlf { fd: FReg, rs1: Reg },
+    /// Convert f64 to signed integer (truncating): `rd = fs1 as i64`.
+    Fcvtfl { rd: Reg, fs1: FReg },
+    /// Move raw bits FP → integer.
+    Fmvxf { rd: Reg, fs1: FReg },
+    /// Move raw bits integer → FP.
+    Fmvfx { fd: FReg, rs1: Reg },
+
+    // ---- system ----
+    /// Environment call. `code` selects the service (see the
+    /// [`syscall`](crate::syscall) module);
+    /// operands are passed in `a0..a7` by convention.
+    Syscall { code: u16 },
+    Nop,
+}
+
+impl Instr {
+    /// The functional-unit class this instruction executes on.
+    pub fn fu_class(&self) -> FuClass {
+        use Instr::*;
+        match self {
+            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Sll { .. }
+            | Srl { .. } | Sra { .. } | Slt { .. } | Sltu { .. } | Addi { .. } | Andi { .. }
+            | Ori { .. } | Xori { .. } | Slli { .. } | Srli { .. } | Srai { .. }
+            | Slti { .. } | Li { .. } | Addih { .. } => FuClass::IntAlu,
+            Mul { .. } => FuClass::IntMul,
+            Div { .. } | Rem { .. } => FuClass::IntDiv,
+            Ld { .. } | Fld { .. } => FuClass::Load,
+            St { .. } | Fst { .. } => FuClass::Store,
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. } => {
+                FuClass::Branch
+            }
+            J { .. } | Jal { .. } | Jalr { .. } => FuClass::Jump,
+            Fadd { .. } | Fsub { .. } | Fmin { .. } | Fmax { .. } | Fneg { .. }
+            | Fabs { .. } | Feq { .. } | Flt { .. } | Fle { .. } | Fcvtlf { .. }
+            | Fcvtfl { .. } | Fmvxf { .. } | Fmvfx { .. } => FuClass::FpAdd,
+            Fmul { .. } => FuClass::FpMul,
+            Fdiv { .. } => FuClass::FpDiv,
+            Fsqrt { .. } => FuClass::FpSqrt,
+            Syscall { .. } => FuClass::Syscall,
+            Nop => FuClass::Nop,
+        }
+    }
+
+    /// Destination integer register, if any. Writes to `r0` are reported and
+    /// must be discarded by the register file.
+    pub fn int_dst(&self) -> Option<Reg> {
+        use Instr::*;
+        match *self {
+            Add { rd, .. } | Sub { rd, .. } | Mul { rd, .. } | Div { rd, .. }
+            | Rem { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. }
+            | Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. } | Slt { rd, .. }
+            | Sltu { rd, .. } | Addi { rd, .. } | Andi { rd, .. } | Ori { rd, .. }
+            | Xori { rd, .. } | Slli { rd, .. } | Srli { rd, .. } | Srai { rd, .. }
+            | Slti { rd, .. } | Li { rd, .. } | Addih { rd, .. } | Ld { rd, .. }
+            | Jal { rd, .. } | Jalr { rd, .. } | Feq { rd, .. } | Flt { rd, .. }
+            | Fle { rd, .. } | Fcvtfl { rd, .. } | Fmvxf { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// Destination floating-point register, if any.
+    pub fn fp_dst(&self) -> Option<FReg> {
+        use Instr::*;
+        match *self {
+            Fld { fd, .. } | Fadd { fd, .. } | Fsub { fd, .. } | Fmul { fd, .. }
+            | Fdiv { fd, .. } | Fmin { fd, .. } | Fmax { fd, .. } | Fsqrt { fd, .. }
+            | Fneg { fd, .. } | Fabs { fd, .. } | Fcvtlf { fd, .. } | Fmvfx { fd, .. } => {
+                Some(fd)
+            }
+            _ => None,
+        }
+    }
+
+    /// Integer source registers (up to two).
+    pub fn int_srcs(&self) -> [Option<Reg>; 2] {
+        use Instr::*;
+        match *self {
+            Add { rs1, rs2, .. } | Sub { rs1, rs2, .. } | Mul { rs1, rs2, .. }
+            | Div { rs1, rs2, .. } | Rem { rs1, rs2, .. } | And { rs1, rs2, .. }
+            | Or { rs1, rs2, .. } | Xor { rs1, rs2, .. } | Sll { rs1, rs2, .. }
+            | Srl { rs1, rs2, .. } | Sra { rs1, rs2, .. } | Slt { rs1, rs2, .. }
+            | Sltu { rs1, rs2, .. } | Beq { rs1, rs2, .. } | Bne { rs1, rs2, .. }
+            | Blt { rs1, rs2, .. } | Bge { rs1, rs2, .. } | Bltu { rs1, rs2, .. }
+            | Bgeu { rs1, rs2, .. } | St { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Addi { rs1, .. } | Andi { rs1, .. } | Ori { rs1, .. } | Xori { rs1, .. }
+            | Slli { rs1, .. } | Srli { rs1, .. } | Srai { rs1, .. } | Slti { rs1, .. }
+            | Addih { rs1, .. } | Ld { rs1, .. } | Fld { rs1, .. } | Fst { rs1, .. }
+            | Jalr { rs1, .. } | Fcvtlf { rs1, .. } | Fmvfx { rs1, .. } => [Some(rs1), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Floating-point source registers (up to two).
+    pub fn fp_srcs(&self) -> [Option<FReg>; 2] {
+        use Instr::*;
+        match *self {
+            Fadd { fs1, fs2, .. } | Fsub { fs1, fs2, .. } | Fmul { fs1, fs2, .. }
+            | Fdiv { fs1, fs2, .. } | Fmin { fs1, fs2, .. } | Fmax { fs1, fs2, .. }
+            | Feq { fs1, fs2, .. } | Flt { fs1, fs2, .. } | Fle { fs1, fs2, .. } => {
+                [Some(fs1), Some(fs2)]
+            }
+            Fsqrt { fs1, .. } | Fneg { fs1, .. } | Fabs { fs1, .. } | Fcvtfl { fs1, .. }
+            | Fmvxf { fs1, .. } => [Some(fs1), None],
+            Fst { fs, .. } => [Some(fs), None],
+            _ => [None, None],
+        }
+    }
+
+    /// True for conditional branches (not unconditional jumps).
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self.fu_class(), FuClass::Branch)
+    }
+
+    /// True for any control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        matches!(self.fu_class(), FuClass::Branch | FuClass::Jump)
+    }
+
+    /// True for loads (integer or FP).
+    pub fn is_load(&self) -> bool {
+        matches!(self.fu_class(), FuClass::Load)
+    }
+
+    /// True for stores (integer or FP).
+    pub fn is_store(&self) -> bool {
+        matches!(self.fu_class(), FuClass::Store)
+    }
+
+    /// True for any memory-touching instruction.
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Static PC-relative target offset in instructions, for direct branches
+    /// and jumps (`None` for `jalr` and non-control instructions).
+    pub fn rel_target(&self) -> Option<i32> {
+        use Instr::*;
+        match *self {
+            Beq { off, .. } | Bne { off, .. } | Blt { off, .. } | Bge { off, .. }
+            | Bltu { off, .. } | Bgeu { off, .. } | J { off } | Jal { off, .. } => Some(off),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+    fn f(i: u8) -> FReg {
+        FReg::new(i)
+    }
+
+    #[test]
+    fn fu_classes() {
+        assert_eq!(Instr::Add { rd: r(1), rs1: r(2), rs2: r(3) }.fu_class(), FuClass::IntAlu);
+        assert_eq!(Instr::Mul { rd: r(1), rs1: r(2), rs2: r(3) }.fu_class(), FuClass::IntMul);
+        assert_eq!(Instr::Div { rd: r(1), rs1: r(2), rs2: r(3) }.fu_class(), FuClass::IntDiv);
+        assert_eq!(Instr::Fsqrt { fd: f(0), fs1: f(1) }.fu_class(), FuClass::FpSqrt);
+        assert_eq!(Instr::Ld { rd: r(1), rs1: r(2), imm: 0 }.fu_class(), FuClass::Load);
+        assert_eq!(Instr::Fst { fs: f(1), rs1: r(2), imm: 0 }.fu_class(), FuClass::Store);
+        assert_eq!(Instr::Syscall { code: 3 }.fu_class(), FuClass::Syscall);
+    }
+
+    #[test]
+    fn dependency_sets_are_consistent() {
+        let i = Instr::St { rs2: r(7), rs1: r(8), imm: 16 };
+        assert_eq!(i.int_srcs(), [Some(r(8)), Some(r(7))]);
+        assert_eq!(i.int_dst(), None);
+        assert!(i.is_store() && i.is_mem() && !i.is_load());
+
+        let i = Instr::Fld { fd: f(3), rs1: r(2), imm: -8 };
+        assert_eq!(i.fp_dst(), Some(f(3)));
+        assert_eq!(i.int_srcs(), [Some(r(2)), None]);
+        assert!(i.is_load());
+
+        let i = Instr::Feq { rd: r(9), fs1: f(1), fs2: f(2) };
+        assert_eq!(i.int_dst(), Some(r(9)));
+        assert_eq!(i.fp_srcs(), [Some(f(1)), Some(f(2))]);
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        let b = Instr::Beq { rs1: r(1), rs2: r(2), off: -4 };
+        assert!(b.is_cond_branch() && b.is_control());
+        assert_eq!(b.rel_target(), Some(-4));
+        let j = Instr::Jal { rd: Reg::RA, off: 100 };
+        assert!(!j.is_cond_branch() && j.is_control());
+        assert_eq!(j.rel_target(), Some(100));
+        let jr = Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, imm: 0 };
+        assert_eq!(jr.rel_target(), None);
+        assert!(jr.is_control());
+    }
+}

@@ -1,0 +1,50 @@
+//! Address-space layout of a simulated workload.
+//!
+//! The simulated machine has a single flat physical address space shared by
+//! all target cores (the target is a cache-coherent CMP). The conventional
+//! layout used by the loader and the program builder:
+//!
+//! ```text
+//! 0x0000_1000  TEXT_BASE    instructions, one per 8-byte word
+//! 0x0010_0000  DATA_BASE    global data segment (gp points here)
+//! 0x0400_0000  HEAP_BASE    bump-allocated shared heap
+//! 0x0800_0000  STACK_BASE   per-thread stacks, STACK_STRIDE apart, growing down
+//! ```
+
+/// Base address of the text segment.
+pub const TEXT_BASE: u64 = 0x0000_1000;
+/// Base address of the data segment (`gp` register value).
+pub const DATA_BASE: u64 = 0x0010_0000;
+/// Base address of the shared heap.
+pub const HEAP_BASE: u64 = 0x0400_0000;
+/// Base of the stack region.
+pub const STACK_BASE: u64 = 0x0800_0000;
+/// Distance between consecutive threads' stacks (1 MiB).
+pub const STACK_STRIDE: u64 = 0x0010_0000;
+
+/// Initial stack pointer for thread `tid` (top of its stack, exclusive).
+#[inline]
+pub fn stack_top(tid: usize) -> u64 {
+    STACK_BASE + (tid as u64 + 1) * STACK_STRIDE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacks_do_not_overlap_and_are_aligned() {
+        for t in 0..64 {
+            let top = stack_top(t);
+            assert_eq!(top % 8, 0);
+            assert!(top > STACK_BASE);
+            assert_eq!(stack_top(t + 1) - top, STACK_STRIDE);
+        }
+    }
+
+    #[test]
+    fn segments_are_ordered_and_disjoint() {
+        let bases = [TEXT_BASE, DATA_BASE, HEAP_BASE, STACK_BASE];
+        assert!(bases.windows(2).all(|w| w[0] < w[1]), "segments out of order");
+    }
+}

@@ -1,0 +1,63 @@
+//! # sk-isa — the SlackSim mini ISA
+//!
+//! SlackSim (Chen, Annavaram, Dubois — ICPP 2009) was built on
+//! SimpleScalar/PISA. PISA is not redistributable, so this crate defines a
+//! small, clean 64-bit RISC instruction set with equivalent expressive power
+//! for the paper's workloads:
+//!
+//! * 32 integer registers (`r0` hardwired to zero) and 32 IEEE-754 `f64`
+//!   floating-point registers;
+//! * word-addressed memory: every access moves one aligned 64-bit word
+//!   (cache blocks are 8 words / 64 bytes);
+//! * one instruction per 64-bit word, with a fully round-trippable binary
+//!   encoding ([`encode`](crate::encode())/[`decode`](crate::decode()));
+//! * a `syscall` instruction through which the Pthread-style workload API of
+//!   the paper's Table 1 (locks, barriers, semaphores, spawn) is emulated
+//!   *outside* the simulator, exactly as SlackSim did;
+//! * a text assembler ([`asm::assemble`]) and a programmatic
+//!   [`builder::ProgramBuilder`] DSL used by the `sk-kernels` crate to write
+//!   the SPLASH-2-like benchmarks.
+//!
+//! The crate is purely architectural: it knows nothing about timing. Timing
+//! (out-of-order pipelines, caches, slack schemes) lives in `sk-core` and
+//! `sk-mem`.
+
+pub mod asm;
+pub mod builder;
+pub mod disasm;
+pub mod encode;
+pub mod instr;
+pub mod layout;
+pub mod program;
+pub mod reg;
+pub mod syscall;
+
+pub use builder::ProgramBuilder;
+pub use encode::{decode, encode};
+pub use instr::{FuClass, Instr};
+pub use program::Program;
+pub use reg::{FReg, Reg};
+pub use syscall::Syscall;
+
+/// Size of one machine word in bytes. All memory traffic is word-granular.
+pub const WORD_BYTES: u64 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_size_is_eight_bytes() {
+        assert_eq!(WORD_BYTES, 8);
+    }
+
+    #[test]
+    fn public_reexports_are_usable() {
+        let i = Instr::Add {
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            rs2: Reg::new(3),
+        };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+}

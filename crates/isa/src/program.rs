@@ -1,0 +1,175 @@
+//! Linked program images.
+//!
+//! A [`Program`] is the output of the assembler or the
+//! [`crate::builder::ProgramBuilder`]: a text segment (instructions), a data
+//! segment (initialized 64-bit words), an entry point and a symbol table.
+//! The simulator loads it into functional memory with [`Program::image`].
+
+use crate::encode::encode;
+use crate::instr::Instr;
+use crate::layout::{DATA_BASE, TEXT_BASE};
+use crate::WORD_BYTES;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced by [`Program::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A branch or jump at instruction index `.0` targets instruction index
+    /// `.1`, which is outside the text segment.
+    BranchOutOfRange(usize, i64),
+    /// The entry point is not inside the text segment.
+    BadEntry(u64),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::BranchOutOfRange(at, to) => {
+                write!(f, "instruction {at} branches to out-of-range index {to}")
+            }
+            ProgramError::BadEntry(pc) => write!(f, "entry point {pc:#x} not in text segment"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A loadable program for the SlackSim mini ISA.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Instructions, laid out from [`TEXT_BASE`], one per word.
+    pub text: Vec<Instr>,
+    /// Initialized data words, laid out from [`DATA_BASE`].
+    pub data: Vec<u64>,
+    /// Entry PC of the initial workload thread (thread 0).
+    pub entry: u64,
+    /// Label → byte address (text labels point into text, data labels into
+    /// the data segment).
+    pub symbols: BTreeMap<String, u64>,
+}
+
+impl Program {
+    /// Number of instructions in the text segment.
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Byte address of instruction index `i`.
+    #[inline]
+    pub fn text_addr(i: usize) -> u64 {
+        TEXT_BASE + (i as u64) * WORD_BYTES
+    }
+
+    /// Instruction index of byte address `pc`, if `pc` is in this text
+    /// segment.
+    #[inline]
+    pub fn text_index(&self, pc: u64) -> Option<usize> {
+        if pc < TEXT_BASE || !pc.is_multiple_of(WORD_BYTES) {
+            return None;
+        }
+        let i = ((pc - TEXT_BASE) / WORD_BYTES) as usize;
+        (i < self.text.len()).then_some(i)
+    }
+
+    /// Look up a symbol's byte address.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The full memory image: `(byte address, word)` pairs for the encoded
+    /// text followed by the data segment.
+    pub fn image(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let text = self
+            .text
+            .iter()
+            .enumerate()
+            .map(|(i, ins)| (Self::text_addr(i), encode(ins)));
+        let data = self
+            .data
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (DATA_BASE + (i as u64) * WORD_BYTES, *w));
+        text.chain(data)
+    }
+
+    /// Check structural sanity: entry in range and all static control
+    /// transfers landing inside the text segment.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.text_index(self.entry).is_none() {
+            return Err(ProgramError::BadEntry(self.entry));
+        }
+        for (i, ins) in self.text.iter().enumerate() {
+            if let Some(off) = ins.rel_target() {
+                // target = index of next instruction + offset
+                let tgt = i as i64 + 1 + off as i64;
+                if tgt < 0 || tgt as usize >= self.text.len() {
+                    return Err(ProgramError::BranchOutOfRange(i, tgt));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn tiny() -> Program {
+        Program {
+            text: vec![
+                Instr::Li { rd: Reg::arg(0), imm: 1 },
+                Instr::Beq { rs1: Reg::ZERO, rs2: Reg::ZERO, off: -2 },
+                Instr::Syscall { code: 0 },
+            ],
+            data: vec![1, 2, 3],
+            entry: TEXT_BASE,
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn addresses_round_trip() {
+        let p = tiny();
+        for i in 0..p.text_len() {
+            assert_eq!(p.text_index(Program::text_addr(i)), Some(i));
+        }
+        assert_eq!(p.text_index(TEXT_BASE - 8), None);
+        assert_eq!(p.text_index(TEXT_BASE + 8 * 100), None);
+        assert_eq!(p.text_index(TEXT_BASE + 1), None);
+    }
+
+    #[test]
+    fn image_covers_text_and_data() {
+        let p = tiny();
+        let img: Vec<_> = p.image().collect();
+        assert_eq!(img.len(), 6);
+        assert_eq!(img[0].0, TEXT_BASE);
+        assert_eq!(img[3], (DATA_BASE, 1));
+        assert_eq!(img[5], (DATA_BASE + 16, 3));
+    }
+
+    #[test]
+    fn validate_accepts_in_range_branches() {
+        assert_eq!(tiny().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_wild_branch() {
+        let mut p = tiny();
+        p.text[1] = Instr::J { off: 100 };
+        assert!(matches!(p.validate(), Err(ProgramError::BranchOutOfRange(1, 102))));
+        p.text[1] = Instr::J { off: -100 };
+        assert!(matches!(p.validate(), Err(ProgramError::BranchOutOfRange(1, _))));
+    }
+
+    #[test]
+    fn validate_rejects_bad_entry() {
+        let mut p = tiny();
+        p.entry = 0;
+        assert!(matches!(p.validate(), Err(ProgramError::BadEntry(0))));
+    }
+}

@@ -1,0 +1,216 @@
+//! Register file names for the mini ISA.
+//!
+//! There are 32 integer registers and 32 floating-point registers. `r0` is
+//! hardwired to zero, as in MIPS/RISC-V. A light ABI convention is used by
+//! the assembler and the kernel builder:
+//!
+//! | name | regs | role |
+//! |------|------|------|
+//! | `zero` | r0 | constant 0 |
+//! | `ra` | r1 | return address |
+//! | `sp` | r2 | stack pointer |
+//! | `gp` | r3 | global (data segment) pointer |
+//! | `tp` | r4 | thread id |
+//! | `a0..a7` | r10–r17 | arguments / syscall operands |
+//! | `t0..t6` | r5–r9, r28–r29 | temporaries |
+//! | `s0..s9` | r18–r27 | callee-saved |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An integer register index (0–31). `Reg(0)` always reads as zero.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+/// A floating-point register index (0–31).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FReg(pub u8);
+
+/// Number of integer (and also floating-point) architectural registers.
+pub const NUM_REGS: usize = 32;
+
+impl Reg {
+    /// Construct a register, panicking if the index is out of range.
+    #[inline]
+    pub fn new(i: u8) -> Self {
+        assert!(i < 32, "integer register index {i} out of range");
+        Reg(i)
+    }
+
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address register (`jal` link target by convention).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer (base of the data segment).
+    pub const GP: Reg = Reg(3);
+    /// Thread id register, set by the runtime at thread start.
+    pub const TP: Reg = Reg(4);
+
+    /// Argument register `a0`–`a7` (n in 0..8).
+    #[inline]
+    pub fn arg(n: u8) -> Reg {
+        assert!(n < 8, "argument register a{n} does not exist");
+        Reg(10 + n)
+    }
+
+    /// Temporary register `t0`–`t6` (n in 0..7).
+    #[inline]
+    pub fn tmp(n: u8) -> Reg {
+        assert!(n < 7, "temporary register t{n} does not exist");
+        if n < 5 {
+            Reg(5 + n)
+        } else {
+            Reg(28 + (n - 5))
+        }
+    }
+
+    /// Callee-saved register `s0`–`s9` (n in 0..10).
+    #[inline]
+    pub fn saved(n: u8) -> Reg {
+        assert!(n < 10, "saved register s{n} does not exist");
+        Reg(18 + n)
+    }
+
+    /// Raw index as usize, for register-file indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The canonical ABI name of this register.
+    pub fn abi_name(self) -> String {
+        match self.0 {
+            0 => "zero".into(),
+            1 => "ra".into(),
+            2 => "sp".into(),
+            3 => "gp".into(),
+            4 => "tp".into(),
+            5..=9 => format!("t{}", self.0 - 5),
+            10..=17 => format!("a{}", self.0 - 10),
+            18..=27 => format!("s{}", self.0 - 18),
+            28..=29 => format!("t{}", self.0 - 28 + 5),
+            _ => format!("r{}", self.0),
+        }
+    }
+
+    /// Parse an ABI or raw (`rN`) register name.
+    pub fn parse(name: &str) -> Option<Reg> {
+        let r = match name {
+            "zero" => Reg(0),
+            "ra" => Reg(1),
+            "sp" => Reg(2),
+            "gp" => Reg(3),
+            "tp" => Reg(4),
+            _ => {
+                let (prefix, num) = name.split_at(1);
+                let n: u8 = num.parse().ok()?;
+                match prefix {
+                    "r" if n < 32 => Reg(n),
+                    "t" if n < 5 => Reg(5 + n),
+                    "t" if n < 7 => Reg(28 + n - 5),
+                    "a" if n < 8 => Reg(10 + n),
+                    "s" if n < 10 => Reg(18 + n),
+                    _ => return None,
+                }
+            }
+        };
+        Some(r)
+    }
+}
+
+impl FReg {
+    /// Construct an FP register, panicking if the index is out of range.
+    #[inline]
+    pub fn new(i: u8) -> Self {
+        assert!(i < 32, "fp register index {i} out of range");
+        FReg(i)
+    }
+
+    /// Raw index as usize, for register-file indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Parse an `fN` register name.
+    pub fn parse(name: &str) -> Option<FReg> {
+        let num = name.strip_prefix('f')?;
+        let n: u8 = num.parse().ok()?;
+        (n < 32).then_some(FReg(n))
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abi_name())
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abi_name())
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_round_trip_through_parse() {
+        for i in 0..32u8 {
+            let r = Reg::new(i);
+            assert_eq!(Reg::parse(&r.abi_name()), Some(r), "reg {i}");
+        }
+    }
+
+    #[test]
+    fn raw_names_parse() {
+        for i in 0..32u8 {
+            assert_eq!(Reg::parse(&format!("r{i}")), Some(Reg(i)));
+            assert_eq!(FReg::parse(&format!("f{i}")), Some(FReg(i)));
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("a8"), None);
+        assert_eq!(Reg::parse("t7"), None);
+        assert_eq!(Reg::parse("s10"), None);
+        assert_eq!(FReg::parse("f32"), None);
+        assert_eq!(FReg::parse("g1"), None);
+    }
+
+    #[test]
+    fn helper_constructors_map_to_expected_indices() {
+        assert_eq!(Reg::arg(0), Reg(10));
+        assert_eq!(Reg::arg(7), Reg(17));
+        assert_eq!(Reg::tmp(0), Reg(5));
+        assert_eq!(Reg::tmp(4), Reg(9));
+        assert_eq!(Reg::tmp(5), Reg(28));
+        assert_eq!(Reg::tmp(6), Reg(29));
+        assert_eq!(Reg::saved(0), Reg(18));
+        assert_eq!(Reg::saved(9), Reg(27));
+    }
+
+    #[test]
+    #[should_panic]
+    fn constructor_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+}

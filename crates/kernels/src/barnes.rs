@@ -1,0 +1,386 @@
+//! Barnes kernel (SPLASH-2 "Barnes", paper Table 2: 1024 bodies).
+//!
+//! **Substitution note** (DESIGN.md §2): SPLASH-2's Barnes-Hut octree is a
+//! pointer-heavy tree build that is out of reach for hand-written mini-ISA
+//! assembly; what the paper's experiments exercise is its *phase
+//! structure* — read-mostly shared body positions, per-body force
+//! accumulation, barrier-separated force/advance phases, and a
+//! lock-protected global reduction. This kernel keeps exactly that
+//! structure with direct O(n²/p) force summation (gravity with softening),
+//! interleaved body ownership (`i mod p`), velocity and position phases
+//! split by barriers, and a lock-protected kinetic-energy reduction
+//! (integer-scaled so the total is independent of lock-acquisition order).
+//!
+//! Thread 0 prints the reduced kinetic energy and a position checksum.
+
+use crate::common::{self, alloc_scale, barrier, checksum, lock, print_checksum, unlock, unless_tid0_skip};
+use crate::Workload;
+use sk_isa::{FReg, ProgramBuilder, Reg, Syscall};
+
+const DT: f64 = 0.05;
+const EPS: f64 = 0.05;
+const G: f64 = 1.0;
+
+/// Deterministic body set: positions in a jittered shell, small masses.
+fn input(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut px = Vec::with_capacity(n);
+    let mut py = Vec::with_capacity(n);
+    let mut pz = Vec::with_capacity(n);
+    let mut m = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = 0.7 * i as f64;
+        let r = 1.0 + 0.3 * (0.13 * i as f64).sin();
+        px.push(r * a.cos());
+        py.push(r * a.sin());
+        pz.push(0.2 * (0.29 * i as f64).cos());
+        m.push(0.3 + 0.05 * ((i * 7 % 13) as f64));
+    }
+    (px, py, pz, m)
+}
+
+/// Host reference: the exact operation order of the simulated kernel.
+/// Returns (px, py, pz, vx, vy, vz) after `steps` steps.
+#[allow(clippy::type_complexity)]
+pub fn reference(n: usize, steps: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let (mut px, mut py, mut pz, m) = {
+        let (a, b, c, d) = input(n);
+        (a, b, c, d)
+    };
+    let mut vx = vec![0.0; n];
+    let mut vy = vec![0.0; n];
+    let mut vz = vec![0.0; n];
+    for _ in 0..steps {
+        // force + velocity phase (reads p, writes own v)
+        let (px0, py0, pz0) = (px.clone(), py.clone(), pz.clone());
+        for i in 0..n {
+            let (xi, yi, zi) = (px0[i], py0[i], pz0[i]);
+            let (mut ax, mut ay, mut az) = (0.0f64, 0.0f64, 0.0f64);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let dx = px0[j] - xi;
+                let dy = py0[j] - yi;
+                let dz = pz0[j] - zi;
+                let mut r2 = dx * dx;
+                r2 += dy * dy;
+                r2 += dz * dz;
+                r2 += EPS;
+                let r3 = r2 * r2.sqrt();
+                let s = (m[j] * G) / r3;
+                ax += dx * s;
+                ay += dy * s;
+                az += dz * s;
+            }
+            vx[i] += ax * DT;
+            vy[i] += ay * DT;
+            vz[i] += az * DT;
+        }
+        // position phase
+        for i in 0..n {
+            px[i] += vx[i] * DT;
+            py[i] += vy[i] * DT;
+            pz[i] += vz[i] * DT;
+        }
+    }
+    (px, py, pz, vx, vy, vz)
+}
+
+/// The two values thread 0 prints: the lock-reduced, integer-scaled
+/// kinetic energy (summed per thread in ascending-own-body order) and the
+/// sequential position checksum.
+pub fn expected(n: usize, steps: usize, p: usize) -> Vec<i64> {
+    let (px, py, pz, vx, vy, vz) = reference(n, steps);
+    let m = input(n).3;
+    let mut ke_total: i64 = 0;
+    for tid in 0..p {
+        let mut partial = 0.0f64;
+        for i in (0..n).filter(|i| i % p == tid) {
+            let mut v2 = vx[i] * vx[i];
+            v2 += vy[i] * vy[i];
+            v2 += vz[i] * vz[i];
+            partial += v2 * m[i];
+        }
+        ke_total += checksum(partial);
+    }
+    let mut pos = 0.0f64;
+    for i in 0..n {
+        pos += px[i];
+        pos += py[i];
+        pos += pz[i];
+    }
+    vec![ke_total, checksum(pos)]
+}
+
+/// Build the Barnes workload: `n` bodies, `steps` time steps.
+pub fn barnes(n_threads: usize, n: usize, steps: usize) -> Workload {
+    assert!(n >= n_threads && steps >= 1);
+    let (px, py, pz, m) = input(n);
+    let mut b = ProgramBuilder::new();
+    let scale = alloc_scale(&mut b);
+    let consts = b.floats("consts", &[DT, EPS, G]);
+    let ke_addr = b.zeros("ke_total", 1);
+    let px_a = b.floats("px", &px);
+    let py_a = b.floats("py", &py);
+    let pz_a = b.floats("pz", &pz);
+    let m_a = b.floats("m", &m);
+    let vx_a = b.zeros("vx", n);
+    let vy_a = b.zeros("vy", n);
+    let vz_a = b.zeros("vz", n);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    common::standard_main(&mut b, n_threads, worker);
+
+    let s = Reg::saved;
+    let t = Reg::tmp;
+    let f = FReg::new;
+    b.bind(worker);
+    common::get_tid(&mut b, s(0));
+    b.li(s(1), n_threads as i64);
+    b.li(s(2), n as i64);
+    b.li(s(3), px_a as i64);
+    b.li(s(4), py_a as i64);
+    b.li(s(5), pz_a as i64);
+    b.li(s(6), m_a as i64);
+    b.li(s(7), vx_a as i64);
+    b.li(s(8), vy_a as i64);
+    b.li(s(9), vz_a as i64);
+    // constants
+    b.li(t(0), consts as i64);
+    b.fld(f(20), t(0), 0); // dt
+    b.fld(f(21), t(0), 8); // eps
+    b.fld(f(22), t(0), 16); // G
+    b.li(t(6), steps as i64);
+
+    let step_loop = b.here("step");
+
+    // ---- phase A: forces + velocity update for own bodies ----
+    b.li(t(5), 0); // i
+    let ia_done = b.new_label("ia_done");
+    let ia_next = b.new_label("ia_next");
+    let ia_loop = b.here("ia_loop");
+    b.bge(t(5), s(2), ia_done);
+    b.rem(t(0), t(5), s(1));
+    b.bne(t(0), s(0), ia_next);
+    // load own position
+    b.slli(t(0), t(5), 3);
+    b.add(t(1), s(3), t(0));
+    b.fld(f(1), t(1), 0); // xi
+    b.add(t(1), s(4), t(0));
+    b.fld(f(2), t(1), 0); // yi
+    b.add(t(1), s(5), t(0));
+    b.fld(f(3), t(1), 0); // zi
+    // acc = 0
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(4), rs1: Reg::ZERO });
+    b.fmv(f(5), f(4));
+    b.fmv(f(6), f(4));
+    // j loop
+    b.li(t(4), 0);
+    let j_done = b.new_label("ja_done");
+    let j_next = b.new_label("ja_next");
+    let j_loop = b.here("ja_loop");
+    b.bge(t(4), s(2), j_done);
+    b.beq(t(4), t(5), j_next);
+    b.slli(t(0), t(4), 3);
+    b.add(t(1), s(3), t(0));
+    b.fld(f(7), t(1), 0);
+    b.fsub(f(7), f(7), f(1)); // dx
+    b.add(t(1), s(4), t(0));
+    b.fld(f(8), t(1), 0);
+    b.fsub(f(8), f(8), f(2)); // dy
+    b.add(t(1), s(5), t(0));
+    b.fld(f(9), t(1), 0);
+    b.fsub(f(9), f(9), f(3)); // dz
+    b.fmul(f(10), f(7), f(7));
+    b.fmul(f(11), f(8), f(8));
+    b.fadd(f(10), f(10), f(11));
+    b.fmul(f(11), f(9), f(9));
+    b.fadd(f(10), f(10), f(11));
+    b.fadd(f(10), f(10), f(21)); // r2 + eps
+    b.fsqrt(f(11), f(10));
+    b.fmul(f(10), f(10), f(11)); // r^3
+    b.add(t(1), s(6), t(0));
+    b.fld(f(11), t(1), 0); // m[j]
+    b.fmul(f(11), f(11), f(22)); // m[j]*G
+    b.fdiv(f(10), f(11), f(10)); // s
+    b.fmul(f(11), f(7), f(10));
+    b.fadd(f(4), f(4), f(11));
+    b.fmul(f(11), f(8), f(10));
+    b.fadd(f(5), f(5), f(11));
+    b.fmul(f(11), f(9), f(10));
+    b.fadd(f(6), f(6), f(11));
+    b.bind(j_next);
+    b.addi(t(4), t(4), 1);
+    b.j(j_loop);
+    b.bind(j_done);
+    // v[i] += a * dt
+    b.slli(t(0), t(5), 3);
+    b.add(t(1), s(7), t(0));
+    b.fld(f(7), t(1), 0);
+    b.fmul(f(8), f(4), f(20));
+    b.fadd(f(7), f(7), f(8));
+    b.fst(f(7), t(1), 0);
+    b.add(t(1), s(8), t(0));
+    b.fld(f(7), t(1), 0);
+    b.fmul(f(8), f(5), f(20));
+    b.fadd(f(7), f(7), f(8));
+    b.fst(f(7), t(1), 0);
+    b.add(t(1), s(9), t(0));
+    b.fld(f(7), t(1), 0);
+    b.fmul(f(8), f(6), f(20));
+    b.fadd(f(7), f(7), f(8));
+    b.fst(f(7), t(1), 0);
+    b.bind(ia_next);
+    b.addi(t(5), t(5), 1);
+    b.j(ia_loop);
+    b.bind(ia_done);
+    barrier(&mut b);
+
+    // ---- phase B: advance own positions ----
+    b.li(t(5), 0);
+    let ib_done = b.new_label("ib_done");
+    let ib_next = b.new_label("ib_next");
+    let ib_loop = b.here("ib_loop");
+    b.bge(t(5), s(2), ib_done);
+    b.rem(t(0), t(5), s(1));
+    b.bne(t(0), s(0), ib_next);
+    b.slli(t(0), t(5), 3);
+    for (pa, va) in [(3u8, 7u8), (4, 8), (5, 9)] {
+        b.add(t(1), s(pa), t(0));
+        b.add(t(2), s(va), t(0));
+        b.fld(f(7), t(1), 0);
+        b.fld(f(8), t(2), 0);
+        b.fmul(f(8), f(8), f(20));
+        b.fadd(f(7), f(7), f(8));
+        b.fst(f(7), t(1), 0);
+    }
+    b.bind(ib_next);
+    b.addi(t(5), t(5), 1);
+    b.j(ib_loop);
+    b.bind(ib_done);
+    barrier(&mut b);
+
+    b.addi(t(6), t(6), -1);
+    b.bne(t(6), Reg::ZERO, step_loop);
+
+    // ---- kinetic-energy reduction (lock-protected, integer-scaled) ----
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(10), rs1: Reg::ZERO });
+    b.li(t(5), 0);
+    let ke_done = b.new_label("ke_done");
+    let ke_next = b.new_label("ke_next");
+    let ke_loop = b.here("ke_loop");
+    b.bge(t(5), s(2), ke_done);
+    b.rem(t(0), t(5), s(1));
+    b.bne(t(0), s(0), ke_next);
+    b.slli(t(0), t(5), 3);
+    b.add(t(1), s(7), t(0));
+    b.fld(f(7), t(1), 0);
+    b.add(t(1), s(8), t(0));
+    b.fld(f(8), t(1), 0);
+    b.add(t(1), s(9), t(0));
+    b.fld(f(9), t(1), 0);
+    b.fmul(f(11), f(7), f(7));
+    b.fmul(f(12), f(8), f(8));
+    b.fadd(f(11), f(11), f(12));
+    b.fmul(f(12), f(9), f(9));
+    b.fadd(f(11), f(11), f(12));
+    b.add(t(1), s(6), t(0));
+    b.fld(f(12), t(1), 0);
+    b.fmul(f(11), f(11), f(12));
+    b.fadd(f(10), f(10), f(11));
+    b.bind(ke_next);
+    b.addi(t(5), t(5), 1);
+    b.j(ke_loop);
+    b.bind(ke_done);
+    // scaled integer partial
+    b.li(t(0), scale as i64);
+    b.fld(f(11), t(0), 0);
+    b.fmul(f(10), f(10), f(11));
+    b.emit(sk_isa::Instr::Fcvtfl { rd: t(3), fs1: f(10) });
+    lock(&mut b);
+    b.li(t(1), ke_addr as i64);
+    b.ld(t(2), t(1), 0);
+    b.add(t(2), t(2), t(3));
+    b.st(t(2), t(1), 0);
+    unlock(&mut b);
+    barrier(&mut b);
+
+    // ---- thread 0 prints ----
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    b.li(t(1), ke_addr as i64);
+    b.ld(Reg::arg(0), t(1), 0);
+    b.sys(Syscall::PrintInt);
+    // position checksum
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(1), rs1: Reg::ZERO });
+    b.li(t(5), 0);
+    let sum_done = b.new_label("sum_done");
+    let sum_loop = b.here("sum");
+    b.bge(t(5), s(2), sum_done);
+    b.slli(t(0), t(5), 3);
+    for pa in [3u8, 4, 5] {
+        b.add(t(1), s(pa), t(0));
+        b.fld(f(2), t(1), 0);
+        b.fadd(f(1), f(1), f(2));
+    }
+    b.addi(t(5), t(5), 1);
+    b.j(sum_loop);
+    b.bind(sum_done);
+    print_checksum(&mut b, f(1), scale, t(0), f(2));
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    let program = b.build().expect("Barnes kernel assembles");
+    Workload {
+        name: "Barnes".into(),
+        input: format!("{n} bodies"),
+        program,
+        expected: expected(n, steps, n_threads),
+        n_threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_core::{run_sequential, CoreModel, TargetConfig};
+
+    #[test]
+    fn bodies_move_and_energy_is_positive() {
+        let (px, _, _, vx, _, _) = reference(16, 2);
+        let (px0, ..) = input(16);
+        assert!(px.iter().zip(&px0).any(|(a, b)| a != b), "positions changed");
+        assert!(vx.iter().any(|&v| v != 0.0), "velocities changed");
+        let e = expected(16, 2, 2);
+        assert!(e[0] > 0, "kinetic energy positive, got {}", e[0]);
+    }
+
+    #[test]
+    fn simulated_barnes_prints_reference_values() {
+        let w = barnes(2, 12, 1);
+        let mut cfg = TargetConfig::small(2);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(printed, w.expected);
+        assert!(r.sync.lock_acquisitions >= 2, "both threads reduce under the lock");
+    }
+
+    #[test]
+    fn thread_count_changes_partition_not_physics() {
+        // The position checksum is partition-independent; the KE total may
+        // differ by truncation of per-thread partials only.
+        let e1 = barnes(1, 12, 1).expected;
+        let e3 = barnes(3, 12, 1).expected;
+        assert_eq!(e1[1], e3[1], "position checksum");
+        assert!((e1[0] - e3[0]).abs() <= 3, "KE differs only by truncation");
+        let w = barnes(3, 12, 1);
+        let mut cfg = TargetConfig::small(3);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(printed, w.expected);
+    }
+}

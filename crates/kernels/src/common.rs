@@ -1,0 +1,130 @@
+//! Shared emission helpers for the benchmark kernels.
+//!
+//! All kernels follow the paper's protocol (§4.1): one initial workload
+//! thread spawns the others, issues `RoiBegin`, and joins the worker body;
+//! phases are separated by barrier 0; lock 0 protects global reductions.
+
+use sk_isa::builder::Label;
+use sk_isa::{ProgramBuilder, Reg, Syscall};
+
+/// Lock id used for global reductions.
+pub const LOCK_GLOBAL: i64 = 0;
+/// Barrier id used for phase separation.
+pub const BARRIER_PHASE: i64 = 0;
+
+/// Fixed-point scale for printed f64 checksums (six decimal digits).
+pub const CHECKSUM_SCALE: f64 = 1.0e6;
+
+/// Convert a host-side f64 to the integer the workload will print.
+pub fn checksum(v: f64) -> i64 {
+    (v * CHECKSUM_SCALE) as i64
+}
+
+/// Emit a syscall taking one argument in `a0`.
+pub fn sys1(b: &mut ProgramBuilder, s: Syscall, a0: i64) {
+    b.li(Reg::arg(0), a0);
+    b.sys(s);
+}
+
+/// Emit a syscall taking `a0` and `a1`.
+pub fn sys2(b: &mut ProgramBuilder, s: Syscall, a0: i64, a1: i64) {
+    b.li(Reg::arg(0), a0);
+    b.li(Reg::arg(1), a1);
+    b.sys(s);
+}
+
+/// Emit a phase barrier.
+pub fn barrier(b: &mut ProgramBuilder) {
+    sys1(b, Syscall::Barrier, BARRIER_PHASE);
+}
+
+/// Acquire the global lock.
+pub fn lock(b: &mut ProgramBuilder) {
+    sys1(b, Syscall::Lock, LOCK_GLOBAL);
+}
+
+/// Release the global lock.
+pub fn unlock(b: &mut ProgramBuilder) {
+    sys1(b, Syscall::Unlock, LOCK_GLOBAL);
+}
+
+/// Read the thread id into `rd`.
+pub fn get_tid(b: &mut ProgramBuilder, rd: Reg) {
+    b.sys(Syscall::GetTid);
+    b.mv(rd, Reg::arg(0));
+}
+
+/// Emit the standard main prologue at the current position: initialize
+/// lock 0 and barrier 0 (for `n_threads` participants), spawn
+/// `n_threads - 1` workers at `worker`, begin the region of interest, and
+/// fall through into the worker body by jumping to `worker`.
+pub fn standard_main(b: &mut ProgramBuilder, n_threads: usize, worker: Label) {
+    sys1(b, Syscall::InitLock, LOCK_GLOBAL);
+    sys2(b, Syscall::InitBarrier, BARRIER_PHASE, n_threads as i64);
+    for _ in 1..n_threads {
+        b.la_text(Reg::arg(0), worker);
+        b.li(Reg::arg(1), 0);
+        b.sys(Syscall::Spawn);
+    }
+    b.sys(Syscall::RoiBegin);
+    b.j(worker);
+}
+
+/// Emit "print f-reg as a scaled integer": `a0 = trunc(f * 10^6)`, then
+/// `PrintInt`. `scale_addr` must point at the f64 constant
+/// [`CHECKSUM_SCALE`] in the data segment; `scratch` is clobbered.
+pub fn print_checksum(
+    b: &mut ProgramBuilder,
+    f: sk_isa::FReg,
+    scale_addr: u64,
+    scratch: Reg,
+    fscratch: sk_isa::FReg,
+) {
+    b.li(scratch, scale_addr as i64);
+    b.fld(fscratch, scratch, 0);
+    b.fmul(fscratch, f, fscratch);
+    b.emit(sk_isa::Instr::Fcvtfl { rd: Reg::arg(0), fs1: fscratch });
+    b.sys(Syscall::PrintInt);
+}
+
+/// Allocate the checksum-scale constant in the data segment.
+pub fn alloc_scale(b: &mut ProgramBuilder) -> u64 {
+    b.floats("__checksum_scale", &[CHECKSUM_SCALE])
+}
+
+/// Emit "skip to `skip` unless tid == 0" (tid left in `a0`).
+pub fn unless_tid0_skip(b: &mut ProgramBuilder, skip: Label) {
+    b.sys(Syscall::GetTid);
+    b.bne(Reg::arg(0), Reg::ZERO, skip);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_isa::Syscall;
+
+    #[test]
+    fn checksum_truncates_like_fcvtfl() {
+        assert_eq!(checksum(1.2345678), 1_234_567);
+        assert_eq!(checksum(-1.2345678), -1_234_567);
+        assert_eq!(checksum(0.0), 0);
+    }
+
+    #[test]
+    fn standard_main_spawns_n_minus_one() {
+        let mut b = ProgramBuilder::new();
+        let worker = b.new_label("worker");
+        let main = b.here("main");
+        standard_main(&mut b, 4, worker);
+        b.bind(worker);
+        b.sys(Syscall::Exit);
+        b.entry(main);
+        let p = b.build().unwrap();
+        let spawns = p
+            .text
+            .iter()
+            .filter(|i| matches!(i, sk_isa::Instr::Syscall { code } if *code == Syscall::Spawn.code()))
+            .count();
+        assert_eq!(spawns, 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! FFT kernel (SPLASH-2 "FFT", paper Table 2: 64 K points).
+//!
+//! A radix-2 decimation-in-time FFT over shared `re[]`/`im[]` arrays.
+//! The input is bit-reverse permuted and the twiddle table precomputed
+//! host-side (SPLASH-2's FFT also precomputes its roots of unity). Threads
+//! split the `n/2` butterflies of each stage round-robin and meet at a
+//! barrier between stages — the classic barrier-per-phase sharing pattern
+//! the paper's slack analysis cares about. Butterflies within a stage touch
+//! disjoint elements, so the result is bit-exact regardless of scheme or
+//! thread count; thread 0 prints `⌊Σ(re²+im²)·10⁶⌋` at the end.
+
+use crate::common::{self, alloc_scale, barrier, checksum, print_checksum, unless_tid0_skip};
+use crate::Workload;
+use sk_isa::{FReg, ProgramBuilder, Reg, Syscall};
+
+/// Deterministic input signal.
+fn input(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let re = (0..n)
+        .map(|i| (0.37 * i as f64).sin() + 0.5 * (0.11 * i as f64).cos())
+        .collect();
+    let im = (0..n).map(|i| 0.25 * (0.23 * i as f64).sin()).collect();
+    (re, im)
+}
+
+fn bit_reverse(i: usize, log2n: u32) -> usize {
+    i.reverse_bits() >> (usize::BITS - log2n)
+}
+
+/// The host reference: identical operation order to the simulated kernel.
+/// Returns the final (re, im) arrays after the in-place FFT.
+pub fn reference(log2n: u32) -> (Vec<f64>, Vec<f64>) {
+    let n = 1usize << log2n;
+    let (re_in, im_in) = input(n);
+    let mut re = vec![0.0; n];
+    let mut im = vec![0.0; n];
+    for i in 0..n {
+        re[bit_reverse(i, log2n)] = re_in[i];
+        im[bit_reverse(i, log2n)] = im_in[i];
+    }
+    let w = twiddles(n);
+    let mut m = 2usize;
+    while m <= n {
+        let half = m / 2;
+        let step = n / m;
+        for bidx in 0..n / 2 {
+            let group = bidx / half;
+            let j = bidx % half;
+            let i1 = group * m + j;
+            let i2 = i1 + half;
+            let (wre, wim) = w[j * step];
+            let tre = wre * re[i2] - wim * im[i2];
+            let tim = wre * im[i2] + wim * re[i2];
+            re[i2] = re[i1] - tre;
+            im[i2] = im[i1] - tim;
+            re[i1] += tre;
+            im[i1] += tim;
+        }
+        m *= 2;
+    }
+    (re, im)
+}
+
+fn twiddles(n: usize) -> Vec<(f64, f64)> {
+    (0..n / 2)
+        .map(|k| {
+            let ang = -2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+            (ang.cos(), ang.sin())
+        })
+        .collect()
+}
+
+/// The checksum the kernel prints: sequential `Σ (re² + im²)` scaled.
+pub fn expected_checksum(log2n: u32) -> i64 {
+    let (re, im) = reference(log2n);
+    let mut acc = 0.0f64;
+    for i in 0..re.len() {
+        acc += re[i] * re[i];
+        acc += im[i] * im[i];
+    }
+    checksum(acc)
+}
+
+/// Build the FFT workload for `n_threads` threads over `2^log2n` points.
+pub fn fft(n_threads: usize, log2n: u32) -> Workload {
+    assert!((2..=20).contains(&log2n));
+    let n = 1usize << log2n;
+    let (re_in, im_in) = input(n);
+    let mut re0 = vec![0.0; n];
+    let mut im0 = vec![0.0; n];
+    for i in 0..n {
+        re0[bit_reverse(i, log2n)] = re_in[i];
+        im0[bit_reverse(i, log2n)] = im_in[i];
+    }
+    let tw: Vec<f64> = twiddles(n).into_iter().flat_map(|(a, b)| [a, b]).collect();
+
+    let mut b = ProgramBuilder::new();
+    let scale = alloc_scale(&mut b);
+    let re_addr = b.floats("re", &re0);
+    let im_addr = b.floats("im", &im0);
+    let w_addr = b.floats("w", &tw);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    common::standard_main(&mut b, n_threads, worker);
+
+    // ---- worker ----
+    let s = Reg::saved;
+    let t = Reg::tmp;
+    let f = FReg::new;
+    b.bind(worker);
+    common::get_tid(&mut b, s(0));
+    b.li(s(1), n_threads as i64);
+    b.li(s(2), n as i64);
+    b.li(s(3), re_addr as i64);
+    b.li(s(4), im_addr as i64);
+    b.li(s(5), w_addr as i64);
+    b.li(s(6), 2); // m
+    b.li(s(7), 1); // half
+    b.srli(s(8), s(2), 1); // step = n/2
+    b.srli(t(6), s(2), 1); // n/2 (butterfly count)
+
+    let stage_loop = b.here("stage");
+    b.mv(s(9), s(0)); // bidx = tid
+    let bfly_done = b.new_label("bfly_done");
+    let bfly_loop = b.here("bfly");
+    b.bge(s(9), t(6), bfly_done);
+    b.div(t(0), s(9), s(7)); // group
+    b.rem(t(1), s(9), s(7)); // j
+    b.mul(t(2), t(0), s(6));
+    b.add(t(2), t(2), t(1)); // i1
+    b.add(t(3), t(2), s(7)); // i2
+    b.mul(t(4), t(1), s(8)); // k
+    b.slli(t(2), t(2), 3);
+    b.slli(t(3), t(3), 3);
+    b.slli(t(4), t(4), 4); // pairs of words
+    b.add(t(5), s(3), t(2)); // &re1
+    b.add(t(0), s(4), t(2)); // &im1
+    b.add(t(1), s(3), t(3)); // &re2
+    b.add(t(2), s(4), t(3)); // &im2
+    b.add(t(3), s(5), t(4)); // &w[k]
+    b.fld(f(1), t(3), 0); // wre
+    b.fld(f(2), t(3), 8); // wim
+    b.fld(f(3), t(5), 0); // re1
+    b.fld(f(4), t(0), 0); // im1
+    b.fld(f(5), t(1), 0); // re2
+    b.fld(f(6), t(2), 0); // im2
+    b.fmul(f(7), f(1), f(5));
+    b.fmul(f(9), f(2), f(6));
+    b.fsub(f(7), f(7), f(9)); // tre
+    b.fmul(f(8), f(1), f(6));
+    b.fmul(f(9), f(2), f(5));
+    b.fadd(f(8), f(8), f(9)); // tim
+    b.fsub(f(10), f(3), f(7)); // re2'
+    b.fsub(f(11), f(4), f(8)); // im2'
+    b.fadd(f(3), f(3), f(7)); // re1'
+    b.fadd(f(4), f(4), f(8)); // im1'
+    b.fst(f(3), t(5), 0);
+    b.fst(f(4), t(0), 0);
+    b.fst(f(10), t(1), 0);
+    b.fst(f(11), t(2), 0);
+    b.add(s(9), s(9), s(1));
+    b.j(bfly_loop);
+    b.bind(bfly_done);
+    barrier(&mut b);
+    b.slli(s(6), s(6), 1);
+    b.slli(s(7), s(7), 1);
+    b.srli(s(8), s(8), 1);
+    b.bge(s(2), s(6), stage_loop); // while m <= n
+
+    // ---- checksum (tid 0) ----
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(1), rs1: Reg::ZERO }); // acc = 0
+    b.mv(t(2), s(3));
+    b.mv(t(3), s(4));
+    b.li(t(1), 0);
+    let sum_done = b.new_label("sum_done");
+    let sum_loop = b.here("sum");
+    b.bge(t(1), s(2), sum_done);
+    b.fld(f(2), t(2), 0);
+    b.fmul(f(2), f(2), f(2));
+    b.fadd(f(1), f(1), f(2));
+    b.fld(f(2), t(3), 0);
+    b.fmul(f(2), f(2), f(2));
+    b.fadd(f(1), f(1), f(2));
+    b.addi(t(2), t(2), 8);
+    b.addi(t(3), t(3), 8);
+    b.addi(t(1), t(1), 1);
+    b.j(sum_loop);
+    b.bind(sum_done);
+    print_checksum(&mut b, f(1), scale, t(0), f(2));
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    let program = b.build().expect("FFT kernel assembles");
+    Workload {
+        name: "FFT".into(),
+        input: format!("{n} points"),
+        program,
+        expected: vec![expected_checksum(log2n)],
+        n_threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_core::{run_sequential, CoreModel, TargetConfig};
+
+    #[test]
+    fn reference_satisfies_parseval() {
+        // Σ|X|² must equal n·Σ|x|² for a correct FFT.
+        let log2n = 6;
+        let n = 1usize << log2n;
+        let (re, im) = reference(log2n);
+        let out_energy: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum();
+        let (re_in, im_in) = input(n);
+        let in_energy: f64 =
+            re_in.iter().zip(&im_in).map(|(r, i)| r * r + i * i).sum();
+        let ratio = out_energy / (n as f64 * in_energy);
+        assert!((ratio - 1.0).abs() < 1e-10, "Parseval ratio {ratio}");
+    }
+
+    #[test]
+    fn reference_matches_naive_dft() {
+        let log2n = 4;
+        let n = 1usize << log2n;
+        let (re_in, im_in) = input(n);
+        let (re, im) = reference(log2n);
+        for k in 0..n {
+            let mut xr = 0.0;
+            let mut xi = 0.0;
+            for j in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                xr += re_in[j] * c - im_in[j] * s;
+                xi += re_in[j] * s + im_in[j] * c;
+            }
+            assert!((xr - re[k]).abs() < 1e-9, "re[{k}]: {xr} vs {}", re[k]);
+            assert!((xi - im[k]).abs() < 1e-9, "im[{k}]: {xi} vs {}", im[k]);
+        }
+    }
+
+    #[test]
+    fn simulated_fft_prints_reference_checksum() {
+        let w = fft(2, 4);
+        let mut cfg = TargetConfig::small(2);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        assert_eq!(r.printed(), vec![(0, w.expected[0])]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_answer() {
+        for p in [1, 2, 4] {
+            let w = fft(p, 4);
+            assert_eq!(w.expected, fft(1, 4).expected, "p={p}");
+            let mut cfg = TargetConfig::small(p.max(1));
+            cfg.core.model = CoreModel::InOrder;
+            let r = run_sequential(&w.program, &cfg);
+            assert_eq!(r.printed(), vec![(0, w.expected[0])], "p={p}");
+        }
+    }
+}

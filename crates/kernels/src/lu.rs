@@ -1,0 +1,215 @@
+//! LU kernel (SPLASH-2 "LU", paper Table 2: 256×256 matrix).
+//!
+//! In-place LU factorization (Doolittle, no pivoting — the host-generated
+//! matrix is made diagonally dominant) over a shared row-major matrix.
+//! Rows are statically owned (`row i` belongs to thread `i mod p`, the
+//! classic SPLASH interleaved assignment); each outer iteration `k`
+//! eliminates column `k` from all rows below the pivot and ends in a
+//! barrier, so the pivot row for iteration `k+1` is globally visible —
+//! `O(n)` barrier episodes of shrinking work, a very different
+//! slack/synchronization profile from FFT's `log n` heavyweight stages.
+//!
+//! Thread 0 prints `⌊Σᵢⱼ a[i][j] · 10⁶⌋` over the factored matrix.
+
+use crate::common::{self, alloc_scale, barrier, checksum, print_checksum, unless_tid0_skip};
+use crate::Workload;
+use sk_isa::{FReg, ProgramBuilder, Reg, Syscall};
+
+/// Deterministic diagonally-dominant input matrix.
+fn input(n: usize) -> Vec<f64> {
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let h = ((i * 31 + j * 17 + 7) % 23) as f64;
+            a[i * n + j] = 0.05 * h - 0.4;
+        }
+        a[i * n + i] += n as f64;
+    }
+    a
+}
+
+/// Host reference with the exact operation order of the simulated kernel.
+pub fn reference(n: usize) -> Vec<f64> {
+    let mut a = input(n);
+    for k in 0..n - 1 {
+        for i in k + 1..n {
+            let l = a[i * n + k] / a[k * n + k];
+            a[i * n + k] = l;
+            for j in k + 1..n {
+                a[i * n + j] -= l * a[k * n + j];
+            }
+        }
+    }
+    a
+}
+
+/// The checksum the kernel prints.
+pub fn expected_checksum(n: usize) -> i64 {
+    let a = reference(n);
+    let mut acc = 0.0;
+    for v in &a {
+        acc += v;
+    }
+    checksum(acc)
+}
+
+/// Verify `L·U` reconstructs the input (host-side sanity, used by tests).
+pub fn residual(n: usize) -> f64 {
+    let a0 = input(n);
+    let a = reference(n);
+    let mut worst: f64 = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..=i.min(j) {
+                let l = if k == i { 1.0 } else { a[i * n + k] };
+                let u = if k <= j { a[k * n + j] } else { 0.0 };
+                if k < i || k <= j {
+                    s += l * u;
+                }
+            }
+            worst = worst.max((s - a0[i * n + j]).abs());
+        }
+    }
+    worst
+}
+
+/// Build the LU workload for `n_threads` threads over an `n×n` matrix.
+pub fn lu(n_threads: usize, n: usize) -> Workload {
+    assert!(n >= 4);
+    let mut b = ProgramBuilder::new();
+    let scale = alloc_scale(&mut b);
+    let a_addr = b.floats("a", &input(n));
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    common::standard_main(&mut b, n_threads, worker);
+
+    let s = Reg::saved;
+    let t = Reg::tmp;
+    let f = FReg::new;
+    b.bind(worker);
+    common::get_tid(&mut b, s(0));
+    b.li(s(1), n_threads as i64);
+    b.li(s(2), n as i64);
+    b.li(s(3), a_addr as i64);
+    b.li(s(4), 0); // k
+
+    let k_done = b.new_label("k_done");
+    let k_loop = b.here("k_loop");
+    b.addi(t(0), s(2), -1);
+    b.bge(s(4), t(0), k_done);
+
+    b.addi(s(5), s(4), 1); // i = k + 1
+    let i_done = b.new_label("i_done");
+    let i_next = b.new_label("i_next");
+    let i_loop = b.here("i_loop");
+    b.bge(s(5), s(2), i_done);
+    b.rem(t(1), s(5), s(1));
+    b.bne(t(1), s(0), i_next); // not my row
+
+    // l = a[i][k] / a[k][k]; a[i][k] = l
+    b.mul(t(2), s(5), s(2));
+    b.add(t(2), t(2), s(4));
+    b.slli(t(2), t(2), 3);
+    b.add(t(2), s(3), t(2)); // &a[i][k]
+    b.mul(t(3), s(4), s(2));
+    b.add(t(3), t(3), s(4));
+    b.slli(t(3), t(3), 3);
+    b.add(t(3), s(3), t(3)); // &a[k][k]
+    b.fld(f(1), t(2), 0);
+    b.fld(f(2), t(3), 0);
+    b.fdiv(f(1), f(1), f(2)); // l
+    b.fst(f(1), t(2), 0);
+
+    // trailing update of row i
+    b.addi(s(6), s(4), 1); // j = k + 1
+    b.addi(t(4), t(2), 8); // &a[i][j]
+    b.addi(t(5), t(3), 8); // &a[k][j]
+    let j_done = b.new_label("j_done");
+    let j_loop = b.here("j_loop");
+    b.bge(s(6), s(2), j_done);
+    b.fld(f(2), t(5), 0);
+    b.fld(f(3), t(4), 0);
+    b.fmul(f(2), f(1), f(2));
+    b.fsub(f(3), f(3), f(2));
+    b.fst(f(3), t(4), 0);
+    b.addi(t(4), t(4), 8);
+    b.addi(t(5), t(5), 8);
+    b.addi(s(6), s(6), 1);
+    b.j(j_loop);
+    b.bind(j_done);
+
+    b.bind(i_next);
+    b.addi(s(5), s(5), 1);
+    b.j(i_loop);
+    b.bind(i_done);
+    barrier(&mut b);
+    b.addi(s(4), s(4), 1);
+    b.j(k_loop);
+    b.bind(k_done);
+
+    // checksum (tid 0): linear sum over the matrix
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(1), rs1: Reg::ZERO });
+    b.mv(t(0), s(3));
+    b.mul(t(1), s(2), s(2));
+    b.li(t(2), 0);
+    let sum_done = b.new_label("sum_done");
+    let sum_loop = b.here("sum");
+    b.bge(t(2), t(1), sum_done);
+    b.fld(f(2), t(0), 0);
+    b.fadd(f(1), f(1), f(2));
+    b.addi(t(0), t(0), 8);
+    b.addi(t(2), t(2), 1);
+    b.j(sum_loop);
+    b.bind(sum_done);
+    print_checksum(&mut b, f(1), scale, t(0), f(2));
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    let program = b.build().expect("LU kernel assembles");
+    Workload {
+        name: "LU".into(),
+        input: format!("{n} x {n} matrix"),
+        program,
+        expected: vec![expected_checksum(n)],
+        n_threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_core::{run_sequential, CoreModel, TargetConfig};
+
+    #[test]
+    fn factorization_reconstructs_input() {
+        assert!(residual(12) < 1e-9, "LU residual {}", residual(12));
+    }
+
+    #[test]
+    fn simulated_lu_prints_reference_checksum() {
+        let w = lu(2, 8);
+        let mut cfg = TargetConfig::small(2);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        assert_eq!(r.printed(), vec![(0, w.expected[0])]);
+        // O(n) barrier episodes: n-1 eliminations + none extra.
+        assert_eq!(r.sync.barrier_episodes, 7);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_answer() {
+        for p in [1, 2, 3, 4] {
+            let w = lu(p, 8);
+            assert_eq!(w.expected, lu(1, 8).expected, "p={p}");
+            let mut cfg = TargetConfig::small(p);
+            cfg.core.model = CoreModel::InOrder;
+            let r = run_sequential(&w.program, &cfg);
+            assert_eq!(r.printed(), vec![(0, w.expected[0])], "p={p}");
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Microbenchmarks: distilled sharing patterns for engine studies.
+//!
+//! These are not paper benchmarks; they isolate the communication
+//! behaviours that determine where each slack scheme wins:
+//!
+//! * [`pingpong`] — two threads alternate through semaphores: maximal
+//!   inter-core dependence, worst case for slack (every step serializes).
+//! * [`lock_sweep`] — all threads hammer one lock-protected counter:
+//!   heavy contention, sensitive to lock-grant reordering under slack.
+//! * [`private_compute`] — embarrassingly parallel FP work with a single
+//!   final reduction: the best case for large slack.
+
+use crate::common::{self, barrier, lock, unlock, unless_tid0_skip};
+use crate::Workload;
+use sk_isa::{ProgramBuilder, Reg, Syscall};
+
+/// Two threads bounce a token `rounds` times through two semaphores; each
+/// visit increments a shared word. Thread 0 prints the final count.
+pub fn pingpong(rounds: i64) -> Workload {
+    assert!(rounds >= 1);
+    let a0 = Reg::arg(0);
+    let a1 = Reg::arg(1);
+    let t = Reg::tmp;
+    let s = Reg::saved;
+    let mut b = ProgramBuilder::new();
+    let word = b.zeros("token_count", 1);
+
+    let other = b.new_label("other");
+    let main = b.here("main");
+    // sema 0: main waits on it; sema 1: other waits on it.
+    common::sys2(&mut b, Syscall::InitSema, 0, 0);
+    common::sys2(&mut b, Syscall::InitSema, 1, 0);
+    common::sys2(&mut b, Syscall::InitBarrier, common::BARRIER_PHASE, 2);
+    b.la_text(a0, other);
+    b.li(a1, 0);
+    b.sys(Syscall::Spawn);
+    b.sys(Syscall::RoiBegin);
+
+    // main: bump, signal(1), wait(0); repeat
+    b.li(s(0), rounds);
+    b.li(s(1), word as i64);
+    let m_loop = b.here("m_loop");
+    b.ld(t(0), s(1), 0);
+    b.addi(t(0), t(0), 1);
+    b.st(t(0), s(1), 0);
+    common::sys1(&mut b, Syscall::SemaSignal, 1);
+    common::sys1(&mut b, Syscall::SemaWait, 0);
+    b.addi(s(0), s(0), -1);
+    b.bne(s(0), Reg::ZERO, m_loop);
+    barrier(&mut b);
+    b.ld(a0, s(1), 0);
+    b.sys(Syscall::PrintInt);
+    b.sys(Syscall::Exit);
+
+    // other: wait(1), bump, signal(0); repeat
+    b.bind(other);
+    b.li(s(0), rounds);
+    b.li(s(1), word as i64);
+    let o_loop = b.here("o_loop");
+    common::sys1(&mut b, Syscall::SemaWait, 1);
+    b.ld(t(0), s(1), 0);
+    b.addi(t(0), t(0), 1);
+    b.st(t(0), s(1), 0);
+    common::sys1(&mut b, Syscall::SemaSignal, 0);
+    b.addi(s(0), s(0), -1);
+    b.bne(s(0), Reg::ZERO, o_loop);
+    barrier(&mut b);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    Workload {
+        name: "pingpong".into(),
+        input: format!("{rounds} rounds"),
+        program: b.build().expect("pingpong assembles"),
+        expected: vec![2 * rounds],
+        n_threads: 2,
+    }
+}
+
+/// `n_threads` threads each add `tid+1` to a lock-protected counter
+/// `iters` times; thread 0 prints the total.
+pub fn lock_sweep(n_threads: usize, iters: i64) -> Workload {
+    let a0 = Reg::arg(0);
+    let t = Reg::tmp;
+    let s = Reg::saved;
+    let mut b = ProgramBuilder::new();
+    let counter = b.zeros("counter", 1);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    common::standard_main(&mut b, n_threads, worker);
+
+    b.bind(worker);
+    common::get_tid(&mut b, s(2));
+    b.addi(s(2), s(2), 1); // increment = tid + 1
+    b.li(s(0), iters);
+    b.li(s(1), counter as i64);
+    let top = b.here("top");
+    lock(&mut b);
+    b.ld(t(0), s(1), 0);
+    b.add(t(0), t(0), s(2));
+    b.st(t(0), s(1), 0);
+    unlock(&mut b);
+    b.addi(s(0), s(0), -1);
+    b.bne(s(0), Reg::ZERO, top);
+    barrier(&mut b);
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    b.ld(a0, s(1), 0);
+    b.sys(Syscall::PrintInt);
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    let total: i64 = (1..=n_threads as i64).sum::<i64>() * iters;
+    Workload {
+        name: "lock_sweep".into(),
+        input: format!("{n_threads} threads x {iters}"),
+        program: b.build().expect("lock_sweep assembles"),
+        expected: vec![total],
+        n_threads,
+    }
+}
+
+/// Each thread runs `iters` iterations of private FP work (no sharing at
+/// all), then adds an integer digest to a lock-protected total once.
+pub fn private_compute(n_threads: usize, iters: i64) -> Workload {
+    use sk_isa::FReg;
+    let a0 = Reg::arg(0);
+    let t = Reg::tmp;
+    let s = Reg::saved;
+    let f = FReg::new;
+    let mut b = ProgramBuilder::new();
+    let total = b.zeros("total", 1);
+    let consts = b.floats("c", &[1.000001, 0.5]);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    common::standard_main(&mut b, n_threads, worker);
+
+    b.bind(worker);
+    common::get_tid(&mut b, s(2));
+    b.li(s(0), iters);
+    b.li(t(0), consts as i64);
+    b.fld(f(2), t(0), 0);
+    // x = tid + 1 as float
+    b.addi(t(1), s(2), 1);
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(1), rs1: t(1) });
+    let top = b.here("top");
+    b.fmul(f(1), f(1), f(2));
+    b.fsqrt(f(3), f(1));
+    b.fadd(f(1), f(1), f(3));
+    b.fmul(f(1), f(1), f(2));
+    b.fld(f(4), t(0), 8);
+    b.fmul(f(1), f(1), f(4));
+    b.addi(s(0), s(0), -1);
+    b.bne(s(0), Reg::ZERO, top);
+    // digest = trunc(x * 1000)
+    b.li(t(2), 1000);
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(4), rs1: t(2) });
+    b.fmul(f(1), f(1), f(4));
+    b.emit(sk_isa::Instr::Fcvtfl { rd: t(3), fs1: f(1) });
+    lock(&mut b);
+    b.li(t(1), total as i64);
+    b.ld(t(2), t(1), 0);
+    b.add(t(2), t(2), t(3));
+    b.st(t(2), t(1), 0);
+    unlock(&mut b);
+    barrier(&mut b);
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    b.li(t(1), total as i64);
+    b.ld(a0, t(1), 0);
+    b.sys(Syscall::PrintInt);
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    // host reference of the same recurrence
+    let mut expected_total: i64 = 0;
+    for tid in 0..n_threads {
+        let mut x = (tid + 1) as f64;
+        for _ in 0..iters {
+            x *= 1.000001;
+            x += x.sqrt();
+            x *= 1.000001;
+            x *= 0.5;
+        }
+        expected_total += (x * 1000.0) as i64;
+    }
+    Workload {
+        name: "private_compute".into(),
+        input: format!("{n_threads} threads x {iters}"),
+        program: b.build().expect("private_compute assembles"),
+        expected: vec![expected_total],
+        n_threads,
+    }
+}
+
+/// `n_threads` threads increment a single shared word `iters` times each
+/// **without any synchronization** — a deliberately racy kernel whose
+/// conflicting Load/Store pairs make the paper's Figure 7 workload-state
+/// violations observable under slack. Nothing is printed (the final count
+/// is scheme- and timing-dependent by design).
+pub fn racy_increment(n_threads: usize, iters: i64) -> Workload {
+    let t = Reg::tmp;
+    let s = Reg::saved;
+    let mut b = ProgramBuilder::new();
+    let word = b.zeros("word", 1);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    common::standard_main(&mut b, n_threads, worker);
+
+    b.bind(worker);
+    b.li(s(0), iters);
+    b.li(s(1), word as i64);
+    let top = b.here("top");
+    b.ld(t(0), s(1), 0);
+    b.addi(t(0), t(0), 1);
+    b.st(t(0), s(1), 0);
+    b.addi(s(0), s(0), -1);
+    b.bne(s(0), Reg::ZERO, top);
+    barrier(&mut b);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    Workload {
+        name: "racy_increment".into(),
+        input: format!("{n_threads} threads x {iters}, unsynchronized"),
+        program: b.build().expect("racy_increment assembles"),
+        expected: vec![],
+        n_threads,
+    }
+}
+
+/// Each thread increments its **own** word `iters` times — but the words
+/// share cache blocks (8 per 64-byte block), so the lines ping-pong
+/// between L1s on every access. Data-race-free and fully deterministic,
+/// yet coherence-bound: a stress test for the directory and for slack
+/// schemes' sensitivity to invalidation timing. Thread 0 prints the sum.
+pub fn false_sharing(n_threads: usize, iters: i64) -> Workload {
+    let t = Reg::tmp;
+    let s = Reg::saved;
+    let mut b = ProgramBuilder::new();
+    let slots = b.zeros("slots", n_threads.max(8));
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    common::standard_main(&mut b, n_threads, worker);
+
+    b.bind(worker);
+    common::get_tid(&mut b, s(2));
+    b.li(s(0), iters);
+    b.li(s(1), slots as i64);
+    b.slli(t(1), s(2), 3);
+    b.add(s(1), s(1), t(1)); // &slots[tid] — same block as the neighbours'
+    let top = b.here("top");
+    b.ld(t(0), s(1), 0);
+    b.addi(t(0), t(0), 1);
+    b.st(t(0), s(1), 0);
+    b.addi(s(0), s(0), -1);
+    b.bne(s(0), Reg::ZERO, top);
+    barrier(&mut b);
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    b.li(t(1), slots as i64);
+    b.li(t(2), 0); // acc
+    b.li(t(3), 0); // i
+    let sum_done = b.new_label("sum_done");
+    let sum = b.here("sum");
+    b.li(t(4), n_threads as i64);
+    b.bge(t(3), t(4), sum_done);
+    b.ld(t(0), t(1), 0);
+    b.add(t(2), t(2), t(0));
+    b.addi(t(1), t(1), 8);
+    b.addi(t(3), t(3), 1);
+    b.j(sum);
+    b.bind(sum_done);
+    b.mv(Reg::arg(0), t(2));
+    b.sys(Syscall::PrintInt);
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    Workload {
+        name: "false_sharing".into(),
+        input: format!("{n_threads} threads x {iters}, one block"),
+        program: b.build().expect("false_sharing assembles"),
+        expected: vec![n_threads as i64 * iters],
+        n_threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_core::{run_sequential, CoreModel, TargetConfig};
+
+    fn run(w: &Workload, n: usize) -> Vec<i64> {
+        let mut cfg = TargetConfig::small(n);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        r.printed().into_iter().map(|(_, v)| v).collect()
+    }
+
+    #[test]
+    fn pingpong_counts_both_threads() {
+        let w = pingpong(10);
+        assert_eq!(run(&w, 2), w.expected);
+        assert_eq!(w.expected, vec![20]);
+    }
+
+    #[test]
+    fn lock_sweep_totals() {
+        let w = lock_sweep(3, 7);
+        assert_eq!(run(&w, 3), w.expected);
+        assert_eq!(w.expected, vec![(1 + 2 + 3) * 7]);
+    }
+
+    #[test]
+    fn private_compute_matches_host_recurrence() {
+        let w = private_compute(2, 10);
+        assert_eq!(run(&w, 2), w.expected);
+    }
+
+    #[test]
+    fn racy_increment_completes_without_output() {
+        let w = racy_increment(3, 20);
+        assert_eq!(run(&w, 3), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn false_sharing_is_deterministic_and_coherence_heavy() {
+        let w = false_sharing(4, 25);
+        let mut cfg = sk_core::TargetConfig::small(4);
+        cfg.core.model = sk_core::CoreModel::InOrder;
+        let r = sk_core::run_sequential(&w.program, &cfg);
+        let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(printed, w.expected);
+        assert_eq!(w.expected, vec![100]);
+        // The shared block must ping-pong: many invalidations.
+        assert!(
+            r.dir.invalidations_out > 50,
+            "expected heavy coherence traffic, got {}",
+            r.dir.invalidations_out
+        );
+    }
+}

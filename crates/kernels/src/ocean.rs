@@ -1,0 +1,280 @@
+//! Ocean kernel (SPLASH-2 "Ocean" — grid relaxation).
+//!
+//! One of SPLASH-2's canonical grid codes: Jacobi relaxation over a
+//! (m+2)×(m+2) grid with fixed boundaries, ping-pong buffers, one barrier
+//! per sweep. Threads own contiguous row blocks, so inter-thread
+//! communication is **nearest-neighbour**: each thread reads only the
+//! boundary rows of its neighbours — the opposite sharing pattern to
+//! Radix's all-to-all scatter, and a classic producer/consumer pattern
+//! for the coherence protocol (boundary lines ping between exactly two
+//! L1s each sweep).
+//!
+//! Each thread accumulates its residual `Σ|new−old|` across all sweeps,
+//! converts it to a scaled integer, and adds it to a lock-protected
+//! global. Thread 0 prints the residual total and a grid checksum.
+
+use crate::common::{self, alloc_scale, barrier, checksum, lock, print_checksum, unlock, unless_tid0_skip};
+use crate::Workload;
+use sk_isa::{FReg, ProgramBuilder, Reg, Syscall};
+
+/// Deterministic boundary profile + zero interior.
+fn input(m: usize) -> Vec<f64> {
+    let w = m + 2;
+    let mut g = vec![0.0f64; w * w];
+    for k in 0..w {
+        g[k] = 1.0 + 0.5 * (0.31 * k as f64).sin(); // top row
+        g[(w - 1) * w + k] = -0.5 * (0.17 * k as f64).cos(); // bottom row
+        g[k * w] = 2.0 * (0.11 * k as f64).sin(); // left column
+        g[k * w + w - 1] = 0.25; // right column
+    }
+    g
+}
+
+fn rows(tid: usize, p: usize, m: usize) -> (usize, usize) {
+    ((tid * m) / p + 1, ((tid + 1) * m) / p + 1)
+}
+
+/// Host reference with the simulated kernel's exact operation order.
+/// Returns (final grid, per-thread residuals).
+pub fn reference(m: usize, sweeps: usize, p: usize) -> (Vec<f64>, Vec<f64>) {
+    let w = m + 2;
+    let mut a = input(m);
+    let mut b = a.clone();
+    let mut residual = vec![0.0f64; p];
+    for _ in 0..sweeps {
+        for (tid, res) in residual.iter_mut().enumerate() {
+            let (lo, hi) = rows(tid, p, m);
+            for i in lo..hi {
+                for j in 1..=m {
+                    let v = 0.25
+                        * (a[(i - 1) * w + j]
+                            + a[(i + 1) * w + j]
+                            + a[i * w + j - 1]
+                            + a[i * w + j + 1]);
+                    b[i * w + j] = v;
+                    *res += (v - a[i * w + j]).abs();
+                }
+            }
+        }
+        std::mem::swap(&mut a, &mut b);
+    }
+    (a, residual)
+}
+
+/// The two values thread 0 prints.
+pub fn expected(m: usize, sweeps: usize, p: usize) -> Vec<i64> {
+    let (grid, residual) = reference(m, sweeps, p);
+    let total: i64 = residual.iter().map(|&r| checksum(r)).sum();
+    let mut sum = 0.0f64;
+    for v in &grid {
+        sum += v;
+    }
+    vec![total, checksum(sum)]
+}
+
+/// Build the Ocean workload: `(m+2)²` grid, `sweeps` Jacobi sweeps.
+pub fn ocean(n_threads: usize, m: usize, sweeps: usize) -> Workload {
+    assert!(m >= n_threads && sweeps >= 1);
+
+    let g = input(m);
+    let mut b = ProgramBuilder::new();
+    let scale = alloc_scale(&mut b);
+    let quarter = b.floats("quarter", &[0.25]);
+    let res_addr = b.zeros("residual_total", 1);
+    let g0 = b.floats("grid_a", &g);
+    let g1 = b.floats("grid_b", &g);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    common::standard_main(&mut b, n_threads, worker);
+
+    let s = Reg::saved;
+    let t = Reg::tmp;
+    let f = FReg::new;
+    b.bind(worker);
+    common::get_tid(&mut b, s(0));
+    b.li(s(1), n_threads as i64);
+    b.li(s(2), m as i64);
+    b.li(s(3), g0 as i64);
+    b.li(s(4), g1 as i64);
+    // row bounds
+    b.mul(s(8), s(0), s(2));
+    b.div(s(8), s(8), s(1));
+    b.addi(s(8), s(8), 1); // lo
+    b.addi(s(9), s(0), 1);
+    b.mul(s(9), s(9), s(2));
+    b.div(s(9), s(9), s(1));
+    b.addi(s(9), s(9), 1); // hi
+    b.li(t(0), quarter as i64);
+    b.fld(f(20), t(0), 0);
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(1), rs1: Reg::ZERO }); // residual acc
+    b.li(s(7), 0); // sweep
+
+    let sweep_loop = b.here("sweep");
+    // src/dst by parity
+    let odd = b.new_label("odd");
+    let set_done = b.new_label("set_done");
+    b.andi(t(0), s(7), 1);
+    b.bne(t(0), Reg::ZERO, odd);
+    b.mv(s(5), s(3));
+    b.mv(s(6), s(4));
+    b.j(set_done);
+    b.bind(odd);
+    b.mv(s(5), s(4));
+    b.mv(s(6), s(3));
+    b.bind(set_done);
+
+    // for i in lo..hi
+    b.mv(t(5), s(8));
+    let i_done = b.new_label("i_done");
+    let i_loop = b.here("i_loop");
+    b.bge(t(5), s(9), i_done);
+    // row base offset = i*(m+2)*8 -> t4 (src row ptr), t3 (dst row ptr)
+    b.addi(t(0), s(2), 2);
+    b.mul(t(4), t(5), t(0));
+    b.slli(t(4), t(4), 3);
+    b.add(t(3), s(6), t(4)); // dst row
+    b.add(t(4), s(5), t(4)); // src row
+    // for j in 1..=m
+    b.li(t(6), 1);
+    let j_done = b.new_label("j_done");
+    let j_loop = b.here("j_loop");
+    b.blt(s(2), t(6), j_done); // while j <= m
+    b.slli(t(0), t(6), 3);
+    b.add(t(1), t(4), t(0)); // &src[i][j]
+    b.fld(f(2), t(1), 0); // old centre
+    b.fld(f(3), t(1), -8); // left
+    b.fld(f(4), t(1), 8); // right
+    // up/down: stride (m+2)*8
+    b.addi(t(2), s(2), 2);
+    b.slli(t(2), t(2), 3);
+    b.emit(sk_isa::Instr::Sub { rd: t(0), rs1: t(1), rs2: t(2) });
+    b.fld(f(5), t(0), 0); // up
+    b.add(t(0), t(1), t(2));
+    b.fld(f(6), t(0), 0); // down
+    b.fadd(f(7), f(3), f(4));
+    b.fadd(f(8), f(5), f(6));
+    b.fadd(f(7), f(7), f(8));
+    b.fmul(f(7), f(7), f(20)); // new value
+    b.slli(t(0), t(6), 3);
+    b.add(t(0), t(3), t(0));
+    b.fst(f(7), t(0), 0);
+    // residual += |new - old|
+    b.fsub(f(8), f(7), f(2));
+    b.emit(sk_isa::Instr::Fabs { fd: f(8), fs1: f(8) });
+    b.fadd(f(1), f(1), f(8));
+    b.addi(t(6), t(6), 1);
+    b.j(j_loop);
+    b.bind(j_done);
+    b.addi(t(5), t(5), 1);
+    b.j(i_loop);
+    b.bind(i_done);
+    barrier(&mut b);
+    b.addi(s(7), s(7), 1);
+    b.li(t(0), sweeps as i64);
+    b.blt(s(7), t(0), sweep_loop);
+
+    // lock-protected residual reduction
+    b.li(t(0), scale as i64);
+    b.fld(f(2), t(0), 0);
+    b.fmul(f(1), f(1), f(2));
+    b.emit(sk_isa::Instr::Fcvtfl { rd: t(3), fs1: f(1) });
+    lock(&mut b);
+    b.li(t(1), res_addr as i64);
+    b.ld(t(2), t(1), 0);
+    b.add(t(2), t(2), t(3));
+    b.st(t(2), t(1), 0);
+    unlock(&mut b);
+    barrier(&mut b);
+
+    // thread 0 prints
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    b.li(t(1), res_addr as i64);
+    b.ld(Reg::arg(0), t(1), 0);
+    b.sys(Syscall::PrintInt);
+    // grid checksum over the buffer holding the final state
+    let final_base = if sweeps.is_multiple_of(2) { 3u8 } else { 4u8 };
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(1), rs1: Reg::ZERO });
+    b.mv(t(0), s(final_base));
+    b.addi(t(1), s(2), 2);
+    b.mul(t(1), t(1), t(1));
+    b.li(t(2), 0);
+    let sum_done = b.new_label("sum_done");
+    let sum_loop = b.here("sum");
+    b.bge(t(2), t(1), sum_done);
+    b.fld(f(2), t(0), 0);
+    b.fadd(f(1), f(1), f(2));
+    b.addi(t(0), t(0), 8);
+    b.addi(t(2), t(2), 1);
+    b.j(sum_loop);
+    b.bind(sum_done);
+    print_checksum(&mut b, f(1), scale, t(0), f(2));
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    let program = b.build().expect("Ocean kernel assembles");
+    Workload {
+        name: "Ocean".into(),
+        input: format!("{}x{} grid", m + 2, m + 2),
+        program,
+        expected: expected(m, sweeps, n_threads),
+        n_threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_core::{run_sequential, CoreModel, TargetConfig};
+
+    #[test]
+    fn relaxation_decreases_residual_over_sweeps() {
+        let (_, r1) = reference(16, 1, 1);
+        let (grid, r8) = reference(16, 8, 1);
+        // Total residual accumulates, but the *last* sweep's marginal
+        // residual must be smaller than the first's: compare differently —
+        // run 7 and 8 sweeps and subtract.
+        let (_, r7) = reference(16, 7, 1);
+        let last = r8[0] - r7[0];
+        assert!(last < r1[0], "relaxation converges: {last} < {}", r1[0]);
+        assert!(grid.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn interior_moves_toward_boundary_average() {
+        let (grid, _) = reference(8, 50, 1);
+        let w = 10;
+        let centre = grid[5 * w + 5];
+        assert!(centre != 0.0, "interior filled in");
+    }
+
+    #[test]
+    fn simulated_ocean_prints_reference_values() {
+        let w = ocean(2, 6, 2);
+        let mut cfg = TargetConfig::small(2);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(printed, w.expected);
+        assert_eq!(r.sync.barrier_episodes, 3); // 2 sweeps + reduction
+    }
+
+    #[test]
+    fn thread_count_changes_partition_not_physics() {
+        // Jacobi is order-independent per element: the grid checksum must
+        // not depend on the partition; the residual total only through
+        // per-thread truncation.
+        let e1 = ocean(1, 8, 2).expected;
+        let e4 = ocean(4, 8, 2).expected;
+        assert_eq!(e1[1], e4[1], "grid checksum");
+        assert!((e1[0] - e4[0]).abs() <= 4, "residual differs only by truncation");
+        let w = ocean(3, 8, 2);
+        let mut cfg = TargetConfig::small(3);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(printed, w.expected);
+    }
+}

@@ -1,0 +1,335 @@
+//! Radix kernel (SPLASH-2 "Radix" — integer radix sort).
+//!
+//! The paper's §4.1 says six benchmarks were used though Table 2 lists
+//! four; Radix is one of the canonical SPLASH-2 companions and brings a
+//! sharing pattern the four lack: per-pass **histogram → prefix → scatter**
+//! phases where every thread writes into regions of the destination array
+//! computed from *other* threads' histograms — all-to-all communication
+//! separated by barriers, with an integer-only inner loop (no FP units).
+//!
+//! LSD radix sort, 4-bit digits, 6 passes over 24-bit keys, ping-pong
+//! buffers. Thread 0 computes the serialized prefix ranks (SPLASH uses a
+//! parallel prefix tree; the phase structure is what matters here). The
+//! sort is stable, so the final array — and the checksum — is independent
+//! of thread count. Thread 0 prints `Σ (i+1)·key[i]` and the inversion
+//! count (must be 0).
+
+use crate::common::{self, barrier, unless_tid0_skip};
+use crate::Workload;
+use sk_isa::{ProgramBuilder, Reg, Syscall};
+
+const RADIX_BITS: u32 = 4;
+const RADIX: usize = 1 << RADIX_BITS; // 16 buckets
+const PASSES: u32 = 6; // 24-bit keys
+
+/// Deterministic pseudo-random 24-bit keys.
+fn input(n: usize) -> Vec<u64> {
+    let mut x = 0x2545f491u64;
+    (0..n)
+        .map(|_| {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x & 0xff_ffff
+        })
+        .collect()
+}
+
+/// Block bounds for thread `tid` of `p` over `n` items.
+fn block(tid: usize, p: usize, n: usize) -> (usize, usize) {
+    ((tid * n) / p, ((tid + 1) * n) / p)
+}
+
+/// Host reference: the exact same stable LSD radix sort.
+pub fn reference(n: usize, p: usize) -> Vec<u64> {
+    let mut a = input(n);
+    let mut b = vec![0u64; n];
+    for pass in 0..PASSES {
+        let shift = pass * RADIX_BITS;
+        let mut hist = vec![[0u64; RADIX]; p];
+        for (tid, h) in hist.iter_mut().enumerate() {
+            let (lo, hi) = block(tid, p, n);
+            for &k in &a[lo..hi] {
+                h[((k >> shift) as usize) & (RADIX - 1)] += 1;
+            }
+        }
+        // serialized prefix (thread 0 in the simulated kernel)
+        let mut rank = vec![[0u64; RADIX]; p];
+        let mut idx = 0u64;
+        for r in 0..RADIX {
+            for t in 0..p {
+                rank[t][r] = idx;
+                idx += hist[t][r];
+            }
+        }
+        for tid in 0..p {
+            let (lo, hi) = block(tid, p, n);
+            for &k in &a[lo..hi] {
+                let r = ((k >> shift) as usize) & (RADIX - 1);
+                b[rank[tid][r] as usize] = k;
+                rank[tid][r] += 1;
+            }
+        }
+        std::mem::swap(&mut a, &mut b);
+    }
+    a
+}
+
+/// The two values thread 0 prints: weighted checksum and inversion count.
+pub fn expected(n: usize, p: usize) -> Vec<i64> {
+    let sorted = reference(n, p);
+    let mut sum: i64 = 0;
+    for (i, &k) in sorted.iter().enumerate() {
+        sum += (i as i64 + 1) * (k as i64);
+    }
+    let inversions = sorted.windows(2).filter(|w| w[0] > w[1]).count() as i64;
+    vec![sum, inversions]
+}
+
+/// Build the Radix workload: `n` keys sorted by `n_threads` threads.
+pub fn radix(n_threads: usize, n: usize) -> Workload {
+    assert!(n >= n_threads);
+    let keys = input(n);
+    let p = n_threads;
+    let mut b = ProgramBuilder::new();
+    let a_buf = b.words("keys_a", &keys);
+    let b_buf = b.zeros("keys_b", n);
+    let hist = b.zeros("hist", p * RADIX); // hist[tid][r]
+    let rank = b.zeros("rank", p * RADIX); // rank[tid][r]
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    common::standard_main(&mut b, p, worker);
+
+    let s = Reg::saved;
+    let t = Reg::tmp;
+    b.bind(worker);
+    common::get_tid(&mut b, s(0));
+    b.li(s(1), p as i64);
+    b.li(s(2), n as i64);
+    b.li(s(3), a_buf as i64);
+    b.li(s(4), b_buf as i64);
+    // own histogram / rank rows
+    b.li(t(0), (RADIX * 8) as i64);
+    b.mul(t(0), s(0), t(0));
+    b.li(s(5), hist as i64);
+    b.add(s(5), s(5), t(0));
+    b.li(s(6), rank as i64);
+    b.add(s(6), s(6), t(0));
+    b.li(s(7), 0); // pass
+
+    let pass_loop = b.here("pass");
+    // src/dst by parity: even pass -> src=A dst=B, odd -> src=B dst=A
+    let odd = b.new_label("odd");
+    let set_done = b.new_label("set_done");
+    b.andi(t(0), s(7), 1);
+    b.bne(t(0), Reg::ZERO, odd);
+    b.mv(s(8), s(3));
+    b.mv(s(9), s(4));
+    b.j(set_done);
+    b.bind(odd);
+    b.mv(s(8), s(4));
+    b.mv(s(9), s(3));
+    b.bind(set_done);
+
+    // ---- phase 1: zero own histogram, count own block ----
+    b.li(t(1), 0);
+    let zh_done = b.new_label("zh_done");
+    let zh = b.here("zh");
+    b.li(t(2), RADIX as i64);
+    b.bge(t(1), t(2), zh_done);
+    b.slli(t(2), t(1), 3);
+    b.add(t(2), s(5), t(2));
+    b.st(Reg::ZERO, t(2), 0);
+    b.addi(t(1), t(1), 1);
+    b.j(zh);
+    b.bind(zh_done);
+    // block bounds: t5 = lo, t6 = hi
+    b.mul(t(5), s(0), s(2));
+    b.div(t(5), t(5), s(1));
+    b.addi(t(6), s(0), 1);
+    b.mul(t(6), t(6), s(2));
+    b.div(t(6), t(6), s(1));
+    // shift = pass * RADIX_BITS in t4
+    b.li(t(4), RADIX_BITS as i64);
+    b.mul(t(4), s(7), t(4));
+    let cnt_done = b.new_label("cnt_done");
+    let cnt = b.here("cnt");
+    b.bge(t(5), t(6), cnt_done);
+    b.slli(t(0), t(5), 3);
+    b.add(t(0), s(8), t(0));
+    b.ld(t(1), t(0), 0); // key
+    b.emit(sk_isa::Instr::Srl { rd: t(1), rs1: t(1), rs2: t(4) });
+    b.andi(t(1), t(1), (RADIX - 1) as i32); // digit
+    b.slli(t(1), t(1), 3);
+    b.add(t(1), s(5), t(1));
+    b.ld(t(2), t(1), 0);
+    b.addi(t(2), t(2), 1);
+    b.st(t(2), t(1), 0);
+    b.addi(t(5), t(5), 1);
+    b.j(cnt);
+    b.bind(cnt_done);
+    barrier(&mut b);
+
+    // ---- phase 2: thread 0 serializes the prefix ranks ----
+    let prefix_done = b.new_label("prefix_done");
+    b.sys(Syscall::GetTid);
+    b.bne(Reg::arg(0), Reg::ZERO, prefix_done);
+    // idx in t0; for r in 0..RADIX { for t in 0..p { rank[t][r]=idx; idx+=hist[t][r] } }
+    b.li(t(0), 0);
+    b.li(t(1), 0); // r
+    let pr_r_done = b.new_label("pr_r_done");
+    let pr_r = b.here("pr_r");
+    b.li(t(4), RADIX as i64);
+    b.bge(t(1), t(4), pr_r_done);
+    b.li(t(2), 0); // t
+    let pr_t_done = b.new_label("pr_t_done");
+    let pr_t = b.here("pr_t");
+    b.bge(t(2), s(1), pr_t_done);
+    // off = (t*RADIX + r) * 8
+    b.li(t(4), RADIX as i64);
+    b.mul(t(3), t(2), t(4));
+    b.add(t(3), t(3), t(1));
+    b.slli(t(3), t(3), 3);
+    b.li(t(4), rank as i64);
+    b.add(t(4), t(4), t(3));
+    b.st(t(0), t(4), 0);
+    b.li(t(4), hist as i64);
+    b.add(t(4), t(4), t(3));
+    b.ld(t(4), t(4), 0);
+    b.add(t(0), t(0), t(4));
+    b.addi(t(2), t(2), 1);
+    b.j(pr_t);
+    b.bind(pr_t_done);
+    b.addi(t(1), t(1), 1);
+    b.j(pr_r);
+    b.bind(pr_r_done);
+    b.bind(prefix_done);
+    barrier(&mut b);
+
+    // ---- phase 3: scatter own block ----
+    b.mul(t(5), s(0), s(2));
+    b.div(t(5), t(5), s(1));
+    b.addi(t(6), s(0), 1);
+    b.mul(t(6), t(6), s(2));
+    b.div(t(6), t(6), s(1));
+    b.li(t(4), RADIX_BITS as i64);
+    b.mul(t(4), s(7), t(4));
+    let sc_done = b.new_label("sc_done");
+    let sc = b.here("sc");
+    b.bge(t(5), t(6), sc_done);
+    b.slli(t(0), t(5), 3);
+    b.add(t(0), s(8), t(0));
+    b.ld(t(0), t(0), 0); // key in t0
+    b.mv(t(1), t(0));
+    b.emit(sk_isa::Instr::Srl { rd: t(1), rs1: t(1), rs2: t(4) });
+    b.andi(t(1), t(1), (RADIX - 1) as i32);
+    b.slli(t(1), t(1), 3);
+    b.add(t(1), s(6), t(1)); // &rank[tid][r]
+    b.ld(t(2), t(1), 0);     // slot index
+    b.addi(t(3), t(2), 1);
+    b.st(t(3), t(1), 0);     // rank++
+    b.slli(t(2), t(2), 3);
+    b.add(t(2), s(9), t(2));
+    b.st(t(0), t(2), 0);     // dst[slot] = key
+    b.addi(t(5), t(5), 1);
+    b.j(sc);
+    b.bind(sc_done);
+    barrier(&mut b);
+
+    b.addi(s(7), s(7), 1);
+    b.li(t(0), PASSES as i64);
+    b.blt(s(7), t(0), pass_loop);
+
+    // ---- thread 0: checksum + inversion count (result is in A after an
+    // even number of passes) ----
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    b.li(t(0), 0); // sum
+    b.li(t(1), 0); // i
+    b.li(t(2), 0); // inversions
+    b.li(t(3), -1); // prev (all ones; first compare uses unsigned)
+    let ck_done = b.new_label("ck_done");
+    let ck = b.here("ck");
+    b.bge(t(1), s(2), ck_done);
+    b.slli(t(4), t(1), 3);
+    b.add(t(4), s(3), t(4));
+    b.ld(t(4), t(4), 0); // key
+    b.addi(t(5), t(1), 1);
+    b.mul(t(5), t(5), t(4));
+    b.add(t(0), t(0), t(5));
+    // inversions: prev > key (skip on first element)
+    let no_inv = b.new_label("no_inv");
+    b.beq(t(1), Reg::ZERO, no_inv);
+    b.bgeu(t(4), t(3), no_inv);
+    b.addi(t(2), t(2), 1);
+    b.bind(no_inv);
+    b.mv(t(3), t(4));
+    b.addi(t(1), t(1), 1);
+    b.j(ck);
+    b.bind(ck_done);
+    b.mv(Reg::arg(0), t(0));
+    b.sys(Syscall::PrintInt);
+    b.mv(Reg::arg(0), t(2));
+    b.sys(Syscall::PrintInt);
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    let program = b.build().expect("Radix kernel assembles");
+    Workload {
+        name: "Radix".into(),
+        input: format!("{n} keys"),
+        program,
+        expected: expected(n, p),
+        n_threads: p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_core::{run_sequential, CoreModel, TargetConfig};
+
+    #[test]
+    fn reference_sorts() {
+        let sorted = reference(256, 4);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut expect = input(256);
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn expected_reports_zero_inversions() {
+        let e = expected(128, 3);
+        assert_eq!(e[1], 0);
+        assert!(e[0] > 0);
+    }
+
+    #[test]
+    fn simulated_radix_prints_reference_values() {
+        let w = radix(2, 32);
+        let mut cfg = TargetConfig::small(2);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(printed, w.expected);
+        // 6 passes x 3 barriers.
+        assert_eq!(r.sync.barrier_episodes, 18);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_sort() {
+        for p in [1, 2, 4] {
+            let w = radix(p, 48);
+            assert_eq!(w.expected, radix(1, 48).expected, "p={p}");
+            let mut cfg = TargetConfig::small(p);
+            cfg.core.model = CoreModel::InOrder;
+            let r = run_sequential(&w.program, &cfg);
+            let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+            assert_eq!(printed, w.expected, "p={p}");
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Water kernel (SPLASH-2 "Water-Nsquared", paper Table 2: 216 molecules).
+//!
+//! **Substitution note** (DESIGN.md §2): SPLASH-2's Water-Nsquared
+//! evaluates an O(n²) pairwise intermolecular potential plus
+//! intra-molecular terms, with lock-protected accumulation of global
+//! quantities each step. This kernel keeps that shape: a Lennard-Jones
+//! O(n²) pair force on molecule centres, a harmonic intra-molecular
+//! coordinate per molecule, **block** ownership (contrast Barnes'
+//! interleaved ownership — a different load-balance profile), and a
+//! lock-protected, integer-scaled potential-energy reduction *every step*
+//! (more lock traffic than Barnes, as in the original which locks per
+//! accumulation).
+//!
+//! Thread 0 prints the accumulated potential-energy integer and a
+//! position checksum at the end.
+
+use crate::common::{self, alloc_scale, barrier, checksum, lock, print_checksum, unlock, unless_tid0_skip};
+use crate::Workload;
+use sk_isa::{FReg, ProgramBuilder, Reg, Syscall};
+
+const DT: f64 = 0.002;
+/// LJ force constants: fs = (C1·inv6² − C2·inv6)·inv2.
+const C1: f64 = 48.0 * 0.02;
+const C2: f64 = 24.0 * 0.02;
+/// LJ energy constants: u = C3·inv6² − C4·inv6.
+const C3: f64 = 4.0 * 0.02;
+const C4: f64 = 4.0 * 0.02;
+/// Harmonic intra-molecular stiffness.
+const KQ: f64 = 3.0;
+
+/// Deterministic molecule set: jittered cubic-ish lattice + internal mode.
+fn input(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let side = (n as f64).cbrt().ceil() as usize;
+    let mut px = Vec::with_capacity(n);
+    let mut py = Vec::with_capacity(n);
+    let mut pz = Vec::with_capacity(n);
+    let mut q = Vec::with_capacity(n);
+    for i in 0..n {
+        let (x, y, z) = (i % side, (i / side) % side, i / (side * side));
+        px.push(1.2 * x as f64 + 0.05 * (0.31 * i as f64).sin());
+        py.push(1.2 * y as f64 + 0.05 * (0.17 * i as f64).cos());
+        pz.push(1.2 * z as f64 + 0.05 * (0.41 * i as f64).sin());
+        q.push(0.1 * (0.23 * i as f64).cos());
+    }
+    (px, py, pz, q)
+}
+
+/// Block bounds for thread `tid` of `p` over `n` items: `[lo, hi)`.
+fn block(tid: usize, p: usize, n: usize) -> (usize, usize) {
+    ((tid * n) / p, ((tid + 1) * n) / p)
+}
+
+/// Host reference with the simulated kernel's exact operation order.
+/// Returns (px, py, pz, q, pe_int_total) after `steps` steps with `p`
+/// threads (the PE reduction is per-thread integer-truncated, per step).
+#[allow(clippy::type_complexity)]
+pub fn reference(n: usize, steps: usize, p: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, i64) {
+    let (mut px, mut py, mut pz, mut q) = input(n);
+    let mut vx = vec![0.0f64; n];
+    let mut vy = vec![0.0f64; n];
+    let mut vz = vec![0.0f64; n];
+    let mut vq = vec![0.0f64; n];
+    let mut pe_total: i64 = 0;
+    for _ in 0..steps {
+        let (px0, py0, pz0) = (px.clone(), py.clone(), pz.clone());
+        let mut partials = vec![0.0f64; p];
+        for (tid, partial) in partials.iter_mut().enumerate() {
+            let (lo, hi) = block(tid, p, n);
+            for i in lo..hi {
+                let (xi, yi, zi) = (px0[i], py0[i], pz0[i]);
+                let (mut fx, mut fy, mut fz) = (0.0f64, 0.0f64, 0.0f64);
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let dx = px0[j] - xi;
+                    let dy = py0[j] - yi;
+                    let dz = pz0[j] - zi;
+                    let mut r2 = dx * dx;
+                    r2 += dy * dy;
+                    r2 += dz * dz;
+                    let inv2 = 1.0 / r2;
+                    let inv6 = inv2 * inv2 * inv2;
+                    let fs = (C1 * inv6 * inv6 - C2 * inv6) * inv2;
+                    // attractive sign convention: force on i toward j is -fs*d
+                    fx -= dx * fs;
+                    fy -= dy * fs;
+                    fz -= dz * fs;
+                    if j > i {
+                        *partial += C3 * inv6 * inv6 - C4 * inv6;
+                    }
+                }
+                vx[i] += fx * DT;
+                vy[i] += fy * DT;
+                vz[i] += fz * DT;
+                // harmonic internal coordinate
+                vq[i] += -KQ * q[i] * DT;
+            }
+        }
+        for partial in &partials {
+            pe_total += checksum(*partial);
+        }
+        for i in 0..n {
+            px[i] += vx[i] * DT;
+            py[i] += vy[i] * DT;
+            pz[i] += vz[i] * DT;
+            q[i] += vq[i] * DT;
+        }
+    }
+    (px, py, pz, q, pe_total)
+}
+
+/// The two values thread 0 prints.
+pub fn expected(n: usize, steps: usize, p: usize) -> Vec<i64> {
+    let (px, py, pz, q, pe) = reference(n, steps, p);
+    let mut pos = 0.0f64;
+    for i in 0..n {
+        pos += px[i];
+        pos += py[i];
+        pos += pz[i];
+        pos += q[i];
+    }
+    vec![pe, checksum(pos)]
+}
+
+/// Build the Water workload: `n` molecules, `steps` time steps.
+pub fn water(n_threads: usize, n: usize, steps: usize) -> Workload {
+    assert!(n >= n_threads && steps >= 1);
+    let (px, py, pz, q) = input(n);
+    let mut b = ProgramBuilder::new();
+    let scale = alloc_scale(&mut b);
+    let consts = b.floats("consts", &[DT, C1, C2, C3, C4, KQ]);
+    let pe_addr = b.zeros("pe_total", 1);
+    let px_a = b.floats("px", &px);
+    let py_a = b.floats("py", &py);
+    let pz_a = b.floats("pz", &pz);
+    let q_a = b.floats("q", &q);
+    let vx_a = b.zeros("vx", n);
+    let vy_a = b.zeros("vy", n);
+    let vz_a = b.zeros("vz", n);
+    let vq_a = b.zeros("vq", n);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    common::standard_main(&mut b, n_threads, worker);
+
+    let s = Reg::saved;
+    let t = Reg::tmp;
+    let f = FReg::new;
+    b.bind(worker);
+    common::get_tid(&mut b, s(0));
+    b.li(s(1), n_threads as i64);
+    b.li(s(2), n as i64);
+    b.li(s(3), px_a as i64);
+    b.li(s(4), py_a as i64);
+    b.li(s(5), pz_a as i64);
+    b.li(s(6), vx_a as i64);
+    b.li(s(7), vy_a as i64);
+    b.li(s(8), vz_a as i64);
+    // block bounds: lo in s9, hi kept in t6 (t-regs survive syscalls)
+    b.mul(s(9), s(0), s(2));
+    b.div(s(9), s(9), s(1)); // lo = tid*n/p
+    b.addi(t(0), s(0), 1);
+    b.mul(t(6), t(0), s(2));
+    b.div(t(6), t(6), s(1)); // hi = (tid+1)*n/p
+    // constants
+    b.li(t(0), consts as i64);
+    b.fld(f(20), t(0), 0); // dt
+    b.fld(f(21), t(0), 8); // C1
+    b.fld(f(22), t(0), 16); // C2
+    b.fld(f(23), t(0), 24); // C3
+    b.fld(f(24), t(0), 32); // C4
+    b.fld(f(25), t(0), 40); // KQ
+    // 1.0 for reciprocals
+    b.li(t(0), 1);
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(26), rs1: t(0) });
+    // steps counter in f-space? no: use a saved slot — all s-regs taken.
+    // Keep the step counter in memory (own stack slot via sp).
+    b.li(t(0), steps as i64);
+    b.st(t(0), Reg::SP, -8);
+
+    let step_loop = b.here("step");
+
+    // ---- phase A: forces + velocity for own block [lo, hi) ----
+    b.mv(t(5), s(9)); // i = lo
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(13), rs1: Reg::ZERO }); // pe partial
+    let ia_done = b.new_label("ia_done");
+    let ia_loop = b.here("ia_loop");
+    b.bge(t(5), t(6), ia_done);
+    b.slli(t(0), t(5), 3);
+    b.add(t(1), s(3), t(0));
+    b.fld(f(1), t(1), 0); // xi
+    b.add(t(1), s(4), t(0));
+    b.fld(f(2), t(1), 0); // yi
+    b.add(t(1), s(5), t(0));
+    b.fld(f(3), t(1), 0); // zi
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(4), rs1: Reg::ZERO }); // fx
+    b.fmv(f(5), f(4));
+    b.fmv(f(6), f(4));
+    b.li(t(4), 0); // j
+    let j_done = b.new_label("j_done");
+    let j_next = b.new_label("j_next");
+    let j_loop = b.here("j_loop");
+    b.bge(t(4), s(2), j_done);
+    b.beq(t(4), t(5), j_next);
+    b.slli(t(0), t(4), 3);
+    b.add(t(1), s(3), t(0));
+    b.fld(f(7), t(1), 0);
+    b.fsub(f(7), f(7), f(1)); // dx
+    b.add(t(1), s(4), t(0));
+    b.fld(f(8), t(1), 0);
+    b.fsub(f(8), f(8), f(2)); // dy
+    b.add(t(1), s(5), t(0));
+    b.fld(f(9), t(1), 0);
+    b.fsub(f(9), f(9), f(3)); // dz
+    b.fmul(f(10), f(7), f(7));
+    b.fmul(f(11), f(8), f(8));
+    b.fadd(f(10), f(10), f(11));
+    b.fmul(f(11), f(9), f(9));
+    b.fadd(f(10), f(10), f(11)); // r2
+    b.fdiv(f(10), f(26), f(10)); // inv2
+    b.fmul(f(11), f(10), f(10));
+    b.fmul(f(11), f(11), f(10)); // inv6
+    b.fmul(f(12), f(11), f(11)); // inv12
+    // fs = (C1*inv12 - C2*inv6) * inv2
+    b.fmul(f(14), f(21), f(12));
+    b.fmul(f(15), f(22), f(11));
+    b.fsub(f(14), f(14), f(15));
+    b.fmul(f(14), f(14), f(10)); // fs
+    b.fmul(f(15), f(7), f(14));
+    b.fsub(f(4), f(4), f(15));
+    b.fmul(f(15), f(8), f(14));
+    b.fsub(f(5), f(5), f(15));
+    b.fmul(f(15), f(9), f(14));
+    b.fsub(f(6), f(6), f(15));
+    // pe for pairs j > i
+    b.bge(t(5), t(4), j_next); // skip unless j > i
+    b.fmul(f(14), f(23), f(12));
+    b.fmul(f(15), f(24), f(11));
+    b.fsub(f(14), f(14), f(15));
+    b.fadd(f(13), f(13), f(14));
+    b.bind(j_next);
+    b.addi(t(4), t(4), 1);
+    b.j(j_loop);
+    b.bind(j_done);
+    // v[i] += f * dt
+    b.slli(t(0), t(5), 3);
+    for (va, facc) in [(6u8, 4u8), (7, 5), (8, 6)] {
+        b.add(t(1), s(va), t(0));
+        b.fld(f(7), t(1), 0);
+        b.fmul(f(8), f(facc), f(20));
+        b.fadd(f(7), f(7), f(8));
+        b.fst(f(7), t(1), 0);
+    }
+    // vq[i] += -KQ*q[i]*dt
+    b.li(t(2), q_a as i64);
+    b.add(t(1), t(2), t(0));
+    b.fld(f(7), t(1), 0); // q[i]
+    b.fmul(f(7), f(7), f(25));
+    b.emit(sk_isa::Instr::Fneg { fd: f(7), fs1: f(7) });
+    b.fmul(f(7), f(7), f(20));
+    b.li(t(2), vq_a as i64);
+    b.add(t(1), t(2), t(0));
+    b.fld(f(8), t(1), 0);
+    b.fadd(f(8), f(8), f(7));
+    b.fst(f(8), t(1), 0);
+    b.addi(t(5), t(5), 1);
+    b.j(ia_loop);
+    b.bind(ia_done);
+
+    // lock-protected PE reduction (every step)
+    b.li(t(0), scale as i64);
+    b.fld(f(14), t(0), 0);
+    b.fmul(f(13), f(13), f(14));
+    b.emit(sk_isa::Instr::Fcvtfl { rd: t(3), fs1: f(13) });
+    lock(&mut b);
+    b.li(t(1), pe_addr as i64);
+    b.ld(t(2), t(1), 0);
+    b.add(t(2), t(2), t(3));
+    b.st(t(2), t(1), 0);
+    unlock(&mut b);
+    barrier(&mut b);
+
+    // ---- phase B: advance own block ----
+    b.mv(t(5), s(9));
+    let ib_done = b.new_label("ib_done");
+    let ib_loop = b.here("ib_loop");
+    b.bge(t(5), t(6), ib_done);
+    b.slli(t(0), t(5), 3);
+    for (pa, va) in [(3u8, 6u8), (4, 7), (5, 8)] {
+        b.add(t(1), s(pa), t(0));
+        b.add(t(2), s(va), t(0));
+        b.fld(f(7), t(1), 0);
+        b.fld(f(8), t(2), 0);
+        b.fmul(f(8), f(8), f(20));
+        b.fadd(f(7), f(7), f(8));
+        b.fst(f(7), t(1), 0);
+    }
+    // q[i] += vq[i]*dt
+    b.li(t(2), q_a as i64);
+    b.add(t(1), t(2), t(0));
+    b.li(t(2), vq_a as i64);
+    b.add(t(2), t(2), t(0));
+    b.fld(f(7), t(1), 0);
+    b.fld(f(8), t(2), 0);
+    b.fmul(f(8), f(8), f(20));
+    b.fadd(f(7), f(7), f(8));
+    b.fst(f(7), t(1), 0);
+    b.addi(t(5), t(5), 1);
+    b.j(ib_loop);
+    b.bind(ib_done);
+    barrier(&mut b);
+
+    // step counter in memory
+    b.ld(t(0), Reg::SP, -8);
+    b.addi(t(0), t(0), -1);
+    b.st(t(0), Reg::SP, -8);
+    b.bne(t(0), Reg::ZERO, step_loop);
+
+    // ---- thread 0 prints ----
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    b.li(t(1), pe_addr as i64);
+    b.ld(Reg::arg(0), t(1), 0);
+    b.sys(Syscall::PrintInt);
+    b.emit(sk_isa::Instr::Fcvtlf { fd: f(1), rs1: Reg::ZERO });
+    b.li(t(5), 0);
+    b.li(t(4), q_a as i64);
+    let sum_done = b.new_label("sum_done");
+    let sum_loop = b.here("sum");
+    b.bge(t(5), s(2), sum_done);
+    b.slli(t(0), t(5), 3);
+    for pa in [3u8, 4, 5] {
+        b.add(t(1), s(pa), t(0));
+        b.fld(f(2), t(1), 0);
+        b.fadd(f(1), f(1), f(2));
+    }
+    b.add(t(1), t(4), t(0));
+    b.fld(f(2), t(1), 0);
+    b.fadd(f(1), f(1), f(2));
+    b.addi(t(5), t(5), 1);
+    b.j(sum_loop);
+    b.bind(sum_done);
+    print_checksum(&mut b, f(1), scale, t(0), f(2));
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    let program = b.build().expect("Water kernel assembles");
+    Workload {
+        name: "Water-Nsquared".into(),
+        input: format!("{n} molecules"),
+        program,
+        expected: expected(n, steps, n_threads),
+        n_threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_core::{run_sequential, CoreModel, TargetConfig};
+
+    #[test]
+    fn molecules_move_and_pe_is_finite() {
+        let (px, _, _, q, pe) = reference(16, 2, 2);
+        let (px0, _, _, q0) = input(16);
+        assert!(px.iter().zip(&px0).any(|(a, b)| a != b));
+        assert!(q.iter().zip(&q0).any(|(a, b)| a != b), "internal mode moves");
+        assert!(pe != 0, "potential energy accumulated");
+    }
+
+    #[test]
+    fn simulated_water_prints_reference_values() {
+        let w = water(2, 8, 1);
+        let mut cfg = TargetConfig::small(2);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(printed, w.expected);
+    }
+
+    #[test]
+    fn per_step_lock_traffic_scales_with_steps() {
+        let w1 = water(2, 8, 1);
+        let w3 = water(2, 8, 3);
+        let mut cfg = TargetConfig::small(2);
+        cfg.core.model = CoreModel::InOrder;
+        let r1 = run_sequential(&w1.program, &cfg);
+        let r3 = run_sequential(&w3.program, &cfg);
+        assert_eq!(r1.sync.lock_acquisitions, 2);
+        assert_eq!(r3.sync.lock_acquisitions, 6);
+        let printed: Vec<i64> = r3.printed().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(printed, w3.expected);
+    }
+
+    #[test]
+    fn block_partition_covers_range_exactly() {
+        for p in 1..6 {
+            for n in [7usize, 8, 16, 17] {
+                let mut covered = vec![false; n];
+                for tid in 0..p {
+                    let (lo, hi) = block(tid, p, n);
+                    for c in covered.iter_mut().take(hi).skip(lo) {
+                        assert!(!*c, "overlap");
+                        *c = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "gap for p={p} n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared-interconnect occupancy model.
+//!
+//! The manager thread serializes all lower-hierarchy requests over a shared
+//! split-transaction interconnect. Each request occupies the interconnect
+//! for a fixed number of cycles; a request arriving while it is busy waits.
+//!
+//! Under slack simulation, requests can be *processed* in an order that
+//! disagrees with their simulated timestamps. Figure 4 of the paper shows
+//! the resulting "bus busy in the past" distortion. [`BusModel`] makes that
+//! observable: it counts **inversions** (a request whose timestamp precedes
+//! the previously granted one) and **retro-grants** (a grant that would
+//! start before the bus's busy horizon measured in simulated time), while
+//! keeping the simulation state itself consistent — grants never overlap
+//! in *simulation* order, exactly as §3.2.1 argues.
+
+use serde::{Deserialize, Serialize};
+
+/// Occupancy statistics and distortion counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Requests granted.
+    pub grants: u64,
+    /// Requests that found the interconnect busy and were delayed.
+    pub conflicts: u64,
+    /// Total cycles of delay imposed by conflicts.
+    pub wait_cycles: u64,
+    /// Requests whose timestamp was older than the previous grant's
+    /// timestamp (simulated-time inversion; only counted when tracking).
+    pub inversions: u64,
+}
+
+/// The shared interconnect between cores and the L2/directory.
+#[derive(Clone, Debug)]
+pub struct BusModel {
+    occupancy: u64,
+    busy_until: u64,
+    last_req_ts: u64,
+    track: bool,
+    /// Counters; see [`BusStats`].
+    pub stats: BusStats,
+}
+
+impl BusModel {
+    /// A bus that holds each request for `occupancy` cycles.
+    pub fn new(occupancy: u64, track_violations: bool) -> Self {
+        BusModel { occupancy, busy_until: 0, last_req_ts: 0, track: track_violations, stats: BusStats::default() }
+    }
+
+    /// Request the bus at simulated time `ts`; returns the cycle at which
+    /// the request occupies the bus.
+    ///
+    /// A *past-frame* request (one whose timestamp precedes the previously
+    /// granted request's timestamp — possible under eager slack schemes)
+    /// is served at its own timestamp without queueing: this is exactly
+    /// the paper's Figure 4 semantics, where "the bus appears to satisfy
+    /// two bus requests at the same time" and the overlap is a temporary
+    /// time distortion rather than a delay. It is counted as an inversion.
+    /// In timestamp-ordered schemes requests arrive monotonically and the
+    /// ordinary occupancy rule applies.
+    pub fn acquire(&mut self, ts: u64) -> u64 {
+        self.stats.grants += 1;
+        if ts < self.last_req_ts {
+            if self.track {
+                self.stats.inversions += 1;
+            }
+            return ts;
+        }
+        self.last_req_ts = ts;
+        let start = ts.max(self.busy_until);
+        if start > ts {
+            self.stats.conflicts += 1;
+            self.stats.wait_cycles += start - ts;
+        }
+        self.busy_until = start + self.occupancy;
+        start
+    }
+
+    /// The first cycle at which a new request could be granted.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_are_serialized() {
+        let mut b = BusModel::new(3, false);
+        assert_eq!(b.acquire(10), 10);
+        assert_eq!(b.acquire(11), 13); // bus busy until 13
+        assert_eq!(b.acquire(20), 20);
+        assert_eq!(b.stats.grants, 3);
+        assert_eq!(b.stats.conflicts, 1);
+        assert_eq!(b.stats.wait_cycles, 2);
+    }
+
+    #[test]
+    fn inversions_counted_only_when_tracking() {
+        let mut b = BusModel::new(1, true);
+        b.acquire(10);
+        b.acquire(5); // older timestamp arrives later: Fig. 4 distortion
+        assert_eq!(b.stats.inversions, 1);
+
+        let mut b = BusModel::new(1, false);
+        b.acquire(10);
+        b.acquire(5);
+        assert_eq!(b.stats.inversions, 0);
+    }
+
+    #[test]
+    fn past_frame_requests_are_served_self_paced() {
+        // Figure 4: a request from a lagging core's frame is served in its
+        // own past — the overlap is the distortion, not a delay.
+        let mut b = BusModel::new(2, true);
+        let g1 = b.acquire(100);
+        assert_eq!(g1, 100);
+        let g2 = b.acquire(50);
+        assert_eq!(g2, 50, "past-frame request served at its own timestamp");
+        // The busy horizon is unaffected by past-frame service.
+        assert_eq!(b.busy_until(), 102);
+        // In-order arrivals still queue.
+        assert_eq!(b.acquire(101), 102);
+    }
+}

@@ -1,0 +1,311 @@
+//! Generic set-associative tag array with true-LRU replacement.
+//!
+//! Used for the L1 I/D caches (with MESI line states) and the L2 banks
+//! (with a simple valid bit). The array stores only tags and a per-line
+//! state `S`; data lives in [`crate::FuncMemory`].
+
+use crate::{BlockAddr, BLOCK_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Block size in bytes (must equal the global [`BLOCK_BYTES`] for
+    /// coherence to line up; asserted).
+    pub block_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        let blocks = (self.size_bytes / self.block_bytes) as usize;
+        assert!(blocks >= self.assoc, "cache smaller than one set");
+        let sets = blocks / self.assoc;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in \[0,1\]; 0 if no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Line<S> {
+    tag: u64,
+    state: Option<S>,
+    /// LRU ordinal: larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative tag array holding one `S` per resident block.
+#[derive(Clone, Debug)]
+pub struct Cache<S> {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line<S>>>,
+    set_mask: u64,
+    tick: u64,
+    /// Counters, updated by [`Cache::lookup`] and [`Cache::fill`].
+    pub stats: CacheStats,
+}
+
+impl<S: Copy> Cache<S> {
+    /// Build an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert_eq!(cfg.block_bytes, BLOCK_BYTES, "block size must match the coherence unit");
+        let num_sets = cfg.num_sets();
+        let sets = (0..num_sets)
+            .map(|_| {
+                (0..cfg.assoc)
+                    .map(|_| Line { tag: 0, state: None, lru: 0 })
+                    .collect()
+            })
+            .collect();
+        Cache { cfg, sets, set_mask: (num_sets - 1) as u64, tick: 0, stats: CacheStats::default() }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, block: BlockAddr) -> u64 {
+        block >> self.set_mask.count_ones()
+    }
+
+    /// Look up a block, updating LRU and hit/miss counters. Returns the
+    /// line state if present.
+    pub fn lookup(&mut self, block: BlockAddr) -> Option<S> {
+        let set = self.set_of(block);
+        let tag = self.tag_of(block);
+        self.tick += 1;
+        let tick = self.tick;
+        for line in &mut self.sets[set] {
+            if line.state.is_some() && line.tag == tag {
+                line.lru = tick;
+                self.stats.hits += 1;
+                return line.state;
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Inspect a block without touching LRU or counters.
+    pub fn peek(&self, block: BlockAddr) -> Option<S> {
+        let set = self.set_of(block);
+        let tag = self.tag_of(block);
+        self.sets[set]
+            .iter()
+            .find(|l| l.state.is_some() && l.tag == tag)
+            .and_then(|l| l.state)
+    }
+
+    /// Overwrite the state of a resident block; returns false if absent.
+    pub fn set_state(&mut self, block: BlockAddr, state: S) -> bool {
+        let set = self.set_of(block);
+        let tag = self.tag_of(block);
+        for line in &mut self.sets[set] {
+            if line.state.is_some() && line.tag == tag {
+                line.state = Some(state);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Insert a block with `state`, evicting the LRU line if the set is
+    /// full. Returns the evicted `(block, state)` if a valid line was
+    /// displaced.
+    pub fn fill(&mut self, block: BlockAddr, state: S) -> Option<(BlockAddr, S)> {
+        let set_idx = self.set_of(block);
+        let tag = self.tag_of(block);
+        let nsets = self.set_mask + 1;
+        self.tick += 1;
+        let tick = self.tick;
+
+        // Refill of a resident block just updates state.
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.state.is_some() && l.tag == tag) {
+            line.state = Some(state);
+            line.lru = tick;
+            return None;
+        }
+        // Prefer an invalid way.
+        if let Some(line) = set.iter_mut().find(|l| l.state.is_none()) {
+            *line = Line { tag, state: Some(state), lru: tick };
+            return None;
+        }
+        // Evict true-LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| l.lru)
+            .expect("associativity >= 1");
+        let old_block = victim.tag * nsets + set_idx as u64;
+        let old_state = victim.state.take().expect("victim was valid");
+        *victim = Line { tag, state: Some(state), lru: tick };
+        self.stats.evictions += 1;
+        Some((old_block, old_state))
+    }
+
+    /// Remove a block (coherence invalidation); returns its state if it was
+    /// resident.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<S> {
+        let set = self.set_of(block);
+        let tag = self.tag_of(block);
+        for line in &mut self.sets[set] {
+            if line.state.is_some() && line.tag == tag {
+                return line.state.take();
+            }
+        }
+        None
+    }
+
+    /// Iterate over all resident blocks (diagnostics / invariant checks).
+    pub fn resident(&self) -> impl Iterator<Item = (BlockAddr, S)> + '_ {
+        let nsets = self.set_mask + 1;
+        self.sets.iter().enumerate().flat_map(move |(si, set)| {
+            set.iter().filter_map(move |l| l.state.map(|s| (l.tag * nsets + si as u64, s)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache<u8> {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheConfig { size_bytes: 512, assoc: 2, block_bytes: 64 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().num_sets(), 4);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(5), None);
+        assert_eq!(c.fill(5, 1), None);
+        assert_eq!(c.lookup(5), Some(1));
+        assert_eq!(c.stats, CacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // blocks 0, 4, 8 map to set 0 (4 sets).
+        c.fill(0, 10);
+        c.fill(4, 11);
+        c.lookup(0); // 0 now MRU, 4 is LRU
+        let evicted = c.fill(8, 12);
+        assert_eq!(evicted, Some((4, 11)));
+        assert_eq!(c.peek(0), Some(10));
+        assert_eq!(c.peek(8), Some(12));
+        assert_eq!(c.peek(4), None);
+    }
+
+    #[test]
+    fn refill_updates_state_without_eviction() {
+        let mut c = tiny();
+        c.fill(3, 1);
+        assert_eq!(c.fill(3, 2), None);
+        assert_eq!(c.peek(3), Some(2));
+        assert_eq!(c.stats.evictions, 0);
+    }
+
+    #[test]
+    fn invalidate_frees_way() {
+        let mut c = tiny();
+        c.fill(0, 1);
+        c.fill(4, 2);
+        assert_eq!(c.invalidate(0), Some(1));
+        assert_eq!(c.invalidate(0), None);
+        // Set has a free way again: no eviction on next fill.
+        assert_eq!(c.fill(8, 3), None);
+    }
+
+    #[test]
+    fn set_state_only_when_resident() {
+        let mut c = tiny();
+        assert!(!c.set_state(7, 9));
+        c.fill(7, 1);
+        assert!(c.set_state(7, 9));
+        assert_eq!(c.peek(7), Some(9));
+    }
+
+    #[test]
+    fn resident_reconstructs_block_addresses() {
+        let mut c = tiny();
+        // 4 sets x 2 ways: 0,4 -> set 0; 1,5 -> set 1; 2 -> set 2; 3 -> set 3.
+        for b in [0u64, 1, 2, 3, 4, 5] {
+            assert_eq!(c.fill(b, b as u8), None, "no set overflows");
+        }
+        let mut blocks: Vec<_> = c.resident().collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = tiny();
+        for b in 0..8u64 {
+            assert_eq!(c.fill(b, b as u8), None, "filling block {b}");
+        }
+        for b in 0..8u64 {
+            assert_eq!(c.peek(b), Some(b as u8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = Cache::<u8>::new(CacheConfig { size_bytes: 3 * 64, assoc: 1, block_bytes: 64 });
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = tiny();
+        c.lookup(0);
+        c.fill(0, 1);
+        c.lookup(0);
+        assert_eq!(c.stats.miss_rate(), 0.5);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

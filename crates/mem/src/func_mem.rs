@@ -1,0 +1,213 @@
+//! Functional backing memory.
+//!
+//! One flat 64-bit word address space shared by all simulation threads.
+//! Storage is a lazily-populated page table of `AtomicU64` arrays so that
+//! core threads can read/write concurrently without locks on the hot path;
+//! page creation takes a short parking-lot mutex.
+//!
+//! All accesses use `Relaxed` ordering: the *simulated* machine's ordering
+//! comes from simulated timestamps, not from host-memory ordering, and any
+//! host-level race on a word is by construction also a simulated-time race
+//! that the slack framework is allowed to order arbitrarily (paper §3.2).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Words per page (32 KiB pages).
+const PAGE_WORDS: usize = 4096;
+const PAGE_SHIFT: u32 = 12 + 3; // 4096 words * 8 bytes
+
+type Page = Arc<[AtomicU64; PAGE_WORDS]>;
+
+/// The shared functional memory of the simulated machine.
+///
+/// Cloning is cheap (`Arc` inside); clones view the same memory.
+#[derive(Clone, Default)]
+pub struct FuncMemory {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Fast path: read-mostly page map behind a mutex only for mutation;
+    /// lookups clone the Arc under the lock (short critical section).
+    pages: Mutex<HashMap<u64, Page>>,
+}
+
+fn new_page() -> Page {
+    // AtomicU64 is not Copy; build via iterator into a boxed slice then
+    // convert. Zero-initialised.
+    let v: Vec<AtomicU64> = (0..PAGE_WORDS).map(|_| AtomicU64::new(0)).collect();
+    let boxed: Box<[AtomicU64; PAGE_WORDS]> = v.into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!());
+    Arc::from(boxed)
+}
+
+impl FuncMemory {
+    /// New empty memory (all words read as zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn split(addr: u64) -> (u64, usize) {
+        debug_assert_eq!(addr % 8, 0, "unaligned word access at {addr:#x}");
+        (addr >> PAGE_SHIFT, ((addr >> 3) as usize) & (PAGE_WORDS - 1))
+    }
+
+    fn page(&self, page_no: u64) -> Page {
+        let mut pages = self.inner.pages.lock();
+        pages.entry(page_no).or_insert_with(new_page).clone()
+    }
+
+    fn page_if_present(&self, page_no: u64) -> Option<Page> {
+        self.inner.pages.lock().get(&page_no).cloned()
+    }
+
+    /// Read the word at byte address `addr` (must be 8-byte aligned).
+    /// Untouched memory reads as zero.
+    #[inline]
+    pub fn read(&self, addr: u64) -> u64 {
+        let (pno, idx) = Self::split(addr);
+        match self.page_if_present(pno) {
+            Some(p) => p[idx].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Write the word at byte address `addr` (must be 8-byte aligned).
+    #[inline]
+    pub fn write(&self, addr: u64, value: u64) {
+        let (pno, idx) = Self::split(addr);
+        self.page(pno)[idx].store(value, Ordering::Relaxed);
+    }
+
+    /// Atomic fetch-add on a word, returning the previous value. Used by
+    /// the sync-primitive emulation.
+    #[inline]
+    pub fn fetch_add(&self, addr: u64, delta: u64) -> u64 {
+        let (pno, idx) = Self::split(addr);
+        self.page(pno)[idx].fetch_add(delta, Ordering::Relaxed)
+    }
+
+    /// Atomic compare-exchange on a word; returns `Ok(prev)` on success.
+    #[inline]
+    pub fn compare_exchange(&self, addr: u64, expect: u64, new: u64) -> Result<u64, u64> {
+        let (pno, idx) = Self::split(addr);
+        self.page(pno)[idx]
+            .compare_exchange(expect, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+
+    /// Read an f64 stored by bit pattern.
+    #[inline]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read(addr))
+    }
+
+    /// Write an f64 by bit pattern.
+    #[inline]
+    pub fn write_f64(&self, addr: u64, value: f64) {
+        self.write(addr, value.to_bits());
+    }
+
+    /// Load a program image (or any `(addr, word)` iterator).
+    pub fn load<I: IntoIterator<Item = (u64, u64)>>(&self, image: I) {
+        for (addr, word) in image {
+            self.write(addr, word);
+        }
+    }
+
+    /// Number of pages materialized so far (for tests/diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.inner.pages.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn zero_initialised_and_writable() {
+        let m = FuncMemory::new();
+        assert_eq!(m.read(0x1000), 0);
+        m.write(0x1000, 42);
+        assert_eq!(m.read(0x1000), 42);
+        assert_eq!(m.read(0x1008), 0);
+    }
+
+    #[test]
+    fn pages_are_sparse() {
+        let m = FuncMemory::new();
+        assert_eq!(m.resident_pages(), 0);
+        m.write(0, 1);
+        m.write(1 << 40, 2); // far away
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.read(1 << 40), 2);
+        // Reading unmapped memory must not materialize pages.
+        assert_eq!(m.read(1 << 41), 0);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let m = FuncMemory::new();
+        m.write_f64(0x2000, -1.5e300);
+        assert_eq!(m.read_f64(0x2000), -1.5e300);
+    }
+
+    #[test]
+    fn fetch_add_and_cas() {
+        let m = FuncMemory::new();
+        assert_eq!(m.fetch_add(0x10, 5), 0);
+        assert_eq!(m.fetch_add(0x10, 5), 5);
+        assert_eq!(m.read(0x10), 10);
+        assert_eq!(m.compare_exchange(0x10, 10, 11), Ok(10));
+        assert_eq!(m.compare_exchange(0x10, 10, 12), Err(11));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let m = FuncMemory::new();
+        let m2 = m.clone();
+        m.write(0x100, 7);
+        assert_eq!(m2.read(0x100), 7);
+    }
+
+    #[test]
+    fn load_image() {
+        let m = FuncMemory::new();
+        m.load(vec![(0x1000, 1), (0x1008, 2), (0x100000, 3)]);
+        assert_eq!(m.read(0x1000), 1);
+        assert_eq!(m.read(0x1008), 2);
+        assert_eq!(m.read(0x100000), 3);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_atomic() {
+        let m = FuncMemory::new();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.fetch_add(0x40, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.read(0x40), 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    #[cfg(debug_assertions)]
+    fn unaligned_access_panics_in_debug() {
+        FuncMemory::new().read(3);
+    }
+}

@@ -1,0 +1,71 @@
+//! # sk-mem — memory-system models for the SlackSim reproduction
+//!
+//! The target machine of the paper (§2, §4.1) is an 8-core CMP where each
+//! core has private L1 instruction/data caches kept coherent by a
+//! directory-based MESI protocol, and all cores share a banked NUCA L2.
+//! This crate provides those pieces:
+//!
+//! * [`FuncMemory`] — the *functional* backing store: a flat, paged,
+//!   atomically-accessed 64-bit word memory shared by every simulation
+//!   thread. Timing-directed simulation with a shared functional backing
+//!   store is exactly the structure that lets simulation slack reorder
+//!   conflicting accesses (paper §3.2.3) without corrupting the simulator
+//!   itself.
+//! * [`cache`] — a generic set-associative tag array with true-LRU
+//!   replacement, used for L1s and L2 banks.
+//! * [`l1`] — the private L1 data/instruction cache model with local MESI
+//!   states and eviction notices.
+//! * [`mshr`] — miss-status holding registers for the non-blocking L1.
+//! * [`directory`] — the manager-side model: full-map directory MESI +
+//!   banked NUCA L2 + DRAM, returning completion timestamps and
+//!   invalidation messages.
+//! * [`bus`] — shared-interconnect occupancy, including the simulated-time
+//!   inversion counter that makes the paper's Figure 4 "bus violation"
+//!   observable.
+//!
+//! Everything is cycle-count based (`u64` timestamps) and knows nothing
+//! about host threads; `sk-core` supplies the time discipline.
+
+pub mod bus;
+pub mod cache;
+pub mod config;
+pub mod directory;
+pub mod func_mem;
+pub mod l1;
+pub mod mshr;
+
+pub use bus::BusModel;
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use config::MemConfig;
+pub use directory::{DirOutcome, Directory, InvalidateMsg};
+pub use func_mem::FuncMemory;
+pub use l1::{L1Cache, L1Outcome, LineState};
+pub use mshr::MshrFile;
+
+/// A cache-block address (byte address >> block shift).
+pub type BlockAddr = u64;
+
+/// Block size used throughout the target (64 bytes = 8 words).
+pub const BLOCK_BYTES: u64 = 64;
+/// log2 of [`BLOCK_BYTES`].
+pub const BLOCK_SHIFT: u32 = 6;
+
+/// Convert a byte address to its block address.
+#[inline]
+pub fn block_of(addr: u64) -> BlockAddr {
+    addr >> BLOCK_SHIFT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_math() {
+        assert_eq!(BLOCK_BYTES, 1 << BLOCK_SHIFT);
+        assert_eq!(block_of(0), 0);
+        assert_eq!(block_of(63), 0);
+        assert_eq!(block_of(64), 1);
+        assert_eq!(block_of(0x1000), 0x40);
+    }
+}

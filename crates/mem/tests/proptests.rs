@@ -1,0 +1,148 @@
+//! Property tests for the memory-system models.
+
+use proptest::prelude::*;
+use sk_mem::l1::ReqKind;
+use sk_mem::{BusModel, Cache, CacheConfig, Directory, L1Cache, L1Outcome, LineState, MemConfig};
+use std::collections::HashMap;
+
+proptest! {
+    /// The set-associative cache behaves exactly like a per-set LRU-list
+    /// reference model.
+    #[test]
+    fn cache_matches_lru_reference(ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..400)) {
+        let cfg = CacheConfig { size_bytes: 1024, assoc: 2, block_bytes: 64 }; // 8 sets x 2
+        let mut cache: Cache<u8> = Cache::new(cfg);
+        // reference: per-set vec of blocks, most-recent last
+        let sets = cfg.num_sets() as u64;
+        let mut model: HashMap<u64, Vec<u64>> = HashMap::new();
+
+        for (is_fill, block) in ops {
+            let set = block % sets;
+            let entry = model.entry(set).or_default();
+            if is_fill {
+                let evicted = cache.fill(block, 7);
+                if let Some(pos) = entry.iter().position(|&b| b == block) {
+                    entry.remove(pos);
+                    entry.push(block);
+                    prop_assert_eq!(evicted, None, "refill must not evict");
+                } else {
+                    entry.push(block);
+                    if entry.len() > cfg.assoc {
+                        let victim = entry.remove(0);
+                        prop_assert_eq!(evicted, Some((victim, 7)));
+                    } else {
+                        prop_assert_eq!(evicted, None);
+                    }
+                }
+            } else {
+                let hit = cache.lookup(block).is_some();
+                let model_hit = entry.contains(&block);
+                prop_assert_eq!(hit, model_hit, "hit/miss divergence on block {}", block);
+                if model_hit {
+                    let pos = entry.iter().position(|&b| b == block).unwrap();
+                    entry.remove(pos);
+                    entry.push(block);
+                }
+            }
+        }
+    }
+
+    /// Directory invariants under arbitrary request streams: at most one
+    /// exclusive holder; a GetM leaves exactly the writer; invalidations
+    /// are never sent to the requester; replies never precede requests.
+    #[test]
+    fn directory_state_machine_is_legal(
+        reqs in proptest::collection::vec((0usize..4, 0u8..5, 0u64..8), 1..300)
+    ) {
+        let mut dir = Directory::new(4, MemConfig::paper_8core());
+        let mut ts = 0u64;
+        for (core, kind, block) in reqs {
+            ts += 7;
+            let kind = match kind {
+                0 => ReqKind::GetS,
+                1 => ReqKind::GetM,
+                2 => ReqKind::Upgrade,
+                3 => ReqKind::PutS,
+                _ => ReqKind::PutM,
+            };
+            let out = dir.handle(core, kind, block, ts);
+            prop_assert!(out.done_ts >= ts, "reply precedes request");
+            for inv in &out.invalidations {
+                prop_assert_ne!(inv.core, core, "invalidated the requester");
+                prop_assert!(inv.ts >= ts);
+            }
+            let holders = dir.holders(block);
+            prop_assert!(holders.len() <= 4);
+            match kind {
+                ReqKind::GetM | ReqKind::Upgrade => {
+                    prop_assert_eq!(holders, vec![core], "writer must be sole holder");
+                }
+                ReqKind::GetS => {
+                    prop_assert!(holders.contains(&core), "reader must hold the block");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Bus grants never regress for monotone request streams, and
+    /// never overlap in simulation order.
+    #[test]
+    fn bus_is_causal_for_monotone_requests(gaps in proptest::collection::vec(0u64..5, 1..200)) {
+        let mut bus = BusModel::new(2, true);
+        let mut ts = 0;
+        let mut last_grant = 0;
+        for g in gaps {
+            ts += g;
+            let grant = bus.acquire(ts);
+            prop_assert!(grant >= ts, "grant precedes request");
+            if last_grant > 0 {
+                prop_assert!(grant >= last_grant + 2, "occupancy violated");
+            }
+            last_grant = grant;
+        }
+        prop_assert_eq!(bus.stats.inversions, 0, "monotone stream has no inversions");
+    }
+
+    /// L1 state machine: writes only hit in M (or E with silent upgrade),
+    /// and an invalidation always leaves the line absent.
+    #[test]
+    fn l1_states_are_consistent(ops in proptest::collection::vec((0u8..4, 0u64..32), 1..300)) {
+        let mut l1 = L1Cache::new(CacheConfig { size_bytes: 1024, assoc: 2, block_bytes: 64 });
+        for (op, block) in ops {
+            match op {
+                0 => {
+                    if l1.read(block) == L1Outcome::Hit {
+                        prop_assert!(l1.state(block).is_some());
+                    } else {
+                        l1.fill(block, LineState::Shared);
+                    }
+                }
+                1 => {
+                    match l1.write(block) {
+                        L1Outcome::Hit => {
+                            prop_assert_eq!(l1.state(block), Some(LineState::Modified));
+                        }
+                        L1Outcome::MissUpgrade => {
+                            prop_assert_eq!(l1.state(block), Some(LineState::Shared));
+                            l1.fill(block, LineState::Modified);
+                        }
+                        _ => {
+                            l1.fill(block, LineState::Modified);
+                        }
+                    }
+                }
+                2 => {
+                    l1.apply_invalidate(block);
+                    prop_assert_eq!(l1.state(block), None);
+                }
+                _ => {
+                    l1.apply_downgrade(block);
+                    if let Some(s) = l1.state(block) {
+                        prop_assert_eq!(s, LineState::Shared);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Run a hand-written text-assembly program on the simulated CMP.
+//!
+//! ```text
+//! cargo run --release --example custom_assembly
+//! ```
+
+use slacksim_suite::prelude::*;
+
+const SRC: &str = r#"
+# Two threads pass a token through semaphores; each bumps a counter.
+.data
+count:  .word 0
+
+.text
+main:
+    li   a0, 0          # init_sema(0, 0)
+    li   a1, 0
+    syscall 15
+    li   a0, 1          # init_sema(1, 0)
+    li   a1, 0
+    syscall 15
+    la   a0, other      # spawn(other): la resolves the label's address
+    li   a1, 0
+    syscall 5           # spawn
+    li   s0, 5
+ping:
+    la   s1, count
+    ld   t0, 0(s1)
+    addi t0, t0, 1
+    st   t0, 0(s1)
+    li   a0, 1          # signal(1)
+    syscall 17
+    li   a0, 0          # wait(0)
+    syscall 16
+    addi s0, s0, -1
+    bne  s0, zero, ping
+    la   s1, count
+    ld   a0, 0(s1)
+    syscall 1           # print count
+    syscall 0           # exit
+
+other:
+    li   s0, 5
+pong:
+    li   a0, 1          # wait(1)
+    syscall 16
+    la   s1, count
+    ld   t0, 0(s1)
+    addi t0, t0, 1
+    st   t0, 0(s1)
+    li   a0, 0          # signal(0)
+    syscall 17
+    addi s0, s0, -1
+    bne  s0, zero, pong
+    syscall 0
+"#;
+
+fn main() {
+    let program = sk_isa::asm::assemble(SRC).expect("assembles");
+
+    let mut cfg = TargetConfig::paper_8core();
+    cfg.n_cores = 2;
+    let r = run_sequential(&program, &cfg);
+    for (core, v) in r.printed() {
+        println!("[core {core}] printed {v}");
+    }
+    println!("{} cycles, {} instructions", r.exec_cycles, r.total_committed());
+    assert_eq!(r.printed(), vec![(0, 10)]);
+}

@@ -1,0 +1,67 @@
+# token_ring.s — four threads pass a token around a ring of semaphores.
+# Each visit increments a shared counter; thread 0 prints the total.
+#
+#   slacksim asm examples/programs/token_ring.s --cores 4 --scheme S9
+#
+# Thread i waits on semaphore i and signals semaphore (i+1) mod 4.
+
+.data
+count:  .word 0
+rounds: .word 12
+
+.text
+main:
+    li   a0, 0              # init_sema(0..3, 0)
+    li   a1, 0
+    syscall 15
+    li   a0, 1
+    li   a1, 0
+    syscall 15
+    li   a0, 2
+    li   a1, 0
+    syscall 15
+    li   a0, 3
+    li   a1, 0
+    syscall 15
+    li   a0, 0              # init_barrier(0, 4)
+    li   a1, 4
+    syscall 13
+    la   a0, worker         # spawn three more workers
+    li   a1, 0
+    syscall 5
+    la   a0, worker
+    li   a1, 0
+    syscall 5
+    la   a0, worker
+    li   a1, 0
+    syscall 5
+    li   a0, 0              # inject the token at our own semaphore
+    syscall 17
+    j    worker
+
+worker:
+    syscall 3               # a0 = tid
+    mv   s2, a0             # my semaphore
+    addi s3, s2, 1          # next semaphore
+    andi s3, s3, 3
+    la   s4, rounds
+    ld   s0, 0(s4)          # rounds
+    la   s1, count
+loop:
+    mv   a0, s2             # wait for the token
+    syscall 16
+    ld   t0, 0(s1)          # bump the shared counter
+    addi t0, t0, 1
+    st   t0, 0(s1)
+    mv   a0, s3             # pass the token on
+    syscall 17
+    addi s0, s0, -1
+    bne  s0, zero, loop
+    li   a0, 0              # everyone meets at the barrier
+    syscall 14
+    syscall 3
+    bne  a0, zero, done
+    ld   a0, 0(s1)          # thread 0 prints 4 * rounds
+    syscall 1
+done:
+    syscall 0

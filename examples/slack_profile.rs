@@ -1,0 +1,59 @@
+//! Watch the slack itself: sampled `local − global` spread over the run,
+//! per scheme — the sliding window of Figure 2(c) made visible on a real
+//! workload.
+//!
+//! ```text
+//! cargo run --release --example slack_profile
+//! ```
+
+use slacksim_suite::prelude::*;
+
+fn sparkline(profile: &[(u64, u64)], buckets: usize, cap: u64) -> String {
+    if profile.is_empty() {
+        return String::new();
+    }
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+    let end = profile.last().unwrap().0.max(1);
+    let mut maxes = vec![0u64; buckets];
+    for &(g, s) in profile {
+        let b = ((g as u128 * buckets as u128) / (end as u128 + 1)) as usize;
+        maxes[b] = maxes[b].max(s);
+    }
+    maxes
+        .iter()
+        .map(|&m| {
+            let idx = ((m.min(cap) as usize) * (glyphs.len() - 1)) / cap as usize;
+            glyphs[idx]
+        })
+        .collect()
+}
+
+fn main() {
+    let w = kernels::lu::lu(8, 16);
+    let mut cfg = TargetConfig::paper_8core();
+    cfg.record_trace = true;
+
+    println!("LU ({}), observed slack over global time (darker = more slack):", w.input);
+    println!("{:<6} {:>9} {:>10}  profile (time -->)", "scheme", "cycles", "max slack");
+    for scheme in [
+        Scheme::CycleByCycle,
+        Scheme::Quantum(10),
+        Scheme::BoundedSlack(9),
+        Scheme::BoundedSlack(100),
+        Scheme::Unbounded,
+    ] {
+        let r = run_parallel(&w.program, scheme, &cfg);
+        let profile = r.slack_profile.as_deref().unwrap_or(&[]);
+        // Normalize each row to its own maximum so the *shape* shows.
+        let cap = r.engine.max_observed_slack.max(1);
+        println!(
+            "{:<6} {:>9} {:>10}  |{}|",
+            scheme.short_name(),
+            r.exec_cycles,
+            r.engine.max_observed_slack,
+            sparkline(profile, 64, cap),
+        );
+    }
+    println!("\nCC hugs zero; S9 stays inside its window; SU wanders as far as");
+    println!("host scheduling lets it — the paper's slack definition, live.");
+}

@@ -1,0 +1,34 @@
+//! Mini Figure 8: record a real run's per-cycle work traces, then replay
+//! them on the deterministic virtual host at 1-8 cores per scheme.
+//!
+//! ```text
+//! cargo run --release --example speedup_model
+//! ```
+
+use slacksim_suite::prelude::*;
+
+fn main() {
+    let w = kernels::barnes::barnes(8, 48, 1);
+    let mut cfg = TargetConfig::paper_8core();
+    cfg.record_trace = true;
+    let r = run_sequential(&w.program, &cfg);
+    let traces = r.traces.expect("traces recorded");
+    let ev_rate = r.engine.events_processed as f64 / r.exec_cycles.max(1) as f64;
+    println!(
+        "Barnes ({}): {} cycles, {} events ({:.2}/cycle)\n",
+        w.input, r.exec_cycles, r.engine.events_processed, ev_rate
+    );
+
+    let cost = CostModel::default();
+    let base = VirtualHost { h: 1, cost }.run_with_events(&traces, Scheme::CycleByCycle, ev_rate);
+    println!("{:<6} {:>7} {:>7} {:>7} {:>7}", "scheme", "h=1", "h=2", "h=4", "h=8");
+    for scheme in Scheme::paper_suite(10) {
+        print!("{:<6}", scheme.short_name());
+        for h in [1usize, 2, 4, 8] {
+            let run = VirtualHost { h, cost }.run_with_events(&traces, scheme, ev_rate);
+            print!(" {:>7.2}", run.speedup_vs(&base));
+        }
+        println!();
+    }
+    println!("\nSpeedups are against 1-host-core cycle-by-cycle, as in the paper.");
+}

@@ -1,0 +1,130 @@
+//! Differential fuzzing across execution models: random *race-free*
+//! multithreaded programs must produce identical output on the pure
+//! interpreter, the sequential engine, and the parallel engine under
+//! every scheme (conservative and eager alike — race freedom makes even
+//! eager schemes' outputs deterministic).
+
+use proptest::prelude::*;
+use sk_isa::{Program, ProgramBuilder, Reg, Syscall};
+use slacksim_suite::prelude::*;
+
+/// Per-thread work recipe (all state private by construction).
+#[derive(Clone, Debug)]
+struct Recipe {
+    seed: i32,
+    iters: u8,
+    ops: Vec<u8>,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (any::<i32>(), 1u8..12, proptest::collection::vec(0u8..6, 1..10))
+        .prop_map(|(seed, iters, ops)| Recipe { seed, iters, ops })
+}
+
+/// Each thread: private scratch area + private accumulator loop, then a
+/// lock-protected deposit into a shared total, a barrier, and thread 0
+/// prints. Race-free by construction.
+fn build(recipes: &[Recipe]) -> Program {
+    let n = recipes.len();
+    let mut b = ProgramBuilder::new();
+    let total = b.zeros("total", 1);
+    let scratch = b.zeros("scratch", n * 8); // 8 private words per thread
+
+    let mut workers = Vec::new();
+    for i in 0..n {
+        workers.push(b.new_label(&format!("worker{i}")));
+    }
+    let main = b.here("main");
+    b.li(Reg::arg(0), 0);
+    b.sys(Syscall::InitLock);
+    b.li(Reg::arg(0), 0);
+    b.li(Reg::arg(1), n as i64);
+    b.sys(Syscall::InitBarrier);
+    for w in workers.iter().skip(1) {
+        b.la_text(Reg::arg(0), *w);
+        b.li(Reg::arg(1), 0);
+        b.sys(Syscall::Spawn);
+    }
+    b.j(workers[0]);
+
+    for (i, recipe) in recipes.iter().enumerate() {
+        b.bind(workers[i]);
+        let acc = Reg::saved(0);
+        let it = Reg::saved(1);
+        let base = Reg::saved(2);
+        b.li(acc, recipe.seed as i64);
+        b.li(it, recipe.iters as i64);
+        b.li(base, (scratch + (i * 64) as u64) as i64);
+        let top = b.here(&format!("top{i}"));
+        for (k, &op) in recipe.ops.iter().enumerate() {
+            let w = ((k * 3) % 8) as i32 * 8;
+            match op {
+                0 => b.addi(acc, acc, 13),
+                1 => b.emit(sk_isa::Instr::Xori { rd: acc, rs1: acc, imm: 0x5a5a }),
+                2 => b.st(acc, base, w),
+                3 => {
+                    b.ld(Reg::tmp(0), base, w);
+                    b.add(acc, acc, Reg::tmp(0));
+                }
+                4 => b.mul(acc, acc, acc),
+                _ => {
+                    b.slli(Reg::tmp(0), acc, 1);
+                    b.sub(acc, Reg::tmp(0), acc);
+                }
+            }
+        }
+        b.addi(it, it, -1);
+        b.bne(it, Reg::ZERO, top);
+        // fold into 32 bits so totals are platform-stable
+        b.emit(sk_isa::Instr::Srli { rd: Reg::tmp(0), rs1: acc, imm: 32 });
+        b.xor(acc, acc, Reg::tmp(0));
+        // deposit under the lock
+        b.li(Reg::arg(0), 0);
+        b.sys(Syscall::Lock);
+        b.li(Reg::tmp(1), total as i64);
+        b.ld(Reg::tmp(0), Reg::tmp(1), 0);
+        b.add(Reg::tmp(0), Reg::tmp(0), acc);
+        b.st(Reg::tmp(0), Reg::tmp(1), 0);
+        b.li(Reg::arg(0), 0);
+        b.sys(Syscall::Unlock);
+        b.li(Reg::arg(0), 0);
+        b.sys(Syscall::Barrier);
+        let done = b.new_label(&format!("done{i}"));
+        b.sys(Syscall::GetTid);
+        b.bne(Reg::arg(0), Reg::ZERO, done);
+        b.li(Reg::tmp(1), total as i64);
+        b.ld(Reg::arg(0), Reg::tmp(1), 0);
+        b.sys(Syscall::PrintInt);
+        b.bind(done);
+        b.sys(Syscall::Exit);
+    }
+    b.entry(main);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn race_free_programs_agree_across_all_execution_models(
+        recipes in proptest::collection::vec(arb_recipe(), 2..4)
+    ) {
+        let n = recipes.len();
+        let program = build(&recipes);
+
+        let interp = sk_core::interpret(&program, n, 10_000_000);
+        prop_assert_eq!(interp.stop, sk_core::InterpStop::Completed);
+        let expected = interp.printed_by_tid();
+        prop_assert_eq!(expected.len(), 1, "exactly one print");
+
+        let mut cfg = TargetConfig::small(n);
+        cfg.core.model = CoreModel::InOrder;
+        let seq = run_sequential(&program, &cfg);
+        prop_assert_eq!(&seq.printed(), &expected, "sequential engine");
+
+        for scheme in [Scheme::CycleByCycle, Scheme::BoundedSlack(9), Scheme::Unbounded] {
+            let r = run_parallel(&program, scheme, &cfg);
+            prop_assert_eq!(&r.printed(), &expected, "parallel {}", scheme);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Property test: random programs run through the full simulator must
+//! match a plain architectural interpreter (the oracle), on both core
+//! models. This exercises renaming, forwarding, speculation recovery,
+//! load/store ordering and the memory system against ground truth.
+
+use proptest::prelude::*;
+use sk_core::exec::{execute, Operands};
+use sk_isa::{layout, Instr, Program, ProgramBuilder, Reg, Syscall};
+use slacksim_suite::prelude::*;
+
+/// Ops the generator may emit (operands drawn separately).
+#[derive(Clone, Copy, Debug)]
+enum OpKind {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Slt,
+    Addi(i32),
+    Load(u8),      // scratch word index
+    Store(u8),     // scratch word index
+    SkipIfEq,      // forward branch over the next instruction
+    Fadd,
+    Fmul,
+}
+
+fn arb_op() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::Add),
+        Just(OpKind::Sub),
+        Just(OpKind::Mul),
+        Just(OpKind::And),
+        Just(OpKind::Or),
+        Just(OpKind::Xor),
+        Just(OpKind::Slt),
+        any::<i16>().prop_map(|v| OpKind::Addi(v as i32)),
+        (0u8..32).prop_map(OpKind::Load),
+        (0u8..32).prop_map(OpKind::Store),
+        Just(OpKind::SkipIfEq),
+        Just(OpKind::Fadd),
+        Just(OpKind::Fmul),
+    ]
+}
+
+/// General-purpose registers the generator uses (avoid ABI specials).
+fn reg(i: u8) -> Reg {
+    Reg::new(5 + (i % 16)) // r5..r20
+}
+
+fn freg(i: u8) -> sk_isa::FReg {
+    sk_isa::FReg::new(1 + (i % 6))
+}
+
+/// Build the program and compute the oracle's expected print values.
+fn build(seeds: &[i32], ops: &[(OpKind, u8, u8, u8)]) -> (Program, Vec<i64>) {
+    let mut b = ProgramBuilder::new();
+    let scratch = b.zeros("scratch", 32);
+    let fseeds: Vec<f64> = (0..6).map(|i| (i as f64) * 0.75 - 2.0).collect();
+    let fdata = b.floats("fseeds", &fseeds);
+
+    // -- emit --
+    for (i, &s) in seeds.iter().enumerate() {
+        b.li(reg(i as u8), s as i64);
+    }
+    b.li(Reg::saved(0), fdata as i64);
+    for i in 0..6u8 {
+        b.fld(freg(i), Reg::saved(0), (i as i32) * 8);
+    }
+    b.li(Reg::saved(1), scratch as i64);
+    for &(op, d, s1, s2) in ops {
+        let (rd, rs1, rs2) = (reg(d), reg(s1), reg(s2));
+        match op {
+            OpKind::Add => b.add(rd, rs1, rs2),
+            OpKind::Sub => b.sub(rd, rs1, rs2),
+            OpKind::Mul => b.mul(rd, rs1, rs2),
+            OpKind::And => b.emit(Instr::And { rd, rs1, rs2 }),
+            OpKind::Or => b.emit(Instr::Or { rd, rs1, rs2 }),
+            OpKind::Xor => b.xor(rd, rs1, rs2),
+            OpKind::Slt => b.slt(rd, rs1, rs2),
+            OpKind::Addi(imm) => b.addi(rd, rs1, imm),
+            OpKind::Load(w) => b.ld(rd, Reg::saved(1), (w as i32) * 8),
+            OpKind::Store(w) => b.st(rs1, Reg::saved(1), (w as i32) * 8),
+            OpKind::SkipIfEq => {
+                let skip = b.new_label("skip");
+                b.beq(rs1, rs2, skip);
+                b.addi(rd, rd, 13);
+                b.bind(skip);
+            }
+            OpKind::Fadd => b.fadd(freg(d), freg(s1), freg(s2)),
+            OpKind::Fmul => b.fmul(freg(d), freg(s1), freg(s2)),
+        }
+    }
+    // fold integer regs into a0 and print; then fp digest
+    b.li(Reg::arg(0), 0);
+    for i in 0..16u8 {
+        b.xor(Reg::arg(0), Reg::arg(0), reg(i));
+    }
+    b.sys(Syscall::PrintInt);
+    // digest fp via bit moves xor-folded
+    b.li(Reg::arg(0), 0);
+    for i in 0..6u8 {
+        b.emit(Instr::Fmvxf { rd: Reg::tmp(0), fs1: freg(i) });
+        b.xor(Reg::arg(0), Reg::arg(0), Reg::tmp(0));
+    }
+    b.sys(Syscall::PrintInt);
+    b.sys(Syscall::Exit);
+    let program = b.build().expect("generated program assembles");
+
+    // -- oracle: plain sequential architectural interpretation --
+    let mut regs = [0u64; 32];
+    let mut fregs = [0.0f64; 32];
+    let mut mem = std::collections::HashMap::<u64, u64>::new();
+    regs[Reg::TP.index()] = 0;
+    regs[Reg::SP.index()] = layout::stack_top(0);
+    regs[Reg::GP.index()] = layout::DATA_BASE;
+    for (i, &v) in fseeds.iter().enumerate() {
+        mem.insert(fdata + (i as u64) * 8, v.to_bits());
+    }
+    let mut pc = program.entry;
+    let mut printed = Vec::new();
+    let mut steps = 0;
+    loop {
+        steps += 1;
+        assert!(steps < 100_000, "oracle ran away");
+        let idx = program.text_index(pc).expect("oracle pc in text");
+        let i = program.text[idx];
+        if let Instr::Syscall { code } = i {
+            match Syscall::from_code(code) {
+                Some(Syscall::PrintInt) => printed.push(regs[Reg::arg(0).index()] as i64),
+                Some(Syscall::Exit) => break,
+                _ => {}
+            }
+            pc += 8;
+            continue;
+        }
+        let [s1, s2] = i.int_srcs();
+        let [f1, f2] = i.fp_srcs();
+        let ops = Operands {
+            rs1: s1.map_or(0, |r| regs[r.index()]),
+            rs2: s2.map_or(0, |r| regs[r.index()]),
+            fs1: f1.map_or(0.0, |f| fregs[f.index()]),
+            fs2: f2.map_or(0.0, |f| fregs[f.index()]),
+            pc,
+        };
+        let fx = execute(&i, ops);
+        if let Some(m) = fx.mem {
+            if m.is_store {
+                mem.insert(m.addr, m.store_val);
+            } else {
+                let v = mem.get(&m.addr).copied().unwrap_or(0);
+                if let Some(fd) = i.fp_dst() {
+                    fregs[fd.index()] = f64::from_bits(v);
+                } else if let Some(rd) = i.int_dst() {
+                    if rd.index() != 0 {
+                        regs[rd.index()] = v;
+                    }
+                }
+                pc += 8;
+                continue;
+            }
+        }
+        if let Some(v) = fx.int_result {
+            if let Some(rd) = i.int_dst() {
+                if rd.index() != 0 {
+                    regs[rd.index()] = v;
+                }
+            }
+        }
+        if let Some(v) = fx.fp_result {
+            if let Some(fd) = i.fp_dst() {
+                fregs[fd.index()] = v;
+            }
+        }
+        pc = match fx.branch {
+            Some(br) if br.taken => br.target,
+            _ => pc + 8,
+        };
+    }
+    (program, printed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both core models must reproduce the oracle's output exactly.
+    #[test]
+    fn pipelines_match_the_architectural_oracle(
+        seeds in proptest::collection::vec(any::<i32>(), 16),
+        ops in proptest::collection::vec(
+            (arb_op(), 0u8..16, 0u8..16, 0u8..16), 1..120),
+    ) {
+        let (program, expected) = build(&seeds, &ops);
+        for model in [CoreModel::InOrder, CoreModel::OutOfOrder] {
+            let mut cfg = TargetConfig::paper_8core();
+            cfg.n_cores = 1;
+            cfg.core.model = model;
+            cfg.max_cycles = 3_000_000;
+            let r = run_sequential(&program, &cfg);
+            let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+            prop_assert_eq!(&printed, &expected, "{:?} diverged from the oracle", model);
+        }
+    }
+}
