@@ -1,0 +1,96 @@
+//! Before/after measurement harness for the batched-transport PR.
+//!
+//! Runs the paper suite plus a compute-heavy microkernel on the parallel
+//! engine under a bounded-slack scheme and prints one JSON object with
+//! simulated-KIPS per workload, plus a manager idle-cost probe (manager
+//! iterations per wall-second while every core is parked in a sync wait).
+//!
+//! Usage: `pr1_bench [n_cores] [slack] [reps]` (defaults: 4, 10, 5).
+
+use sk_core::{run_parallel, CoreModel, Scheme, TargetConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_cores: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let slack: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let reps: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let scheme = Scheme::BoundedSlack(slack);
+
+    let mut cfg = TargetConfig::paper_8core();
+    cfg.n_cores = n_cores;
+    cfg.core.model = CoreModel::InOrder;
+
+    let mut workloads = sk_kernels::paper_suite(n_cores, sk_kernels::Scale::Test);
+    workloads.push(sk_kernels::micro::private_compute(n_cores, 400));
+    workloads.push(sk_kernels::micro::lock_sweep(n_cores, 20));
+
+    let mut entries = String::new();
+    for w in &workloads {
+        // Warmup once, then keep the best-KIPS rep (least host noise).
+        let _ = run_parallel(&w.program, scheme, &cfg);
+        let mut best_kips = 0.0f64;
+        let mut committed = 0u64;
+        let mut exec_cycles = 0u64;
+        for _ in 0..reps {
+            let r = run_parallel(&w.program, scheme, &cfg);
+            assert_eq!(
+                r.printed().iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+                w.expected,
+                "{} produced wrong output",
+                w.name
+            );
+            if r.kips() > best_kips {
+                best_kips = r.kips();
+                committed = r.total_committed();
+                exec_cycles = r.exec_cycles;
+            }
+        }
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        write!(
+            entries,
+            "    {:?}: {{\"kips\": {:.1}, \"committed\": {}, \"exec_cycles\": {}}}",
+            w.name, best_kips, committed, exec_cycles
+        )
+        .unwrap();
+        eprintln!("{:<16} {:>10.1} KIPS", w.name, best_kips);
+    }
+
+    // Manager idle cost with every core in SyncWait/Parked: core 0 arrives
+    // at a barrier that can never be released (count = 2, no second
+    // thread), cores 1.. have no workload thread. Nothing drives global
+    // time, so the manager sits in its quiescent regime until the
+    // deadlock backstop fires; global_updates per wall-second is its idle
+    // iteration rate.
+    let idle = {
+        use sk_isa::{ProgramBuilder, Reg, Syscall};
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::arg(0), 0);
+        b.li(Reg::arg(1), 2);
+        b.sys(Syscall::InitBarrier);
+        b.li(Reg::arg(0), 0);
+        b.sys(Syscall::Barrier); // never released: no second participant
+        b.sys(Syscall::Exit);
+        b.build().expect("idle probe assembles")
+    };
+    let mut icfg = TargetConfig::paper_8core();
+    icfg.n_cores = n_cores;
+    icfg.core.model = CoreModel::InOrder;
+    let t0 = Instant::now();
+    let r = run_parallel(&idle, scheme, &icfg);
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let idle_rate = r.engine.global_updates as f64 / wall;
+    eprintln!("manager iterations/s while fully quiescent: {idle_rate:.0}");
+
+    println!("{{");
+    println!("  \"n_cores\": {n_cores}, \"scheme\": \"S{slack}\", \"reps\": {reps},");
+    println!("  \"workloads\": {{\n{entries}\n  }},");
+    println!(
+        "  \"manager\": {{\"global_updates\": {}, \"wall_s\": {:.3}, \"updates_per_s\": {:.0}}}",
+        r.engine.global_updates, wall, idle_rate
+    );
+    println!("}}");
+}

@@ -1,11 +1,10 @@
 //! Target-machine and simulation configuration.
 
-use serde::{Deserialize, Serialize};
 use sk_isa::FuClass;
 use sk_mem::MemConfig;
 
 /// Which core timing model simulates each target core.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CoreModel {
     /// 4-wide out-of-order core, NetBurst-like (paper §2.2/§4.1): values
     /// are fetched just before execution, instructions execute when they
@@ -18,7 +17,7 @@ pub enum CoreModel {
 }
 
 /// Microarchitectural parameters of one target core.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Timing model.
     pub model: CoreModel,
@@ -105,7 +104,7 @@ impl CoreConfig {
 }
 
 /// When the simulation stops.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StopCondition {
     /// All workload threads called `exit`.
     ProgramExit,
@@ -115,7 +114,7 @@ pub enum StopCondition {
 }
 
 /// Full configuration of one simulation run.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TargetConfig {
     /// Number of target cores (8 throughout the paper's evaluation).
     pub n_cores: usize,

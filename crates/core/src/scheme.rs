@@ -21,12 +21,11 @@
 //! scheme; `window()` is monotone in `g`, which makes max-local updates
 //! monotone and lets cores read them without locks.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// A slack simulation scheme.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Cycle-by-cycle synchronization — the accuracy gold standard.
     CycleByCycle,

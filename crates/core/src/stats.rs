@@ -1,14 +1,13 @@
 //! Statistics collected per core, per run, and for the whole simulation.
 
 use crate::scheme::Scheme;
-use serde::{Deserialize, Serialize};
 use sk_mem::bus::BusStats;
 use sk_mem::cache::CacheStats;
 use sk_mem::directory::DirStats;
 use std::time::Duration;
 
 /// Counters for one simulated core.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CoreStats {
     /// Simulated cycles this core advanced.
     pub cycles: u64,
@@ -65,7 +64,7 @@ impl CoreStats {
 }
 
 /// Engine-level (host) counters.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
     /// Times any core thread blocked at its window.
     pub blocks: u64,
@@ -83,7 +82,7 @@ pub struct EngineStats {
 }
 
 /// Workload-violation counters (plain copies of the tracker's atomics).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ViolationReport {
     /// Stores that executed after a logically later load (Fig. 7).
     pub store_past_load: u64,
@@ -103,7 +102,7 @@ impl ViolationReport {
 }
 
 /// Everything a simulation run produces.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimReport {
     /// Scheme short name (e.g. "S9*").
     pub scheme: String,
@@ -114,7 +113,6 @@ pub struct SimReport {
     /// reports.
     pub exec_cycles: u64,
     /// Host wall-clock time of the run.
-    #[serde(skip)]
     pub wall: Duration,
     /// Per-core counters.
     pub cores: Vec<CoreStats>,
@@ -129,12 +127,10 @@ pub struct SimReport {
     /// Workload-violation counters.
     pub violations: ViolationReport,
     /// Per-core, per-cycle host-work trace (only with `record_trace`).
-    #[serde(skip)]
     pub traces: Option<Vec<Vec<u16>>>,
     /// Sampled (global time, observed slack) pairs from the manager
     /// (parallel engine with `record_trace`; one sample per manager
     /// iteration, deduplicated by global time).
-    #[serde(skip)]
     pub slack_profile: Option<Vec<(u64, u64)>>,
 }
 

@@ -20,10 +20,9 @@
 //! time rather than host time.
 
 use crate::msg::SyncOp;
-use serde::{Deserialize, Serialize};
 
 /// Counters for the synchronization subsystem.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SyncStats {
     /// Successful lock acquisitions (immediate or queued).
     pub lock_acquisitions: u64,

@@ -1,0 +1,73 @@
+//! Offline stand-in for the tiny slice of `crossbeam` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal, API-compatible implementations of its external
+//! dependencies (see `crates/parking_lot`, `crates/proptest`,
+//! `crates/criterion`). Only `utils::CachePadded` is needed here.
+
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line, preventing
+    /// false sharing between adjacent values touched by different threads.
+    ///
+    /// 128 bytes covers the common cases: x86_64 prefetches cache-line
+    /// pairs, and Apple/ARM big cores use 128-byte lines outright.
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pad `value` out to its own cache line.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Consume, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("CachePadded").field(&self.value).finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn padded_to_cache_line() {
+            assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+            assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+            let p = CachePadded::new(7u64);
+            assert_eq!(*p, 7);
+            assert_eq!(p.into_inner(), 7);
+        }
+    }
+}

@@ -10,13 +10,12 @@
 //! must produce 8-byte-aligned effective addresses.
 
 use crate::reg::{FReg, Reg};
-use serde::{Deserialize, Serialize};
 
 /// Functional-unit class of an instruction.
 ///
 /// The timing model in `sk-core` assigns issue ports and latencies per
 /// class; the ISA only classifies.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FuClass {
     /// Single-cycle integer ALU operation (also address generation).
     IntAlu,
@@ -47,7 +46,7 @@ pub enum FuClass {
 }
 
 /// One architectural instruction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // operand fields follow a uniform rd/rs1/rs2/imm naming
 pub enum Instr {
     // ---- integer register-register ----

@@ -9,7 +9,6 @@ use crate::encode::encode;
 use crate::instr::Instr;
 use crate::layout::{DATA_BASE, TEXT_BASE};
 use crate::WORD_BYTES;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -37,7 +36,7 @@ impl fmt::Display for ProgramError {
 impl std::error::Error for ProgramError {}
 
 /// A loadable program for the SlackSim mini ISA.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Program {
     /// Instructions, laid out from [`TEXT_BASE`], one per word.
     pub text: Vec<Instr>,

@@ -15,15 +15,14 @@
 //! | `t0..t6` | r5–r9, r28–r29 | temporaries |
 //! | `s0..s9` | r18–r27 | callee-saved |
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An integer register index (0–31). `Reg(0)` always reads as zero.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Reg(pub u8);
 
 /// A floating-point register index (0–31).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FReg(pub u8);
 
 /// Number of integer (and also floating-point) architectural registers.

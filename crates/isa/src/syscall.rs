@@ -10,7 +10,6 @@
 //! Calling convention: the code is the instruction immediate; arguments are
 //! read from `a0..a3` and a result, if any, is written to `a0`.
 
-use serde::{Deserialize, Serialize};
 
 /// Identifiers for the emulated services.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// barriers and semaphores (`sk-core::sync`), matching Table 1 of the paper:
 /// `init_lock/lock/unlock`, `init_barrier/barrier`,
 /// `init_sema/sema_wait/sema_signal`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u16)]
 pub enum Syscall {
     /// Terminate this workload thread. `a0` = exit code.

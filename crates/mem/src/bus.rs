@@ -13,10 +13,9 @@
 //! keeping the simulation state itself consistent — grants never overlap
 //! in *simulation* order, exactly as §3.2.1 argues.
 
-use serde::{Deserialize, Serialize};
 
 /// Occupancy statistics and distortion counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BusStats {
     /// Requests granted.
     pub grants: u64,

@@ -5,10 +5,9 @@
 //! state `S`; data lives in [`crate::FuncMemory`].
 
 use crate::{BlockAddr, BLOCK_BYTES};
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -31,7 +30,7 @@ impl CacheConfig {
 }
 
 /// Hit/miss counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that hit.
     pub hits: u64,

@@ -1,7 +1,6 @@
 //! Memory-system configuration.
 
 use crate::cache::CacheConfig;
-use serde::{Deserialize, Serialize};
 
 /// Full memory-hierarchy configuration of the target CMP.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// a 256 KB shared L2 in 8 NUCA banks, directory MESI, and a 10-cycle
 /// unloaded L2 hit — the paper's *critical latency*, from which the Q10 /
 /// S9 / L10 scheme parameters derive.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MemConfig {
     /// L1 instruction cache geometry (per core).
     pub l1i: CacheConfig,

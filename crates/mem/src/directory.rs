@@ -24,7 +24,6 @@ use crate::cache::Cache;
 use crate::config::MemConfig;
 use crate::l1::ReqKind;
 use crate::BlockAddr;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Directory entry (absence from the map = Uncached).
@@ -37,7 +36,7 @@ enum DirEntry {
 }
 
 /// An invalidation or downgrade the manager must deliver to a core.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct InvalidateMsg {
     /// Destination core.
     pub core: usize,
@@ -63,7 +62,7 @@ pub struct DirOutcome {
 }
 
 /// Counters for the lower hierarchy.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DirStats {
     /// GetS requests processed.
     pub gets: u64,

@@ -1,0 +1,235 @@
+//! The [`Strategy`] trait and combinators (no shrinking: a strategy is a
+//! seeded generator).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of test values. Mirrors proptest's `Strategy`, minus
+/// shrinking: `generate` draws one value from `rng`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (re-drawing otherwise).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { strategy: self, pred, whence }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`] (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Clone, Copy, Debug)]
+pub struct Filter<S, F> {
+    strategy: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.strategy.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 10000 consecutive draws", self.whence);
+    }
+}
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Choose uniformly among `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Integer ranges are strategies, like in proptest: `0u8..32`,
+/// `1u64..200`, `0usize..4`, ...
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = if span > u64::MAX as u128 {
+                    // Only reachable for the full u128-wide i/u64 ranges.
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let off = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                (*self.start() as i128 + off as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Tuples of strategies generate tuples of values.
+macro_rules! tuple_strategy {
+    ($($s:ident => $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A => 0);
+tuple_strategy!(A => 0, B => 1);
+tuple_strategy!(A => 0, B => 1, C => 2);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..2000 {
+            let v = (5u8..9).generate(&mut rng);
+            assert!((5..9).contains(&v));
+            let w = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&w));
+            let x = (0u64..1).generate(&mut rng);
+            assert_eq!(x, 0);
+            let y = (10i64..=10).generate(&mut rng);
+            assert_eq!(y, 10);
+        }
+    }
+
+    #[test]
+    fn map_and_oneof_compose() {
+        let mut rng = TestRng::from_seed(2);
+        let s = crate::prop_oneof![
+            Just(0u32),
+            (1u32..10).prop_map(|v| v * 100),
+        ];
+        let mut saw_zero = false;
+        let mut saw_mapped = false;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                0 => saw_zero = true,
+                v => {
+                    assert!(v >= 100 && v < 1000 && v % 100 == 0);
+                    saw_mapped = true;
+                }
+            }
+        }
+        assert!(saw_zero && saw_mapped);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::from_seed(3);
+        let (a, b, c) = (0u8..2, 10u64..20, Just(true)).generate(&mut rng);
+        assert!(a < 2);
+        assert!((10..20).contains(&b));
+        assert!(c);
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = TestRng::from_seed(4);
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+}
