@@ -138,8 +138,11 @@ fn main() {
     let traces = r.traces.expect("traces");
     let ev_rate = r.engine.events_processed as f64 / r.exec_cycles.max(1) as f64;
     let cost = sk_hostsim::CostModel::default();
-    let base = sk_hostsim::VirtualHost { h: 1, cost }
-        .run_with_events(&traces, Scheme::CycleByCycle, ev_rate);
+    let base = sk_hostsim::VirtualHost { h: 1, cost }.run_with_events(
+        &traces,
+        Scheme::CycleByCycle,
+        ev_rate,
+    );
     let mut rows = Vec::new();
     for m in [1usize, 2, 4] {
         let mut row = vec![format!("{m} manager(s)")];
@@ -180,7 +183,10 @@ fn main() {
             format!("{}", r.sync.barrier_episodes),
         ]);
     }
-    print_table(&["target cores", "workload cycles", "instructions", "coherence msgs", "barriers"], &rows);
+    print_table(
+        &["target cores", "workload cycles", "instructions", "coherence msgs", "barriers"],
+        &rows,
+    );
     println!("\nWorkload cycles shrink with target cores (parallel speedup of the");
     println!("*simulated* program) while coherence traffic grows — the tension");
     println!("that makes parallel simulation of bigger CMPs both necessary and");

@@ -37,12 +37,21 @@ fn main() {
             for &me in &[55.0, 90.0, 130.0, 180.0] {
                 for &th in &[0.5, 1.0, 1.6] {
                     for &wi in &[2.0, 5.0] {
-                        let cost = CostModel { wake_latency: wl, mgr_event: me, thrash: th,
-                            reply_horizon: rh, wake_issue: wi, ..CostModel::default() };
+                        let cost = CostModel {
+                            wake_latency: wl,
+                            mgr_event: me,
+                            thrash: th,
+                            reply_horizon: rh,
+                            wake_issue: wi,
+                            ..CostModel::default()
+                        };
                         let mut err = 0.0f64;
                         for (traces, ev) in &data {
-                            let base = VirtualHost { h: 1, cost }
-                                .run_with_events(traces, Scheme::CycleByCycle, *ev);
+                            let base = VirtualHost { h: 1, cost }.run_with_events(
+                                traces,
+                                Scheme::CycleByCycle,
+                                *ev,
+                            );
                             for (sch, tgt) in targets {
                                 for (hi, &h) in [2usize, 4, 8].iter().enumerate() {
                                     let s = VirtualHost { h, cost }

@@ -12,21 +12,15 @@ fn main() {
     println!("Figure 2: four threads simulating 6 target cycles");
     println!("(digit = simulated cycle being worked on; '.' = waiting)\n");
     let costs = paper_example(6);
-    for scheme in [
-        Scheme::CycleByCycle,
-        Scheme::Quantum(3),
-        Scheme::BoundedSlack(2),
-        Scheme::Unbounded,
-    ] {
+    for scheme in
+        [Scheme::CycleByCycle, Scheme::Quantum(3), Scheme::BoundedSlack(2), Scheme::Unbounded]
+    {
         println!("{}", render(&costs, scheme));
     }
     println!("Makespans:");
-    for scheme in [
-        Scheme::CycleByCycle,
-        Scheme::Quantum(3),
-        Scheme::BoundedSlack(2),
-        Scheme::Unbounded,
-    ] {
+    for scheme in
+        [Scheme::CycleByCycle, Scheme::Quantum(3), Scheme::BoundedSlack(2), Scheme::Unbounded]
+    {
         println!("  {:<4} {}", scheme.short_name(), makespan(&costs, scheme));
     }
     println!("\nAs in the paper: CC >= Q3 >= S2 >= SU, with S2 overlapping quanta");

@@ -34,7 +34,8 @@ fn main() {
         assert_eq!(printed, w.expected, "{} corrupted", w.name);
         let traces = r.traces.expect("trace recording enabled");
         let ev_rate = r.engine.events_processed as f64 / r.exec_cycles.max(1) as f64;
-        let base = VirtualHost { h: 1, cost }.run_with_events(&traces, Scheme::CycleByCycle, ev_rate);
+        let base =
+            VirtualHost { h: 1, cost }.run_with_events(&traces, Scheme::CycleByCycle, ev_rate);
 
         println!("{} ({}):", w.name, w.input);
         let mut rows = Vec::new();

@@ -28,8 +28,12 @@ fn main() {
     cfg.mem.track_violations = true;
     cfg.track_workload_violations = true;
 
-    let schemes =
-        [Scheme::CycleByCycle, Scheme::BoundedSlack(9), Scheme::BoundedSlack(100), Scheme::Unbounded];
+    let schemes = [
+        Scheme::CycleByCycle,
+        Scheme::BoundedSlack(9),
+        Scheme::BoundedSlack(100),
+        Scheme::Unbounded,
+    ];
 
     for (name, w) in [
         ("racy (unsynchronized increments)", micro::racy_increment(8, 300)),

@@ -72,11 +72,7 @@ pub fn run_par(w: &Workload, scheme: Scheme, cfg: &TargetConfig) -> SimReport {
 /// execute correctly", paper §3.2.3 — this is the check).
 pub fn check(w: &Workload, r: &SimReport) {
     let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
-    assert_eq!(
-        printed, w.expected,
-        "{}: workload output corrupted (scheme {})",
-        w.name, r.scheme
-    );
+    assert_eq!(printed, w.expected, "{}: workload output corrupted (scheme {})", w.name, r.scheme);
 }
 
 /// Harmonic mean (the paper's Figure 8(e) aggregation).

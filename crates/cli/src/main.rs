@@ -59,9 +59,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         match args[i].as_str() {
             "--scheme" => o.scheme = take(&mut i)?.parse()?,
             "--cores" => o.cores = take(&mut i)?.parse().map_err(|e| format!("--cores: {e}"))?,
-            "--shards" => {
-                o.shards = take(&mut i)?.parse().map_err(|e| format!("--shards: {e}"))?
-            }
+            "--shards" => o.shards = take(&mut i)?.parse().map_err(|e| format!("--shards: {e}"))?,
             "--scale" => {
                 o.scale = match take(&mut i)?.as_str() {
                     "test" => Scale::Test,
@@ -127,17 +125,30 @@ fn run_one(w: &Workload, o: &Opts) -> SimReport {
 }
 
 fn print_stats(r: &SimReport) {
-    println!("  engine: blocks={} wakeups={} events={} max_slack={}",
-        r.engine.blocks, r.engine.wakeups, r.engine.events_processed, r.engine.max_observed_slack);
-    println!("  uncore: L2 hits={} misses={} inv_out={} downgrades={} writebacks={}",
-        r.dir.l2_hits, r.dir.l2_misses, r.dir.invalidations_out, r.dir.downgrades_out,
-        r.dir.writebacks);
-    println!("  bus:    grants={} conflicts={} inversions={}",
-        r.bus.grants, r.bus.conflicts, r.bus.inversions);
-    println!("  sync:   lock_acq={} lock_waits={} barriers={} sema_waits={}",
-        r.sync.lock_acquisitions, r.sync.lock_waits, r.sync.barrier_episodes, r.sync.sema_waits);
-    println!("  violations: store-past-load={} load-past-store={} compensations={}",
-        r.violations.store_past_load, r.violations.load_past_store, r.violations.compensations);
+    println!(
+        "  engine: blocks={} wakeups={} events={} max_slack={}",
+        r.engine.blocks, r.engine.wakeups, r.engine.events_processed, r.engine.max_observed_slack
+    );
+    println!(
+        "  uncore: L2 hits={} misses={} inv_out={} downgrades={} writebacks={}",
+        r.dir.l2_hits,
+        r.dir.l2_misses,
+        r.dir.invalidations_out,
+        r.dir.downgrades_out,
+        r.dir.writebacks
+    );
+    println!(
+        "  bus:    grants={} conflicts={} inversions={}",
+        r.bus.grants, r.bus.conflicts, r.bus.inversions
+    );
+    println!(
+        "  sync:   lock_acq={} lock_waits={} barriers={} sema_waits={}",
+        r.sync.lock_acquisitions, r.sync.lock_waits, r.sync.barrier_episodes, r.sync.sema_waits
+    );
+    println!(
+        "  violations: store-past-load={} load-past-store={} compensations={}",
+        r.violations.store_past_load, r.violations.load_past_store, r.violations.compensations
+    );
     for (i, c) in r.cores.iter().enumerate() {
         println!(
             "  core {i}: cycles={} committed={} ipc={:.2} l1d-miss={:.1}% l1i-miss={:.1}% bp-miss={:.1}%",
@@ -284,8 +295,18 @@ mod tests {
     #[test]
     fn parses_all_options() {
         let o = parse_opts(&args(&[
-            "--scheme", "S9*", "--cores", "4", "--scale", "test", "--model", "inorder",
-            "--seq", "--track-violations", "--fast-forward", "--stats",
+            "--scheme",
+            "S9*",
+            "--cores",
+            "4",
+            "--scale",
+            "test",
+            "--model",
+            "inorder",
+            "--seq",
+            "--track-violations",
+            "--fast-forward",
+            "--stats",
         ]))
         .unwrap();
         assert_eq!(o.scheme, Scheme::OldestFirstBounded(9));
@@ -318,4 +339,3 @@ mod tests {
         assert!(cfg.mem.track_violations);
     }
 }
-

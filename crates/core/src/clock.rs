@@ -66,6 +66,28 @@ struct CoreClock {
     state: AtomicU8,
     park: Mutex<()>,
     cond: Condvar,
+    /// Set when [`ClockBoard::wait_parked`]'s liveness timeout resumed the
+    /// core; the next `park_as` consumes it and skips the manager signal
+    /// (a re-park after a no-op re-check is not news to the manager).
+    timeout_resume: AtomicBool,
+}
+
+/// Manager-private memo for [`ClockBoard::recompute_global_cached`]: each
+/// core's last-seen `(state, local)` snapshot plus the result derived from
+/// it. Lives on the manager's stack, never shared, so updating it costs no
+/// coherence traffic.
+#[derive(Debug)]
+pub struct GlobalCache {
+    seen: Vec<(u8, u64)>,
+    result: (u64, bool),
+    valid: bool,
+}
+
+impl GlobalCache {
+    /// An empty cache for `n` cores (first use recomputes everything).
+    pub fn new(n: usize) -> Self {
+        GlobalCache { seen: vec![(0, 0); n], result: (0, false), valid: false }
+    }
 }
 
 /// Shared clock state for all cores plus the manager.
@@ -93,6 +115,7 @@ impl ClockBoard {
                     state: AtomicU8::new(CoreState::Running as u8),
                     park: Mutex::new(()),
                     cond: Condvar::new(),
+                    timeout_resume: AtomicBool::new(false),
                 })
                 .collect(),
             global: CachePadded::new(AtomicU64::new(0)),
@@ -194,18 +217,31 @@ impl ClockBoard {
     }
 
     fn park_as(&self, core: usize, state: CoreState) {
-        self.cores[core].state.store(state as u8, Ordering::Release);
-        self.signal_manager();
+        // A *fresh* park is news: the global minimum may rise and the
+        // manager may need to run quiescence processing (e.g. release a
+        // lock grant this core is now waiting on), so signal it — after
+        // publishing the state, so the wakeup observes it. A re-park
+        // straight after `wait_parked`'s 10 ms liveness resume is not news
+        // (the re-check changed nothing), and signalling those would keep
+        // an otherwise quiescent manager hot — every parked core re-parks
+        // forever at 100 Hz — defeating the idle backoff entirely.
+        let cc = &self.cores[core];
+        let resumed_by_timeout = cc.timeout_resume.swap(false, Ordering::AcqRel);
+        cc.state.store(state as u8, Ordering::Release);
+        if !resumed_by_timeout {
+            self.signal_manager();
+        }
     }
 
     /// Wake a parked or sync-waiting core (a message is on its way).
     /// No-op in other states.
     pub fn unpark(&self, core: usize) {
         let cc = &self.cores[core];
-        if matches!(
-            self.state(core),
-            CoreState::Parked | CoreState::SyncWait | CoreState::MemWait
-        ) {
+        if matches!(self.state(core), CoreState::Parked | CoreState::SyncWait | CoreState::MemWait)
+        {
+            // An unparked core is back in business: its next park is a
+            // fresh one and must signal the manager again (see `park_as`).
+            cc.timeout_resume.store(false, Ordering::Release);
             cc.state.store(CoreState::Running as u8, Ordering::Release);
             let _guard = cc.park.lock();
             cc.cond.notify_one();
@@ -214,6 +250,13 @@ impl ClockBoard {
 
     /// Park until unparked, stopped, or a liveness timeout. Returns
     /// `false` if the simulation is stopping.
+    ///
+    /// The timeout flips the core back to Running so the caller re-checks
+    /// its queues *and re-ticks*: under barrier schemes a reply is only
+    /// released once every included clock reaches the quantum boundary,
+    /// and a core model may hold self-scheduled work (a compensation
+    /// stall, a deferred request) that surfaces only by cycling — so the
+    /// periodic resume is a progress mechanism, not just liveness.
     pub fn wait_parked(&self, core: usize) -> bool {
         let cc = &self.cores[core];
         let mut guard = cc.park.lock();
@@ -230,6 +273,10 @@ impl ClockBoard {
             }
             if cc.cond.wait_for(&mut guard, Duration::from_millis(10)).timed_out() {
                 // Liveness backstop: let the caller re-check its queues.
+                // Mark the resume so a straight re-park stays silent (see
+                // `park_as`); any real progress on the way back signals the
+                // manager through the event path anyway.
+                cc.timeout_resume.store(true, Ordering::Release);
                 cc.state.store(CoreState::Running as u8, Ordering::Release);
                 return true;
             }
@@ -280,12 +327,17 @@ impl ClockBoard {
     // ---- manager side ----
 
     /// Park the manager until a core signals or `timeout` elapses.
-    pub fn manager_wait(&self, timeout: Duration) {
+    /// Returns `true` if a signal was pending or arrived (as opposed to a
+    /// plain timeout) — the manager's pacing loop uses this to distinguish
+    /// "a core wants me" from "I woke on my own backstop".
+    pub fn manager_wait(&self, timeout: Duration) -> bool {
         let mut pending = self.mgr_park.lock();
         if !*pending {
             self.mgr_cond.wait_for(&mut pending, timeout);
         }
+        let signalled = *pending;
         *pending = false;
+        signalled
     }
 
     /// A core's run state.
@@ -347,8 +399,66 @@ impl ClockBoard {
         }
         // Global time never decreases (isochrones never cross, §3.2).
         let g = min.max(prev);
-        self.global.store(g, Ordering::Release);
+        if g != prev {
+            // Write-avoiding: an unchanged global is not re-stored, so the
+            // cache line holding it stays Shared in every core's cache
+            // instead of bouncing to Modified each manager iteration.
+            self.global.store(g, Ordering::Release);
+        }
         (g, false)
+    }
+
+    /// Like [`ClockBoard::recompute_global`], but with a manager-private
+    /// [`GlobalCache`] of each core's last-seen `(state, local)` pair: an
+    /// iteration in which nothing moved returns the cached result without
+    /// redoing the reduction or touching `global` at all, and the store is
+    /// skipped whenever the minimum is unchanged.
+    pub fn recompute_global_cached(&self, cache: &mut GlobalCache) -> (u64, bool) {
+        debug_assert_eq!(cache.seen.len(), self.cores.len());
+        let mut changed = !cache.valid;
+        for (i, cc) in self.cores.iter().enumerate() {
+            // State before local: a core publishes its local time first and
+            // its state transitions after, so a stale pair here errs toward
+            // "changed" and never toward a missed update.
+            let s = cc.state.load(Ordering::Acquire);
+            let l = cc.local.load(Ordering::Acquire);
+            if cache.seen[i] != (s, l) {
+                cache.seen[i] = (s, l);
+                changed = true;
+            }
+        }
+        if !changed {
+            return cache.result;
+        }
+        let mut min = u64::MAX;
+        let mut all_finished = true;
+        for &(s, l) in &cache.seen {
+            match CoreState::from_u8(s) {
+                CoreState::Finished | CoreState::Parked => continue,
+                CoreState::SyncWait => {
+                    all_finished = false;
+                    continue;
+                }
+                _ => {}
+            }
+            all_finished = false;
+            min = min.min(l);
+        }
+        let prev = self.global.load(Ordering::Relaxed);
+        let result = if all_finished {
+            (prev, true)
+        } else if min == u64::MAX {
+            (prev, false)
+        } else {
+            let g = min.max(prev);
+            if g != prev {
+                self.global.store(g, Ordering::Release);
+            }
+            (g, false)
+        };
+        cache.valid = true;
+        cache.result = result;
+        result
     }
 
     /// The current global time.
@@ -493,11 +603,55 @@ mod tests {
     fn manager_wait_consumes_signal() {
         let b = ClockBoard::new(1, 1);
         b.signal_manager();
-        // Signal pending: returns immediately.
-        b.manager_wait(Duration::from_secs(10));
+        // Signal pending: returns immediately and reports it.
+        assert!(b.manager_wait(Duration::from_secs(10)));
         // No signal: the short timeout path.
         let t0 = std::time::Instant::now();
-        b.manager_wait(Duration::from_millis(1));
+        assert!(!b.manager_wait(Duration::from_millis(1)));
         assert!(t0.elapsed() >= Duration::from_micros(500));
+    }
+
+    #[test]
+    fn cached_recompute_matches_plain() {
+        let b = ClockBoard::new(3, 100);
+        let mut cache = GlobalCache::new(3);
+        assert_eq!(b.recompute_global_cached(&mut cache), (0, false));
+        for c in 1..=4 {
+            b.advance_local(0, c);
+        }
+        b.advance_local(1, 1);
+        assert_eq!(b.recompute_global_cached(&mut cache), (0, false));
+        // Nothing moved: the cached path must return the same answer.
+        assert_eq!(b.recompute_global_cached(&mut cache), (0, false));
+        b.advance_local(2, 1);
+        assert_eq!(b.recompute_global_cached(&mut cache), (1, false));
+        assert_eq!(b.global(), 1);
+        // State changes invalidate the snapshot too.
+        b.finish(1);
+        b.finish(2);
+        for c in 5..=7 {
+            b.advance_local(0, c);
+        }
+        assert_eq!(b.recompute_global_cached(&mut cache), (7, false));
+        b.finish(0);
+        let (_, done) = b.recompute_global_cached(&mut cache);
+        assert!(done);
+        // Quiescent repeat of the all-finished answer stays cached.
+        let (_, done) = b.recompute_global_cached(&mut cache);
+        assert!(done);
+    }
+
+    #[test]
+    fn unchanged_global_is_not_restored() {
+        // recompute_global with no movement must still report the same
+        // global (the skip-store path returns the previous value).
+        let b = ClockBoard::new(2, 100);
+        for c in 1..=3 {
+            b.advance_local(0, c);
+            b.advance_local(1, c);
+        }
+        assert_eq!(b.recompute_global(), (3, false));
+        assert_eq!(b.recompute_global(), (3, false));
+        assert_eq!(b.global(), 3);
     }
 }

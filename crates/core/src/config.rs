@@ -139,6 +139,10 @@ pub struct TargetConfig {
     /// manager can be split "into several threads" if it bottlenecks;
     /// shards partition the directory by L2 bank.
     pub mem_shards: usize,
+    /// Capacity of every SPSC ring (InQs, OutQs and shard rings), in
+    /// entries. Sizes the batch the transport can move per ring operation;
+    /// a full ring makes the producer yield until the consumer drains.
+    pub queue_capacity: usize,
 }
 
 impl TargetConfig {
@@ -155,6 +159,7 @@ impl TargetConfig {
             fast_forward_compensation: false,
             record_trace: false,
             mem_shards: 0,
+            queue_capacity: 4096,
         }
     }
 
@@ -170,6 +175,7 @@ impl TargetConfig {
             fast_forward_compensation: false,
             record_trace: false,
             mem_shards: 0,
+            queue_capacity: 4096,
         }
     }
 
@@ -195,6 +201,9 @@ impl TargetConfig {
         if self.mem.mshrs == 0 || self.core.store_buffer == 0 {
             return Err("MSHRs and store buffer must be nonzero".into());
         }
+        if self.queue_capacity < 2 {
+            return Err(format!("queue_capacity {} must be at least 2", self.queue_capacity));
+        }
         Ok(())
     }
 }
@@ -211,6 +220,19 @@ mod tests {
         assert_eq!(t.core.issue_width, 4);
         assert_eq!(t.mem.l1d.size_bytes, 16 * 1024);
         assert_eq!(t.critical_latency(), 10);
+    }
+
+    #[test]
+    fn queue_capacity_is_validated() {
+        let mut t = TargetConfig::small(2);
+        assert_eq!(t.queue_capacity, 4096);
+        assert!(t.validate().is_ok());
+        t.queue_capacity = 2;
+        assert!(t.validate().is_ok());
+        t.queue_capacity = 1;
+        assert!(t.validate().is_err());
+        t.queue_capacity = 0;
+        assert!(t.validate().is_err());
     }
 
     #[test]

@@ -74,7 +74,9 @@ enum SysPhase {
     Idle,
     /// Waiting for the manager's SyncReply (the core's clock is suspended
     /// meanwhile and fast-forwarded to the reply timestamp).
-    WaitReply { op: SyncOp },
+    WaitReply {
+        op: SyncOp,
+    },
 }
 
 /// State behind the [`CoreHost`] the CPU model talks to.
@@ -226,6 +228,11 @@ pub struct CoreSim {
     shards_touched: u64,
     n_banks: usize,
     heap: BinaryHeap<Reverse<HeapMsg>>,
+    /// Reusable InQ drain buffer.
+    inq_scratch: Vec<InMsg>,
+    /// Coordinator-bound events of the current cycle, published as one
+    /// batch (single `Release` store of the ring tail).
+    out_scratch: Vec<OutEvent>,
     arrival: u64,
     host: HostState,
     stats: CoreStats,
@@ -262,6 +269,8 @@ impl CoreSim {
             shards_touched: 0,
             n_banks: cfg.mem.n_banks,
             heap: BinaryHeap::new(),
+            inq_scratch: Vec::new(),
+            out_scratch: Vec::new(),
             arrival: 0,
             host: HostState {
                 core_id: id,
@@ -307,7 +316,6 @@ impl CoreSim {
         self.shard_outqs = event_rings;
         self.shard_signals = signals;
     }
-
 
     /// Current local time (completed cycles).
     pub fn local(&self) -> u64 {
@@ -380,18 +388,32 @@ impl CoreSim {
     }
 
     /// Pull everything out of the InQs into the local timestamp heap.
+    /// Each ring is drained in batches: one `Release` store of its head
+    /// frees the whole chunk for the producing manager at once.
     fn drain_inq(&mut self) {
+        let mut scratch = std::mem::take(&mut self.inq_scratch);
         for (ring, q) in self.inqs.iter_mut().enumerate() {
-            while let Some(m) = q.pop() {
-                if matches!(m.kind, InKind::Stop) {
-                    self.stop_seen = true;
-                    continue;
+            loop {
+                scratch.clear();
+                if q.drain_into(&mut scratch, usize::MAX) == 0 {
+                    break;
                 }
-                self.arrival += 1;
-                self.heap
-                    .push(Reverse(HeapMsg { ts: m.ts, ring, arrival: self.arrival, msg: m }));
+                for &m in &scratch {
+                    if matches!(m.kind, InKind::Stop) {
+                        self.stop_seen = true;
+                        continue;
+                    }
+                    self.arrival += 1;
+                    self.heap.push(Reverse(HeapMsg {
+                        ts: m.ts,
+                        ring,
+                        arrival: self.arrival,
+                        msg: m,
+                    }));
+                }
             }
         }
+        self.inq_scratch = scratch;
     }
 
     /// Timestamp of the earliest pending InQ message, if any.
@@ -458,7 +480,9 @@ impl CoreSim {
             self.roi_frozen = Some(self.stats.committed);
         }
         let committed_delta = self.stats.committed.saturating_sub(roi_floor);
-        if committed_delta > 0 && self.roi.active.load(Ordering::Relaxed) && self.roi_frozen.is_none()
+        if committed_delta > 0
+            && self.roi.active.load(Ordering::Relaxed)
+            && self.roi_frozen.is_none()
         {
             self.roi.committed.fetch_add(committed_delta, Ordering::Relaxed);
         }
@@ -466,10 +490,13 @@ impl CoreSim {
         // Flush emitted events with this cycle's timestamp. Memory events
         // route to their bank's shard when sharded managers are attached;
         // everything else (sync, exit, ROI) goes to the coordinator.
+        // Coordinator-bound events are collected and published as one
+        // batch — N slot writes, a single `Release` store of the tail.
         let mut events = 0u32;
         self.shards_touched = 0;
-        let pending: Vec<_> = self.host.pending_out.drain(..).collect();
-        for kind in pending {
+        debug_assert!(self.out_scratch.is_empty());
+        for pi in 0..self.host.pending_out.len() {
+            let kind = self.host.pending_out[pi];
             let ev = OutEvent { ts: now, seq: self.seq, kind };
             self.seq += 1;
             events += 1;
@@ -477,40 +504,48 @@ impl CoreSim {
                 None
             } else {
                 match kind {
-                    OutKind::DMem { block, .. } | OutKind::IMem { block } => Some(
-                        crate::shard::shard_of(block, self.n_banks, self.shard_outqs.len()),
-                    ),
+                    OutKind::DMem { block, .. } | OutKind::IMem { block } => {
+                        Some(crate::shard::shard_of(block, self.n_banks, self.shard_outqs.len()))
+                    }
                     _ => None,
                 }
             };
-            if let Some(si) = shard {
-                self.shards_touched |= 1 << si;
-            }
+            let Some(si) = shard else {
+                self.out_scratch.push(ev);
+                continue;
+            };
+            self.shards_touched |= 1 << si;
             let mut item = ev;
-            loop {
-                let res = match shard {
-                    Some(si) => self.shard_outqs[si].try_push(item),
-                    None => self.outq.try_push(item),
-                };
-                match res {
-                    Ok(()) => break,
-                    Err(back) => {
-                        // The ring is generously sized; a full ring means
-                        // the manager is far behind — yield to it. If the
-                        // simulation is being torn down, drop the event.
-                        if let Some(sig) = shard.and_then(|si| self.shard_signals.get(si)) {
-                            sig.signal();
-                        }
-                        self.drain_inq();
-                        if self.stop_seen {
-                            break;
-                        }
-                        item = back;
-                        std::thread::yield_now();
-                    }
+            while let Err(back) = self.shard_outqs[si].try_push(item) {
+                // The ring is generously sized; a full ring means the
+                // shard is far behind — yield to it. If the simulation is
+                // being torn down, drop the event.
+                if let Some(sig) = self.shard_signals.get(si) {
+                    sig.signal();
                 }
+                self.drain_inq();
+                if self.stop_seen {
+                    break;
+                }
+                item = back;
+                std::thread::yield_now();
             }
         }
+        self.host.pending_out.clear();
+        let mut sent = 0;
+        while sent < self.out_scratch.len() {
+            sent += self.outq.push_batch(&self.out_scratch[sent..]);
+            if sent < self.out_scratch.len() {
+                // Ring full: the manager is far behind — yield to it (and
+                // bail if the simulation is being torn down).
+                self.drain_inq();
+                if self.stop_seen {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        self.out_scratch.clear();
 
         if let Some(trace) = &mut self.trace {
             // Idle-skipped cycles (no workload thread) cost ~no host work.

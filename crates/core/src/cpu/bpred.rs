@@ -17,7 +17,12 @@ impl Bimodal {
     /// weakly-taken.
     pub fn new(entries: usize) -> Self {
         assert!(entries.is_power_of_two(), "predictor size must be a power of two");
-        Bimodal { table: vec![2; entries], mask: (entries - 1) as u64, lookups: 0, disagreements: 0 }
+        Bimodal {
+            table: vec![2; entries],
+            mask: (entries - 1) as u64,
+            lookups: 0,
+            disagreements: 0,
+        }
     }
 
     #[inline]

@@ -125,8 +125,12 @@ impl InOrderCpu {
         ctx.stats.issued += 1;
 
         if let Instr::Syscall { code } = i {
-            let args =
-                [self.reg(Reg::arg(0)), self.reg(Reg::arg(1)), self.reg(Reg::arg(2)), self.reg(Reg::arg(3))];
+            let args = [
+                self.reg(Reg::arg(0)),
+                self.reg(Reg::arg(1)),
+                self.reg(Reg::arg(2)),
+                self.reg(Reg::arg(3)),
+            ];
             match ctx.host.sys_start(code, args, now) {
                 SysOutcome::Done(ret) => {
                     if let Some(v) = ret {
@@ -163,7 +167,12 @@ impl InOrderCpu {
                             ReqKind::GetM
                         };
                         ctx.host.emit(OutKind::DMem { req, block });
-                        self.phase = Phase::WaitStore { block, addr: mem.addr, val: mem.store_val, ready: None };
+                        self.phase = Phase::WaitStore {
+                            block,
+                            addr: mem.addr,
+                            val: mem.store_val,
+                            ready: None,
+                        };
                     }
                 }
             } else {

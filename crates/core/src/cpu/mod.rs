@@ -189,8 +189,11 @@ pub(crate) mod tests_support {
             };
             if let Some(r) = reply {
                 self.seq += 1;
-                self.queued
-                    .push(Reverse((self.now + self.mem_latency, self.seq, ReplyBox::pack(r))));
+                self.queued.push(Reverse((
+                    self.now + self.mem_latency,
+                    self.seq,
+                    ReplyBox::pack(r),
+                )));
             }
         }
         fn sys_start(&mut self, code: u16, args: [u64; 4], now: u64) -> SysOutcome {

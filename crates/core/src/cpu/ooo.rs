@@ -241,7 +241,9 @@ impl OooCpu {
             None => self.regs[arch.index()],
             Some(id) => match self.entry(id) {
                 None => self.regs[arch.index()],
-                Some(e) => e.int_result.unwrap_or_else(|| panic!("int producer without value: {:?}", e)),
+                Some(e) => {
+                    e.int_result.unwrap_or_else(|| panic!("int producer without value: {:?}", e))
+                }
             },
         }
     }
@@ -251,7 +253,9 @@ impl OooCpu {
             None => self.fregs[arch.index()],
             Some(id) => match self.entry(id) {
                 None => self.fregs[arch.index()],
-                Some(e) => e.fp_result.unwrap_or_else(|| panic!("fp producer without value: {:?}", e)),
+                Some(e) => {
+                    e.fp_result.unwrap_or_else(|| panic!("fp producer without value: {:?}", e))
+                }
             },
         }
     }
@@ -676,10 +680,8 @@ impl OooCpu {
                 s1.and_then(|r| self.int_map[r.index()]),
                 s2.and_then(|r| self.int_map[r.index()]),
             ];
-            let src_fp = [
-                f1.and_then(|r| self.fp_map[r.index()]),
-                f2.and_then(|r| self.fp_map[r.index()]),
-            ];
+            let src_fp =
+                [f1.and_then(|r| self.fp_map[r.index()]), f2.and_then(|r| self.fp_map[r.index()])];
             let id = self.next_id;
             self.next_id += 1;
             if f.instr.is_mem() {
@@ -948,7 +950,10 @@ impl Cpu for OooCpu {
             self.pc,
             self.rob.len(),
             self.rob.front().map(|e| (e.id, e.instr, e.state)),
-            self.store_buffer.iter().map(|e| (sk_mem::block_of(e.addr), e.state)).collect::<Vec<_>>(),
+            self.store_buffer
+                .iter()
+                .map(|e| (sk_mem::block_of(e.addr), e.state))
+                .collect::<Vec<_>>(),
             self.mshr.iter().map(|(b, w)| format!("{b}:{w:?}")).collect::<Vec<_>>().join(","),
             self.ifetch,
             self.wait_jalr,

@@ -5,7 +5,7 @@
 //! the lower cache hierarchy and paces the run by publishing global time
 //! and per-core max local times through shared memory.
 
-use crate::clock::ClockBoard;
+use crate::clock::{ClockBoard, GlobalCache};
 use crate::config::{CoreModel, StopCondition, TargetConfig};
 use crate::core_thread::{CoreOutput, CoreSim, RoiState};
 use crate::cpu::{inorder::InOrderCpu, ooo::OooCpu, Cpu};
@@ -21,8 +21,23 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Ring capacity of each InQ/OutQ.
-const QUEUE_CAP: usize = 4096;
+/// Most samples the manager records into the slack profile (the rest are
+/// counted in `EngineStats::slack_profile_truncated`).
+const SLACK_PROFILE_CAP: usize = 1_000_000;
+/// Initial slack-profile reservation (grows on demand up to the cap).
+const SLACK_PROFILE_RESERVE: usize = 1 << 16;
+
+/// Shortest and longest idle park of the manager's pacing loop. While
+/// events flow, a pending signal makes `manager_wait` return immediately
+/// and the timeout is irrelevant; once the manager goes an iteration with
+/// no signal and nothing drained, the park doubles per quiet iteration up
+/// to the cap, so a fully quiescent manager (all cores SyncWait/Parked)
+/// costs ~`1/IDLE_WAIT_MAX` wakeups per second instead of a fixed poll.
+const IDLE_WAIT_MIN: Duration = Duration::from_micros(100);
+const IDLE_WAIT_MAX: Duration = Duration::from_millis(5);
+/// Continuous quiescence (nothing runnable, nothing in flight) after
+/// which the manager declares the workload deadlocked.
+const DEADLOCK_AFTER: Duration = Duration::from_millis(100);
 
 pub(crate) fn build_cpu(cfg: &TargetConfig) -> Box<dyn Cpu> {
     match cfg.core.model {
@@ -56,10 +71,19 @@ pub(crate) fn plumb(program: &Program, cfg: &TargetConfig) -> Plumbing {
     let mut out_consumers = Vec::with_capacity(cfg.n_cores);
     let mut in_producers = Vec::with_capacity(cfg.n_cores);
     for id in 0..cfg.n_cores {
-        let (in_p, in_c) = spsc::channel(QUEUE_CAP);
-        let (out_p, out_c) = spsc::channel(QUEUE_CAP);
+        let (in_p, in_c) = spsc::channel(cfg.queue_capacity);
+        let (out_p, out_c) = spsc::channel(cfg.queue_capacity);
         let cpu = build_cpu(cfg);
-        cores.push(CoreSim::new(id, cfg, cpu, in_c, out_p, mem.clone(), tracker.clone(), roi.clone()));
+        cores.push(CoreSim::new(
+            id,
+            cfg,
+            cpu,
+            in_c,
+            out_p,
+            mem.clone(),
+            tracker.clone(),
+            roi.clone(),
+        ));
         out_consumers.push(out_c);
         in_producers.push(in_p);
     }
@@ -146,15 +170,14 @@ pub fn run_parallel(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> Si
             (0..n_shards).map(|_| Vec::new()).collect();
         let mut reply_producers: Vec<Vec<spsc::Producer<InMsg>>> =
             (0..n_shards).map(|_| Vec::new()).collect();
-        shard_signals = (0..n_shards)
-            .map(|_| Arc::new(crate::shard::ShardSignal::default()))
-            .collect();
+        shard_signals =
+            (0..n_shards).map(|_| Arc::new(crate::shard::ShardSignal::default())).collect();
         for core in cores.iter_mut() {
             let mut my_reply_rings = Vec::new();
             let mut my_event_rings = Vec::new();
             for s in 0..n_shards {
-                let (ev_p, ev_c) = spsc::channel(QUEUE_CAP);
-                let (rep_p, rep_c) = spsc::channel(QUEUE_CAP);
+                let (ev_p, ev_c) = spsc::channel(cfg.queue_capacity);
+                let (rep_p, rep_c) = spsc::channel(cfg.queue_capacity);
                 ev_consumers[s].push(ev_c);
                 reply_producers[s].push(rep_p);
                 my_event_rings.push(ev_p);
@@ -173,11 +196,14 @@ pub fn run_parallel(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> Si
     let t0 = Instant::now();
     let mut engine = EngineStats::default();
     let mut slack_profile: Vec<(u64, u64)> = Vec::new();
-    // Consecutive manager iterations with nothing to do while unfinished
-    // cores exist: a workload deadlock (e.g. a barrier that can never be
-    // released). Global time is frozen in that state, so the max_cycles
-    // backstop alone cannot fire.
-    let mut quiet_iters = 0u32;
+    if cfg.record_trace {
+        slack_profile.reserve(SLACK_PROFILE_RESERVE.min(SLACK_PROFILE_CAP));
+    }
+    // Time the manager has been continuously quiescent with nothing to do
+    // while unfinished cores exist: a workload deadlock (e.g. a barrier
+    // that can never be released). Global time is frozen in that state,
+    // so the max_cycles backstop alone cannot fire.
+    let mut quiet_since: Option<Instant> = None;
 
     let mut shard_results: Vec<crate::shard::MemShard> = Vec::new();
     let outputs: Vec<CoreOutput> = std::thread::scope(|s| {
@@ -197,25 +223,39 @@ pub fn run_parallel(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> Si
             .collect();
 
         // ---- the manager thread (paper §2.1) ----
+        // Adaptive pacing state: see IDLE_WAIT_MIN/MAX above.
+        let mut idle_wait = IDLE_WAIT_MIN;
+        let mut clock_cache = GlobalCache::new(n);
+        let mut drain_scratch: Vec<OutEvent> = Vec::new();
+        // Highest window already published to every core: re-raising an
+        // unchanged window is a no-op per core, so skip the whole loop.
+        let mut last_window = 0u64;
         loop {
-            board.manager_wait(Duration::from_micros(200));
+            let signalled = board.manager_wait(idle_wait);
             // Order matters for determinism of ordered schemes: publish
             // global time first, then drain (every event with ts ≤ global
             // is already in its ring by the release/acquire pairing on
             // local time), then process up to the horizon.
-            let (g, all_done) = board.recompute_global();
+            let (g, all_done) = board.recompute_global_cached(&mut clock_cache);
             engine.global_updates += 1;
             let slack_now = board.observed_slack();
             engine.max_observed_slack = engine.max_observed_slack.max(slack_now);
-            if cfg.record_trace
-                && slack_profile.len() < 1_000_000
-                && slack_profile.last().map(|&(pg, _)| pg) != Some(g)
-            {
-                slack_profile.push((g, slack_now));
+            if cfg.record_trace && slack_profile.last().map(|&(pg, _)| pg) != Some(g) {
+                if slack_profile.len() < SLACK_PROFILE_CAP {
+                    slack_profile.push((g, slack_now));
+                } else {
+                    engine.slack_profile_truncated += 1;
+                }
             }
+            let mut ingested = 0usize;
             for (c, q) in out_consumers.iter_mut().enumerate() {
-                while let Some(ev) = q.pop() {
-                    uncore.ingest(c, ev);
+                loop {
+                    drain_scratch.clear();
+                    if q.drain_into(&mut drain_scratch, usize::MAX) == 0 {
+                        break;
+                    }
+                    ingested += drain_scratch.len();
+                    uncore.ingest_batch(c, &drain_scratch);
                 }
             }
             // When no core is actively driving global time (all blocked in
@@ -223,11 +263,7 @@ pub fn run_parallel(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> Si
             // horizon to the earliest queued event so barrier arrivals can
             // complete and release the waiters.
             let quiescent = board.active_count() == 0;
-            let g_eff = if quiescent {
-                uncore.min_pending_ts().map_or(g, |t| g.max(t))
-            } else {
-                g
-            };
+            let g_eff = if quiescent { uncore.min_pending_ts().map_or(g, |t| g.max(t)) } else { g };
             if quiescent {
                 // Sync-blocked cores cannot complete the current quantum;
                 // process pending events directly so they can be released.
@@ -243,20 +279,24 @@ pub fn run_parallel(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> Si
             // back to the slowest shard's processed frontier so no core
             // outruns an undelivered reply.
             let g_window = if ordered_scheme {
-                let fmin = shard_frontiers
-                    .iter()
-                    .map(|f| f.load(Ordering::Acquire))
-                    .min()
-                    .unwrap_or(g);
+                let fmin =
+                    shard_frontiers.iter().map(|f| f.load(Ordering::Acquire)).min().unwrap_or(g);
                 g.min(fmin)
             } else {
                 g
             };
             let w = uncore.window(g_window);
-            for c in 0..n {
-                board.raise_max_local(c, w);
+            if w > last_window {
+                // Windows are monotone per core, so once every core has
+                // seen `w` a re-raise is a guaranteed no-op; only a grown
+                // window needs the store/wakeup pass.
+                for c in 0..n {
+                    board.raise_max_local(c, w);
+                }
+                last_window = w;
             }
             uncore.flush_overflow();
+            uncore.flush_wakeups();
 
             if all_done {
                 if std::env::var_os("SK_TRACE").is_some() {
@@ -264,15 +304,23 @@ pub fn run_parallel(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> Si
                 }
                 break;
             }
+            // Pacing: a signal or drained events means the pipeline is
+            // flowing — stay responsive. Otherwise back off exponentially;
+            // the first signal_manager ends the park immediately.
+            if signalled || ingested > 0 {
+                idle_wait = IDLE_WAIT_MIN;
+            } else {
+                idle_wait = (idle_wait * 2).min(IDLE_WAIT_MAX);
+            }
             if quiescent && !board.any_mem_waiting() && uncore.min_pending_ts().is_none() {
-                quiet_iters += 1;
-                if quiet_iters > 500 {
-                    // ~100 ms of continuous quiescence: the workload is
-                    // deadlocked (sync-blocked with nothing in flight).
+                let since = *quiet_since.get_or_insert_with(Instant::now);
+                if since.elapsed() > DEADLOCK_AFTER {
+                    // Continuous quiescence: the workload is deadlocked
+                    // (sync-blocked with nothing in flight).
                     break;
                 }
             } else {
-                quiet_iters = 0;
+                quiet_since = None;
             }
             if let StopCondition::RoiInstructions(limit) = cfg.stop {
                 if roi.committed.load(Ordering::Relaxed) >= limit {
@@ -299,14 +347,17 @@ pub fn run_parallel(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> Si
         }
 
         // Final drain so late events (Exit, statistics) are accounted.
-        let handles: Vec<CoreOutput> = handles.into_iter().map(|h| h.join().expect("core thread panicked")).collect();
-        shard_results = shard_handles
-            .into_iter()
-            .map(|h| h.join().expect("shard thread panicked"))
-            .collect();
+        let handles: Vec<CoreOutput> =
+            handles.into_iter().map(|h| h.join().expect("core thread panicked")).collect();
+        shard_results =
+            shard_handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect();
         for (c, q) in out_consumers.iter_mut().enumerate() {
-            while let Some(ev) = q.pop() {
-                uncore.ingest(c, ev);
+            loop {
+                drain_scratch.clear();
+                if q.drain_into(&mut drain_scratch, usize::MAX) == 0 {
+                    break;
+                }
+                uncore.ingest_batch(c, &drain_scratch);
             }
         }
         uncore.process_ready(u64::MAX);

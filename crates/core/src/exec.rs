@@ -66,8 +66,7 @@ fn b2u(b: bool) -> u64 {
 /// PC-relative target of a branch with instruction offset `off`.
 #[inline]
 pub fn rel_target(pc: u64, off: i32) -> u64 {
-    pc.wrapping_add(WORD_BYTES)
-        .wrapping_add((off as i64).wrapping_mul(WORD_BYTES as i64) as u64)
+    pc.wrapping_add(WORD_BYTES).wrapping_add((off as i64).wrapping_mul(WORD_BYTES as i64) as u64)
 }
 
 /// Execute `i` over `ops`. Memory values are *not* read here: loads produce
@@ -143,24 +142,32 @@ pub fn execute(i: &Instr, ops: Operands) -> Effects {
         }
 
         Beq { off, .. } => {
-            fx.branch = Some(BranchOut { taken: ops.rs1 == ops.rs2, target: rel_target(ops.pc, off) })
+            fx.branch =
+                Some(BranchOut { taken: ops.rs1 == ops.rs2, target: rel_target(ops.pc, off) })
         }
         Bne { off, .. } => {
-            fx.branch = Some(BranchOut { taken: ops.rs1 != ops.rs2, target: rel_target(ops.pc, off) })
+            fx.branch =
+                Some(BranchOut { taken: ops.rs1 != ops.rs2, target: rel_target(ops.pc, off) })
         }
-        Blt { off, .. } => fx.branch = Some(BranchOut {
-            taken: (ops.rs1 as i64) < (ops.rs2 as i64),
-            target: rel_target(ops.pc, off),
-        }),
-        Bge { off, .. } => fx.branch = Some(BranchOut {
-            taken: (ops.rs1 as i64) >= (ops.rs2 as i64),
-            target: rel_target(ops.pc, off),
-        }),
+        Blt { off, .. } => {
+            fx.branch = Some(BranchOut {
+                taken: (ops.rs1 as i64) < (ops.rs2 as i64),
+                target: rel_target(ops.pc, off),
+            })
+        }
+        Bge { off, .. } => {
+            fx.branch = Some(BranchOut {
+                taken: (ops.rs1 as i64) >= (ops.rs2 as i64),
+                target: rel_target(ops.pc, off),
+            })
+        }
         Bltu { off, .. } => {
-            fx.branch = Some(BranchOut { taken: ops.rs1 < ops.rs2, target: rel_target(ops.pc, off) })
+            fx.branch =
+                Some(BranchOut { taken: ops.rs1 < ops.rs2, target: rel_target(ops.pc, off) })
         }
         Bgeu { off, .. } => {
-            fx.branch = Some(BranchOut { taken: ops.rs1 >= ops.rs2, target: rel_target(ops.pc, off) })
+            fx.branch =
+                Some(BranchOut { taken: ops.rs1 >= ops.rs2, target: rel_target(ops.pc, off) })
         }
         J { off } => fx.branch = Some(BranchOut { taken: true, target: rel_target(ops.pc, off) }),
         Jal { off, .. } => {
@@ -225,8 +232,10 @@ mod tests {
     fn division_edge_cases() {
         let d = Instr::Div { rd: r(1), rs1: r(2), rs2: r(3) };
         assert_eq!(execute(&d, ops(10, 0)).int_result, Some(u64::MAX));
-        assert_eq!(execute(&d, ops(i64::MIN as u64, (-1i64) as u64)).int_result,
-                   Some(i64::MIN as u64));
+        assert_eq!(
+            execute(&d, ops(i64::MIN as u64, (-1i64) as u64)).int_result,
+            Some(i64::MIN as u64)
+        );
         assert_eq!(execute(&d, ops((-7i64) as u64, 2)).int_result, Some((-3i64) as u64));
         let m = Instr::Rem { rd: r(1), rs1: r(2), rs2: r(3) };
         assert_eq!(execute(&m, ops(7, 0)).int_result, Some(7));

@@ -135,7 +135,14 @@ pub fn interpret(program: &Program, max_threads: usize, max_steps: u64) -> Inter
 
             if let Instr::Syscall { code } = i {
                 step_syscall(
-                    code, tid, &mut threads, &mut sync, &mem, program, clock, &mut printed,
+                    code,
+                    tid,
+                    &mut threads,
+                    &mut sync,
+                    &mem,
+                    program,
+                    clock,
+                    &mut printed,
                 );
                 continue;
             }
@@ -255,15 +262,13 @@ fn step_syscall(
                 Syscall::InitLock => SyncOp::InitLock { id: a(threads, 0) as u32 },
                 Syscall::Lock => SyncOp::Lock { id: a(threads, 0) as u32 },
                 Syscall::Unlock => SyncOp::Unlock { id: a(threads, 0) as u32 },
-                Syscall::InitBarrier => SyncOp::InitBarrier {
-                    id: a(threads, 0) as u32,
-                    count: a(threads, 1) as u32,
-                },
+                Syscall::InitBarrier => {
+                    SyncOp::InitBarrier { id: a(threads, 0) as u32, count: a(threads, 1) as u32 }
+                }
                 Syscall::Barrier => SyncOp::BarrierArrive { id: a(threads, 0) as u32 },
-                Syscall::InitSema => SyncOp::InitSema {
-                    id: a(threads, 0) as u32,
-                    count: a(threads, 1) as i64,
-                },
+                Syscall::InitSema => {
+                    SyncOp::InitSema { id: a(threads, 0) as u32, count: a(threads, 1) as i64 }
+                }
                 Syscall::SemaWait => SyncOp::SemaWait { id: a(threads, 0) as u32 },
                 Syscall::SemaSignal => SyncOp::SemaSignal { id: a(threads, 0) as u32 },
                 _ => unreachable!("handled above"),

@@ -61,7 +61,7 @@ pub mod violation;
 
 pub use config::{CoreConfig, CoreModel, StopCondition, TargetConfig};
 pub use engine::run_parallel;
-pub use scheme::Scheme;
 pub use interp::{interpret, InterpResult, InterpStop};
+pub use scheme::Scheme;
 pub use seq::{run_sequential, run_sequential_debug as seq_debug};
 pub use stats::{CoreStats, EngineStats, SimReport, ViolationReport};

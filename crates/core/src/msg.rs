@@ -114,10 +114,8 @@ mod tests {
 
     #[test]
     fn global_event_key_orders_by_ts_then_core_then_seq() {
-        let mk = |core, ts, seq| GlobalEvent {
-            core,
-            ev: OutEvent { ts, seq, kind: OutKind::RoiBegin },
-        };
+        let mk =
+            |core, ts, seq| GlobalEvent { core, ev: OutEvent { ts, seq, kind: OutKind::RoiBegin } };
         let mut v = [mk(1, 5, 0), mk(0, 5, 1), mk(0, 5, 0), mk(2, 4, 9)];
         v.sort_by_key(|g| g.key());
         let keys: Vec<_> = v.iter().map(|g| g.key()).collect();

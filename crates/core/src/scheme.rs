@@ -272,8 +272,7 @@ mod tests {
 
     #[test]
     fn paper_suite_matches_figure_8() {
-        let names: Vec<String> =
-            Scheme::paper_suite(10).iter().map(|s| s.short_name()).collect();
+        let names: Vec<String> = Scheme::paper_suite(10).iter().map(|s| s.short_name()).collect();
         assert_eq!(names, vec!["CC", "Q10", "L10", "S9", "S9*", "S100", "SU"]);
     }
 }

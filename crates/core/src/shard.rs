@@ -91,6 +91,10 @@ pub struct MemShard {
     /// Reply rings, one per core (this shard is the producer).
     to_cores: Vec<Producer<InMsg>>,
     overflow: Vec<VecDeque<InMsg>>,
+    /// Cores that received a reply since the last wakeup flush.
+    wake_pending: Vec<bool>,
+    /// Reusable ring-drain buffer.
+    scratch: Vec<OutEvent>,
     board: Arc<ClockBoard>,
     /// Global time through which this shard has processed *and delivered*
     /// every event (its frontier). The coordinator holds ordered-scheme
@@ -120,6 +124,8 @@ impl MemShard {
             from_cores,
             to_cores,
             overflow: (0..cfg.n_cores).map(|_| VecDeque::new()).collect(),
+            wake_pending: vec![false; cfg.n_cores],
+            scratch: Vec::new(),
             board,
             frontier: Arc::new(AtomicU64::new(0)),
             events_processed: 0,
@@ -134,7 +140,17 @@ impl MemShard {
         } else {
             self.overflow[core].push_back(msg);
         }
-        self.board.unpark(core);
+        // Deferred to `flush_wakeups`: one unpark per core per iteration.
+        self.wake_pending[core] = true;
+    }
+
+    fn flush_wakeups(&mut self) {
+        for core in 0..self.wake_pending.len() {
+            if self.wake_pending[core] {
+                self.wake_pending[core] = false;
+                self.board.unpark(core);
+            }
+        }
     }
 
     fn flush_overflow(&mut self) {
@@ -184,7 +200,10 @@ impl MemShard {
                         },
                     );
                 }
-                self.push_to_core(core, InMsg { ts: out.done_ts, kind: InKind::IMemReply { block } });
+                self.push_to_core(
+                    core,
+                    InMsg { ts: out.done_ts, kind: InKind::IMemReply { block } },
+                );
             }
             // Memory shards receive only memory events.
             _ => unreachable!("non-memory event routed to a shard"),
@@ -194,14 +213,26 @@ impl MemShard {
     /// One iteration: drain rings, process per the scheme discipline.
     pub fn iterate(&mut self) {
         let g = self.board.global();
+        let eager = self.scheme.ordering() == EventOrdering::Eager;
+        let mut scratch = std::mem::take(&mut self.scratch);
         for c in 0..self.from_cores.len() {
-            while let Some(ev) = self.from_cores[c].pop() {
-                match self.scheme.ordering() {
-                    EventOrdering::Eager => self.process_event(GlobalEvent { core: c, ev }),
-                    _ => self.ordered.push(Reverse(OrderedEv(GlobalEvent { core: c, ev }))),
+            loop {
+                scratch.clear();
+                if self.from_cores[c].drain_into(&mut scratch, usize::MAX) == 0 {
+                    break;
+                }
+                if eager {
+                    for &ev in &scratch {
+                        self.process_event(GlobalEvent { core: c, ev });
+                    }
+                } else {
+                    self.ordered.extend(
+                        scratch.iter().map(|&ev| Reverse(OrderedEv(GlobalEvent { core: c, ev }))),
+                    );
                 }
             }
         }
+        self.scratch = scratch;
         let horizon = match self.scheme.ordering() {
             EventOrdering::Eager => None,
             EventOrdering::TimestampOrdered => Some(g),
@@ -220,6 +251,7 @@ impl MemShard {
             }
         }
         self.flush_overflow();
+        self.flush_wakeups();
         // Publish the processed frontier: every event with ts <= g had
         // arrived before g was computed (cores push before advancing their
         // local clocks) and has now been processed and delivered.
@@ -230,15 +262,24 @@ impl MemShard {
 
     /// Drain everything unconditionally (shutdown).
     pub fn finish(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
         for c in 0..self.from_cores.len() {
-            while let Some(ev) = self.from_cores[c].pop() {
-                self.ordered.push(Reverse(OrderedEv(GlobalEvent { core: c, ev })));
+            loop {
+                scratch.clear();
+                if self.from_cores[c].drain_into(&mut scratch, usize::MAX) == 0 {
+                    break;
+                }
+                self.ordered.extend(
+                    scratch.iter().map(|&ev| Reverse(OrderedEv(GlobalEvent { core: c, ev }))),
+                );
             }
         }
+        self.scratch = scratch;
         while let Some(Reverse(OrderedEv(ge))) = self.ordered.pop() {
             self.process_event(ge);
         }
         self.flush_overflow();
+        self.flush_wakeups();
     }
 
     /// This shard's directory statistics.

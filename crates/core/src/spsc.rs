@@ -56,10 +56,7 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         head: AtomicUsize::new(0),
         tail: AtomicUsize::new(0),
     });
-    (
-        Producer { ring: ring.clone(), cached_head: 0 },
-        Consumer { ring, cached_tail: 0 },
-    )
+    (Producer { ring: ring.clone(), cached_head: 0 }, Consumer { ring, cached_tail: 0 })
 }
 
 impl<T> Producer<T> {
@@ -79,6 +76,46 @@ impl<T> Producer<T> {
         unsafe { (*ring.buf[tail].get()).write(value) };
         ring.tail.store(next, Ordering::Release);
         Ok(())
+    }
+
+    /// Enqueue as many leading items of `items` as currently fit, writing
+    /// every slot first and then publishing them all with a **single**
+    /// `Release` store of `tail`. Returns the number enqueued (a prefix of
+    /// `items`); 0 means the ring was full.
+    ///
+    /// The consumer observes either none or all of the batch — per-item
+    /// `tail` traffic (and the matching cache-line ping-pong) collapses to
+    /// one store per batch.
+    pub fn push_batch(&mut self, items: &[T]) -> usize
+    where
+        T: Copy,
+    {
+        let ring = &*self.ring;
+        let cap = ring.capacity;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let free_from = |head: usize| {
+            let used = if tail >= head { tail - head } else { tail + cap - head };
+            cap - 1 - used
+        };
+        let mut free = free_from(self.cached_head);
+        if free < items.len() {
+            self.cached_head = ring.head.load(Ordering::Acquire);
+            free = free_from(self.cached_head);
+        }
+        let n = items.len().min(free);
+        if n == 0 {
+            return 0;
+        }
+        let mut idx = tail;
+        for &v in &items[..n] {
+            // Safety: the `n` slots starting at `tail` are free (checked
+            // above) and invisible to the consumer until the Release store
+            // below; no other producer exists.
+            unsafe { (*ring.buf[idx].get()).write(v) };
+            idx = if idx + 1 == cap { 0 } else { idx + 1 };
+        }
+        ring.tail.store(idx, Ordering::Release);
+        n
     }
 
     /// Number of free slots (approximate from the producer's view).
@@ -131,6 +168,41 @@ impl<T> Consumer<T> {
         let next = if head + 1 == ring.capacity { 0 } else { head + 1 };
         ring.head.store(next, Ordering::Release);
         Some(value)
+    }
+
+    /// Move up to `max` of the oldest elements into `out` (appending, in
+    /// FIFO order), advancing `head` once with a **single** `Release`
+    /// store. Returns the number moved; 0 means the ring was empty.
+    ///
+    /// The mirror of [`Producer::push_batch`]: the producer observes the
+    /// freed slots all at once, so per-item `head` traffic collapses to
+    /// one store per drain.
+    pub fn drain_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let ring = &*self.ring;
+        let cap = ring.capacity;
+        let head = ring.head.load(Ordering::Relaxed);
+        let mut tail = self.cached_tail;
+        let mut avail = if tail >= head { tail - head } else { tail + cap - head };
+        if avail < max {
+            tail = ring.tail.load(Ordering::Acquire);
+            self.cached_tail = tail;
+            avail = if tail >= head { tail - head } else { tail + cap - head };
+        }
+        let n = avail.min(max);
+        if n == 0 {
+            return 0;
+        }
+        out.reserve(n);
+        let mut idx = head;
+        for _ in 0..n {
+            // Safety: slots up to the Acquire-observed `tail` were
+            // published by the producer's Release store; ownership moves
+            // out and `head` advances past each slot exactly once.
+            out.push(unsafe { (*ring.buf[idx].get()).assume_init_read() });
+            idx = if idx + 1 == cap { 0 } else { idx + 1 };
+        }
+        ring.head.store(idx, Ordering::Release);
+        n
     }
 
     /// True if no element is currently visible.
@@ -201,6 +273,96 @@ mod tests {
         assert_eq!(p.free_slots(), 3);
         c.pop();
         assert_eq!(p.free_slots(), 4);
+    }
+
+    #[test]
+    fn push_batch_publishes_prefix() {
+        let (mut p, mut c) = channel(4);
+        assert_eq!(p.push_batch(&[1, 2, 3]), 3);
+        // Only one slot left: the batch is truncated to the free prefix.
+        assert_eq!(p.push_batch(&[4, 5, 6]), 1);
+        assert_eq!(p.push_batch(&[9]), 0, "full ring pushes nothing");
+        for i in 1..=4 {
+            assert_eq!(c.pop(), Some(i));
+        }
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn drain_into_respects_max_and_appends() {
+        let (mut p, mut c) = channel(8);
+        assert_eq!(p.push_batch(&[10, 11, 12, 13, 14]), 5);
+        let mut out = vec![99];
+        assert_eq!(c.drain_into(&mut out, 2), 2);
+        assert_eq!(out, vec![99, 10, 11]);
+        assert_eq!(c.drain_into(&mut out, usize::MAX), 3);
+        assert_eq!(out, vec![99, 10, 11, 12, 13, 14]);
+        assert_eq!(c.drain_into(&mut out, usize::MAX), 0);
+    }
+
+    #[test]
+    fn batch_ops_wrap_around() {
+        let (mut p, mut c) = channel(3);
+        let mut out = Vec::new();
+        for round in 0..10 {
+            let vals = [round * 10, round * 10 + 1, round * 10 + 2];
+            assert_eq!(p.push_batch(&vals), 3);
+            out.clear();
+            assert_eq!(c.drain_into(&mut out, usize::MAX), 3);
+            assert_eq!(out, vals);
+        }
+    }
+
+    #[test]
+    fn batch_and_single_ops_interleave() {
+        let (mut p, mut c) = channel(5);
+        p.try_push(0).unwrap();
+        assert_eq!(p.push_batch(&[1, 2]), 2);
+        assert_eq!(c.pop(), Some(0));
+        let mut out = Vec::new();
+        assert_eq!(c.drain_into(&mut out, 1), 1);
+        assert_eq!(out, vec![1]);
+        p.try_push(3).unwrap();
+        assert_eq!(c.peek(), Some(&2));
+        out.clear();
+        assert_eq!(c.drain_into(&mut out, usize::MAX), 2);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn cross_thread_batch_stream() {
+        let (mut p, mut c) = channel(16);
+        let n = 100_000u64;
+        let producer = thread::spawn(move || {
+            let mut next = 0u64;
+            while next < n {
+                let hi = (next + 7).min(n);
+                let chunk: Vec<u64> = (next..hi).collect();
+                let mut sent = 0;
+                while sent < chunk.len() {
+                    let k = p.push_batch(&chunk[sent..]);
+                    if k == 0 {
+                        thread::yield_now();
+                    }
+                    sent += k;
+                }
+                next = hi;
+            }
+        });
+        let mut expected = 0u64;
+        let mut out = Vec::new();
+        while expected < n {
+            out.clear();
+            if c.drain_into(&mut out, usize::MAX) == 0 {
+                thread::yield_now();
+                continue;
+            }
+            for &v in &out {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+        }
+        producer.join().unwrap();
     }
 
     #[test]

@@ -79,6 +79,9 @@ pub struct EngineStats {
     /// Quantum chosen by the adaptive controller at the end (adaptive
     /// quantum scheme only).
     pub final_quantum: u64,
+    /// Slack-profile samples dropped after the recording cap filled
+    /// (`record_trace` runs only; 0 means the profile is complete).
+    pub slack_profile_truncated: u64,
 }
 
 /// Workload-violation counters (plain copies of the tracker's atomics).
@@ -204,7 +207,12 @@ mod tests {
     fn report_aggregations() {
         let r = SimReport {
             cores: vec![
-                CoreStats { committed: 100, roi_committed: 60, printed: vec![7], ..Default::default() },
+                CoreStats {
+                    committed: 100,
+                    roi_committed: 60,
+                    printed: vec![7],
+                    ..Default::default()
+                },
                 CoreStats { committed: 50, roi_committed: 30, ..Default::default() },
             ],
             wall: Duration::from_secs(1),

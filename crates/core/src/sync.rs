@@ -310,10 +310,14 @@ mod tests {
     fn barrier_releases_all_on_last_arrival() {
         let mut t = SyncTable::new();
         t.apply(0, SyncOp::InitBarrier { id: 0, count: 3 }, 0);
-        assert_eq!(t.apply(0, SyncOp::BarrierArrive { id: 0 }, 10),
-                   SyncOutcome { reply: None, releases: vec![] });
-        assert_eq!(t.apply(2, SyncOp::BarrierArrive { id: 0 }, 11),
-                   SyncOutcome { reply: None, releases: vec![] });
+        assert_eq!(
+            t.apply(0, SyncOp::BarrierArrive { id: 0 }, 10),
+            SyncOutcome { reply: None, releases: vec![] }
+        );
+        assert_eq!(
+            t.apply(2, SyncOp::BarrierArrive { id: 0 }, 11),
+            SyncOutcome { reply: None, releases: vec![] }
+        );
         assert_eq!(t.barrier_waiters(), 2);
         let out = t.apply(1, SyncOp::BarrierArrive { id: 0 }, 15);
         assert_eq!(out.reply, None);

@@ -62,6 +62,8 @@ pub struct Uncore {
     ordered: std::collections::BinaryHeap<Reverse<OrderedEv>>,
     inqs: Vec<Producer<InMsg>>,
     overflow: Vec<VecDeque<InMsg>>,
+    /// Cores that received an InQ message since the last wakeup flush.
+    wake_pending: Vec<bool>,
     board: Option<Arc<ClockBoard>>,
     started: Vec<bool>,
     exited: Vec<bool>,
@@ -88,13 +90,9 @@ impl Uncore {
         let mut started = vec![false; n];
         started[0] = true; // the initial workload thread runs on core 0
         let adaptive = match scheme {
-            Scheme::AdaptiveQuantum { min, max } => Some(Adaptive {
-                min,
-                max,
-                quantum: min,
-                next_boundary: min,
-                traffic_mark: 0,
-            }),
+            Scheme::AdaptiveQuantum { min, max } => {
+                Some(Adaptive { min, max, quantum: min, next_boundary: min, traffic_mark: 0 })
+            }
             _ => None,
         };
         Uncore {
@@ -104,6 +102,7 @@ impl Uncore {
             ordered: std::collections::BinaryHeap::new(),
             inqs,
             overflow: (0..n).map(|_| VecDeque::new()).collect(),
+            wake_pending: vec![false; n],
             board,
             started,
             exited: vec![false; n],
@@ -122,10 +121,7 @@ impl Uncore {
 
     /// Have all started workload threads exited?
     pub fn all_workloads_done(&self) -> bool {
-        self.started
-            .iter()
-            .zip(&self.exited)
-            .all(|(&s, &e)| !s || e)
+        self.started.iter().zip(&self.exited).all(|(&s, &e)| !s || e)
     }
 
     fn push_to_core(&mut self, core: usize, msg: InMsg) {
@@ -136,8 +132,27 @@ impl Uncore {
         } else {
             self.overflow[core].push_back(msg);
         }
+        // Wakeups are deferred to `flush_wakeups` so a burst of messages
+        // to one core costs a single unpark (state load + possible
+        // lock/notify) instead of one per message.
+        self.wake_pending[core] = true;
+    }
+
+    /// Unpark every core that received an InQ message since the last
+    /// flush. The engine calls this once per manager iteration, after all
+    /// processing and before it can sleep — a parked core's own
+    /// post-park re-check covers the window in between.
+    pub fn flush_wakeups(&mut self) {
         if let Some(b) = &self.board {
-            b.unpark(core);
+            for (core, w) in self.wake_pending.iter_mut().enumerate() {
+                if *w {
+                    *w = false;
+                    b.unpark(core);
+                }
+            }
+        } else {
+            // Sequential engine: no threads to wake.
+            self.wake_pending.iter_mut().for_each(|w| *w = false);
         }
     }
 
@@ -161,6 +176,22 @@ impl Uncore {
         match self.scheme.ordering() {
             EventOrdering::Eager => self.process_event(GlobalEvent { core, ev }),
             _ => self.ordered.push(Reverse(OrderedEv(GlobalEvent { core, ev }))),
+        }
+    }
+
+    /// Accept one ring's worth of OutQ events from `core` (the slice is a
+    /// FIFO drain, so arrival order is preserved). Equivalent to calling
+    /// [`Uncore::ingest`] per event; ordered schemes bulk-extend the GQ.
+    pub fn ingest_batch(&mut self, core: usize, evs: &[OutEvent]) {
+        match self.scheme.ordering() {
+            EventOrdering::Eager => {
+                for &ev in evs {
+                    self.process_event(GlobalEvent { core, ev });
+                }
+            }
+            _ => self
+                .ordered
+                .extend(evs.iter().map(|&ev| Reverse(OrderedEv(GlobalEvent { core, ev })))),
         }
     }
 
@@ -203,16 +234,12 @@ impl Uncore {
                 // Re-tune the quantum by coherence traffic in the last one:
                 // sharing-heavy phases need fine-grain sync; idle phases
                 // can run long quanta.
-                let traffic =
-                    self.dir.stats.invalidations_out + self.dir.stats.downgrades_out;
+                let traffic = self.dir.stats.invalidations_out + self.dir.stats.downgrades_out;
                 // saturating: an ROI begin may have reset the counters.
                 let delta = traffic.saturating_sub(a.traffic_mark);
                 a.traffic_mark = traffic;
-                a.quantum = if delta > 0 {
-                    (a.quantum / 2).max(a.min)
-                } else {
-                    (a.quantum * 2).min(a.max)
-                };
+                a.quantum =
+                    if delta > 0 { (a.quantum / 2).max(a.min) } else { (a.quantum * 2).min(a.max) };
                 a.next_boundary = g.saturating_add(a.quantum);
                 self.adaptive = Some(a);
             }
@@ -286,7 +313,10 @@ impl Uncore {
                         },
                     );
                 }
-                self.push_to_core(core, InMsg { ts: out.done_ts, kind: InKind::IMemReply { block } });
+                self.push_to_core(
+                    core,
+                    InMsg { ts: out.done_ts, kind: InKind::IMemReply { block } },
+                );
             }
             OutKind::Sync(SyncOp::Spawn { entry, arg }) => {
                 let target = self.started.iter().position(|&s| !s);
@@ -355,6 +385,7 @@ impl Uncore {
             self.push_to_core(core, InMsg { ts: 0, kind: InKind::Stop });
         }
         self.flush_overflow();
+        self.flush_wakeups();
     }
 
     /// Events still waiting in the GQ (diagnostics).

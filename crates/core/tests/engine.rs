@@ -171,11 +171,9 @@ fn conservative_schemes_match_cc_exec_time() {
     let cfg = small_cfg(n, CoreModel::InOrder);
     let base = run_sequential(&p, &cfg);
     let crit = cfg.critical_latency();
-    for scheme in [
-        Scheme::Quantum(crit),
-        Scheme::Lookahead(crit),
-        Scheme::OldestFirstBounded(crit - 1),
-    ] {
+    for scheme in
+        [Scheme::Quantum(crit), Scheme::Lookahead(crit), Scheme::OldestFirstBounded(crit - 1)]
+    {
         let r = run_parallel(&p, scheme, &cfg);
         assert_eq!(r.printed(), base.printed(), "{scheme}");
         // Event processing granularity differs, so allow sub-percent skew,
@@ -242,11 +240,7 @@ fn observed_slack_respects_bound() {
     // (the spawning core suspends for critical-latency cycles), so the
     // sampled diagnostic can briefly read up to 1 + critical latency.
     let cc = run_parallel(&p, Scheme::CycleByCycle, &cfg);
-    assert!(
-        cc.engine.max_observed_slack <= 1 + crit,
-        "CC slack {}",
-        cc.engine.max_observed_slack
-    );
+    assert!(cc.engine.max_observed_slack <= 1 + crit, "CC slack {}", cc.engine.max_observed_slack);
 }
 
 #[test]
@@ -410,6 +404,43 @@ fn sharded_memory_managers_are_cycle_exact_for_conservative_schemes() {
             }
         }
     }
+}
+
+#[test]
+fn batched_transport_is_deterministic_under_tiny_rings() {
+    // Regression test for the batched SPSC transport: with an absurdly
+    // small ring capacity every queue wraps constantly and push_batch /
+    // drain_into hit their partial-transfer paths, yet CC and S* must
+    // stay bit-identical run to run — same event counts, same violation
+    // counts, same per-core cycles.
+    let n = 4;
+    let p = counter_workload(n, 6);
+    let mut cfg = small_cfg(n, CoreModel::InOrder);
+    cfg.queue_capacity = 4; // stress wraparound + backpressure
+    cfg.track_workload_violations = true;
+    for scheme in [Scheme::CycleByCycle, Scheme::OldestFirstBounded(9)] {
+        let a = run_parallel(&p, scheme, &cfg);
+        let b = run_parallel(&p, scheme, &cfg);
+        assert_eq!(a.printed(), b.printed(), "{scheme} output");
+        assert_eq!(a.exec_cycles, b.exec_cycles, "{scheme} exec time");
+        assert_eq!(
+            a.engine.events_processed, b.engine.events_processed,
+            "{scheme} manager event count"
+        );
+        assert_eq!(a.violations, b.violations, "{scheme} violation counts");
+        for c in 0..n {
+            assert_eq!(a.cores[c].committed, b.cores[c].committed, "{scheme} core {c} committed");
+            assert_eq!(a.cores[c].cycles, b.cores[c].cycles, "{scheme} core {c} cycles");
+        }
+        assert_eq!(a.dir, b.dir, "{scheme} directory counters");
+    }
+    // And the tiny-ring run must agree with the default-capacity run:
+    // transport batching is not allowed to change simulated time.
+    let tiny = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    cfg.queue_capacity = 4096;
+    let wide = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    assert_eq!(tiny.exec_cycles, wide.exec_cycles, "capacity changed simulated time");
+    assert_eq!(tiny.printed(), wide.printed());
 }
 
 #[test]

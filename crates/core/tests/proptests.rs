@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use sk_core::clock::{ClockBoard, CoreState};
+use sk_core::spsc;
 use sk_core::violation::ConflictTracker;
 use sk_core::Scheme;
 
@@ -138,5 +139,126 @@ proptest! {
             prop_assert!(r.effective_ts >= ts);
             prop_assert_eq!(r.stall, r.effective_ts - ts);
         }
+    }
+
+    /// Single-threaded FIFO conformance of the batched SPSC API: an
+    /// arbitrary interleaving of `try_push`/`push_batch` against
+    /// `pop`/`drain_into` on a small (wraparound-heavy) ring loses,
+    /// duplicates and reorders nothing, and every partial push is exactly
+    /// the free-space prefix.
+    #[test]
+    fn spsc_batched_fifo_conformance(
+        capacity in 1usize..9,
+        ops in proptest::collection::vec((0u8..4, 1usize..7), 1..120)
+    ) {
+        let (mut p, mut c) = spsc::channel::<u64>(capacity);
+        let mut next = 0u64; // next value to push
+        let mut expect = 0u64; // next value the consumer must see
+        let mut out = Vec::new();
+        for (op, amount) in ops {
+            let in_flight = (next - expect) as usize;
+            match op {
+                0 => {
+                    let pushed = p.try_push(next).is_ok();
+                    prop_assert_eq!(pushed, in_flight < capacity,
+                        "try_push must succeed iff the ring has room");
+                    if pushed { next += 1; }
+                }
+                1 => {
+                    let batch: Vec<u64> = (next..next + amount as u64).collect();
+                    let n = p.push_batch(&batch);
+                    prop_assert_eq!(n, amount.min(capacity - in_flight),
+                        "push_batch must take exactly the free prefix");
+                    next += n as u64;
+                }
+                2 => {
+                    let v = c.pop();
+                    prop_assert_eq!(v, (in_flight > 0).then_some(expect));
+                    if v.is_some() { expect += 1; }
+                }
+                _ => {
+                    out.clear();
+                    let n = c.drain_into(&mut out, amount);
+                    prop_assert_eq!(n, amount.min(in_flight),
+                        "drain_into must take min(max, available)");
+                    for &v in &out {
+                        prop_assert_eq!(v, expect, "FIFO order violated");
+                        expect += 1;
+                    }
+                }
+            }
+        }
+        // Drain the remainder: nothing lost.
+        out.clear();
+        c.drain_into(&mut out, usize::MAX);
+        for &v in &out {
+            prop_assert_eq!(v, expect);
+            expect += 1;
+        }
+        prop_assert_eq!(expect, next, "items lost in the ring");
+    }
+
+    /// Cross-thread stream integrity: a producer thread mixing batch and
+    /// single pushes, a consumer mixing pops and bounded drains — the
+    /// consumer sees exactly 0..n in order, for rings small enough to
+    /// wrap thousands of times.
+    #[test]
+    fn spsc_batched_cross_thread(
+        capacity in 1usize..17,
+        total in 1u64..3000,
+        chunk in 1usize..9,
+        drain_max in 1usize..9
+    ) {
+        let (mut p, mut c) = spsc::channel::<u64>(capacity);
+        let producer = std::thread::spawn(move || {
+            let mut nextv = 0u64;
+            while nextv < total {
+                let hi = (nextv + chunk as u64).min(total);
+                let batch: Vec<u64> = (nextv..hi).collect();
+                // Alternate transport flavours by chunk parity.
+                if (nextv / chunk as u64).is_multiple_of(2) {
+                    let mut sent = 0;
+                    while sent < batch.len() {
+                        let k = p.push_batch(&batch[sent..]);
+                        if k == 0 { std::thread::yield_now(); }
+                        sent += k;
+                    }
+                } else {
+                    for &v in &batch {
+                        let mut item = v;
+                        while let Err(back) = p.try_push(item) {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                nextv = hi;
+            }
+        });
+        let mut expect = 0u64;
+        let mut out = Vec::new();
+        let mut use_pop = false;
+        while expect < total {
+            if use_pop {
+                if let Some(v) = c.pop() {
+                    prop_assert_eq!(v, expect);
+                    expect += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            } else {
+                out.clear();
+                if c.drain_into(&mut out, drain_max) == 0 {
+                    std::thread::yield_now();
+                }
+                for &v in &out {
+                    prop_assert_eq!(v, expect, "cross-thread FIFO violated");
+                    expect += 1;
+                }
+            }
+            use_pop = !use_pop;
+        }
+        producer.join().unwrap();
+        prop_assert!(c.is_empty());
     }
 }

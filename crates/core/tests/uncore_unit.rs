@@ -71,10 +71,7 @@ fn eager_scheme_processes_immediately() {
     // no process_ready call needed
     let msgs = drain(&mut rings[0]);
     assert_eq!(msgs.len(), 1);
-    assert!(matches!(
-        msgs[0].kind,
-        InKind::DMemReply { block: 4, granted: LineState::Modified }
-    ));
+    assert!(matches!(msgs[0].kind, InKind::DMemReply { block: 4, granted: LineState::Modified }));
 }
 
 #[test]
@@ -108,10 +105,8 @@ fn spawn_places_threads_and_reports_exhaustion() {
     assert_eq!(replies, vec![1, 2, -1]);
     // Start messages landed on cores 1 and 2 with the right args.
     for (c, ring) in rings.iter_mut().enumerate().skip(1) {
-        let starts: Vec<_> = drain(ring)
-            .into_iter()
-            .filter(|m| matches!(m.kind, InKind::Start { .. }))
-            .collect();
+        let starts: Vec<_> =
+            drain(ring).into_iter().filter(|m| matches!(m.kind, InKind::Start { .. })).collect();
         assert_eq!(starts.len(), 1, "core {c}");
         if let InKind::Start { entry, arg, tid } = starts[0].kind {
             assert_eq!(entry, 0x1000);

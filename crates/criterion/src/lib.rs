@@ -137,10 +137,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            sample_size: 20,
-            smoke_test: std::env::args().any(|a| a == "--test"),
-        }
+        Criterion { sample_size: 20, smoke_test: std::env::args().any(|a| a == "--test") }
     }
 }
 
@@ -166,7 +163,12 @@ impl Criterion {
         self
     }
 
-    fn run_one(&mut self, id: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
         let mut samples = Vec::with_capacity(self.sample_size);
         let mut b = Bencher {
             samples: &mut samples,

@@ -27,11 +27,7 @@ pub fn schedule(costs: &[Vec<u32>], scheme: Scheme) -> Vec<Vec<(u32, u32)>> {
         // Monotone search from c-1 downwards is overkill: compute the
         // required minimum completed cycle over all threads.
         let need = required_global(scheme, c as u64) as usize;
-        let gate = if need == 0 {
-            0
-        } else {
-            (0..n).map(|j| finish[j][need]).max().unwrap()
-        };
+        let gate = if need == 0 { 0 } else { (0..n).map(|j| finish[j][need]).max().unwrap() };
         for i in 0..n {
             let start = finish[i][c - 1].max(gate);
             let end = start + costs[i][c - 1];
@@ -60,11 +56,7 @@ fn required_global(scheme: Scheme, c: u64) -> u64 {
 pub fn render(costs: &[Vec<u32>], scheme: Scheme) -> String {
     let sched = schedule(costs, scheme);
     let n = sched.len();
-    let total = sched
-        .iter()
-        .flat_map(|r| r.iter().map(|&(_, e)| e))
-        .max()
-        .unwrap_or(0) as usize;
+    let total = sched.iter().flat_map(|r| r.iter().map(|&(_, e)| e)).max().unwrap_or(0) as usize;
     let mut out = String::new();
     out.push_str(&format!("{} (host time -->, total {total})\n", scheme.short_name()));
     for i in (0..n).rev() {
@@ -82,11 +74,7 @@ pub fn render(costs: &[Vec<u32>], scheme: Scheme) -> String {
 
 /// Total host time of the schedule (the makespan).
 pub fn makespan(costs: &[Vec<u32>], scheme: Scheme) -> u32 {
-    schedule(costs, scheme)
-        .iter()
-        .flat_map(|r| r.iter().map(|&(_, e)| e))
-        .max()
-        .unwrap_or(0)
+    schedule(costs, scheme).iter().flat_map(|r| r.iter().map(|&(_, e)| e)).max().unwrap_or(0)
 }
 
 /// The paper's pedagogical example: four threads with uneven per-cycle
@@ -100,10 +88,7 @@ pub fn paper_example(cycles: usize) -> Vec<Vec<u32>> {
         [3, 3, 3, 8, 5, 3], // P3: slow late
         [2, 2, 2, 2, 2, 2], // P4
     ];
-    pattern
-        .iter()
-        .map(|row| (0..cycles).map(|c| row[c % 6]).collect())
-        .collect()
+    pattern.iter().map(|row| (0..cycles).map(|c| row[c % 6]).collect()).collect()
 }
 
 #[cfg(test)]
@@ -152,8 +137,7 @@ mod tests {
         assert!(s2 >= su, "S2 {s2} >= SU {su}");
         assert!(cc > su, "CC {cc} > SU {su}");
         // SU = the heaviest thread running freely.
-        let heaviest: u32 =
-            paper_example(6).iter().map(|r| r.iter().sum()).max().unwrap();
+        let heaviest: u32 = paper_example(6).iter().map(|r| r.iter().sum()).max().unwrap();
         assert_eq!(su, heaviest);
     }
 

@@ -200,7 +200,8 @@ impl VirtualHost {
         // Cache-thrash work inflation (see CostModel::thrash).
         let threads = (n + 1) as f64;
         let over = (threads / self.h as f64 - 1.0).max(0.0);
-        let work_mult = if threads > 1.0 { 1.0 + self.cost.thrash * over / (threads - 1.0) } else { 1.0 };
+        let work_mult =
+            if threads > 1.0 { 1.0 + self.cost.thrash * over / (threads - 1.0) } else { 1.0 };
 
         macro_rules! dispatch {
             () => {
@@ -344,13 +345,7 @@ mod tests {
 
     /// Jittered traces: deterministic per-cycle imbalance across cores.
     fn jittered(n: usize, cycles: usize) -> Vec<Vec<u16>> {
-        (0..n)
-            .map(|i| {
-                (0..cycles)
-                    .map(|c| 6 + ((c * 7 + i * 13) % 11) as u16)
-                    .collect()
-            })
-            .collect()
+        (0..n).map(|i| (0..cycles).map(|c| 6 + ((c * 7 + i * 13) % 11) as u16).collect()).collect()
     }
 
     #[test]
@@ -408,8 +403,7 @@ mod tests {
     fn baseline_equals_h1_cc() {
         let traces = uniform(4, 100, 10);
         let a = VirtualHost::baseline(&traces, CostModel::default());
-        let b = VirtualHost { h: 1, cost: CostModel::default() }
-            .run(&traces, Scheme::CycleByCycle);
+        let b = VirtualHost { h: 1, cost: CostModel::default() }.run(&traces, Scheme::CycleByCycle);
         assert_eq!(a, b);
     }
 
@@ -469,10 +463,8 @@ mod tests {
         let traces = jittered(8, 400);
         let tight = CostModel { reply_horizon: 4, ..CostModel::default() };
         let loose = CostModel { reply_horizon: 4096, ..CostModel::default() };
-        let t_tight =
-            VirtualHost { h: 8, cost: tight }.run(&traces, Scheme::Unbounded).host_time;
-        let t_loose =
-            VirtualHost { h: 8, cost: loose }.run(&traces, Scheme::Unbounded).host_time;
+        let t_tight = VirtualHost { h: 8, cost: tight }.run(&traces, Scheme::Unbounded).host_time;
+        let t_loose = VirtualHost { h: 8, cost: loose }.run(&traces, Scheme::Unbounded).host_time;
         assert!(t_tight >= t_loose, "tight {t_tight} vs loose {t_loose}");
     }
 

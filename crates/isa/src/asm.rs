@@ -80,17 +80,13 @@ struct Ctx<'a> {
 
 impl Ctx<'_> {
     fn reg(&self, t: &str) -> Result<Reg, AsmError> {
-        Reg::parse(t).ok_or_else(|| AsmError {
-            line: self.line,
-            msg: format!("bad integer register '{t}'"),
-        })
+        Reg::parse(t)
+            .ok_or_else(|| AsmError { line: self.line, msg: format!("bad integer register '{t}'") })
     }
 
     fn freg(&self, t: &str) -> Result<FReg, AsmError> {
-        FReg::parse(t).ok_or_else(|| AsmError {
-            line: self.line,
-            msg: format!("bad fp register '{t}'"),
-        })
+        FReg::parse(t)
+            .ok_or_else(|| AsmError { line: self.line, msg: format!("bad fp register '{t}'") })
     }
 
     fn imm(&self, t: &str) -> Result<i32, AsmError> {
@@ -113,8 +109,10 @@ impl Ctx<'_> {
             }
             None => return err(self.line, format!("unknown label '{t}'")),
         };
-        i32::try_from(addr)
-            .map_err(|_| AsmError { line: self.line, msg: format!("address of '{t}' overflows li") })
+        i32::try_from(addr).map_err(|_| AsmError {
+            line: self.line,
+            msg: format!("address of '{t}' overflows li"),
+        })
     }
 
     /// A branch target: either a numeric offset or a text label.
@@ -138,9 +136,10 @@ impl Ctx<'_> {
 
     /// A `imm(base)` memory operand.
     fn mem(&self, t: &str) -> Result<(i32, Reg), AsmError> {
-        let open = t
-            .find('(')
-            .ok_or_else(|| AsmError { line: self.line, msg: format!("bad memory operand '{t}'") })?;
+        let open = t.find('(').ok_or_else(|| AsmError {
+            line: self.line,
+            msg: format!("bad memory operand '{t}'"),
+        })?;
         if !t.ends_with(')') {
             return err(self.line, format!("bad memory operand '{t}'"));
         }
@@ -502,10 +501,7 @@ mod tests {
 
     #[test]
     fn forward_references_work() {
-        let p = assemble(
-            "main:\n  beq zero, zero, done\n  nop\ndone:\n  syscall 0\n",
-        )
-        .unwrap();
+        let p = assemble("main:\n  beq zero, zero, done\n  nop\ndone:\n  syscall 0\n").unwrap();
         assert_eq!(p.text[0], Instr::Beq { rs1: Reg::ZERO, rs2: Reg::ZERO, off: 1 });
     }
 
@@ -564,10 +560,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.text[0], Instr::Li { rd: Reg::tmp(0), imm: DATA_BASE as i32 });
-        assert_eq!(
-            p.text[2],
-            Instr::Li { rd: Reg::tmp(1), imm: Program::text_addr(4) as i32 }
-        );
+        assert_eq!(p.text[2], Instr::Li { rd: Reg::tmp(1), imm: Program::text_addr(4) as i32 });
         let e = assemble("  li t0, nowhere\n").unwrap_err();
         assert!(e.msg.contains("nowhere"));
     }

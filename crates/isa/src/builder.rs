@@ -350,8 +350,7 @@ impl ProgramBuilder {
     // ---- linking ----
 
     fn resolve(&self, label: Label) -> Result<usize, String> {
-        self.labels[label.0]
-            .ok_or_else(|| format!("unbound label {:?}", self.label_names[label.0]))
+        self.labels[label.0].ok_or_else(|| format!("unbound label {:?}", self.label_names[label.0]))
     }
 
     /// Resolve all fixups and produce a validated [`Program`].

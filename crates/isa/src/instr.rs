@@ -50,93 +50,292 @@ pub enum FuClass {
 #[allow(missing_docs)] // operand fields follow a uniform rd/rs1/rs2/imm naming
 pub enum Instr {
     // ---- integer register-register ----
-    Add { rd: Reg, rs1: Reg, rs2: Reg },
-    Sub { rd: Reg, rs1: Reg, rs2: Reg },
-    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    Add {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sub {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mul {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Signed divide. Division by zero writes all-ones, as in RISC-V.
-    Div { rd: Reg, rs1: Reg, rs2: Reg },
+    Div {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Signed remainder. Remainder by zero writes the dividend.
-    Rem { rd: Reg, rs1: Reg, rs2: Reg },
-    And { rd: Reg, rs1: Reg, rs2: Reg },
-    Or { rd: Reg, rs1: Reg, rs2: Reg },
-    Xor { rd: Reg, rs1: Reg, rs2: Reg },
-    Sll { rd: Reg, rs1: Reg, rs2: Reg },
-    Srl { rd: Reg, rs1: Reg, rs2: Reg },
-    Sra { rd: Reg, rs1: Reg, rs2: Reg },
+    Rem {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    And {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sll {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Srl {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sra {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Set-less-than, signed.
-    Slt { rd: Reg, rs1: Reg, rs2: Reg },
+    Slt {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Set-less-than, unsigned.
-    Sltu { rd: Reg, rs1: Reg, rs2: Reg },
+    Sltu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
 
     // ---- integer register-immediate ----
-    Addi { rd: Reg, rs1: Reg, imm: i32 },
-    Andi { rd: Reg, rs1: Reg, imm: i32 },
-    Ori { rd: Reg, rs1: Reg, imm: i32 },
-    Xori { rd: Reg, rs1: Reg, imm: i32 },
-    Slli { rd: Reg, rs1: Reg, imm: i32 },
-    Srli { rd: Reg, rs1: Reg, imm: i32 },
-    Srai { rd: Reg, rs1: Reg, imm: i32 },
-    Slti { rd: Reg, rs1: Reg, imm: i32 },
+    Addi {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Andi {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Ori {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Xori {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Slli {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Srli {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Srai {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Slti {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Load a sign-extended 32-bit immediate into `rd`.
-    Li { rd: Reg, imm: i32 },
+    Li {
+        rd: Reg,
+        imm: i32,
+    },
     /// `rd = rs1 + (imm << 32)`: pairs with [`Instr::Li`] to build 64-bit
     /// constants in two instructions.
-    Addih { rd: Reg, rs1: Reg, imm: i32 },
+    Addih {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
 
     // ---- memory ----
     /// Load word: `rd = mem[rs1 + imm]`.
-    Ld { rd: Reg, rs1: Reg, imm: i32 },
+    Ld {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Store word: `mem[rs1 + imm] = rs2`.
-    St { rs2: Reg, rs1: Reg, imm: i32 },
+    St {
+        rs2: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Load FP word: `fd = mem[rs1 + imm]` (bit pattern).
-    Fld { fd: FReg, rs1: Reg, imm: i32 },
+    Fld {
+        fd: FReg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Store FP word: `mem[rs1 + imm] = fs` (bit pattern).
-    Fst { fs: FReg, rs1: Reg, imm: i32 },
+    Fst {
+        fs: FReg,
+        rs1: Reg,
+        imm: i32,
+    },
 
     // ---- control flow ----
-    Beq { rs1: Reg, rs2: Reg, off: i32 },
-    Bne { rs1: Reg, rs2: Reg, off: i32 },
-    Blt { rs1: Reg, rs2: Reg, off: i32 },
-    Bge { rs1: Reg, rs2: Reg, off: i32 },
-    Bltu { rs1: Reg, rs2: Reg, off: i32 },
-    Bgeu { rs1: Reg, rs2: Reg, off: i32 },
+    Beq {
+        rs1: Reg,
+        rs2: Reg,
+        off: i32,
+    },
+    Bne {
+        rs1: Reg,
+        rs2: Reg,
+        off: i32,
+    },
+    Blt {
+        rs1: Reg,
+        rs2: Reg,
+        off: i32,
+    },
+    Bge {
+        rs1: Reg,
+        rs2: Reg,
+        off: i32,
+    },
+    Bltu {
+        rs1: Reg,
+        rs2: Reg,
+        off: i32,
+    },
+    Bgeu {
+        rs1: Reg,
+        rs2: Reg,
+        off: i32,
+    },
     /// Unconditional PC-relative jump.
-    J { off: i32 },
+    J {
+        off: i32,
+    },
     /// Jump-and-link: `rd = pc + 8`, then jump PC-relative.
-    Jal { rd: Reg, off: i32 },
+    Jal {
+        rd: Reg,
+        off: i32,
+    },
     /// Indirect jump-and-link: `rd = pc + 8; pc = rs1 + imm`.
-    Jalr { rd: Reg, rs1: Reg, imm: i32 },
+    Jalr {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
 
     // ---- floating point ----
-    Fadd { fd: FReg, fs1: FReg, fs2: FReg },
-    Fsub { fd: FReg, fs1: FReg, fs2: FReg },
-    Fmul { fd: FReg, fs1: FReg, fs2: FReg },
-    Fdiv { fd: FReg, fs1: FReg, fs2: FReg },
-    Fmin { fd: FReg, fs1: FReg, fs2: FReg },
-    Fmax { fd: FReg, fs1: FReg, fs2: FReg },
-    Fsqrt { fd: FReg, fs1: FReg },
-    Fneg { fd: FReg, fs1: FReg },
-    Fabs { fd: FReg, fs1: FReg },
+    Fadd {
+        fd: FReg,
+        fs1: FReg,
+        fs2: FReg,
+    },
+    Fsub {
+        fd: FReg,
+        fs1: FReg,
+        fs2: FReg,
+    },
+    Fmul {
+        fd: FReg,
+        fs1: FReg,
+        fs2: FReg,
+    },
+    Fdiv {
+        fd: FReg,
+        fs1: FReg,
+        fs2: FReg,
+    },
+    Fmin {
+        fd: FReg,
+        fs1: FReg,
+        fs2: FReg,
+    },
+    Fmax {
+        fd: FReg,
+        fs1: FReg,
+        fs2: FReg,
+    },
+    Fsqrt {
+        fd: FReg,
+        fs1: FReg,
+    },
+    Fneg {
+        fd: FReg,
+        fs1: FReg,
+    },
+    Fabs {
+        fd: FReg,
+        fs1: FReg,
+    },
     /// `rd = (fs1 == fs2) ? 1 : 0` (IEEE quiet compare).
-    Feq { rd: Reg, fs1: FReg, fs2: FReg },
+    Feq {
+        rd: Reg,
+        fs1: FReg,
+        fs2: FReg,
+    },
     /// `rd = (fs1 < fs2) ? 1 : 0`.
-    Flt { rd: Reg, fs1: FReg, fs2: FReg },
+    Flt {
+        rd: Reg,
+        fs1: FReg,
+        fs2: FReg,
+    },
     /// `rd = (fs1 <= fs2) ? 1 : 0`.
-    Fle { rd: Reg, fs1: FReg, fs2: FReg },
+    Fle {
+        rd: Reg,
+        fs1: FReg,
+        fs2: FReg,
+    },
     /// Convert signed integer to f64: `fd = rs1 as f64`.
-    Fcvtlf { fd: FReg, rs1: Reg },
+    Fcvtlf {
+        fd: FReg,
+        rs1: Reg,
+    },
     /// Convert f64 to signed integer (truncating): `rd = fs1 as i64`.
-    Fcvtfl { rd: Reg, fs1: FReg },
+    Fcvtfl {
+        rd: Reg,
+        fs1: FReg,
+    },
     /// Move raw bits FP → integer.
-    Fmvxf { rd: Reg, fs1: FReg },
+    Fmvxf {
+        rd: Reg,
+        fs1: FReg,
+    },
     /// Move raw bits integer → FP.
-    Fmvfx { fd: FReg, rs1: Reg },
+    Fmvfx {
+        fd: FReg,
+        rs1: Reg,
+    },
 
     // ---- system ----
     /// Environment call. `code` selects the service (see the
     /// [`syscall`](crate::syscall) module);
     /// operands are passed in `a0..a7` by convention.
-    Syscall { code: u16 },
+    Syscall {
+        code: u16,
+    },
     Nop,
 }
 
@@ -145,10 +344,26 @@ impl Instr {
     pub fn fu_class(&self) -> FuClass {
         use Instr::*;
         match self {
-            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Sll { .. }
-            | Srl { .. } | Sra { .. } | Slt { .. } | Sltu { .. } | Addi { .. } | Andi { .. }
-            | Ori { .. } | Xori { .. } | Slli { .. } | Srli { .. } | Srai { .. }
-            | Slti { .. } | Li { .. } | Addih { .. } => FuClass::IntAlu,
+            Add { .. }
+            | Sub { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Sll { .. }
+            | Srl { .. }
+            | Sra { .. }
+            | Slt { .. }
+            | Sltu { .. }
+            | Addi { .. }
+            | Andi { .. }
+            | Ori { .. }
+            | Xori { .. }
+            | Slli { .. }
+            | Srli { .. }
+            | Srai { .. }
+            | Slti { .. }
+            | Li { .. }
+            | Addih { .. } => FuClass::IntAlu,
             Mul { .. } => FuClass::IntMul,
             Div { .. } | Rem { .. } => FuClass::IntDiv,
             Ld { .. } | Fld { .. } => FuClass::Load,
@@ -157,9 +372,19 @@ impl Instr {
                 FuClass::Branch
             }
             J { .. } | Jal { .. } | Jalr { .. } => FuClass::Jump,
-            Fadd { .. } | Fsub { .. } | Fmin { .. } | Fmax { .. } | Fneg { .. }
-            | Fabs { .. } | Feq { .. } | Flt { .. } | Fle { .. } | Fcvtlf { .. }
-            | Fcvtfl { .. } | Fmvxf { .. } | Fmvfx { .. } => FuClass::FpAdd,
+            Fadd { .. }
+            | Fsub { .. }
+            | Fmin { .. }
+            | Fmax { .. }
+            | Fneg { .. }
+            | Fabs { .. }
+            | Feq { .. }
+            | Flt { .. }
+            | Fle { .. }
+            | Fcvtlf { .. }
+            | Fcvtfl { .. }
+            | Fmvxf { .. }
+            | Fmvfx { .. } => FuClass::FpAdd,
             Fmul { .. } => FuClass::FpMul,
             Fdiv { .. } => FuClass::FpDiv,
             Fsqrt { .. } => FuClass::FpSqrt,
@@ -173,14 +398,37 @@ impl Instr {
     pub fn int_dst(&self) -> Option<Reg> {
         use Instr::*;
         match *self {
-            Add { rd, .. } | Sub { rd, .. } | Mul { rd, .. } | Div { rd, .. }
-            | Rem { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. }
-            | Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. } | Slt { rd, .. }
-            | Sltu { rd, .. } | Addi { rd, .. } | Andi { rd, .. } | Ori { rd, .. }
-            | Xori { rd, .. } | Slli { rd, .. } | Srli { rd, .. } | Srai { rd, .. }
-            | Slti { rd, .. } | Li { rd, .. } | Addih { rd, .. } | Ld { rd, .. }
-            | Jal { rd, .. } | Jalr { rd, .. } | Feq { rd, .. } | Flt { rd, .. }
-            | Fle { rd, .. } | Fcvtfl { rd, .. } | Fmvxf { rd, .. } => Some(rd),
+            Add { rd, .. }
+            | Sub { rd, .. }
+            | Mul { rd, .. }
+            | Div { rd, .. }
+            | Rem { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Addi { rd, .. }
+            | Andi { rd, .. }
+            | Ori { rd, .. }
+            | Xori { rd, .. }
+            | Slli { rd, .. }
+            | Srli { rd, .. }
+            | Srai { rd, .. }
+            | Slti { rd, .. }
+            | Li { rd, .. }
+            | Addih { rd, .. }
+            | Ld { rd, .. }
+            | Jal { rd, .. }
+            | Jalr { rd, .. }
+            | Feq { rd, .. }
+            | Flt { rd, .. }
+            | Fle { rd, .. }
+            | Fcvtfl { rd, .. }
+            | Fmvxf { rd, .. } => Some(rd),
             _ => None,
         }
     }
@@ -189,11 +437,18 @@ impl Instr {
     pub fn fp_dst(&self) -> Option<FReg> {
         use Instr::*;
         match *self {
-            Fld { fd, .. } | Fadd { fd, .. } | Fsub { fd, .. } | Fmul { fd, .. }
-            | Fdiv { fd, .. } | Fmin { fd, .. } | Fmax { fd, .. } | Fsqrt { fd, .. }
-            | Fneg { fd, .. } | Fabs { fd, .. } | Fcvtlf { fd, .. } | Fmvfx { fd, .. } => {
-                Some(fd)
-            }
+            Fld { fd, .. }
+            | Fadd { fd, .. }
+            | Fsub { fd, .. }
+            | Fmul { fd, .. }
+            | Fdiv { fd, .. }
+            | Fmin { fd, .. }
+            | Fmax { fd, .. }
+            | Fsqrt { fd, .. }
+            | Fneg { fd, .. }
+            | Fabs { fd, .. }
+            | Fcvtlf { fd, .. }
+            | Fmvfx { fd, .. } => Some(fd),
             _ => None,
         }
     }
@@ -202,17 +457,41 @@ impl Instr {
     pub fn int_srcs(&self) -> [Option<Reg>; 2] {
         use Instr::*;
         match *self {
-            Add { rs1, rs2, .. } | Sub { rs1, rs2, .. } | Mul { rs1, rs2, .. }
-            | Div { rs1, rs2, .. } | Rem { rs1, rs2, .. } | And { rs1, rs2, .. }
-            | Or { rs1, rs2, .. } | Xor { rs1, rs2, .. } | Sll { rs1, rs2, .. }
-            | Srl { rs1, rs2, .. } | Sra { rs1, rs2, .. } | Slt { rs1, rs2, .. }
-            | Sltu { rs1, rs2, .. } | Beq { rs1, rs2, .. } | Bne { rs1, rs2, .. }
-            | Blt { rs1, rs2, .. } | Bge { rs1, rs2, .. } | Bltu { rs1, rs2, .. }
-            | Bgeu { rs1, rs2, .. } | St { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
-            Addi { rs1, .. } | Andi { rs1, .. } | Ori { rs1, .. } | Xori { rs1, .. }
-            | Slli { rs1, .. } | Srli { rs1, .. } | Srai { rs1, .. } | Slti { rs1, .. }
-            | Addih { rs1, .. } | Ld { rs1, .. } | Fld { rs1, .. } | Fst { rs1, .. }
-            | Jalr { rs1, .. } | Fcvtlf { rs1, .. } | Fmvfx { rs1, .. } => [Some(rs1), None],
+            Add { rs1, rs2, .. }
+            | Sub { rs1, rs2, .. }
+            | Mul { rs1, rs2, .. }
+            | Div { rs1, rs2, .. }
+            | Rem { rs1, rs2, .. }
+            | And { rs1, rs2, .. }
+            | Or { rs1, rs2, .. }
+            | Xor { rs1, rs2, .. }
+            | Sll { rs1, rs2, .. }
+            | Srl { rs1, rs2, .. }
+            | Sra { rs1, rs2, .. }
+            | Slt { rs1, rs2, .. }
+            | Sltu { rs1, rs2, .. }
+            | Beq { rs1, rs2, .. }
+            | Bne { rs1, rs2, .. }
+            | Blt { rs1, rs2, .. }
+            | Bge { rs1, rs2, .. }
+            | Bltu { rs1, rs2, .. }
+            | Bgeu { rs1, rs2, .. }
+            | St { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Addi { rs1, .. }
+            | Andi { rs1, .. }
+            | Ori { rs1, .. }
+            | Xori { rs1, .. }
+            | Slli { rs1, .. }
+            | Srli { rs1, .. }
+            | Srai { rs1, .. }
+            | Slti { rs1, .. }
+            | Addih { rs1, .. }
+            | Ld { rs1, .. }
+            | Fld { rs1, .. }
+            | Fst { rs1, .. }
+            | Jalr { rs1, .. }
+            | Fcvtlf { rs1, .. }
+            | Fmvfx { rs1, .. } => [Some(rs1), None],
             _ => [None, None],
         }
     }
@@ -221,12 +500,19 @@ impl Instr {
     pub fn fp_srcs(&self) -> [Option<FReg>; 2] {
         use Instr::*;
         match *self {
-            Fadd { fs1, fs2, .. } | Fsub { fs1, fs2, .. } | Fmul { fs1, fs2, .. }
-            | Fdiv { fs1, fs2, .. } | Fmin { fs1, fs2, .. } | Fmax { fs1, fs2, .. }
-            | Feq { fs1, fs2, .. } | Flt { fs1, fs2, .. } | Fle { fs1, fs2, .. } => {
-                [Some(fs1), Some(fs2)]
-            }
-            Fsqrt { fs1, .. } | Fneg { fs1, .. } | Fabs { fs1, .. } | Fcvtfl { fs1, .. }
+            Fadd { fs1, fs2, .. }
+            | Fsub { fs1, fs2, .. }
+            | Fmul { fs1, fs2, .. }
+            | Fdiv { fs1, fs2, .. }
+            | Fmin { fs1, fs2, .. }
+            | Fmax { fs1, fs2, .. }
+            | Feq { fs1, fs2, .. }
+            | Flt { fs1, fs2, .. }
+            | Fle { fs1, fs2, .. } => [Some(fs1), Some(fs2)],
+            Fsqrt { fs1, .. }
+            | Fneg { fs1, .. }
+            | Fabs { fs1, .. }
+            | Fcvtfl { fs1, .. }
             | Fmvxf { fs1, .. } => [Some(fs1), None],
             Fst { fs, .. } => [Some(fs), None],
             _ => [None, None],
@@ -263,8 +549,14 @@ impl Instr {
     pub fn rel_target(&self) -> Option<i32> {
         use Instr::*;
         match *self {
-            Beq { off, .. } | Bne { off, .. } | Blt { off, .. } | Bge { off, .. }
-            | Bltu { off, .. } | Bgeu { off, .. } | J { off } | Jal { off, .. } => Some(off),
+            Beq { off, .. }
+            | Bne { off, .. }
+            | Blt { off, .. }
+            | Bge { off, .. }
+            | Bltu { off, .. }
+            | Bgeu { off, .. }
+            | J { off }
+            | Jal { off, .. } => Some(off),
             _ => None,
         }
     }

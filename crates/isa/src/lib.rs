@@ -53,11 +53,7 @@ mod tests {
 
     #[test]
     fn public_reexports_are_usable() {
-        let i = Instr::Add {
-            rd: Reg::new(1),
-            rs1: Reg::new(2),
-            rs2: Reg::new(3),
-        };
+        let i = Instr::Add { rd: Reg::new(1), rs1: Reg::new(2), rs2: Reg::new(3) };
         assert_eq!(decode(encode(&i)).unwrap(), i);
     }
 }

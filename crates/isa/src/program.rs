@@ -80,16 +80,9 @@ impl Program {
     /// The full memory image: `(byte address, word)` pairs for the encoded
     /// text followed by the data segment.
     pub fn image(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        let text = self
-            .text
-            .iter()
-            .enumerate()
-            .map(|(i, ins)| (Self::text_addr(i), encode(ins)));
-        let data = self
-            .data
-            .iter()
-            .enumerate()
-            .map(|(i, w)| (DATA_BASE + (i as u64) * WORD_BYTES, *w));
+        let text = self.text.iter().enumerate().map(|(i, ins)| (Self::text_addr(i), encode(ins)));
+        let data =
+            self.data.iter().enumerate().map(|(i, w)| (DATA_BASE + (i as u64) * WORD_BYTES, *w));
         text.chain(data)
     }
 

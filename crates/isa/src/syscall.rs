@@ -10,7 +10,6 @@
 //! Calling convention: the code is the instruction immediate; arguments are
 //! read from `a0..a3` and a result, if any, is written to `a0`.
 
-
 /// Identifiers for the emulated services.
 ///
 /// The sync-object ids passed in `a0` index per-simulation tables of locks,
@@ -101,8 +100,23 @@ mod tests {
     fn codes_round_trip() {
         use Syscall::*;
         for s in [
-            Exit, PrintInt, PrintFloat, GetTid, GetNcores, Spawn, ReadCycle, InitLock, Lock,
-            Unlock, InitBarrier, Barrier, InitSema, SemaWait, SemaSignal, RoiBegin, RoiEnd,
+            Exit,
+            PrintInt,
+            PrintFloat,
+            GetTid,
+            GetNcores,
+            Spawn,
+            ReadCycle,
+            InitLock,
+            Lock,
+            Unlock,
+            InitBarrier,
+            Barrier,
+            InitSema,
+            SemaWait,
+            SemaSignal,
+            RoiBegin,
+            RoiEnd,
         ] {
             assert_eq!(Syscall::from_code(s.code()), Some(s));
         }

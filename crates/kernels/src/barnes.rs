@@ -13,7 +13,9 @@
 //!
 //! Thread 0 prints the reduced kinetic energy and a position checksum.
 
-use crate::common::{self, alloc_scale, barrier, checksum, lock, print_checksum, unlock, unless_tid0_skip};
+use crate::common::{
+    self, alloc_scale, barrier, checksum, lock, print_checksum, unless_tid0_skip, unlock,
+};
 use crate::Workload;
 use sk_isa::{FReg, ProgramBuilder, Reg, Syscall};
 
@@ -41,7 +43,10 @@ fn input(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
 /// Host reference: the exact operation order of the simulated kernel.
 /// Returns (px, py, pz, vx, vy, vz) after `steps` steps.
 #[allow(clippy::type_complexity)]
-pub fn reference(n: usize, steps: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+pub fn reference(
+    n: usize,
+    steps: usize,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
     let (mut px, mut py, mut pz, m) = {
         let (a, b, c, d) = input(n);
         (a, b, c, d)
@@ -171,7 +176,7 @@ pub fn barnes(n_threads: usize, n: usize, steps: usize) -> Workload {
     b.fld(f(2), t(1), 0); // yi
     b.add(t(1), s(5), t(0));
     b.fld(f(3), t(1), 0); // zi
-    // acc = 0
+                          // acc = 0
     b.emit(sk_isa::Instr::Fcvtlf { fd: f(4), rs1: Reg::ZERO });
     b.fmv(f(5), f(4));
     b.fmv(f(6), f(4));

@@ -123,7 +123,9 @@ mod tests {
         let spawns = p
             .text
             .iter()
-            .filter(|i| matches!(i, sk_isa::Instr::Syscall { code } if *code == Syscall::Spawn.code()))
+            .filter(
+                |i| matches!(i, sk_isa::Instr::Syscall { code } if *code == Syscall::Spawn.code()),
+            )
             .count();
         assert_eq!(spawns, 3);
     }

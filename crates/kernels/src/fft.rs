@@ -15,9 +15,7 @@ use sk_isa::{FReg, ProgramBuilder, Reg, Syscall};
 
 /// Deterministic input signal.
 fn input(n: usize) -> (Vec<f64>, Vec<f64>) {
-    let re = (0..n)
-        .map(|i| (0.37 * i as f64).sin() + 0.5 * (0.11 * i as f64).cos())
-        .collect();
+    let re = (0..n).map(|i| (0.37 * i as f64).sin() + 0.5 * (0.11 * i as f64).cos()).collect();
     let im = (0..n).map(|i| 0.25 * (0.23 * i as f64).sin()).collect();
     (re, im)
 }
@@ -216,8 +214,7 @@ mod tests {
         let (re, im) = reference(log2n);
         let out_energy: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum();
         let (re_in, im_in) = input(n);
-        let in_energy: f64 =
-            re_in.iter().zip(&im_in).map(|(r, i)| r * r + i * i).sum();
+        let in_energy: f64 = re_in.iter().zip(&im_in).map(|(r, i)| r * r + i * i).sum();
         let ratio = out_energy / (n as f64 * in_energy);
         assert!((ratio - 1.0).abs() < 1e-10, "Parseval ratio {ratio}");
     }

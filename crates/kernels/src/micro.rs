@@ -10,7 +10,7 @@
 //! * [`private_compute`] — embarrassingly parallel FP work with a single
 //!   final reduction: the best case for large slack.
 
-use crate::common::{self, barrier, lock, unlock, unless_tid0_skip};
+use crate::common::{self, barrier, lock, unless_tid0_skip, unlock};
 use crate::Workload;
 use sk_isa::{ProgramBuilder, Reg, Syscall};
 

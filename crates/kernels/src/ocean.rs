@@ -13,7 +13,9 @@
 //! converts it to a scaled integer, and adds it to a lock-protected
 //! global. Thread 0 prints the residual total and a grid checksum.
 
-use crate::common::{self, alloc_scale, barrier, checksum, lock, print_checksum, unlock, unless_tid0_skip};
+use crate::common::{
+    self, alloc_scale, barrier, checksum, lock, print_checksum, unless_tid0_skip, unlock,
+};
 use crate::Workload;
 use sk_isa::{FReg, ProgramBuilder, Reg, Syscall};
 
@@ -135,7 +137,7 @@ pub fn ocean(n_threads: usize, m: usize, sweeps: usize) -> Workload {
     b.slli(t(4), t(4), 3);
     b.add(t(3), s(6), t(4)); // dst row
     b.add(t(4), s(5), t(4)); // src row
-    // for j in 1..=m
+                             // for j in 1..=m
     b.li(t(6), 1);
     let j_done = b.new_label("j_done");
     let j_loop = b.here("j_loop");
@@ -145,7 +147,7 @@ pub fn ocean(n_threads: usize, m: usize, sweeps: usize) -> Workload {
     b.fld(f(2), t(1), 0); // old centre
     b.fld(f(3), t(1), -8); // left
     b.fld(f(4), t(1), 8); // right
-    // up/down: stride (m+2)*8
+                          // up/down: stride (m+2)*8
     b.addi(t(2), s(2), 2);
     b.slli(t(2), t(2), 3);
     b.emit(sk_isa::Instr::Sub { rd: t(0), rs1: t(1), rs2: t(2) });

@@ -227,12 +227,12 @@ pub fn radix(n_threads: usize, n: usize) -> Workload {
     b.andi(t(1), t(1), (RADIX - 1) as i32);
     b.slli(t(1), t(1), 3);
     b.add(t(1), s(6), t(1)); // &rank[tid][r]
-    b.ld(t(2), t(1), 0);     // slot index
+    b.ld(t(2), t(1), 0); // slot index
     b.addi(t(3), t(2), 1);
-    b.st(t(3), t(1), 0);     // rank++
+    b.st(t(3), t(1), 0); // rank++
     b.slli(t(2), t(2), 3);
     b.add(t(2), s(9), t(2));
-    b.st(t(0), t(2), 0);     // dst[slot] = key
+    b.st(t(0), t(2), 0); // dst[slot] = key
     b.addi(t(5), t(5), 1);
     b.j(sc);
     b.bind(sc_done);

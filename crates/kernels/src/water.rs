@@ -14,7 +14,9 @@
 //! Thread 0 prints the accumulated potential-energy integer and a
 //! position checksum at the end.
 
-use crate::common::{self, alloc_scale, barrier, checksum, lock, print_checksum, unlock, unless_tid0_skip};
+use crate::common::{
+    self, alloc_scale, barrier, checksum, lock, print_checksum, unless_tid0_skip, unlock,
+};
 use crate::Workload;
 use sk_isa::{FReg, ProgramBuilder, Reg, Syscall};
 
@@ -54,7 +56,11 @@ fn block(tid: usize, p: usize, n: usize) -> (usize, usize) {
 /// Returns (px, py, pz, q, pe_int_total) after `steps` steps with `p`
 /// threads (the PE reduction is per-thread integer-truncated, per step).
 #[allow(clippy::type_complexity)]
-pub fn reference(n: usize, steps: usize, p: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, i64) {
+pub fn reference(
+    n: usize,
+    steps: usize,
+    p: usize,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, i64) {
     let (mut px, mut py, mut pz, mut q) = input(n);
     let mut vx = vec![0.0f64; n];
     let mut vy = vec![0.0f64; n];
@@ -163,7 +169,7 @@ pub fn water(n_threads: usize, n: usize, steps: usize) -> Workload {
     b.addi(t(0), s(0), 1);
     b.mul(t(6), t(0), s(2));
     b.div(t(6), t(6), s(1)); // hi = (tid+1)*n/p
-    // constants
+                             // constants
     b.li(t(0), consts as i64);
     b.fld(f(20), t(0), 0); // dt
     b.fld(f(21), t(0), 8); // C1
@@ -171,7 +177,7 @@ pub fn water(n_threads: usize, n: usize, steps: usize) -> Workload {
     b.fld(f(23), t(0), 24); // C3
     b.fld(f(24), t(0), 32); // C4
     b.fld(f(25), t(0), 40); // KQ
-    // 1.0 for reciprocals
+                            // 1.0 for reciprocals
     b.li(t(0), 1);
     b.emit(sk_isa::Instr::Fcvtlf { fd: f(26), rs1: t(0) });
     // steps counter in f-space? no: use a saved slot — all s-regs taken.
@@ -222,7 +228,7 @@ pub fn water(n_threads: usize, n: usize, steps: usize) -> Workload {
     b.fmul(f(11), f(10), f(10));
     b.fmul(f(11), f(11), f(10)); // inv6
     b.fmul(f(12), f(11), f(11)); // inv12
-    // fs = (C1*inv12 - C2*inv6) * inv2
+                                 // fs = (C1*inv12 - C2*inv6) * inv2
     b.fmul(f(14), f(21), f(12));
     b.fmul(f(15), f(22), f(11));
     b.fsub(f(14), f(14), f(15));

@@ -13,7 +13,6 @@
 //! keeping the simulation state itself consistent — grants never overlap
 //! in *simulation* order, exactly as §3.2.1 argues.
 
-
 /// Occupancy statistics and distortion counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BusStats {
@@ -42,7 +41,13 @@ pub struct BusModel {
 impl BusModel {
     /// A bus that holds each request for `occupancy` cycles.
     pub fn new(occupancy: u64, track_violations: bool) -> Self {
-        BusModel { occupancy, busy_until: 0, last_req_ts: 0, track: track_violations, stats: BusStats::default() }
+        BusModel {
+            occupancy,
+            busy_until: 0,
+            last_req_ts: 0,
+            track: track_violations,
+            stats: BusStats::default(),
+        }
     }
 
     /// Request the bus at simulated time `ts`; returns the cycle at which

@@ -81,11 +81,7 @@ impl<S: Copy> Cache<S> {
         assert_eq!(cfg.block_bytes, BLOCK_BYTES, "block size must match the coherence unit");
         let num_sets = cfg.num_sets();
         let sets = (0..num_sets)
-            .map(|_| {
-                (0..cfg.assoc)
-                    .map(|_| Line { tag: 0, state: None, lru: 0 })
-                    .collect()
-            })
+            .map(|_| (0..cfg.assoc).map(|_| Line { tag: 0, state: None, lru: 0 }).collect())
             .collect();
         Cache { cfg, sets, set_mask: (num_sets - 1) as u64, tick: 0, stats: CacheStats::default() }
     }
@@ -127,10 +123,7 @@ impl<S: Copy> Cache<S> {
     pub fn peek(&self, block: BlockAddr) -> Option<S> {
         let set = self.set_of(block);
         let tag = self.tag_of(block);
-        self.sets[set]
-            .iter()
-            .find(|l| l.state.is_some() && l.tag == tag)
-            .and_then(|l| l.state)
+        self.sets[set].iter().find(|l| l.state.is_some() && l.tag == tag).and_then(|l| l.state)
     }
 
     /// Overwrite the state of a resident block; returns false if absent.
@@ -169,10 +162,7 @@ impl<S: Copy> Cache<S> {
             return None;
         }
         // Evict true-LRU.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| l.lru)
-            .expect("associativity >= 1");
+        let victim = set.iter_mut().min_by_key(|l| l.lru).expect("associativity >= 1");
         let old_block = victim.tag * nsets + set_idx as u64;
         let old_state = victim.state.take().expect("victim was valid");
         *victim = Line { tag, state: Some(state), lru: tick };

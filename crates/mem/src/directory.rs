@@ -181,10 +181,17 @@ impl Directory {
                     } else {
                         self.entries.insert(block, DirEntry::Shared { sharers: rest });
                     }
-                } else if self.entries.get(&block) == Some(&DirEntry::Exclusive { owner: core as u8 }) {
+                } else if self.entries.get(&block)
+                    == Some(&DirEntry::Exclusive { owner: core as u8 })
+                {
                     self.entries.remove(&block);
                 }
-                return DirOutcome { done_ts: ts, granted: None, invalidations: vec![], l2_hit: true };
+                return DirOutcome {
+                    done_ts: ts,
+                    granted: None,
+                    invalidations: vec![],
+                    l2_hit: true,
+                };
             }
             ReqKind::PutM => {
                 self.stats.puts += 1;
@@ -195,7 +202,12 @@ impl Directory {
                 // The writeback installs the block in the L2.
                 let bank = self.cfg.bank_of(block);
                 self.banks[bank].fill(block, ());
-                return DirOutcome { done_ts: ts, granted: None, invalidations: vec![], l2_hit: true };
+                return DirOutcome {
+                    done_ts: ts,
+                    granted: None,
+                    invalidations: vec![],
+                    l2_hit: true,
+                };
             }
             _ => {}
         }
@@ -252,10 +264,8 @@ impl Directory {
                             });
                             self.stats.downgrades_out += 1;
                             done += 2 * self.cfg.hop_lat;
-                            self.entries.insert(
-                                block,
-                                DirEntry::Shared { sharers: bit | (1u64 << owner) },
-                            );
+                            self.entries
+                                .insert(block, DirEntry::Shared { sharers: bit | (1u64 << owner) });
                             Some(LineState::Shared)
                         }
                     }

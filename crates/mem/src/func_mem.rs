@@ -40,7 +40,8 @@ fn new_page() -> Page {
     // AtomicU64 is not Copy; build via iterator into a boxed slice then
     // convert. Zero-initialised.
     let v: Vec<AtomicU64> = (0..PAGE_WORDS).map(|_| AtomicU64::new(0)).collect();
-    let boxed: Box<[AtomicU64; PAGE_WORDS]> = v.into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!());
+    let boxed: Box<[AtomicU64; PAGE_WORDS]> =
+        v.into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!());
     Arc::from(boxed)
 }
 
@@ -95,8 +96,7 @@ impl FuncMemory {
     #[inline]
     pub fn compare_exchange(&self, addr: u64, expect: u64, new: u64) -> Result<u64, u64> {
         let (pno, idx) = Self::split(addr);
-        self.page(pno)[idx]
-            .compare_exchange(expect, new, Ordering::Relaxed, Ordering::Relaxed)
+        self.page(pno)[idx].compare_exchange(expect, new, Ordering::Relaxed, Ordering::Relaxed)
     }
 
     /// Read an f64 stored by bit pattern.

@@ -42,9 +42,7 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
-        }
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)) }
     }
 
     /// Try to acquire the lock without blocking.
@@ -140,10 +138,8 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let inner = guard.inner.take().expect("guard invariant");
-        let (inner, res) = self
-            .inner
-            .wait_timeout(inner, timeout)
-            .unwrap_or_else(PoisonError::into_inner);
+        let (inner, res) =
+            self.inner.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(inner);
         WaitTimeoutResult { timed_out: res.timed_out() }
     }

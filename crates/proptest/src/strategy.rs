@@ -197,17 +197,14 @@ mod tests {
     #[test]
     fn map_and_oneof_compose() {
         let mut rng = TestRng::from_seed(2);
-        let s = crate::prop_oneof![
-            Just(0u32),
-            (1u32..10).prop_map(|v| v * 100),
-        ];
+        let s = crate::prop_oneof![Just(0u32), (1u32..10).prop_map(|v| v * 100),];
         let mut saw_zero = false;
         let mut saw_mapped = false;
         for _ in 0..200 {
             match s.generate(&mut rng) {
                 0 => saw_zero = true,
                 v => {
-                    assert!(v >= 100 && v < 1000 && v % 100 == 0);
+                    assert!((100..1000).contains(&v) && v % 100 == 0);
                     saw_mapped = true;
                 }
             }

@@ -74,8 +74,7 @@ fn main() {
         "parallel S9   : printed {:?}, {} cycles ({:+.3}% vs CC), {} window blocks",
         s9.printed(),
         s9.exec_cycles,
-        100.0 * (s9.exec_cycles as f64 - baseline.exec_cycles as f64)
-            / baseline.exec_cycles as f64,
+        100.0 * (s9.exec_cycles as f64 - baseline.exec_cycles as f64) / baseline.exec_cycles as f64,
         s9.engine.blocks,
     );
 

@@ -12,21 +12,15 @@ fn main() {
     let costs = paper_example(6);
     println!("Four threads (P1 slowest .. P4 fastest) simulate 6 target cycles.");
     println!("Each digit marks the simulated cycle a thread is working on:\n");
-    for scheme in [
-        Scheme::CycleByCycle,
-        Scheme::Quantum(3),
-        Scheme::BoundedSlack(2),
-        Scheme::Unbounded,
-    ] {
+    for scheme in
+        [Scheme::CycleByCycle, Scheme::Quantum(3), Scheme::BoundedSlack(2), Scheme::Unbounded]
+    {
         println!("{}", render(&costs, scheme));
     }
     println!("makespans (host time to finish all 6 cycles):");
-    for scheme in [
-        Scheme::CycleByCycle,
-        Scheme::Quantum(3),
-        Scheme::BoundedSlack(2),
-        Scheme::Unbounded,
-    ] {
+    for scheme in
+        [Scheme::CycleByCycle, Scheme::Quantum(3), Scheme::BoundedSlack(2), Scheme::Unbounded]
+    {
         println!("  {:<4} {:>4}", scheme.short_name(), makespan(&costs, scheme));
     }
     println!("\nBounded slack (S2) lets fast threads run ahead inside a sliding");

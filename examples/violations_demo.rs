@@ -21,7 +21,10 @@ fn main() {
     let racy = kernels::micro::racy_increment(8, 200);
     let locked = kernels::micro::lock_sweep(8, 100);
 
-    println!("{:<38} {:>8} {:>8} {:>8} {:>8}", "workload / scheme", "WL-viol", "bus-inv", "dir-inv", "cycles");
+    println!(
+        "{:<38} {:>8} {:>8} {:>8} {:>8}",
+        "workload / scheme", "WL-viol", "bus-inv", "dir-inv", "cycles"
+    );
     for (name, w) in [("racy_increment", &racy), ("lock_sweep", &locked)] {
         for scheme in [Scheme::CycleByCycle, Scheme::BoundedSlack(100), Scheme::Unbounded] {
             let r = run(w, scheme, false);

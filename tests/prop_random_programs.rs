@@ -19,9 +19,9 @@ enum OpKind {
     Xor,
     Slt,
     Addi(i32),
-    Load(u8),      // scratch word index
-    Store(u8),     // scratch word index
-    SkipIfEq,      // forward branch over the next instruction
+    Load(u8),  // scratch word index
+    Store(u8), // scratch word index
+    SkipIfEq,  // forward branch over the next instruction
     Fadd,
     Fmul,
 }

@@ -69,11 +69,9 @@ fn conservative_schemes_are_accurate_on_kernels() {
     let crit = cfg.critical_latency();
     for w in paper_suite(8, Scale::Test) {
         let base = run_sequential(&w.program, &cfg);
-        for scheme in [
-            Scheme::Quantum(crit),
-            Scheme::Lookahead(crit),
-            Scheme::OldestFirstBounded(crit - 1),
-        ] {
+        for scheme in
+            [Scheme::Quantum(crit), Scheme::Lookahead(crit), Scheme::OldestFirstBounded(crit - 1)]
+        {
             let r = run_parallel(&w.program, scheme, &cfg);
             let err = r.exec_time_error(&base);
             assert!(err < 0.02, "{} under {scheme}: err {err}", w.name);
@@ -199,12 +197,7 @@ fn interpreter_and_engine_agree_on_microbenchmarks() {
         let engine = run_sequential(&w.program, &c);
         let interp = sk_core::interpret(&w.program, w.n_threads, 10_000_000);
         assert_eq!(interp.stop, sk_core::InterpStop::Completed, "{}", w.name);
-        assert_eq!(
-            interp.printed_by_tid(),
-            engine.printed(),
-            "{}: interpreter vs engine",
-            w.name
-        );
+        assert_eq!(interp.printed_by_tid(), engine.printed(), "{}: interpreter vs engine", w.name);
     }
 }
 
