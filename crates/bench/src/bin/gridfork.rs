@@ -1,0 +1,88 @@
+//! Fig. 6-style error grid from a single ROI checkpoint.
+//!
+//! Instead of simulating every (benchmark, scheme) cell from scratch, each
+//! benchmark is warmed up ONCE under the deterministic cycle-by-cycle
+//! scheme to its ROI safe-point, snapshotted, and every scheme of the
+//! paper suite is forked from that one snapshot. The shared prefix makes
+//! the grid cheaper by ~`(n_schemes - 1) × warmup` and guarantees every
+//! scheme starts from the identical architectural state.
+//!
+//! ```text
+//! cargo run --release -p sk-bench --bin gridfork [--scale ...] [--model ...] [--verify]
+//! ```
+//!
+//! `--verify` additionally runs every cell from scratch and prints
+//! `forked/scratch` error pairs. Conservative forks are exact: the CC
+//! column is asserted bit-identical to the from-scratch run. Eager forks
+//! (S100, SU) are approximate by construction — their slack-dependent
+//! timing differs run to run with or without a checkpoint.
+
+use sk_bench::{
+    bench_config, check, model_from_args, print_table, run_par, run_seq, scale_from_args,
+};
+use sk_core::engine::{Engine, RunOutcome};
+use sk_core::Scheme;
+
+fn main() {
+    let scale = scale_from_args();
+    let model = model_from_args();
+    let cfg = bench_config(model);
+    let verify = std::env::args().any(|a| a == "--verify");
+    let schemes = Scheme::paper_suite(cfg.critical_latency());
+
+    println!("Checkpointed error grid: fork every scheme from one CC ROI snapshot\n");
+    let mut headers: Vec<String> = vec!["Benchmark".into(), "ROI@".into()];
+    headers.extend(schemes.iter().map(|s| s.short_name()));
+    let mut rows = Vec::new();
+
+    for w in sk_kernels::extended_suite(8, scale) {
+        let base = run_seq(&w, &cfg);
+        // exec_cycles = exec_end - roi_start, so the warmup boundary (the
+        // cycle RoiBegin fired) falls out of the baseline report.
+        let exec_end = base.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+        let roi_start = exec_end.saturating_sub(base.exec_cycles).max(1);
+
+        let mut warm = Engine::new(&w.program, Scheme::CycleByCycle, &cfg);
+        let bytes = match warm.run_until(Some(roi_start)) {
+            RunOutcome::CheckpointReady => warm.snapshot().expect("snapshot at the ROI safe-point"),
+            RunOutcome::Finished => {
+                println!("{}: finished before the ROI boundary; skipped", w.name);
+                continue;
+            }
+        };
+
+        let mut row = vec![w.name.clone(), roi_start.to_string()];
+        for &scheme in &schemes {
+            let mut fork = Engine::resume(&bytes, Some(scheme)).expect("fork from snapshot");
+            fork.run_until(None);
+            let r = fork.into_report();
+            check(&w, &r);
+            let err = 100.0 * r.exec_time_error(&base);
+            if verify {
+                let scratch = run_par(&w, scheme, &cfg);
+                if scheme == Scheme::CycleByCycle {
+                    assert_eq!(
+                        r.exec_cycles, scratch.exec_cycles,
+                        "{}: CC fork must be bit-identical to the from-scratch run",
+                        w.name
+                    );
+                }
+                row.push(format!("{err:.2}/{:.2}%", 100.0 * scratch.exec_time_error(&base)));
+            } else {
+                row.push(format!("{err:.2}%"));
+            }
+        }
+        rows.push(row);
+    }
+
+    let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&hdr, &rows);
+    println!("\nAll cells share one CC warmup to the ROI safe-point per benchmark.");
+    println!("Conservative forks (CC, Q, L, S*) replay the post-ROI region to sub-");
+    println!("percent (CC bit-exactly);");
+    println!("eager forks (S, SU) are approximate — that approximation error IS the");
+    println!("grid's measurement, now isolated from warmup noise.");
+    if verify {
+        println!("Cells are forked/scratch percent-error pairs (CC asserted identical).");
+    }
+}

@@ -20,14 +20,23 @@
 //!   --track-violations   count slack-induced violations
 //!   --fast-forward       enable fast-forwarding compensation
 //!   --stats              print the full statistics block
+//!   --checkpoint-at <c>  snapshot at the cycle-c safe-point, then continue
+//!   --checkpoint <file>  checkpoint file to write (default slacksim.snap)
+//!   --restore <file>     resume a snapshot (with `run`; --scheme forks it)
+//!   --json <file>        dump the final report(s) as JSON
 //! ```
 
+use sk_core::engine::{Engine, RunOutcome};
 use sk_core::{CoreModel, Scheme, SimReport, TargetConfig};
 use sk_kernels::{Scale, Workload};
+use std::path::Path;
 use std::process::ExitCode;
 
 struct Opts {
     scheme: Scheme,
+    /// Whether --scheme was given explicitly (a restore keeps the
+    /// snapshot's scheme unless the user asks to fork onto another one).
+    scheme_set: bool,
     cores: usize,
     scale: Scale,
     model: CoreModel,
@@ -36,11 +45,16 @@ struct Opts {
     track: bool,
     fast_forward: bool,
     stats: bool,
+    checkpoint_at: Option<u64>,
+    checkpoint: Option<String>,
+    restore: Option<String>,
+    json: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts {
         scheme: Scheme::BoundedSlack(9),
+        scheme_set: false,
         cores: 8,
         scale: Scale::Bench,
         model: CoreModel::OutOfOrder,
@@ -49,6 +63,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         track: false,
         fast_forward: false,
         stats: false,
+        checkpoint_at: None,
+        checkpoint: None,
+        restore: None,
+        json: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -57,9 +75,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             args.get(*i).ok_or_else(|| format!("missing value after {}", args[*i - 1]))
         };
         match args[i].as_str() {
-            "--scheme" => o.scheme = take(&mut i)?.parse()?,
+            "--scheme" => {
+                o.scheme = take(&mut i)?.parse()?;
+                o.scheme_set = true;
+            }
             "--cores" => o.cores = take(&mut i)?.parse().map_err(|e| format!("--cores: {e}"))?,
             "--shards" => o.shards = take(&mut i)?.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--checkpoint-at" => {
+                o.checkpoint_at =
+                    Some(take(&mut i)?.parse().map_err(|e| format!("--checkpoint-at: {e}"))?)
+            }
+            "--checkpoint" => o.checkpoint = Some(take(&mut i)?.clone()),
+            "--restore" => o.restore = Some(take(&mut i)?.clone()),
+            "--json" => o.json = Some(take(&mut i)?.clone()),
             "--scale" => {
                 o.scale = match take(&mut i)?.as_str() {
                     "test" => Scale::Test,
@@ -99,12 +127,33 @@ fn config_for(o: &Opts) -> TargetConfig {
     cfg
 }
 
+/// Drive a parallel engine to completion, taking the requested checkpoint
+/// at its safe-point along the way.
+fn drive(mut e: Engine, o: &Opts) -> SimReport {
+    if let Some(at) = o.checkpoint_at {
+        match e.run_until(Some(at)) {
+            RunOutcome::CheckpointReady => {
+                let path = o.checkpoint.clone().unwrap_or_else(|| "slacksim.snap".into());
+                match e.snapshot_to_file(Path::new(&path)) {
+                    Ok(()) => eprintln!("checkpoint written to {path} at cycle {at}"),
+                    Err(err) => eprintln!("warning: checkpoint failed: {err}"),
+                }
+            }
+            RunOutcome::Finished => {
+                eprintln!("warning: simulation finished before cycle {at}; no checkpoint written");
+            }
+        }
+    }
+    e.run_until(None);
+    e.into_report()
+}
+
 fn run_one(w: &Workload, o: &Opts) -> SimReport {
     let cfg = config_for(o);
     let r = if o.seq {
         sk_core::run_sequential(&w.program, &cfg)
     } else {
-        sk_core::run_parallel(&w.program, o.scheme, &cfg)
+        drive(Engine::new(&w.program, o.scheme, &cfg), o)
     };
     let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
     let ok = printed == w.expected;
@@ -118,16 +167,32 @@ fn run_one(w: &Workload, o: &Opts) -> SimReport {
         r.kips(),
         if ok { "OK" } else { "MISMATCH" },
     );
+    note_truncation(&r);
     if o.stats {
         print_stats(&r);
     }
     r
 }
 
+/// A truncated slack profile silently skews Fig. 5-style plots; say so in
+/// the end-of-run summary whether or not --stats was requested.
+fn note_truncation(r: &SimReport) {
+    if r.engine.slack_profile_truncated > 0 {
+        println!(
+            "  note: slack profile truncated ({} samples dropped after the cap)",
+            r.engine.slack_profile_truncated
+        );
+    }
+}
+
 fn print_stats(r: &SimReport) {
     println!(
-        "  engine: blocks={} wakeups={} events={} max_slack={}",
-        r.engine.blocks, r.engine.wakeups, r.engine.events_processed, r.engine.max_observed_slack
+        "  engine: blocks={} wakeups={} events={} max_slack={} slack_profile_truncated={}",
+        r.engine.blocks,
+        r.engine.wakeups,
+        r.engine.events_processed,
+        r.engine.max_observed_slack,
+        r.engine.slack_profile_truncated
     );
     println!(
         "  uncore: L2 hits={} misses={} inv_out={} downgrades={} writebacks={}",
@@ -158,6 +223,153 @@ fn print_stats(r: &SimReport) {
     }
 }
 
+// ---- hand-rolled JSON dump of a SimReport (no serde in this workspace) ----
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+fn report_json(r: &SimReport) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str(&format!(
+        "{{\"scheme\":\"{}\",\"n_cores\":{},\"exec_cycles\":{},\"wall_seconds\":{},\
+         \"total_committed\":{},\"total_roi_committed\":{},\"kips\":{},",
+        json_escape(&r.scheme),
+        r.n_cores,
+        r.exec_cycles,
+        json_f64(r.wall.as_secs_f64()),
+        r.total_committed(),
+        r.total_roi_committed(),
+        json_f64(r.kips()),
+    ));
+    let e = &r.engine;
+    s.push_str(&format!(
+        "\"engine\":{{\"blocks\":{},\"wakeups\":{},\"global_updates\":{},\
+         \"events_processed\":{},\"max_observed_slack\":{},\"final_quantum\":{},\
+         \"slack_profile_truncated\":{}}},",
+        e.blocks,
+        e.wakeups,
+        e.global_updates,
+        e.events_processed,
+        e.max_observed_slack,
+        e.final_quantum,
+        e.slack_profile_truncated
+    ));
+    let d = &r.dir;
+    s.push_str(&format!(
+        "\"dir\":{{\"gets\":{},\"getm\":{},\"upgrades\":{},\"puts\":{},\
+         \"invalidations_out\":{},\"downgrades_out\":{},\"l2_hits\":{},\"l2_misses\":{},\
+         \"writebacks\":{},\"transition_inversions\":{}}},",
+        d.gets,
+        d.getm,
+        d.upgrades,
+        d.puts,
+        d.invalidations_out,
+        d.downgrades_out,
+        d.l2_hits,
+        d.l2_misses,
+        d.writebacks,
+        d.transition_inversions
+    ));
+    s.push_str(&format!(
+        "\"bus\":{{\"grants\":{},\"conflicts\":{},\"wait_cycles\":{},\"inversions\":{}}},",
+        r.bus.grants, r.bus.conflicts, r.bus.wait_cycles, r.bus.inversions
+    ));
+    let y = &r.sync;
+    s.push_str(&format!(
+        "\"sync\":{{\"lock_acquisitions\":{},\"lock_waits\":{},\"barrier_episodes\":{},\
+         \"sema_waits\":{},\"implicit_inits\":{},\"unlock_mismatches\":{}}},",
+        y.lock_acquisitions,
+        y.lock_waits,
+        y.barrier_episodes,
+        y.sema_waits,
+        y.implicit_inits,
+        y.unlock_mismatches
+    ));
+    let v = &r.violations;
+    s.push_str(&format!(
+        "\"violations\":{{\"store_past_load\":{},\"load_past_store\":{},\"compensations\":{},\
+         \"compensation_cycles\":{}}},",
+        v.store_past_load, v.load_past_store, v.compensations, v.compensation_cycles
+    ));
+    s.push_str("\"cores\":[");
+    for (i, c) in r.cores.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"cycles\":{},\"committed\":{},\"roi_committed\":{},\"fetched\":{},\
+             \"issued\":{},\"branches\":{},\"mispredicts\":{},\"loads\":{},\"stores\":{},\
+             \"stall_cycles\":{},\"idle_cycles\":{},\"sys_retries\":{},\"ff_stall_cycles\":{},\
+             \"l1d\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},\
+             \"l1i\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},\"printed\":[{}]}}",
+            c.cycles,
+            c.committed,
+            c.roi_committed,
+            c.fetched,
+            c.issued,
+            c.branches,
+            c.mispredicts,
+            c.loads,
+            c.stores,
+            c.stall_cycles,
+            c.idle_cycles,
+            c.sys_retries,
+            c.ff_stall_cycles,
+            c.l1d.hits,
+            c.l1d.misses,
+            c.l1d.evictions,
+            c.l1i.hits,
+            c.l1i.misses,
+            c.l1i.evictions,
+            c.printed.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+        ));
+    }
+    s.push_str("],");
+    match &r.slack_profile {
+        None => s.push_str("\"slack_profile\":null}"),
+        Some(p) => {
+            s.push_str("\"slack_profile\":[");
+            for (i, (g, sl)) in p.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("[{g},{sl}]"));
+            }
+            s.push_str("]}");
+        }
+    }
+    s
+}
+
+/// Write `body` to `path`; JSON emission failing is a warning, not a
+/// failed run.
+fn write_json(path: &str, body: &str) {
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("warning: cannot write {path}: {e}");
+    }
+}
+
 fn benches(o: &Opts) -> Vec<Workload> {
     let mut v = sk_kernels::extended_suite(o.cores, o.scale);
     v.push(sk_kernels::micro::pingpong(200));
@@ -177,8 +389,46 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.checkpoint_at.is_some() && (opts.seq || opts.shards > 0) {
+        eprintln!("error: --checkpoint-at requires the parallel engine without --seq/--shards");
+        return ExitCode::FAILURE;
+    }
+    if opts.restore.is_some() && opts.seq {
+        eprintln!("error: --restore requires the parallel engine (drop --seq)");
+        return ExitCode::FAILURE;
+    }
     match cmd {
         "run" => {
+            if let Some(path) = &opts.restore {
+                // The simulated system comes from the snapshot; benchmark
+                // selection and target-shape options are ignored.
+                let fork = opts.scheme_set.then_some(opts.scheme);
+                let e = match Engine::resume_from_file(Path::new(path), fork) {
+                    Ok(e) => e,
+                    Err(err) => {
+                        eprintln!("error: cannot restore {path}: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let r = drive(e, &opts);
+                println!(
+                    "{:<16} {:<18} scheme={:<5} cycles={:<9} instr={:<9} KIPS={:<8.1}",
+                    "restored",
+                    path,
+                    r.scheme,
+                    r.exec_cycles,
+                    r.total_committed(),
+                    r.kips(),
+                );
+                note_truncation(&r);
+                if opts.stats {
+                    print_stats(&r);
+                }
+                if let Some(j) = &opts.json {
+                    write_json(j, &report_json(&r));
+                }
+                return ExitCode::SUCCESS;
+            }
             let name = rest
                 .iter()
                 .position(|a| a == "--bench")
@@ -190,11 +440,20 @@ fn main() -> ExitCode {
                 eprintln!("unknown benchmark '{name}'; try: slacksim list");
                 return ExitCode::FAILURE;
             };
-            run_one(w, &opts);
+            let r = run_one(w, &opts);
+            if let Some(j) = &opts.json {
+                write_json(j, &report_json(&r));
+            }
         }
         "suite" => {
+            let mut reports = Vec::new();
             for w in benches(&opts) {
-                run_one(&w, &opts);
+                reports.push(run_one(&w, &opts));
+            }
+            if let Some(j) = &opts.json {
+                let body =
+                    format!("[{}]", reports.iter().map(report_json).collect::<Vec<_>>().join(","));
+                write_json(j, &body);
             }
         }
         "asm" => {
@@ -220,14 +479,18 @@ fn main() -> ExitCode {
             let r = if opts.seq {
                 sk_core::run_sequential(&program, &cfg)
             } else {
-                sk_core::run_parallel(&program, opts.scheme, &cfg)
+                drive(Engine::new(&program, opts.scheme, &cfg), &opts)
             };
             for (core, v) in r.printed() {
                 println!("[core {core}] {v}");
             }
             println!("cycles={} instructions={}", r.exec_cycles, r.total_committed());
+            note_truncation(&r);
             if opts.stats {
                 print_stats(&r);
+            }
+            if let Some(j) = &opts.json {
+                write_json(j, &report_json(&r));
             }
         }
         "fig2" => {
@@ -273,7 +536,11 @@ OPTIONS:
   --seq                sequential reference engine (cycle-by-cycle)
   --track-violations   count slack-induced violations
   --fast-forward       fast-forwarding compensation (paper S3.2.3)
-  --stats              detailed statistics";
+  --stats              detailed statistics
+  --checkpoint-at <c>  snapshot at the cycle-c safe-point, then continue
+  --checkpoint <file>  checkpoint file to write (default slacksim.snap)
+  --restore <file>     resume a snapshot (with `run`; --scheme forks it)
+  --json <file>        dump the final report(s) as JSON";
 
 #[cfg(test)]
 mod tests {
@@ -328,6 +595,51 @@ mod tests {
     fn bench_name_is_ignored_by_the_option_parser() {
         let o = parse_opts(&args(&["--bench", "fft", "--scheme", "SU"])).unwrap();
         assert_eq!(o.scheme, Scheme::Unbounded);
+    }
+
+    #[test]
+    fn parses_checkpoint_and_json_options() {
+        let o = parse_opts(&args(&[
+            "--checkpoint-at",
+            "5000",
+            "--checkpoint",
+            "roi.snap",
+            "--json",
+            "out.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.checkpoint_at, Some(5000));
+        assert_eq!(o.checkpoint.as_deref(), Some("roi.snap"));
+        assert_eq!(o.json.as_deref(), Some("out.json"));
+        assert!(!o.scheme_set);
+        let o = parse_opts(&args(&["--restore", "roi.snap", "--scheme", "SU"])).unwrap();
+        assert_eq!(o.restore.as_deref(), Some("roi.snap"));
+        assert!(o.scheme_set);
+        assert!(parse_opts(&args(&["--checkpoint-at", "abc"])).is_err());
+        assert!(parse_opts(&args(&["--restore"])).is_err());
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let mut r = SimReport {
+            scheme: "S9\"\\".into(),
+            n_cores: 1,
+            exec_cycles: 7,
+            cores: vec![sk_core::CoreStats { printed: vec![1, -2], ..Default::default() }],
+            ..Default::default()
+        };
+        r.slack_profile = Some(vec![(1, 2), (3, 4)]);
+        let j = report_json(&r);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"scheme\":\"S9\\\"\\\\\""));
+        assert!(j.contains("\"printed\":[1,-2]"));
+        assert!(j.contains("\"slack_profile\":[[1,2],[3,4]]"));
+        assert!(j.contains("\"slack_profile_truncated\":0"));
+        // Balanced braces/brackets outside strings (we only emit simple
+        // strings, so a raw count is a fair structural check).
+        let opens = j.matches('{').count() + j.matches('[').count();
+        let closes = j.matches('}').count() + j.matches(']').count();
+        assert_eq!(opens, closes);
     }
 
     #[test]

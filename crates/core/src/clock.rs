@@ -97,6 +97,11 @@ pub struct ClockBoard {
     stop: AtomicBool,
     mgr_park: Mutex<bool>,
     mgr_cond: Condvar,
+    /// Checkpoint limit: while a checkpoint is converging, no core-side
+    /// clock movement (sync-release jump, idle skip) may pass this cycle,
+    /// so every clock lands exactly on the safe-point. `u64::MAX` when no
+    /// checkpoint is pending. Windows are clamped by the manager, not here.
+    limit: AtomicU64,
     /// Number of times any core blocked at its window.
     pub blocks: AtomicU64,
     /// Number of times the manager woke a blocked core.
@@ -122,6 +127,36 @@ impl ClockBoard {
             stop: AtomicBool::new(false),
             mgr_park: Mutex::new(false),
             mgr_cond: Condvar::new(),
+            limit: AtomicU64::new(u64::MAX),
+            blocks: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+        }
+    }
+
+    /// A board resuming from a snapshot: each core's local time is its
+    /// saved value, its window is closed (`max_local == local`, so nothing
+    /// moves until the manager republishes windows), and the global time is
+    /// the saved global. All cores start Running and re-derive their parked
+    /// states dynamically (a restored core with no work re-parks on its
+    /// first iteration).
+    pub fn restored(locals: &[u64], global: u64) -> Self {
+        ClockBoard {
+            cores: locals
+                .iter()
+                .map(|&l| CoreClock {
+                    local: CachePadded::new(AtomicU64::new(l)),
+                    max_local: CachePadded::new(AtomicU64::new(l)),
+                    state: AtomicU8::new(CoreState::Running as u8),
+                    park: Mutex::new(()),
+                    cond: Condvar::new(),
+                    timeout_resume: AtomicBool::new(false),
+                })
+                .collect(),
+            global: CachePadded::new(AtomicU64::new(global)),
+            stop: AtomicBool::new(false),
+            mgr_park: Mutex::new(false),
+            mgr_cond: Condvar::new(),
+            limit: AtomicU64::new(u64::MAX),
             blocks: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
         }
@@ -130,6 +165,31 @@ impl ClockBoard {
     /// Number of cores on the board.
     pub fn n_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// Forbid core-side clock movement past `cycle` (checkpoint pending).
+    pub fn set_checkpoint_limit(&self, cycle: u64) {
+        self.limit.store(cycle, Ordering::Release);
+    }
+
+    /// Lift the checkpoint limit.
+    pub fn clear_checkpoint_limit(&self) {
+        self.limit.store(u64::MAX, Ordering::Release);
+    }
+
+    /// The current checkpoint limit (`u64::MAX` when none is pending).
+    #[inline]
+    pub fn checkpoint_limit(&self) -> u64 {
+        self.limit.load(Ordering::Acquire)
+    }
+
+    /// Lower the stop flag so a board torn down at a checkpoint can host a
+    /// fresh set of threads for the next segment.
+    pub fn reset_stop(&self) {
+        self.stop.store(false, Ordering::Release);
+        // Consume any stale manager signal from the teardown.
+        let mut pending = self.mgr_park.lock();
+        *pending = false;
     }
 
     // ---- core-thread side ----
@@ -161,7 +221,7 @@ impl ClockBoard {
     /// May this core simulate the cycle after `local`?
     #[inline]
     pub fn may_advance(&self, core: usize, local: u64) -> bool {
-        local < self.max_local(core)
+        local < self.max_local(core).min(self.checkpoint_limit())
     }
 
     /// Park until the window opens past `local`, the stop flag rises, or a
@@ -179,7 +239,7 @@ impl ClockBoard {
                 cc.state.store(CoreState::Running as u8, Ordering::Release);
                 return false;
             }
-            if local < cc.max_local.load(Ordering::Acquire) {
+            if local < cc.max_local.load(Ordering::Acquire).min(self.checkpoint_limit()) {
                 cc.state.store(CoreState::Running as u8, Ordering::Release);
                 return true;
             }
@@ -194,7 +254,7 @@ impl ClockBoard {
     pub fn jump_local(&self, core: usize, target: u64) {
         let cc = &self.cores[core];
         let cur = cc.local.load(Ordering::Relaxed);
-        let bounded = target.min(cc.max_local.load(Ordering::Acquire));
+        let bounded = target.min(cc.max_local.load(Ordering::Acquire)).min(self.checkpoint_limit());
         if bounded > cur {
             cc.local.store(bounded, Ordering::Release);
         }
@@ -291,6 +351,9 @@ impl ClockBoard {
     pub fn jump_local_unclamped(&self, core: usize, target: u64) {
         let cc = &self.cores[core];
         let cur = cc.local.load(Ordering::Relaxed);
+        // Even an unclamped jump respects a pending checkpoint limit: no
+        // clock may pass the safe-point cycle.
+        let target = target.min(self.checkpoint_limit());
         if target > cur {
             cc.local.store(target, Ordering::Release);
         }

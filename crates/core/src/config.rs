@@ -2,6 +2,7 @@
 
 use sk_isa::FuClass;
 use sk_mem::MemConfig;
+use sk_snap::{Persist, Reader, SnapError, Writer};
 
 /// Which core timing model simulates each target core.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -205,6 +206,114 @@ impl TargetConfig {
             return Err(format!("queue_capacity {} must be at least 2", self.queue_capacity));
         }
         Ok(())
+    }
+}
+
+impl Persist for CoreModel {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            CoreModel::OutOfOrder => 0,
+            CoreModel::InOrder => 1,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(CoreModel::OutOfOrder),
+            1 => Ok(CoreModel::InOrder),
+            t => Err(SnapError::Corrupt(format!("core-model tag {t}"))),
+        }
+    }
+}
+
+impl Persist for CoreConfig {
+    fn save(&self, w: &mut Writer) {
+        self.model.save(w);
+        w.put_usize(self.fetch_width);
+        w.put_usize(self.issue_width);
+        w.put_usize(self.commit_width);
+        w.put_usize(self.rob_entries);
+        w.put_usize(self.lsq_entries);
+        w.put_usize(self.fetch_queue);
+        w.put_usize(self.store_buffer);
+        w.put_usize(self.bpred_entries);
+        w.put_u64(self.mispredict_penalty);
+        w.put_u64(self.spin_interval);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let cfg = CoreConfig {
+            model: CoreModel::load(r)?,
+            fetch_width: r.get_usize()?,
+            issue_width: r.get_usize()?,
+            commit_width: r.get_usize()?,
+            rob_entries: r.get_usize()?,
+            lsq_entries: r.get_usize()?,
+            fetch_queue: r.get_usize()?,
+            store_buffer: r.get_usize()?,
+            bpred_entries: r.get_usize()?,
+            mispredict_penalty: r.get_u64()?,
+            spin_interval: r.get_u64()?,
+        };
+        // The predictor constructor asserts this; turn it into a clean
+        // load error instead of a panic on a corrupt snapshot.
+        if !cfg.bpred_entries.is_power_of_two() {
+            return Err(SnapError::Corrupt(format!(
+                "bpred_entries {} not a power of two",
+                cfg.bpred_entries
+            )));
+        }
+        Ok(cfg)
+    }
+}
+
+impl Persist for StopCondition {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            StopCondition::ProgramExit => w.put_u8(0),
+            StopCondition::RoiInstructions(n) => {
+                w.put_u8(1);
+                w.put_u64(n);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(StopCondition::ProgramExit),
+            1 => Ok(StopCondition::RoiInstructions(r.get_u64()?)),
+            t => Err(SnapError::Corrupt(format!("stop-condition tag {t}"))),
+        }
+    }
+}
+
+/// Loading runs [`TargetConfig::validate`], so a snapshot can never smuggle
+/// in a structurally impossible target.
+impl Persist for TargetConfig {
+    fn save(&self, w: &mut Writer) {
+        w.put_usize(self.n_cores);
+        self.core.save(w);
+        self.mem.save(w);
+        self.stop.save(w);
+        w.put_u64(self.max_cycles);
+        w.put_bool(self.track_workload_violations);
+        w.put_bool(self.fast_forward_compensation);
+        w.put_bool(self.record_trace);
+        w.put_usize(self.mem_shards);
+        w.put_usize(self.queue_capacity);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let cfg = TargetConfig {
+            n_cores: r.get_usize()?,
+            core: CoreConfig::load(r)?,
+            mem: MemConfig::load(r)?,
+            stop: StopCondition::load(r)?,
+            max_cycles: r.get_u64()?,
+            track_workload_violations: r.get_bool()?,
+            fast_forward_compensation: r.get_bool()?,
+            record_trace: r.get_bool()?,
+            mem_shards: r.get_usize()?,
+            queue_capacity: r.get_usize()?,
+        };
+        cfg.validate().map_err(SnapError::Corrupt)?;
+        Ok(cfg)
     }
 }
 

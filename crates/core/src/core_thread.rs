@@ -24,6 +24,7 @@ use crate::stats::CoreStats;
 use crate::violation::ConflictTracker;
 use sk_isa::Syscall;
 use sk_mem::FuncMemory;
+use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -590,7 +591,12 @@ impl CoreSim {
 
     /// The Pthread body: run under the board's time discipline until the
     /// simulation stops or this core's workload finishes.
-    pub fn run(mut self, board: &ClockBoard) -> CoreOutput {
+    ///
+    /// Takes `&mut self` so the engine can get the core back after a
+    /// checkpoint teardown (`ClockBoard::stop_all` without a `Stop`
+    /// broadcast) and either snapshot it or run another segment;
+    /// [`CoreSim::into_output`] finalizes at the true end of the run.
+    pub fn run(&mut self, board: &ClockBoard) {
         loop {
             if board.stopping() || self.stop_seen {
                 break;
@@ -605,7 +611,9 @@ impl CoreSim {
                 match self.next_msg_ts() {
                     Some(ts) => {
                         if ts > self.local + 1 {
-                            let target = (ts - 1).min(board.max_local(self.id));
+                            let target = (ts - 1)
+                                .min(board.max_local(self.id))
+                                .min(board.checkpoint_limit());
                             if target > self.local {
                                 self.jump_local(target);
                                 board.jump_local(self.id, target);
@@ -635,7 +643,7 @@ impl CoreSim {
                 // cycles as fast as the host allows.
                 match self.earliest_sync_reply_ts() {
                     Some(r) => {
-                        let target = r.saturating_sub(1);
+                        let target = r.saturating_sub(1).min(board.checkpoint_limit());
                         if target > self.local {
                             self.sync_jump(target);
                             board.jump_local_unclamped(self.id, target);
@@ -703,7 +711,8 @@ impl CoreSim {
                         // so the outcome is identical either way, but the
                         // clock must not escape the slack discipline (the
                         // laggard's window is its own local + slack).
-                        let target = (ts - 1).min(board.max_local(self.id));
+                        let target =
+                            (ts - 1).min(board.max_local(self.id)).min(board.checkpoint_limit());
                         if target > self.local {
                             self.sync_jump(target);
                             board.jump_local_unclamped(self.id, target);
@@ -734,11 +743,126 @@ impl CoreSim {
         if self.cpu.finished() {
             board.finish(self.id);
         }
+    }
+
+    /// Finalize without running (sequential engine path, and the parallel
+    /// engine once the simulation is truly over).
+    pub fn into_output(self) -> CoreOutput {
         self.finalize()
     }
 
-    /// Finalize without running (sequential engine path).
-    pub fn into_output(self) -> CoreOutput {
-        self.finalize()
+    // ---- snapshot support ----
+
+    /// Drain every InQ ring into the local timestamp heap (safe-point
+    /// preparation: ring contents become part of the serialized heap, so
+    /// fresh rings on restore start empty).
+    pub fn drain_pending(&mut self) {
+        self.drain_inq();
+    }
+
+    /// Serialize all dynamic state. Call only at a safe-point with the
+    /// core thread joined and the InQ rings drained ([`CoreSim::drain_pending`]).
+    /// Functional memory and the conflict tracker are engine-owned shared
+    /// state and are serialized by the engine, not here.
+    pub fn save_state(&self, w: &mut Writer) {
+        // CPU model blob, length-prefixed so a reader always consumes
+        // exactly what the model wrote.
+        let mut cw = Writer::new();
+        self.cpu.save_state(&mut cw);
+        let blob = cw.into_bytes();
+        w.put_usize(blob.len());
+        w.put_bytes(&blob);
+
+        w.put_u64(self.local);
+        w.put_u64(self.seq);
+        w.put_u64(self.arrival);
+        w.put_bool(self.stop_seen);
+
+        // Pending InQ messages, in deterministic heap order.
+        let mut msgs: Vec<&HeapMsg> = self.heap.iter().map(|Reverse(h)| h).collect();
+        msgs.sort_by_key(|h| (h.ts, h.ring, h.arrival));
+        w.put_usize(msgs.len());
+        for h in msgs {
+            w.put_u64(h.ts);
+            w.put_usize(h.ring);
+            w.put_u64(h.arrival);
+            h.msg.save(w);
+        }
+
+        // Syscall runtime.
+        w.put_u32(self.host.tid);
+        match self.host.sys_phase {
+            SysPhase::Idle => w.put_u8(0),
+            SysPhase::WaitReply { op } => {
+                w.put_u8(1);
+                op.save(w);
+            }
+        }
+        self.host.sync_reply.save(w);
+        w.put_usize(self.host.printed.len());
+        for &v in &self.host.printed {
+            w.put_i64(v);
+        }
+        w.put_u64(self.host.stall_request);
+        w.put_u64(self.host.retries);
+
+        self.stats.save(w);
+        w.put_u64(self.roi_base_committed);
+        self.roi_frozen.save(w);
+        w.put_u32(self.inert_streak);
+    }
+
+    /// Restore dynamic state written by [`CoreSim::save_state`] into a
+    /// freshly plumbed core (same configuration, fresh queues, CPU model
+    /// already constructed). Never panics on corrupt input.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let n = r.get_count(1)?;
+        let blob = r.take(n)?;
+        let mut cr = Reader::new(blob);
+        self.cpu.restore_state(&mut cr)?;
+        cr.finish()?;
+
+        self.local = r.get_u64()?;
+        self.seq = r.get_u64()?;
+        self.arrival = r.get_u64()?;
+        self.stop_seen = r.get_bool()?;
+
+        self.heap.clear();
+        let n = r.get_count(16)?;
+        for _ in 0..n {
+            let ts = r.get_u64()?;
+            let ring = r.get_usize()?;
+            let arrival = r.get_u64()?;
+            let msg = InMsg::load(r)?;
+            if ring >= self.inqs.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "heap message from ring {ring} but only {} rings",
+                    self.inqs.len()
+                )));
+            }
+            self.heap.push(Reverse(HeapMsg { ts, ring, arrival, msg }));
+        }
+
+        self.host.tid = r.get_u32()?;
+        self.host.sys_phase = match r.get_u8()? {
+            0 => SysPhase::Idle,
+            1 => SysPhase::WaitReply { op: SyncOp::load(r)? },
+            t => return Err(SnapError::Corrupt(format!("sys phase tag {t}"))),
+        };
+        self.host.sync_reply = Option::<i64>::load(r)?;
+        let n = r.get_count(8)?;
+        self.host.printed.clear();
+        self.host.printed.reserve(n);
+        for _ in 0..n {
+            self.host.printed.push(r.get_i64()?);
+        }
+        self.host.stall_request = r.get_u64()?;
+        self.host.retries = r.get_u64()?;
+
+        self.stats = CoreStats::load(r)?;
+        self.roi_base_committed = r.get_u64()?;
+        self.roi_frozen = Option::<u64>::load(r)?;
+        self.inert_streak = r.get_u32()?;
+        Ok(())
     }
 }

@@ -1,5 +1,7 @@
 //! Bimodal branch predictor (2-bit saturating counters).
 
+use sk_snap::{Persist, Reader, SnapError, Writer};
+
 /// A classic 2-bit-counter direction predictor indexed by PC.
 #[derive(Clone, Debug)]
 pub struct Bimodal {
@@ -51,6 +53,37 @@ impl Bimodal {
         } else {
             *c = c.saturating_sub(1);
         }
+    }
+}
+
+impl Persist for Bimodal {
+    fn save(&self, w: &mut Writer) {
+        w.put_usize(self.table.len());
+        for &c in &self.table {
+            w.put_u8(c);
+        }
+        w.put_u64(self.lookups);
+        w.put_u64(self.disagreements);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let entries = r.get_count(1)?;
+        if !entries.is_power_of_two() {
+            return Err(SnapError::Corrupt(format!("bpred table size {entries}")));
+        }
+        let mut table = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            let c = r.get_u8()?;
+            if c > 3 {
+                return Err(SnapError::Corrupt(format!("bpred counter {c}")));
+            }
+            table.push(c);
+        }
+        Ok(Bimodal {
+            table,
+            mask: (entries - 1) as u64,
+            lookups: r.get_u64()?,
+            disagreements: r.get_u64()?,
+        })
     }
 }
 

@@ -14,6 +14,7 @@ use crate::stats::CoreStats;
 use sk_isa::{decode, layout, Instr, Reg, WORD_BYTES};
 use sk_mem::l1::ReqKind;
 use sk_mem::{block_of, BlockAddr, L1Cache, L1Outcome, LineState};
+use sk_snap::{Persist, Reader, SnapError, Writer};
 
 /// Destination of an in-flight load.
 #[derive(Clone, Copy, Debug)]
@@ -394,6 +395,130 @@ impl Cpu for InOrderCpu {
 
     fn quiesced(&self) -> bool {
         matches!(self.phase, Phase::Ready) && self.pending_evictions.is_empty()
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_u64(self.pc);
+        for &r in &self.regs {
+            w.put_u64(r);
+        }
+        for &f in &self.fregs {
+            w.put_f64(f);
+        }
+        w.put_bool(self.running);
+        w.put_bool(self.finished);
+        self.l1i.save(w);
+        self.l1d.save(w);
+        self.phase.save(w);
+        w.put_u64(self.busy_until);
+        w.put_u64(self.extra_stall);
+        w.put_usize(self.pending_evictions.len());
+        for &(kind, block) in &self.pending_evictions {
+            kind.save(w);
+            w.put_u64(block);
+        }
+        w.put_usize(self.inv_while_pending.len());
+        for &b in &self.inv_while_pending {
+            w.put_u64(b);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.pc = r.get_u64()?;
+        for reg in self.regs.iter_mut() {
+            *reg = r.get_u64()?;
+        }
+        for f in self.fregs.iter_mut() {
+            *f = r.get_f64()?;
+        }
+        self.running = r.get_bool()?;
+        self.finished = r.get_bool()?;
+        self.l1i = L1Cache::load(r)?;
+        self.l1d = L1Cache::load(r)?;
+        self.phase = Phase::load(r)?;
+        self.busy_until = r.get_u64()?;
+        self.extra_stall = r.get_u64()?;
+        let n = r.get_count(9)?;
+        self.pending_evictions.clear();
+        for _ in 0..n {
+            self.pending_evictions.push((ReqKind::load(r)?, r.get_u64()?));
+        }
+        let n = r.get_count(8)?;
+        self.inv_while_pending.clear();
+        for _ in 0..n {
+            self.inv_while_pending.push(r.get_u64()?);
+        }
+        Ok(())
+    }
+}
+
+impl Persist for LoadDst {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            LoadDst::Int(r) => {
+                w.put_u8(0);
+                w.put_u8(r);
+            }
+            LoadDst::Fp(f) => {
+                w.put_u8(1);
+                w.put_u8(f);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(LoadDst::Int(r.get_u8()?)),
+            1 => Ok(LoadDst::Fp(r.get_u8()?)),
+            t => Err(SnapError::Corrupt(format!("load-dst tag {t}"))),
+        }
+    }
+}
+
+impl Persist for Phase {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            Phase::Ready => w.put_u8(0),
+            Phase::WaitIFetch { block, ready } => {
+                w.put_u8(1);
+                w.put_u64(block);
+                ready.save(w);
+            }
+            Phase::WaitLoad { block, addr, dst, ready } => {
+                w.put_u8(2);
+                w.put_u64(block);
+                w.put_u64(addr);
+                dst.save(w);
+                ready.save(w);
+            }
+            Phase::WaitStore { block, addr, val, ready } => {
+                w.put_u8(3);
+                w.put_u64(block);
+                w.put_u64(addr);
+                w.put_u64(val);
+                ready.save(w);
+            }
+            Phase::SysPending => w.put_u8(4),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Phase::Ready,
+            1 => Phase::WaitIFetch { block: r.get_u64()?, ready: Option::load(r)? },
+            2 => Phase::WaitLoad {
+                block: r.get_u64()?,
+                addr: r.get_u64()?,
+                dst: LoadDst::load(r)?,
+                ready: Option::load(r)?,
+            },
+            3 => Phase::WaitStore {
+                block: r.get_u64()?,
+                addr: r.get_u64()?,
+                val: r.get_u64()?,
+                ready: Option::load(r)?,
+            },
+            4 => Phase::SysPending,
+            t => return Err(SnapError::Corrupt(format!("inorder phase tag {t}"))),
+        })
     }
 }
 

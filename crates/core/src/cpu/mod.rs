@@ -20,6 +20,7 @@ pub mod ooo;
 
 use crate::stats::CoreStats;
 use sk_mem::{BlockAddr, LineState};
+use sk_snap::{Reader, SnapError, Writer};
 
 /// Disposition of a syscall, as decided by the host.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,6 +91,19 @@ pub trait Cpu: Send {
 
     /// Is the pipeline completely drained (used by tests)?
     fn quiesced(&self) -> bool;
+
+    /// Serialize all dynamic state (registers, pipeline, caches, MSHRs) to
+    /// `w`. Static configuration is *not* written: a restored CPU is first
+    /// constructed from the snapshot's [`crate::TargetConfig`], then
+    /// [`Cpu::restore_state`] overwrites its dynamic state. The pipeline
+    /// need not be drained — in-flight ROB entries, MSHRs and store buffers
+    /// round-trip exactly.
+    fn save_state(&self, w: &mut Writer);
+
+    /// Restore dynamic state previously written by [`Cpu::save_state`] on
+    /// a CPU constructed with the same configuration. Returns an error
+    /// (never panics) on corrupt input.
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError>;
 
     /// One-line diagnostic of the pipeline state (for stall debugging).
     fn debug_state(&self) -> String {

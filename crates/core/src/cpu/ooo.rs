@@ -16,10 +16,11 @@ use crate::config::{CoreConfig, TargetConfig};
 use crate::exec::{self, Operands};
 use crate::msg::OutKind;
 use crate::stats::CoreStats;
-use sk_isa::{decode, layout, FuClass, Instr, Reg, WORD_BYTES};
+use sk_isa::{decode, encode, layout, FuClass, Instr, Reg, WORD_BYTES};
 use sk_mem::l1::ReqKind;
 use sk_mem::mshr::MshrAlloc;
 use sk_mem::{block_of, BlockAddr, L1Cache, L1Outcome, LineState, MshrFile};
+use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::collections::VecDeque;
 
 type RobId = u64;
@@ -944,6 +945,116 @@ impl Cpu for OooCpu {
             && self.mshr.is_empty()
     }
 
+    fn save_state(&self, w: &mut Writer) {
+        w.put_u64(self.pc);
+        for &r in &self.regs {
+            w.put_u64(r);
+        }
+        for &f in &self.fregs {
+            w.put_f64(f);
+        }
+        w.put_bool(self.running);
+        w.put_bool(self.finished);
+        for m in self.int_map.iter().chain(&self.fp_map) {
+            m.save(w);
+        }
+        w.put_usize(self.rob.len());
+        for e in &self.rob {
+            e.save(w);
+        }
+        w.put_u64(self.next_id);
+        w.put_usize(self.lsq_used);
+        w.put_usize(self.fetch_q.len());
+        for f in &self.fetch_q {
+            f.save(w);
+        }
+        self.bpred.save(w);
+        self.l1i.save(w);
+        self.l1d.save(w);
+        self.mshr.save(w);
+        self.ifetch.save(w);
+        w.put_u64(self.fetch_stall_until);
+        w.put_bool(self.wait_jalr);
+        self.ras.save(w);
+        for &b in &self.fu_busy_until {
+            w.put_u64(b);
+        }
+        w.put_usize(self.store_buffer.len());
+        for sb in &self.store_buffer {
+            sb.save(w);
+        }
+        self.sys_state.save(w);
+        w.put_u64(self.extra_stall);
+        w.put_usize(self.pending_evictions.len());
+        for &(kind, block) in &self.pending_evictions {
+            kind.save(w);
+            w.put_u64(block);
+        }
+        self.inv_while_pending.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.pc = r.get_u64()?;
+        for reg in self.regs.iter_mut() {
+            *reg = r.get_u64()?;
+        }
+        for f in self.fregs.iter_mut() {
+            *f = r.get_f64()?;
+        }
+        self.running = r.get_bool()?;
+        self.finished = r.get_bool()?;
+        for m in self.int_map.iter_mut().chain(self.fp_map.iter_mut()) {
+            *m = Option::load(r)?;
+        }
+        let n = r.get_count(16)?;
+        self.rob.clear();
+        for _ in 0..n {
+            self.rob.push_back(RobEntry::load(r)?);
+        }
+        // Lookups binary-search the id-sorted ROB; reject anything that
+        // breaks the invariant instead of silently misbehaving later.
+        if self.rob.iter().zip(self.rob.iter().skip(1)).any(|(a, b)| a.id >= b.id) {
+            return Err(SnapError::Corrupt("ROB ids not strictly increasing".into()));
+        }
+        self.next_id = r.get_u64()?;
+        if let Some(back) = self.rob.back() {
+            if back.id >= self.next_id {
+                return Err(SnapError::Corrupt("next ROB id not past the youngest entry".into()));
+            }
+        }
+        self.lsq_used = r.get_usize()?;
+        let n = r.get_count(16)?;
+        self.fetch_q.clear();
+        for _ in 0..n {
+            self.fetch_q.push_back(Fetched::load(r)?);
+        }
+        self.bpred = super::bpred::Bimodal::load(r)?;
+        self.l1i = L1Cache::load(r)?;
+        self.l1d = L1Cache::load(r)?;
+        self.mshr = MshrFile::load(r)?;
+        self.ifetch = Option::load(r)?;
+        self.fetch_stall_until = r.get_u64()?;
+        self.wait_jalr = r.get_bool()?;
+        self.ras = Vec::load(r)?;
+        for b in self.fu_busy_until.iter_mut() {
+            *b = r.get_u64()?;
+        }
+        let n = r.get_count(16)?;
+        self.store_buffer.clear();
+        for _ in 0..n {
+            self.store_buffer.push_back(SbEntry::load(r)?);
+        }
+        self.sys_state = SysState::load(r)?;
+        self.extra_stall = r.get_u64()?;
+        let n = r.get_count(9)?;
+        self.pending_evictions.clear();
+        for _ in 0..n {
+            self.pending_evictions.push((ReqKind::load(r)?, r.get_u64()?));
+        }
+        self.inv_while_pending = Vec::load(r)?;
+        Ok(())
+    }
+
     fn debug_state(&self) -> String {
         format!(
             "pc={:#x} rob[{}] head={:?} sb={:?} mshr=[{}] ifetch={:?} wait_jalr={} sys={:?} fq={}",
@@ -960,6 +1071,166 @@ impl Cpu for OooCpu {
             self.sys_state,
             self.fetch_q.len(),
         )
+    }
+}
+
+// Instructions round-trip through the ISA's canonical 64-bit encoding, so
+// the snapshot format stays stable against `Instr` layout changes.
+fn save_instr(i: &Instr, w: &mut Writer) {
+    w.put_u64(encode(i));
+}
+
+fn load_instr(r: &mut Reader<'_>) -> Result<Instr, SnapError> {
+    let word = r.get_u64()?;
+    decode(word).map_err(|e| SnapError::Corrupt(format!("instr word {word:#x}: {e:?}")))
+}
+
+impl Persist for Waiter {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            Waiter::Load { id } => {
+                w.put_u8(0);
+                w.put_u64(id);
+            }
+            Waiter::StoreBuf => w.put_u8(1),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Waiter::Load { id: r.get_u64()? }),
+            1 => Ok(Waiter::StoreBuf),
+            t => Err(SnapError::Corrupt(format!("mshr waiter tag {t}"))),
+        }
+    }
+}
+
+impl Persist for EState {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            EState::Dispatched => w.put_u8(0),
+            EState::Executing { done } => {
+                w.put_u8(1);
+                w.put_u64(done);
+            }
+            EState::WaitMem => w.put_u8(2),
+            EState::Completed => w.put_u8(3),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => EState::Dispatched,
+            1 => EState::Executing { done: r.get_u64()? },
+            2 => EState::WaitMem,
+            3 => EState::Completed,
+            t => return Err(SnapError::Corrupt(format!("rob state tag {t}"))),
+        })
+    }
+}
+
+impl Persist for RobEntry {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        w.put_u64(self.pc);
+        save_instr(&self.instr, w);
+        self.state.save(w);
+        for s in self.src_int.iter().chain(&self.src_fp) {
+            s.save(w);
+        }
+        self.int_result.save(w);
+        self.fp_result.save(w);
+        w.put_bool(self.pred_taken);
+        w.put_u64(self.pred_target);
+        self.mem_addr.save(w);
+        self.store_val.save(w);
+        self.forwarded.save(w);
+        w.put_bool(self.mispredicted);
+        w.put_bool(self.bad_fetch);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(RobEntry {
+            id: r.get_u64()?,
+            pc: r.get_u64()?,
+            instr: load_instr(r)?,
+            state: EState::load(r)?,
+            src_int: [Option::load(r)?, Option::load(r)?],
+            src_fp: [Option::load(r)?, Option::load(r)?],
+            int_result: Option::load(r)?,
+            fp_result: Option::load(r)?,
+            pred_taken: r.get_bool()?,
+            pred_target: r.get_u64()?,
+            mem_addr: Option::load(r)?,
+            store_val: Option::load(r)?,
+            forwarded: Option::load(r)?,
+            mispredicted: r.get_bool()?,
+            bad_fetch: r.get_bool()?,
+        })
+    }
+}
+
+impl Persist for SbState {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            SbState::Need => w.put_u8(0),
+            SbState::Waiting => w.put_u8(1),
+            SbState::Ready(ts) => {
+                w.put_u8(2);
+                w.put_u64(ts);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => SbState::Need,
+            1 => SbState::Waiting,
+            2 => SbState::Ready(r.get_u64()?),
+            t => return Err(SnapError::Corrupt(format!("store-buffer state tag {t}"))),
+        })
+    }
+}
+
+impl Persist for SbEntry {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.addr);
+        w.put_u64(self.val);
+        self.state.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(SbEntry { addr: r.get_u64()?, val: r.get_u64()?, state: SbState::load(r)? })
+    }
+}
+
+impl Persist for SysState {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            SysState::Idle => 0,
+            SysState::Pending => 1,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(SysState::Idle),
+            1 => Ok(SysState::Pending),
+            t => Err(SnapError::Corrupt(format!("sys state tag {t}"))),
+        }
+    }
+}
+
+impl Persist for Fetched {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.pc);
+        save_instr(&self.instr, w);
+        w.put_bool(self.pred_taken);
+        w.put_u64(self.pred_target);
+        w.put_bool(self.bad_fetch);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Fetched {
+            pc: r.get_u64()?,
+            instr: load_instr(r)?,
+            pred_taken: r.get_bool()?,
+            pred_target: r.get_u64()?,
+            bad_fetch: r.get_bool()?,
+        })
     }
 }
 

@@ -5,7 +5,7 @@
 //! the lower cache hierarchy and paces the run by publishing global time
 //! and per-core max local times through shared memory.
 
-use crate::clock::{ClockBoard, GlobalCache};
+use crate::clock::{ClockBoard, CoreState, GlobalCache};
 use crate::config::{CoreModel, StopCondition, TargetConfig};
 use crate::core_thread::{CoreOutput, CoreSim, RoiState};
 use crate::cpu::{inorder::InOrderCpu, ooo::OooCpu, Cpu};
@@ -17,6 +17,7 @@ use crate::uncore::Uncore;
 use crate::violation::ConflictTracker;
 use sk_isa::Program;
 use sk_mem::FuncMemory;
+use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,6 +53,7 @@ pub(crate) struct Plumbing {
     pub in_producers: Vec<spsc::Producer<InMsg>>,
     pub tracker: Option<Arc<ConflictTracker>>,
     pub roi: Arc<RoiState>,
+    pub mem: FuncMemory,
 }
 
 /// Wire up cores, queues, functional memory and the violation tracker.
@@ -88,7 +90,7 @@ pub(crate) fn plumb(program: &Program, cfg: &TargetConfig) -> Plumbing {
         in_producers.push(in_p);
     }
     cores[0].start_main(program.entry);
-    Plumbing { cores, out_consumers, in_producers, tracker, roi }
+    Plumbing { cores, out_consumers, in_producers, tracker, roi, mem }
 }
 
 pub(crate) fn violation_report(tracker: &Option<Arc<ConflictTracker>>) -> ViolationReport {
@@ -142,6 +144,623 @@ pub(crate) fn assemble_report(
     }
 }
 
+/// Why an [`Engine::run_until`] segment ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The simulation is over: workload exit, stop condition reached, or
+    /// workload deadlock.
+    Finished,
+    /// Every clock is parked exactly on the requested checkpoint cycle
+    /// (safe-point): [`Engine::snapshot`] now captures a quiescent system.
+    CheckpointReady,
+}
+
+/// The parallel simulation engine as a resumable object.
+///
+/// [`run_parallel`] is `Engine::new` + `run_until(None)` + `into_report`.
+/// The segmented form exists for checkpointing: `run_until(Some(c))`
+/// converges every clock onto cycle `c` (a *safe-point*: global == local
+/// on every unfinished driving core, SPSC rings drained, no in-flight
+/// uncore transaction unaccounted for), after which [`Engine::snapshot`]
+/// serializes the complete simulated system and [`Engine::resume`]
+/// reconstructs it — bit-deterministically for conservative schemes —
+/// in this or any later process, optionally under a different scheme
+/// (fork-from-snapshot, the Fig. 6 grid workflow).
+pub struct Engine {
+    cfg: TargetConfig,
+    scheme: Scheme,
+    mem: FuncMemory,
+    cores: Vec<CoreSim>,
+    out_consumers: Vec<spsc::Consumer<OutEvent>>,
+    uncore: Uncore,
+    board: Arc<ClockBoard>,
+    tracker: Option<Arc<ConflictTracker>>,
+    roi: Arc<RoiState>,
+    shards: Vec<crate::shard::MemShard>,
+    shard_signals: Vec<Arc<crate::shard::ShardSignal>>,
+    shard_frontiers: Vec<Arc<std::sync::atomic::AtomicU64>>,
+    engine: EngineStats,
+    slack_profile: Vec<(u64, u64)>,
+    /// Highest window already published to every core: re-raising an
+    /// unchanged window is a no-op per core, so skip the whole loop.
+    last_window: u64,
+    wall: Duration,
+    finished: bool,
+}
+
+impl Engine {
+    /// Wire up a simulation of `program` under `scheme` without starting
+    /// any host threads.
+    pub fn new(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> Engine {
+        let Plumbing { mut cores, out_consumers, in_producers, tracker, roi, mem } =
+            plumb(program, cfg);
+        let n = cfg.n_cores;
+        let initial_window = match scheme {
+            Scheme::AdaptiveQuantum { min, .. } => min,
+            s => s.window(0),
+        };
+        let board = Arc::new(ClockBoard::new(n, initial_window));
+        let uncore = Uncore::new(cfg, scheme, in_producers, Some(board.clone()));
+
+        // ---- sharded memory managers (extension; cfg.mem_shards > 0) ----
+        let n_shards = cfg.mem_shards.min(cfg.mem.n_banks);
+        let mut shards: Vec<crate::shard::MemShard> = Vec::new();
+        let mut shard_signals: Vec<Arc<crate::shard::ShardSignal>> = Vec::new();
+        if n_shards > 0 {
+            // rings[s][c]: events core c -> shard s; replies shard s -> core c.
+            let mut ev_consumers: Vec<Vec<spsc::Consumer<OutEvent>>> =
+                (0..n_shards).map(|_| Vec::new()).collect();
+            let mut reply_producers: Vec<Vec<spsc::Producer<InMsg>>> =
+                (0..n_shards).map(|_| Vec::new()).collect();
+            shard_signals =
+                (0..n_shards).map(|_| Arc::new(crate::shard::ShardSignal::default())).collect();
+            for core in cores.iter_mut() {
+                let mut my_reply_rings = Vec::new();
+                let mut my_event_rings = Vec::new();
+                for s in 0..n_shards {
+                    let (ev_p, ev_c) = spsc::channel(cfg.queue_capacity);
+                    let (rep_p, rep_c) = spsc::channel(cfg.queue_capacity);
+                    ev_consumers[s].push(ev_c);
+                    reply_producers[s].push(rep_p);
+                    my_event_rings.push(ev_p);
+                    my_reply_rings.push(rep_c);
+                }
+                core.attach_shards(my_reply_rings, my_event_rings, shard_signals.clone());
+            }
+            for (s, (evc, repp)) in ev_consumers.into_iter().zip(reply_producers).enumerate() {
+                shards.push(crate::shard::MemShard::new(s, cfg, scheme, evc, repp, board.clone()));
+            }
+        }
+        let shard_frontiers: Vec<_> = shards.iter().map(|s| s.frontier.clone()).collect();
+        let mut slack_profile: Vec<(u64, u64)> = Vec::new();
+        if cfg.record_trace {
+            slack_profile.reserve(SLACK_PROFILE_RESERVE.min(SLACK_PROFILE_CAP));
+        }
+        Engine {
+            cfg: *cfg,
+            scheme,
+            mem,
+            cores,
+            out_consumers,
+            uncore,
+            board,
+            tracker,
+            roi,
+            shards,
+            shard_signals,
+            shard_frontiers,
+            engine: EngineStats::default(),
+            slack_profile,
+            last_window: 0,
+            wall: Duration::ZERO,
+            finished: false,
+        }
+    }
+
+    /// The scheme this engine runs under.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The current global time.
+    pub fn global(&self) -> u64 {
+        self.board.global()
+    }
+
+    /// Has the simulation ended (workload exit, stop condition, deadlock)?
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Is every core either excluded from the driving set (finished,
+    /// parked without a thread, sync-suspended) or blocked exactly on the
+    /// checkpoint cycle? This is the safe-point condition: nothing is
+    /// simulating, and no clock that drives global time sits anywhere but
+    /// `c`.
+    fn checkpoint_ready(&self, c: u64) -> bool {
+        (0..self.board.n_cores()).all(|i| match self.board.state(i) {
+            CoreState::Running | CoreState::MemWait => false,
+            CoreState::Blocked => self.board.local(i) == c,
+            CoreState::Finished | CoreState::Parked | CoreState::SyncWait => true,
+        })
+    }
+
+    /// Run one segment: spawn the core (and shard) threads, drive the
+    /// manager loop, and tear the threads down again when the segment
+    /// ends. With `until = None` the segment runs to the natural end of
+    /// the simulation. With `until = Some(c)` the checkpoint limit caps
+    /// every clock at `c` and the segment ends at the safe-point (or
+    /// earlier, if the simulation finishes first — the outcome says
+    /// which).
+    ///
+    /// `until` must not lie in the past of any core's clock, and
+    /// checkpointing is unsupported with sharded memory managers.
+    pub fn run_until(&mut self, until: Option<u64>) -> RunOutcome {
+        if self.finished {
+            return RunOutcome::Finished;
+        }
+        if let Some(c) = until {
+            assert!(
+                self.shards.is_empty(),
+                "checkpointing is not supported with sharded memory managers"
+            );
+            assert!(
+                self.cores.iter().all(|core| core.local() <= c),
+                "checkpoint cycle {c} is in the past of a core clock"
+            );
+            self.board.set_checkpoint_limit(c);
+        } else {
+            self.board.clear_checkpoint_limit();
+        }
+        self.board.reset_stop();
+
+        let n = self.cfg.n_cores;
+        let ordered_scheme = self.scheme.ordering() != crate::scheme::EventOrdering::Eager
+            && !self.shard_frontiers.is_empty();
+        let t0 = Instant::now();
+        // Time the manager has been continuously quiescent with nothing to
+        // do while unfinished cores exist: a workload deadlock (e.g. a
+        // barrier that can never be released). Global time is frozen in
+        // that state, so the max_cycles backstop alone cannot fire.
+        let mut quiet_since: Option<Instant> = None;
+        let mut outcome = RunOutcome::Finished;
+
+        let cores = std::mem::take(&mut self.cores);
+        let shards = std::mem::take(&mut self.shards);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = cores
+                .into_iter()
+                .map(|mut core| {
+                    let board = self.board.clone();
+                    s.spawn(move || {
+                        core.run(&board);
+                        core
+                    })
+                })
+                .collect();
+            let shard_handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard| {
+                    let sig = self.shard_signals[shard.index].clone();
+                    s.spawn(move || shard.run(sig))
+                })
+                .collect();
+
+            // ---- the manager thread (paper §2.1) ----
+            // Adaptive pacing state: see IDLE_WAIT_MIN/MAX above.
+            let mut idle_wait = IDLE_WAIT_MIN;
+            let mut clock_cache = GlobalCache::new(n);
+            let mut drain_scratch: Vec<OutEvent> = Vec::new();
+            // Consecutive iterations the safe-point condition held with no
+            // event drained. Two in a row prove the system is at rest:
+            // the first pass shows every core was already parked *before*
+            // this iteration's drain (a core publishes its events, then
+            // its parked state, so anything it sent is visible), and the
+            // second shows the manager's own processing woke nobody.
+            let mut ready_streak = 0u32;
+            loop {
+                let signalled = self.board.manager_wait(idle_wait);
+                let ready_before = match until {
+                    Some(c) => self.checkpoint_ready(c),
+                    None => false,
+                };
+                // Order matters for determinism of ordered schemes: publish
+                // global time first, then drain (every event with ts ≤ global
+                // is already in its ring by the release/acquire pairing on
+                // local time), then process up to the horizon.
+                let (g, all_done) = self.board.recompute_global_cached(&mut clock_cache);
+                self.engine.global_updates += 1;
+                let slack_now = self.board.observed_slack();
+                self.engine.max_observed_slack = self.engine.max_observed_slack.max(slack_now);
+                if self.cfg.record_trace && self.slack_profile.last().map(|&(pg, _)| pg) != Some(g)
+                {
+                    if self.slack_profile.len() < SLACK_PROFILE_CAP {
+                        self.slack_profile.push((g, slack_now));
+                    } else {
+                        self.engine.slack_profile_truncated += 1;
+                    }
+                }
+                let mut ingested = 0usize;
+                for (c, q) in self.out_consumers.iter_mut().enumerate() {
+                    loop {
+                        drain_scratch.clear();
+                        if q.drain_into(&mut drain_scratch, usize::MAX) == 0 {
+                            break;
+                        }
+                        ingested += drain_scratch.len();
+                        self.uncore.ingest_batch(c, &drain_scratch);
+                    }
+                }
+                // When no core is actively driving global time (all blocked in
+                // sync calls / parked / finished), advance the processing
+                // horizon to the earliest queued event so barrier arrivals can
+                // complete and release the waiters.
+                let quiescent = self.board.active_count() == 0;
+                let mut g_eff = if quiescent {
+                    self.uncore.min_pending_ts().map_or(g, |t| g.max(t))
+                } else {
+                    g
+                };
+                if let Some(c) = until {
+                    // The horizon never passes the safe-point: events due
+                    // after it belong to the next segment (and are carried
+                    // in the snapshot's GQ).
+                    g_eff = g_eff.min(c);
+                }
+                if quiescent {
+                    // Sync-blocked cores cannot complete the current quantum;
+                    // process pending events directly so they can be released.
+                    self.uncore.process_all_upto(g_eff);
+                } else {
+                    self.uncore.process_ready(g_eff);
+                }
+                // Windows derive from the *true* global time: g_eff is only a
+                // processing horizon and may sit on a future event timestamp —
+                // deriving windows from it would let cores tick past
+                // global + slack, breaking the discipline. With sharded
+                // managers and an ordered scheme, windows additionally hold
+                // back to the slowest shard's processed frontier so no core
+                // outruns an undelivered reply.
+                let g_window = if ordered_scheme {
+                    let fmin = self
+                        .shard_frontiers
+                        .iter()
+                        .map(|f| f.load(Ordering::Acquire))
+                        .min()
+                        .unwrap_or(g);
+                    g.min(fmin)
+                } else {
+                    g
+                };
+                let mut w = self.uncore.window(g_window);
+                if let Some(c) = until {
+                    // The core-side limit would clamp anyway; capping the
+                    // published window spares pointless wake-and-recheck
+                    // cycles on cores already parked at the safe-point.
+                    w = w.min(c);
+                }
+                if w > self.last_window {
+                    for c in 0..n {
+                        self.board.raise_max_local(c, w);
+                    }
+                    self.last_window = w;
+                }
+                self.uncore.flush_overflow();
+                self.uncore.flush_wakeups();
+
+                if all_done {
+                    if std::env::var_os("SK_TRACE").is_some() {
+                        eprintln!("[mgr] stop: all_done at g={g}");
+                    }
+                    break;
+                }
+                if let Some(c) = until {
+                    if ready_before && ingested == 0 && self.checkpoint_ready(c) {
+                        ready_streak += 1;
+                        if ready_streak >= 2 {
+                            outcome = RunOutcome::CheckpointReady;
+                            break;
+                        }
+                    } else {
+                        ready_streak = 0;
+                    }
+                }
+                // Pacing: a signal or drained events means the pipeline is
+                // flowing — stay responsive. Otherwise back off exponentially;
+                // the first signal_manager ends the park immediately.
+                if signalled || ingested > 0 {
+                    idle_wait = IDLE_WAIT_MIN;
+                } else {
+                    idle_wait = (idle_wait * 2).min(IDLE_WAIT_MAX);
+                }
+                if quiescent
+                    && !self.board.any_mem_waiting()
+                    && self.uncore.min_pending_ts().is_none()
+                {
+                    let since = *quiet_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() > DEADLOCK_AFTER {
+                        // Continuous quiescence: the workload is deadlocked
+                        // (sync-blocked with nothing in flight).
+                        break;
+                    }
+                } else {
+                    quiet_since = None;
+                }
+                if let StopCondition::RoiInstructions(limit) = self.cfg.stop {
+                    if self.roi.committed.load(Ordering::Relaxed) >= limit {
+                        break;
+                    }
+                }
+                if g >= self.cfg.max_cycles {
+                    if std::env::var_os("SK_TRACE").is_some() {
+                        eprintln!("[mgr] stop: max_cycles at g={g}");
+                    }
+                    break;
+                }
+                if self.board.stopping() {
+                    if std::env::var_os("SK_TRACE").is_some() {
+                        eprintln!("[mgr] stop: stopping at g={g}");
+                    }
+                    break;
+                }
+            }
+            // Checkpoint teardown deliberately skips the `Stop` broadcast:
+            // a `Stop` in an InQ would poison `stop_seen` in the restored
+            // cores. The stop flag alone unblocks every parked thread.
+            if outcome == RunOutcome::Finished {
+                self.uncore.broadcast_stop();
+            }
+            self.board.stop_all();
+            for sig in &self.shard_signals {
+                sig.signal();
+            }
+
+            self.cores =
+                handles.into_iter().map(|h| h.join().expect("core thread panicked")).collect();
+            self.shards = shard_handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect();
+            if outcome == RunOutcome::Finished {
+                // Final drain so late events (Exit, statistics) are accounted.
+                for (c, q) in self.out_consumers.iter_mut().enumerate() {
+                    loop {
+                        drain_scratch.clear();
+                        if q.drain_into(&mut drain_scratch, usize::MAX) == 0 {
+                            break;
+                        }
+                        self.uncore.ingest_batch(c, &drain_scratch);
+                    }
+                }
+                self.uncore.process_ready(u64::MAX);
+            }
+        });
+        self.wall += t0.elapsed();
+        if outcome == RunOutcome::Finished {
+            self.finished = true;
+        }
+        outcome
+    }
+
+    /// Serialize the complete simulated system. Call at a safe-point: a
+    /// fresh engine (nothing run yet), after `run_until(Some(c))` returned
+    /// [`RunOutcome::CheckpointReady`], or after the simulation finished.
+    ///
+    /// Unsupported configurations (sharded memory managers, trace
+    /// recording) return [`SnapError::Unsupported`] — they keep state in
+    /// host-side structures this format does not carry.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, SnapError> {
+        if self.cfg.mem_shards > 0 {
+            return Err(SnapError::Unsupported(
+                "sharded memory managers cannot be snapshotted".into(),
+            ));
+        }
+        if self.cfg.record_trace {
+            return Err(SnapError::Unsupported(
+                "trace-recording runs cannot be snapshotted".into(),
+            ));
+        }
+        // Move every in-flight message into serializable structures:
+        // overflowed replies retry into the rings, cores drain the rings
+        // into their timestamp heaps, until both levels are empty.
+        for _ in 0..1024 {
+            self.uncore.flush_overflow();
+            for core in self.cores.iter_mut() {
+                core.drain_pending();
+            }
+            if self.uncore.overflow_empty() {
+                break;
+            }
+        }
+        if !self.uncore.overflow_empty() {
+            return Err(SnapError::Unsupported(
+                "InQ overflow failed to drain at the safe-point".into(),
+            ));
+        }
+        let mut w = Writer::with_capacity(1 << 16);
+        self.cfg.save(&mut w);
+        self.scheme.save(&mut w);
+        w.put_u64(self.board.global());
+        w.put_usize(self.cores.len());
+        for core in &self.cores {
+            w.put_u64(core.local());
+        }
+        self.mem.save(&mut w);
+        match &self.tracker {
+            None => w.put_bool(false),
+            Some(t) => {
+                w.put_bool(true);
+                t.save(&mut w);
+            }
+        }
+        w.put_bool(self.roi.active.load(Ordering::Relaxed));
+        w.put_u64(self.roi.committed.load(Ordering::Relaxed));
+        let mut es = self.engine;
+        es.blocks += self.board.blocks.load(Ordering::Relaxed);
+        es.wakeups += self.board.wakeups.load(Ordering::Relaxed);
+        es.save(&mut w);
+        for core in &self.cores {
+            core.save_state(&mut w);
+        }
+        self.uncore.save_state(&mut w);
+        Ok(sk_snap::seal(&w.into_bytes()))
+    }
+
+    /// [`Engine::snapshot`] straight to a file (write-then-rename, so a
+    /// crash never leaves a torn image under the target name).
+    pub fn snapshot_to_file(&mut self, path: &std::path::Path) -> Result<(), SnapError> {
+        let bytes = self.snapshot()?; // already sealed
+        let tmp = path.with_extension("snap.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// [`Engine::resume`] from a snapshot file.
+    pub fn resume_from_file(
+        path: &std::path::Path,
+        scheme_override: Option<Scheme>,
+    ) -> Result<Engine, SnapError> {
+        let bytes = std::fs::read(path)?;
+        Engine::resume(&bytes, scheme_override)
+    }
+
+    /// Reconstruct an engine from [`Engine::snapshot`] bytes, optionally
+    /// forking onto a different scheme. All validation errors come back as
+    /// [`SnapError`]s — a damaged or wrong-version snapshot never panics.
+    pub fn resume(bytes: &[u8], scheme_override: Option<Scheme>) -> Result<Engine, SnapError> {
+        let payload = sk_snap::open(bytes)?;
+        let mut r = Reader::new(payload);
+        let cfg = TargetConfig::load(&mut r)?;
+        let saved_scheme = Scheme::load(&mut r)?;
+        let scheme = scheme_override.unwrap_or(saved_scheme);
+        if cfg.mem_shards > 0 || cfg.record_trace {
+            return Err(SnapError::Unsupported(
+                "snapshot claims a configuration that cannot be snapshotted".into(),
+            ));
+        }
+        let g = r.get_u64()?;
+        let nl = r.get_count(8)?;
+        if nl != cfg.n_cores {
+            return Err(SnapError::Corrupt(format!("{nl} core clocks for {} cores", cfg.n_cores)));
+        }
+        let mut locals = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            locals.push(r.get_u64()?);
+        }
+        // Qualified: FuncMemory's inherent `load(image)` shadows the trait.
+        let mem = <FuncMemory as Persist>::load(&mut r)?;
+        let tracker =
+            if r.get_bool()? { Some(Arc::new(ConflictTracker::load(&mut r)?)) } else { None };
+        let wants_tracker = cfg.track_workload_violations || cfg.fast_forward_compensation;
+        if tracker.is_some() != wants_tracker {
+            return Err(SnapError::Corrupt(
+                "conflict-tracker presence disagrees with the configuration".into(),
+            ));
+        }
+        let roi = Arc::new(RoiState::default());
+        let roi_active = r.get_bool()?;
+        let roi_committed = r.get_u64()?;
+        roi.active.store(roi_active, Ordering::Relaxed);
+        roi.committed.store(roi_committed, Ordering::Relaxed);
+        let engine_stats = EngineStats::load(&mut r)?;
+
+        let board = Arc::new(ClockBoard::restored(&locals, g));
+        let mut cores = Vec::with_capacity(cfg.n_cores);
+        let mut out_consumers = Vec::with_capacity(cfg.n_cores);
+        let mut in_producers = Vec::with_capacity(cfg.n_cores);
+        for (id, &local) in locals.iter().enumerate() {
+            let (in_p, in_c) = spsc::channel(cfg.queue_capacity);
+            let (out_p, out_c) = spsc::channel(cfg.queue_capacity);
+            let cpu = build_cpu(&cfg);
+            let mut core =
+                CoreSim::new(id, &cfg, cpu, in_c, out_p, mem.clone(), tracker.clone(), roi.clone());
+            core.restore_state(&mut r)?;
+            if core.local() != local {
+                return Err(SnapError::Corrupt(format!(
+                    "core {id} clock {} disagrees with the board clock {}",
+                    core.local(),
+                    local
+                )));
+            }
+            cores.push(core);
+            out_consumers.push(out_c);
+            in_producers.push(in_p);
+        }
+        let mut uncore = Uncore::new(&cfg, scheme, in_producers, Some(board.clone()));
+        uncore.restore_state(&mut r)?;
+        r.finish()?;
+        // A fork onto an eager scheme must not strand events that were
+        // queued under the snapshot's ordered discipline.
+        uncore.adopt_queued_for_scheme();
+
+        Ok(Engine {
+            cfg,
+            scheme,
+            mem,
+            cores,
+            out_consumers,
+            uncore,
+            board,
+            tracker,
+            roi,
+            shards: Vec::new(),
+            shard_signals: Vec::new(),
+            shard_frontiers: Vec::new(),
+            engine: engine_stats,
+            slack_profile: Vec::new(),
+            last_window: 0,
+            wall: Duration::ZERO,
+            finished: false,
+        })
+    }
+
+    /// Finalize the cores and assemble the run's [`SimReport`].
+    pub fn into_report(mut self) -> SimReport {
+        self.engine.blocks += self.board.blocks.load(Ordering::Relaxed);
+        self.engine.wakeups += self.board.wakeups.load(Ordering::Relaxed);
+        self.engine.events_processed = self.uncore.events_processed
+            + self.shards.iter().map(|s| s.events_processed).sum::<u64>();
+        self.engine.final_quantum = self.uncore.current_quantum();
+
+        let outputs: Vec<CoreOutput> = self.cores.into_iter().map(|c| c.into_output()).collect();
+        let violations = violation_report(&self.tracker);
+        let mut report = assemble_report(
+            self.scheme,
+            &self.cfg,
+            outputs,
+            &self.uncore,
+            self.engine,
+            violations,
+            self.wall,
+        );
+        if self.cfg.record_trace {
+            report.slack_profile = Some(self.slack_profile);
+        }
+        // Merge sharded directory/interconnect statistics.
+        for sh in &self.shards {
+            let d = sh.dir_stats();
+            let r = &mut report.dir;
+            r.gets += d.gets;
+            r.getm += d.getm;
+            r.upgrades += d.upgrades;
+            r.puts += d.puts;
+            r.invalidations_out += d.invalidations_out;
+            r.downgrades_out += d.downgrades_out;
+            r.l2_hits += d.l2_hits;
+            r.l2_misses += d.l2_misses;
+            r.writebacks += d.writebacks;
+            r.transition_inversions += d.transition_inversions;
+            let b = sh.bus_stats();
+            report.bus.grants += b.grants;
+            report.bus.conflicts += b.conflicts;
+            report.bus.wait_cycles += b.wait_cycles;
+            report.bus.inversions += b.inversions;
+        }
+        report
+    }
+}
+
 /// Run `program` on the parallel engine under `scheme`.
 ///
 /// One host thread per target core plus a manager thread, exactly as in
@@ -150,251 +769,7 @@ pub(crate) fn assemble_report(
 /// memory-manager threads carry the directory/L2 work (the paper's §2.2
 /// "split the manager" suggestion; see `crate::shard`).
 pub fn run_parallel(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> SimReport {
-    let Plumbing { mut cores, mut out_consumers, in_producers, tracker, roi } = plumb(program, cfg);
-    let n = cfg.n_cores;
-
-    let initial_window = match scheme {
-        Scheme::AdaptiveQuantum { min, .. } => min,
-        s => s.window(0),
-    };
-    let board = Arc::new(ClockBoard::new(n, initial_window));
-    let mut uncore = Uncore::new(cfg, scheme, in_producers, Some(board.clone()));
-
-    // ---- sharded memory managers (extension; cfg.mem_shards > 0) ----
-    let n_shards = cfg.mem_shards.min(cfg.mem.n_banks);
-    let mut shards: Vec<crate::shard::MemShard> = Vec::new();
-    let mut shard_signals: Vec<Arc<crate::shard::ShardSignal>> = Vec::new();
-    if n_shards > 0 {
-        // rings[s][c]: events core c -> shard s; replies shard s -> core c.
-        let mut ev_consumers: Vec<Vec<spsc::Consumer<OutEvent>>> =
-            (0..n_shards).map(|_| Vec::new()).collect();
-        let mut reply_producers: Vec<Vec<spsc::Producer<InMsg>>> =
-            (0..n_shards).map(|_| Vec::new()).collect();
-        shard_signals =
-            (0..n_shards).map(|_| Arc::new(crate::shard::ShardSignal::default())).collect();
-        for core in cores.iter_mut() {
-            let mut my_reply_rings = Vec::new();
-            let mut my_event_rings = Vec::new();
-            for s in 0..n_shards {
-                let (ev_p, ev_c) = spsc::channel(cfg.queue_capacity);
-                let (rep_p, rep_c) = spsc::channel(cfg.queue_capacity);
-                ev_consumers[s].push(ev_c);
-                reply_producers[s].push(rep_p);
-                my_event_rings.push(ev_p);
-                my_reply_rings.push(rep_c);
-            }
-            core.attach_shards(my_reply_rings, my_event_rings, shard_signals.clone());
-        }
-        for (s, (evc, repp)) in ev_consumers.into_iter().zip(reply_producers).enumerate() {
-            shards.push(crate::shard::MemShard::new(s, cfg, scheme, evc, repp, board.clone()));
-        }
-    }
-    let shard_frontiers: Vec<_> = shards.iter().map(|s| s.frontier.clone()).collect();
-    let ordered_scheme =
-        scheme.ordering() != crate::scheme::EventOrdering::Eager && !shard_frontiers.is_empty();
-
-    let t0 = Instant::now();
-    let mut engine = EngineStats::default();
-    let mut slack_profile: Vec<(u64, u64)> = Vec::new();
-    if cfg.record_trace {
-        slack_profile.reserve(SLACK_PROFILE_RESERVE.min(SLACK_PROFILE_CAP));
-    }
-    // Time the manager has been continuously quiescent with nothing to do
-    // while unfinished cores exist: a workload deadlock (e.g. a barrier
-    // that can never be released). Global time is frozen in that state,
-    // so the max_cycles backstop alone cannot fire.
-    let mut quiet_since: Option<Instant> = None;
-
-    let mut shard_results: Vec<crate::shard::MemShard> = Vec::new();
-    let outputs: Vec<CoreOutput> = std::thread::scope(|s| {
-        let handles: Vec<_> = cores
-            .into_iter()
-            .map(|core| {
-                let board = board.clone();
-                s.spawn(move || core.run(&board))
-            })
-            .collect();
-        let shard_handles: Vec<_> = shards
-            .into_iter()
-            .map(|shard| {
-                let sig = shard_signals[shard.index].clone();
-                s.spawn(move || shard.run(sig))
-            })
-            .collect();
-
-        // ---- the manager thread (paper §2.1) ----
-        // Adaptive pacing state: see IDLE_WAIT_MIN/MAX above.
-        let mut idle_wait = IDLE_WAIT_MIN;
-        let mut clock_cache = GlobalCache::new(n);
-        let mut drain_scratch: Vec<OutEvent> = Vec::new();
-        // Highest window already published to every core: re-raising an
-        // unchanged window is a no-op per core, so skip the whole loop.
-        let mut last_window = 0u64;
-        loop {
-            let signalled = board.manager_wait(idle_wait);
-            // Order matters for determinism of ordered schemes: publish
-            // global time first, then drain (every event with ts ≤ global
-            // is already in its ring by the release/acquire pairing on
-            // local time), then process up to the horizon.
-            let (g, all_done) = board.recompute_global_cached(&mut clock_cache);
-            engine.global_updates += 1;
-            let slack_now = board.observed_slack();
-            engine.max_observed_slack = engine.max_observed_slack.max(slack_now);
-            if cfg.record_trace && slack_profile.last().map(|&(pg, _)| pg) != Some(g) {
-                if slack_profile.len() < SLACK_PROFILE_CAP {
-                    slack_profile.push((g, slack_now));
-                } else {
-                    engine.slack_profile_truncated += 1;
-                }
-            }
-            let mut ingested = 0usize;
-            for (c, q) in out_consumers.iter_mut().enumerate() {
-                loop {
-                    drain_scratch.clear();
-                    if q.drain_into(&mut drain_scratch, usize::MAX) == 0 {
-                        break;
-                    }
-                    ingested += drain_scratch.len();
-                    uncore.ingest_batch(c, &drain_scratch);
-                }
-            }
-            // When no core is actively driving global time (all blocked in
-            // sync calls / parked / finished), advance the processing
-            // horizon to the earliest queued event so barrier arrivals can
-            // complete and release the waiters.
-            let quiescent = board.active_count() == 0;
-            let g_eff = if quiescent { uncore.min_pending_ts().map_or(g, |t| g.max(t)) } else { g };
-            if quiescent {
-                // Sync-blocked cores cannot complete the current quantum;
-                // process pending events directly so they can be released.
-                uncore.process_all_upto(g_eff);
-            } else {
-                uncore.process_ready(g_eff);
-            }
-            // Windows derive from the *true* global time: g_eff is only a
-            // processing horizon and may sit on a future event timestamp —
-            // deriving windows from it would let cores tick past
-            // global + slack, breaking the discipline. With sharded
-            // managers and an ordered scheme, windows additionally hold
-            // back to the slowest shard's processed frontier so no core
-            // outruns an undelivered reply.
-            let g_window = if ordered_scheme {
-                let fmin =
-                    shard_frontiers.iter().map(|f| f.load(Ordering::Acquire)).min().unwrap_or(g);
-                g.min(fmin)
-            } else {
-                g
-            };
-            let w = uncore.window(g_window);
-            if w > last_window {
-                // Windows are monotone per core, so once every core has
-                // seen `w` a re-raise is a guaranteed no-op; only a grown
-                // window needs the store/wakeup pass.
-                for c in 0..n {
-                    board.raise_max_local(c, w);
-                }
-                last_window = w;
-            }
-            uncore.flush_overflow();
-            uncore.flush_wakeups();
-
-            if all_done {
-                if std::env::var_os("SK_TRACE").is_some() {
-                    eprintln!("[mgr] stop: all_done at g={g}");
-                }
-                break;
-            }
-            // Pacing: a signal or drained events means the pipeline is
-            // flowing — stay responsive. Otherwise back off exponentially;
-            // the first signal_manager ends the park immediately.
-            if signalled || ingested > 0 {
-                idle_wait = IDLE_WAIT_MIN;
-            } else {
-                idle_wait = (idle_wait * 2).min(IDLE_WAIT_MAX);
-            }
-            if quiescent && !board.any_mem_waiting() && uncore.min_pending_ts().is_none() {
-                let since = *quiet_since.get_or_insert_with(Instant::now);
-                if since.elapsed() > DEADLOCK_AFTER {
-                    // Continuous quiescence: the workload is deadlocked
-                    // (sync-blocked with nothing in flight).
-                    break;
-                }
-            } else {
-                quiet_since = None;
-            }
-            if let StopCondition::RoiInstructions(limit) = cfg.stop {
-                if roi.committed.load(Ordering::Relaxed) >= limit {
-                    break;
-                }
-            }
-            if g >= cfg.max_cycles {
-                if std::env::var_os("SK_TRACE").is_some() {
-                    eprintln!("[mgr] stop: max_cycles at g={g}");
-                }
-                break;
-            }
-            if board.stopping() {
-                if std::env::var_os("SK_TRACE").is_some() {
-                    eprintln!("[mgr] stop: stopping at g={g}");
-                }
-                break;
-            }
-        }
-        uncore.broadcast_stop();
-        board.stop_all();
-        for sig in &shard_signals {
-            sig.signal();
-        }
-
-        // Final drain so late events (Exit, statistics) are accounted.
-        let handles: Vec<CoreOutput> =
-            handles.into_iter().map(|h| h.join().expect("core thread panicked")).collect();
-        shard_results =
-            shard_handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect();
-        for (c, q) in out_consumers.iter_mut().enumerate() {
-            loop {
-                drain_scratch.clear();
-                if q.drain_into(&mut drain_scratch, usize::MAX) == 0 {
-                    break;
-                }
-                uncore.ingest_batch(c, &drain_scratch);
-            }
-        }
-        uncore.process_ready(u64::MAX);
-        handles
-    });
-
-    engine.blocks = board.blocks.load(Ordering::Relaxed);
-    engine.wakeups = board.wakeups.load(Ordering::Relaxed);
-    engine.events_processed =
-        uncore.events_processed + shard_results.iter().map(|s| s.events_processed).sum::<u64>();
-    engine.final_quantum = uncore.current_quantum();
-
-    let violations = violation_report(&tracker);
-    let mut report =
-        assemble_report(scheme, cfg, outputs, &uncore, engine, violations, t0.elapsed());
-    if cfg.record_trace {
-        report.slack_profile = Some(slack_profile);
-    }
-    // Merge sharded directory/interconnect statistics.
-    for sh in &shard_results {
-        let d = sh.dir_stats();
-        let r = &mut report.dir;
-        r.gets += d.gets;
-        r.getm += d.getm;
-        r.upgrades += d.upgrades;
-        r.puts += d.puts;
-        r.invalidations_out += d.invalidations_out;
-        r.downgrades_out += d.downgrades_out;
-        r.l2_hits += d.l2_hits;
-        r.l2_misses += d.l2_misses;
-        r.writebacks += d.writebacks;
-        r.transition_inversions += d.transition_inversions;
-        let b = sh.bus_stats();
-        report.bus.grants += b.grants;
-        report.bus.conflicts += b.conflicts;
-        report.bus.wait_cycles += b.wait_cycles;
-        report.bus.inversions += b.inversions;
-    }
-    report
+    let mut engine = Engine::new(program, scheme, cfg);
+    engine.run_until(None);
+    engine.into_report()
 }

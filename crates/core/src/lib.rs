@@ -60,7 +60,7 @@ pub mod uncore;
 pub mod violation;
 
 pub use config::{CoreConfig, CoreModel, StopCondition, TargetConfig};
-pub use engine::run_parallel;
+pub use engine::{run_parallel, Engine, RunOutcome};
 pub use interp::{interpret, InterpResult, InterpStop};
 pub use scheme::Scheme;
 pub use seq::{run_sequential, run_sequential_debug as seq_debug};

@@ -5,6 +5,7 @@
 
 use sk_mem::l1::ReqKind;
 use sk_mem::BlockAddr;
+use sk_snap::{Persist, Reader, SnapError, Writer};
 
 /// Synchronization operations, routed through the manager thread so that
 /// their global ordering is governed by the active slack scheme (this is
@@ -105,6 +106,177 @@ impl GlobalEvent {
     /// Deterministic processing key: (timestamp, core, per-core sequence).
     pub fn key(&self) -> (u64, usize, u64) {
         (self.ev.ts, self.core, self.ev.seq)
+    }
+}
+
+impl Persist for SyncOp {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            SyncOp::InitLock { id } => {
+                w.put_u8(0);
+                w.put_u32(id);
+            }
+            SyncOp::Lock { id } => {
+                w.put_u8(1);
+                w.put_u32(id);
+            }
+            SyncOp::Unlock { id } => {
+                w.put_u8(2);
+                w.put_u32(id);
+            }
+            SyncOp::InitBarrier { id, count } => {
+                w.put_u8(3);
+                w.put_u32(id);
+                w.put_u32(count);
+            }
+            SyncOp::BarrierArrive { id } => {
+                w.put_u8(4);
+                w.put_u32(id);
+            }
+            SyncOp::InitSema { id, count } => {
+                w.put_u8(5);
+                w.put_u32(id);
+                w.put_i64(count);
+            }
+            SyncOp::SemaWait { id } => {
+                w.put_u8(6);
+                w.put_u32(id);
+            }
+            SyncOp::SemaSignal { id } => {
+                w.put_u8(7);
+                w.put_u32(id);
+            }
+            SyncOp::Spawn { entry, arg } => {
+                w.put_u8(8);
+                w.put_u64(entry);
+                w.put_u64(arg);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => SyncOp::InitLock { id: r.get_u32()? },
+            1 => SyncOp::Lock { id: r.get_u32()? },
+            2 => SyncOp::Unlock { id: r.get_u32()? },
+            3 => SyncOp::InitBarrier { id: r.get_u32()?, count: r.get_u32()? },
+            4 => SyncOp::BarrierArrive { id: r.get_u32()? },
+            5 => SyncOp::InitSema { id: r.get_u32()?, count: r.get_i64()? },
+            6 => SyncOp::SemaWait { id: r.get_u32()? },
+            7 => SyncOp::SemaSignal { id: r.get_u32()? },
+            8 => SyncOp::Spawn { entry: r.get_u64()?, arg: r.get_u64()? },
+            t => return Err(SnapError::Corrupt(format!("sync-op tag {t}"))),
+        })
+    }
+}
+
+impl Persist for OutKind {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            OutKind::DMem { req, block } => {
+                w.put_u8(0);
+                req.save(w);
+                w.put_u64(block);
+            }
+            OutKind::IMem { block } => {
+                w.put_u8(1);
+                w.put_u64(block);
+            }
+            OutKind::Sync(op) => {
+                w.put_u8(2);
+                op.save(w);
+            }
+            OutKind::Exit { code } => {
+                w.put_u8(3);
+                w.put_u64(code);
+            }
+            OutKind::RoiBegin => w.put_u8(4),
+            OutKind::RoiEnd => w.put_u8(5),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => OutKind::DMem { req: ReqKind::load(r)?, block: r.get_u64()? },
+            1 => OutKind::IMem { block: r.get_u64()? },
+            2 => OutKind::Sync(SyncOp::load(r)?),
+            3 => OutKind::Exit { code: r.get_u64()? },
+            4 => OutKind::RoiBegin,
+            5 => OutKind::RoiEnd,
+            t => return Err(SnapError::Corrupt(format!("out-kind tag {t}"))),
+        })
+    }
+}
+
+impl Persist for OutEvent {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.ts);
+        w.put_u64(self.seq);
+        self.kind.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(OutEvent { ts: r.get_u64()?, seq: r.get_u64()?, kind: OutKind::load(r)? })
+    }
+}
+
+impl Persist for InKind {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            InKind::DMemReply { block, granted } => {
+                w.put_u8(0);
+                w.put_u64(block);
+                granted.save(w);
+            }
+            InKind::IMemReply { block } => {
+                w.put_u8(1);
+                w.put_u64(block);
+            }
+            InKind::SyncReply { value } => {
+                w.put_u8(2);
+                w.put_i64(value);
+            }
+            InKind::Invalidate { block, downgrade } => {
+                w.put_u8(3);
+                w.put_u64(block);
+                w.put_bool(downgrade);
+            }
+            InKind::Start { entry, arg, tid } => {
+                w.put_u8(4);
+                w.put_u64(entry);
+                w.put_u64(arg);
+                w.put_u32(tid);
+            }
+            InKind::Stop => w.put_u8(5),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => InKind::DMemReply { block: r.get_u64()?, granted: sk_mem::LineState::load(r)? },
+            1 => InKind::IMemReply { block: r.get_u64()? },
+            2 => InKind::SyncReply { value: r.get_i64()? },
+            3 => InKind::Invalidate { block: r.get_u64()?, downgrade: r.get_bool()? },
+            4 => InKind::Start { entry: r.get_u64()?, arg: r.get_u64()?, tid: r.get_u32()? },
+            5 => InKind::Stop,
+            t => return Err(SnapError::Corrupt(format!("in-kind tag {t}"))),
+        })
+    }
+}
+
+impl Persist for InMsg {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.ts);
+        self.kind.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(InMsg { ts: r.get_u64()?, kind: InKind::load(r)? })
+    }
+}
+
+impl Persist for GlobalEvent {
+    fn save(&self, w: &mut Writer) {
+        w.put_usize(self.core);
+        self.ev.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(GlobalEvent { core: r.get_usize()?, ev: OutEvent::load(r)? })
     }
 }
 

@@ -21,6 +21,7 @@
 //! scheme; `window()` is monotone in `g`, which makes max-local updates
 //! monotone and lets cores read them without locks.
 
+use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::fmt;
 use std::str::FromStr;
 
@@ -151,6 +152,52 @@ impl Scheme {
             Scheme::BoundedSlack(100),
             Scheme::Unbounded,
         ]
+    }
+}
+
+impl Persist for Scheme {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            Scheme::CycleByCycle => w.put_u8(0),
+            Scheme::Quantum(q) => {
+                w.put_u8(1);
+                w.put_u64(q);
+            }
+            Scheme::Lookahead(l) => {
+                w.put_u8(2);
+                w.put_u64(l);
+            }
+            Scheme::BoundedSlack(s) => {
+                w.put_u8(3);
+                w.put_u64(s);
+            }
+            Scheme::OldestFirstBounded(s) => {
+                w.put_u8(4);
+                w.put_u64(s);
+            }
+            Scheme::Unbounded => w.put_u8(5),
+            Scheme::AdaptiveQuantum { min, max } => {
+                w.put_u8(6);
+                w.put_u64(min);
+                w.put_u64(max);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let scheme = match r.get_u8()? {
+            0 => Scheme::CycleByCycle,
+            1 => Scheme::Quantum(r.get_u64()?),
+            2 => Scheme::Lookahead(r.get_u64()?),
+            3 => Scheme::BoundedSlack(r.get_u64()?),
+            4 => Scheme::OldestFirstBounded(r.get_u64()?),
+            5 => Scheme::Unbounded,
+            6 => Scheme::AdaptiveQuantum { min: r.get_u64()?, max: r.get_u64()? },
+            t => return Err(SnapError::Corrupt(format!("scheme tag {t}"))),
+        };
+        if !scheme.is_valid() {
+            return Err(SnapError::Corrupt(format!("degenerate scheme {scheme:?}")));
+        }
+        Ok(scheme)
     }
 }
 

@@ -65,7 +65,8 @@ pub fn run_sequential_debug(program: &Program, cfg: &TargetConfig) -> String {
 
 /// Run `program` to completion on the sequential cycle-by-cycle engine.
 pub fn run_sequential(program: &Program, cfg: &TargetConfig) -> SimReport {
-    let Plumbing { mut cores, mut out_consumers, in_producers, tracker, roi } = plumb(program, cfg);
+    let Plumbing { mut cores, mut out_consumers, in_producers, tracker, roi, .. } =
+        plumb(program, cfg);
     let mut uncore = Uncore::new(cfg, Scheme::CycleByCycle, in_producers, None);
 
     let t0 = Instant::now();

@@ -20,6 +20,8 @@
 //! time rather than host time.
 
 use crate::msg::SyncOp;
+use sk_snap::{Persist, Reader, SnapError, Writer};
+use std::collections::VecDeque;
 
 /// Counters for the synchronization subsystem.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -246,6 +248,111 @@ impl SyncTable {
     /// Current holder of lock `id`, if held (diagnostics).
     pub fn lock_holder(&self, id: u32) -> Option<usize> {
         self.locks.get(id as usize).and_then(|l| l.held_by)
+    }
+}
+
+fn save_queue(q: &VecDeque<(usize, u64)>, w: &mut Writer) {
+    w.put_usize(q.len());
+    for &(core, ts) in q {
+        w.put_usize(core);
+        w.put_u64(ts);
+    }
+}
+
+fn load_queue(r: &mut Reader<'_>) -> Result<VecDeque<(usize, u64)>, SnapError> {
+    let n = r.get_count(16)?;
+    let mut q = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        q.push_back((r.get_usize()?, r.get_u64()?));
+    }
+    Ok(q)
+}
+
+impl Persist for LockObj {
+    fn save(&self, w: &mut Writer) {
+        w.put_bool(self.initialized);
+        self.held_by.save(w);
+        save_queue(&self.waiters, w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(LockObj {
+            initialized: r.get_bool()?,
+            held_by: Option::<usize>::load(r)?,
+            waiters: load_queue(r)?,
+        })
+    }
+}
+
+impl Persist for BarrierObj {
+    fn save(&self, w: &mut Writer) {
+        w.put_bool(self.initialized);
+        w.put_u32(self.count);
+        w.put_usize(self.arrived.len());
+        for &(core, ts) in &self.arrived {
+            w.put_usize(core);
+            w.put_u64(ts);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let initialized = r.get_bool()?;
+        let count = r.get_u32()?;
+        let n = r.get_count(16)?;
+        let mut arrived = Vec::with_capacity(n);
+        for _ in 0..n {
+            arrived.push((r.get_usize()?, r.get_u64()?));
+        }
+        Ok(BarrierObj { initialized, count, arrived })
+    }
+}
+
+impl Persist for SemaObj {
+    fn save(&self, w: &mut Writer) {
+        w.put_bool(self.initialized);
+        w.put_i64(self.count);
+        save_queue(&self.waiters, w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(SemaObj { initialized: r.get_bool()?, count: r.get_i64()?, waiters: load_queue(r)? })
+    }
+}
+
+impl Persist for SyncStats {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.lock_acquisitions);
+        w.put_u64(self.lock_waits);
+        w.put_u64(self.barrier_episodes);
+        w.put_u64(self.sema_waits);
+        w.put_u64(self.implicit_inits);
+        w.put_u64(self.unlock_mismatches);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(SyncStats {
+            lock_acquisitions: r.get_u64()?,
+            lock_waits: r.get_u64()?,
+            barrier_episodes: r.get_u64()?,
+            sema_waits: r.get_u64()?,
+            implicit_inits: r.get_u64()?,
+            unlock_mismatches: r.get_u64()?,
+        })
+    }
+}
+
+/// Wait queues (and therefore future grant order) are part of the state:
+/// a restored run replays contended grants exactly as the original would.
+impl Persist for SyncTable {
+    fn save(&self, w: &mut Writer) {
+        self.locks.save(w);
+        self.barriers.save(w);
+        self.semas.save(w);
+        self.stats.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(SyncTable {
+            locks: Vec::load(r)?,
+            barriers: Vec::load(r)?,
+            semas: Vec::load(r)?,
+            stats: SyncStats::load(r)?,
+        })
     }
 }
 

@@ -23,6 +23,7 @@ use crate::spsc::Producer;
 use crate::sync::SyncTable;
 use sk_mem::l1::ReqKind;
 use sk_mem::Directory;
+use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::cmp::Reverse;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -399,5 +400,107 @@ impl Uncore {
     /// next event).
     pub fn min_pending_ts(&self) -> Option<u64> {
         self.ordered.peek().map(|Reverse(OrderedEv(ge))| ge.ev.ts)
+    }
+
+    /// Are all InQ overflow spill queues empty? A safe-point requires it:
+    /// overflowed replies live in neither the rings nor the cores' heaps,
+    /// so they would be lost by a snapshot.
+    pub fn overflow_empty(&self) -> bool {
+        self.overflow.iter().all(|q| q.is_empty())
+    }
+
+    // ---- snapshot support ----
+
+    /// Serialize the manager's dynamic state. Call only at a safe-point:
+    /// threads joined, rings and overflow queues drained into the cores'
+    /// heaps. Static wiring (InQ producers, board, latencies) and the
+    /// directory configuration come from the snapshot's `TargetConfig` on
+    /// restore.
+    pub fn save_state(&self, w: &mut Writer) {
+        debug_assert!(self.overflow_empty(), "snapshot with undelivered overflow");
+        self.started.save(w);
+        self.exited.save(w);
+        // The GQ in deterministic (ts, core, seq) order.
+        let mut gq: Vec<GlobalEvent> =
+            self.ordered.iter().map(|Reverse(OrderedEv(g))| *g).collect();
+        gq.sort_by_key(|g| g.key());
+        gq.save(w);
+        self.sync.save(w);
+        self.dir.save(w);
+        match self.adaptive {
+            None => w.put_bool(false),
+            Some(a) => {
+                w.put_bool(true);
+                w.put_u64(a.min);
+                w.put_u64(a.max);
+                w.put_u64(a.quantum);
+                w.put_u64(a.next_boundary);
+                w.put_u64(a.traffic_mark);
+            }
+        }
+        w.put_u64(self.events_processed);
+        self.roi_start.save(w);
+    }
+
+    /// Restore state written by [`Uncore::save_state`] into a freshly
+    /// built manager (same core count; the scheme may differ when forking
+    /// a snapshot, see [`Uncore::adopt_queued_for_scheme`]).
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let n = self.inqs.len();
+        let started = Vec::<bool>::load(r)?;
+        let exited = Vec::<bool>::load(r)?;
+        if started.len() != n || exited.len() != n {
+            return Err(SnapError::Corrupt(format!(
+                "thread tables sized {}/{} for {n} cores",
+                started.len(),
+                exited.len()
+            )));
+        }
+        self.started = started;
+        self.exited = exited;
+        let gq = Vec::<GlobalEvent>::load(r)?;
+        self.ordered.clear();
+        for ge in gq {
+            if ge.core >= n {
+                return Err(SnapError::Corrupt(format!("queued event for core {}", ge.core)));
+            }
+            self.ordered.push(Reverse(OrderedEv(ge)));
+        }
+        self.sync = SyncTable::load(r)?;
+        self.dir = Directory::load(r)?;
+        let saved_adaptive = if r.get_bool()? {
+            Some(Adaptive {
+                min: r.get_u64()?,
+                max: r.get_u64()?,
+                quantum: r.get_u64()?,
+                next_boundary: r.get_u64()?,
+                traffic_mark: r.get_u64()?,
+            })
+        } else {
+            None
+        };
+        // The controller state transfers only onto the same adaptive
+        // scheme; a fork onto a different scheme keeps its fresh
+        // controller (or none).
+        if let (Some(cur), Some(saved)) = (self.adaptive, saved_adaptive) {
+            if cur.min == saved.min && cur.max == saved.max {
+                self.adaptive = Some(saved);
+            }
+        }
+        self.events_processed = r.get_u64()?;
+        self.roi_start = Option::<u64>::load(r)?;
+        Ok(())
+    }
+
+    /// After restoring under an *eager* scheme (snapshot forking), drain
+    /// any events that were queued under the snapshot's ordered scheme:
+    /// eager processing never visits the GQ, so they would otherwise be
+    /// stranded. Under eager semantics they were due on arrival anyway.
+    pub fn adopt_queued_for_scheme(&mut self) {
+        if self.scheme.ordering() == EventOrdering::Eager {
+            while let Some(Reverse(OrderedEv(ge))) = self.ordered.pop() {
+                self.process_event(ge);
+            }
+        }
     }
 }

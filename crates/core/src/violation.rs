@@ -21,6 +21,7 @@
 //! charges it to the core as idle time.
 
 use parking_lot::Mutex;
+use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -138,6 +139,53 @@ impl ConflictTracker {
     /// Number of distinct words observed (diagnostics).
     pub fn tracked_words(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Word histories are written globally sorted by address (shards are a
+/// host-side lock-striping detail, re-derived on load). Callers must
+/// quiesce all simulation threads before saving.
+impl Persist for ConflictTracker {
+    fn save(&self, w: &mut Writer) {
+        w.put_bool(self.compensate);
+        w.put_u64(self.stats.store_past_load.load(Ordering::Relaxed));
+        w.put_u64(self.stats.load_past_store.load(Ordering::Relaxed));
+        w.put_u64(self.stats.compensations.load(Ordering::Relaxed));
+        w.put_u64(self.stats.compensation_cycles.load(Ordering::Relaxed));
+        let mut words: Vec<(u64, WordHist)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            words.extend(shard.iter().map(|(&addr, &h)| (addr, h)));
+        }
+        words.sort_unstable_by_key(|&(addr, _)| addr);
+        w.put_usize(words.len());
+        for (addr, h) in words {
+            w.put_u64(addr);
+            w.put_u64(h.last_store_ts);
+            w.put_u32(h.last_store_core);
+            w.put_u64(h.last_load_ts);
+            w.put_u32(h.last_load_core);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let compensate = r.get_bool()?;
+        let t = ConflictTracker::new(compensate);
+        t.stats.store_past_load.store(r.get_u64()?, Ordering::Relaxed);
+        t.stats.load_past_store.store(r.get_u64()?, Ordering::Relaxed);
+        t.stats.compensations.store(r.get_u64()?, Ordering::Relaxed);
+        t.stats.compensation_cycles.store(r.get_u64()?, Ordering::Relaxed);
+        let n = r.get_count(32)?;
+        for _ in 0..n {
+            let addr = r.get_u64()?;
+            let h = WordHist {
+                last_store_ts: r.get_u64()?,
+                last_store_core: r.get_u32()?,
+                last_load_ts: r.get_u64()?,
+                last_load_core: r.get_u32()?,
+            };
+            t.shard(addr).lock().insert(addr, h);
+        }
+        Ok(t)
     }
 }
 

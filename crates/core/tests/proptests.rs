@@ -5,6 +5,76 @@ use sk_core::clock::{ClockBoard, CoreState};
 use sk_core::spsc;
 use sk_core::violation::ConflictTracker;
 use sk_core::Scheme;
+use sk_snap::{Reader, SnapError, Writer};
+
+/// One primitive snapshot field, for round-trip sequences.
+#[derive(Debug, Clone, PartialEq)]
+enum Field {
+    U8(u8),
+    U16(u16),
+    U32(u32),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Usize(usize),
+    Str(String),
+    Bytes(Vec<u8>),
+}
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        any::<u8>().prop_map(Field::U8),
+        any::<u16>().prop_map(Field::U16),
+        any::<u32>().prop_map(Field::U32),
+        any::<u64>().prop_map(Field::U64),
+        any::<i64>().prop_map(Field::I64),
+        // Finite floats only: NaN never compares equal, and the engine
+        // never snapshots non-finite values.
+        any::<i64>().prop_map(|v| Field::F64(v as f64 / 3.0)),
+        any::<bool>().prop_map(Field::Bool),
+        any::<usize>().prop_map(Field::Usize),
+        proptest::collection::vec(32u8..127, 0..24)
+            .prop_map(|v| Field::Str(String::from_utf8(v).unwrap())),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(Field::Bytes),
+    ]
+}
+
+fn write_field(w: &mut Writer, f: &Field) {
+    match f {
+        Field::U8(v) => w.put_u8(*v),
+        Field::U16(v) => w.put_u16(*v),
+        Field::U32(v) => w.put_u32(*v),
+        Field::U64(v) => w.put_u64(*v),
+        Field::I64(v) => w.put_i64(*v),
+        Field::F64(v) => w.put_f64(*v),
+        Field::Bool(v) => w.put_bool(*v),
+        Field::Usize(v) => w.put_usize(*v),
+        Field::Str(v) => w.put_str(v),
+        Field::Bytes(v) => {
+            w.put_usize(v.len());
+            w.put_bytes(v);
+        }
+    }
+}
+
+fn read_field(r: &mut Reader, like: &Field) -> Result<Field, SnapError> {
+    Ok(match like {
+        Field::U8(_) => Field::U8(r.get_u8()?),
+        Field::U16(_) => Field::U16(r.get_u16()?),
+        Field::U32(_) => Field::U32(r.get_u32()?),
+        Field::U64(_) => Field::U64(r.get_u64()?),
+        Field::I64(_) => Field::I64(r.get_i64()?),
+        Field::F64(_) => Field::F64(r.get_f64()?),
+        Field::Bool(_) => Field::Bool(r.get_bool()?),
+        Field::Usize(_) => Field::Usize(r.get_usize()?),
+        Field::Str(_) => Field::Str(r.get_str()?),
+        Field::Bytes(_) => {
+            let n = r.get_usize()?;
+            Field::Bytes(r.take(n)?.to_vec())
+        }
+    })
+}
 
 fn arb_scheme() -> impl Strategy<Value = Scheme> {
     prop_oneof![
@@ -260,5 +330,76 @@ proptest! {
         }
         producer.join().unwrap();
         prop_assert!(c.is_empty());
+    }
+
+    /// Any sequence of primitive fields round-trips through a sealed
+    /// snapshot container bit-exactly, with every byte accounted for.
+    #[test]
+    fn snap_fields_roundtrip_through_sealed_container(
+        fields in proptest::collection::vec(arb_field(), 0..40)
+    ) {
+        let mut w = Writer::new();
+        for f in &fields {
+            write_field(&mut w, f);
+        }
+        let sealed = sk_snap::seal(&w.into_bytes());
+        let payload = sk_snap::open(&sealed).unwrap();
+        let mut r = Reader::new(payload);
+        for f in &fields {
+            prop_assert_eq!(read_field(&mut r, f).unwrap(), f.clone());
+        }
+        r.finish().unwrap();
+        // Sealing is deterministic: the same payload seals identically.
+        let mut w2 = Writer::new();
+        for f in &fields {
+            write_field(&mut w2, f);
+        }
+        prop_assert_eq!(sk_snap::seal(&w2.into_bytes()), sealed);
+    }
+
+    /// A single flipped byte anywhere in a sealed snapshot is always
+    /// rejected with a clean error — never a panic, never silent
+    /// acceptance of damaged state.
+    #[test]
+    fn snap_open_rejects_any_single_byte_flip(
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+        pos in any::<usize>(),
+        flip in 1u8..=255
+    ) {
+        let sealed = sk_snap::seal(&payload);
+        let mut bad = sealed.clone();
+        let i = pos % bad.len(); // sealed containers are never empty
+
+        bad[i] ^= flip;
+        prop_assert!(sk_snap::open(&bad).is_err(), "flip at byte {i} accepted");
+        // The pristine container still opens to the exact payload.
+        prop_assert_eq!(sk_snap::open(&sealed).unwrap(), &payload[..]);
+    }
+
+    /// Truncating a sealed snapshot at any point is rejected cleanly, and
+    /// a reader over arbitrary garbage errors (no panic) once the bytes
+    /// run out.
+    #[test]
+    fn snap_truncation_and_garbage_fail_cleanly(
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+        cut in any::<usize>(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let sealed = sk_snap::seal(&payload);
+        let short = &sealed[..cut % sealed.len()];
+        prop_assert!(sk_snap::open(short).is_err(), "truncation to {} accepted", short.len());
+
+        let mut r = Reader::new(&garbage);
+        let mut bounded = 0u32;
+        while r.get_str().is_ok() {
+            bounded += 1;
+            prop_assert!(bounded <= 64, "reader failed to terminate on garbage");
+        }
+        // Over-draining past the end is an EOF error, not a panic.
+        let eof = matches!(
+            Reader::new(&garbage).take(garbage.len() + 1),
+            Err(SnapError::UnexpectedEof { .. })
+        );
+        prop_assert!(eof, "take past the end must report EOF");
     }
 }

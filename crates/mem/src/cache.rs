@@ -5,6 +5,7 @@
 //! state `S`; data lives in [`crate::FuncMemory`].
 
 use crate::{BlockAddr, BLOCK_BYTES};
+use sk_snap::{Persist, Reader, SnapError, Writer};
 
 /// Geometry of one cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -189,6 +190,89 @@ impl<S: Copy> Cache<S> {
         self.sets.iter().enumerate().flat_map(move |(si, set)| {
             set.iter().filter_map(move |l| l.state.map(|s| (l.tag * nsets + si as u64, s)))
         })
+    }
+}
+
+impl CacheConfig {
+    /// The checks [`CacheConfig::num_sets`] enforces by assertion, as a
+    /// `Result` — used when decoding geometry from untrusted snapshot bytes.
+    fn validated_num_sets(&self) -> Result<usize, SnapError> {
+        if self.block_bytes != BLOCK_BYTES {
+            return Err(SnapError::Corrupt(format!("cache block size {}", self.block_bytes)));
+        }
+        if self.assoc == 0 || self.size_bytes == 0 {
+            return Err(SnapError::Corrupt("zero cache geometry".into()));
+        }
+        let blocks = (self.size_bytes / self.block_bytes) as usize;
+        if blocks < self.assoc {
+            return Err(SnapError::Corrupt("cache smaller than one set".into()));
+        }
+        let sets = blocks / self.assoc;
+        if !sets.is_power_of_two() {
+            return Err(SnapError::Corrupt(format!("set count {sets} not a power of two")));
+        }
+        Ok(sets)
+    }
+}
+
+impl Persist for CacheConfig {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.size_bytes);
+        w.put_usize(self.assoc);
+        w.put_u64(self.block_bytes);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let cfg = CacheConfig {
+            size_bytes: r.get_u64()?,
+            assoc: r.get_usize()?,
+            block_bytes: r.get_u64()?,
+        };
+        cfg.validated_num_sets()?;
+        Ok(cfg)
+    }
+}
+
+impl Persist for CacheStats {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.evictions);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(CacheStats { hits: r.get_u64()?, misses: r.get_u64()?, evictions: r.get_u64()? })
+    }
+}
+
+impl<S: Persist + Copy> Persist for Cache<S> {
+    fn save(&self, w: &mut Writer) {
+        self.cfg.save(w);
+        w.put_u64(self.tick);
+        self.stats.save(w);
+        for set in &self.sets {
+            for line in set {
+                w.put_u64(line.tag);
+                line.state.save(w);
+                w.put_u64(line.lru);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let cfg = CacheConfig::load(r)?;
+        let num_sets = cfg.validated_num_sets()?;
+        let tick = r.get_u64()?;
+        let stats = CacheStats::load(r)?;
+        let mut sets = Vec::with_capacity(num_sets);
+        for _ in 0..num_sets {
+            let mut set = Vec::with_capacity(cfg.assoc);
+            for _ in 0..cfg.assoc {
+                let tag = r.get_u64()?;
+                let state = Option::<S>::load(r)?;
+                let lru = r.get_u64()?;
+                set.push(Line { tag, state, lru });
+            }
+            sets.push(set);
+        }
+        Ok(Cache { cfg, sets, set_mask: (num_sets - 1) as u64, tick, stats })
     }
 }
 

@@ -1,6 +1,7 @@
 //! Memory-system configuration.
 
 use crate::cache::CacheConfig;
+use sk_snap::{Persist, Reader, SnapError, Writer};
 
 /// Full memory-hierarchy configuration of the target CMP.
 ///
@@ -84,6 +85,43 @@ impl MemConfig {
     pub fn l2_hit_latency(&self, core: usize, block: crate::BlockAddr) -> u64 {
         let bank = self.bank_of(block);
         2 * self.hop_lat + self.l2_bank_lat + self.nuca_step * self.ring_distance(core, bank)
+    }
+}
+
+impl Persist for MemConfig {
+    fn save(&self, w: &mut Writer) {
+        self.l1i.save(w);
+        self.l1d.save(w);
+        self.l2_bank.save(w);
+        w.put_usize(self.n_banks);
+        w.put_u64(self.hop_lat);
+        w.put_u64(self.l2_bank_lat);
+        w.put_u64(self.nuca_step);
+        w.put_u64(self.dram_lat);
+        w.put_u64(self.bus_occupancy);
+        w.put_usize(self.mshrs);
+        w.put_u64(self.l1_hit_lat);
+        w.put_bool(self.track_violations);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let cfg = MemConfig {
+            l1i: CacheConfig::load(r)?,
+            l1d: CacheConfig::load(r)?,
+            l2_bank: CacheConfig::load(r)?,
+            n_banks: r.get_usize()?,
+            hop_lat: r.get_u64()?,
+            l2_bank_lat: r.get_u64()?,
+            nuca_step: r.get_u64()?,
+            dram_lat: r.get_u64()?,
+            bus_occupancy: r.get_u64()?,
+            mshrs: r.get_usize()?,
+            l1_hit_lat: r.get_u64()?,
+            track_violations: r.get_bool()?,
+        };
+        if cfg.n_banks == 0 {
+            return Err(SnapError::Corrupt("n_banks 0".into()));
+        }
+        Ok(cfg)
     }
 }
 

@@ -24,6 +24,7 @@ use crate::cache::Cache;
 use crate::config::MemConfig;
 use crate::l1::ReqKind;
 use crate::BlockAddr;
+use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::collections::HashMap;
 
 /// Directory entry (absence from the map = Uncached).
@@ -327,6 +328,116 @@ impl Directory {
                 (0..self.n_cores).filter(|c| sharers & (1 << c) != 0).collect()
             }
         }
+    }
+}
+
+impl Persist for DirEntry {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            DirEntry::Shared { sharers } => {
+                w.put_u8(0);
+                w.put_u64(*sharers);
+            }
+            DirEntry::Exclusive { owner } => {
+                w.put_u8(1);
+                w.put_u8(*owner);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(DirEntry::Shared { sharers: r.get_u64()? }),
+            1 => Ok(DirEntry::Exclusive { owner: r.get_u8()? }),
+            b => Err(SnapError::Corrupt(format!("dir entry tag {b}"))),
+        }
+    }
+}
+
+impl Persist for DirStats {
+    fn save(&self, w: &mut Writer) {
+        for v in [
+            self.gets,
+            self.getm,
+            self.upgrades,
+            self.puts,
+            self.invalidations_out,
+            self.downgrades_out,
+            self.l2_hits,
+            self.l2_misses,
+            self.writebacks,
+            self.transition_inversions,
+        ] {
+            w.put_u64(v);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(DirStats {
+            gets: r.get_u64()?,
+            getm: r.get_u64()?,
+            upgrades: r.get_u64()?,
+            puts: r.get_u64()?,
+            invalidations_out: r.get_u64()?,
+            downgrades_out: r.get_u64()?,
+            l2_hits: r.get_u64()?,
+            l2_misses: r.get_u64()?,
+            writebacks: r.get_u64()?,
+            transition_inversions: r.get_u64()?,
+        })
+    }
+}
+
+impl Persist for Directory {
+    fn save(&self, w: &mut Writer) {
+        self.cfg.save(w);
+        w.put_usize(self.n_cores);
+        // HashMaps are emitted in sorted key order for byte determinism.
+        let mut blocks: Vec<&BlockAddr> = self.entries.keys().collect();
+        blocks.sort_unstable();
+        w.put_usize(blocks.len());
+        for b in blocks {
+            w.put_u64(*b);
+            self.entries[b].save(w);
+        }
+        self.banks.save(w);
+        self.bus.save(w);
+        let mut ts_blocks: Vec<&BlockAddr> = self.last_ts.keys().collect();
+        ts_blocks.sort_unstable();
+        w.put_usize(ts_blocks.len());
+        for b in ts_blocks {
+            w.put_u64(*b);
+            w.put_u64(self.last_ts[b]);
+        }
+        self.stats.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let cfg = MemConfig::load(r)?;
+        let n_cores = r.get_usize()?;
+        if n_cores == 0 || n_cores > 64 {
+            return Err(SnapError::Corrupt(format!("directory n_cores {n_cores}")));
+        }
+        let n = r.get_count(9)?;
+        let mut entries = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let block = r.get_u64()?;
+            entries.insert(block, DirEntry::load(r)?);
+        }
+        let banks = Vec::<Cache<()>>::load(r)?;
+        if banks.len() != cfg.n_banks {
+            return Err(SnapError::Corrupt(format!(
+                "{} banks but config says {}",
+                banks.len(),
+                cfg.n_banks
+            )));
+        }
+        let bus = BusModel::load(r)?;
+        let n = r.get_count(16)?;
+        let mut last_ts = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let block = r.get_u64()?;
+            last_ts.insert(block, r.get_u64()?);
+        }
+        let stats = DirStats::load(r)?;
+        Ok(Directory { cfg, n_cores, entries, banks, bus, last_ts, stats })
     }
 }
 

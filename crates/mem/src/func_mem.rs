@@ -11,6 +11,7 @@
 //! that the slack framework is allowed to order arbitrarily (paper §3.2).
 
 use parking_lot::Mutex;
+use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -121,6 +122,62 @@ impl FuncMemory {
     /// Number of pages materialized so far (for tests/diagnostics).
     pub fn resident_pages(&self) -> usize {
         self.inner.pages.lock().len()
+    }
+}
+
+/// Snapshots store pages in sorted page-number order, each as a sparse
+/// list of `(word index, value)` pairs; all-zero pages are elided (they
+/// are indistinguishable from unmapped memory). Callers must quiesce all
+/// simulation threads before saving — the Relaxed word loads are only
+/// meaningful when nobody is concurrently writing.
+impl Persist for FuncMemory {
+    fn save(&self, w: &mut Writer) {
+        let pages = self.inner.pages.lock();
+        let mut nonzero: Vec<(u64, Vec<(u16, u64)>)> = Vec::new();
+        for (&pno, page) in pages.iter() {
+            let words: Vec<(u16, u64)> = page
+                .iter()
+                .enumerate()
+                .filter_map(|(i, word)| {
+                    let v = word.load(Ordering::Relaxed);
+                    (v != 0).then_some((i as u16, v))
+                })
+                .collect();
+            if !words.is_empty() {
+                nonzero.push((pno, words));
+            }
+        }
+        nonzero.sort_unstable_by_key(|(pno, _)| *pno);
+        w.put_usize(nonzero.len());
+        for (pno, words) in nonzero {
+            w.put_u64(pno);
+            w.put_usize(words.len());
+            for (idx, v) in words {
+                w.put_u16(idx);
+                w.put_u64(v);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let mem = FuncMemory::new();
+        let n_pages = r.get_count(9)?;
+        {
+            let mut pages = mem.inner.pages.lock();
+            for _ in 0..n_pages {
+                let pno = r.get_u64()?;
+                let page = pages.entry(pno).or_insert_with(new_page);
+                let n_words = r.get_count(10)?;
+                for _ in 0..n_words {
+                    let idx = r.get_u16()? as usize;
+                    let v = r.get_u64()?;
+                    if idx >= PAGE_WORDS {
+                        return Err(SnapError::Corrupt(format!("word index {idx}")));
+                    }
+                    page[idx].store(v, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(mem)
     }
 }
 

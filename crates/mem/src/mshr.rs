@@ -6,6 +6,7 @@
 //! issuing duplicate requests to the manager thread.
 
 use crate::BlockAddr;
+use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::collections::HashMap;
 
 /// Result of trying to allocate an MSHR for a miss.
@@ -78,6 +79,42 @@ impl<T> MshrFile<T> {
     /// Iterate over outstanding blocks and their waiters (diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = (&BlockAddr, &Vec<T>)> {
         self.entries.iter()
+    }
+}
+
+impl<T: Persist> Persist for MshrFile<T> {
+    fn save(&self, w: &mut Writer) {
+        w.put_usize(self.capacity);
+        w.put_usize(self.peak);
+        w.put_u64(self.merged);
+        // Deterministic order: sort outstanding blocks (waiter order within
+        // a block is allocation order and is preserved as-is).
+        let mut blocks: Vec<&BlockAddr> = self.entries.keys().collect();
+        blocks.sort_unstable();
+        w.put_usize(blocks.len());
+        for b in blocks {
+            w.put_u64(*b);
+            self.entries[b].save(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let capacity = r.get_usize()?;
+        if capacity == 0 {
+            return Err(SnapError::Corrupt("mshr capacity 0".into()));
+        }
+        let peak = r.get_usize()?;
+        let merged = r.get_u64()?;
+        let n = r.get_count(9)?;
+        if n > capacity {
+            return Err(SnapError::Corrupt(format!("{n} mshr entries exceed capacity")));
+        }
+        let mut entries = HashMap::with_capacity(capacity);
+        for _ in 0..n {
+            let block = r.get_u64()?;
+            let waiters = Vec::<T>::load(r)?;
+            entries.insert(block, waiters);
+        }
+        Ok(MshrFile { capacity, entries, peak, merged })
     }
 }
 
