@@ -16,18 +16,29 @@
 //! column is asserted bit-identical to the from-scratch run. Eager forks
 //! (S100, SU) are approximate by construction — their slack-dependent
 //! timing differs run to run with or without a checkpoint.
+//!
+//! `--metrics-out <file>` attaches one sk-obs hub to every forked engine
+//! and dumps the aggregated telemetry (slack/park histograms across the
+//! whole grid) as sk-obs-metrics JSON.
 
 use sk_bench::{
     bench_config, check, model_from_args, print_table, run_par, run_seq, scale_from_args,
 };
 use sk_core::engine::{Engine, RunOutcome};
 use sk_core::Scheme;
+use std::sync::Arc;
 
 fn main() {
     let scale = scale_from_args();
     let model = model_from_args();
     let cfg = bench_config(model);
     let verify = std::env::args().any(|a| a == "--verify");
+    let args: Vec<String> = std::env::args().collect();
+    let metrics_out =
+        args.iter().position(|a| a == "--metrics-out").and_then(|i| args.get(i + 1)).cloned();
+    let obs = metrics_out
+        .as_ref()
+        .map(|_| Arc::new(sk_obs::Metrics::new(cfg.n_cores, sk_obs::ObsConfig::default())));
     let schemes = Scheme::paper_suite(cfg.critical_latency());
 
     println!("Checkpointed error grid: fork every scheme from one CC ROI snapshot\n");
@@ -54,6 +65,9 @@ fn main() {
         let mut row = vec![w.name.clone(), roi_start.to_string()];
         for &scheme in &schemes {
             let mut fork = Engine::resume(&bytes, Some(scheme)).expect("fork from snapshot");
+            if let Some(o) = &obs {
+                fork.attach_metrics(o.clone());
+            }
             fork.run_until(None);
             let r = fork.into_report();
             check(&w, &r);
@@ -84,5 +98,10 @@ fn main() {
     println!("grid's measurement, now isolated from warmup noise.");
     if verify {
         println!("Cells are forked/scratch percent-error pairs (CC asserted identical).");
+    }
+    if let (Some(path), Some(o)) = (&metrics_out, &obs) {
+        if let Err(e) = std::fs::write(path, o.to_json()) {
+            eprintln!("warning: cannot write {path}: {e}");
+        }
     }
 }

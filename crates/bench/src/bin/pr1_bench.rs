@@ -5,36 +5,73 @@
 //! simulated-KIPS per workload, plus a manager idle-cost probe (manager
 //! iterations per wall-second while every core is parked in a sync wait).
 //!
-//! Usage: `pr1_bench [n_cores] [slack] [reps]` (defaults: 4, 10, 5).
+//! Usage: `pr1_bench [n_cores] [slack] [reps] [--metrics-out <file>]`
+//! (defaults: 4, 10, 5). With `--metrics-out`, one sk-obs hub is attached
+//! across every measured rep and dumped as sk-obs-metrics JSON — the
+//! CI perf-smoke job archives it as a run artifact.
 
-use sk_core::{run_parallel, CoreModel, Scheme, TargetConfig};
+use sk_core::engine::Engine;
+use sk_core::{CoreModel, Scheme, SimReport, TargetConfig};
+use sk_isa::Program;
+use sk_obs::{Metrics, ObsConfig};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
+fn run_one(
+    program: &Program,
+    scheme: Scheme,
+    cfg: &TargetConfig,
+    obs: &Option<Arc<Metrics>>,
+) -> SimReport {
+    let mut e = Engine::new(program, scheme, cfg);
+    if let Some(o) = obs {
+        e.attach_metrics(o.clone());
+    }
+    e.run_until(None);
+    e.into_report()
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n_cores: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let slack: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
-    let reps: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_out: Option<String> = None;
+    let mut pos: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == "--metrics-out" {
+            metrics_out = raw.get(i + 1).cloned();
+            i += 2;
+        } else {
+            pos.push(raw[i].clone());
+            i += 1;
+        }
+    }
+    let n_cores: usize = pos.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let slack: u64 = pos.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let reps: usize = pos.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
     let scheme = Scheme::BoundedSlack(slack);
 
     let mut cfg = TargetConfig::paper_8core();
     cfg.n_cores = n_cores;
     cfg.core.model = CoreModel::InOrder;
 
+    let obs = metrics_out.as_ref().map(|_| Arc::new(Metrics::new(n_cores, ObsConfig::default())));
+
     let mut workloads = sk_kernels::paper_suite(n_cores, sk_kernels::Scale::Test);
     workloads.push(sk_kernels::micro::private_compute(n_cores, 400));
     workloads.push(sk_kernels::micro::lock_sweep(n_cores, 20));
 
+    let t_all = Instant::now();
     let mut entries = String::new();
     for w in &workloads {
-        // Warmup once, then keep the best-KIPS rep (least host noise).
-        let _ = run_parallel(&w.program, scheme, &cfg);
+        // Warmup once (no telemetry), then keep the best-KIPS rep (least
+        // host noise).
+        let _ = run_one(&w.program, scheme, &cfg, &None);
         let mut best_kips = 0.0f64;
         let mut committed = 0u64;
         let mut exec_cycles = 0u64;
         for _ in 0..reps {
-            let r = run_parallel(&w.program, scheme, &cfg);
+            let r = run_one(&w.program, scheme, &cfg, &obs);
             assert_eq!(
                 r.printed().iter().map(|&(_, v)| v).collect::<Vec<_>>(),
                 w.expected,
@@ -80,13 +117,21 @@ fn main() {
     icfg.n_cores = n_cores;
     icfg.core.model = CoreModel::InOrder;
     let t0 = Instant::now();
-    let r = run_parallel(&idle, scheme, &icfg);
+    let r = run_one(&idle, scheme, &icfg, &obs);
     let wall = t0.elapsed().as_secs_f64().max(1e-9);
     let idle_rate = r.engine.global_updates as f64 / wall;
     eprintln!("manager iterations/s while fully quiescent: {idle_rate:.0}");
+    let total_wall_s = t_all.elapsed().as_secs_f64();
+
+    if let (Some(path), Some(o)) = (&metrics_out, &obs) {
+        if let Err(e) = std::fs::write(path, o.to_json()) {
+            eprintln!("warning: cannot write {path}: {e}");
+        }
+    }
 
     println!("{{");
     println!("  \"n_cores\": {n_cores}, \"scheme\": \"S{slack}\", \"reps\": {reps},");
+    println!("  \"total_wall_s\": {total_wall_s:.3},");
     println!("  \"workloads\": {{\n{entries}\n  }},");
     println!(
         "  \"manager\": {{\"global_updates\": {}, \"wall_s\": {:.3}, \"updates_per_s\": {:.0}}}",

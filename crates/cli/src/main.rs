@@ -24,13 +24,17 @@
 //!   --checkpoint <file>  checkpoint file to write (default slacksim.snap)
 //!   --restore <file>     resume a snapshot (with `run`; --scheme forks it)
 //!   --json <file>        dump the final report(s) as JSON
+//!   --metrics-out <file> dump the sk-obs runtime-telemetry JSON
+//!   --trace-out <file>   dump a Perfetto/chrome-trace JSON timeline
 //! ```
 
 use sk_core::engine::{Engine, RunOutcome};
 use sk_core::{CoreModel, Scheme, SimReport, TargetConfig};
 use sk_kernels::{Scale, Workload};
+use sk_obs::Metrics;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Opts {
     scheme: Scheme,
@@ -49,6 +53,8 @@ struct Opts {
     checkpoint: Option<String>,
     restore: Option<String>,
     json: Option<String>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -67,6 +73,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         checkpoint: None,
         restore: None,
         json: None,
+        metrics_out: None,
+        trace_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -88,6 +96,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--checkpoint" => o.checkpoint = Some(take(&mut i)?.clone()),
             "--restore" => o.restore = Some(take(&mut i)?.clone()),
             "--json" => o.json = Some(take(&mut i)?.clone()),
+            "--metrics-out" => o.metrics_out = Some(take(&mut i)?.clone()),
+            "--trace-out" => o.trace_out = Some(take(&mut i)?.clone()),
             "--scale" => {
                 o.scale = match take(&mut i)?.as_str() {
                     "test" => Scale::Test,
@@ -127,6 +137,23 @@ fn config_for(o: &Opts) -> TargetConfig {
     cfg
 }
 
+/// Attach a telemetry hub when `--metrics-out`/`--trace-out` ask for one.
+fn attach_obs(e: &mut Engine, o: &Opts) -> Option<Arc<Metrics>> {
+    (o.metrics_out.is_some() || o.trace_out.is_some())
+        .then(|| e.attach_new_metrics(sk_obs::ObsConfig::default()))
+}
+
+/// Dump the telemetry hub to the requested files after a run.
+fn write_obs(obs: &Option<Arc<Metrics>>, o: &Opts) {
+    let Some(m) = obs else { return };
+    if let Some(p) = &o.metrics_out {
+        write_json(p, &m.to_json());
+    }
+    if let Some(p) = &o.trace_out {
+        write_json(p, &m.trace_json());
+    }
+}
+
 /// Drive a parallel engine to completion, taking the requested checkpoint
 /// at its safe-point along the way.
 fn drive(mut e: Engine, o: &Opts) -> SimReport {
@@ -148,12 +175,16 @@ fn drive(mut e: Engine, o: &Opts) -> SimReport {
     e.into_report()
 }
 
-fn run_one(w: &Workload, o: &Opts) -> SimReport {
+fn run_one(w: &Workload, o: &Opts) -> (SimReport, bool) {
     let cfg = config_for(o);
     let r = if o.seq {
         sk_core::run_sequential(&w.program, &cfg)
     } else {
-        drive(Engine::new(&w.program, o.scheme, &cfg), o)
+        let mut e = Engine::new(&w.program, o.scheme, &cfg);
+        let obs = attach_obs(&mut e, o);
+        let r = drive(e, o);
+        write_obs(&obs, o);
+        r
     };
     let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
     let ok = printed == w.expected;
@@ -171,7 +202,7 @@ fn run_one(w: &Workload, o: &Opts) -> SimReport {
     if o.stats {
         print_stats(&r);
     }
-    r
+    (r, ok)
 }
 
 /// A truncated slack profile silently skews Fig. 5-style plots; say so in
@@ -397,20 +428,34 @@ fn main() -> ExitCode {
         eprintln!("error: --restore requires the parallel engine (drop --seq)");
         return ExitCode::FAILURE;
     }
+    if opts.seq && (opts.metrics_out.is_some() || opts.trace_out.is_some()) {
+        eprintln!("error: --metrics-out/--trace-out require the parallel engine (drop --seq)");
+        return ExitCode::FAILURE;
+    }
     match cmd {
         "run" => {
             if let Some(path) = &opts.restore {
                 // The simulated system comes from the snapshot; benchmark
                 // selection and target-shape options are ignored.
                 let fork = opts.scheme_set.then_some(opts.scheme);
-                let e = match Engine::resume_from_file(Path::new(path), fork) {
+                let mut e = match Engine::resume_from_file(Path::new(path), fork) {
                     Ok(e) => e,
                     Err(err) => {
                         eprintln!("error: cannot restore {path}: {err}");
                         return ExitCode::FAILURE;
                     }
                 };
+                // A snapshot taken with a hub attached restores it; only
+                // attach a fresh one when the snapshot carried none.
+                let obs = match e.metrics() {
+                    Some(m) => {
+                        let m = m.clone();
+                        (opts.metrics_out.is_some() || opts.trace_out.is_some()).then_some(m)
+                    }
+                    None => attach_obs(&mut e, &opts),
+                };
                 let r = drive(e, &opts);
+                write_obs(&obs, &opts);
                 println!(
                     "{:<16} {:<18} scheme={:<5} cycles={:<9} instr={:<9} KIPS={:<8.1}",
                     "restored",
@@ -440,20 +485,30 @@ fn main() -> ExitCode {
                 eprintln!("unknown benchmark '{name}'; try: slacksim list");
                 return ExitCode::FAILURE;
             };
-            let r = run_one(w, &opts);
+            let (r, ok) = run_one(w, &opts);
             if let Some(j) = &opts.json {
                 write_json(j, &report_json(&r));
+            }
+            if !ok {
+                return ExitCode::FAILURE;
             }
         }
         "suite" => {
             let mut reports = Vec::new();
+            let mut all_ok = true;
             for w in benches(&opts) {
-                reports.push(run_one(&w, &opts));
+                let (r, ok) = run_one(&w, &opts);
+                reports.push(r);
+                all_ok &= ok;
             }
             if let Some(j) = &opts.json {
                 let body =
                     format!("[{}]", reports.iter().map(report_json).collect::<Vec<_>>().join(","));
                 write_json(j, &body);
+            }
+            if !all_ok {
+                eprintln!("error: at least one benchmark produced MISMATCH output");
+                return ExitCode::FAILURE;
             }
         }
         "asm" => {
@@ -479,7 +534,11 @@ fn main() -> ExitCode {
             let r = if opts.seq {
                 sk_core::run_sequential(&program, &cfg)
             } else {
-                drive(Engine::new(&program, opts.scheme, &cfg), &opts)
+                let mut e = Engine::new(&program, opts.scheme, &cfg);
+                let obs = attach_obs(&mut e, &opts);
+                let r = drive(e, &opts);
+                write_obs(&obs, &opts);
+                r
             };
             for (core, v) in r.printed() {
                 println!("[core {core}] {v}");
@@ -540,7 +599,9 @@ OPTIONS:
   --checkpoint-at <c>  snapshot at the cycle-c safe-point, then continue
   --checkpoint <file>  checkpoint file to write (default slacksim.snap)
   --restore <file>     resume a snapshot (with `run`; --scheme forks it)
-  --json <file>        dump the final report(s) as JSON";
+  --json <file>        dump the final report(s) as JSON
+  --metrics-out <file> dump runtime telemetry (sk-obs-metrics JSON schema)
+  --trace-out <file>   dump a Perfetto-compatible chrome-trace timeline";
 
 #[cfg(test)]
 mod tests {
@@ -640,6 +701,109 @@ mod tests {
         let opens = j.matches('{').count() + j.matches('[').count();
         let closes = j.matches('}').count() + j.matches(']').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn parses_obs_output_options() {
+        let o = parse_opts(&args(&["--metrics-out", "m.json", "--trace-out", "t.json"])).unwrap();
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        assert!(parse_opts(&args(&["--metrics-out"])).is_err());
+        assert!(parse_opts(&args(&["--trace-out"])).is_err());
+    }
+
+    /// A fully deterministic report exercising every field `report_json`
+    /// emits (including escapes, a null-able slack profile and a
+    /// multi-core array).
+    fn golden_report() -> SimReport {
+        let mut c0 = sk_core::CoreStats {
+            cycles: 1000,
+            committed: 800,
+            roi_committed: 600,
+            fetched: 1200,
+            issued: 1100,
+            branches: 90,
+            mispredicts: 9,
+            loads: 200,
+            stores: 100,
+            stall_cycles: 150,
+            idle_cycles: 50,
+            sys_retries: 2,
+            ff_stall_cycles: 1,
+            ..Default::default()
+        };
+        c0.l1d.hits = 180;
+        c0.l1d.misses = 20;
+        c0.l1d.evictions = 5;
+        c0.l1i.hits = 1190;
+        c0.l1i.misses = 10;
+        c0.l1i.evictions = 1;
+        c0.printed = vec![7, -3];
+        let c1 = sk_core::CoreStats { cycles: 990, committed: 790, ..Default::default() };
+        let mut r = SimReport {
+            scheme: "S10".into(),
+            n_cores: 2,
+            exec_cycles: 1000,
+            wall: std::time::Duration::from_millis(125),
+            cores: vec![c0, c1],
+            ..Default::default()
+        };
+        r.engine.blocks = 40;
+        r.engine.wakeups = 38;
+        r.engine.global_updates = 500;
+        r.engine.events_processed = 321;
+        r.engine.max_observed_slack = 10;
+        r.engine.final_quantum = 10;
+        r.engine.slack_profile_truncated = 0;
+        r.dir.gets = 30;
+        r.dir.getm = 12;
+        r.dir.upgrades = 3;
+        r.dir.puts = 6;
+        r.dir.invalidations_out = 4;
+        r.dir.downgrades_out = 2;
+        r.dir.l2_hits = 25;
+        r.dir.l2_misses = 17;
+        r.dir.writebacks = 5;
+        r.dir.transition_inversions = 0;
+        r.bus.grants = 42;
+        r.bus.conflicts = 7;
+        r.bus.wait_cycles = 19;
+        r.bus.inversions = 0;
+        r.sync.lock_acquisitions = 11;
+        r.sync.lock_waits = 4;
+        r.sync.barrier_episodes = 3;
+        r.sync.sema_waits = 1;
+        r.violations.store_past_load = 2;
+        r.violations.load_past_store = 1;
+        r.violations.compensations = 1;
+        r.violations.compensation_cycles = 12;
+        r.slack_profile = Some(vec![(0, 0), (10, 9), (20, 10)]);
+        r
+    }
+
+    /// Freezes the `--json` report schema: any change to `report_json`
+    /// must come with a deliberate regeneration of the golden file
+    /// (`SK_REGEN_GOLDEN=1 cargo test -p sk-cli regen_golden`) and a
+    /// matching consumer-side review. CI runs this test.
+    #[test]
+    fn report_json_matches_golden_schema() {
+        let actual = report_json(&golden_report());
+        let expected = include_str!("golden_report.json");
+        assert_eq!(
+            actual,
+            expected.trim_end(),
+            "report JSON schema drifted from crates/cli/src/golden_report.json; \
+             if intentional, regenerate with SK_REGEN_GOLDEN=1 cargo test -p sk-cli regen_golden"
+        );
+    }
+
+    #[test]
+    fn regen_golden() {
+        if std::env::var_os("SK_REGEN_GOLDEN").is_none() {
+            return;
+        }
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/src/golden_report.json");
+        std::fs::write(path, report_json(&golden_report()) + "\n").unwrap();
     }
 
     #[test]

@@ -16,7 +16,9 @@
 
 use crossbeam::utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
+use sk_obs::Metrics;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Core run states, as observed by the manager.
@@ -70,6 +72,22 @@ struct CoreClock {
     /// core; the next `park_as` consumes it and skips the manager signal
     /// (a re-park after a no-op re-check is not news to the manager).
     timeout_resume: AtomicBool,
+    /// Telemetry only: µs (trace-sink epoch) when this core last left a
+    /// wait, closing the current "run" span at the next wait entry. Owned
+    /// by the core thread; atomic only because the board is shared.
+    resume_us: AtomicU64,
+}
+
+fn new_core_clock(local: u64, max_local: u64) -> CoreClock {
+    CoreClock {
+        local: CachePadded::new(AtomicU64::new(local)),
+        max_local: CachePadded::new(AtomicU64::new(max_local)),
+        state: AtomicU8::new(CoreState::Running as u8),
+        park: Mutex::new(()),
+        cond: Condvar::new(),
+        timeout_resume: AtomicBool::new(false),
+        resume_us: AtomicU64::new(0),
+    }
 }
 
 /// Manager-private memo for [`ClockBoard::recompute_global_cached`]: each
@@ -106,6 +124,9 @@ pub struct ClockBoard {
     pub blocks: AtomicU64,
     /// Number of times the manager woke a blocked core.
     pub wakeups: AtomicU64,
+    /// Optional telemetry hub; every hot-path instrumentation point below
+    /// is guarded by this single `OnceLock` load.
+    obs: OnceLock<Arc<Metrics>>,
 }
 
 impl ClockBoard {
@@ -113,16 +134,7 @@ impl ClockBoard {
     /// `initial_window`.
     pub fn new(n: usize, initial_window: u64) -> Self {
         ClockBoard {
-            cores: (0..n)
-                .map(|_| CoreClock {
-                    local: CachePadded::new(AtomicU64::new(0)),
-                    max_local: CachePadded::new(AtomicU64::new(initial_window)),
-                    state: AtomicU8::new(CoreState::Running as u8),
-                    park: Mutex::new(()),
-                    cond: Condvar::new(),
-                    timeout_resume: AtomicBool::new(false),
-                })
-                .collect(),
+            cores: (0..n).map(|_| new_core_clock(0, initial_window)).collect(),
             global: CachePadded::new(AtomicU64::new(0)),
             stop: AtomicBool::new(false),
             mgr_park: Mutex::new(false),
@@ -130,6 +142,7 @@ impl ClockBoard {
             limit: AtomicU64::new(u64::MAX),
             blocks: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
+            obs: OnceLock::new(),
         }
     }
 
@@ -141,17 +154,7 @@ impl ClockBoard {
     /// first iteration).
     pub fn restored(locals: &[u64], global: u64) -> Self {
         ClockBoard {
-            cores: locals
-                .iter()
-                .map(|&l| CoreClock {
-                    local: CachePadded::new(AtomicU64::new(l)),
-                    max_local: CachePadded::new(AtomicU64::new(l)),
-                    state: AtomicU8::new(CoreState::Running as u8),
-                    park: Mutex::new(()),
-                    cond: Condvar::new(),
-                    timeout_resume: AtomicBool::new(false),
-                })
-                .collect(),
+            cores: locals.iter().map(|&l| new_core_clock(l, l)).collect(),
             global: CachePadded::new(AtomicU64::new(global)),
             stop: AtomicBool::new(false),
             mgr_park: Mutex::new(false),
@@ -159,12 +162,55 @@ impl ClockBoard {
             limit: AtomicU64::new(u64::MAX),
             blocks: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
+            obs: OnceLock::new(),
         }
     }
 
     /// Number of cores on the board.
     pub fn n_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// Attach a telemetry hub. Only the first attach takes effect; the hub
+    /// must cover exactly this board's cores.
+    pub fn set_obs(&self, obs: Arc<Metrics>) {
+        assert_eq!(obs.n_cores(), self.cores.len(), "metrics hub sized for a different board");
+        let _ = self.obs.set(obs);
+    }
+
+    /// The attached telemetry hub, if any.
+    #[inline]
+    pub fn obs(&self) -> Option<&Arc<Metrics>> {
+        self.obs.get()
+    }
+
+    /// Telemetry at a wait entry: close the core's open "run" span and
+    /// return the wait's start in trace-epoch µs. `None` when no hub is
+    /// attached — the disabled cost is the single `OnceLock` load.
+    #[inline]
+    fn obs_wait_begin(&self, core: usize) -> Option<u64> {
+        let o = self.obs.get()?;
+        let now = o.trace.now_us();
+        let resumed = self.cores[core].resume_us.load(Ordering::Relaxed);
+        o.trace.span_at(core, "run", resumed, now.saturating_sub(resumed));
+        Some(now)
+    }
+
+    /// Telemetry at a wait exit: emit the wait span, feed the matching
+    /// park-duration histogram, and restart the "run" span.
+    fn obs_wait_end(&self, core: usize, name: &'static str, t0_us: u64) {
+        let Some(o) = self.obs.get() else { return };
+        let now = o.trace.now_us();
+        let dur_us = now.saturating_sub(t0_us);
+        o.trace.span_at(core, name, t0_us, dur_us);
+        let c = &o.cores[core];
+        let dur_ns = dur_us.saturating_mul(1_000);
+        match name {
+            "sync_wait" => c.sync_park_ns.record(dur_ns),
+            "mem_wait" => c.mem_park_ns.record(dur_ns),
+            _ => c.park_ns.record(dur_ns),
+        }
+        self.cores[core].resume_us.store(now, Ordering::Relaxed);
     }
 
     /// Forbid core-side clock movement past `cycle` (checkpoint pending).
@@ -233,20 +279,27 @@ impl ClockBoard {
         cc.state.store(CoreState::Blocked as u8, Ordering::Release);
         self.blocks.fetch_add(1, Ordering::Relaxed);
         self.signal_manager();
-        let mut guard = cc.park.lock();
-        loop {
-            if self.stop.load(Ordering::Acquire) {
-                cc.state.store(CoreState::Running as u8, Ordering::Release);
-                return false;
+        let obs_t0 = self.obs_wait_begin(core);
+        let running = {
+            let mut guard = cc.park.lock();
+            loop {
+                if self.stop.load(Ordering::Acquire) {
+                    cc.state.store(CoreState::Running as u8, Ordering::Release);
+                    break false;
+                }
+                if local < cc.max_local.load(Ordering::Acquire).min(self.checkpoint_limit()) {
+                    cc.state.store(CoreState::Running as u8, Ordering::Release);
+                    break true;
+                }
+                // The timeout is a liveness backstop only; wakeups normally
+                // arrive from the manager's notify.
+                cc.cond.wait_for(&mut guard, Duration::from_millis(10));
             }
-            if local < cc.max_local.load(Ordering::Acquire).min(self.checkpoint_limit()) {
-                cc.state.store(CoreState::Running as u8, Ordering::Release);
-                return true;
-            }
-            // The timeout is a liveness backstop only; wakeups normally
-            // arrive from the manager's notify.
-            cc.cond.wait_for(&mut guard, Duration::from_millis(10));
+        };
+        if let Some(t0) = obs_t0 {
+            self.obs_wait_end(core, "block", t0);
         }
+        running
     }
 
     /// Set local time forward without cycling (idle skip for cores with no
@@ -319,28 +372,40 @@ impl ClockBoard {
     /// periodic resume is a progress mechanism, not just liveness.
     pub fn wait_parked(&self, core: usize) -> bool {
         let cc = &self.cores[core];
-        let mut guard = cc.park.lock();
-        loop {
-            if self.stop.load(Ordering::Acquire) {
-                cc.state.store(CoreState::Running as u8, Ordering::Release);
-                return false;
+        let span_name = match self.state(core) {
+            CoreState::SyncWait => "sync_wait",
+            CoreState::MemWait => "mem_wait",
+            _ => "park",
+        };
+        let obs_t0 = self.obs_wait_begin(core);
+        let running = {
+            let mut guard = cc.park.lock();
+            loop {
+                if self.stop.load(Ordering::Acquire) {
+                    cc.state.store(CoreState::Running as u8, Ordering::Release);
+                    break false;
+                }
+                if !matches!(
+                    self.state(core),
+                    CoreState::Parked | CoreState::SyncWait | CoreState::MemWait
+                ) {
+                    break true;
+                }
+                if cc.cond.wait_for(&mut guard, Duration::from_millis(10)).timed_out() {
+                    // Liveness backstop: let the caller re-check its queues.
+                    // Mark the resume so a straight re-park stays silent (see
+                    // `park_as`); any real progress on the way back signals the
+                    // manager through the event path anyway.
+                    cc.timeout_resume.store(true, Ordering::Release);
+                    cc.state.store(CoreState::Running as u8, Ordering::Release);
+                    break true;
+                }
             }
-            if !matches!(
-                self.state(core),
-                CoreState::Parked | CoreState::SyncWait | CoreState::MemWait
-            ) {
-                return true;
-            }
-            if cc.cond.wait_for(&mut guard, Duration::from_millis(10)).timed_out() {
-                // Liveness backstop: let the caller re-check its queues.
-                // Mark the resume so a straight re-park stays silent (see
-                // `park_as`); any real progress on the way back signals the
-                // manager through the event path anyway.
-                cc.timeout_resume.store(true, Ordering::Release);
-                cc.state.store(CoreState::Running as u8, Ordering::Release);
-                return true;
-            }
+        };
+        if let Some(t0) = obs_t0 {
+            self.obs_wait_end(core, span_name, t0);
         }
+        running
     }
 
     /// Jump a sync-parked core's clock forward to `target` (the release
@@ -376,6 +441,11 @@ impl ClockBoard {
     /// Mark this core's workload as finished and wake the manager.
     pub fn finish(&self, core: usize) {
         self.cores[core].state.store(CoreState::Finished as u8, Ordering::Release);
+        if let Some(o) = self.obs.get() {
+            // Close the core's final "run" span.
+            let resumed = self.cores[core].resume_us.load(Ordering::Relaxed);
+            o.trace.span(core, "run", resumed);
+        }
         self.signal_manager();
     }
 

@@ -245,6 +245,9 @@ pub struct CoreSim {
     roi_frozen: Option<u64>,
     trace: Option<Vec<u16>>,
     inert_streak: u32,
+    /// Optional telemetry hub; all hot-loop instrumentation sits behind
+    /// this one `Option` branch.
+    obs: Option<Arc<sk_obs::Metrics>>,
 }
 
 impl CoreSim {
@@ -297,6 +300,22 @@ impl CoreSim {
             roi_frozen: None,
             trace: if cfg.record_trace { Some(Vec::new()) } else { None },
             inert_streak: 0,
+            obs: None,
+        }
+    }
+
+    /// Attach a telemetry hub and start tracking this core's OutQ
+    /// high-water mark.
+    pub fn set_obs(&mut self, obs: Arc<sk_obs::Metrics>) {
+        self.outq.enable_high_water();
+        self.obs = Some(obs);
+    }
+
+    /// Publish producer-side ring telemetry into the hub (call when the
+    /// core is quiescent: end of run, or at a snapshot safe-point).
+    pub fn publish_obs(&self) {
+        if let Some(obs) = &self.obs {
+            obs.cores[self.id].outq_high_water.raise_to(self.outq.high_water() as u64);
         }
     }
 
@@ -676,6 +695,16 @@ impl CoreSim {
             let f0 = self.stats.fetched;
             let events = self.step_cycle(now);
             board.advance_local(self.id, now);
+            if let Some(obs) = &self.obs {
+                let c = &obs.cores[self.id];
+                c.cycles.inc();
+                // Slack at process time: how far this core may still run
+                // ahead before hitting its window (`max_local − local`).
+                c.slack.record(board.max_local(self.id).saturating_sub(now));
+                if events > 0 {
+                    c.out_batch.record(events as u64);
+                }
+            }
             if events > 0 {
                 board.signal_manager();
                 let mut touched = self.shards_touched;
@@ -743,6 +772,7 @@ impl CoreSim {
         if self.cpu.finished() {
             board.finish(self.id);
         }
+        self.publish_obs();
     }
 
     /// Finalize without running (sequential engine path, and the parallel

@@ -17,6 +17,7 @@ use crate::uncore::Uncore;
 use crate::violation::ConflictTracker;
 use sk_isa::Program;
 use sk_mem::FuncMemory;
+use sk_obs::{Metrics, ObsConfig};
 use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -186,6 +187,10 @@ pub struct Engine {
     last_window: u64,
     wall: Duration,
     finished: bool,
+    /// Optional telemetry hub (see [`Engine::attach_metrics`]).
+    obs: Option<Arc<Metrics>>,
+    /// Next global cycle at which to sample the violation counters.
+    next_violation_sample: u64,
 }
 
 impl Engine {
@@ -232,10 +237,8 @@ impl Engine {
             }
         }
         let shard_frontiers: Vec<_> = shards.iter().map(|s| s.frontier.clone()).collect();
-        let mut slack_profile: Vec<(u64, u64)> = Vec::new();
-        if cfg.record_trace {
-            slack_profile.reserve(SLACK_PROFILE_RESERVE.min(SLACK_PROFILE_CAP));
-        }
+        let slack_profile: Vec<(u64, u64)> =
+            Vec::with_capacity(SLACK_PROFILE_RESERVE.min(SLACK_PROFILE_CAP));
         Engine {
             cfg: *cfg,
             scheme,
@@ -254,7 +257,42 @@ impl Engine {
             last_window: 0,
             wall: Duration::ZERO,
             finished: false,
+            obs: None,
+            next_violation_sample: 0,
         }
+    }
+
+    /// Attach a telemetry hub to every layer of the engine: the clock
+    /// board (park durations, run/park trace spans), each core (slack and
+    /// batch histograms, OutQ high-water), the uncore (InQ high-water,
+    /// sync wait times) and any memory shards (drain batches). The hub
+    /// must be sized for this engine's core count.
+    ///
+    /// Telemetry costs one relaxed-load branch per hot-path site when no
+    /// hub is attached.
+    pub fn attach_metrics(&mut self, obs: Arc<Metrics>) {
+        assert_eq!(obs.n_cores(), self.cfg.n_cores, "metrics hub sized for a different core count");
+        self.board.set_obs(obs.clone());
+        for core in &mut self.cores {
+            core.set_obs(obs.clone());
+        }
+        self.uncore.set_obs(obs.clone());
+        for shard in &mut self.shards {
+            shard.set_obs(obs.clone());
+        }
+        self.obs = Some(obs);
+    }
+
+    /// Build a fresh hub from `cfg`, attach it, and return it.
+    pub fn attach_new_metrics(&mut self, cfg: ObsConfig) -> Arc<Metrics> {
+        let obs = Arc::new(Metrics::new(self.cfg.n_cores, cfg));
+        self.attach_metrics(obs.clone());
+        obs
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn metrics(&self) -> Option<&Arc<Metrics>> {
+        self.obs.as_ref()
     }
 
     /// The scheme this engine runs under.
@@ -327,6 +365,7 @@ impl Engine {
 
         let cores = std::mem::take(&mut self.cores);
         let shards = std::mem::take(&mut self.shards);
+        let obs = self.obs.clone();
         std::thread::scope(|s| {
             let handles: Vec<_> = cores
                 .into_iter()
@@ -360,6 +399,12 @@ impl Engine {
             let mut ready_streak = 0u32;
             loop {
                 let signalled = self.board.manager_wait(idle_wait);
+                if let Some(o) = &obs {
+                    o.manager.iterations.inc();
+                    if !signalled {
+                        o.manager.backoff_us.record(idle_wait.as_micros() as u64);
+                    }
+                }
                 let ready_before = match until {
                     Some(c) => self.checkpoint_ready(c),
                     None => false,
@@ -372,8 +417,18 @@ impl Engine {
                 self.engine.global_updates += 1;
                 let slack_now = self.board.observed_slack();
                 self.engine.max_observed_slack = self.engine.max_observed_slack.max(slack_now);
-                if self.cfg.record_trace && self.slack_profile.last().map(|&(pg, _)| pg) != Some(g)
-                {
+                if self.slack_profile.last().map(|&(pg, _)| pg) != Some(g) {
+                    if let Some(o) = &obs {
+                        o.manager.slack.record(slack_now);
+                        if o.cfg.violation_sample_interval > 0 && g >= self.next_violation_sample {
+                            let v = self.tracker.as_ref().map_or(0, |t| {
+                                t.stats.store_past_load.load(Ordering::Relaxed)
+                                    + t.stats.load_past_store.load(Ordering::Relaxed)
+                            });
+                            o.record_violation_sample(g, v);
+                            self.next_violation_sample = g + o.cfg.violation_sample_interval;
+                        }
+                    }
                     if self.slack_profile.len() < SLACK_PROFILE_CAP {
                         self.slack_profile.push((g, slack_now));
                     } else {
@@ -381,6 +436,7 @@ impl Engine {
                     }
                 }
                 let mut ingested = 0usize;
+                let drain_t0 = obs.as_ref().map(|o| o.trace.now_us());
                 for (c, q) in self.out_consumers.iter_mut().enumerate() {
                     loop {
                         drain_scratch.clear();
@@ -388,7 +444,16 @@ impl Engine {
                             break;
                         }
                         ingested += drain_scratch.len();
+                        if let Some(o) = &obs {
+                            o.manager.drain_batch.record(drain_scratch.len() as u64);
+                        }
                         self.uncore.ingest_batch(c, &drain_scratch);
+                    }
+                }
+                if ingested > 0 {
+                    if let (Some(o), Some(t0)) = (&obs, drain_t0) {
+                        o.manager.events_ingested.add(ingested as u64);
+                        o.trace.span(o.trace.manager_lane(), "drain", t0);
                     }
                 }
                 // When no core is actively driving global time (all blocked in
@@ -536,6 +601,9 @@ impl Engine {
             }
         });
         self.wall += t0.elapsed();
+        if self.obs.is_some() {
+            self.uncore.publish_obs();
+        }
         if outcome == RunOutcome::Finished {
             self.finished = true;
         }
@@ -603,6 +671,19 @@ impl Engine {
             core.save_state(&mut w);
         }
         self.uncore.save_state(&mut w);
+        match &self.obs {
+            None => w.put_bool(false),
+            Some(o) => {
+                // Ratchet the ring high-water marks into the hub before it
+                // is serialized, so the snapshot carries current values.
+                self.uncore.publish_obs();
+                for core in &self.cores {
+                    core.publish_obs();
+                }
+                w.put_bool(true);
+                o.save(&mut w);
+            }
+        }
         Ok(sk_snap::seal(&w.into_bytes()))
     }
 
@@ -689,12 +770,25 @@ impl Engine {
         }
         let mut uncore = Uncore::new(&cfg, scheme, in_producers, Some(board.clone()));
         uncore.restore_state(&mut r)?;
+        let obs = if r.get_bool()? {
+            let m = Metrics::load(&mut r)?;
+            if m.n_cores() != cfg.n_cores {
+                return Err(SnapError::Corrupt(format!(
+                    "metrics hub for {} cores in a {}-core snapshot",
+                    m.n_cores(),
+                    cfg.n_cores
+                )));
+            }
+            Some(Arc::new(m))
+        } else {
+            None
+        };
         r.finish()?;
         // A fork onto an eager scheme must not strand events that were
         // queued under the snapshot's ordered discipline.
         uncore.adopt_queued_for_scheme();
 
-        Ok(Engine {
+        let mut engine = Engine {
             cfg,
             scheme,
             mem,
@@ -712,7 +806,15 @@ impl Engine {
             last_window: 0,
             wall: Duration::ZERO,
             finished: false,
-        })
+            obs: None,
+            next_violation_sample: 0,
+        };
+        // Re-wire the restored hub through every layer (restore_state
+        // rebuilt the uncore's sync table without its obs handle).
+        if let Some(o) = obs {
+            engine.attach_metrics(o);
+        }
+        Ok(engine)
     }
 
     /// Finalize the cores and assemble the run's [`SimReport`].
@@ -734,9 +836,7 @@ impl Engine {
             violations,
             self.wall,
         );
-        if self.cfg.record_trace {
-            report.slack_profile = Some(self.slack_profile);
-        }
+        report.slack_profile = Some(self.slack_profile);
         // Merge sharded directory/interconnect statistics.
         for sh in &self.shards {
             let d = sh.dir_stats();

@@ -104,6 +104,8 @@ pub struct MemShard {
     pub frontier: Arc<AtomicU64>,
     /// Events processed by this shard.
     pub events_processed: u64,
+    /// Optional telemetry hub (drain-batch histogram).
+    obs: Option<Arc<sk_obs::Metrics>>,
 }
 
 impl MemShard {
@@ -129,7 +131,14 @@ impl MemShard {
             board,
             frontier: Arc::new(AtomicU64::new(0)),
             events_processed: 0,
+            obs: None,
         }
+    }
+
+    /// Attach a telemetry hub (drain-batch sizes land in
+    /// `manager.shard_batch`).
+    pub fn set_obs(&mut self, obs: Arc<sk_obs::Metrics>) {
+        self.obs = Some(obs);
     }
 
     fn push_to_core(&mut self, core: usize, msg: InMsg) {
@@ -220,6 +229,9 @@ impl MemShard {
                 scratch.clear();
                 if self.from_cores[c].drain_into(&mut scratch, usize::MAX) == 0 {
                     break;
+                }
+                if let Some(obs) = &self.obs {
+                    obs.manager.shard_batch.record(scratch.len() as u64);
                 }
                 if eager {
                     for &ev in &scratch {

@@ -36,6 +36,14 @@ pub struct Producer<T> {
     ring: Arc<Ring<T>>,
     /// Cached head, refreshed only when the ring looks full.
     cached_head: usize,
+    /// When set, successful pushes update `high_water` with the post-push
+    /// occupancy. The occupancy is computed against `cached_head`, which
+    /// may lag the consumer, so the mark is an upper bound on the true
+    /// occupancy (over-reporting at most what the consumer drained since
+    /// the last cache refresh, bounded by capacity). Good enough for ring
+    /// sizing and free of extra cross-core traffic on the hot path.
+    track_hw: bool,
+    high_water: usize,
 }
 
 /// Consumer endpoint. Not `Clone`: exactly one consumer may exist.
@@ -56,7 +64,10 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         head: AtomicUsize::new(0),
         tail: AtomicUsize::new(0),
     });
-    (Producer { ring: ring.clone(), cached_head: 0 }, Consumer { ring, cached_tail: 0 })
+    (
+        Producer { ring: ring.clone(), cached_head: 0, track_hw: false, high_water: 0 },
+        Consumer { ring, cached_tail: 0 },
+    )
 }
 
 impl<T> Producer<T> {
@@ -75,6 +86,15 @@ impl<T> Producer<T> {
         // Release store below, and no other producer exists.
         unsafe { (*ring.buf[tail].get()).write(value) };
         ring.tail.store(next, Ordering::Release);
+        if self.track_hw {
+            let cap = ring.capacity;
+            let used = if next >= self.cached_head {
+                next - self.cached_head
+            } else {
+                next + cap - self.cached_head
+            };
+            self.high_water = self.high_water.max(used);
+        }
         Ok(())
     }
 
@@ -115,7 +135,25 @@ impl<T> Producer<T> {
             idx = if idx + 1 == cap { 0 } else { idx + 1 };
         }
         ring.tail.store(idx, Ordering::Release);
+        if self.track_hw {
+            let occupancy = cap - 1 - free + n;
+            self.high_water = self.high_water.max(occupancy);
+        }
         n
+    }
+
+    /// Start recording the occupancy high-water mark on this producer.
+    pub fn enable_high_water(&mut self) {
+        self.track_hw = true;
+    }
+
+    /// Highest post-push occupancy seen since [`enable_high_water`]
+    /// (0 if tracking was never enabled). An upper bound — see the field
+    /// comment on the cached-head approximation.
+    ///
+    /// [`enable_high_water`]: Producer::enable_high_water
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Number of free slots (approximate from the producer's view).
@@ -393,6 +431,21 @@ mod tests {
             }
         }
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn high_water_tracks_only_when_enabled() {
+        let (mut p, _c) = channel(8);
+        p.try_push(1).unwrap();
+        assert_eq!(p.push_batch(&[2, 3]), 2);
+        assert_eq!(p.high_water(), 0, "disabled producer records nothing");
+        p.enable_high_water();
+        p.try_push(4).unwrap();
+        assert_eq!(p.high_water(), 4);
+        assert_eq!(p.push_batch(&[5, 6]), 2);
+        assert_eq!(p.high_water(), 6);
+        p.try_push(7).unwrap();
+        assert_eq!(p.high_water(), 7, "high-water only ratchets upward");
     }
 
     #[test]

@@ -20,8 +20,10 @@
 //! time rather than host time.
 
 use crate::msg::SyncOp;
+use sk_obs::Metrics;
 use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Counters for the synchronization subsystem.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -92,6 +94,9 @@ pub struct SyncTable {
     semas: Vec<SemaObj>,
     /// Counters.
     pub stats: SyncStats,
+    /// Optional telemetry hub: wait-time histograms are fed as releases
+    /// happen. Not persisted — the engine re-attaches after a restore.
+    obs: Option<Arc<Metrics>>,
 }
 
 fn ensure<T: Default>(v: &mut Vec<T>, id: u32) -> &mut T {
@@ -108,11 +113,35 @@ impl SyncTable {
         Self::default()
     }
 
+    /// Attach a telemetry hub (wait-time histograms).
+    pub fn set_obs(&mut self, obs: Arc<Metrics>) {
+        self.obs = Some(obs);
+    }
+
+    /// Record how long released waiters were held: simulated cycles from
+    /// each waiter's blocking request to the releasing event.
+    fn record_waits(&self, barrier: bool, release_ts: u64, releases: &[(usize, i64, u64)]) {
+        if let Some(obs) = &self.obs {
+            let h = if barrier { &obs.manager.barrier_wait } else { &obs.manager.lock_wait };
+            for &(_, _, req_ts) in releases {
+                h.record(release_ts.saturating_sub(req_ts));
+            }
+        }
+    }
+
     /// Apply one operation from `core`, stamped `ts`.
     ///
     /// `Spawn` is not handled here — thread placement belongs to the
     /// engine, which owns core occupancy.
     pub fn apply(&mut self, core: usize, op: SyncOp, ts: u64) -> SyncOutcome {
+        let out = self.apply_inner(core, op, ts);
+        if !out.releases.is_empty() {
+            self.record_waits(matches!(op, SyncOp::BarrierArrive { .. }), ts, &out.releases);
+        }
+        out
+    }
+
+    fn apply_inner(&mut self, core: usize, op: SyncOp, ts: u64) -> SyncOutcome {
         match op {
             SyncOp::InitLock { id } => {
                 let l = ensure(&mut self.locks, id);
@@ -352,6 +381,7 @@ impl Persist for SyncTable {
             barriers: Vec::load(r)?,
             semas: Vec::load(r)?,
             stats: SyncStats::load(r)?,
+            obs: None,
         })
     }
 }

@@ -75,6 +75,9 @@ pub struct Uncore {
     pub events_processed: u64,
     /// Global time at which the region of interest began, if it has.
     pub roi_start: Option<u64>,
+    /// Optional telemetry hub (InQ high-water publishing; the SyncTable
+    /// holds its own reference for wait-time histograms).
+    obs: Option<Arc<sk_obs::Metrics>>,
 }
 
 impl Uncore {
@@ -112,6 +115,30 @@ impl Uncore {
             adaptive,
             events_processed: 0,
             roi_start: None,
+            obs: None,
+        }
+    }
+
+    /// Attach a telemetry hub: the reply rings start tracking their
+    /// high-water marks and the sync table feeds its wait histograms.
+    /// Call again after [`Uncore::restore_state`] (restore replaces the
+    /// sync table, dropping its hub reference).
+    pub fn set_obs(&mut self, obs: Arc<sk_obs::Metrics>) {
+        for p in &mut self.inqs {
+            p.enable_high_water();
+        }
+        self.sync.set_obs(obs.clone());
+        self.obs = Some(obs);
+    }
+
+    /// Publish producer-side ring telemetry (InQ high-water marks) into
+    /// the hub. Call when the manager is quiescent: end of a segment, or
+    /// at a snapshot safe-point.
+    pub fn publish_obs(&self) {
+        if let Some(obs) = &self.obs {
+            for (i, p) in self.inqs.iter().enumerate() {
+                obs.manager.inq_high_water[i].raise_to(p.high_water() as u64);
+            }
         }
     }
 

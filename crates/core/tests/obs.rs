@@ -1,0 +1,175 @@
+//! Telemetry-layer integration tests: cycle-neutrality of the hub,
+//! non-empty histograms under a slack scheme, and counter persistence
+//! through snapshot/restore.
+
+use sk_core::engine::{Engine, RunOutcome};
+use sk_core::{CoreModel, Scheme, TargetConfig};
+use sk_isa::{Program, ProgramBuilder, Reg, Syscall};
+use sk_obs::{Metrics, ObsConfig};
+use std::sync::Arc;
+
+/// Lock-serialized shared counter (the canonical deterministic workload:
+/// same shape as the snapshot tests').
+fn counter_workload(n: usize, iters: i64) -> Program {
+    let a0 = Reg::arg(0);
+    let a1 = Reg::arg(1);
+    let mut b = ProgramBuilder::new();
+    let counter = b.zeros("counter", 1);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    b.li(a0, 0);
+    b.sys(Syscall::InitLock);
+    b.li(a0, 1);
+    b.li(a1, n as i64);
+    b.sys(Syscall::InitBarrier);
+    for _ in 1..n {
+        b.la_text(a0, worker);
+        b.li(a1, 0);
+        b.sys(Syscall::Spawn);
+    }
+    b.sys(Syscall::RoiBegin);
+    b.j(worker);
+
+    b.bind(worker);
+    let t_iter = Reg::saved(0);
+    let t_addr = Reg::saved(1);
+    let t_val = Reg::tmp(1);
+    let t_inc = Reg::saved(2);
+    b.li(t_iter, iters);
+    b.li(t_addr, counter as i64);
+    b.sys(Syscall::GetTid);
+    b.addi(t_inc, a0, 1);
+    let loop_top = b.here("loop");
+    b.li(a0, 0);
+    b.sys(Syscall::Lock);
+    b.ld(t_val, t_addr, 0);
+    b.add(t_val, t_val, t_inc);
+    b.st(t_val, t_addr, 0);
+    b.li(a0, 0);
+    b.sys(Syscall::Unlock);
+    b.addi(t_iter, t_iter, -1);
+    b.bne(t_iter, Reg::ZERO, loop_top);
+    b.li(a0, 1);
+    b.sys(Syscall::Barrier);
+    let done = b.new_label("done");
+    b.sys(Syscall::GetTid);
+    b.bne(a0, Reg::ZERO, done);
+    b.ld(a0, t_addr, 0);
+    b.sys(Syscall::PrintInt);
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    b.build().unwrap()
+}
+
+fn cfg(n: usize) -> TargetConfig {
+    let mut cfg = TargetConfig::paper_8core();
+    cfg.n_cores = n;
+    cfg.core.model = CoreModel::InOrder;
+    cfg
+}
+
+fn run_with_obs(
+    program: &Program,
+    scheme: Scheme,
+    cfg: &TargetConfig,
+) -> (sk_core::SimReport, Arc<Metrics>) {
+    let mut e = Engine::new(program, scheme, cfg);
+    let obs = e.attach_new_metrics(ObsConfig::default());
+    e.run_until(None);
+    (e.into_report(), obs)
+}
+
+/// Attaching a hub must not change a single simulated cycle: telemetry
+/// reads host clocks, never target state. CC is bit-deterministic, so any
+/// divergence is an instrumentation bug.
+#[test]
+fn metrics_hub_is_cycle_neutral() {
+    let program = counter_workload(4, 30);
+    let c = cfg(4);
+    let mut plain = Engine::new(&program, Scheme::CycleByCycle, &c);
+    plain.run_until(None);
+    let a = plain.into_report();
+    let (b, _) = run_with_obs(&program, Scheme::CycleByCycle, &c);
+    assert_eq!(a.exec_cycles, b.exec_cycles, "telemetry changed simulated time");
+    assert_eq!(a.printed(), b.printed());
+    assert_eq!(
+        a.cores.iter().map(|s| s.cycles).collect::<Vec<_>>(),
+        b.cores.iter().map(|s| s.cycles).collect::<Vec<_>>()
+    );
+}
+
+/// Under a bounded-slack scheme the interesting histograms fill up: slack
+/// observed at event-process time, park durations, manager drains.
+#[test]
+fn histograms_fill_under_bounded_slack() {
+    let (r, obs) = run_with_obs(&counter_workload(4, 40), Scheme::BoundedSlack(10), &cfg(4));
+    assert_eq!(r.printed().len(), 1);
+    let slack_samples: u64 = obs.cores.iter().map(|c| c.slack.count()).sum();
+    assert!(slack_samples > 0, "no slack samples recorded");
+    let max_slack = obs.cores.iter().filter_map(|c| c.slack.max()).max().unwrap();
+    assert!(max_slack <= 10, "slack {max_slack} exceeds the S10 bound");
+    let parks: u64 = obs
+        .cores
+        .iter()
+        .map(|c| c.park_ns.count() + c.sync_park_ns.count() + c.mem_park_ns.count())
+        .sum();
+    assert!(parks > 0, "no park samples recorded");
+    assert!(obs.manager.iterations.get() > 0);
+    assert!(obs.manager.events_ingested.get() > 0);
+    assert!(obs.manager.drain_batch.count() > 0);
+    assert!(!obs.trace.is_empty(), "no trace spans recorded");
+    let json = obs.to_json();
+    assert!(json.contains("\"schema\":\"sk-obs-metrics\""));
+}
+
+/// Counters survive the snapshot → resume path: the restored engine
+/// carries the hub, its pre-snapshot counts, and keeps recording.
+#[test]
+fn snapshot_carries_counters_through_restore() {
+    let program = counter_workload(2, 40);
+    let c = cfg(2);
+    let mut e = Engine::new(&program, Scheme::CycleByCycle, &c);
+    e.attach_new_metrics(ObsConfig::default());
+    assert_eq!(e.run_until(Some(400)), RunOutcome::CheckpointReady);
+    let pre_cycles: u64 = e.metrics().unwrap().cores.iter().map(|co| co.cycles.get()).sum();
+    let pre_ingested = e.metrics().unwrap().manager.events_ingested.get();
+    assert!(pre_cycles > 0, "no core iterations before the checkpoint");
+    let bytes = e.snapshot().unwrap();
+
+    let mut restored = Engine::resume(&bytes, None).unwrap();
+    let hub = restored.metrics().expect("snapshot carried no metrics hub").clone();
+    assert_eq!(hub.n_cores(), 2);
+    assert_eq!(
+        hub.cores.iter().map(|co| co.cycles.get()).sum::<u64>(),
+        pre_cycles,
+        "restored hub lost core-cycle counters"
+    );
+    assert_eq!(hub.manager.events_ingested.get(), pre_ingested);
+    // The restored trace sink starts empty (host timelines don't splice).
+    assert!(hub.trace.is_empty());
+
+    restored.run_until(None);
+    let r = restored.into_report();
+    assert_eq!(r.printed().len(), 1);
+    assert!(
+        hub.cores.iter().map(|co| co.cycles.get()).sum::<u64>() > pre_cycles,
+        "restored hub stopped recording"
+    );
+    assert!(!hub.trace.is_empty(), "restored engine recorded no trace spans");
+}
+
+/// Without a hub the snapshot encodes exactly one extra `false` byte and
+/// resumes hub-less.
+#[test]
+fn snapshot_without_hub_restores_hubless() {
+    let program = counter_workload(2, 40);
+    let c = cfg(2);
+    let mut e = Engine::new(&program, Scheme::CycleByCycle, &c);
+    assert_eq!(e.run_until(Some(400)), RunOutcome::CheckpointReady);
+    let bytes = e.snapshot().unwrap();
+    let restored = Engine::resume(&bytes, None).unwrap();
+    assert!(restored.metrics().is_none());
+}

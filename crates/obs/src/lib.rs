@@ -1,0 +1,379 @@
+//! # sk-obs — lock-free runtime telemetry for the slack simulator
+//!
+//! A metrics hub ([`Metrics`]) holding power-of-two-bucketed histograms
+//! ([`hist::Histogram`]) and monotonic counters ([`Counter`]) per core
+//! thread and for the manager, plus a Chrome-trace span recorder
+//! ([`trace::TraceSink`]) and a versioned JSON dump
+//! ([`json::metrics_json`]).
+//!
+//! ## Cost model
+//!
+//! The engine holds an `Option<Arc<Metrics>>`; every hot-path
+//! instrumentation point is guarded by that single `Option` branch, so a
+//! run without metrics attached pays one well-predicted null check per
+//! site and nothing else. When attached, all mutation is `Relaxed`
+//! atomics on cache lines owned by the recording thread — no locks, no
+//! contention (the trace sink's per-lane mutex is only ever taken by its
+//! owning thread during a run).
+//!
+//! ## Persistence
+//!
+//! Histograms, counters, and violation samples round-trip through
+//! `sk-snap`'s [`Persist`], so a mid-run engine snapshot carries its
+//! telemetry into the resumed run. Wall-clock state (the trace sink and
+//! its epoch) deliberately does not persist — spans are per-process.
+
+pub mod hist;
+pub mod json;
+pub mod trace;
+
+pub use hist::Histogram;
+pub use json::{metrics_json, METRICS_SCHEMA_VERSION};
+pub use trace::TraceSink;
+
+use parking_lot::Mutex;
+use sk_snap::{Persist, Reader, SnapError, Writer};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free monotonic counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Raise to `v` if `v` is larger (for high-water marks).
+    #[inline]
+    pub fn raise_to(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value (restore path only).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+impl Persist for Counter {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.get());
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let c = Counter::new();
+        c.set(r.get_u64()?);
+        Ok(c)
+    }
+}
+
+/// Hub configuration. All fields have usable defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Sample the cumulative violation count every this many global
+    /// cycles (0 disables sampling).
+    pub violation_sample_interval: u64,
+    /// Per-lane trace span cap; excess spans are dropped and counted.
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { violation_sample_interval: 1_000, trace_capacity: 1 << 20 }
+    }
+}
+
+/// Telemetry owned by one core thread.
+#[derive(Debug, Default)]
+pub struct CoreObs {
+    /// Slack at event-process time: `max_local − local`, in cycles.
+    pub slack: Histogram,
+    /// Window-wait park durations (ns) in [`wait_for_window`] -> blocked.
+    pub park_ns: Histogram,
+    /// Sync-wait park durations (ns): barrier/lock/semaphore stalls.
+    pub sync_park_ns: Histogram,
+    /// Memory-reply park durations (ns).
+    pub mem_park_ns: Histogram,
+    /// Outgoing event batch sizes per flush.
+    pub out_batch: Histogram,
+    /// Simulated cycles stepped by this core.
+    pub cycles: Counter,
+    /// High-water occupancy of this core's outbound SPSC ring.
+    pub outq_high_water: Counter,
+}
+
+impl Persist for CoreObs {
+    fn save(&self, w: &mut Writer) {
+        self.slack.save(w);
+        self.park_ns.save(w);
+        self.sync_park_ns.save(w);
+        self.mem_park_ns.save(w);
+        self.out_batch.save(w);
+        self.cycles.save(w);
+        self.outq_high_water.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(CoreObs {
+            slack: Histogram::load(r)?,
+            park_ns: Histogram::load(r)?,
+            sync_park_ns: Histogram::load(r)?,
+            mem_park_ns: Histogram::load(r)?,
+            out_batch: Histogram::load(r)?,
+            cycles: Counter::load(r)?,
+            outq_high_water: Counter::load(r)?,
+        })
+    }
+}
+
+/// Telemetry owned by the manager thread.
+#[derive(Debug, Default)]
+pub struct ManagerObs {
+    /// Events ingested per drained inbound ring, per manager iteration.
+    pub drain_batch: Histogram,
+    /// Idle-backoff sleep lengths (µs) the manager actually slept.
+    pub backoff_us: Histogram,
+    /// Global slack `max_local − global` observed at global-clock
+    /// updates, in cycles.
+    pub slack: Histogram,
+    /// Barrier wait times (cycles between a core's arrival and release).
+    pub barrier_wait: Histogram,
+    /// Lock/semaphore wait times (cycles between request and grant).
+    pub lock_wait: Histogram,
+    /// Memory-shard drain batch sizes.
+    pub shard_batch: Histogram,
+    /// Manager loop iterations.
+    pub iterations: Counter,
+    /// Total events ingested from core rings.
+    pub events_ingested: Counter,
+    /// High-water occupancy per inbound (uncore -> core) ring.
+    pub inq_high_water: Vec<Counter>,
+}
+
+impl ManagerObs {
+    fn new(n_cores: usize) -> Self {
+        ManagerObs {
+            inq_high_water: (0..n_cores).map(|_| Counter::new()).collect(),
+            ..ManagerObs::default()
+        }
+    }
+}
+
+impl Persist for ManagerObs {
+    fn save(&self, w: &mut Writer) {
+        self.drain_batch.save(w);
+        self.backoff_us.save(w);
+        self.slack.save(w);
+        self.barrier_wait.save(w);
+        self.lock_wait.save(w);
+        self.shard_batch.save(w);
+        self.iterations.save(w);
+        self.events_ingested.save(w);
+        self.inq_high_water.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(ManagerObs {
+            drain_batch: Histogram::load(r)?,
+            backoff_us: Histogram::load(r)?,
+            slack: Histogram::load(r)?,
+            barrier_wait: Histogram::load(r)?,
+            lock_wait: Histogram::load(r)?,
+            shard_batch: Histogram::load(r)?,
+            iterations: Counter::load(r)?,
+            events_ingested: Counter::load(r)?,
+            inq_high_water: Vec::<Counter>::load(r)?,
+        })
+    }
+}
+
+/// Cap on retained violation samples (FIFO head is kept; later samples
+/// are dropped once full — a bounded run at the default interval never
+/// gets near this).
+const VIOLATION_SAMPLE_CAP: usize = 1 << 20;
+
+/// The telemetry hub: one per engine, shared `Arc`-style across the
+/// core threads, manager, and whoever dumps it at the end.
+pub struct Metrics {
+    /// Hub configuration (sampling interval, trace capacity).
+    pub cfg: ObsConfig,
+    /// Per-core telemetry, indexed by core id.
+    pub cores: Vec<CoreObs>,
+    /// Manager-thread telemetry.
+    pub manager: ManagerObs,
+    /// Wall-clock span recorder (cores + manager lanes).
+    pub trace: TraceSink,
+    violation_samples: Mutex<Vec<(u64, u64)>>,
+}
+
+impl Metrics {
+    /// A hub for `n_cores` simulated cores.
+    pub fn new(n_cores: usize, cfg: ObsConfig) -> Self {
+        Metrics {
+            cfg,
+            cores: (0..n_cores).map(|_| CoreObs::default()).collect(),
+            manager: ManagerObs::new(n_cores),
+            trace: TraceSink::new(n_cores, cfg.trace_capacity),
+            violation_samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of simulated cores this hub instruments.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Append one `(global_cycle, cumulative_violations)` sample.
+    pub fn record_violation_sample(&self, cycle: u64, violations: u64) {
+        let mut v = self.violation_samples.lock();
+        if v.len() < VIOLATION_SAMPLE_CAP {
+            v.push((cycle, violations));
+        }
+    }
+
+    /// Snapshot of the violation-sample series.
+    pub fn violation_samples(&self) -> Vec<(u64, u64)> {
+        self.violation_samples.lock().clone()
+    }
+
+    /// The versioned JSON metrics dump.
+    pub fn to_json(&self) -> String {
+        metrics_json(self)
+    }
+
+    /// The Chrome-trace JSON for `ui.perfetto.dev`.
+    pub fn trace_json(&self) -> String {
+        self.trace.to_chrome_json()
+    }
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Metrics")
+            .field("n_cores", &self.n_cores())
+            .field("manager_iterations", &self.manager.iterations.get())
+            .field("trace", &self.trace)
+            .finish()
+    }
+}
+
+impl Persist for Metrics {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.cfg.violation_sample_interval);
+        w.put_usize(self.cfg.trace_capacity);
+        w.put_usize(self.cores.len());
+        for c in &self.cores {
+            c.save(w);
+        }
+        self.manager.save(w);
+        let samples = self.violation_samples.lock();
+        w.put_usize(samples.len());
+        for &(cycle, violations) in samples.iter() {
+            w.put_u64(cycle);
+            w.put_u64(violations);
+        }
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let cfg =
+            ObsConfig { violation_sample_interval: r.get_u64()?, trace_capacity: r.get_usize()? };
+        let n_cores = r.get_count(8)?;
+        let mut cores = Vec::with_capacity(n_cores);
+        for _ in 0..n_cores {
+            cores.push(CoreObs::load(r)?);
+        }
+        let manager = ManagerObs::load(r)?;
+        let n_samples = r.get_count(16)?;
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let cycle = r.get_u64()?;
+            let violations = r.get_u64()?;
+            samples.push((cycle, violations));
+        }
+        Ok(Metrics {
+            cfg,
+            cores,
+            manager,
+            trace: TraceSink::new(n_cores, cfg.trace_capacity),
+            violation_samples: Mutex::new(samples),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_semantics() {
+        let c = Counter::new();
+        c.add(5);
+        c.inc();
+        assert_eq!(c.get(), 6);
+        c.raise_to(3);
+        assert_eq!(c.get(), 6, "raise_to never lowers");
+        c.raise_to(10);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn hub_persist_round_trip() {
+        let m = Metrics::new(3, ObsConfig { violation_sample_interval: 7, trace_capacity: 64 });
+        m.cores[1].slack.record(42);
+        m.cores[1].cycles.add(99);
+        m.cores[2].outq_high_water.raise_to(12);
+        m.manager.drain_batch.record_n(4, 3);
+        m.manager.inq_high_water[0].raise_to(5);
+        m.record_violation_sample(1000, 2);
+        m.record_violation_sample(2000, 3);
+        // Trace spans must NOT persist.
+        m.trace.span_at(0, "run", 0, 5);
+
+        let mut w = Writer::new();
+        m.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = Metrics::load(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(back.n_cores(), 3);
+        assert_eq!(back.cfg.violation_sample_interval, 7);
+        assert!(back.cores[1].slack.same_as(&m.cores[1].slack));
+        assert_eq!(back.cores[1].cycles.get(), 99);
+        assert_eq!(back.cores[2].outq_high_water.get(), 12);
+        assert!(back.manager.drain_batch.same_as(&m.manager.drain_batch));
+        assert_eq!(back.manager.inq_high_water[0].get(), 5);
+        assert_eq!(back.violation_samples(), vec![(1000, 2), (2000, 3)]);
+        assert!(back.trace.is_empty());
+    }
+
+    #[test]
+    fn violation_sample_cap_holds() {
+        let m = Metrics::new(1, ObsConfig::default());
+        m.record_violation_sample(1, 1);
+        assert_eq!(m.violation_samples().len(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the telemetry histograms: insert/merge/quantile
+//! invariants and sk-snap round trips.
+
+use proptest::prelude::*;
+use sk_obs::hist::{bucket_ceil, bucket_floor, bucket_of, N_BUCKETS};
+use sk_obs::Histogram;
+use sk_snap::{Persist, Reader, Writer};
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Aggregates follow the recorded stream exactly, and every value
+    /// falls inside its bucket's [floor, ceil] range.
+    #[test]
+    fn insert_aggregates_and_buckets(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let expect_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(h.sum(), expect_sum);
+        if values.is_empty() {
+            prop_assert!(h.is_empty());
+            prop_assert_eq!(h.min(), None);
+            prop_assert_eq!(h.max(), None);
+        } else {
+            prop_assert_eq!(h.min(), values.iter().min().copied());
+            prop_assert_eq!(h.max(), values.iter().max().copied());
+        }
+        for &v in &values {
+            let b = bucket_of(v);
+            prop_assert!(b < N_BUCKETS);
+            prop_assert!(bucket_floor(b) <= v && v <= bucket_ceil(b),
+                "value {} outside bucket {} range [{}, {}]",
+                v, b, bucket_floor(b), bucket_ceil(b));
+        }
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+    }
+
+    /// Merging two histograms equals the histogram of the concatenated
+    /// streams.
+    #[test]
+    fn merge_is_concatenation(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let ha = hist_of(&a);
+        let hb = hist_of(&b);
+        ha.merge_from(&hb);
+        let mut ab = a.clone();
+        ab.extend_from_slice(&b);
+        prop_assert!(ha.same_as(&hist_of(&ab)));
+    }
+
+    /// Quantiles are clamped into [min, max] and monotone in q.
+    #[test]
+    fn quantiles_bounded_and_monotone(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+        qs in proptest::collection::vec(0u32..=100, 1..8),
+    ) {
+        let h = hist_of(&values);
+        let lo = h.min().unwrap();
+        let hi = h.max().unwrap();
+        let mut sorted = qs.clone();
+        sorted.sort_unstable();
+        let mut prev = None;
+        for qi in sorted {
+            let q = qi as f64 / 100.0;
+            let v = h.quantile(q);
+            prop_assert!(lo <= v && v <= hi, "q{} = {} outside [{}, {}]", q, v, lo, hi);
+            if let Some(p) = prev {
+                prop_assert!(v >= p, "quantile not monotone: q{} gave {} after {}", q, v, p);
+            }
+            prev = Some(v);
+        }
+        // The quantile estimate never misses the true rank value by more
+        // than one power-of-two bucket: the true value's bucket ceiling
+        // (clamped the same way) IS the estimate.
+        let mut vs = values.clone();
+        vs.sort_unstable();
+        let rank = ((0.5 * vs.len() as f64).ceil() as usize).max(1) - 1;
+        let true_median = vs[rank];
+        let est = h.quantile(0.5);
+        prop_assert!(est >= true_median.min(hi) || bucket_of(est) >= bucket_of(true_median));
+    }
+
+    /// Histograms survive a sk-snap save/load round trip bit-exactly.
+    #[test]
+    fn persist_round_trip(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let h = hist_of(&values);
+        let mut w = Writer::new();
+        h.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = Histogram::load(&mut r).unwrap();
+        r.finish().unwrap();
+        prop_assert!(h.same_as(&back));
+        prop_assert_eq!(h.count(), back.count());
+        prop_assert_eq!(h.sum(), back.sum());
+        prop_assert_eq!(h.min(), back.min());
+        prop_assert_eq!(h.max(), back.max());
+    }
+}

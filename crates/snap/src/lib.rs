@@ -28,7 +28,8 @@ use std::fmt;
 pub const MAGIC: [u8; 8] = *b"SKSNAP\x00\x01";
 
 /// Bumped whenever the payload layout changes incompatibly.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: engine snapshots append an optional telemetry-hub blob (sk-obs).
+pub const FORMAT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 8 + 4 + 8;
 const CHECKSUM_LEN: usize = 8;
