@@ -1,0 +1,148 @@
+//! Microbenchmarks of the PR-4 hot paths: the lock-free paged functional
+//! memory (with and without the per-core µTLB cursor) and instruction
+//! predecode (per-word `decode` vs the `DecodedProgram` table lookup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sk_isa::{
+    decode, encode, DecodedInstr, DecodedProgram, ProgramBuilder, Reg, Syscall, WORD_BYTES,
+};
+use sk_mem::FuncMemory;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Replica of the pre-PR4 functional memory (mutex-guarded page map,
+/// Arc clone per access) so the per-access cost delta stays measurable
+/// after the original is gone.
+struct MutexMemory {
+    pages: Mutex<HashMap<u64, Arc<Vec<AtomicU64>>>>,
+}
+
+impl MutexMemory {
+    fn new() -> Self {
+        MutexMemory { pages: Mutex::new(HashMap::new()) }
+    }
+    fn page(&self, pno: u64) -> Arc<Vec<AtomicU64>> {
+        let mut pages = self.pages.lock().unwrap();
+        pages
+            .entry(pno)
+            .or_insert_with(|| Arc::new((0..4096).map(|_| AtomicU64::new(0)).collect()))
+            .clone()
+    }
+    fn read(&self, addr: u64) -> u64 {
+        let p = self.page(addr >> 15);
+        p[((addr >> 3) & 4095) as usize].load(Ordering::Relaxed)
+    }
+    fn write(&self, addr: u64, v: u64) {
+        let p = self.page(addr >> 15);
+        p[((addr >> 3) & 4095) as usize].store(v, Ordering::Relaxed);
+    }
+}
+
+/// Strided read/write mix over a working set spanning several pages —
+/// the access shape of the kernels' inner loops.
+fn bench_mem_hot(c: &mut Criterion) {
+    const WORDS: u64 = 64 * 1024; // 512 KiB: 16 pages
+    let mem = FuncMemory::new();
+    for i in 0..WORDS {
+        mem.write(i * 8, i);
+    }
+
+    c.bench_function("mem_hot/mutex_hashmap_read_write", |b| {
+        let old = MutexMemory::new();
+        for i in 0..WORDS {
+            old.write(i * 8, i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 17) % WORDS;
+            let a = i * 8;
+            let v = old.read(a);
+            old.write(a, v.wrapping_add(1));
+            black_box(v)
+        })
+    });
+
+    c.bench_function("mem_hot/direct_read_write", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 17) % WORDS;
+            let a = i * 8;
+            let v = mem.read(a);
+            mem.write(a, v.wrapping_add(1));
+            black_box(v)
+        })
+    });
+
+    c.bench_function("mem_hot/cursor_read_write", |b| {
+        let mut cur = mem.cursor();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 17) % WORDS;
+            let a = i * 8;
+            let v = cur.read(a);
+            cur.write(a, v.wrapping_add(1));
+            black_box(v)
+        })
+    });
+
+    c.bench_function("mem_hot/cursor_sequential", |b| {
+        let mut cur = mem.cursor();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % WORDS;
+            black_box(cur.read(i * 8))
+        })
+    });
+}
+
+/// A representative text segment: an arithmetic/memory/branch loop body.
+fn sample_program() -> sk_isa::Program {
+    let a0 = Reg::arg(0);
+    let t0 = Reg::tmp(0);
+    let t1 = Reg::tmp(1);
+    let mut b = ProgramBuilder::new();
+    let buf = b.zeros("buf", 64);
+    let main = b.here("main");
+    b.li(t0, buf as i64);
+    b.li(a0, 64);
+    let top = b.here("top");
+    b.ld(t1, t0, 0);
+    b.addi(t1, t1, 3);
+    b.st(t1, t0, 0);
+    b.addi(t0, t0, 8);
+    b.addi(a0, a0, -1);
+    b.bne(a0, Reg::ZERO, top);
+    b.sys(Syscall::Exit);
+    b.entry(main);
+    b.build().unwrap()
+}
+
+fn bench_decode_hot(c: &mut Criterion) {
+    let p = sample_program();
+    let words: Vec<u64> = p.text.iter().map(encode).collect();
+    let n = words.len() as u64;
+
+    c.bench_function("decode_hot/decode_per_fetch", |b| {
+        let mut idx = 0u64;
+        b.iter(|| {
+            idx = (idx + 1) % n;
+            let i = decode(words[idx as usize]).unwrap();
+            black_box(DecodedInstr::new(i).fu)
+        })
+    });
+
+    let table = DecodedProgram::from_program(&p);
+    c.bench_function("decode_hot/table_lookup", |b| {
+        let base = sk_isa::layout::TEXT_BASE;
+        let mut idx = 0u64;
+        b.iter(|| {
+            idx = (idx + 1) % n;
+            black_box(table.lookup(base + idx * WORD_BYTES).unwrap().fu)
+        })
+    });
+}
+
+criterion_group!(hot_paths, bench_mem_hot, bench_decode_hot);
+criterion_main!(hot_paths);

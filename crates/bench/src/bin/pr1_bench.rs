@@ -5,10 +5,14 @@
 //! simulated-KIPS per workload, plus a manager idle-cost probe (manager
 //! iterations per wall-second while every core is parked in a sync wait).
 //!
-//! Usage: `pr1_bench [n_cores] [slack] [reps] [--metrics-out <file>]`
-//! (defaults: 4, 10, 5). With `--metrics-out`, one sk-obs hub is attached
-//! across every measured rep and dumped as sk-obs-metrics JSON — the
-//! CI perf-smoke job archives it as a run artifact.
+//! Usage: `pr1_bench [n_cores] [slack] [reps] [--scale test|bench|full]
+//! [--metrics-out <file>]` (defaults: 4, 10, 5, test). With
+//! `--metrics-out`, one sk-obs hub is attached across every measured rep
+//! and dumped as sk-obs-metrics JSON — the CI perf-smoke job archives it
+//! as a run artifact. `--scale bench` grows the kernels by ~30× so
+//! per-simulated-cycle costs dominate thread orchestration — use it for
+//! hot-path A/B runs (BENCH_PR4.json); the default stays `test` so the
+//! CI perf-smoke baseline is unchanged.
 
 use sk_core::engine::Engine;
 use sk_core::{CoreModel, Scheme, SimReport, TargetConfig};
@@ -35,11 +39,19 @@ fn run_one(
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut metrics_out: Option<String> = None;
+    let mut scale = sk_kernels::Scale::Test;
     let mut pos: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {
         if raw[i] == "--metrics-out" {
             metrics_out = raw.get(i + 1).cloned();
+            i += 2;
+        } else if raw[i] == "--scale" {
+            scale = match raw.get(i + 1).map(String::as_str) {
+                Some("bench") => sk_kernels::Scale::Bench,
+                Some("full") => sk_kernels::Scale::Full,
+                _ => sk_kernels::Scale::Test,
+            };
             i += 2;
         } else {
             pos.push(raw[i].clone());
@@ -57,9 +69,14 @@ fn main() {
 
     let obs = metrics_out.as_ref().map(|_| Arc::new(Metrics::new(n_cores, ObsConfig::default())));
 
-    let mut workloads = sk_kernels::paper_suite(n_cores, sk_kernels::Scale::Test);
-    workloads.push(sk_kernels::micro::private_compute(n_cores, 400));
-    workloads.push(sk_kernels::micro::lock_sweep(n_cores, 20));
+    let mut workloads = sk_kernels::paper_suite(n_cores, scale);
+    let (compute_iters, sweep_iters) = match scale {
+        sk_kernels::Scale::Test => (400, 20),
+        sk_kernels::Scale::Bench => (12_000, 600),
+        sk_kernels::Scale::Full => (48_000, 2_400),
+    };
+    workloads.push(sk_kernels::micro::private_compute(n_cores, compute_iters));
+    workloads.push(sk_kernels::micro::lock_sweep(n_cores, sweep_iters));
 
     let t_all = Instant::now();
     let mut entries = String::new();

@@ -22,8 +22,8 @@ use crate::msg::{InKind, InMsg, OutEvent, OutKind, SyncOp};
 use crate::spsc::{Consumer, Producer};
 use crate::stats::CoreStats;
 use crate::violation::ConflictTracker;
-use sk_isa::Syscall;
-use sk_mem::FuncMemory;
+use sk_isa::{DecodedInstr, DecodedProgram, Syscall};
+use sk_mem::{FuncMemory, PageCursor};
 use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -85,7 +85,11 @@ struct HostState {
     core_id: usize,
     n_cores: usize,
     tid: u32,
-    mem: FuncMemory,
+    /// µTLB over the shared functional memory: the common-case access is
+    /// one pointer chase with zero shared-state writes.
+    mem: PageCursor,
+    /// Shared predecoded text segment (fetch fast path).
+    text: Arc<DecodedProgram>,
     tracker: Option<Arc<ConflictTracker>>,
     pending_out: Vec<OutKind>,
     sys_phase: SysPhase,
@@ -135,6 +139,10 @@ impl CoreHost for HostState {
 
     fn fetch_word(&mut self, addr: u64) -> u64 {
         self.mem.read(addr)
+    }
+
+    fn decoded(&mut self, pc: u64) -> Option<DecodedInstr> {
+        self.text.lookup(pc).copied()
     }
 
     fn emit(&mut self, kind: OutKind) {
@@ -245,6 +253,11 @@ pub struct CoreSim {
     roi_frozen: Option<u64>,
     trace: Option<Vec<u16>>,
     inert_streak: u32,
+    /// Max cycles simulated per local-clock publication (run-ahead
+    /// batching); 1 for conservative schemes. See [`Scheme::batch_cap`].
+    ///
+    /// [`Scheme::batch_cap`]: crate::scheme::Scheme::batch_cap
+    batch_cap: u64,
     /// Optional telemetry hub; all hot-loop instrumentation sits behind
     /// this one `Option` branch.
     obs: Option<Arc<sk_obs::Metrics>>,
@@ -260,6 +273,7 @@ impl CoreSim {
         inq: Consumer<InMsg>,
         outq: Producer<OutEvent>,
         mem: FuncMemory,
+        text: Arc<DecodedProgram>,
         tracker: Option<Arc<ConflictTracker>>,
         roi: Arc<RoiState>,
     ) -> Self {
@@ -280,7 +294,8 @@ impl CoreSim {
                 core_id: id,
                 n_cores: cfg.n_cores,
                 tid: id as u32,
-                mem,
+                mem: mem.cursor(),
+                text,
                 tracker,
                 pending_out: Vec::with_capacity(8),
                 sys_phase: SysPhase::Idle,
@@ -300,8 +315,18 @@ impl CoreSim {
             roi_frozen: None,
             trace: if cfg.record_trace { Some(Vec::new()) } else { None },
             inert_streak: 0,
+            batch_cap: 1,
             obs: None,
         }
+    }
+
+    /// Set the run-ahead batch cap (cycles simulated between local-clock
+    /// publications). The engine derives it from [`Scheme::batch_cap`];
+    /// tests may force it to prove batching is invisible.
+    ///
+    /// [`Scheme::batch_cap`]: crate::scheme::Scheme::batch_cap
+    pub fn set_batch_cap(&mut self, cap: u64) {
+        self.batch_cap = cap.max(1);
     }
 
     /// Attach a telemetry hub and start tracking this core's OutQ
@@ -311,11 +336,16 @@ impl CoreSim {
         self.obs = Some(obs);
     }
 
-    /// Publish producer-side ring telemetry into the hub (call when the
-    /// core is quiescent: end of run, or at a snapshot safe-point).
-    pub fn publish_obs(&self) {
+    /// Publish producer-side ring telemetry and the µTLB counters into
+    /// the hub (call when the core is quiescent: end of run, or at a
+    /// snapshot safe-point).
+    pub fn publish_obs(&mut self) {
         if let Some(obs) = &self.obs {
-            obs.cores[self.id].outq_high_water.raise_to(self.outq.high_water() as u64);
+            let c = &obs.cores[self.id];
+            c.outq_high_water.raise_to(self.outq.high_water() as u64);
+            let (hits, misses) = self.host.mem.take_counters();
+            c.utlb_hits.add(hits);
+            c.utlb_misses.add(misses);
         }
     }
 
@@ -689,18 +719,41 @@ impl CoreSim {
                 }
                 continue;
             }
-            let now = self.local + 1;
+            // Run-ahead batch: simulate up to `batch_cap` cycles inside
+            // the open window, publishing the local clock once at the
+            // end. Every intervening cycle is still simulated in full —
+            // InQ messages apply at their exact timestamps and OutQ
+            // events keep exact per-cycle stamps — only the publication
+            // atomics are amortized. A batch ends early on anything the
+            // manager or the park paths must see promptly: emitted
+            // events, thread exit/idle, a sync wait, or a stop.
+            let limit = board.max_local(self.id).min(board.checkpoint_limit());
+            let budget = limit.saturating_sub(self.local).min(self.batch_cap).max(1);
             let c0 = self.stats.committed;
             let i0 = self.stats.issued;
             let f0 = self.stats.fetched;
-            let events = self.step_cycle(now);
-            board.advance_local(self.id, now);
+            let mut batch = 0u64;
+            let events = loop {
+                let events = self.step_cycle(self.local + 1);
+                batch += 1;
+                if events > 0
+                    || batch >= budget
+                    || self.cpu.finished()
+                    || !self.cpu.running()
+                    || self.sync_waiting()
+                    || self.stop_seen
+                {
+                    break events;
+                }
+            };
+            board.advance_local_batched(self.id, self.local);
             if let Some(obs) = &self.obs {
                 let c = &obs.cores[self.id];
-                c.cycles.inc();
-                // Slack at process time: how far this core may still run
+                c.cycles.add(batch);
+                c.run_batch.record(batch);
+                // Slack at publish time: how far this core may still run
                 // ahead before hitting its window (`max_local − local`).
-                c.slack.record(board.max_local(self.id).saturating_sub(now));
+                c.slack.record(board.max_local(self.id).saturating_sub(self.local));
                 if events > 0 {
                     c.out_batch.record(events as u64);
                 }
@@ -729,7 +782,9 @@ impl CoreSim {
                 && self.stats.fetched == f0
                 && events == 0;
             if inert && !self.sync_retrying() {
-                self.inert_streak += 1;
+                // Every cycle of an inert batch was inert (any activity
+                // would have changed the stats or emitted an event).
+                self.inert_streak += batch as u32;
             } else {
                 self.inert_streak = 0;
             }

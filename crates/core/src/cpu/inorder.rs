@@ -11,7 +11,7 @@ use crate::config::{CoreConfig, TargetConfig};
 use crate::exec::{self, Operands};
 use crate::msg::OutKind;
 use crate::stats::CoreStats;
-use sk_isa::{decode, layout, Instr, Reg, WORD_BYTES};
+use sk_isa::{decode, layout, DecodedInstr, Instr, Reg, WORD_BYTES};
 use sk_mem::l1::ReqKind;
 use sk_mem::{block_of, BlockAddr, L1Cache, L1Outcome, LineState};
 use sk_snap::{Persist, Reader, SnapError, Writer};
@@ -90,9 +90,9 @@ impl InOrderCpu {
         }
     }
 
-    fn operands(&self, i: &Instr) -> Operands {
-        let [s1, s2] = i.int_srcs();
-        let [f1, f2] = i.fp_srcs();
+    fn operands(&self, i: &DecodedInstr) -> Operands {
+        let [s1, s2] = i.int_srcs;
+        let [f1, f2] = i.fp_srcs;
         Operands {
             rs1: s1.map_or(0, |r| self.reg(r)),
             rs2: s2.map_or(0, |r| self.reg(r)),
@@ -119,13 +119,13 @@ impl InOrderCpu {
 
     /// Execute one fetched instruction; returns true if an instruction
     /// retired this cycle (i.e. we are not now waiting on memory/syscall).
-    fn execute_one(&mut self, i: Instr, ctx: &mut CpuCtx<'_>) {
+    fn execute_one(&mut self, i: DecodedInstr, ctx: &mut CpuCtx<'_>) {
         let now = ctx.now;
         let ops = self.operands(&i);
-        let fx = exec::execute(&i, ops);
+        let fx = exec::execute(&i.instr, ops);
         ctx.stats.issued += 1;
 
-        if let Instr::Syscall { code } = i {
+        if let Instr::Syscall { code } = i.instr {
             let args = [
                 self.reg(Reg::arg(0)),
                 self.reg(Reg::arg(1)),
@@ -177,9 +177,9 @@ impl InOrderCpu {
                     }
                 }
             } else {
-                let dst = match i {
+                let dst = match i.instr {
                     Instr::Fld { fd, .. } => LoadDst::Fp(fd.0),
-                    _ => LoadDst::Int(i.int_dst().map_or(0, |r| r.0)),
+                    _ => LoadDst::Int(i.int_dst.map_or(0, |r| r.0)),
                 };
                 match self.l1d.read(block) {
                     L1Outcome::Hit => {
@@ -204,7 +204,7 @@ impl InOrderCpu {
 
         if let Some(br) = fx.branch {
             if let Some(v) = fx.int_result {
-                if let Some(rd) = i.int_dst() {
+                if let Some(rd) = i.int_dst {
                     self.set_reg(rd, v);
                 }
             }
@@ -224,17 +224,17 @@ impl InOrderCpu {
         }
 
         if let Some(v) = fx.int_result {
-            if let Some(rd) = i.int_dst() {
+            if let Some(rd) = i.int_dst {
                 self.set_reg(rd, v);
             }
         }
         if let Some(v) = fx.fp_result {
-            if let Some(fd) = i.fp_dst() {
+            if let Some(fd) = i.fp_dst {
                 self.fregs[fd.index()] = v;
             }
         }
         self.pc += WORD_BYTES;
-        self.busy_until = now + self.cfg.fu_latency(i.fu_class());
+        self.busy_until = now + self.cfg.fu_latency(i.fu);
         ctx.stats.committed += 1;
     }
 }
@@ -312,10 +312,14 @@ impl Cpu for InOrderCpu {
                 match self.l1i.read(block) {
                     L1Outcome::Hit => {
                         ctx.stats.fetched += 1;
-                        let word = ctx.host.fetch_word(self.pc);
-                        match decode(word) {
-                            Ok(i) => self.execute_one(i, ctx),
-                            Err(_) => {
+                        // Predecode fast path; PCs outside the table fall
+                        // back to reading and decoding the word.
+                        let di = ctx.host.decoded(self.pc).or_else(|| {
+                            decode(ctx.host.fetch_word(self.pc)).ok().map(DecodedInstr::new)
+                        });
+                        match di {
+                            Some(i) => self.execute_one(i, ctx),
+                            None => {
                                 // Fetching garbage means the workload ran off
                                 // its text segment: treat as thread exit.
                                 self.finished = true;

@@ -41,6 +41,14 @@ pub trait CoreHost {
     fn store(&mut self, addr: u64, val: u64, ts: u64);
     /// Read an instruction word (not violation-tracked: text is immutable).
     fn fetch_word(&mut self, addr: u64) -> u64;
+    /// Predecoded instruction at `pc`, when the host carries a predecode
+    /// table covering it. `None` sends the model down the
+    /// `fetch_word` + `decode` path, which keeps runaway-PC / bad-fetch
+    /// semantics identical for PCs outside the text segment.
+    fn decoded(&mut self, pc: u64) -> Option<sk_isa::DecodedInstr> {
+        let _ = pc;
+        None
+    }
     /// Emit an OutQ event (the host stamps timestamp and sequence).
     fn emit(&mut self, kind: crate::msg::OutKind);
     /// A syscall reached the commit point. `args` are `a0..a3`.

@@ -16,7 +16,7 @@ use crate::config::{CoreConfig, TargetConfig};
 use crate::exec::{self, Operands};
 use crate::msg::OutKind;
 use crate::stats::CoreStats;
-use sk_isa::{decode, encode, layout, FuClass, Instr, Reg, WORD_BYTES};
+use sk_isa::{decode, encode, layout, DecodedInstr, FuClass, Instr, Reg, WORD_BYTES};
 use sk_mem::l1::ReqKind;
 use sk_mem::mshr::MshrAlloc;
 use sk_mem::{block_of, BlockAddr, L1Cache, L1Outcome, LineState, MshrFile};
@@ -54,7 +54,7 @@ enum EState {
 struct RobEntry {
     id: RobId,
     pc: u64,
-    instr: Instr,
+    instr: DecodedInstr,
     state: EState,
     src_int: [Option<RobId>; 2],
     src_fp: [Option<RobId>; 2],
@@ -79,7 +79,7 @@ impl RobEntry {
         self.instr.is_store()
     }
     fn is_syscall(&self) -> bool {
-        matches!(self.instr, Instr::Syscall { .. })
+        self.instr.is_syscall()
     }
 }
 
@@ -110,7 +110,7 @@ enum SysState {
 #[derive(Clone, Copy, Debug)]
 struct Fetched {
     pc: u64,
-    instr: Instr,
+    instr: DecodedInstr,
     pred_taken: bool,
     pred_target: u64,
     bad_fetch: bool,
@@ -269,8 +269,8 @@ impl OooCpu {
                 }
             }
         }
-        let [s1, s2] = e.instr.int_srcs();
-        let [f1, f2] = e.instr.fp_srcs();
+        let [s1, s2] = e.instr.int_srcs;
+        let [f1, f2] = e.instr.fp_srcs;
         Operands {
             rs1: s1.map_or(0, |r| self.int_value(e.src_int[0], r)),
             rs2: s2.map_or(0, |r| self.int_value(e.src_int[1], r)),
@@ -310,12 +310,12 @@ impl OooCpu {
         self.int_map = [None; 32];
         self.fp_map = [None; 32];
         for e in &self.rob {
-            if let Some(rd) = e.instr.int_dst() {
+            if let Some(rd) = e.instr.int_dst {
                 if rd.index() != 0 {
                     self.int_map[rd.index()] = Some(e.id);
                 }
             }
-            if let Some(fd) = e.instr.fp_dst() {
+            if let Some(fd) = e.instr.fp_dst {
                 self.fp_map[fd.index()] = Some(e.id);
             }
         }
@@ -348,7 +348,7 @@ impl OooCpu {
                     None => ctx.host.load(addr, now),
                 };
                 let e = &mut self.rob[i];
-                if matches!(e.instr, Instr::Fld { .. }) {
+                if matches!(e.instr.instr, Instr::Fld { .. }) {
                     e.fp_result = Some(f64::from_bits(val));
                 } else {
                     e.int_result = Some(val);
@@ -358,7 +358,7 @@ impl OooCpu {
                 continue;
             }
 
-            let fx = exec::execute(&self.rob[i].instr, ops);
+            let fx = exec::execute(&self.rob[i].instr.instr, ops);
             let e = &mut self.rob[i];
             e.int_result = fx.int_result;
             e.fp_result = fx.fp_result;
@@ -405,7 +405,7 @@ impl OooCpu {
                 }
                 let outcome = match self.sys_state {
                     SysState::Idle => {
-                        let code = match head.instr {
+                        let code = match head.instr.instr {
                             Instr::Syscall { code } => code,
                             _ => unreachable!(),
                         };
@@ -468,7 +468,7 @@ impl OooCpu {
             if head.instr.is_mem() {
                 self.lsq_used -= 1;
             }
-            if let Some(rd) = head.instr.int_dst() {
+            if let Some(rd) = head.instr.int_dst {
                 if rd.index() != 0 {
                     self.regs[rd.index()] = head.int_result.expect("completed int result");
                     if self.int_map[rd.index()] == Some(head.id) {
@@ -476,7 +476,7 @@ impl OooCpu {
                     }
                 }
             }
-            if let Some(fd) = head.instr.fp_dst() {
+            if let Some(fd) = head.instr.fp_dst {
                 self.fregs[fd.index()] = head.fp_result.expect("completed fp result");
                 if self.fp_map[fd.index()] == Some(head.id) {
                     self.fp_map[fd.index()] = None;
@@ -546,7 +546,7 @@ impl OooCpu {
                 idx += 1;
                 continue;
             }
-            let class = self.rob[idx].instr.fu_class();
+            let class = self.rob[idx].instr.fu;
             let ci = class_idx(class);
             if used[ci] >= self.cfg.fu_count(class)
                 || (!self.cfg.fu_pipelined(class) && self.fu_busy_until[ci] > now)
@@ -587,7 +587,7 @@ impl OooCpu {
     /// Returns false if it must wait (dependences, MSHRs, ordering).
     fn try_issue_mem(&mut self, idx: usize, now: u64, ctx: &mut CpuCtx<'_>) -> bool {
         let ops = self.operands_for(&self.rob[idx]);
-        let fx = exec::execute(&self.rob[idx].instr, ops);
+        let fx = exec::execute(&self.rob[idx].instr.instr, ops);
         let m = fx.mem.expect("memory instruction");
         let is_store = self.rob[idx].is_store();
 
@@ -675,8 +675,8 @@ impl OooCpu {
             }
             self.fetch_q.pop_front();
 
-            let [s1, s2] = f.instr.int_srcs();
-            let [f1, f2] = f.instr.fp_srcs();
+            let [s1, s2] = f.instr.int_srcs;
+            let [f1, f2] = f.instr.fp_srcs;
             let src_int = [
                 s1.and_then(|r| self.int_map[r.index()]),
                 s2.and_then(|r| self.int_map[r.index()]),
@@ -688,15 +688,15 @@ impl OooCpu {
             if f.instr.is_mem() {
                 self.lsq_used += 1;
             }
-            if let Some(rd) = f.instr.int_dst() {
+            if let Some(rd) = f.instr.int_dst {
                 if rd.index() != 0 {
                     self.int_map[rd.index()] = Some(id);
                 }
             }
-            if let Some(fd) = f.instr.fp_dst() {
+            if let Some(fd) = f.instr.fp_dst {
                 self.fp_map[fd.index()] = Some(id);
             }
-            let state = if matches!(f.instr, Instr::Nop) && !f.bad_fetch {
+            let state = if matches!(f.instr.instr, Instr::Nop) && !f.bad_fetch {
                 EState::Completed
             } else {
                 EState::Dispatched
@@ -739,10 +739,16 @@ impl OooCpu {
                     return;
                 }
             }
-            let word = ctx.host.fetch_word(self.pc);
-            let (instr, bad) = match decode(word) {
-                Ok(i) => (i, false),
-                Err(_) => (Instr::Nop, true),
+            // Predecode fast path; PCs outside the table fall back to
+            // reading and decoding the word, so running off the text
+            // segment still yields a bad fetch exactly as before.
+            let di = ctx
+                .host
+                .decoded(self.pc)
+                .or_else(|| decode(ctx.host.fetch_word(self.pc)).ok().map(DecodedInstr::new));
+            let (instr, bad) = match di {
+                Some(d) => (d, false),
+                None => (DecodedInstr::new(Instr::Nop), true),
             };
             ctx.stats.fetched += 1;
 
@@ -750,7 +756,7 @@ impl OooCpu {
             let mut pred_target = 0;
             let mut redirect: Option<u64> = None;
             let mut stop_fetch = bad; // don't fetch past garbage
-            match instr {
+            match instr.instr {
                 Instr::J { off } => {
                     pred_taken = true;
                     pred_target = exec::rel_target(self.pc, off);
@@ -797,8 +803,8 @@ impl OooCpu {
                     self.wait_jalr = true;
                     stop_fetch = true;
                 }
-                ref i if i.is_cond_branch() => {
-                    let off = i.rel_target().expect("conditional branches are direct");
+                _ if instr.is_cond_branch() => {
+                    let off = instr.rel_target.expect("conditional branches are direct");
                     let target = exec::rel_target(self.pc, off);
                     if self.bpred.predict(self.pc) {
                         pred_taken = true;
@@ -1060,7 +1066,7 @@ impl Cpu for OooCpu {
             "pc={:#x} rob[{}] head={:?} sb={:?} mshr=[{}] ifetch={:?} wait_jalr={} sys={:?} fq={}",
             self.pc,
             self.rob.len(),
-            self.rob.front().map(|e| (e.id, e.instr, e.state)),
+            self.rob.front().map(|e| (e.id, e.instr.instr, e.state)),
             self.store_buffer
                 .iter()
                 .map(|e| (sk_mem::block_of(e.addr), e.state))
@@ -1131,7 +1137,7 @@ impl Persist for RobEntry {
     fn save(&self, w: &mut Writer) {
         w.put_u64(self.id);
         w.put_u64(self.pc);
-        save_instr(&self.instr, w);
+        save_instr(&self.instr.instr, w);
         self.state.save(w);
         for s in self.src_int.iter().chain(&self.src_fp) {
             s.save(w);
@@ -1150,7 +1156,7 @@ impl Persist for RobEntry {
         Ok(RobEntry {
             id: r.get_u64()?,
             pc: r.get_u64()?,
-            instr: load_instr(r)?,
+            instr: DecodedInstr::new(load_instr(r)?),
             state: EState::load(r)?,
             src_int: [Option::load(r)?, Option::load(r)?],
             src_fp: [Option::load(r)?, Option::load(r)?],
@@ -1218,7 +1224,7 @@ impl Persist for SysState {
 impl Persist for Fetched {
     fn save(&self, w: &mut Writer) {
         w.put_u64(self.pc);
-        save_instr(&self.instr, w);
+        save_instr(&self.instr.instr, w);
         w.put_bool(self.pred_taken);
         w.put_u64(self.pred_target);
         w.put_bool(self.bad_fetch);
@@ -1226,7 +1232,7 @@ impl Persist for Fetched {
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         Ok(Fetched {
             pc: r.get_u64()?,
-            instr: load_instr(r)?,
+            instr: DecodedInstr::new(load_instr(r)?),
             pred_taken: r.get_bool()?,
             pred_target: r.get_u64()?,
             bad_fetch: r.get_bool()?,

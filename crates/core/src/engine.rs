@@ -15,7 +15,7 @@ use crate::spsc;
 use crate::stats::{EngineStats, SimReport, ViolationReport};
 use crate::uncore::Uncore;
 use crate::violation::ConflictTracker;
-use sk_isa::Program;
+use sk_isa::{DecodedProgram, Program};
 use sk_mem::FuncMemory;
 use sk_obs::{Metrics, ObsConfig};
 use sk_snap::{Persist, Reader, SnapError, Writer};
@@ -55,6 +55,7 @@ pub(crate) struct Plumbing {
     pub tracker: Option<Arc<ConflictTracker>>,
     pub roi: Arc<RoiState>,
     pub mem: FuncMemory,
+    pub text_len: usize,
 }
 
 /// Wire up cores, queues, functional memory and the violation tracker.
@@ -63,6 +64,8 @@ pub(crate) fn plumb(program: &Program, cfg: &TargetConfig) -> Plumbing {
     program.validate().expect("program failed validation");
     let mem = FuncMemory::new();
     mem.load(program.image());
+    // Predecode the text once; every core shares the read-only table.
+    let text = Arc::new(DecodedProgram::from_program(program));
     let tracker = if cfg.track_workload_violations || cfg.fast_forward_compensation {
         Some(Arc::new(ConflictTracker::new(cfg.fast_forward_compensation)))
     } else {
@@ -84,6 +87,7 @@ pub(crate) fn plumb(program: &Program, cfg: &TargetConfig) -> Plumbing {
             in_c,
             out_p,
             mem.clone(),
+            text.clone(),
             tracker.clone(),
             roi.clone(),
         ));
@@ -91,7 +95,7 @@ pub(crate) fn plumb(program: &Program, cfg: &TargetConfig) -> Plumbing {
         in_producers.push(in_p);
     }
     cores[0].start_main(program.entry);
-    Plumbing { cores, out_consumers, in_producers, tracker, roi, mem }
+    Plumbing { cores, out_consumers, in_producers, tracker, roi, mem, text_len: program.text_len() }
 }
 
 pub(crate) fn violation_report(tracker: &Option<Arc<ConflictTracker>>) -> ViolationReport {
@@ -191,14 +195,20 @@ pub struct Engine {
     obs: Option<Arc<Metrics>>,
     /// Next global cycle at which to sample the violation counters.
     next_violation_sample: u64,
+    /// Length of the program's text segment in instructions; persisted so
+    /// resume can rebuild the predecode table from functional memory.
+    text_len: usize,
 }
 
 impl Engine {
     /// Wire up a simulation of `program` under `scheme` without starting
     /// any host threads.
     pub fn new(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> Engine {
-        let Plumbing { mut cores, out_consumers, in_producers, tracker, roi, mem } =
+        let Plumbing { mut cores, out_consumers, in_producers, tracker, roi, mem, text_len } =
             plumb(program, cfg);
+        for core in &mut cores {
+            core.set_batch_cap(scheme.batch_cap());
+        }
         let n = cfg.n_cores;
         let initial_window = match scheme {
             Scheme::AdaptiveQuantum { min, .. } => min,
@@ -259,6 +269,17 @@ impl Engine {
             finished: false,
             obs: None,
             next_violation_sample: 0,
+            text_len,
+        }
+    }
+
+    /// Force the run-ahead batch cap on every core, overriding the
+    /// scheme-derived default (see [`Scheme::batch_cap`]). Intended for
+    /// tests and tuning experiments proving batched publication is
+    /// invisible; must be called between run segments, not during one.
+    pub fn set_batch_cap(&mut self, cap: u64) {
+        for core in &mut self.cores {
+            core.set_batch_cap(cap);
         }
     }
 
@@ -654,6 +675,9 @@ impl Engine {
             w.put_u64(core.local());
         }
         self.mem.save(&mut w);
+        // v3: the text length lets resume rebuild the predecode table
+        // straight from functional memory (the image holds encoded text).
+        w.put_usize(self.text_len);
         match &self.tracker {
             None => w.put_bool(false),
             Some(t) => {
@@ -677,7 +701,7 @@ impl Engine {
                 // Ratchet the ring high-water marks into the hub before it
                 // is serialized, so the snapshot carries current values.
                 self.uncore.publish_obs();
-                for core in &self.cores {
+                for core in self.cores.iter_mut() {
                     core.publish_obs();
                 }
                 w.put_bool(true);
@@ -731,6 +755,12 @@ impl Engine {
         }
         // Qualified: FuncMemory's inherent `load(image)` shadows the trait.
         let mem = <FuncMemory as Persist>::load(&mut r)?;
+        let text_len = r.get_usize()?;
+        // Rebuild the predecode table from the text words in functional
+        // memory (the cores only ever read it, so it is image-identical).
+        let text = Arc::new(DecodedProgram::from_words(
+            (0..text_len).map(|i| mem.read(Program::text_addr(i))),
+        ));
         let tracker =
             if r.get_bool()? { Some(Arc::new(ConflictTracker::load(&mut r)?)) } else { None };
         let wants_tracker = cfg.track_workload_violations || cfg.fast_forward_compensation;
@@ -754,8 +784,18 @@ impl Engine {
             let (in_p, in_c) = spsc::channel(cfg.queue_capacity);
             let (out_p, out_c) = spsc::channel(cfg.queue_capacity);
             let cpu = build_cpu(&cfg);
-            let mut core =
-                CoreSim::new(id, &cfg, cpu, in_c, out_p, mem.clone(), tracker.clone(), roi.clone());
+            let mut core = CoreSim::new(
+                id,
+                &cfg,
+                cpu,
+                in_c,
+                out_p,
+                mem.clone(),
+                text.clone(),
+                tracker.clone(),
+                roi.clone(),
+            );
+            core.set_batch_cap(scheme.batch_cap());
             core.restore_state(&mut r)?;
             if core.local() != local {
                 return Err(SnapError::Corrupt(format!(
@@ -808,6 +848,7 @@ impl Engine {
             finished: false,
             obs: None,
             next_violation_sample: 0,
+            text_len,
         };
         // Re-wire the restored hub through every layer (restore_state
         // rebuilt the uncore's sync table without its obs handle).

@@ -16,7 +16,7 @@
 use crate::exec::{self, Operands};
 use crate::msg::SyncOp;
 use crate::sync::SyncTable;
-use sk_isa::{layout, Instr, Program, Reg, Syscall};
+use sk_isa::{layout, DecodedProgram, Instr, Program, Reg, Syscall};
 use sk_mem::FuncMemory;
 
 /// Why the interpreter stopped.
@@ -98,6 +98,7 @@ impl Thread {
 /// most `max_steps` instructions in total.
 pub fn interpret(program: &Program, max_threads: usize, max_steps: u64) -> InterpResult {
     program.validate().expect("program failed validation");
+    let text = DecodedProgram::from_program(program);
     let mem = FuncMemory::new();
     mem.load(program.image());
     let mut sync = SyncTable::new();
@@ -126,12 +127,12 @@ pub fn interpret(program: &Program, max_threads: usize, max_steps: u64) -> Inter
             executed[tid] += 1;
 
             let pc = threads[tid].pc;
-            let Some(idx) = program.text_index(pc) else {
+            let Some(&d) = text.lookup(pc) else {
                 // Ran off the text segment: treat as exit (as the cores do).
                 threads[tid].status = TStatus::Done;
                 continue;
             };
-            let i = program.text[idx];
+            let i = d.instr;
 
             if let Instr::Syscall { code } = i {
                 step_syscall(
@@ -144,12 +145,18 @@ pub fn interpret(program: &Program, max_threads: usize, max_steps: u64) -> Inter
                     clock,
                     &mut printed,
                 );
+                // The step budget applies to every executed instruction,
+                // syscalls included — otherwise a syscall-heavy runaway
+                // overshoots `max_steps`.
+                if steps >= max_steps {
+                    return InterpResult { printed, executed, stop: InterpStop::StepLimit };
+                }
                 continue;
             }
 
             let t = &threads[tid];
-            let [s1, s2] = i.int_srcs();
-            let [f1, f2] = i.fp_srcs();
+            let [s1, s2] = d.int_srcs;
+            let [f1, f2] = d.fp_srcs;
             let ops = Operands {
                 rs1: s1.map_or(0, |r| t.regs[r.index()]),
                 rs2: s2.map_or(0, |r| t.regs[r.index()]),
@@ -164,9 +171,9 @@ pub fn interpret(program: &Program, max_threads: usize, max_steps: u64) -> Inter
                     mem.write(m.addr, m.store_val);
                 } else {
                     let v = mem.read(m.addr);
-                    if let Some(fd) = i.fp_dst() {
+                    if let Some(fd) = d.fp_dst {
                         t.fregs[fd.index()] = f64::from_bits(v);
-                    } else if let Some(rd) = i.int_dst() {
+                    } else if let Some(rd) = d.int_dst {
                         if rd.index() != 0 {
                             t.regs[rd.index()] = v;
                         }
@@ -174,14 +181,14 @@ pub fn interpret(program: &Program, max_threads: usize, max_steps: u64) -> Inter
                 }
             }
             if let Some(v) = fx.int_result {
-                if let Some(rd) = i.int_dst() {
+                if let Some(rd) = d.int_dst {
                     if rd.index() != 0 {
                         t.regs[rd.index()] = v;
                     }
                 }
             }
             if let Some(v) = fx.fp_result {
-                if let Some(fd) = i.fp_dst() {
+                if let Some(fd) = d.fp_dst {
                     t.fregs[fd.index()] = v;
                 }
             }
@@ -355,6 +362,20 @@ mod tests {
         let p = b.build().unwrap();
         let r = interpret(&p, 1, 10_000);
         assert_eq!(r.stop, InterpStop::Deadlock);
+    }
+
+    #[test]
+    fn step_limit_applies_to_syscall_steps() {
+        // A loop that is mostly syscalls: the budget must bind on those
+        // steps too, not just on ordinary instructions.
+        let mut b = ProgramBuilder::new();
+        let top = b.here("top");
+        b.sys(Syscall::GetTid);
+        b.j(top);
+        let p = b.build().unwrap();
+        let r = interpret(&p, 1, 500);
+        assert_eq!(r.stop, InterpStop::StepLimit);
+        assert_eq!(r.executed[0], 500);
     }
 
     #[test]

@@ -112,6 +112,29 @@ impl Scheme {
         }
     }
 
+    /// Upper bound on cycles a core may simulate between local-clock
+    /// publications (run-ahead batching, the window permitting).
+    ///
+    /// Conservative schemes publish every cycle: their determinism
+    /// contract rests on the manager observing each local tick in order,
+    /// so they degenerate to a batch of 1 and stay bit-identical to the
+    /// unbatched engine. Eager slack schemes already tolerate reordering
+    /// within their slack window, so they may amortize the publication
+    /// atomics across it — clamped by the slack itself (publishing less
+    /// often than the slack allows could stall the other cores' windows)
+    /// and by a fixed ceiling that bounds how stale the published clock
+    /// can get.
+    pub fn batch_cap(&self) -> u64 {
+        // Staleness ceiling: far below any practical slack, far above
+        // the point of diminishing returns for atomics amortization.
+        const MAX_BATCH: u64 = 64;
+        match *self {
+            Scheme::BoundedSlack(s) => s.clamp(1, MAX_BATCH),
+            Scheme::Unbounded => MAX_BATCH,
+            _ => 1,
+        }
+    }
+
     /// Conservative schemes never produce timing violations when their
     /// parameter stays at or below the target's critical latency (§3.2).
     pub fn is_conservative(&self) -> bool {

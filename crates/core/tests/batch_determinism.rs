@@ -1,0 +1,122 @@
+//! Run-ahead batching must be invisible: forcing the per-core batch cap
+//! to its maximum must produce bit-identical results to publishing the
+//! local clock every cycle, for every conservative scheme.
+//!
+//! The batch budget is always clamped to the scheme window
+//! (`max_local − local`), so a large cap can only amortize *publication*
+//! of cycles the core was already allowed to simulate — never let it run
+//! past the window. These tests pin that property on a lock-serialized
+//! kernel where any reordering of inter-core events would change the
+//! printed total or the cycle count.
+
+use sk_core::{CoreModel, Engine, Scheme, SimReport, TargetConfig};
+use sk_isa::{Program, ProgramBuilder, Reg, Syscall};
+
+/// `n` threads each add a tid-distinct contribution to a lock-protected
+/// counter, meet at a barrier, and thread 0 prints the total. Every
+/// iteration serializes on the lock, so cross-core event timing is
+/// load-bearing for the result.
+fn serialized_kernel(n: usize, iters: i64) -> Program {
+    let a0 = Reg::arg(0);
+    let a1 = Reg::arg(1);
+    let mut b = ProgramBuilder::new();
+    let counter = b.zeros("counter", 1);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    b.li(a0, 0);
+    b.sys(Syscall::InitLock);
+    b.li(a0, 1);
+    b.li(a1, n as i64);
+    b.sys(Syscall::InitBarrier);
+    for _ in 1..n {
+        b.la_text(a0, worker);
+        b.li(a1, 0);
+        b.sys(Syscall::Spawn);
+    }
+    b.sys(Syscall::RoiBegin);
+    b.j(worker);
+
+    b.bind(worker);
+    let t_iter = Reg::saved(0);
+    let t_addr = Reg::saved(1);
+    let t_val = Reg::tmp(1);
+    let t_inc = Reg::saved(2);
+    b.li(t_iter, iters);
+    b.li(t_addr, counter as i64);
+    b.sys(Syscall::GetTid);
+    b.addi(t_inc, a0, 1);
+    let loop_top = b.here("loop");
+    b.li(a0, 0);
+    b.sys(Syscall::Lock);
+    b.ld(t_val, t_addr, 0);
+    b.add(t_val, t_val, t_inc);
+    b.st(t_val, t_addr, 0);
+    b.li(a0, 0);
+    b.sys(Syscall::Unlock);
+    b.addi(t_iter, t_iter, -1);
+    b.bne(t_iter, Reg::ZERO, loop_top);
+    b.li(a0, 1);
+    b.sys(Syscall::Barrier);
+    let done = b.new_label("done");
+    b.sys(Syscall::GetTid);
+    b.bne(a0, Reg::ZERO, done);
+    b.ld(a0, t_addr, 0);
+    b.sys(Syscall::PrintInt);
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    b.build().unwrap()
+}
+
+fn run_with_cap(p: &Program, scheme: Scheme, cfg: &TargetConfig, cap: u64) -> SimReport {
+    let mut engine = Engine::new(p, scheme, cfg);
+    engine.set_batch_cap(cap);
+    engine.run_until(None);
+    engine.into_report()
+}
+
+fn assert_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.printed(), b.printed(), "{what}: printed output diverged");
+    assert_eq!(a.exec_cycles, b.exec_cycles, "{what}: exec_cycles diverged");
+    assert_eq!(a.cores.len(), b.cores.len());
+    for (c, (ca, cb)) in a.cores.iter().zip(&b.cores).enumerate() {
+        assert_eq!(ca.committed, cb.committed, "{what}: core {c} committed diverged");
+        assert_eq!(ca.fetched, cb.fetched, "{what}: core {c} fetched diverged");
+    }
+    assert_eq!(a.dir.gets, b.dir.gets, "{what}: directory GetS count diverged");
+    assert_eq!(a.dir.getm, b.dir.getm, "{what}: directory GetM count diverged");
+    assert_eq!(
+        a.dir.invalidations_out, b.dir.invalidations_out,
+        "{what}: invalidation count diverged"
+    );
+}
+
+#[test]
+fn cc_is_bit_identical_with_forced_batch_cap() {
+    let n = 4;
+    let p = serialized_kernel(n, 6);
+    let mut cfg = TargetConfig::small(n);
+    cfg.core.model = CoreModel::InOrder;
+    cfg.max_cycles = 5_000_000;
+
+    let one = run_with_cap(&p, Scheme::CycleByCycle, &cfg, 1);
+    let big = run_with_cap(&p, Scheme::CycleByCycle, &cfg, 64);
+    assert_identical(&one, &big, "CC cap 1 vs 64");
+    assert_eq!(one.printed(), vec![(0, (1..=n as i64).sum::<i64>() * 6)]);
+}
+
+#[test]
+fn ordered_bounded_slack_is_bit_identical_with_forced_batch_cap() {
+    let n = 4;
+    let p = serialized_kernel(n, 6);
+    let mut cfg = TargetConfig::small(n);
+    cfg.core.model = CoreModel::InOrder;
+    cfg.max_cycles = 5_000_000;
+
+    let scheme = Scheme::OldestFirstBounded(10);
+    let one = run_with_cap(&p, scheme, &cfg, 1);
+    let big = run_with_cap(&p, scheme, &cfg, 64);
+    assert_identical(&one, &big, "S10-ordered cap 1 vs 64");
+}

@@ -121,8 +121,20 @@ fn histograms_fill_under_bounded_slack() {
     assert!(obs.manager.events_ingested.get() > 0);
     assert!(obs.manager.drain_batch.count() > 0);
     assert!(!obs.trace.is_empty(), "no trace spans recorded");
+    // PR-4 hot-path telemetry: the µTLB sees every functional access
+    // (the workload touches memory, so hits+misses must be nonzero) and
+    // every core records at least one run-ahead batch; S10 batches are
+    // capped by the slack bound.
+    let utlb: u64 = obs.cores.iter().map(|c| c.utlb_hits.get() + c.utlb_misses.get()).sum();
+    assert!(utlb > 0, "no µTLB accesses recorded");
+    let batches: u64 = obs.cores.iter().map(|c| c.run_batch.count()).sum();
+    assert!(batches > 0, "no run-ahead batches recorded");
+    let max_batch = obs.cores.iter().filter_map(|c| c.run_batch.max()).max().unwrap();
+    assert!(max_batch <= 10, "batch {max_batch} exceeds the S10 cap");
     let json = obs.to_json();
     assert!(json.contains("\"schema\":\"sk-obs-metrics\""));
+    assert!(json.contains("\"utlb_hits\""));
+    assert!(json.contains("\"run_batch\""));
 }
 
 /// Counters survive the snapshot → resume path: the restored engine

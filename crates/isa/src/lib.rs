@@ -24,6 +24,7 @@
 
 pub mod asm;
 pub mod builder;
+pub mod decoded;
 pub mod disasm;
 pub mod encode;
 pub mod instr;
@@ -33,6 +34,7 @@ pub mod reg;
 pub mod syscall;
 
 pub use builder::ProgramBuilder;
+pub use decoded::{DecodedInstr, DecodedProgram};
 pub use encode::{decode, encode};
 pub use instr::{FuClass, Instr};
 pub use program::Program;

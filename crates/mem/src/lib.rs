@@ -38,7 +38,7 @@ pub use bus::BusModel;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use config::MemConfig;
 pub use directory::{DirOutcome, Directory, InvalidateMsg};
-pub use func_mem::FuncMemory;
+pub use func_mem::{FuncMemory, PageCursor};
 pub use l1::{L1Cache, L1Outcome, LineState};
 pub use mshr::MshrFile;
 

@@ -2,8 +2,46 @@
 
 use proptest::prelude::*;
 use sk_mem::l1::ReqKind;
-use sk_mem::{BusModel, Cache, CacheConfig, Directory, L1Cache, L1Outcome, LineState, MemConfig};
-use std::collections::HashMap;
+use sk_mem::{
+    BusModel, Cache, CacheConfig, Directory, FuncMemory, L1Cache, L1Outcome, LineState, MemConfig,
+};
+use sk_snap::{Persist, Reader, Writer};
+use std::collections::{BTreeMap, HashMap};
+
+/// The functional memory's on-disk page layout, pinned here on purpose:
+/// 4096-word (32 KiB) pages, so `addr >> 15` is the page number. If the
+/// layout changes, these tests must fail until the reference encoder is
+/// updated in lockstep with the snapshot format version.
+const REF_PAGE_WORDS: u64 = 4096;
+const REF_PAGE_SHIFT: u32 = 15;
+
+/// Re-encode the final memory image exactly the way `FuncMemory::save`
+/// does: sorted page numbers, each page as a sparse ascending list of
+/// `(u16 word index, u64 value)` pairs, all-zero pages elided.
+fn reference_dump(words: &BTreeMap<u64, u64>) -> Vec<u8> {
+    let mut pages: BTreeMap<u64, BTreeMap<u16, u64>> = BTreeMap::new();
+    for (&addr, &v) in words {
+        if v != 0 {
+            let idx = ((addr >> 3) % REF_PAGE_WORDS) as u16;
+            pages.entry(addr >> REF_PAGE_SHIFT).or_default().insert(idx, v);
+        }
+    }
+    let mut w = Writer::new();
+    w.put_usize(pages.len());
+    for (pno, page) in pages {
+        w.put_u64(pno);
+        w.put_usize(page.len());
+        for (idx, v) in page {
+            w.put_u16(idx);
+            w.put_u64(v);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Page numbers chosen to exercise both radix levels and the overflow
+/// list (pnos at and beyond the 24-bit radix capacity).
+const PNOS: [u64; 10] = [0, 1, 2, 3, 5, 8, 13, 1 << 24, (1 << 24) + 7, 1 << 30];
 
 proptest! {
     /// The set-associative cache behaves exactly like a per-set LRU-list
@@ -144,5 +182,58 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// A `FuncMemory` populated concurrently from four threads dumps
+    /// byte-identically to the reference encoder over the same final
+    /// image, and round-trips through `Persist` to an identical dump.
+    /// This pins both the lock-free page table's visibility (writes
+    /// published before `join` are seen by `save`) and the snapshot
+    /// byte format.
+    #[test]
+    fn concurrent_page_table_dump_matches_reference(
+        ops in proptest::collection::vec(
+            (0usize..PNOS.len(), 0u64..4096, prop_oneof![Just(0u64), any::<u64>()]),
+            1..200,
+        )
+    ) {
+        // Dedupe by address (last write wins) so splitting the writes
+        // across threads cannot race on the same word.
+        let mut image: BTreeMap<u64, u64> = BTreeMap::new();
+        for (psel, idx, v) in ops {
+            let addr = (PNOS[psel] << REF_PAGE_SHIFT) | (idx << 3);
+            image.insert(addr, v);
+        }
+
+        let mem = FuncMemory::new();
+        let entries: Vec<(u64, u64)> = image.iter().map(|(&a, &v)| (a, v)).collect();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let mem = mem.clone();
+                let entries = &entries;
+                s.spawn(move || {
+                    for (a, v) in entries.iter().skip(t).step_by(4) {
+                        mem.write(*a, *v);
+                    }
+                });
+            }
+        });
+
+        let mut w = Writer::new();
+        mem.save(&mut w);
+        let dump = w.into_bytes();
+        prop_assert_eq!(&dump, &reference_dump(&image), "dump diverges from reference");
+
+        // Round-trip: the loaded copy reads back every word and
+        // re-encodes to the same bytes.
+        let mut r = Reader::new(&dump);
+        let back = <FuncMemory as Persist>::load(&mut r).unwrap();
+        r.finish().unwrap();
+        for (&a, &v) in &image {
+            prop_assert_eq!(back.read(a), v, "readback mismatch at {:#x}", a);
+        }
+        let mut w2 = Writer::new();
+        back.save(&mut w2);
+        prop_assert_eq!(w2.into_bytes(), dump, "round-trip dump not identical");
     }
 }

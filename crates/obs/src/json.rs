@@ -10,9 +10,10 @@
 //!   "cores": [
 //!     {
 //!       "id": 0,
-//!       "counters": { "cycles": 123, "outq_high_water": 17 },
+//!       "counters": { "cycles": 123, "outq_high_water": 17,
+//!                     "utlb_hits": 999, "utlb_misses": 3 },
 //!       "hist": { "slack": H, "park_ns": H, "sync_park_ns": H,
-//!                 "mem_park_ns": H, "out_batch": H }
+//!                 "mem_park_ns": H, "out_batch": H, "run_batch": H }
 //!     }
 //!   ],
 //!   "manager": {
@@ -90,9 +91,12 @@ pub fn metrics_json(m: &Metrics) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"id\":{i},\"counters\":{{\"cycles\":{},\"outq_high_water\":{}}},",
+            "{{\"id\":{i},\"counters\":{{\"cycles\":{},\"outq_high_water\":{},\
+             \"utlb_hits\":{},\"utlb_misses\":{}}},",
             c.cycles.get(),
-            c.outq_high_water.get()
+            c.outq_high_water.get(),
+            c.utlb_hits.get(),
+            c.utlb_misses.get()
         ));
         push_hist_group(
             &mut out,
@@ -102,6 +106,7 @@ pub fn metrics_json(m: &Metrics) -> String {
                 ("sync_park_ns", &c.sync_park_ns),
                 ("mem_park_ns", &c.mem_park_ns),
                 ("out_batch", &c.out_batch),
+                ("run_batch", &c.run_batch),
             ],
         );
         out.push('}');

@@ -125,6 +125,12 @@ pub struct CoreObs {
     pub cycles: Counter,
     /// High-water occupancy of this core's outbound SPSC ring.
     pub outq_high_water: Counter,
+    /// µTLB hits: memory accesses served by the per-core cached page.
+    pub utlb_hits: Counter,
+    /// µTLB misses: memory accesses that walked the radix page table.
+    pub utlb_misses: Counter,
+    /// Cycles stepped per run-ahead batch before publishing the clock.
+    pub run_batch: Histogram,
 }
 
 impl Persist for CoreObs {
@@ -136,6 +142,9 @@ impl Persist for CoreObs {
         self.out_batch.save(w);
         self.cycles.save(w);
         self.outq_high_water.save(w);
+        self.utlb_hits.save(w);
+        self.utlb_misses.save(w);
+        self.run_batch.save(w);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         Ok(CoreObs {
@@ -146,6 +155,9 @@ impl Persist for CoreObs {
             out_batch: Histogram::load(r)?,
             cycles: Counter::load(r)?,
             outq_high_water: Counter::load(r)?,
+            utlb_hits: Counter::load(r)?,
+            utlb_misses: Counter::load(r)?,
+            run_batch: Histogram::load(r)?,
         })
     }
 }

@@ -29,7 +29,9 @@ pub const MAGIC: [u8; 8] = *b"SKSNAP\x00\x01";
 
 /// Bumped whenever the payload layout changes incompatibly.
 /// v2: engine snapshots append an optional telemetry-hub blob (sk-obs).
-pub const FORMAT_VERSION: u32 = 2;
+/// v3: engine snapshots carry the text-segment length (predecode table
+/// rebuild on resume) and per-core µTLB / run-batch telemetry fields.
+pub const FORMAT_VERSION: u32 = 3;
 
 const HEADER_LEN: usize = 8 + 4 + 8;
 const CHECKSUM_LEN: usize = 8;
