@@ -26,10 +26,15 @@
 //!   --json <file>        dump the final report(s) as JSON
 //!   --metrics-out <file> dump the sk-obs runtime-telemetry JSON
 //!   --trace-out <file>   dump a Perfetto/chrome-trace JSON timeline
+//!   --det-seed <n>       deterministic backend, schedule seed n
+//!   --det-schedules <k>  schedule-fuzz seeds 0..k (violating seeds dumped)
+//!   --schedule-out <dir> directory for dumped seed files (default .)
+//!   --replay <file>      replay a seed file (sets scheme/bench/cores/seed)
 //! ```
 
 use sk_core::engine::{Engine, RunOutcome};
-use sk_core::{CoreModel, Scheme, SimReport, TargetConfig};
+use sk_core::{CoreModel, DetEngine, Scheme, SimReport, TargetConfig};
+use sk_det::Schedule;
 use sk_kernels::{Scale, Workload};
 use sk_obs::Metrics;
 use std::path::Path;
@@ -55,6 +60,14 @@ struct Opts {
     json: Option<String>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    /// Run on the deterministic backend with this schedule seed.
+    det_seed: Option<u64>,
+    /// Schedule-fuzz: run this many deterministic schedules (seeds 0..K).
+    det_schedules: Option<u64>,
+    /// Directory violating seed files are dumped into (default ".").
+    schedule_out: Option<String>,
+    /// Replay a committed seed file (overrides scheme/bench/cores/seed).
+    replay: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -75,6 +88,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         json: None,
         metrics_out: None,
         trace_out: None,
+        det_seed: None,
+        det_schedules: None,
+        schedule_out: None,
+        replay: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -84,7 +101,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         };
         match args[i].as_str() {
             "--scheme" => {
-                o.scheme = take(&mut i)?.parse()?;
+                // SchemeParseError is typed (degenerate parameters like Q0
+                // are their own variant); the CLI flattens it to text.
+                o.scheme = take(&mut i)?
+                    .parse()
+                    .map_err(|e: sk_core::SchemeParseError| format!("--scheme: {e}"))?;
                 o.scheme_set = true;
             }
             "--cores" => o.cores = take(&mut i)?.parse().map_err(|e| format!("--cores: {e}"))?,
@@ -93,6 +114,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.checkpoint_at =
                     Some(take(&mut i)?.parse().map_err(|e| format!("--checkpoint-at: {e}"))?)
             }
+            "--det-seed" => {
+                o.det_seed = Some(take(&mut i)?.parse().map_err(|e| format!("--det-seed: {e}"))?)
+            }
+            "--det-schedules" => {
+                o.det_schedules =
+                    Some(take(&mut i)?.parse().map_err(|e| format!("--det-schedules: {e}"))?)
+            }
+            "--schedule-out" => o.schedule_out = Some(take(&mut i)?.clone()),
+            "--replay" => o.replay = Some(take(&mut i)?.clone()),
             "--checkpoint" => o.checkpoint = Some(take(&mut i)?.clone()),
             "--restore" => o.restore = Some(take(&mut i)?.clone()),
             "--json" => o.json = Some(take(&mut i)?.clone()),
@@ -179,6 +209,13 @@ fn run_one(w: &Workload, o: &Opts) -> (SimReport, bool) {
     let cfg = config_for(o);
     let r = if o.seq {
         sk_core::run_sequential(&w.program, &cfg)
+    } else if let Some(seed) = o.det_seed {
+        let mut det = DetEngine::new(&w.program, o.scheme, &cfg, seed);
+        let obs = attach_obs(det.engine_mut(), o);
+        det.run();
+        let r = det.into_report();
+        write_obs(&obs, o);
+        r
     } else {
         let mut e = Engine::new(&w.program, o.scheme, &cfg);
         let obs = attach_obs(&mut e, o);
@@ -203,6 +240,90 @@ fn run_one(w: &Workload, o: &Opts) -> (SimReport, bool) {
         print_stats(&r);
     }
     (r, ok)
+}
+
+/// File-name slug for a benchmark/scheme name ("S9*" → "s9star").
+fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for c in s.chars() {
+        match c {
+            '*' => out.push_str("star"),
+            c if c.is_ascii_alphanumeric() => out.push(c.to_ascii_lowercase()),
+            _ => out.push('-'),
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// Schedule-fuzz one workload: run seeds `0..k` on the deterministic
+/// backend with the violation oracle forced on, dump every violating (or
+/// functionally wrong) seed as a replayable schedule file, and return
+/// whether the sweep is clean. The sweep fails on wrong output, or on an
+/// inversion past the scheme's slack bound (`Scheme::slack_bound`: 0 for
+/// CC, the window for bounded schemes — a breach means the *engine*
+/// leaked slack it never granted). In-bound violations on racy workloads
+/// are the measurement, and only dump.
+fn fuzz_schedules(w: &Workload, o: &Opts, k: u64) -> bool {
+    let mut cfg = config_for(o);
+    cfg.track_workload_violations = true;
+    cfg.mem.track_violations = true;
+    let mut all_ok = true;
+    let mut dumped = 0u64;
+    let mut max_viol = 0u64;
+    let mut max_inv = 0u64;
+    for seed in 0..k {
+        let r = sk_core::run_det(&w.program, o.scheme, &cfg, seed);
+        let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+        let output_ok = printed == w.expected;
+        let v = r.violations.total();
+        max_viol = max_viol.max(v);
+        max_inv = max_inv.max(r.violations.max_inversion_cycles);
+        if v > 0 || !output_ok {
+            let mut sched = Schedule::new(seed, &o.scheme.short_name(), &w.name, cfg.n_cores);
+            sched.note = format!(
+                "violations={v} max_inversion={} output={}",
+                r.violations.max_inversion_cycles,
+                if output_ok { "ok" } else { "MISMATCH" }
+            );
+            let dir = o.schedule_out.as_deref().unwrap_or(".");
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {dir}: {e}");
+            }
+            let path = format!(
+                "{dir}/sched-{}-{}-{seed}.txt",
+                slug(&w.name),
+                slug(&o.scheme.short_name())
+            );
+            if let Err(e) = std::fs::write(&path, sched.format()) {
+                eprintln!("warning: cannot write {path}: {e}");
+            }
+            dumped += 1;
+        }
+        let over_bound =
+            o.scheme.slack_bound().is_some_and(|b| r.violations.max_inversion_cycles > b);
+        if !output_ok || over_bound {
+            all_ok = false;
+            eprintln!(
+                "FAIL {} scheme={} seed={seed}: violations={v} max_inversion={} output={}",
+                w.name,
+                o.scheme.short_name(),
+                r.violations.max_inversion_cycles,
+                if output_ok { "ok" } else { "MISMATCH" }
+            );
+        }
+    }
+    println!(
+        "{:<16} scheme={:<5} schedules={:<4} violating={:<4} max_violations={:<6} \
+         max_inversion={:<6} verdict={}",
+        w.name,
+        o.scheme.short_name(),
+        k,
+        dumped,
+        max_viol,
+        max_inv,
+        if all_ok { "OK" } else { "FAIL" },
+    );
+    all_ok
 }
 
 /// A truncated slack profile silently skews Fig. 5-style plots; say so in
@@ -340,8 +461,12 @@ fn report_json(r: &SimReport) -> String {
     let v = &r.violations;
     s.push_str(&format!(
         "\"violations\":{{\"store_past_load\":{},\"load_past_store\":{},\"compensations\":{},\
-         \"compensation_cycles\":{}}},",
-        v.store_past_load, v.load_past_store, v.compensations, v.compensation_cycles
+         \"compensation_cycles\":{},\"max_inversion_cycles\":{}}},",
+        v.store_past_load,
+        v.load_past_store,
+        v.compensations,
+        v.compensation_cycles,
+        v.max_inversion_cycles
     ));
     s.push_str("\"cores\":[");
     for (i, c) in r.cores.iter().enumerate() {
@@ -406,6 +531,10 @@ fn benches(o: &Opts) -> Vec<Workload> {
     v.push(sk_kernels::micro::pingpong(200));
     v.push(sk_kernels::micro::lock_sweep(o.cores, 50));
     v.push(sk_kernels::micro::private_compute(o.cores, 200));
+    // The fuzzing targets: racy by design (violations observable) and
+    // coherence-bound but race-free (violations must stay timing-only).
+    v.push(sk_kernels::micro::racy_increment(o.cores, 50));
+    v.push(sk_kernels::micro::false_sharing(o.cores, 50));
     v
 }
 
@@ -430,6 +559,20 @@ fn main() -> ExitCode {
     }
     if opts.seq && (opts.metrics_out.is_some() || opts.trace_out.is_some()) {
         eprintln!("error: --metrics-out/--trace-out require the parallel engine (drop --seq)");
+        return ExitCode::FAILURE;
+    }
+    let det_mode = opts.det_seed.is_some() || opts.det_schedules.is_some() || opts.replay.is_some();
+    if det_mode
+        && (opts.seq || opts.shards > 0 || opts.checkpoint_at.is_some() || opts.restore.is_some())
+    {
+        eprintln!(
+            "error: --det-seed/--det-schedules/--replay need the plain parallel target \
+             (no --seq/--shards/--checkpoint-at/--restore)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if opts.det_seed.is_some() && opts.det_schedules.is_some() {
+        eprintln!("error: --det-seed and --det-schedules are mutually exclusive");
         return ExitCode::FAILURE;
     }
     match cmd {
@@ -474,17 +617,56 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
-            let name = rest
+            let mut opts = opts;
+            let mut name = rest
                 .iter()
                 .position(|a| a == "--bench")
                 .and_then(|i| rest.get(i + 1))
                 .map(String::as_str)
-                .unwrap_or("fft");
+                .unwrap_or("fft")
+                .to_string();
+            let replay_sched = match &opts.replay {
+                None => None,
+                Some(path) => match std::fs::read_to_string(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| Schedule::parse(&text).map_err(|e| e.to_string()))
+                {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("error: cannot replay {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            if let Some(sched) = replay_sched {
+                // The seed file pins the whole run shape: scheme, kernel,
+                // core count and seed all come from it.
+                opts.scheme = match sched.scheme.parse() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: schedule file has a bad scheme: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                opts.cores = sched.n_cores;
+                opts.det_seed = Some(sched.seed);
+                name = sched.kernel;
+                println!(
+                    "replaying seed {:#x} ({} on {}, {} cores)",
+                    sched.seed, opts.scheme, name, opts.cores
+                );
+            }
             let all = benches(&opts);
-            let Some(w) = all.iter().find(|w| w.name.eq_ignore_ascii_case(name)) else {
+            let Some(w) = all.iter().find(|w| w.name.eq_ignore_ascii_case(&name)) else {
                 eprintln!("unknown benchmark '{name}'; try: slacksim list");
                 return ExitCode::FAILURE;
             };
+            if let Some(k) = opts.det_schedules {
+                if !fuzz_schedules(w, &opts, k) {
+                    return ExitCode::FAILURE;
+                }
+                return ExitCode::SUCCESS;
+            }
             let (r, ok) = run_one(w, &opts);
             if let Some(j) = &opts.json {
                 write_json(j, &report_json(&r));
@@ -494,6 +676,17 @@ fn main() -> ExitCode {
             }
         }
         "suite" => {
+            if let Some(k) = opts.det_schedules {
+                let mut all_ok = true;
+                for w in benches(&opts) {
+                    all_ok &= fuzz_schedules(&w, &opts, k);
+                }
+                if !all_ok {
+                    eprintln!("error: schedule fuzzing found a conformance failure");
+                    return ExitCode::FAILURE;
+                }
+                return ExitCode::SUCCESS;
+            }
             let mut reports = Vec::new();
             let mut all_ok = true;
             for w in benches(&opts) {
@@ -601,7 +794,11 @@ OPTIONS:
   --restore <file>     resume a snapshot (with `run`; --scheme forks it)
   --json <file>        dump the final report(s) as JSON
   --metrics-out <file> dump runtime telemetry (sk-obs-metrics JSON schema)
-  --trace-out <file>   dump a Perfetto-compatible chrome-trace timeline";
+  --trace-out <file>   dump a Perfetto-compatible chrome-trace timeline
+  --det-seed <n>       deterministic backend: one run with schedule seed n
+  --det-schedules <k>  schedule-fuzz seeds 0..k, dumping violating seeds
+  --schedule-out <dir> where violating seed files go (default .)
+  --replay <file>      replay a committed seed file (sets scheme/bench/seed)";
 
 #[cfg(test)]
 mod tests {
@@ -704,6 +901,47 @@ mod tests {
     }
 
     #[test]
+    fn parses_det_options() {
+        let o = parse_opts(&args(&["--det-seed", "42"])).unwrap();
+        assert_eq!(o.det_seed, Some(42));
+        assert_eq!(o.det_schedules, None);
+        let o = parse_opts(&args(&[
+            "--det-schedules",
+            "64",
+            "--schedule-out",
+            "seeds",
+            "--replay",
+            "sched.txt",
+        ]))
+        .unwrap();
+        assert_eq!(o.det_schedules, Some(64));
+        assert_eq!(o.schedule_out.as_deref(), Some("seeds"));
+        assert_eq!(o.replay.as_deref(), Some("sched.txt"));
+        assert!(parse_opts(&args(&["--det-seed", "abc"])).is_err());
+        assert!(parse_opts(&args(&["--det-schedules"])).is_err());
+    }
+
+    #[test]
+    fn degenerate_scheme_is_a_parse_error_with_the_typed_detail() {
+        let err = parse_opts(&args(&["--scheme", "Q0"])).err().unwrap();
+        assert!(err.contains("degenerate scheme parameter 'Q0'"), "got: {err}");
+        let err = parse_opts(&args(&["--scheme", "A10-5"])).err().unwrap();
+        assert!(err.contains("degenerate"), "got: {err}");
+        assert!(parse_opts(&args(&["--scheme", "S0"])).is_err());
+        assert!(parse_opts(&args(&["--scheme", "L0"])).is_err());
+        assert!(parse_opts(&args(&["--scheme", "S0*"])).is_err());
+        assert!(parse_opts(&args(&["--scheme", "A0-10"])).is_err());
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        assert_eq!(slug("S9*"), "s9star");
+        assert_eq!(slug("Water-Nsquared"), "water-nsquared");
+        assert_eq!(slug("racy_increment"), "racy-increment");
+        assert_eq!(slug("A10-1000"), "a10-1000");
+    }
+
+    #[test]
     fn parses_obs_output_options() {
         let o = parse_opts(&args(&["--metrics-out", "m.json", "--trace-out", "t.json"])).unwrap();
         assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
@@ -777,6 +1015,7 @@ mod tests {
         r.violations.load_past_store = 1;
         r.violations.compensations = 1;
         r.violations.compensation_cycles = 12;
+        r.violations.max_inversion_cycles = 5;
         r.slack_profile = Some(vec![(0, 0), (10, 9), (20, 10)]);
         r
     }

@@ -381,6 +381,29 @@ impl ClockBoard {
         }
     }
 
+    /// Flip every `Parked`/`SyncWait`/`MemWait` core back to `Running`,
+    /// marking each as a timeout resume (its next re-park stays silent,
+    /// exactly like [`ClockBoard::wait_parked`]'s 10 ms liveness backstop).
+    /// Returns how many cores were resumed.
+    ///
+    /// This is the deterministic backend's virtual timeout: where a
+    /// threaded core would periodically wake, re-check its queues and
+    /// re-tick, the single-threaded scheduler performs the same resume at
+    /// a deterministic point instead of on a wall-clock timer. No condvar
+    /// is notified — no thread is ever blocked in the deterministic mode.
+    pub fn unpark_all_waiting(&self) -> usize {
+        let mut resumed = 0;
+        for (i, cc) in self.cores.iter().enumerate() {
+            if matches!(self.state(i), CoreState::Parked | CoreState::SyncWait | CoreState::MemWait)
+            {
+                cc.timeout_resume.store(true, Ordering::Release);
+                cc.state.store(CoreState::Running as u8, Ordering::Release);
+                resumed += 1;
+            }
+        }
+        resumed
+    }
+
     /// Park until unparked, stopped, or a liveness timeout. Returns
     /// `false` if the simulation is stopping.
     ///

@@ -212,6 +212,35 @@ impl CoreHost for HostState {
     }
 }
 
+/// Result of one non-blocking scheduling quantum of a core
+/// ([`CoreSim::run_step`]). Every variant except `Progressed` is a point
+/// where the threaded backend blocks; the deterministic backend instead
+/// returns control to its scheduler with the core's parked state already
+/// published on the [`ClockBoard`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Simulated a batch, jumped the clock, or resolved a park/recheck
+    /// race; call again.
+    Progressed,
+    /// Stop flag or `Stop` message observed; the core is done running.
+    Stopped,
+    /// The workload thread exited (`ClockBoard::finish` already called).
+    Finished,
+    /// No workload thread and no pending message: the core is `Parked` on
+    /// the board and must not step again until unparked.
+    Idle,
+    /// Blocked in a sync call with no queued reply: `SyncWait` on the
+    /// board; resumes when the manager's reply unparks it.
+    SyncBlocked,
+    /// The scheme window is closed (`local == max_local`): runnable again
+    /// once the manager raises the window.
+    AtWindow,
+    /// Pipeline provably inert with no pending message: `MemWait` on the
+    /// board; the caller must clear the inert streak when it resumes the
+    /// core ([`CoreSim::clear_inert_streak`]).
+    MemBlocked,
+}
+
 /// Final output of one core thread.
 pub struct CoreOutput {
     /// Per-core counters.
@@ -647,179 +676,23 @@ impl CoreSim {
     /// [`CoreSim::into_output`] finalizes at the true end of the run.
     pub fn run(&mut self, board: &ClockBoard) {
         loop {
-            if board.stopping() || self.stop_seen {
-                break;
-            }
-            if self.cpu.finished() {
-                board.finish(self.id);
-                break;
-            }
-            if !self.cpu.running() {
-                // No thread yet: idle-skip toward the first pending message
-                // or park until the manager sends one.
-                match self.next_msg_ts() {
-                    Some(ts) => {
-                        if ts > self.local + 1 {
-                            let target = (ts - 1)
-                                .min(board.max_local(self.id))
-                                .min(board.checkpoint_limit());
-                            if target > self.local {
-                                self.jump_local(target);
-                                board.jump_local(self.id, target);
-                            }
-                        }
-                    }
-                    None => {
-                        board.park(self.id);
-                        // Re-check after publishing Parked to close the race
-                        // with a concurrent push+unpark.
-                        if self.next_msg_ts().is_some() {
-                            board.unpark(self.id);
-                            continue;
-                        }
-                        if !board.wait_parked(self.id) {
-                            break;
-                        }
-                        continue;
+            match self.run_step(board) {
+                StepOutcome::Progressed => {}
+                StepOutcome::Stopped | StepOutcome::Finished => break,
+                StepOutcome::Idle | StepOutcome::SyncBlocked => {
+                    if !board.wait_parked(self.id) {
+                        break;
                     }
                 }
-            }
-            if self.sync_waiting() {
-                // The clock is suspended while waiting at a barrier; it
-                // fast-forwards to the release timestamp (paper §3.2.3:
-                // idle time must be undetectable by the program). Without
-                // this, a barrier waiter under large slack burns simulated
-                // cycles as fast as the host allows.
-                match self.earliest_sync_reply_ts() {
-                    Some(r) => {
-                        let target = r.saturating_sub(1).min(board.checkpoint_limit());
-                        if target > self.local {
-                            self.sync_jump(target);
-                            board.jump_local_unclamped(self.id, target);
-                            board.signal_manager();
-                        }
-                        // Fall through: the next cycle applies the release.
+                StepOutcome::MemBlocked => {
+                    if !board.wait_parked(self.id) {
+                        break;
                     }
-                    None => {
-                        board.sync_park(self.id);
-                        if self.earliest_sync_reply_ts().is_some() {
-                            board.unpark(self.id);
-                            continue;
-                        }
-                        if !board.wait_parked(self.id) {
-                            break;
-                        }
-                        continue;
-                    }
+                    self.inert_streak = 0;
                 }
-            }
-            if !board.may_advance(self.id, self.local) {
-                if !board.wait_for_window(self.id, self.local) {
-                    break;
-                }
-                continue;
-            }
-            // Run-ahead batch: simulate up to `batch_cap` cycles inside
-            // the open window, publishing the local clock once at the
-            // end. Every intervening cycle is still simulated in full —
-            // InQ messages apply at their exact timestamps and OutQ
-            // events keep exact per-cycle stamps — only the publication
-            // atomics are amortized. A batch ends early on anything the
-            // manager or the park paths must see promptly: emitted
-            // events, thread exit/idle, a sync wait, or a stop.
-            let limit = board.max_local(self.id).min(board.checkpoint_limit());
-            let budget = limit.saturating_sub(self.local).min(self.batch_cap).max(1);
-            let c0 = self.stats.committed;
-            let i0 = self.stats.issued;
-            let f0 = self.stats.fetched;
-            let mut batch = 0u64;
-            let events = loop {
-                let events = self.step_cycle(self.local + 1);
-                batch += 1;
-                if events > 0
-                    || batch >= budget
-                    || self.cpu.finished()
-                    || !self.cpu.running()
-                    || self.sync_waiting()
-                    || self.stop_seen
-                {
-                    break events;
-                }
-            };
-            board.advance_local_batched(self.id, self.local);
-            if let Some(obs) = &self.obs {
-                let c = &obs.cores[self.id];
-                c.cycles.add(batch);
-                c.run_batch.record(batch);
-                // Slack at publish time: how far this core may still run
-                // ahead before hitting its window (`max_local − local`).
-                c.slack.record(board.max_local(self.id).saturating_sub(self.local));
-                if events > 0 {
-                    c.out_batch.record(events as u64);
-                }
-            }
-            if events > 0 {
-                board.signal_manager();
-                let mut touched = self.shards_touched;
-                while touched != 0 {
-                    let si = touched.trailing_zeros() as usize;
-                    touched &= touched - 1;
-                    self.shard_signals[si].signal();
-                }
-            }
-
-            // Inert-cycle suspension: a cycle with no commits, issues,
-            // fetches or events changes nothing observable. After a run of
-            // them the pipeline is provably waiting for an InQ message, so
-            // ticking further only burns host time (and, under large
-            // slack, lets the clock run far past pending reply
-            // timestamps, distorting timing). Suspend and fast-forward to
-            // the next message — the skipped cycles are inert, so the
-            // simulated outcome is bit-identical. Spin-retry phases must
-            // keep ticking to reach their retry time.
-            let inert = self.stats.committed == c0
-                && self.stats.issued == i0
-                && self.stats.fetched == f0
-                && events == 0;
-            if inert && !self.sync_retrying() {
-                // Every cycle of an inert batch was inert (any activity
-                // would have changed the stats or emitted an event).
-                self.inert_streak += batch as u32;
-            } else {
-                self.inert_streak = 0;
-            }
-            if self.inert_streak >= INERT_PARK_AFTER {
-                match self.earliest_msg_ts() {
-                    Some(ts) if ts > self.local + 1 => {
-                        // Clamp to the window: the skipped cycles are inert
-                        // so the outcome is identical either way, but the
-                        // clock must not escape the slack discipline (the
-                        // laggard's window is its own local + slack).
-                        let target =
-                            (ts - 1).min(board.max_local(self.id)).min(board.checkpoint_limit());
-                        if target > self.local {
-                            self.sync_jump(target);
-                            board.jump_local_unclamped(self.id, target);
-                            board.signal_manager();
-                        }
-                        self.inert_streak = 0;
-                    }
-                    Some(_) => {
-                        // A message is due: the next cycle consumes it.
-                        self.inert_streak = 0;
-                    }
-                    None => {
-                        // Unlike a sync wait, the clock stays visible so
-                        // global time freezes with us (lockstep preserved).
-                        board.mem_park(self.id);
-                        if self.earliest_msg_ts().is_some() {
-                            board.unpark(self.id);
-                            continue;
-                        }
-                        if !board.wait_parked(self.id) {
-                            break;
-                        }
-                        self.inert_streak = 0;
+                StepOutcome::AtWindow => {
+                    if !board.wait_for_window(self.id, self.local) {
+                        break;
                     }
                 }
             }
@@ -828,6 +701,192 @@ impl CoreSim {
             board.finish(self.id);
         }
         self.publish_obs();
+    }
+
+    /// Reset the inert-cycle streak after a resume from `MemWait`. The
+    /// threaded backend does this implicitly after `wait_parked`; the
+    /// deterministic backend must do it before stepping a core it resumed
+    /// from [`StepOutcome::MemBlocked`], or the core would re-park after a
+    /// single batch instead of ticking another `INERT_PARK_AFTER` cycles.
+    pub fn clear_inert_streak(&mut self) {
+        self.inert_streak = 0;
+    }
+
+    /// One non-blocking scheduling quantum: exactly one iteration of the
+    /// [`CoreSim::run`] loop. Anywhere the threaded body would block, the
+    /// blocking state is published on the board and the matching
+    /// [`StepOutcome`] is returned instead; park/recheck races are resolved
+    /// inside (a message that arrived between the park and the re-check
+    /// unparks immediately and reports `Progressed`). Both backends drive
+    /// their cores exclusively through this function, so a CC run is
+    /// bit-identical across them by construction.
+    pub fn run_step(&mut self, board: &ClockBoard) -> StepOutcome {
+        if board.stopping() || self.stop_seen {
+            return StepOutcome::Stopped;
+        }
+        if self.cpu.finished() {
+            board.finish(self.id);
+            return StepOutcome::Finished;
+        }
+        if !self.cpu.running() {
+            // No thread yet: idle-skip toward the first pending message
+            // or park until the manager sends one.
+            match self.next_msg_ts() {
+                Some(ts) => {
+                    if ts > self.local + 1 {
+                        let target =
+                            (ts - 1).min(board.max_local(self.id)).min(board.checkpoint_limit());
+                        if target > self.local {
+                            self.jump_local(target);
+                            board.jump_local(self.id, target);
+                        }
+                    }
+                }
+                None => {
+                    board.park(self.id);
+                    // Re-check after publishing Parked to close the race
+                    // with a concurrent push+unpark.
+                    if self.next_msg_ts().is_some() {
+                        board.unpark(self.id);
+                        return StepOutcome::Progressed;
+                    }
+                    return StepOutcome::Idle;
+                }
+            }
+        }
+        if self.sync_waiting() {
+            // The clock is suspended while waiting at a barrier; it
+            // fast-forwards to the release timestamp (paper §3.2.3:
+            // idle time must be undetectable by the program). Without
+            // this, a barrier waiter under large slack burns simulated
+            // cycles as fast as the host allows.
+            match self.earliest_sync_reply_ts() {
+                Some(r) => {
+                    let target = r.saturating_sub(1).min(board.checkpoint_limit());
+                    if target > self.local {
+                        self.sync_jump(target);
+                        board.jump_local_unclamped(self.id, target);
+                        board.signal_manager();
+                    }
+                    // Fall through: the next cycle applies the release.
+                }
+                None => {
+                    board.sync_park(self.id);
+                    if self.earliest_sync_reply_ts().is_some() {
+                        board.unpark(self.id);
+                        return StepOutcome::Progressed;
+                    }
+                    return StepOutcome::SyncBlocked;
+                }
+            }
+        }
+        if !board.may_advance(self.id, self.local) {
+            return StepOutcome::AtWindow;
+        }
+        // Run-ahead batch: simulate up to `batch_cap` cycles inside
+        // the open window, publishing the local clock once at the
+        // end. Every intervening cycle is still simulated in full —
+        // InQ messages apply at their exact timestamps and OutQ
+        // events keep exact per-cycle stamps — only the publication
+        // atomics are amortized. A batch ends early on anything the
+        // manager or the park paths must see promptly: emitted
+        // events, thread exit/idle, a sync wait, or a stop.
+        let limit = board.max_local(self.id).min(board.checkpoint_limit());
+        let budget = limit.saturating_sub(self.local).min(self.batch_cap).max(1);
+        let c0 = self.stats.committed;
+        let i0 = self.stats.issued;
+        let f0 = self.stats.fetched;
+        let mut batch = 0u64;
+        let events = loop {
+            let events = self.step_cycle(self.local + 1);
+            batch += 1;
+            if events > 0
+                || batch >= budget
+                || self.cpu.finished()
+                || !self.cpu.running()
+                || self.sync_waiting()
+                || self.stop_seen
+            {
+                break events;
+            }
+        };
+        board.advance_local_batched(self.id, self.local);
+        if let Some(obs) = &self.obs {
+            let c = &obs.cores[self.id];
+            c.cycles.add(batch);
+            c.run_batch.record(batch);
+            // Slack at publish time: how far this core may still run
+            // ahead before hitting its window (`max_local − local`).
+            c.slack.record(board.max_local(self.id).saturating_sub(self.local));
+            if events > 0 {
+                c.out_batch.record(events as u64);
+            }
+        }
+        if events > 0 {
+            board.signal_manager();
+            let mut touched = self.shards_touched;
+            while touched != 0 {
+                let si = touched.trailing_zeros() as usize;
+                touched &= touched - 1;
+                self.shard_signals[si].signal();
+            }
+        }
+
+        // Inert-cycle suspension: a cycle with no commits, issues,
+        // fetches or events changes nothing observable. After a run of
+        // them the pipeline is provably waiting for an InQ message, so
+        // ticking further only burns host time (and, under large
+        // slack, lets the clock run far past pending reply
+        // timestamps, distorting timing). Suspend and fast-forward to
+        // the next message — the skipped cycles are inert, so the
+        // simulated outcome is bit-identical. Spin-retry phases must
+        // keep ticking to reach their retry time.
+        let inert = self.stats.committed == c0
+            && self.stats.issued == i0
+            && self.stats.fetched == f0
+            && events == 0;
+        if inert && !self.sync_retrying() {
+            // Every cycle of an inert batch was inert (any activity
+            // would have changed the stats or emitted an event).
+            self.inert_streak += batch as u32;
+        } else {
+            self.inert_streak = 0;
+        }
+        if self.inert_streak >= INERT_PARK_AFTER {
+            match self.earliest_msg_ts() {
+                Some(ts) if ts > self.local + 1 => {
+                    // Clamp to the window: the skipped cycles are inert
+                    // so the outcome is identical either way, but the
+                    // clock must not escape the slack discipline (the
+                    // laggard's window is its own local + slack).
+                    let target =
+                        (ts - 1).min(board.max_local(self.id)).min(board.checkpoint_limit());
+                    if target > self.local {
+                        self.sync_jump(target);
+                        board.jump_local_unclamped(self.id, target);
+                        board.signal_manager();
+                    }
+                    self.inert_streak = 0;
+                }
+                Some(_) => {
+                    // A message is due: the next cycle consumes it.
+                    self.inert_streak = 0;
+                }
+                None => {
+                    // Unlike a sync wait, the clock stays visible so
+                    // global time freezes with us (lockstep preserved).
+                    board.mem_park(self.id);
+                    if self.earliest_msg_ts().is_some() {
+                        board.unpark(self.id);
+                        // The streak survives a park/recheck race, exactly
+                        // as the threaded `continue` did.
+                        return StepOutcome::Progressed;
+                    }
+                    return StepOutcome::MemBlocked;
+                }
+            }
+        }
+        StepOutcome::Progressed
     }
 
     /// Finalize without running (sequential engine path, and the parallel

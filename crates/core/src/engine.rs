@@ -106,6 +106,7 @@ pub(crate) fn violation_report(tracker: &Option<Arc<ConflictTracker>>) -> Violat
             load_past_store: t.stats.load_past_store.load(Ordering::Relaxed),
             compensations: t.stats.compensations.load(Ordering::Relaxed),
             compensation_cycles: t.stats.compensation_cycles.load(Ordering::Relaxed),
+            max_inversion_cycles: t.stats.max_inversion.load(Ordering::Relaxed),
         },
     }
 }
@@ -149,6 +150,52 @@ pub(crate) fn assemble_report(
     }
 }
 
+/// Per-segment manager-loop state, threaded through
+/// [`Engine::manager_iter`] so both backends (the manager Pthread and the
+/// deterministic scheduler) drive the identical iteration body.
+pub(crate) struct MgrState {
+    clock_cache: GlobalCache,
+    drain_scratch: Vec<OutEvent>,
+    /// Consecutive iterations the safe-point condition held with no
+    /// event drained. Two in a row prove the system is at rest:
+    /// the first pass shows every core was already parked *before*
+    /// this iteration's drain (a core publishes its events, then
+    /// its parked state, so anything it sent is visible), and the
+    /// second shows the manager's own processing woke nobody.
+    ready_streak: u32,
+    /// Ordered scheme with sharded managers: windows also hold back to
+    /// the slowest shard's processed frontier.
+    ordered_scheme: bool,
+}
+
+impl MgrState {
+    pub(crate) fn new(n: usize, ordered_scheme: bool) -> Self {
+        MgrState {
+            clock_cache: GlobalCache::new(n),
+            drain_scratch: Vec::new(),
+            ready_streak: 0,
+            ordered_scheme,
+        }
+    }
+}
+
+/// What one manager iteration decided. Pacing (idle backoff) and the
+/// deadlock *policy* stay with the caller: the threaded backend times
+/// continuous quiescence on the wall clock, the deterministic backend
+/// counts fruitless scheduling rounds — both act on the same
+/// `deadlockable` signal.
+pub(crate) enum MgrVerdict {
+    /// Keep iterating. `ingested` is the number of OutQ events drained
+    /// (pacing signal); `deadlockable` means nothing is runnable, nothing
+    /// is mem-waiting and nothing is in flight — continuous repetition of
+    /// this state is a workload deadlock.
+    Continue { ingested: usize, deadlockable: bool },
+    /// The segment is over (workload exit, stop condition, max cycles).
+    Finish,
+    /// Every clock is parked exactly on the checkpoint cycle.
+    CheckpointReady,
+}
+
 /// Why an [`Engine::run_until`] segment ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -172,13 +219,13 @@ pub enum RunOutcome {
 /// in this or any later process, optionally under a different scheme
 /// (fork-from-snapshot, the Fig. 6 grid workflow).
 pub struct Engine {
-    cfg: TargetConfig,
+    pub(crate) cfg: TargetConfig,
     scheme: Scheme,
     mem: FuncMemory,
-    cores: Vec<CoreSim>,
+    pub(crate) cores: Vec<CoreSim>,
     out_consumers: Vec<spsc::Consumer<OutEvent>>,
-    uncore: Uncore,
-    board: Arc<ClockBoard>,
+    pub(crate) uncore: Uncore,
+    pub(crate) board: Arc<ClockBoard>,
     tracker: Option<Arc<ConflictTracker>>,
     roi: Arc<RoiState>,
     shards: Vec<crate::shard::MemShard>,
@@ -189,8 +236,8 @@ pub struct Engine {
     /// Highest window already published to every core: re-raising an
     /// unchanged window is a no-op per core, so skip the whole loop.
     last_window: u64,
-    wall: Duration,
-    finished: bool,
+    pub(crate) wall: Duration,
+    pub(crate) finished: bool,
     /// Optional telemetry hub (see [`Engine::attach_metrics`]).
     obs: Option<Arc<Metrics>>,
     /// Next global cycle at which to sample the violation counters.
@@ -198,6 +245,10 @@ pub struct Engine {
     /// Length of the program's text segment in instructions; persisted so
     /// resume can rebuild the predecode table from functional memory.
     text_len: usize,
+    /// Fault injection for the conformance suite: added to every published
+    /// window, letting cores illegally outrun the scheme's slack bound.
+    /// Always zero outside tests.
+    window_bug_extra: u64,
 }
 
 impl Engine {
@@ -270,7 +321,17 @@ impl Engine {
             obs: None,
             next_violation_sample: 0,
             text_len,
+            window_bug_extra: 0,
         }
+    }
+
+    /// Deliberately raise every published window by `extra` cycles beyond
+    /// what the scheme allows — an injected ordering bug for validating
+    /// that the conformance suite (and the DetEngine schedule fuzzer)
+    /// actually catches slack-discipline escapes. Never call outside tests.
+    #[doc(hidden)]
+    pub fn inject_window_bug(&mut self, extra: u64) {
+        self.window_bug_extra = extra;
     }
 
     /// Force the run-ahead batch cap on every core, overriding the
@@ -344,6 +405,157 @@ impl Engine {
         })
     }
 
+    /// One manager iteration (the body of the paper's §2.1 manager loop,
+    /// minus the wait and the pacing/deadlock policy — see [`MgrVerdict`]).
+    /// Both backends call this: the manager Pthread from [`Engine::run_until`],
+    /// the deterministic scheduler whenever the interleaver picks the
+    /// manager task.
+    pub(crate) fn manager_iter(&mut self, until: Option<u64>, st: &mut MgrState) -> MgrVerdict {
+        let n = self.cfg.n_cores;
+        let obs = self.obs.clone();
+        let ready_before = match until {
+            Some(c) => self.checkpoint_ready(c),
+            None => false,
+        };
+        // Order matters for determinism of ordered schemes: publish
+        // global time first, then drain (every event with ts ≤ global
+        // is already in its ring by the release/acquire pairing on
+        // local time), then process up to the horizon.
+        let (g, all_done) = self.board.recompute_global_cached(&mut st.clock_cache);
+        self.engine.global_updates += 1;
+        let slack_now = self.board.observed_slack();
+        self.engine.max_observed_slack = self.engine.max_observed_slack.max(slack_now);
+        if self.slack_profile.last().map(|&(pg, _)| pg) != Some(g) {
+            if let Some(o) = &obs {
+                o.manager.slack.record(slack_now);
+                if o.cfg.violation_sample_interval > 0 && g >= self.next_violation_sample {
+                    let v = self.tracker.as_ref().map_or(0, |t| {
+                        t.stats.store_past_load.load(Ordering::Relaxed)
+                            + t.stats.load_past_store.load(Ordering::Relaxed)
+                    });
+                    o.record_violation_sample(g, v);
+                    self.next_violation_sample = g + o.cfg.violation_sample_interval;
+                }
+            }
+            if self.slack_profile.len() < SLACK_PROFILE_CAP {
+                self.slack_profile.push((g, slack_now));
+            } else {
+                self.engine.slack_profile_truncated += 1;
+            }
+        }
+        let mut ingested = 0usize;
+        let drain_t0 = obs.as_ref().map(|o| o.trace.now_us());
+        for (c, q) in self.out_consumers.iter_mut().enumerate() {
+            loop {
+                st.drain_scratch.clear();
+                if q.drain_into(&mut st.drain_scratch, usize::MAX) == 0 {
+                    break;
+                }
+                ingested += st.drain_scratch.len();
+                if let Some(o) = &obs {
+                    o.manager.drain_batch.record(st.drain_scratch.len() as u64);
+                }
+                self.uncore.ingest_batch(c, &st.drain_scratch);
+            }
+        }
+        if ingested > 0 {
+            if let (Some(o), Some(t0)) = (&obs, drain_t0) {
+                o.manager.events_ingested.add(ingested as u64);
+                o.trace.span(o.trace.manager_lane(), "drain", t0);
+            }
+        }
+        // When no core is actively driving global time (all blocked in
+        // sync calls / parked / finished), advance the processing
+        // horizon to the earliest queued event so barrier arrivals can
+        // complete and release the waiters.
+        let quiescent = self.board.active_count() == 0;
+        let mut g_eff =
+            if quiescent { self.uncore.min_pending_ts().map_or(g, |t| g.max(t)) } else { g };
+        if let Some(c) = until {
+            // The horizon never passes the safe-point: events due
+            // after it belong to the next segment (and are carried
+            // in the snapshot's GQ).
+            g_eff = g_eff.min(c);
+        }
+        if quiescent {
+            // Sync-blocked cores cannot complete the current quantum;
+            // process pending events directly so they can be released.
+            self.uncore.process_all_upto(g_eff);
+        } else {
+            self.uncore.process_ready(g_eff);
+        }
+        // Windows derive from the *true* global time: g_eff is only a
+        // processing horizon and may sit on a future event timestamp —
+        // deriving windows from it would let cores tick past
+        // global + slack, breaking the discipline. With sharded
+        // managers and an ordered scheme, windows additionally hold
+        // back to the slowest shard's processed frontier so no core
+        // outruns an undelivered reply.
+        let g_window = if st.ordered_scheme {
+            let fmin =
+                self.shard_frontiers.iter().map(|f| f.load(Ordering::Acquire)).min().unwrap_or(g);
+            g.min(fmin)
+        } else {
+            g
+        };
+        let mut w = self.uncore.window(g_window);
+        if let Some(c) = until {
+            // The core-side limit would clamp anyway; capping the
+            // published window spares pointless wake-and-recheck
+            // cycles on cores already parked at the safe-point.
+            w = w.min(c);
+        }
+        // Fault injection (see `Engine::inject_window_bug`): a deliberately
+        // over-raised window lets cores escape the slack discipline, which
+        // the conformance suite must detect. Zero in every real run.
+        w = w.saturating_add(self.window_bug_extra);
+        if w > self.last_window {
+            for c in 0..n {
+                self.board.raise_max_local(c, w);
+            }
+            self.last_window = w;
+        }
+        self.uncore.flush_overflow();
+        self.uncore.flush_wakeups();
+
+        if all_done {
+            if std::env::var_os("SK_TRACE").is_some() {
+                eprintln!("[mgr] stop: all_done at g={g}");
+            }
+            return MgrVerdict::Finish;
+        }
+        if let Some(c) = until {
+            if ready_before && ingested == 0 && self.checkpoint_ready(c) {
+                st.ready_streak += 1;
+                if st.ready_streak >= 2 {
+                    return MgrVerdict::CheckpointReady;
+                }
+            } else {
+                st.ready_streak = 0;
+            }
+        }
+        let deadlockable =
+            quiescent && !self.board.any_mem_waiting() && self.uncore.min_pending_ts().is_none();
+        if let StopCondition::RoiInstructions(limit) = self.cfg.stop {
+            if self.roi.committed.load(Ordering::Relaxed) >= limit {
+                return MgrVerdict::Finish;
+            }
+        }
+        if g >= self.cfg.max_cycles {
+            if std::env::var_os("SK_TRACE").is_some() {
+                eprintln!("[mgr] stop: max_cycles at g={g}");
+            }
+            return MgrVerdict::Finish;
+        }
+        if self.board.stopping() {
+            if std::env::var_os("SK_TRACE").is_some() {
+                eprintln!("[mgr] stop: stopping at g={g}");
+            }
+            return MgrVerdict::Finish;
+        }
+        MgrVerdict::Continue { ingested, deadlockable }
+    }
+
     /// Run one segment: spawn the core (and shard) threads, drive the
     /// manager loop, and tear the threads down again when the segment
     /// ends. With `until = None` the segment runs to the natural end of
@@ -409,15 +621,7 @@ impl Engine {
             // ---- the manager thread (paper §2.1) ----
             // Adaptive pacing state: see IDLE_WAIT_MIN/MAX above.
             let mut idle_wait = IDLE_WAIT_MIN;
-            let mut clock_cache = GlobalCache::new(n);
-            let mut drain_scratch: Vec<OutEvent> = Vec::new();
-            // Consecutive iterations the safe-point condition held with no
-            // event drained. Two in a row prove the system is at rest:
-            // the first pass shows every core was already parked *before*
-            // this iteration's drain (a core publishes its events, then
-            // its parked state, so anything it sent is visible), and the
-            // second shows the manager's own processing woke nobody.
-            let mut ready_streak = 0u32;
+            let mut st = MgrState::new(n, ordered_scheme);
             loop {
                 let signalled = self.board.manager_wait(idle_wait);
                 if let Some(o) = &obs {
@@ -426,168 +630,34 @@ impl Engine {
                         o.manager.backoff_us.record(idle_wait.as_micros() as u64);
                     }
                 }
-                let ready_before = match until {
-                    Some(c) => self.checkpoint_ready(c),
-                    None => false,
-                };
-                // Order matters for determinism of ordered schemes: publish
-                // global time first, then drain (every event with ts ≤ global
-                // is already in its ring by the release/acquire pairing on
-                // local time), then process up to the horizon.
-                let (g, all_done) = self.board.recompute_global_cached(&mut clock_cache);
-                self.engine.global_updates += 1;
-                let slack_now = self.board.observed_slack();
-                self.engine.max_observed_slack = self.engine.max_observed_slack.max(slack_now);
-                if self.slack_profile.last().map(|&(pg, _)| pg) != Some(g) {
-                    if let Some(o) = &obs {
-                        o.manager.slack.record(slack_now);
-                        if o.cfg.violation_sample_interval > 0 && g >= self.next_violation_sample {
-                            let v = self.tracker.as_ref().map_or(0, |t| {
-                                t.stats.store_past_load.load(Ordering::Relaxed)
-                                    + t.stats.load_past_store.load(Ordering::Relaxed)
-                            });
-                            o.record_violation_sample(g, v);
-                            self.next_violation_sample = g + o.cfg.violation_sample_interval;
-                        }
-                    }
-                    if self.slack_profile.len() < SLACK_PROFILE_CAP {
-                        self.slack_profile.push((g, slack_now));
-                    } else {
-                        self.engine.slack_profile_truncated += 1;
-                    }
-                }
-                let mut ingested = 0usize;
-                let drain_t0 = obs.as_ref().map(|o| o.trace.now_us());
-                for (c, q) in self.out_consumers.iter_mut().enumerate() {
-                    loop {
-                        drain_scratch.clear();
-                        if q.drain_into(&mut drain_scratch, usize::MAX) == 0 {
-                            break;
-                        }
-                        ingested += drain_scratch.len();
-                        if let Some(o) = &obs {
-                            o.manager.drain_batch.record(drain_scratch.len() as u64);
-                        }
-                        self.uncore.ingest_batch(c, &drain_scratch);
-                    }
-                }
-                if ingested > 0 {
-                    if let (Some(o), Some(t0)) = (&obs, drain_t0) {
-                        o.manager.events_ingested.add(ingested as u64);
-                        o.trace.span(o.trace.manager_lane(), "drain", t0);
-                    }
-                }
-                // When no core is actively driving global time (all blocked in
-                // sync calls / parked / finished), advance the processing
-                // horizon to the earliest queued event so barrier arrivals can
-                // complete and release the waiters.
-                let quiescent = self.board.active_count() == 0;
-                let mut g_eff = if quiescent {
-                    self.uncore.min_pending_ts().map_or(g, |t| g.max(t))
-                } else {
-                    g
-                };
-                if let Some(c) = until {
-                    // The horizon never passes the safe-point: events due
-                    // after it belong to the next segment (and are carried
-                    // in the snapshot's GQ).
-                    g_eff = g_eff.min(c);
-                }
-                if quiescent {
-                    // Sync-blocked cores cannot complete the current quantum;
-                    // process pending events directly so they can be released.
-                    self.uncore.process_all_upto(g_eff);
-                } else {
-                    self.uncore.process_ready(g_eff);
-                }
-                // Windows derive from the *true* global time: g_eff is only a
-                // processing horizon and may sit on a future event timestamp —
-                // deriving windows from it would let cores tick past
-                // global + slack, breaking the discipline. With sharded
-                // managers and an ordered scheme, windows additionally hold
-                // back to the slowest shard's processed frontier so no core
-                // outruns an undelivered reply.
-                let g_window = if ordered_scheme {
-                    let fmin = self
-                        .shard_frontiers
-                        .iter()
-                        .map(|f| f.load(Ordering::Acquire))
-                        .min()
-                        .unwrap_or(g);
-                    g.min(fmin)
-                } else {
-                    g
-                };
-                let mut w = self.uncore.window(g_window);
-                if let Some(c) = until {
-                    // The core-side limit would clamp anyway; capping the
-                    // published window spares pointless wake-and-recheck
-                    // cycles on cores already parked at the safe-point.
-                    w = w.min(c);
-                }
-                if w > self.last_window {
-                    for c in 0..n {
-                        self.board.raise_max_local(c, w);
-                    }
-                    self.last_window = w;
-                }
-                self.uncore.flush_overflow();
-                self.uncore.flush_wakeups();
-
-                if all_done {
-                    if std::env::var_os("SK_TRACE").is_some() {
-                        eprintln!("[mgr] stop: all_done at g={g}");
-                    }
-                    break;
-                }
-                if let Some(c) = until {
-                    if ready_before && ingested == 0 && self.checkpoint_ready(c) {
-                        ready_streak += 1;
-                        if ready_streak >= 2 {
-                            outcome = RunOutcome::CheckpointReady;
-                            break;
-                        }
-                    } else {
-                        ready_streak = 0;
-                    }
-                }
-                // Pacing: a signal or drained events means the pipeline is
-                // flowing — stay responsive. Otherwise back off exponentially;
-                // the first signal_manager ends the park immediately.
-                if signalled || ingested > 0 {
-                    idle_wait = IDLE_WAIT_MIN;
-                } else {
-                    idle_wait = (idle_wait * 2).min(IDLE_WAIT_MAX);
-                }
-                if quiescent
-                    && !self.board.any_mem_waiting()
-                    && self.uncore.min_pending_ts().is_none()
-                {
-                    let since = *quiet_since.get_or_insert_with(Instant::now);
-                    if since.elapsed() > DEADLOCK_AFTER {
-                        // Continuous quiescence: the workload is deadlocked
-                        // (sync-blocked with nothing in flight).
+                match self.manager_iter(until, &mut st) {
+                    MgrVerdict::Finish => break,
+                    MgrVerdict::CheckpointReady => {
+                        outcome = RunOutcome::CheckpointReady;
                         break;
                     }
-                } else {
-                    quiet_since = None;
-                }
-                if let StopCondition::RoiInstructions(limit) = self.cfg.stop {
-                    if self.roi.committed.load(Ordering::Relaxed) >= limit {
-                        break;
+                    MgrVerdict::Continue { ingested, deadlockable } => {
+                        // Pacing: a signal or drained events means the
+                        // pipeline is flowing — stay responsive. Otherwise
+                        // back off exponentially; the first signal_manager
+                        // ends the park immediately.
+                        if signalled || ingested > 0 {
+                            idle_wait = IDLE_WAIT_MIN;
+                        } else {
+                            idle_wait = (idle_wait * 2).min(IDLE_WAIT_MAX);
+                        }
+                        if deadlockable {
+                            let since = *quiet_since.get_or_insert_with(Instant::now);
+                            if since.elapsed() > DEADLOCK_AFTER {
+                                // Continuous quiescence: the workload is
+                                // deadlocked (sync-blocked with nothing in
+                                // flight).
+                                break;
+                            }
+                        } else {
+                            quiet_since = None;
+                        }
                     }
-                }
-                if g >= self.cfg.max_cycles {
-                    if std::env::var_os("SK_TRACE").is_some() {
-                        eprintln!("[mgr] stop: max_cycles at g={g}");
-                    }
-                    break;
-                }
-                if self.board.stopping() {
-                    if std::env::var_os("SK_TRACE").is_some() {
-                        eprintln!("[mgr] stop: stopping at g={g}");
-                    }
-                    break;
                 }
             }
             // Checkpoint teardown deliberately skips the `Stop` broadcast:
@@ -608,17 +678,7 @@ impl Engine {
                 .map(|h| h.join().expect("shard thread panicked"))
                 .collect();
             if outcome == RunOutcome::Finished {
-                // Final drain so late events (Exit, statistics) are accounted.
-                for (c, q) in self.out_consumers.iter_mut().enumerate() {
-                    loop {
-                        drain_scratch.clear();
-                        if q.drain_into(&mut drain_scratch, usize::MAX) == 0 {
-                            break;
-                        }
-                        self.uncore.ingest_batch(c, &drain_scratch);
-                    }
-                }
-                self.uncore.process_ready(u64::MAX);
+                self.final_drain();
             }
         });
         self.wall += t0.elapsed();
@@ -629,6 +689,22 @@ impl Engine {
             self.finished = true;
         }
         outcome
+    }
+
+    /// Final drain at the true end of a run, so late events (Exit,
+    /// statistics) are accounted. Shared by both backends' teardown.
+    pub(crate) fn final_drain(&mut self) {
+        let mut scratch: Vec<OutEvent> = Vec::new();
+        for (c, q) in self.out_consumers.iter_mut().enumerate() {
+            loop {
+                scratch.clear();
+                if q.drain_into(&mut scratch, usize::MAX) == 0 {
+                    break;
+                }
+                self.uncore.ingest_batch(c, &scratch);
+            }
+        }
+        self.uncore.process_ready(u64::MAX);
     }
 
     /// Serialize the complete simulated system. Call at a safe-point: a
@@ -849,6 +925,7 @@ impl Engine {
             obs: None,
             next_violation_sample: 0,
             text_len,
+            window_bug_extra: 0,
         };
         // Re-wire the restored hub through every layer (restore_state
         // rebuilt the uncore's sync table without its obs handle).

@@ -42,6 +42,7 @@
 //! | [`engine`] | the parallel engine (N+1 Pthreads) |
 //! | [`seq`] | the single-thread cycle-by-cycle baseline |
 
+pub mod backend;
 pub mod clock;
 pub mod config;
 pub mod core_thread;
@@ -59,9 +60,10 @@ pub mod sync;
 pub mod uncore;
 pub mod violation;
 
+pub use backend::{run_det, DetEngine, ExecBackend};
 pub use config::{CoreConfig, CoreModel, StopCondition, TargetConfig};
 pub use engine::{run_parallel, Engine, RunOutcome};
 pub use interp::{interpret, InterpResult, InterpStop};
-pub use scheme::Scheme;
+pub use scheme::{Scheme, SchemeParseError};
 pub use seq::{run_sequential, run_sequential_debug as seq_debug};
 pub use stats::{CoreStats, EngineStats, SimReport, ViolationReport};

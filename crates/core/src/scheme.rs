@@ -135,6 +135,23 @@ impl Scheme {
         }
     }
 
+    /// The scheme's bound on access-order inversion timestamps, in
+    /// simulated cycles: a violation recorded on a racy workload under
+    /// this scheme can never be inverted by more than this many cycles
+    /// (`None` = unbounded). CC admits no inversions at all. This is the
+    /// schedule-fuzzing failure oracle (`--det-schedules`), asserted
+    /// across the scheme matrix by `tests/conformance.rs`.
+    pub fn slack_bound(&self) -> Option<u64> {
+        match *self {
+            Scheme::CycleByCycle => Some(0),
+            Scheme::Quantum(q) => Some(q),
+            Scheme::Lookahead(l) => Some(l),
+            Scheme::BoundedSlack(s) | Scheme::OldestFirstBounded(s) => Some(s),
+            Scheme::AdaptiveQuantum { max, .. } => Some(max),
+            Scheme::Unbounded => None,
+        }
+    }
+
     /// Conservative schemes never produce timing violations when their
     /// parameter stays at or below the target's critical latency (§3.2).
     pub fn is_conservative(&self) -> bool {
@@ -230,8 +247,44 @@ impl fmt::Display for Scheme {
     }
 }
 
+/// Why a scheme string failed to parse. Degenerate-but-well-formed
+/// parameters ([`SchemeParseError::Degenerate`]) are rejected here, at
+/// parse time, so a `Scheme` in the running system is valid by
+/// construction — `Q0` or `S0` would freeze every window and `A10-5` has
+/// an empty adaptation range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemeParseError {
+    /// The leading letter is not one of the Figure-8 scheme forms.
+    UnknownScheme(String),
+    /// The numeric parameter is missing or not a number.
+    BadParameter(String),
+    /// An adaptive scheme without the `Amin-max` range syntax.
+    MissingAdaptiveRange(String),
+    /// Well-formed, but the parameter admits no progress (zero
+    /// quantum/lookahead/slack, or an adaptive range with `min > max` or
+    /// `min = 0`). The payload is the parsed-but-rejected scheme.
+    Degenerate(Scheme),
+}
+
+impl fmt::Display for SchemeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeParseError::UnknownScheme(s) => write!(f, "unknown scheme '{s}'"),
+            SchemeParseError::BadParameter(s) => write!(f, "bad scheme parameter in '{s}'"),
+            SchemeParseError::MissingAdaptiveRange(s) => {
+                write!(f, "adaptive scheme '{s}' needs 'Amin-max'")
+            }
+            SchemeParseError::Degenerate(scheme) => {
+                write!(f, "degenerate scheme parameter '{scheme}': window admits no progress")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemeParseError {}
+
 impl FromStr for Scheme {
-    type Err = String;
+    type Err = SchemeParseError;
 
     /// Parse the Figure-8 notation: `CC`, `Q10`, `L10`, `S9`, `S9*`, `SU`,
     /// `A10-1000`.
@@ -242,9 +295,12 @@ impl FromStr for Scheme {
             "SU" | "su" => return Ok(Scheme::Unbounded),
             _ => {}
         }
+        if !s.is_char_boundary(1) || s.is_empty() {
+            return Err(SchemeParseError::UnknownScheme(s.to_string()));
+        }
         let (head, rest) = s.split_at(1);
-        let parse_n = |txt: &str| -> Result<u64, String> {
-            txt.parse::<u64>().map_err(|_| format!("bad scheme parameter in '{s}'"))
+        let parse_n = |txt: &str| -> Result<u64, SchemeParseError> {
+            txt.parse::<u64>().map_err(|_| SchemeParseError::BadParameter(s.to_string()))
         };
         let scheme = match head {
             "Q" | "q" => Scheme::Quantum(parse_n(rest)?),
@@ -259,13 +315,13 @@ impl FromStr for Scheme {
             "A" | "a" => {
                 let (lo, hi) = rest
                     .split_once('-')
-                    .ok_or_else(|| format!("adaptive scheme '{s}' needs 'Amin-max'"))?;
+                    .ok_or_else(|| SchemeParseError::MissingAdaptiveRange(s.to_string()))?;
                 Scheme::AdaptiveQuantum { min: parse_n(lo)?, max: parse_n(hi)? }
             }
-            _ => return Err(format!("unknown scheme '{s}'")),
+            _ => return Err(SchemeParseError::UnknownScheme(s.to_string())),
         };
         if !scheme.is_valid() {
-            return Err(format!("degenerate scheme parameter in '{s}'"));
+            return Err(SchemeParseError::Degenerate(scheme));
         }
         Ok(scheme)
     }
@@ -290,6 +346,17 @@ mod tests {
         assert_eq!(s.window(0), 2);
         assert_eq!(s.window(5), 7);
         assert_eq!(Scheme::Unbounded.window(123), u64::MAX);
+    }
+
+    #[test]
+    fn slack_bounds_cap_inversions_per_scheme() {
+        assert_eq!(Scheme::CycleByCycle.slack_bound(), Some(0));
+        assert_eq!(Scheme::Quantum(100).slack_bound(), Some(100));
+        assert_eq!(Scheme::Lookahead(10).slack_bound(), Some(10));
+        assert_eq!(Scheme::BoundedSlack(9).slack_bound(), Some(9));
+        assert_eq!(Scheme::OldestFirstBounded(9).slack_bound(), Some(9));
+        assert_eq!(Scheme::AdaptiveQuantum { min: 10, max: 1000 }.slack_bound(), Some(1000));
+        assert_eq!(Scheme::Unbounded.slack_bound(), None);
     }
 
     #[test]
@@ -338,6 +405,39 @@ mod tests {
         assert!("S0".parse::<Scheme>().is_err());
         assert!("L0".parse::<Scheme>().is_err());
         assert!("A10-5".parse::<Scheme>().is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        use SchemeParseError::*;
+        assert_eq!("X5".parse::<Scheme>(), Err(UnknownScheme("X5".into())));
+        assert_eq!("".parse::<Scheme>(), Err(UnknownScheme("".into())));
+        assert_eq!("Sx".parse::<Scheme>(), Err(BadParameter("Sx".into())));
+        assert_eq!("Q".parse::<Scheme>(), Err(BadParameter("Q".into())));
+        assert_eq!("A100".parse::<Scheme>(), Err(MissingAdaptiveRange("A100".into())));
+        assert_eq!("Aten-5".parse::<Scheme>(), Err(BadParameter("Aten-5".into())));
+        // Every zero-window parameterization comes back as Degenerate with
+        // the offending scheme attached — callers can report precisely.
+        assert_eq!("Q0".parse::<Scheme>(), Err(Degenerate(Scheme::Quantum(0))));
+        assert_eq!("S0".parse::<Scheme>(), Err(Degenerate(Scheme::BoundedSlack(0))));
+        assert_eq!("S0*".parse::<Scheme>(), Err(Degenerate(Scheme::OldestFirstBounded(0))));
+        assert_eq!("L0".parse::<Scheme>(), Err(Degenerate(Scheme::Lookahead(0))));
+        assert_eq!(
+            "A0-100".parse::<Scheme>(),
+            Err(Degenerate(Scheme::AdaptiveQuantum { min: 0, max: 100 }))
+        );
+        assert_eq!(
+            "A10-5".parse::<Scheme>(),
+            Err(Degenerate(Scheme::AdaptiveQuantum { min: 10, max: 5 }))
+        );
+        // A multi-byte first character must not panic the parser.
+        assert_eq!("é10".parse::<Scheme>(), Err(UnknownScheme("é10".into())));
+        // Errors render as readable one-liners for the CLI.
+        assert_eq!(
+            Degenerate(Scheme::Quantum(0)).to_string(),
+            "degenerate scheme parameter 'Q0': window admits no progress"
+        );
+        assert!(std::error::Error::source(&UnknownScheme("X".into())).is_none());
     }
 
     #[test]

@@ -247,6 +247,23 @@ impl<T> Consumer<T> {
     pub fn is_empty(&mut self) -> bool {
         !self.nonempty()
     }
+
+    /// Number of elements currently visible to this consumer (refreshes
+    /// the cached tail). The producer may append concurrently, so the
+    /// count is a lower bound the moment it returns; in the deterministic
+    /// backend (no concurrency) it is exact, and its scheduler uses it to
+    /// tell a drained ring from one with undelivered work.
+    pub fn len(&mut self) -> usize {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        self.cached_tail = ring.tail.load(Ordering::Acquire);
+        let tail = self.cached_tail;
+        if tail >= head {
+            tail - head
+        } else {
+            tail + ring.capacity - head
+        }
+    }
 }
 
 impl<T> Drop for Ring<T> {

@@ -169,6 +169,11 @@ pub struct ViolationReport {
     pub compensations: u64,
     /// Idle cycles injected by compensation.
     pub compensation_cycles: u64,
+    /// Largest single timestamp inversion, in cycles (0 when none). A
+    /// bounded-slack scheme with window `s` can never produce an inversion
+    /// larger than `s`: both accesses of a conflicting pair execute inside
+    /// a window of width `s` around global time.
+    pub max_inversion_cycles: u64,
 }
 
 impl ViolationReport {
@@ -258,6 +263,31 @@ impl SimReport {
     pub fn with_scheme(mut self, s: Scheme) -> Self {
         self.scheme = s.short_name();
         self
+    }
+
+    /// A deterministic digest of everything *simulated* in this report:
+    /// scheme, core count, execution time, per-core counters, memory-system
+    /// counters, sync counters and violation counters. Host-dependent
+    /// fields — wall time, [`EngineStats`] (block/wakeup counts depend on
+    /// host scheduling), traces and the slack profile — are excluded, so
+    /// two runs that simulated the same thing byte-for-byte produce equal
+    /// fingerprints even across backends.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "scheme={} n_cores={} exec_cycles={}",
+            self.scheme, self.n_cores, self.exec_cycles
+        );
+        for (i, c) in self.cores.iter().enumerate() {
+            let _ = writeln!(s, "core{i}={c:?}");
+        }
+        let _ = writeln!(s, "dir={:?}", self.dir);
+        let _ = writeln!(s, "bus={:?}", self.bus);
+        let _ = writeln!(s, "sync={:?}", self.sync);
+        let _ = writeln!(s, "violations={:?}", self.violations);
+        s
     }
 }
 

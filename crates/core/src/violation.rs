@@ -46,6 +46,11 @@ pub struct ViolationStats {
     pub compensations: AtomicU64,
     /// Total cycles of fast-forward idle time injected.
     pub compensation_cycles: AtomicU64,
+    /// Largest timestamp inversion observed over all violations, in
+    /// cycles: how far the late access's timestamp lagged the conflicting
+    /// earlier-executed one. Under a bounded-slack scheme this can never
+    /// exceed the slack window — the conformance suite pins that bound.
+    pub max_inversion: AtomicU64,
 }
 
 impl ViolationStats {
@@ -98,6 +103,7 @@ impl ConflictTracker {
         if h.last_load_ts > ts && h.last_load_core != core as u32 {
             out.violated = true;
             self.stats.store_past_load.fetch_add(1, Ordering::Relaxed);
+            self.stats.max_inversion.fetch_max(h.last_load_ts - ts, Ordering::Relaxed);
             if self.compensate {
                 // Fast-forward: the store appears contemporaneous with the
                 // logically-latest load that already read the word.
@@ -122,6 +128,7 @@ impl ConflictTracker {
         if h.last_store_ts > ts && h.last_store_core != core as u32 {
             out.violated = true;
             self.stats.load_past_store.fetch_add(1, Ordering::Relaxed);
+            self.stats.max_inversion.fetch_max(h.last_store_ts - ts, Ordering::Relaxed);
             if self.compensate {
                 out.stall = h.last_store_ts - ts;
                 out.effective_ts = h.last_store_ts;
@@ -152,6 +159,7 @@ impl Persist for ConflictTracker {
         w.put_u64(self.stats.load_past_store.load(Ordering::Relaxed));
         w.put_u64(self.stats.compensations.load(Ordering::Relaxed));
         w.put_u64(self.stats.compensation_cycles.load(Ordering::Relaxed));
+        w.put_u64(self.stats.max_inversion.load(Ordering::Relaxed));
         let mut words: Vec<(u64, WordHist)> = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock();
@@ -174,6 +182,7 @@ impl Persist for ConflictTracker {
         t.stats.load_past_store.store(r.get_u64()?, Ordering::Relaxed);
         t.stats.compensations.store(r.get_u64()?, Ordering::Relaxed);
         t.stats.compensation_cycles.store(r.get_u64()?, Ordering::Relaxed);
+        t.stats.max_inversion.store(r.get_u64()?, Ordering::Relaxed);
         let n = r.get_count(32)?;
         for _ in 0..n {
             let addr = r.get_u64()?;

@@ -1,0 +1,200 @@
+//! Replayable schedule seed files.
+//!
+//! A violating seed found by `--det-schedules` fuzzing is dumped in this
+//! format and committed under `tests/schedules/` as a regression artifact.
+//! The format is deliberately line-oriented text so seeds diff cleanly and
+//! survive copy-paste through CI logs.
+
+use std::fmt;
+
+/// Bumped only if the interleaver's pick function changes meaning, which
+/// invalidates all previously recorded seeds.
+pub const SCHEDULE_FORMAT_VERSION: u32 = 1;
+
+/// One replayable schedule: the seed plus enough run metadata to rebuild
+/// the exact configuration the schedule was found under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    pub seed: u64,
+    /// Scheme short-name the seed was found under (e.g. "S10", "CC").
+    pub scheme: String,
+    /// Kernel/workload name (e.g. "fft", "racy_increment").
+    pub kernel: String,
+    /// Core count of the run.
+    pub n_cores: usize,
+    /// Free-form note (violation counts, finder, date); not parsed.
+    pub note: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleParseError {
+    /// Missing or malformed header line.
+    BadHeader(String),
+    /// Header announced a version this build does not understand.
+    UnsupportedVersion(u32),
+    /// A `key value` line was malformed or had a bad value.
+    BadField { key: String, detail: String },
+    /// A required field never appeared.
+    MissingField(&'static str),
+}
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadHeader(l) => write!(f, "bad schedule header: {l:?}"),
+            Self::UnsupportedVersion(v) => {
+                write!(f, "unsupported schedule format version {v} (max {SCHEDULE_FORMAT_VERSION})")
+            }
+            Self::BadField { key, detail } => write!(f, "bad field {key:?}: {detail}"),
+            Self::MissingField(k) => write!(f, "missing required field {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+impl Schedule {
+    pub fn new(seed: u64, scheme: &str, kernel: &str, n_cores: usize) -> Self {
+        Self {
+            seed,
+            scheme: scheme.to_string(),
+            kernel: kernel.to_string(),
+            n_cores,
+            note: String::new(),
+        }
+    }
+
+    /// Render to the seed-file text form.
+    pub fn format(&self) -> String {
+        let mut s = format!("sk-det-schedule v{SCHEDULE_FORMAT_VERSION}\n");
+        s.push_str(&format!("seed {:#018x}\n", self.seed));
+        s.push_str(&format!("scheme {}\n", self.scheme));
+        s.push_str(&format!("kernel {}\n", self.kernel));
+        s.push_str(&format!("cores {}\n", self.n_cores));
+        if !self.note.is_empty() {
+            s.push_str(&format!("note {}\n", self.note));
+        }
+        s
+    }
+
+    /// Parse the seed-file text form. Unknown keys are skipped so future
+    /// versions can add fields without breaking old readers; `#` lines are
+    /// comments.
+    pub fn parse(text: &str) -> Result<Self, ScheduleParseError> {
+        let mut lines =
+            text.lines().filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+        let header = lines.next().unwrap_or("").trim();
+        let version = header
+            .strip_prefix("sk-det-schedule v")
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| ScheduleParseError::BadHeader(header.to_string()))?;
+        if version > SCHEDULE_FORMAT_VERSION {
+            return Err(ScheduleParseError::UnsupportedVersion(version));
+        }
+
+        let mut seed = None;
+        let mut scheme = None;
+        let mut kernel = None;
+        let mut n_cores = None;
+        let mut note = String::new();
+        for line in lines {
+            let line = line.trim();
+            let (key, val) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            let val = val.trim();
+            match key {
+                "seed" => {
+                    let parsed = if let Some(hex) = val.strip_prefix("0x") {
+                        u64::from_str_radix(hex, 16)
+                    } else {
+                        val.parse::<u64>()
+                    };
+                    seed = Some(parsed.map_err(|e| ScheduleParseError::BadField {
+                        key: "seed".into(),
+                        detail: format!("{val:?}: {e}"),
+                    })?);
+                }
+                "scheme" => scheme = Some(val.to_string()),
+                "kernel" => kernel = Some(val.to_string()),
+                "cores" => {
+                    n_cores =
+                        Some(val.parse::<usize>().map_err(|e| ScheduleParseError::BadField {
+                            key: "cores".into(),
+                            detail: format!("{val:?}: {e}"),
+                        })?);
+                }
+                "note" => note = val.to_string(),
+                _ => {} // forward compatibility
+            }
+        }
+        Ok(Self {
+            seed: seed.ok_or(ScheduleParseError::MissingField("seed"))?,
+            scheme: scheme.ok_or(ScheduleParseError::MissingField("scheme"))?,
+            kernel: kernel.ok_or(ScheduleParseError::MissingField("kernel"))?,
+            n_cores: n_cores.ok_or(ScheduleParseError::MissingField("cores"))?,
+            note,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut s = Schedule::new(0xdead_beef_0bad_f00d, "S10", "racy_increment", 4);
+        s.note = "3 violations, found by schedule-fuzz".into();
+        let text = s.format();
+        assert_eq!(Schedule::parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn roundtrip_without_note() {
+        let s = Schedule::new(7, "CC", "fft", 8);
+        assert_eq!(Schedule::parse(&s.format()).unwrap(), s);
+    }
+
+    #[test]
+    fn parses_decimal_seed_comments_and_unknown_keys() {
+        let text = "# regression seed from CI run 1234\n\
+                    sk-det-schedule v1\n\
+                    seed 42\n\
+                    scheme SU\n\
+                    future-key ignored\n\
+                    kernel lu\n\
+                    cores 2\n";
+        let s = Schedule::parse(text).unwrap();
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.scheme, "SU");
+        assert_eq!(s.kernel, "lu");
+        assert_eq!(s.n_cores, 2);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_future_version() {
+        assert!(matches!(
+            Schedule::parse("not a schedule\n"),
+            Err(ScheduleParseError::BadHeader(_))
+        ));
+        assert!(matches!(
+            Schedule::parse("sk-det-schedule v99\nseed 1\nscheme CC\nkernel x\ncores 1\n"),
+            Err(ScheduleParseError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_and_malformed_fields() {
+        assert_eq!(
+            Schedule::parse("sk-det-schedule v1\nscheme CC\nkernel x\ncores 1\n"),
+            Err(ScheduleParseError::MissingField("seed"))
+        );
+        assert!(matches!(
+            Schedule::parse("sk-det-schedule v1\nseed zzz\nscheme CC\nkernel x\ncores 1\n"),
+            Err(ScheduleParseError::BadField { .. })
+        ));
+        assert!(matches!(
+            Schedule::parse("sk-det-schedule v1\nseed 1\nscheme CC\nkernel x\ncores lots\n"),
+            Err(ScheduleParseError::BadField { .. })
+        ));
+    }
+}
