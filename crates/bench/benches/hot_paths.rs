@@ -144,5 +144,56 @@ fn bench_decode_hot(c: &mut Criterion) {
     });
 }
 
-criterion_group!(hot_paths, bench_mem_hot, bench_decode_hot);
+/// A hot loop with a long branch-free body — the shape superblock
+/// dispatch is built for. `unroll` straight-line op groups per iteration
+/// keep the block cap (64 uops) in play without saturating it.
+fn superblock_loop(unroll: usize, iters: i64) -> sk_isa::Program {
+    let a0 = Reg::arg(0);
+    let t0 = Reg::tmp(0);
+    let t1 = Reg::tmp(1);
+    let acc = Reg::saved(0);
+    let mut b = ProgramBuilder::new();
+    let buf = b.zeros("buf", 64);
+    let main = b.here("main");
+    b.li(t0, buf as i64);
+    b.li(acc, 1);
+    b.li(a0, iters);
+    let top = b.here("top");
+    for k in 0..unroll {
+        let w = ((k * 3) % 8) as i32 * 8;
+        b.ld(t1, t0, w);
+        b.add(acc, acc, t1);
+        b.slli(t1, acc, 1);
+        b.st(t1, t0, w);
+    }
+    b.addi(a0, a0, -1);
+    b.bne(a0, Reg::ZERO, top);
+    b.sys(Syscall::Exit);
+    b.entry(main);
+    b.build().unwrap()
+}
+
+/// Per-instruction dispatch vs superblock dispatch on the interpreter —
+/// the same program through the same `interpret_with` entry point, with
+/// only the dispatch mode flipped (mirrors `mem_hot`'s replica pattern:
+/// the slow variant IS the fast path with the optimisation turned off).
+fn bench_superblock_hot(c: &mut Criterion) {
+    let p = superblock_loop(12, 1500);
+
+    c.bench_function("superblock_hot/per_instruction", |b| {
+        b.iter(|| {
+            let r = sk_core::interpret_with(&p, 1, u64::MAX, false);
+            black_box(r.executed[0])
+        })
+    });
+
+    c.bench_function("superblock_hot/block_dispatch", |b| {
+        b.iter(|| {
+            let r = sk_core::interpret_with(&p, 1, u64::MAX, true);
+            black_box(r.executed[0])
+        })
+    });
+}
+
+criterion_group!(hot_paths, bench_mem_hot, bench_decode_hot, bench_superblock_hot);
 criterion_main!(hot_paths);

@@ -1,0 +1,145 @@
+//! Interleaved A/B harness for the superblock-dispatch PR: per-kernel
+//! wall time with superblocks off (per-instruction dispatch, the "before"
+//! engine) vs on, alternated within every round so slow host drift
+//! cancels in the paired ratio.
+//!
+//! Measurements run on the deterministic backend: it drives the identical
+//! per-core cycle model through the identical manager iteration body on a
+//! single host thread, so the paired wall times measure dispatch cost
+//! rather than container time-slicing noise. The report is bit-identical
+//! either way (the differential suite pins that), so "before" and "after"
+//! do exactly the same simulated work.
+//!
+//! Usage: `ab_pr6 [n_cores] [slack] [rounds] [--scale test|bench|full]`
+//! (defaults: 4, 10, 30, bench). Prints the BENCH_PR6.json body on
+//! stdout; progress goes to stderr.
+
+use sk_core::{CoreModel, Scheme, TargetConfig};
+use sk_kernels::Workload;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+fn run_once(w: &Workload, scheme: Scheme, cfg: &TargetConfig) -> (f64, u64) {
+    let t0 = Instant::now();
+    let r = sk_core::run_det(&w.program, scheme, cfg, 7);
+    let wall = t0.elapsed().as_secs_f64();
+    let printed: Vec<i64> = r.printed().into_iter().map(|(_, v)| v).collect();
+    assert_eq!(printed, w.expected, "{} produced wrong output", w.name);
+    (wall, r.total_committed())
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = sk_kernels::Scale::Bench;
+    let mut pos: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == "--scale" {
+            scale = match raw.get(i + 1).map(String::as_str) {
+                Some("test") => sk_kernels::Scale::Test,
+                Some("full") => sk_kernels::Scale::Full,
+                _ => sk_kernels::Scale::Bench,
+            };
+            i += 2;
+        } else {
+            pos.push(raw[i].clone());
+            i += 1;
+        }
+    }
+    let n_cores: usize = pos.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let slack: u64 = pos.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let rounds: usize = pos.get(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let scheme = Scheme::BoundedSlack(slack);
+
+    let mut cfg_on = TargetConfig::paper_8core();
+    cfg_on.n_cores = n_cores;
+    cfg_on.core.model = CoreModel::InOrder;
+    cfg_on.superblocks = true;
+    let mut cfg_off = cfg_on;
+    cfg_off.superblocks = false;
+
+    let (compute_iters, sweep_iters) = match scale {
+        sk_kernels::Scale::Test => (400, 20),
+        sk_kernels::Scale::Bench => (12_000, 600),
+        sk_kernels::Scale::Full => (48_000, 2_400),
+    };
+    let mut workloads = sk_kernels::paper_suite(n_cores, scale);
+    workloads.push(sk_kernels::micro::private_compute(n_cores, compute_iters));
+    workloads.push(sk_kernels::micro::lock_sweep(n_cores, sweep_iters));
+
+    let mut entries = String::new();
+    for w in &workloads {
+        // One warmup per side (page faults, table build, branch warmup).
+        let _ = run_once(w, scheme, &cfg_off);
+        let (_, committed) = run_once(w, scheme, &cfg_on);
+        let mut before = Vec::with_capacity(rounds);
+        let mut after = Vec::with_capacity(rounds);
+        let mut ratios = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            // Alternate which side goes first so systematic cache/turbo
+            // effects of run order cancel across rounds too.
+            let (b_wall, a_wall) = if round % 2 == 0 {
+                let (b, _) = run_once(w, scheme, &cfg_off);
+                let (a, _) = run_once(w, scheme, &cfg_on);
+                (b, a)
+            } else {
+                let (a, _) = run_once(w, scheme, &cfg_on);
+                let (b, _) = run_once(w, scheme, &cfg_off);
+                (b, a)
+            };
+            before.push(b_wall);
+            after.push(a_wall);
+            ratios.push(b_wall / a_wall);
+        }
+        let b_med = median(&mut before);
+        let a_med = median(&mut after);
+        let ratio_med = median(&mut ratios);
+        let imp = (ratio_med - 1.0) * 100.0;
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        write!(
+            entries,
+            "    {:?}: {{\"committed\": {committed}, \"wall_before_median_s\": {b_med:.4}, \
+             \"wall_after_median_s\": {a_med:.4}, \"kips_before_median\": {:.1}, \
+             \"kips_after_median\": {:.1}, \"paired_ratio_median\": {ratio_med:.4}, \
+             \"improvement_pct\": {imp:.1}}}",
+            w.name,
+            committed as f64 / (b_med * 1000.0),
+            committed as f64 / (a_med * 1000.0),
+        )
+        .unwrap();
+        eprintln!(
+            "{:<16} before {b_med:.4}s  after {a_med:.4}s  paired ratio {ratio_med:.4} \
+             ({imp:+.1}%)",
+            w.name
+        );
+    }
+
+    println!("{{");
+    println!(
+        "  \"description\": \"Interleaved A/B: per-instruction dispatch (--no-superblocks, the \
+         seed engine's fetch/execute path) vs superblock dispatch, deterministic backend, scheme \
+         S{slack}, InOrder cores, paper suite + microkernels, {rounds} alternating rounds per \
+         kernel on the same host. paired_ratio_median is the median over rounds of \
+         (before wall / after wall) from adjacent runs, which cancels slow host drift; \
+         improvement_pct = (ratio - 1) * 100.\","
+    );
+    println!("  \"n_cores\": {n_cores}, \"scheme\": \"S{slack}\", \"rounds\": {rounds},");
+    println!("  \"backend\": \"deterministic\",");
+    println!("  \"workloads\": {{\n{entries}\n  }}");
+    println!("}}");
+}

@@ -6,7 +6,11 @@
 //! iterations per wall-second while every core is parked in a sync wait).
 //!
 //! Usage: `pr1_bench [n_cores] [slack] [reps] [--scale test|bench|full]
-//! [--metrics-out <file>]` (defaults: 4, 10, 5, test). With
+//! [--metrics-out <file>] [--no-superblocks]` (defaults: 4, 10, 5, test,
+//! superblocks on). The top-level JSON carries the suite-aggregate
+//! `kips` (total committed work over best-rep wall time) next to
+//! `total_wall_s`, so perf gates can bound simulation *throughput*
+//! directly instead of inferring it from wall time. With
 //! `--metrics-out`, one sk-obs hub is attached across every measured rep
 //! and dumped as sk-obs-metrics JSON — the CI perf-smoke job archives it
 //! as a run artifact. `--scale bench` grows the kernels by ~30× so
@@ -40,12 +44,16 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut metrics_out: Option<String> = None;
     let mut scale = sk_kernels::Scale::Test;
+    let mut superblocks = true;
     let mut pos: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {
         if raw[i] == "--metrics-out" {
             metrics_out = raw.get(i + 1).cloned();
             i += 2;
+        } else if raw[i] == "--no-superblocks" {
+            superblocks = false;
+            i += 1;
         } else if raw[i] == "--scale" {
             scale = match raw.get(i + 1).map(String::as_str) {
                 Some("bench") => sk_kernels::Scale::Bench,
@@ -66,6 +74,7 @@ fn main() {
     let mut cfg = TargetConfig::paper_8core();
     cfg.n_cores = n_cores;
     cfg.core.model = CoreModel::InOrder;
+    cfg.superblocks = superblocks;
 
     let obs = metrics_out.as_ref().map(|_| Arc::new(Metrics::new(n_cores, ObsConfig::default())));
 
@@ -80,6 +89,8 @@ fn main() {
 
     let t_all = Instant::now();
     let mut entries = String::new();
+    let mut suite_committed = 0u64;
+    let mut suite_wall_s = 0.0f64;
     for w in &workloads {
         // Warmup once (no telemetry), then keep the best-KIPS rep (least
         // host noise).
@@ -100,6 +111,10 @@ fn main() {
                 committed = r.total_committed();
                 exec_cycles = r.exec_cycles;
             }
+        }
+        suite_committed += committed;
+        if best_kips > 0.0 {
+            suite_wall_s += committed as f64 / (best_kips * 1000.0);
         }
         if !entries.is_empty() {
             entries.push_str(",\n");
@@ -147,8 +162,12 @@ fn main() {
     }
 
     println!("{{");
+    // Suite-aggregate throughput over the best (least host noise) rep of
+    // each workload: total committed instructions / summed best-rep wall.
+    let suite_kips = suite_committed as f64 / (suite_wall_s.max(1e-9) * 1000.0);
     println!("  \"n_cores\": {n_cores}, \"scheme\": \"S{slack}\", \"reps\": {reps},");
-    println!("  \"total_wall_s\": {total_wall_s:.3},");
+    println!("  \"superblocks\": {superblocks},");
+    println!("  \"total_wall_s\": {total_wall_s:.3}, \"kips\": {suite_kips:.1},");
     println!("  \"workloads\": {{\n{entries}\n  }},");
     println!(
         "  \"manager\": {{\"global_updates\": {}, \"wall_s\": {:.3}, \"updates_per_s\": {:.0}}}",

@@ -17,6 +17,7 @@
 //!   --scale   test|bench|full                            (default bench)
 //!   --model   inorder|ooo                                (default ooo)
 //!   --seq                use the sequential reference engine
+//!   --no-superblocks     per-instruction dispatch (host-speed A/B lever)
 //!   --track-violations   count slack-induced violations
 //!   --fast-forward       enable fast-forwarding compensation
 //!   --stats              print the full statistics block
@@ -52,6 +53,9 @@ struct Opts {
     shards: usize,
     seq: bool,
     track: bool,
+    /// Disable superblock dispatch (host-speed knob; timing is
+    /// bit-identical either way, this is the escape hatch / A-B lever).
+    no_superblocks: bool,
     fast_forward: bool,
     stats: bool,
     checkpoint_at: Option<u64>,
@@ -80,6 +84,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         shards: 0,
         seq: false,
         track: false,
+        no_superblocks: false,
         fast_forward: false,
         stats: false,
         checkpoint_at: None,
@@ -144,6 +149,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--seq" => o.seq = true,
+            "--no-superblocks" => o.no_superblocks = true,
             "--track-violations" => o.track = true,
             "--fast-forward" => o.fast_forward = true,
             "--stats" => o.stats = true,
@@ -161,6 +167,7 @@ fn config_for(o: &Opts) -> TargetConfig {
     cfg.n_cores = o.cores;
     cfg.core.model = o.model;
     cfg.track_workload_violations = o.track;
+    cfg.superblocks = !o.no_superblocks;
     cfg.fast_forward_compensation = o.fast_forward;
     cfg.mem.track_violations = o.track;
     cfg.mem_shards = o.shards;
@@ -405,7 +412,8 @@ fn report_json(r: &SimReport) -> String {
     let mut s = String::with_capacity(4096);
     s.push_str(&format!(
         "{{\"scheme\":\"{}\",\"n_cores\":{},\"exec_cycles\":{},\"wall_seconds\":{},\
-         \"total_committed\":{},\"total_roi_committed\":{},\"kips\":{},",
+         \"total_committed\":{},\"total_roi_committed\":{},\"kips\":{},\
+         \"config\":{{\"superblocks\":{}}},",
         json_escape(&r.scheme),
         r.n_cores,
         r.exec_cycles,
@@ -413,6 +421,7 @@ fn report_json(r: &SimReport) -> String {
         r.total_committed(),
         r.total_roi_committed(),
         json_f64(r.kips()),
+        r.superblocks,
     ));
     let e = &r.engine;
     s.push_str(&format!(
@@ -786,6 +795,8 @@ OPTIONS:
   --scale test|bench|full
   --model inorder|ooo
   --seq                sequential reference engine (cycle-by-cycle)
+  --no-superblocks     per-instruction dispatch (superblocks are default-on;
+                       simulated timing is bit-identical either way)
   --track-violations   count slack-induced violations
   --fast-forward       fast-forwarding compensation (paper S3.2.3)
   --stats              detailed statistics
@@ -815,6 +826,7 @@ mod tests {
         assert_eq!(o.cores, 8);
         assert_eq!(o.model, CoreModel::OutOfOrder);
         assert!(!o.seq && !o.track && !o.fast_forward && !o.stats);
+        assert!(!o.no_superblocks, "superblock dispatch defaults to on");
     }
 
     #[test]
@@ -829,6 +841,7 @@ mod tests {
             "--model",
             "inorder",
             "--seq",
+            "--no-superblocks",
             "--track-violations",
             "--fast-forward",
             "--stats",
@@ -839,6 +852,7 @@ mod tests {
         assert_eq!(o.scale, Scale::Test);
         assert_eq!(o.model, CoreModel::InOrder);
         assert!(o.seq && o.track && o.fast_forward && o.stats);
+        assert!(o.no_superblocks);
     }
 
     #[test]
@@ -1016,6 +1030,7 @@ mod tests {
         r.violations.compensations = 1;
         r.violations.compensation_cycles = 12;
         r.violations.max_inversion_cycles = 5;
+        r.superblocks = true;
         r.slack_profile = Some(vec![(0, 0), (10, 9), (20, 10)]);
         r
     }
@@ -1052,5 +1067,8 @@ mod tests {
         assert_eq!(cfg.n_cores, 2);
         assert!(cfg.track_workload_violations);
         assert!(cfg.mem.track_violations);
+        assert!(cfg.superblocks);
+        let o = parse_opts(&args(&["--no-superblocks"])).unwrap();
+        assert!(!config_for(&o).superblocks);
     }
 }

@@ -144,6 +144,11 @@ pub struct TargetConfig {
     /// entries. Sizes the batch the transport can move per ring operation;
     /// a full ring makes the producer yield until the consumer drains.
     pub queue_capacity: usize,
+    /// Dispatch fused superblock runs on the fast path (in-order cores
+    /// and the architectural interpreter). Purely a host-speed knob: the
+    /// simulated timing, stats and report fingerprint are bit-identical
+    /// either way (`--no-superblocks` is the escape hatch / A-B control).
+    pub superblocks: bool,
 }
 
 impl TargetConfig {
@@ -161,6 +166,7 @@ impl TargetConfig {
             record_trace: false,
             mem_shards: 0,
             queue_capacity: 4096,
+            superblocks: true,
         }
     }
 
@@ -177,6 +183,7 @@ impl TargetConfig {
             record_trace: false,
             mem_shards: 0,
             queue_capacity: 4096,
+            superblocks: true,
         }
     }
 
@@ -298,6 +305,7 @@ impl Persist for TargetConfig {
         w.put_bool(self.record_trace);
         w.put_usize(self.mem_shards);
         w.put_usize(self.queue_capacity);
+        w.put_bool(self.superblocks);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         let cfg = TargetConfig {
@@ -311,6 +319,7 @@ impl Persist for TargetConfig {
             record_trace: r.get_bool()?,
             mem_shards: r.get_usize()?,
             queue_capacity: r.get_usize()?,
+            superblocks: r.get_bool()?,
         };
         cfg.validate().map_err(SnapError::Corrupt)?;
         Ok(cfg)

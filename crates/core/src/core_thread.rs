@@ -811,6 +811,14 @@ impl CoreSim {
             }
         };
         board.advance_local_batched(self.id, self.local);
+        // A batch that stopped on budget while a fused run is suspended
+        // split that run at the slack-window edge: the block never
+        // publishes past the window, it resumes in the next batch.
+        if batch >= budget && self.cpu.sb_mid_run() {
+            if let Some(e) = self.cpu.sb_events() {
+                e.exit_window += 1;
+            }
+        }
         if let Some(obs) = &self.obs {
             let c = &obs.cores[self.id];
             c.cycles.add(batch);
@@ -820,6 +828,23 @@ impl CoreSim {
             c.slack.record(board.max_local(self.id).saturating_sub(self.local));
             if events > 0 {
                 c.out_batch.record(events as u64);
+            }
+            // Drain superblock telemetry accumulated by the CPU model.
+            if let Some(e) = self.cpu.sb_events() {
+                if !e.is_empty() {
+                    c.sb_exit_branch.add(e.exit_branch);
+                    c.sb_exit_miss.add(e.exit_miss);
+                    c.sb_exit_sync.add(e.exit_sync);
+                    c.sb_exit_syscall.add(e.exit_syscall);
+                    c.sb_exit_window.add(e.exit_window);
+                    c.sb_exit_fallback.add(e.exit_fallback);
+                    for (len, &n) in e.len_counts.iter().enumerate() {
+                        if n > 0 {
+                            c.sb_block_len.record_n(len as u64, n);
+                        }
+                    }
+                    e.clear();
+                }
             }
         }
         if events > 0 {

@@ -6,15 +6,17 @@
 //! blocking L1 misses, no speculation. It shares the L1/MSHR-free request
 //! protocol with the OoO model and is used for ablations and fast tests.
 
-use super::{Cpu, CpuCtx, SysOutcome};
+use super::{Cpu, CpuCtx, SbEvents, SysOutcome};
 use crate::config::{CoreConfig, TargetConfig};
 use crate::exec::{self, Operands};
 use crate::msg::OutKind;
 use crate::stats::CoreStats;
-use sk_isa::{decode, layout, DecodedInstr, Instr, Reg, WORD_BYTES};
+use sk_isa::superblock::{SuperblockTable, Uop};
+use sk_isa::{decode, layout, DecodedInstr, FuClass, Instr, Reg, WORD_BYTES};
 use sk_mem::l1::ReqKind;
 use sk_mem::{block_of, BlockAddr, L1Cache, L1Outcome, LineState};
 use sk_snap::{Persist, Reader, SnapError, Writer};
+use std::sync::Arc;
 
 /// Destination of an in-flight load.
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +57,22 @@ pub struct InOrderCpu {
     /// Blocks invalidated while their fill was outstanding; the fill is
     /// immediately undone to keep directory bookkeeping authoritative.
     inv_while_pending: Vec<BlockAddr>,
+    /// Static superblock table (engine-attached; shared across cores).
+    sbt: Option<Arc<SuperblockTable>>,
+    /// Cursor into the fused run currently being dispatched. Derived
+    /// cache over (sbt, pc): never persisted — a restored core re-enters
+    /// its run through `SuperblockTable::lookup` at the saved pc, which
+    /// is execution-identical because dispatch stays one uop per cycle.
+    run_idx: usize,
+    run_rem: u16,
+    /// Dynamic length of the current run chain (telemetry only).
+    sb_dyn_len: u16,
+    /// The last run was cut by the length cap (or a refused successor),
+    /// not by control flow: the next fetch either chains into a new run
+    /// (no exit) or classifies the exit on the per-instruction path.
+    sb_truncated: bool,
+    /// Telemetry drained by the core thread once per batch.
+    sb_events: SbEvents,
 }
 
 impl InOrderCpu {
@@ -75,7 +93,28 @@ impl InOrderCpu {
             extra_stall: 0,
             pending_evictions: Vec::new(),
             inv_while_pending: Vec::new(),
+            sbt: None,
+            run_idx: 0,
+            run_rem: 0,
+            sb_dyn_len: 0,
+            sb_truncated: false,
+            sb_events: SbEvents::default(),
         }
+    }
+
+    /// Abandon the current fused run (it resumes through a fresh lookup).
+    #[inline]
+    fn cancel_run(&mut self) {
+        self.run_rem = 0;
+        self.sb_truncated = false;
+    }
+
+    /// Count a run exit of `kind` closing a chain of `sb_dyn_len` uops.
+    #[inline]
+    fn sb_exit(&mut self, kind: fn(&mut SbEvents) -> &mut u64) {
+        *kind(&mut self.sb_events) += 1;
+        self.sb_events.record_len(self.sb_dyn_len);
+        self.sb_dyn_len = 0;
     }
 
     #[inline]
@@ -237,6 +276,173 @@ impl InOrderCpu {
         self.busy_until = now + self.cfg.fu_latency(i.fu);
         ctx.stats.committed += 1;
     }
+
+    #[inline]
+    fn set_idx(&mut self, r: u8, v: u64) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Retire a non-memory, non-control uop this cycle.
+    #[inline]
+    fn retire_alu(&mut self, now: u64, fu: FuClass, ctx: &mut CpuCtx<'_>) {
+        self.pc += WORD_BYTES;
+        self.busy_until = now + self.cfg.fu_latency(fu);
+        ctx.stats.committed += 1;
+    }
+
+    fn uop_load(&mut self, addr: u64, dst: LoadDst, ctx: &mut CpuCtx<'_>) {
+        let now = ctx.now;
+        let block = block_of(addr);
+        match self.l1d.read(block) {
+            L1Outcome::Hit => {
+                let v = ctx.host.load(addr, now);
+                match dst {
+                    LoadDst::Int(r) => self.set_idx(r, v),
+                    LoadDst::Fp(f) => self.fregs[f as usize] = f64::from_bits(v),
+                }
+                self.pc += WORD_BYTES;
+                self.busy_until = now + self.l1_hit_lat;
+                ctx.stats.committed += 1;
+                ctx.stats.loads += 1;
+            }
+            _ => {
+                ctx.host.emit(OutKind::DMem { req: ReqKind::GetS, block });
+                self.phase = Phase::WaitLoad { block, addr, dst, ready: None };
+            }
+        }
+    }
+
+    fn uop_store(&mut self, addr: u64, val: u64, ctx: &mut CpuCtx<'_>) {
+        let now = ctx.now;
+        let block = block_of(addr);
+        match self.l1d.write(block) {
+            L1Outcome::Hit => {
+                ctx.host.store(addr, val, now);
+                self.pc += WORD_BYTES;
+                self.busy_until = now + self.l1_hit_lat;
+                ctx.stats.committed += 1;
+                ctx.stats.stores += 1;
+            }
+            outcome => {
+                let req = if outcome == L1Outcome::MissUpgrade {
+                    ReqKind::Upgrade
+                } else {
+                    ReqKind::GetM
+                };
+                ctx.host.emit(OutKind::DMem { req, block });
+                self.phase = Phase::WaitStore { block, addr, val, ready: None };
+            }
+        }
+    }
+
+    /// Execute one compiled uop on the superblock fast path. Mirrors
+    /// [`Self::execute_one`] effect-for-effect and counter-for-counter:
+    /// the report fingerprint embeds every [`CoreStats`] field, so the
+    /// two dispatch routes must be indistinguishable, timing included.
+    /// Runs never contain syscalls or refused uops (run length 0), so
+    /// neither appears here.
+    fn execute_uop(&mut self, u: Uop, ctx: &mut CpuCtx<'_>) {
+        let now = ctx.now;
+        ctx.stats.issued += 1;
+        match u {
+            Uop::AluRR { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                self.set_idx(rd, v);
+                self.retire_alu(now, op.fu(), ctx);
+            }
+            Uop::AluRI { op, rd, rs1, imm } => {
+                let v = op.eval(self.regs[rs1 as usize], imm);
+                self.set_idx(rd, v);
+                self.retire_alu(now, FuClass::IntAlu, ctx);
+            }
+            Uop::Li { rd, imm } => {
+                self.set_idx(rd, imm as i64 as u64);
+                self.retire_alu(now, FuClass::IntAlu, ctx);
+            }
+            Uop::Ld { rd, rs1, imm } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(imm as i64 as u64) & !7;
+                self.uop_load(addr, LoadDst::Int(rd), ctx);
+            }
+            Uop::Fld { fd, rs1, imm } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(imm as i64 as u64) & !7;
+                self.uop_load(addr, LoadDst::Fp(fd), ctx);
+            }
+            Uop::St { rs2, rs1, imm } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(imm as i64 as u64) & !7;
+                let val = self.regs[rs2 as usize];
+                self.uop_store(addr, val, ctx);
+            }
+            Uop::Fst { fs, rs1, imm } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(imm as i64 as u64) & !7;
+                let val = self.fregs[fs as usize].to_bits();
+                self.uop_store(addr, val, ctx);
+            }
+            Uop::Br { cond, rs1, rs2, target } => {
+                ctx.stats.branches += 1;
+                if cond.taken(self.regs[rs1 as usize], self.regs[rs2 as usize]) {
+                    self.pc = target;
+                    self.busy_until = now + 2;
+                } else {
+                    self.pc += WORD_BYTES;
+                    self.busy_until = now + 1;
+                }
+                ctx.stats.committed += 1;
+            }
+            Uop::J { target } => {
+                self.pc = target;
+                self.busy_until = now + 2;
+                ctx.stats.committed += 1;
+            }
+            Uop::Jal { rd, target } => {
+                self.set_idx(rd, self.pc.wrapping_add(WORD_BYTES));
+                self.pc = target;
+                self.busy_until = now + 2;
+                ctx.stats.committed += 1;
+            }
+            Uop::Jalr { rd, rs1, imm } => {
+                // Target reads rs1 before the link write (rd may alias).
+                let target = self.regs[rs1 as usize].wrapping_add(imm as i64 as u64) & !7;
+                self.set_idx(rd, self.pc.wrapping_add(WORD_BYTES));
+                self.pc = target;
+                self.busy_until = now + 2;
+                ctx.stats.committed += 1;
+            }
+            Uop::FpBin { op, fd, fs1, fs2 } => {
+                self.fregs[fd as usize] =
+                    op.eval(self.fregs[fs1 as usize], self.fregs[fs2 as usize]);
+                self.retire_alu(now, op.fu(), ctx);
+            }
+            Uop::FpUn { op, fd, fs1 } => {
+                self.fregs[fd as usize] = op.eval(self.fregs[fs1 as usize]);
+                self.retire_alu(now, op.fu(), ctx);
+            }
+            Uop::FpCmp { op, rd, fs1, fs2 } => {
+                let v = op.eval(self.fregs[fs1 as usize], self.fregs[fs2 as usize]);
+                self.set_idx(rd, v);
+                self.retire_alu(now, FuClass::FpAdd, ctx);
+            }
+            Uop::Fcvtlf { fd, rs1 } => {
+                self.fregs[fd as usize] = self.regs[rs1 as usize] as i64 as f64;
+                self.retire_alu(now, FuClass::FpAdd, ctx);
+            }
+            Uop::Fcvtfl { rd, fs1 } => {
+                self.set_idx(rd, self.fregs[fs1 as usize] as i64 as u64);
+                self.retire_alu(now, FuClass::FpAdd, ctx);
+            }
+            Uop::Fmvxf { rd, fs1 } => {
+                self.set_idx(rd, self.fregs[fs1 as usize].to_bits());
+                self.retire_alu(now, FuClass::FpAdd, ctx);
+            }
+            Uop::Fmvfx { fd, rs1 } => {
+                self.fregs[fd as usize] = f64::from_bits(self.regs[rs1 as usize]);
+                self.retire_alu(now, FuClass::FpAdd, ctx);
+            }
+            Uop::Nop => self.retire_alu(now, FuClass::Nop, ctx),
+            Uop::Other => unreachable!("refused uops have run length 0"),
+        }
+    }
 }
 
 impl Cpu for InOrderCpu {
@@ -312,21 +518,88 @@ impl Cpu for InOrderCpu {
                 match self.l1i.read(block) {
                     L1Outcome::Hit => {
                         ctx.stats.fetched += 1;
+                        // Superblock fast path: resume a suspended run, or
+                        // enter one at this pc. Dispatch stays one uop per
+                        // cycle — the fusion only removes the virtual
+                        // predecode lookup and the general effects
+                        // plumbing, never a cycle — so timing, stats and
+                        // message interleavings are bit-identical to the
+                        // per-instruction route below.
+                        if self.run_rem == 0 {
+                            if let Some(t) = &self.sbt {
+                                if let Some((idx, len)) = t.lookup(self.pc) {
+                                    if len > 0 {
+                                        self.run_idx = idx;
+                                        self.run_rem = len;
+                                        // A cap-cut run chaining into a new
+                                        // one is one long dynamic run.
+                                        self.sb_truncated = false;
+                                    }
+                                }
+                            }
+                        }
+                        if self.run_rem > 0 {
+                            let u = *self
+                                .sbt
+                                .as_ref()
+                                .expect("mid-run implies table")
+                                .uop(self.run_idx);
+                            let was_control = u.is_control();
+                            self.run_idx += 1;
+                            self.run_rem -= 1;
+                            self.execute_uop(u, ctx);
+                            if matches!(self.phase, Phase::Ready) {
+                                self.sb_dyn_len = self.sb_dyn_len.saturating_add(1);
+                                if self.run_rem == 0 {
+                                    if was_control {
+                                        self.sb_exit(|e| &mut e.exit_branch);
+                                    } else {
+                                        self.sb_truncated = true;
+                                    }
+                                }
+                            } else {
+                                // The uop left Ready (L1D miss): cancel the
+                                // run. The access completes through the wait
+                                // path; the next fetch re-enters by lookup.
+                                self.cancel_run();
+                                self.sb_exit(|e| &mut e.exit_miss);
+                            }
+                            return;
+                        }
                         // Predecode fast path; PCs outside the table fall
                         // back to reading and decoding the word.
                         let di = ctx.host.decoded(self.pc).or_else(|| {
                             decode(ctx.host.fetch_word(self.pc)).ok().map(DecodedInstr::new)
                         });
                         match di {
-                            Some(i) => self.execute_one(i, ctx),
+                            Some(i) => {
+                                let was_sys = matches!(i.instr, Instr::Syscall { .. });
+                                self.execute_one(i, ctx);
+                                if std::mem::take(&mut self.sb_truncated) {
+                                    if !was_sys {
+                                        self.sb_exit(|e| &mut e.exit_fallback);
+                                    } else if matches!(self.phase, Phase::SysPending) {
+                                        self.sb_exit(|e| &mut e.exit_sync);
+                                    } else {
+                                        self.sb_exit(|e| &mut e.exit_syscall);
+                                    }
+                                }
+                            }
                             None => {
                                 // Fetching garbage means the workload ran off
                                 // its text segment: treat as thread exit.
                                 self.finished = true;
+                                if std::mem::take(&mut self.sb_truncated) {
+                                    self.sb_exit(|e| &mut e.exit_fallback);
+                                }
                             }
                         }
                     }
                     _ => {
+                        if self.run_rem > 0 {
+                            self.cancel_run();
+                            self.sb_exit(|e| &mut e.exit_miss);
+                        }
                         ctx.host.emit(OutKind::IMem { block });
                         self.phase = Phase::WaitIFetch { block, ready: None };
                     }
@@ -344,6 +617,8 @@ impl Cpu for InOrderCpu {
         self.set_reg(Reg::SP, layout::stack_top(tid as usize));
         self.set_reg(Reg::GP, layout::DATA_BASE);
         self.running = true;
+        self.cancel_run();
+        self.sb_dyn_len = 0;
     }
 
     fn running(&self) -> bool {
@@ -452,7 +727,23 @@ impl Cpu for InOrderCpu {
         for _ in 0..n {
             self.inv_while_pending.push(r.get_u64()?);
         }
+        // The run cursor is a derived cache, not snapshotted: a restored
+        // core re-enters its run via lookup at the restored pc.
+        self.cancel_run();
+        self.sb_dyn_len = 0;
         Ok(())
+    }
+
+    fn attach_superblocks(&mut self, table: Arc<SuperblockTable>) {
+        self.sbt = Some(table);
+    }
+
+    fn sb_events(&mut self) -> Option<&mut SbEvents> {
+        self.sbt.as_ref().map(|_| &mut self.sb_events)
+    }
+
+    fn sb_mid_run(&self) -> bool {
+        self.run_rem > 0
     }
 }
 

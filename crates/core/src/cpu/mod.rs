@@ -57,6 +57,64 @@ pub trait CoreHost {
     fn sys_poll(&mut self, now: u64) -> SysOutcome;
 }
 
+/// Superblock dispatch telemetry, accumulated by a [`Cpu`] model and
+/// drained into `sk-obs` by the core thread once per batch. Purely
+/// observational: none of these counts feed back into timing or into
+/// [`CoreStats`] (which must stay bit-identical with superblocks off).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SbEvents {
+    /// Run ended on its anchoring control-flow instruction.
+    pub exit_branch: u64,
+    /// Run cancelled because the core left the Ready phase (L1 miss,
+    /// I-fetch miss, or any stall that parks the pipeline mid-run).
+    pub exit_miss: u64,
+    /// Run ended at a syscall that went Pending (sync / spin-wait).
+    pub exit_sync: u64,
+    /// Run ended at a syscall that completed immediately.
+    pub exit_syscall: u64,
+    /// Run split at the slack-window edge (budget exhausted mid-run);
+    /// the run resumes in the next batch, so nothing is cancelled.
+    pub exit_window: u64,
+    /// Run ended by falling back to live decode (off-table pc, refused
+    /// instruction, or bad fetch).
+    pub exit_fallback: u64,
+    /// Histogram of dynamic run lengths: `len_counts[n]` counts runs
+    /// that retired `n` uops before exiting (index 0 collects runs cut
+    /// before their first uop; the last bucket clamps longer runs).
+    pub len_counts: [u64; 65],
+}
+
+impl Default for SbEvents {
+    fn default() -> Self {
+        SbEvents {
+            exit_branch: 0,
+            exit_miss: 0,
+            exit_sync: 0,
+            exit_syscall: 0,
+            exit_window: 0,
+            exit_fallback: 0,
+            len_counts: [0; 65],
+        }
+    }
+}
+
+impl SbEvents {
+    /// Record a completed (or cancelled) run of dynamic length `len`.
+    pub fn record_len(&mut self, len: u16) {
+        self.len_counts[(len as usize).min(64)] += 1;
+    }
+
+    /// True when nothing has been recorded since the last [`Self::clear`].
+    pub fn is_empty(&self) -> bool {
+        self == &SbEvents::default()
+    }
+
+    /// Reset all counters (after the core thread drained them).
+    pub fn clear(&mut self) {
+        *self = SbEvents::default();
+    }
+}
+
 /// Per-cycle context handed to [`Cpu::step`].
 pub struct CpuCtx<'a> {
     /// The cycle being simulated (local time + 1).
@@ -116,6 +174,25 @@ pub trait Cpu: Send {
     /// One-line diagnostic of the pipeline state (for stall debugging).
     fn debug_state(&self) -> String {
         String::new()
+    }
+
+    /// Hand the model a superblock table for its fused fast path. Models
+    /// without one (the out-of-order core simulates real fetch/issue and
+    /// gains nothing from fusion) ignore it.
+    fn attach_superblocks(&mut self, table: std::sync::Arc<sk_isa::SuperblockTable>) {
+        let _ = table;
+    }
+
+    /// Superblock telemetry accumulated since the last drain, if this
+    /// model dispatches through superblocks.
+    fn sb_events(&mut self) -> Option<&mut SbEvents> {
+        None
+    }
+
+    /// Is a fused run currently suspended mid-block (so a batch boundary
+    /// here is a window split, not a natural exit)?
+    fn sb_mid_run(&self) -> bool {
+        false
     }
 }
 

@@ -15,7 +15,7 @@ use crate::spsc;
 use crate::stats::{EngineStats, SimReport, ViolationReport};
 use crate::uncore::Uncore;
 use crate::violation::ConflictTracker;
-use sk_isa::{DecodedProgram, Program};
+use sk_isa::{DecodedProgram, Program, SuperblockTable};
 use sk_mem::FuncMemory;
 use sk_obs::{Metrics, ObsConfig};
 use sk_snap::{Persist, Reader, SnapError, Writer};
@@ -56,6 +56,7 @@ pub(crate) struct Plumbing {
     pub roi: Arc<RoiState>,
     pub mem: FuncMemory,
     pub text_len: usize,
+    pub sbt: Option<Arc<SuperblockTable>>,
 }
 
 /// Wire up cores, queues, functional memory and the violation tracker.
@@ -66,6 +67,8 @@ pub(crate) fn plumb(program: &Program, cfg: &TargetConfig) -> Plumbing {
     mem.load(program.image());
     // Predecode the text once; every core shares the read-only table.
     let text = Arc::new(DecodedProgram::from_program(program));
+    // Fuse superblocks once over the same table (derived, read-only).
+    let sbt = cfg.superblocks.then(|| Arc::new(SuperblockTable::build(&text)));
     let tracker = if cfg.track_workload_violations || cfg.fast_forward_compensation {
         Some(Arc::new(ConflictTracker::new(cfg.fast_forward_compensation)))
     } else {
@@ -79,7 +82,10 @@ pub(crate) fn plumb(program: &Program, cfg: &TargetConfig) -> Plumbing {
     for id in 0..cfg.n_cores {
         let (in_p, in_c) = spsc::channel(cfg.queue_capacity);
         let (out_p, out_c) = spsc::channel(cfg.queue_capacity);
-        let cpu = build_cpu(cfg);
+        let mut cpu = build_cpu(cfg);
+        if let Some(t) = &sbt {
+            cpu.attach_superblocks(t.clone());
+        }
         cores.push(CoreSim::new(
             id,
             cfg,
@@ -95,7 +101,16 @@ pub(crate) fn plumb(program: &Program, cfg: &TargetConfig) -> Plumbing {
         in_producers.push(in_p);
     }
     cores[0].start_main(program.entry);
-    Plumbing { cores, out_consumers, in_producers, tracker, roi, mem, text_len: program.text_len() }
+    Plumbing {
+        cores,
+        out_consumers,
+        in_producers,
+        tracker,
+        roi,
+        mem,
+        text_len: program.text_len(),
+        sbt,
+    }
 }
 
 pub(crate) fn violation_report(tracker: &Option<Arc<ConflictTracker>>) -> ViolationReport {
@@ -145,6 +160,7 @@ pub(crate) fn assemble_report(
         sync: uncore.sync.stats,
         engine,
         violations,
+        superblocks: cfg.superblocks,
         traces: if have_traces { Some(traces) } else { None },
         slack_profile: None,
     }
@@ -245,6 +261,9 @@ pub struct Engine {
     /// Length of the program's text segment in instructions; persisted so
     /// resume can rebuild the predecode table from functional memory.
     text_len: usize,
+    /// Shared superblock table (None with `cfg.superblocks` off). Derived
+    /// from the text and rebuilt on resume, never serialized.
+    sbt: Option<Arc<SuperblockTable>>,
     /// Fault injection for the conformance suite: added to every published
     /// window, letting cores illegally outrun the scheme's slack bound.
     /// Always zero outside tests.
@@ -255,7 +274,7 @@ impl Engine {
     /// Wire up a simulation of `program` under `scheme` without starting
     /// any host threads.
     pub fn new(program: &Program, scheme: Scheme, cfg: &TargetConfig) -> Engine {
-        let Plumbing { mut cores, out_consumers, in_producers, tracker, roi, mem, text_len } =
+        let Plumbing { mut cores, out_consumers, in_producers, tracker, roi, mem, text_len, sbt } =
             plumb(program, cfg);
         for core in &mut cores {
             core.set_batch_cap(scheme.batch_cap());
@@ -321,6 +340,7 @@ impl Engine {
             obs: None,
             next_violation_sample: 0,
             text_len,
+            sbt,
             window_bug_extra: 0,
         }
     }
@@ -361,6 +381,12 @@ impl Engine {
         self.uncore.set_obs(obs.clone());
         for shard in &mut self.shards {
             shard.set_obs(obs.clone());
+        }
+        // Static formation census: every core shares the one table.
+        if let Some(t) = &self.sbt {
+            for c in &obs.cores {
+                c.sb_blocks_formed.raise_to(t.blocks_formed());
+            }
         }
         self.obs = Some(obs);
     }
@@ -837,6 +863,8 @@ impl Engine {
         let text = Arc::new(DecodedProgram::from_words(
             (0..text_len).map(|i| mem.read(Program::text_addr(i))),
         ));
+        // The superblock table is derived from the text: rebuild, never load.
+        let sbt = cfg.superblocks.then(|| Arc::new(SuperblockTable::build(&text)));
         let tracker =
             if r.get_bool()? { Some(Arc::new(ConflictTracker::load(&mut r)?)) } else { None };
         let wants_tracker = cfg.track_workload_violations || cfg.fast_forward_compensation;
@@ -859,7 +887,10 @@ impl Engine {
         for (id, &local) in locals.iter().enumerate() {
             let (in_p, in_c) = spsc::channel(cfg.queue_capacity);
             let (out_p, out_c) = spsc::channel(cfg.queue_capacity);
-            let cpu = build_cpu(&cfg);
+            let mut cpu = build_cpu(&cfg);
+            if let Some(t) = &sbt {
+                cpu.attach_superblocks(t.clone());
+            }
             let mut core = CoreSim::new(
                 id,
                 &cfg,
@@ -925,6 +956,7 @@ impl Engine {
             obs: None,
             next_violation_sample: 0,
             text_len,
+            sbt,
             window_bug_extra: 0,
         };
         // Re-wire the restored hub through every layer (restore_state

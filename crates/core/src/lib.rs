@@ -63,7 +63,7 @@ pub mod violation;
 pub use backend::{run_det, DetEngine, ExecBackend};
 pub use config::{CoreConfig, CoreModel, StopCondition, TargetConfig};
 pub use engine::{run_parallel, Engine, RunOutcome};
-pub use interp::{interpret, InterpResult, InterpStop};
+pub use interp::{interpret, interpret_with, InterpResult, InterpStop};
 pub use scheme::{Scheme, SchemeParseError};
 pub use seq::{run_sequential, run_sequential_debug as seq_debug};
 pub use stats::{CoreStats, EngineStats, SimReport, ViolationReport};

@@ -208,6 +208,10 @@ pub struct SimReport {
     pub engine: EngineStats,
     /// Workload-violation counters.
     pub violations: ViolationReport,
+    /// Whether superblock dispatch was enabled for the run (a host-speed
+    /// knob; excluded from [`SimReport::fingerprint`] because the
+    /// simulated timing is bit-identical either way).
+    pub superblocks: bool,
     /// Per-core, per-cycle host-work trace (only with `record_trace`).
     pub traces: Option<Vec<Vec<u16>>>,
     /// Sampled (global time, observed slack) pairs from the manager

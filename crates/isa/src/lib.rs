@@ -31,6 +31,7 @@ pub mod instr;
 pub mod layout;
 pub mod program;
 pub mod reg;
+pub mod superblock;
 pub mod syscall;
 
 pub use builder::ProgramBuilder;
@@ -39,6 +40,7 @@ pub use encode::{decode, encode};
 pub use instr::{FuClass, Instr};
 pub use program::Program;
 pub use reg::{FReg, Reg};
+pub use superblock::{SuperblockTable, Uop};
 pub use syscall::Syscall;
 
 /// Size of one machine word in bytes. All memory traffic is word-granular.

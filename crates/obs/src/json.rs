@@ -11,9 +11,14 @@
 //!     {
 //!       "id": 0,
 //!       "counters": { "cycles": 123, "outq_high_water": 17,
-//!                     "utlb_hits": 999, "utlb_misses": 3 },
+//!                     "utlb_hits": 999, "utlb_misses": 3,
+//!                     "sb_blocks_formed": 12, "sb_exit_branch": 40,
+//!                     "sb_exit_miss": 2, "sb_exit_sync": 1,
+//!                     "sb_exit_syscall": 3, "sb_exit_window": 0,
+//!                     "sb_exit_fallback": 0 },
 //!       "hist": { "slack": H, "park_ns": H, "sync_park_ns": H,
-//!                 "mem_park_ns": H, "out_batch": H, "run_batch": H }
+//!                 "mem_park_ns": H, "out_batch": H, "run_batch": H,
+//!                 "sb_block_len": H }
 //!     }
 //!   ],
 //!   "manager": {
@@ -92,11 +97,20 @@ pub fn metrics_json(m: &Metrics) -> String {
         }
         out.push_str(&format!(
             "{{\"id\":{i},\"counters\":{{\"cycles\":{},\"outq_high_water\":{},\
-             \"utlb_hits\":{},\"utlb_misses\":{}}},",
+             \"utlb_hits\":{},\"utlb_misses\":{},\"sb_blocks_formed\":{},\
+             \"sb_exit_branch\":{},\"sb_exit_miss\":{},\"sb_exit_sync\":{},\
+             \"sb_exit_syscall\":{},\"sb_exit_window\":{},\"sb_exit_fallback\":{}}},",
             c.cycles.get(),
             c.outq_high_water.get(),
             c.utlb_hits.get(),
-            c.utlb_misses.get()
+            c.utlb_misses.get(),
+            c.sb_blocks_formed.get(),
+            c.sb_exit_branch.get(),
+            c.sb_exit_miss.get(),
+            c.sb_exit_sync.get(),
+            c.sb_exit_syscall.get(),
+            c.sb_exit_window.get(),
+            c.sb_exit_fallback.get()
         ));
         push_hist_group(
             &mut out,
@@ -107,6 +121,7 @@ pub fn metrics_json(m: &Metrics) -> String {
                 ("mem_park_ns", &c.mem_park_ns),
                 ("out_batch", &c.out_batch),
                 ("run_batch", &c.run_batch),
+                ("sb_block_len", &c.sb_block_len),
             ],
         );
         out.push('}');

@@ -131,6 +131,24 @@ pub struct CoreObs {
     pub utlb_misses: Counter,
     /// Cycles stepped per run-ahead batch before publishing the clock.
     pub run_batch: Histogram,
+    /// Static superblocks the fuser formed over the text (same value on
+    /// every core: the table is shared).
+    pub sb_blocks_formed: Counter,
+    /// Fused runs ending on their anchoring control transfer.
+    pub sb_exit_branch: Counter,
+    /// Fused runs cancelled by a cache miss (L1D or I-fetch).
+    pub sb_exit_miss: Counter,
+    /// Fused runs ending at a syscall that went pending (sync wait).
+    pub sb_exit_sync: Counter,
+    /// Fused runs ending at a syscall that completed immediately.
+    pub sb_exit_syscall: Counter,
+    /// Fused runs split at the slack-window edge (resumed next batch).
+    pub sb_exit_window: Counter,
+    /// Fused runs ending in the live-decode fallback (refused
+    /// instruction or off-table pc).
+    pub sb_exit_fallback: Counter,
+    /// Dynamic uops retired per fused run chain.
+    pub sb_block_len: Histogram,
 }
 
 impl Persist for CoreObs {
@@ -145,6 +163,14 @@ impl Persist for CoreObs {
         self.utlb_hits.save(w);
         self.utlb_misses.save(w);
         self.run_batch.save(w);
+        self.sb_blocks_formed.save(w);
+        self.sb_exit_branch.save(w);
+        self.sb_exit_miss.save(w);
+        self.sb_exit_sync.save(w);
+        self.sb_exit_syscall.save(w);
+        self.sb_exit_window.save(w);
+        self.sb_exit_fallback.save(w);
+        self.sb_block_len.save(w);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         Ok(CoreObs {
@@ -158,6 +184,14 @@ impl Persist for CoreObs {
             utlb_hits: Counter::load(r)?,
             utlb_misses: Counter::load(r)?,
             run_batch: Histogram::load(r)?,
+            sb_blocks_formed: Counter::load(r)?,
+            sb_exit_branch: Counter::load(r)?,
+            sb_exit_miss: Counter::load(r)?,
+            sb_exit_sync: Counter::load(r)?,
+            sb_exit_syscall: Counter::load(r)?,
+            sb_exit_window: Counter::load(r)?,
+            sb_exit_fallback: Counter::load(r)?,
+            sb_block_len: Histogram::load(r)?,
         })
     }
 }

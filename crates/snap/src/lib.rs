@@ -31,7 +31,10 @@ pub const MAGIC: [u8; 8] = *b"SKSNAP\x00\x01";
 /// v2: engine snapshots append an optional telemetry-hub blob (sk-obs).
 /// v3: engine snapshots carry the text-segment length (predecode table
 /// rebuild on resume) and per-core µTLB / run-batch telemetry fields.
-pub const FORMAT_VERSION: u32 = 3;
+/// v4: `TargetConfig` carries the superblock-dispatch flag and per-core
+/// telemetry gains the superblock counters (the superblock table itself
+/// is derived and rebuilt on resume, never serialized).
+pub const FORMAT_VERSION: u32 = 4;
 
 const HEADER_LEN: usize = 8 + 4 + 8;
 const CHECKSUM_LEN: usize = 8;
