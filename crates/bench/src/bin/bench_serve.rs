@@ -1,0 +1,181 @@
+//! Load benchmark for the `sk-serve` job server: boots a server
+//! in-process, drives it with the multi-tenant load generator (spec pool
+//! of 8 << job count, so repeat traffic dominates and the warm-start
+//! cache carries most jobs), provokes overload shedding with a
+//! fire-and-forget burst, and emits the BENCH_SERVE.json body on stdout.
+//!
+//! Two phases:
+//!   1. *Load*: the full mixed-tenant stream against one server —
+//!      throughput, shedding, and the fingerprint cross-check under
+//!      contention.
+//!   2. *A/B*: a second server with an empty cache, driven sequentially
+//!      (one job in flight, no worker contention) with several passes
+//!      over the spec pool. The first pass is cold, the rest fork from
+//!      the cache; the server-side wall histograms give a clean
+//!      cold-vs-warm comparison that the saturated load phase cannot.
+//!
+//! The run *gates itself*: it exits non-zero if any deterministic-scheme
+//! fingerprint diverged between warm-forked and cold runs, if any job
+//! produced wrong workload output, if nothing was shed during the burst,
+//! or if the uncontended warm path is not faster than the cold path.
+//! Wall-clock numbers are machine-dependent; the warm<cold ordering and
+//! the zero-mismatch invariants are not.
+//!
+//! Usage: `bench_serve [jobs] [threads] [--smoke]`
+//! (defaults: 1000, 4; `--smoke` = 60 jobs for CI).
+
+use sk_serve::json::{self, Json};
+use sk_serve::loadgen::{self, LoadgenConfig};
+use sk_serve::server::{Server, ServerConfig};
+use sk_serve::Client;
+use std::time::Duration;
+
+/// Sequential passes over the spec pool in the A/B phase (first pass is
+/// the cold reference, the rest are warm forks).
+const AB_PASSES: usize = 4;
+
+/// Mean of a named histogram in an `sk-serve-metrics` dump.
+fn hist_mean(doc: &Json, name: &str) -> f64 {
+    let h = doc.get("hist").and_then(|h| h.get(name));
+    let count = h.and_then(|h| h.get("count")).and_then(Json::as_i64).unwrap_or(0);
+    let sum = h.and_then(|h| h.get("sum")).and_then(Json::as_i64).unwrap_or(0);
+    if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    }
+}
+
+/// Cold-vs-warm A/B on a fresh server: sequential submits, one in
+/// flight, so the wall difference is the warmup simulation the cache
+/// saves. Returns the server's metrics dump.
+fn ab_phase(cfg: ServerConfig) -> Json {
+    let server = Server::start(cfg).expect("bind ab server");
+    let mut client = Client::new(server.addr());
+    for pass in 0..AB_PASSES {
+        for spec in loadgen::spec_pool() {
+            let resp = client.post_job(spec, "ab").expect("ab post");
+            assert_eq!(resp.status, 202, "ab submit failed: {}", resp.body);
+            let id = json::parse(&resp.body)
+                .ok()
+                .and_then(|d| d.get("job").and_then(Json::as_i64))
+                .expect("ab job id") as u64;
+            let doc = client.wait_job(id, Duration::from_secs(120)).expect("ab wait");
+            let state = doc.get("state").and_then(Json::as_str).unwrap_or("").to_string();
+            assert_eq!(state, "done", "ab job {id} ended {state}");
+        }
+        eprintln!("ab pass {}/{AB_PASSES} done", pass + 1);
+    }
+    let dump = client.get("/metrics").expect("ab metrics").body;
+    server.shutdown();
+    json::parse(&dump).expect("ab metrics parse")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let jobs: u64 = positional.first().map(|s| s.parse().expect("jobs")).unwrap_or(if smoke {
+        60
+    } else {
+        1000
+    });
+    let threads: usize = positional.get(1).map(|s| s.parse().expect("threads")).unwrap_or(4);
+
+    let make_cfg = || ServerConfig {
+        workers: 4,
+        queue_capacity: 32,
+        tenant_quota: 16,
+        cache_entries: 32,
+        ..ServerConfig::default()
+    };
+    let server_cfg = make_cfg();
+    let report_server = format!(
+        "{{\"workers\":{},\"queue_capacity\":{},\"tenant_quota\":{},\"cache_entries\":{}}}",
+        server_cfg.workers,
+        server_cfg.queue_capacity,
+        server_cfg.tenant_quota,
+        server_cfg.cache_entries
+    );
+    let server = Server::start(server_cfg).expect("bind server");
+    let addr = server.addr();
+    eprintln!("server on {addr}, driving {jobs} jobs from {threads} threads");
+
+    let lg_cfg = LoadgenConfig { jobs, threads, ..LoadgenConfig::default() };
+    let stats = loadgen::run(addr, &lg_cfg);
+    eprintln!("loadgen done in {:.1}s", stats.wall.as_secs_f64());
+
+    // The server's own ledger: counters plus the cold/warm wall
+    // histograms measured around run_job (queue wait excluded).
+    let mut client = Client::new(addr);
+    let dump = client.get("/metrics").expect("metrics").body;
+    let doc = sk_serve::json::parse(&dump).expect("metrics parse");
+    let counter = |name: &str| -> i64 {
+        doc.get("counters").and_then(|c| c.get(name)).and_then(Json::as_i64).unwrap_or(0)
+    };
+    server.shutdown();
+
+    let submitted = counter("jobs_submitted");
+    let hits = counter("cache_hits");
+    let misses = counter("cache_misses");
+    let shed = counter("jobs_shed") + counter("quota_rejections");
+    let repeat_frac = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+
+    eprintln!("load phase done; running uncontended cold-vs-warm A/B");
+    let ab = ab_phase(make_cfg());
+    let warm_mean = hist_mean(&ab, "warm_wall_ms");
+    let cold_mean = hist_mean(&ab, "cold_wall_ms");
+    let speedup = if warm_mean > 0.0 { cold_mean / warm_mean } else { 0.0 };
+
+    println!(
+        "{{\n  \"description\": \"sk-serve load benchmark: {jobs} jobs from {threads} client \
+         threads over 4 tenants, spec pool of {}; repeat traffic forks warm-start snapshots \
+         from the content-addressed cache instead of re-simulating warmup. The ab section is \
+         an uncontended cold-vs-warm comparison on a fresh server (sequential, {AB_PASSES} \
+         passes over the pool, first pass cold). Wall numbers are host-dependent; the gates \
+         (zero fingerprint/output mismatches, warm < cold, overload sheds 429) are not.\",\n  \
+         \"server\": {report_server},\n  \"loadgen\": {},\n  \
+         \"server_counters\": {{\"jobs_submitted\":{submitted},\"cache_hits\":{hits},\
+         \"cache_misses\":{misses},\"shed_429\":{shed},\"repeat_frac\":{repeat_frac:.3}}},\n  \
+         \"ab\": {{\"passes\":{AB_PASSES},\"cold_mean_ms\":{cold_mean:.1},\
+         \"warm_mean_ms\":{warm_mean:.1},\"warm_speedup\":{speedup:.2}}}\n}}",
+        loadgen::spec_pool().len(),
+        stats.to_json(),
+    );
+
+    // Self-gating invariants.
+    let mut failures = Vec::new();
+    if stats.fingerprint_mismatches > 0 {
+        failures.push(format!("{} fingerprint mismatches", stats.fingerprint_mismatches));
+    }
+    if stats.output_mismatches > 0 {
+        failures.push(format!("{} output mismatches", stats.output_mismatches));
+    }
+    if stats.failed > 0 {
+        failures.push(format!("{} failed jobs", stats.failed));
+    }
+    if stats.completed == 0 {
+        failures.push("nothing completed".into());
+    }
+    if lg_cfg.burst > 0 && shed == 0 {
+        failures.push("burst produced no 429 shedding".into());
+    }
+    if repeat_frac < 0.5 {
+        failures.push(format!("repeat traffic only {repeat_frac:.2} (< 0.5)"));
+    }
+    if warm_mean <= 0.0 || cold_mean <= 0.0 {
+        failures.push("A/B phase produced no cold/warm samples".into());
+    } else if warm_mean >= cold_mean {
+        failures.push(format!(
+            "uncontended warm mean {warm_mean:.1}ms not faster than cold {cold_mean:.1}ms"
+        ));
+    }
+    if !failures.is_empty() {
+        eprintln!("bench_serve FAILED: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+    eprintln!(
+        "ok: repeat={repeat_frac:.2} warm={warm_mean:.1}ms cold={cold_mean:.1}ms \
+         speedup={speedup:.2}x shed={shed}"
+    );
+}

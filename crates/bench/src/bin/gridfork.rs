@@ -60,6 +60,8 @@ fn main() {
                 println!("{}: finished before the ROI boundary; skipped", w.name);
                 continue;
             }
+            // gridfork never raises the cancel token.
+            RunOutcome::Cancelled => unreachable!("cancelled without a cancel token holder"),
         };
 
         let mut row = vec![w.name.clone(), roi_start.to_string()];

@@ -6,6 +6,8 @@
 //! slacksim asm   <file.s> --scheme CC [options]      assemble + run a file
 //! slacksim fig2                                      print the scheme timelines
 //! slacksim list                                      list benchmarks/schemes
+//! slacksim serve [server options]                    run the simulation job server
+//! slacksim loadgen --addr <host:port> [options]      drive a running job server
 //! ```
 //!
 //! Common options:
@@ -206,6 +208,8 @@ fn drive(mut e: Engine, o: &Opts) -> SimReport {
             RunOutcome::Finished => {
                 eprintln!("warning: simulation finished before cycle {at}; no checkpoint written");
             }
+            // The CLI never raises the cancel token.
+            RunOutcome::Cancelled => unreachable!("cancelled without a cancel token holder"),
         }
     }
     e.run_until(None);
@@ -551,6 +555,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let rest = if args.is_empty() { &args[..] } else { &args[1..] };
+    // The server commands take their own options; dispatch before the
+    // simulation-option parser gets a chance to reject them.
+    match cmd {
+        "serve" => return cmd_serve(rest),
+        "loadgen" => return cmd_loadgen(rest),
+        _ => {}
+    }
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -779,6 +790,132 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `slacksim serve`: run the multi-tenant job server in the foreground
+/// until a client posts `/shutdown`.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut cfg = sk_serve::ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i).ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+        };
+        let parsed: Result<(), String> = (|| {
+            match args[i].as_str() {
+                "--addr" => cfg.addr = take(&mut i)?.clone(),
+                "--workers" => {
+                    cfg.workers = take(&mut i)?.parse().map_err(|e| format!("--workers: {e}"))?
+                }
+                "--queue" => {
+                    cfg.queue_capacity =
+                        take(&mut i)?.parse().map_err(|e| format!("--queue: {e}"))?
+                }
+                "--quota" => {
+                    cfg.tenant_quota = take(&mut i)?.parse().map_err(|e| format!("--quota: {e}"))?
+                }
+                "--cache" => {
+                    cfg.cache_entries =
+                        take(&mut i)?.parse().map_err(|e| format!("--cache: {e}"))?
+                }
+                other => return Err(format!("unknown serve option '{other}'")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        i += 1;
+    }
+    let server = match sk_serve::Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Machine-greppable: CI boots the server in the background and scrapes
+    // the bound address from this line.
+    println!("sk-serve listening on {}", server.addr());
+    server.wait();
+    println!("sk-serve stopped");
+    ExitCode::SUCCESS
+}
+
+/// `slacksim loadgen`: drive a running server and report what happened.
+/// Fails the process on any correctness violation (fingerprint or
+/// output mismatch, nothing completed), so CI can gate on the exit code.
+fn cmd_loadgen(args: &[String]) -> ExitCode {
+    let mut addr_opt: Option<String> = None;
+    let mut cfg = sk_serve::LoadgenConfig::default();
+    let mut json_out: Option<String> = None;
+    let mut shutdown_after = false;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i).ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+        };
+        let parsed: Result<(), String> = (|| {
+            match args[i].as_str() {
+                "--addr" => addr_opt = Some(take(&mut i)?.clone()),
+                "--jobs" => cfg.jobs = take(&mut i)?.parse().map_err(|e| format!("--jobs: {e}"))?,
+                "--threads" => {
+                    cfg.threads = take(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?
+                }
+                "--burst" => {
+                    cfg.burst = take(&mut i)?.parse().map_err(|e| format!("--burst: {e}"))?
+                }
+                "--seed" => cfg.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--smoke" => cfg = sk_serve::LoadgenConfig::smoke(),
+                "--shutdown" => shutdown_after = true,
+                "--json" => json_out = Some(take(&mut i)?.clone()),
+                other => return Err(format!("unknown loadgen option '{other}'")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        i += 1;
+    }
+    let Some(addr_text) = addr_opt else {
+        eprintln!("error: loadgen needs --addr <host:port>");
+        return ExitCode::FAILURE;
+    };
+    let addr: std::net::SocketAddr = match addr_text.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: bad --addr '{addr_text}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stats = sk_serve::loadgen::run(addr, &cfg);
+    println!("{}", stats.to_json());
+    if let Some(p) = &json_out {
+        write_json(p, &stats.to_json());
+    }
+    if shutdown_after {
+        let mut c = sk_serve::Client::new(addr);
+        let _ = c.request("POST", "/shutdown", &[], b"");
+    }
+    let ok = stats.completed > 0
+        && stats.fingerprint_mismatches == 0
+        && stats.output_mismatches == 0
+        && stats.failed == 0;
+    if !ok {
+        eprintln!(
+            "loadgen FAILED: completed={} failed={} fingerprint_mismatches={} \
+             output_mismatches={}",
+            stats.completed, stats.failed, stats.fingerprint_mismatches, stats.output_mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 const HELP: &str = "slacksim - parallel CMP-on-CMP simulation with slack schemes
 
 USAGE:
@@ -787,6 +924,25 @@ USAGE:
   slacksim asm   <file.s> [options]         assemble and run a program
   slacksim fig2                             pedagogical scheme timelines
   slacksim list                             list benchmarks and schemes
+  slacksim serve   [server options]         run the simulation job server
+  slacksim loadgen --addr <host:port>       drive a running job server
+
+SERVER OPTIONS (serve):
+  --addr <host:port>   bind address (default 127.0.0.1:0 = free port)
+  --workers <n>        simulation worker threads (default 2)
+  --queue <n>          job-queue capacity before 429 shedding (default 32)
+  --quota <n>          per-tenant in-flight job quota (default 8)
+  --cache <n>          warm-start snapshot cache entries (default 32)
+
+LOADGEN OPTIONS:
+  --addr <host:port>   server to drive (required)
+  --jobs <n>           submit-then-wait jobs (default 1000)
+  --threads <n>        client threads (default 4)
+  --burst <n>          fire-and-forget overload burst first (default 64)
+  --seed <n>           request-stream seed (default 0x5eed)
+  --smoke              CI-sized run (12 jobs, 2 threads, no burst)
+  --shutdown           POST /shutdown when done
+  --json <file>        write the stats JSON to a file
 
 OPTIONS:
   --scheme CC|Q<n>|L<n>|S<n>|S<n>*|SU|A<min>-<max>  slack scheme (default S9)

@@ -104,6 +104,44 @@ impl CoreConfig {
     }
 }
 
+/// A structurally impossible [`TargetConfig`], caught by
+/// [`TargetConfig::validate`]. Typed (like `SchemeParseError`) so servers
+/// building configurations from untrusted request bodies can reject a bad
+/// one with a clean 4xx instead of hitting an `expect` in the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `n_cores` outside the supported 1..=64 range.
+    CoreCountOutOfRange { n_cores: usize },
+    /// More memory shards than L2 banks to partition across them.
+    ShardsExceedBanks { mem_shards: usize, n_banks: usize },
+    /// A core pipeline width or the ROB is zero.
+    ZeroCoreResource,
+    /// Zero MSHRs or a zero-entry store buffer.
+    ZeroMemResource,
+    /// SPSC ring capacity below the minimum of 2 entries.
+    QueueCapacityTooSmall { queue_capacity: usize },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::CoreCountOutOfRange { n_cores } => {
+                write!(f, "n_cores {n_cores} out of range 1..=64")
+            }
+            ConfigError::ShardsExceedBanks { mem_shards, n_banks } => {
+                write!(f, "mem_shards {mem_shards} exceeds the {n_banks} L2 banks")
+            }
+            ConfigError::ZeroCoreResource => write!(f, "core widths/ROB must be nonzero"),
+            ConfigError::ZeroMemResource => write!(f, "MSHRs and store buffer must be nonzero"),
+            ConfigError::QueueCapacityTooSmall { queue_capacity } => {
+                write!(f, "queue_capacity {queue_capacity} must be at least 2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// When the simulation stops.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StopCondition {
@@ -193,24 +231,24 @@ impl TargetConfig {
     }
 
     /// Structural sanity checks, run once per simulation.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.n_cores == 0 || self.n_cores > 64 {
-            return Err(format!("n_cores {} out of range 1..=64", self.n_cores));
+            return Err(ConfigError::CoreCountOutOfRange { n_cores: self.n_cores });
         }
         if self.mem_shards > self.mem.n_banks {
-            return Err(format!(
-                "mem_shards {} exceeds the {} L2 banks",
-                self.mem_shards, self.mem.n_banks
-            ));
+            return Err(ConfigError::ShardsExceedBanks {
+                mem_shards: self.mem_shards,
+                n_banks: self.mem.n_banks,
+            });
         }
         if self.core.rob_entries == 0 || self.core.fetch_width == 0 || self.core.issue_width == 0 {
-            return Err("core widths/ROB must be nonzero".into());
+            return Err(ConfigError::ZeroCoreResource);
         }
         if self.mem.mshrs == 0 || self.core.store_buffer == 0 {
-            return Err("MSHRs and store buffer must be nonzero".into());
+            return Err(ConfigError::ZeroMemResource);
         }
         if self.queue_capacity < 2 {
-            return Err(format!("queue_capacity {} must be at least 2", self.queue_capacity));
+            return Err(ConfigError::QueueCapacityTooSmall { queue_capacity: self.queue_capacity });
         }
         Ok(())
     }
@@ -321,7 +359,7 @@ impl Persist for TargetConfig {
             queue_capacity: r.get_usize()?,
             superblocks: r.get_bool()?,
         };
-        cfg.validate().map_err(SnapError::Corrupt)?;
+        cfg.validate().map_err(|e| SnapError::Corrupt(e.to_string()))?;
         Ok(cfg)
     }
 }
@@ -348,9 +386,27 @@ mod tests {
         t.queue_capacity = 2;
         assert!(t.validate().is_ok());
         t.queue_capacity = 1;
-        assert!(t.validate().is_err());
+        assert_eq!(t.validate(), Err(ConfigError::QueueCapacityTooSmall { queue_capacity: 1 }));
         t.queue_capacity = 0;
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let mut t = TargetConfig::small(2);
+        t.n_cores = 65;
+        assert_eq!(t.validate(), Err(ConfigError::CoreCountOutOfRange { n_cores: 65 }));
+        let mut t = TargetConfig::small(2);
+        t.mem_shards = t.mem.n_banks + 1;
+        assert!(matches!(t.validate(), Err(ConfigError::ShardsExceedBanks { .. })));
+        let mut t = TargetConfig::small(2);
+        t.core.rob_entries = 0;
+        assert_eq!(t.validate(), Err(ConfigError::ZeroCoreResource));
+        let mut t = TargetConfig::small(2);
+        t.core.store_buffer = 0;
+        assert_eq!(t.validate(), Err(ConfigError::ZeroMemResource));
+        // Display stays human-actionable for API error bodies.
+        assert!(ConfigError::ZeroCoreResource.to_string().contains("nonzero"));
     }
 
     #[test]

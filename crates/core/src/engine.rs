@@ -19,7 +19,7 @@ use sk_isa::{DecodedProgram, Program, SuperblockTable};
 use sk_mem::FuncMemory;
 use sk_obs::{Metrics, ObsConfig};
 use sk_snap::{Persist, Reader, SnapError, Writer};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -221,6 +221,13 @@ pub enum RunOutcome {
     /// Every clock is parked exactly on the requested checkpoint cycle
     /// (safe-point): [`Engine::snapshot`] now captures a quiescent system.
     CheckpointReady,
+    /// The cooperative cancellation flag (see [`Engine::cancel_token`])
+    /// was raised. The segment stopped at the next manager iteration with
+    /// checkpoint-style teardown: no `Stop` broadcast, no final drain, the
+    /// engine is *not* finished. The run can continue (clear the flag and
+    /// call [`Engine::run_until`] again) or be abandoned; a snapshot taken
+    /// at an earlier safe-point resumes cleanly.
+    Cancelled,
 }
 
 /// The parallel simulation engine as a resumable object.
@@ -268,6 +275,12 @@ pub struct Engine {
     /// window, letting cores illegally outrun the scheme's slack bound.
     /// Always zero outside tests.
     window_bug_extra: u64,
+    /// Cooperative cancellation flag, shared with callers via
+    /// [`Engine::cancel_token`]. Checked once per manager iteration, so
+    /// cancellation latency is bounded by the idle backoff (≤
+    /// `IDLE_WAIT_MAX` while quiescent). Sticky: the holder clears it to
+    /// run further segments on the same engine.
+    cancel: Arc<AtomicBool>,
 }
 
 impl Engine {
@@ -342,6 +355,7 @@ impl Engine {
             text_len,
             sbt,
             window_bug_extra: 0,
+            cancel: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -416,6 +430,23 @@ impl Engine {
     /// Has the simulation ended (workload exit, stop condition, deadlock)?
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// The cooperative cancellation flag for this engine. Store `true`
+    /// from any thread to stop the current (or next) [`Engine::run_until`]
+    /// segment at its next manager iteration with
+    /// [`RunOutcome::Cancelled`]. The flag is sticky — clear it (store
+    /// `false`) before running further segments on the same engine.
+    pub fn cancel_token(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
+    }
+
+    /// Has the workload's region of interest begun (the manager has
+    /// processed `RoiBegin`)? At a safe-point this is exact: a snapshot
+    /// taken when it returns `true` carries the ROI start, so forked runs
+    /// measure `exec_cycles` from the same origin as a cold run.
+    pub fn roi_started(&self) -> bool {
+        self.uncore.roi_start.is_some()
     }
 
     /// Is every core either excluded from the driving set (finished,
@@ -650,6 +681,10 @@ impl Engine {
             let mut st = MgrState::new(n, ordered_scheme);
             loop {
                 let signalled = self.board.manager_wait(idle_wait);
+                if self.cancel.load(Ordering::Relaxed) {
+                    outcome = RunOutcome::Cancelled;
+                    break;
+                }
                 if let Some(o) = &obs {
                     o.manager.iterations.inc();
                     if !signalled {
@@ -686,9 +721,10 @@ impl Engine {
                     }
                 }
             }
-            // Checkpoint teardown deliberately skips the `Stop` broadcast:
-            // a `Stop` in an InQ would poison `stop_seen` in the restored
-            // cores. The stop flag alone unblocks every parked thread.
+            // Checkpoint (and cancellation) teardown deliberately skips the
+            // `Stop` broadcast: a `Stop` in an InQ would poison `stop_seen`
+            // in restored or continued cores. The stop flag alone unblocks
+            // every parked thread.
             if outcome == RunOutcome::Finished {
                 self.uncore.broadcast_stop();
             }
@@ -958,6 +994,7 @@ impl Engine {
             text_len,
             sbt,
             window_bug_extra: 0,
+            cancel: Arc::new(AtomicBool::new(false)),
         };
         // Re-wire the restored hub through every layer (restore_state
         // rebuilt the uncore's sync table without its obs handle).

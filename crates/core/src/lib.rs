@@ -61,7 +61,7 @@ pub mod uncore;
 pub mod violation;
 
 pub use backend::{run_det, DetEngine, ExecBackend};
-pub use config::{CoreConfig, CoreModel, StopCondition, TargetConfig};
+pub use config::{ConfigError, CoreConfig, CoreModel, StopCondition, TargetConfig};
 pub use engine::{run_parallel, Engine, RunOutcome};
 pub use interp::{interpret, interpret_with, InterpResult, InterpStop};
 pub use scheme::{Scheme, SchemeParseError};

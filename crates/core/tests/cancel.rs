@@ -1,0 +1,158 @@
+//! Cooperative cancellation: `Engine::cancel_token` + `RunOutcome::Cancelled`.
+//!
+//! The contract under test: raising the token stops the segment at the
+//! next manager iteration with checkpoint-style teardown, so a cancelled
+//! engine can either *continue* (clear the flag, run again) or be
+//! abandoned in favour of a resume from its last snapshot — and for
+//! conservative schemes both paths finish bit-identical to an
+//! uninterrupted run. This is what lets a job server kill a job without
+//! corrupting the warm-start snapshot it already cached.
+
+use sk_core::engine::{Engine, RunOutcome};
+use sk_core::{run_parallel, CoreModel, Scheme, SimReport, TargetConfig};
+use sk_isa::{Program, ProgramBuilder, Reg, Syscall};
+use std::sync::atomic::Ordering;
+
+/// Lock-serialized shared counter (same shape as the snapshot tests'
+/// canonical workload): `n` threads each add `tid+1` to a lock-protected
+/// counter `iters` times, meet at a barrier, thread 0 prints the total.
+fn counter_workload(n: usize, iters: i64) -> Program {
+    let a0 = Reg::arg(0);
+    let a1 = Reg::arg(1);
+    let mut b = ProgramBuilder::new();
+    let counter = b.zeros("counter", 1);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    b.li(a0, 0);
+    b.sys(Syscall::InitLock);
+    b.li(a0, 1);
+    b.li(a1, n as i64);
+    b.sys(Syscall::InitBarrier);
+    for _ in 1..n {
+        b.la_text(a0, worker);
+        b.li(a1, 0);
+        b.sys(Syscall::Spawn);
+    }
+    b.sys(Syscall::RoiBegin);
+    b.j(worker);
+
+    b.bind(worker);
+    let t_iter = Reg::saved(0);
+    let t_addr = Reg::saved(1);
+    let t_val = Reg::tmp(1);
+    let t_inc = Reg::saved(2);
+    b.li(t_iter, iters);
+    b.li(t_addr, counter as i64);
+    b.sys(Syscall::GetTid);
+    b.addi(t_inc, a0, 1);
+    let loop_top = b.here("loop");
+    b.li(a0, 0);
+    b.sys(Syscall::Lock);
+    b.ld(t_val, t_addr, 0);
+    b.add(t_val, t_val, t_inc);
+    b.st(t_val, t_addr, 0);
+    b.li(a0, 0);
+    b.sys(Syscall::Unlock);
+    b.addi(t_iter, t_iter, -1);
+    b.bne(t_iter, Reg::ZERO, loop_top);
+    b.li(a0, 1);
+    b.sys(Syscall::Barrier);
+    let done = b.new_label("done");
+    b.sys(Syscall::GetTid);
+    b.bne(a0, Reg::ZERO, done);
+    b.ld(a0, t_addr, 0);
+    b.sys(Syscall::PrintInt);
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    b.build().unwrap()
+}
+
+fn small_cfg(n: usize) -> TargetConfig {
+    let mut cfg = TargetConfig::small(n);
+    cfg.core.model = CoreModel::InOrder;
+    cfg.max_cycles = 5_000_000;
+    cfg.track_workload_violations = true;
+    cfg
+}
+
+fn assert_same_run(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.fingerprint(), b.fingerprint(), "{what}: fingerprints diverge");
+    assert_eq!(a.printed(), b.printed(), "{what}: printed output");
+}
+
+#[test]
+fn preset_token_cancels_and_the_run_continues_identically() {
+    let p = counter_workload(4, 5);
+    let cfg = small_cfg(4);
+    let full = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+
+    let mut e = Engine::new(&p, Scheme::CycleByCycle, &cfg);
+    let token = e.cancel_token();
+    token.store(true, Ordering::Relaxed);
+    assert_eq!(e.run_until(None), RunOutcome::Cancelled);
+    assert!(!e.is_finished(), "a cancelled engine is not finished");
+    // Sticky until cleared: running again cancels again.
+    assert_eq!(e.run_until(None), RunOutcome::Cancelled);
+
+    token.store(false, Ordering::Relaxed);
+    assert_eq!(e.run_until(None), RunOutcome::Finished);
+    assert_same_run(&full, &e.into_report(), "cancel-at-start then continue");
+}
+
+#[test]
+fn cancelled_run_resumes_cleanly_from_its_last_snapshot() {
+    let p = counter_workload(4, 5);
+    let cfg = small_cfg(4);
+    let full = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    let end = full.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+    let mid = end / 2;
+    assert!(mid > 0, "degenerate run");
+
+    // Reach the mid-run safe-point and keep its snapshot (the warm-start
+    // cache entry in server terms).
+    let mut e = Engine::new(&p, Scheme::CycleByCycle, &cfg);
+    assert_eq!(e.run_until(Some(mid)), RunOutcome::CheckpointReady);
+    let bytes = e.snapshot().expect("snapshot at the mid-run safe-point");
+
+    // The continuation gets quota-killed...
+    e.cancel_token().store(true, Ordering::Relaxed);
+    assert_eq!(e.run_until(None), RunOutcome::Cancelled);
+    drop(e);
+
+    // ...and the job re-runs later from the cached snapshot, finishing
+    // bit-identical to the uninterrupted reference.
+    let mut r = Engine::resume(&bytes, None).expect("resume from snapshot");
+    assert_eq!(r.run_until(None), RunOutcome::Finished);
+    assert_same_run(&full, &r.into_report(), "cancel then resume-from-snapshot");
+}
+
+#[test]
+fn async_cancel_mid_flight_is_clean() {
+    // Longer run so an asynchronous cancel usually lands mid-simulation;
+    // either outcome is legal (the run may win the race), but a cancelled
+    // engine must continue to the bit-identical result.
+    let p = counter_workload(4, 400);
+    let cfg = small_cfg(4);
+    let full = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+
+    let mut e = Engine::new(&p, Scheme::CycleByCycle, &cfg);
+    let token = e.cancel_token();
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        token.store(true, Ordering::Relaxed);
+    });
+    let mut outcome = e.run_until(None);
+    killer.join().unwrap();
+    let mut cancels = 0u32;
+    while outcome == RunOutcome::Cancelled {
+        cancels += 1;
+        e.cancel_token().store(false, Ordering::Relaxed);
+        outcome = e.run_until(None);
+    }
+    assert_eq!(outcome, RunOutcome::Finished);
+    assert!(cancels <= 1, "one raise of the token cancels at most one segment");
+    assert_same_run(&full, &e.into_report(), "async cancel then continue");
+}

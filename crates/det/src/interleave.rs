@@ -1,5 +1,7 @@
 //! Seedable pick source for the cooperative scheduler.
 
+use sk_snap::hash::Fnv64;
+
 /// SplitMix64: tiny, fast, platform-independent PRNG with full 64-bit
 /// state. Used instead of anything from `std` because determinism across
 /// processes is load-bearing (std's hasher is per-process seeded).
@@ -45,14 +47,11 @@ pub struct Interleaver {
     seed: u64,
     rng: SplitMix64,
     picks: u64,
-    decision_hash: u64,
+    decision_hash: Fnv64,
     log: Option<Vec<u32>>,
     replay: Option<(Vec<u32>, usize)>,
     hook: Option<PickHook>,
 }
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x1000_0000_01b3;
 
 impl Interleaver {
     pub fn from_seed(seed: u64) -> Self {
@@ -62,7 +61,7 @@ impl Interleaver {
             // SplitMix64 has for tiny seeds like 0 and 1.
             rng: SplitMix64::new(seed ^ 0x6a09_e667_f3bc_c908),
             picks: 0,
-            decision_hash: FNV_OFFSET,
+            decision_hash: Fnv64::new(),
             log: None,
             replay: None,
             hook: None,
@@ -80,9 +79,11 @@ impl Interleaver {
     }
 
     /// Running hash over `(decision index, n, choice)` triples; equal
-    /// hashes + equal counts ⇒ identical schedules.
+    /// hashes + equal counts ⇒ identical schedules. Word-granular FNV-1a
+    /// from `sk_snap::hash` — only compared within a process, never
+    /// persisted, so the hash algorithm is free to evolve with sk-snap.
     pub fn decision_hash(&self) -> u64 {
-        self.decision_hash
+        self.decision_hash.value()
     }
 
     /// Start recording the exact pick log (for dumping a replayable
@@ -133,7 +134,7 @@ impl Interleaver {
         };
         self.picks += 1;
         for word in [idx, n as u64, c as u64] {
-            self.decision_hash = (self.decision_hash ^ word).wrapping_mul(FNV_PRIME);
+            self.decision_hash.write_u64(word);
         }
         if let Some(log) = self.log.as_mut() {
             log.push(c as u32);
@@ -147,7 +148,7 @@ impl std::fmt::Debug for Interleaver {
         f.debug_struct("Interleaver")
             .field("seed", &self.seed)
             .field("picks", &self.picks)
-            .field("decision_hash", &self.decision_hash)
+            .field("decision_hash", &self.decision_hash.value())
             .field("recording", &self.log.is_some())
             .field("replaying", &self.replay.is_some())
             .field("hooked", &self.hook.is_some())

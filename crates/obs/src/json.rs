@@ -47,7 +47,7 @@ use crate::Metrics;
 /// Current metrics-dump schema version.
 pub const METRICS_SCHEMA_VERSION: u32 = 1;
 
-fn push_hist(out: &mut String, name: &str, h: &Histogram) {
+pub(crate) fn push_hist(out: &mut String, name: &str, h: &Histogram) {
     out.push_str(&format!("\"{name}\":{{\"count\":{},\"sum\":{}", h.count(), h.sum()));
     match h.min() {
         Some(v) => out.push_str(&format!(",\"min\":{v}")),

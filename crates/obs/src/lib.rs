@@ -25,10 +25,12 @@
 
 pub mod hist;
 pub mod json;
+pub mod serve;
 pub mod trace;
 
 pub use hist::Histogram;
 pub use json::{metrics_json, METRICS_SCHEMA_VERSION};
+pub use serve::{ServeObs, SERVE_SCHEMA_VERSION};
 pub use trace::TraceSink;
 
 use parking_lot::Mutex;

@@ -1,0 +1,131 @@
+//! Telemetry for the simulation job server (`sk-serve`).
+//!
+//! One [`ServeObs`] hub per server process, shared across connection
+//! handlers and workers. Same cost model as [`crate::Metrics`]: all
+//! mutation is relaxed atomics ([`crate::Counter`]) or the lock-free
+//! [`crate::Histogram`], so request paths never contend on telemetry.
+//!
+//! The dump ([`ServeObs::to_json`], schema `sk-serve-metrics` version 1)
+//! is separate from the per-job `sk-obs-metrics` dump: server counters
+//! describe the fleet (queueing, shedding, cache economics), per-job
+//! hubs describe one simulation. Both are additive schemas — readers
+//! must ignore unknown fields.
+
+use crate::json::push_hist;
+use crate::{Counter, Histogram};
+
+/// Current server-metrics schema version.
+pub const SERVE_SCHEMA_VERSION: u32 = 1;
+
+/// Lock-free server-wide telemetry hub.
+#[derive(Debug, Default)]
+pub struct ServeObs {
+    /// Jobs accepted into the queue (202 responses).
+    pub jobs_submitted: Counter,
+    /// Jobs that ran to completion with a report.
+    pub jobs_completed: Counter,
+    /// Jobs that failed (workload panic, internal error).
+    pub jobs_failed: Counter,
+    /// Jobs cancelled by the client or a quota kill.
+    pub jobs_cancelled: Counter,
+    /// Jobs shed with 429 because the queue was full.
+    pub jobs_shed: Counter,
+    /// Jobs shed with 429 because the tenant hit its in-flight quota.
+    pub quota_rejections: Counter,
+    /// Malformed requests rejected with 400.
+    pub bad_requests: Counter,
+    /// Warm starts: a cached ROI snapshot served the job's warmup.
+    pub cache_hits: Counter,
+    /// Cold starts: warmup simulated, snapshot inserted if possible.
+    pub cache_misses: Counter,
+    /// Cache entries evicted by the LRU bound.
+    pub cache_evictions: Counter,
+    /// Queue depth sampled at every enqueue.
+    pub queue_depth: Histogram,
+    /// Wall time of cold jobs (warmup simulated), milliseconds.
+    pub cold_wall_ms: Histogram,
+    /// Wall time of warm jobs (forked from cache), milliseconds.
+    pub warm_wall_ms: Histogram,
+}
+
+impl ServeObs {
+    /// A zeroed hub.
+    pub fn new() -> Self {
+        ServeObs::default()
+    }
+
+    /// The versioned `sk-serve-metrics` JSON dump.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4 * 1024);
+        out.push_str(&format!(
+            "{{\"schema\":\"sk-serve-metrics\",\"version\":{SERVE_SCHEMA_VERSION},\
+             \"counters\":{{"
+        ));
+        for (i, (name, c)) in [
+            ("jobs_submitted", &self.jobs_submitted),
+            ("jobs_completed", &self.jobs_completed),
+            ("jobs_failed", &self.jobs_failed),
+            ("jobs_cancelled", &self.jobs_cancelled),
+            ("jobs_shed", &self.jobs_shed),
+            ("quota_rejections", &self.quota_rejections),
+            ("bad_requests", &self.bad_requests),
+            ("cache_hits", &self.cache_hits),
+            ("cache_misses", &self.cache_misses),
+            ("cache_evictions", &self.cache_evictions),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{}", c.get()));
+        }
+        out.push_str("},\"hist\":{");
+        for (i, (name, h)) in [
+            ("queue_depth", &self.queue_depth),
+            ("cold_wall_ms", &self.cold_wall_ms),
+            ("warm_wall_ms", &self.warm_wall_ms),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            push_hist(&mut out, name, h);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_dump_is_versioned_and_balanced() {
+        let s = ServeObs::new();
+        s.jobs_submitted.add(3);
+        s.jobs_shed.inc();
+        s.cache_hits.add(2);
+        s.queue_depth.record(4);
+        s.warm_wall_ms.record(12);
+        let j = s.to_json();
+        assert!(j.starts_with("{\"schema\":\"sk-serve-metrics\",\"version\":1,"));
+        assert!(j.contains("\"jobs_submitted\":3"));
+        assert!(j.contains("\"jobs_shed\":1"));
+        assert!(j.contains("\"cache_hits\":2"));
+        assert!(j.contains("\"queue_depth\":{\"count\":1"));
+        let opens = j.matches(['{', '[']).count();
+        let closes = j.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON: {j}");
+    }
+
+    #[test]
+    fn empty_hub_serialises_cleanly() {
+        let j = ServeObs::new().to_json();
+        assert!(j.contains("\"cold_wall_ms\":{\"count\":0,\"sum\":0,\"min\":null,\"max\":null"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Content-addressed warm-start snapshot cache.
+//!
+//! Keyed on [`SnapshotKey`] — FNV-1a digests of the program image and
+//! the target config (each folded with the sk-snap `FORMAT_VERSION`, so
+//! a container format bump self-invalidates every entry). Values are
+//! `Arc<Vec<u8>>` snapshot containers taken at a CC safe-point *before*
+//! any scheme-dependent divergence, which is what makes one entry
+//! servable to every scheme in a grid: `Engine::resume(bytes, scheme)`
+//! forks it.
+//!
+//! Bounded LRU. Eviction scans for the oldest stamp — O(entries), fine
+//! for the tens-of-entries caches a job server wants (distinct
+//! (program, config) pairs, not jobs).
+
+use sk_snap::SnapshotKey;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug)]
+struct Entry {
+    bytes: Arc<Vec<u8>>,
+    /// Logical LRU clock stamp of the last hit or insert.
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<SnapshotKey, Entry>,
+    clock: u64,
+    evictions: u64,
+}
+
+/// Thread-safe snapshot cache.
+#[derive(Debug)]
+pub struct SnapCache {
+    inner: Mutex<Inner>,
+    max_entries: usize,
+}
+
+impl SnapCache {
+    pub fn new(max_entries: usize) -> Self {
+        SnapCache { inner: Mutex::new(Inner::default()), max_entries: max_entries.max(1) }
+    }
+
+    /// Look up a snapshot, refreshing its LRU stamp on hit.
+    pub fn get(&self, key: &SnapshotKey) -> Option<Arc<Vec<u8>>> {
+        let mut g = self.inner.lock().unwrap();
+        g.clock += 1;
+        let clock = g.clock;
+        g.map.get_mut(key).map(|e| {
+            e.stamp = clock;
+            e.bytes.clone()
+        })
+    }
+
+    /// Insert (or refresh) a snapshot, evicting the least-recently-used
+    /// entry if the cache is full. Returns the entry actually stored —
+    /// first-writer-wins when two cold runs of the same key race, so
+    /// concurrent forkers share one buffer.
+    pub fn insert(&self, key: SnapshotKey, bytes: Vec<u8>) -> Arc<Vec<u8>> {
+        let mut g = self.inner.lock().unwrap();
+        g.clock += 1;
+        let clock = g.clock;
+        if let Some(e) = g.map.get_mut(&key) {
+            e.stamp = clock;
+            return e.bytes.clone();
+        }
+        if g.map.len() >= self.max_entries {
+            if let Some(oldest) = g.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) {
+                g.map.remove(&oldest);
+                g.evictions += 1;
+            }
+        }
+        let bytes = Arc::new(bytes);
+        g.map.insert(key, Entry { bytes: bytes.clone(), stamp: clock });
+        bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total LRU evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().unwrap().evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> SnapshotKey {
+        SnapshotKey::new(&[n], &[0])
+    }
+
+    #[test]
+    fn hit_refreshes_lru_and_eviction_takes_the_coldest() {
+        let c = SnapCache::new(2);
+        c.insert(key(1), vec![1]);
+        c.insert(key(2), vec![2]);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(&key(1)).is_some());
+        c.insert(key(3), vec![3]);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn racing_inserts_share_the_first_buffer() {
+        let c = SnapCache::new(4);
+        let a = c.insert(key(7), vec![1, 2, 3]);
+        let b = c.insert(key(7), vec![9, 9, 9]);
+        assert!(Arc::ptr_eq(&a, &b), "second writer adopts the cached buffer");
+        assert_eq!(*b, vec![1, 2, 3]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn miss_is_none() {
+        let c = SnapCache::new(4);
+        assert!(c.get(&key(42)).is_none());
+        assert!(c.is_empty());
+    }
+}

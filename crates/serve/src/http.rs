@@ -1,0 +1,255 @@
+//! A deliberately small HTTP/1.1 subset on blocking `std::net` sockets.
+//!
+//! Enough protocol for the job API and nothing more: request line +
+//! headers + optional `Content-Length` body, keep-alive by default,
+//! `Connection: close` honoured. No chunked encoding, no TLS, no
+//! pipelining guarantees beyond read-one/write-one. Limits are hard:
+//! oversized heads or bodies are typed errors the server turns into 400,
+//! so an abusive client cannot balloon memory.
+
+use std::fmt;
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers block.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Upper bound on a request body (`Content-Length`).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path only — the query string (if any) is split off into `query`.
+    pub path: String,
+    pub query: String,
+    /// Header names lowercased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to drop the connection after this
+    /// exchange (HTTP/1.1 default is keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").map(|v| v.eq_ignore_ascii_case("close")).unwrap_or(false)
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket died or timed out mid-request.
+    Io(std::io::Error),
+    /// The bytes on the wire are not HTTP we accept. Maps to 400.
+    Malformed(String),
+    /// Head or body exceeded its limit. Maps to 413.
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge(what) => write!(f, "{what} too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one request from the stream.
+///
+/// `Ok(None)` means the client closed the connection cleanly between
+/// requests — the keep-alive loop should just end.
+pub fn read_request(r: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
+    let mut line = String::new();
+    // Tolerate stray blank lines between keep-alive requests.
+    loop {
+        line.clear();
+        let n = read_limited_line(r, &mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if !line.trim_end().is_empty() {
+            break;
+        }
+    }
+    let request_line = line.trim_end().to_string();
+    let mut parts = request_line.split_ascii_whitespace();
+    let method =
+        parts.next().ok_or_else(|| HttpError::Malformed("empty request line".into()))?.to_string();
+    let target =
+        parts.next().ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version =
+        parts.next().ok_or_else(|| HttpError::Malformed("missing http version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version {version}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        line.clear();
+        let n = read_limited_line(r, &mut line)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("eof inside headers".into()));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("header block"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed("header without ':'".into()))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>().map_err(|_| HttpError::Malformed("bad content-length".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+
+    Ok(Some(Request { method, path, query, headers, body }))
+}
+
+/// Read one CRLF/LF-terminated line, erroring past the head limit
+/// instead of buffering without bound.
+fn read_limited_line(r: &mut BufReader<TcpStream>, out: &mut String) -> Result<usize, HttpError> {
+    let mut bytes = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                bytes.push(byte[0]);
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if bytes.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::TooLarge("header line"));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    let n = bytes.len();
+    out.push_str(
+        std::str::from_utf8(&bytes).map_err(|_| HttpError::Malformed("non-utf8 head".into()))?,
+    );
+    Ok(n)
+}
+
+/// Write one response. `extra_headers` are emitted verbatim
+/// (e.g. `("Retry-After", "1")`).
+pub fn write_response(
+    w: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Push raw bytes through a real socket pair and parse them.
+    fn roundtrip(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut r = BufReader::new(stream);
+        let req = read_request(&mut r);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = roundtrip(
+            b"POST /jobs?t=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\
+              X-Tenant: alice\r\n\r\nbody",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query, "t=1");
+        assert_eq!(req.header("x-tenant"), Some("alice"));
+        assert_eq!(req.body, b"body");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_garbage_is_malformed() {
+        assert!(roundtrip(b"").unwrap().is_none());
+        assert!(matches!(roundtrip(b"NOT HTTP\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            roundtrip(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let huge_header = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(10_000));
+        assert!(matches!(roundtrip(huge_header.as_bytes()), Err(HttpError::TooLarge(_))));
+        let huge_body =
+            format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(roundtrip(huge_body.as_bytes()), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let req =
+            roundtrip(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(req.wants_close());
+    }
+}

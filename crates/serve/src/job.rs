@@ -1,0 +1,481 @@
+//! Job model: the request spec, its validation, workload lookup, cache
+//! keying, and the shared per-job record.
+//!
+//! Validation is front-loaded: a [`JobSpec`] is only constructed from a
+//! request body if the benchmark exists, every scheme parses, and the
+//! derived [`TargetConfig`] passes [`TargetConfig::validate`]. Anything
+//! wrong is a typed [`SpecError`] → HTTP 400 at admission, so workers
+//! never fail on malformed input — worker-side `Failed` is reserved for
+//! genuine simulation faults.
+
+use crate::json::{escape, Json};
+use sk_core::{CoreModel, Scheme, TargetConfig};
+use sk_isa::Program;
+use sk_kernels::{extended_suite, micro, Scale, Workload};
+use sk_snap::hash::SnapshotKey;
+use sk_snap::{Persist, Writer};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Caps enforced on untrusted request parameters.
+pub const MAX_CORES: usize = 16;
+pub const MAX_SCHEMES: usize = 16;
+pub const PRIORITY_RANGE: std::ops::RangeInclusive<i64> = -10..=10;
+
+/// A rejected job request. The message is safe to echo to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn bad(what: impl Into<String>) -> SpecError {
+    SpecError(what.into())
+}
+
+/// A fully validated simulation request.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub bench: String,
+    pub cores: usize,
+    pub scale: Scale,
+    pub schemes: Vec<Scheme>,
+    pub tenant: String,
+    pub priority: i32,
+    /// Attach an sk-obs hub to every scheme run and keep the dumps.
+    pub metrics: bool,
+    pub model: CoreModel,
+}
+
+impl JobSpec {
+    /// Parse and validate a `POST /jobs` body. `tenant` comes from the
+    /// `X-Tenant` header (defaulted by the caller).
+    pub fn from_json(v: &Json, tenant: &str) -> Result<JobSpec, SpecError> {
+        let obj_err = || bad("request body must be a json object");
+        if !matches!(v, Json::Obj(_)) {
+            return Err(obj_err());
+        }
+        let bench = v
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string field \"bench\""))?
+            .to_string();
+        let cores = match v.get("cores") {
+            None => 4,
+            Some(c) => {
+                let c = c.as_i64().ok_or_else(|| bad("\"cores\" must be an integer"))?;
+                if !(1..=MAX_CORES as i64).contains(&c) {
+                    return Err(bad(format!("\"cores\" must be in 1..={MAX_CORES}")));
+                }
+                c as usize
+            }
+        };
+        let scale = match v.get("scale").map(|s| s.as_str().unwrap_or("")) {
+            None | Some("test") => Scale::Test,
+            Some("bench") => Scale::Bench,
+            Some("full") => Scale::Full,
+            Some(other) => {
+                return Err(bad(format!(
+                    "unknown scale {other:?} (expected \"test\", \"bench\" or \"full\")"
+                )))
+            }
+        };
+        let schemes = match v.get("schemes") {
+            None => vec![Scheme::CycleByCycle],
+            Some(arr) => {
+                let arr = arr.as_arr().ok_or_else(|| bad("\"schemes\" must be an array"))?;
+                if arr.is_empty() || arr.len() > MAX_SCHEMES {
+                    return Err(bad(format!("\"schemes\" must list 1..={MAX_SCHEMES} schemes")));
+                }
+                let mut out = Vec::with_capacity(arr.len());
+                for s in arr {
+                    let s = s.as_str().ok_or_else(|| bad("schemes must be strings"))?;
+                    out.push(
+                        s.parse::<Scheme>().map_err(|e| bad(format!("bad scheme {s:?}: {e}")))?,
+                    );
+                }
+                out
+            }
+        };
+        let priority = match v.get("priority") {
+            None => 0,
+            Some(p) => {
+                let p = p.as_i64().ok_or_else(|| bad("\"priority\" must be an integer"))?;
+                if !PRIORITY_RANGE.contains(&p) {
+                    return Err(bad(format!(
+                        "\"priority\" must be in {}..={}",
+                        PRIORITY_RANGE.start(),
+                        PRIORITY_RANGE.end()
+                    )));
+                }
+                p as i32
+            }
+        };
+        let metrics = match v.get("metrics") {
+            None => false,
+            Some(m) => m.as_bool().ok_or_else(|| bad("\"metrics\" must be a boolean"))?,
+        };
+        let model = match v.get("model").map(|m| m.as_str().unwrap_or("")) {
+            None | Some("inorder") => CoreModel::InOrder,
+            Some("ooo") => CoreModel::OutOfOrder,
+            Some(other) => {
+                return Err(bad(format!(
+                    "unknown model {other:?} (expected \"inorder\" or \"ooo\")"
+                )))
+            }
+        };
+        if tenant.is_empty() || tenant.len() > 64 || !tenant.is_ascii() {
+            return Err(bad("tenant must be non-empty ascii, at most 64 bytes"));
+        }
+
+        let spec = JobSpec {
+            bench,
+            cores,
+            scale,
+            schemes,
+            tenant: tenant.to_string(),
+            priority,
+            metrics,
+            model,
+        };
+        // Fail unknown benchmarks and invalid configs here, at admission.
+        spec.workload()
+            .ok_or_else(|| bad(format!("unknown benchmark {:?} (see GET /benches)", spec.bench)))?;
+        spec.config().validate().map_err(|e| bad(format!("config rejected: {e}")))?;
+        Ok(spec)
+    }
+
+    /// Materialise the workload. `None` if the benchmark name is unknown.
+    pub fn workload(&self) -> Option<Workload> {
+        // Suite kernels first (Barnes/FFT/LU/Water + Radix/Ocean), then
+        // the microbenchmarks under fixed, scale-derived inputs.
+        if let Some(w) = extended_suite(self.cores, self.scale)
+            .into_iter()
+            .find(|w| w.name.eq_ignore_ascii_case(&self.bench))
+        {
+            return Some(w);
+        }
+        let iters = match self.scale {
+            Scale::Test => 200,
+            Scale::Bench => 2_000,
+            Scale::Full => 20_000,
+        };
+        let w = match self.bench.to_ascii_lowercase().as_str() {
+            "pingpong" => micro::pingpong(iters),
+            "lock_sweep" => micro::lock_sweep(self.cores, iters),
+            "private_compute" => micro::private_compute(self.cores, iters),
+            "racy_increment" => micro::racy_increment(self.cores, iters),
+            "false_sharing" => micro::false_sharing(self.cores, iters),
+            _ => return None,
+        };
+        Some(w)
+    }
+
+    /// The target config every run of this job uses. Scheme is per-run;
+    /// everything else is fixed here so the cache key covers it.
+    pub fn config(&self) -> TargetConfig {
+        let mut cfg = TargetConfig::small(self.cores);
+        cfg.core.model = self.model;
+        cfg.max_cycles = 50_000_000;
+        cfg
+    }
+
+    /// Content address of this job's warm-start snapshot: FNV digests of
+    /// the program image and the serialised config. Scheme is deliberately
+    /// excluded — the cached CC safe-point forks onto any scheme.
+    pub fn snapshot_key(&self, program: &Program, cfg: &TargetConfig) -> SnapshotKey {
+        let mut pw = Writer::new();
+        pw.put_u64(program.entry);
+        pw.put_usize(program.text_len());
+        for (addr, word) in program.image() {
+            pw.put_u64(addr);
+            pw.put_u64(word);
+        }
+        let mut cw = Writer::new();
+        cfg.save(&mut cw);
+        SnapshotKey::new(&pw.into_bytes(), &cw.into_bytes())
+    }
+}
+
+/// Benchmarks the server accepts, for `GET /benches`.
+pub fn bench_names(cores: usize) -> Vec<String> {
+    let mut names: Vec<String> =
+        extended_suite(cores.max(2), Scale::Test).into_iter().map(|w| w.name).collect();
+    names.extend(
+        ["pingpong", "lock_sweep", "private_compute", "racy_increment", "false_sharing"]
+            .map(String::from),
+    );
+    names
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed(String),
+    Cancelled,
+}
+
+impl JobState {
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed(_) | JobState::Cancelled)
+    }
+}
+
+/// Outcome of one scheme in the job's grid.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    pub scheme: String,
+    pub exec_cycles: u64,
+    /// FNV-1a digest (hex) of the full report fingerprint — compact and
+    /// still bit-exact for cold/warm comparison.
+    pub fingerprint: String,
+    /// Printed output matched the workload's expected values.
+    pub output_ok: bool,
+    /// This run forked from a cached snapshot.
+    pub cache_hit: bool,
+    /// Zero-slack scheme: repeat runs are bit-identical, so this
+    /// fingerprint is comparable across jobs. Slack schemes trade that
+    /// reproducibility for speed — their fingerprints vary run to run.
+    pub deterministic: bool,
+    pub wall_ms: u64,
+    pub kips: f64,
+}
+
+impl SchemeResult {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scheme\":\"{}\",\"exec_cycles\":{},\"fingerprint\":\"{}\",\
+             \"output_ok\":{},\"cache_hit\":{},\"deterministic\":{},\
+             \"wall_ms\":{},\"kips\":{:.1}}}",
+            escape(&self.scheme),
+            self.exec_cycles,
+            self.fingerprint,
+            self.output_ok,
+            self.cache_hit,
+            self.deterministic,
+            self.wall_ms,
+            self.kips
+        )
+    }
+}
+
+/// One admitted job, shared between the connection handlers and the
+/// worker that runs it.
+#[derive(Debug)]
+pub struct Job {
+    pub id: u64,
+    pub spec: JobSpec,
+    state: Mutex<JobState>,
+    results: Mutex<Vec<SchemeResult>>,
+    /// Per-scheme sk-obs dumps, populated when `spec.metrics`.
+    metrics_dumps: Mutex<Vec<(String, String)>>,
+    /// Raised by `DELETE /jobs/<id>`; checked by the worker between
+    /// schemes and propagated into the running engine's cancel token.
+    cancel_requested: AtomicBool,
+    /// The active engine's cancel token while a scheme run is in flight,
+    /// so a cancel lands mid-simulation, not just between schemes.
+    engine_token: Mutex<Option<Arc<AtomicBool>>>,
+}
+
+impl Job {
+    pub fn new(id: u64, spec: JobSpec) -> Self {
+        Job {
+            id,
+            spec,
+            state: Mutex::new(JobState::Queued),
+            results: Mutex::new(Vec::new()),
+            metrics_dumps: Mutex::new(Vec::new()),
+            cancel_requested: AtomicBool::new(false),
+            engine_token: Mutex::new(None),
+        }
+    }
+
+    pub fn state(&self) -> JobState {
+        self.state.lock().unwrap().clone()
+    }
+
+    /// Transition; refuses to leave a terminal state (a cancel that wins
+    /// the race stays a cancel). Returns the state now in effect.
+    pub fn set_state(&self, next: JobState) -> JobState {
+        let mut g = self.state.lock().unwrap();
+        if !g.is_terminal() {
+            *g = next;
+        }
+        g.clone()
+    }
+
+    pub fn push_result(&self, r: SchemeResult) {
+        self.results.lock().unwrap().push(r);
+    }
+
+    pub fn results(&self) -> Vec<SchemeResult> {
+        self.results.lock().unwrap().clone()
+    }
+
+    pub fn push_metrics_dump(&self, scheme: &str, dump: String) {
+        self.metrics_dumps.lock().unwrap().push((scheme.to_string(), dump));
+    }
+
+    pub fn metrics_dumps(&self) -> Vec<(String, String)> {
+        self.metrics_dumps.lock().unwrap().clone()
+    }
+
+    /// Request cancellation: flips the sticky flag and raises the active
+    /// engine's token, if one is running right now.
+    pub fn request_cancel(&self) {
+        self.cancel_requested.store(true, Ordering::Relaxed);
+        if let Some(t) = self.engine_token.lock().unwrap().as_ref() {
+            t.store(true, Ordering::Relaxed);
+        }
+    }
+
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel_requested.load(Ordering::Relaxed)
+    }
+
+    /// Publish the engine token for the scheme run about to start. If a
+    /// cancel already arrived, raise the token immediately — the request
+    /// must not fall through the gap between check and publish.
+    pub fn arm_engine_token(&self, token: Arc<AtomicBool>) {
+        let mut g = self.engine_token.lock().unwrap();
+        if self.cancel_requested() {
+            token.store(true, Ordering::Relaxed);
+        }
+        *g = Some(token);
+    }
+
+    pub fn disarm_engine_token(&self) {
+        *self.engine_token.lock().unwrap() = None;
+    }
+
+    /// Status document for `GET /jobs/<id>`.
+    pub fn to_json(&self) -> String {
+        let state = self.state();
+        let mut out = format!(
+            "{{\"job\":{},\"state\":\"{}\",\"tenant\":\"{}\",\"bench\":\"{}\",\
+             \"cores\":{},\"priority\":{}",
+            self.id,
+            state.name(),
+            escape(&self.spec.tenant),
+            escape(&self.spec.bench),
+            self.spec.cores,
+            self.spec.priority
+        );
+        if let JobState::Failed(why) = &state {
+            out.push_str(&format!(",\"error\":\"{}\"", escape(why)));
+        }
+        out.push_str(",\"results\":[");
+        for (i, r) in self.results().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn spec(body: &str) -> Result<JobSpec, SpecError> {
+        JobSpec::from_json(&parse(body).unwrap(), "alice")
+    }
+
+    #[test]
+    fn minimal_request_gets_defaults() {
+        let s = spec(r#"{"bench":"FFT"}"#).unwrap();
+        assert_eq!(s.cores, 4);
+        assert_eq!(s.scale, Scale::Test);
+        assert_eq!(s.schemes, vec![Scheme::CycleByCycle]);
+        assert_eq!(s.priority, 0);
+        assert!(!s.metrics);
+        assert!(s.workload().is_some());
+    }
+
+    #[test]
+    fn full_request_parses() {
+        let s = spec(
+            r#"{"bench":"lock_sweep","cores":2,"scale":"test",
+                "schemes":["CC","Q100","S9*"],"priority":7,"metrics":true}"#,
+        )
+        .unwrap();
+        assert_eq!(s.cores, 2);
+        assert_eq!(s.schemes.len(), 3);
+        assert_eq!(s.priority, 7);
+        assert!(s.metrics);
+    }
+
+    #[test]
+    fn bad_requests_are_typed() {
+        assert!(spec(r#"[1,2]"#).is_err(), "non-object body");
+        assert!(spec(r#"{"cores":4}"#).is_err(), "missing bench");
+        assert!(spec(r#"{"bench":"no-such-kernel"}"#).is_err());
+        assert!(spec(r#"{"bench":"FFT","cores":0}"#).is_err());
+        assert!(spec(r#"{"bench":"FFT","cores":999}"#).is_err());
+        assert!(spec(r#"{"bench":"FFT","schemes":[]}"#).is_err());
+        assert!(spec(r#"{"bench":"FFT","schemes":["XYZ"]}"#).is_err(), "scheme parse error");
+        assert!(spec(r#"{"bench":"FFT","priority":99}"#).is_err());
+        assert!(spec(r#"{"bench":"FFT","scale":"galactic"}"#).is_err());
+        assert!(JobSpec::from_json(&parse(r#"{"bench":"FFT"}"#).unwrap(), "").is_err());
+    }
+
+    #[test]
+    fn snapshot_key_separates_programs_and_configs() {
+        let a = spec(r#"{"bench":"FFT"}"#).unwrap();
+        let b = spec(r#"{"bench":"LU"}"#).unwrap();
+        let (wa, wb) = (a.workload().unwrap(), b.workload().unwrap());
+        let (ca, cb) = (a.config(), b.config());
+        let ka = a.snapshot_key(&wa.program, &ca);
+        assert_eq!(ka, a.snapshot_key(&wa.program, &ca), "key is deterministic");
+        assert_ne!(ka, b.snapshot_key(&wb.program, &cb), "different program, different key");
+
+        // Same program, different config → different key.
+        let c2 = spec(r#"{"bench":"FFT","model":"ooo"}"#).unwrap().config();
+        assert_ne!(ka, a.snapshot_key(&wa.program, &c2));
+
+        // Scheme is NOT part of the key: the spec's schemes never enter it.
+        let multi = spec(r#"{"bench":"FFT","schemes":["CC","Q100"]}"#).unwrap();
+        assert_eq!(ka, multi.snapshot_key(&wa.program, &multi.config()));
+    }
+
+    #[test]
+    fn terminal_states_are_sticky() {
+        let j = Job::new(1, spec(r#"{"bench":"FFT"}"#).unwrap());
+        assert_eq!(j.set_state(JobState::Running), JobState::Running);
+        assert_eq!(j.set_state(JobState::Cancelled), JobState::Cancelled);
+        // A late Done from the worker loses to the cancel.
+        assert_eq!(j.set_state(JobState::Done), JobState::Cancelled);
+    }
+
+    #[test]
+    fn cancel_before_arm_raises_the_token() {
+        let j = Job::new(1, spec(r#"{"bench":"FFT"}"#).unwrap());
+        j.request_cancel();
+        let token = Arc::new(AtomicBool::new(false));
+        j.arm_engine_token(token.clone());
+        assert!(token.load(Ordering::Relaxed), "pre-existing cancel lands on the token");
+    }
+}

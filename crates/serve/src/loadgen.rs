@@ -1,0 +1,339 @@
+//! Multi-tenant load generator for the job server.
+//!
+//! Drives a spec pool of (benchmark, cores, scheme-grid) combinations at
+//! the server from several client threads, submit-then-wait per thread,
+//! plus an optional fire-and-forget burst to provoke overload shedding.
+//! Because the pool is much smaller than the job count, most traffic
+//! repeats a spec the server has already seen — that is the warm-start
+//! cache's diet, and the per-(spec, scheme) fingerprint cross-check is
+//! the proof that warm forks are bit-identical to cold runs.
+//!
+//! Deterministic: spec and tenant choice come from a seeded LCG, so two
+//! runs of the same config issue the same request stream (completion
+//! order still races, which is the point of a load test).
+
+use crate::client::Client;
+use crate::json::Json;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// What to throw at the server.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Total submit-then-wait jobs across all threads.
+    pub jobs: u64,
+    /// Client threads (each holds one keep-alive connection).
+    pub threads: usize,
+    /// Tenant names to spread traffic over.
+    pub tenants: Vec<String>,
+    /// Fire-and-forget submissions issued first to provoke 429 shedding
+    /// (accepted ones are awaited before the main phase).
+    pub burst: u64,
+    /// LCG seed for the request stream.
+    pub seed: u64,
+    /// Per-job completion deadline.
+    pub deadline: Duration,
+}
+
+impl LoadgenConfig {
+    /// CI-sized smoke run: a handful of jobs, still mixed-tenant.
+    pub fn smoke() -> Self {
+        LoadgenConfig { jobs: 12, threads: 2, burst: 0, ..Self::default() }
+    }
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            jobs: 1000,
+            threads: 4,
+            tenants: vec!["alice".into(), "bob".into(), "carol".into(), "dave".into()],
+            burst: 64,
+            seed: 0x5eed,
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// The request pool. Small by design: `jobs >> pool size` is what makes
+/// repeat traffic (and therefore warm starts) dominate. The first two
+/// entries share one snapshot key — scheme is not part of the cache key —
+/// so they warm each other.
+pub fn spec_pool() -> Vec<&'static str> {
+    vec![
+        r#"{"bench":"pingpong","cores":2,"schemes":["CC"]}"#,
+        r#"{"bench":"pingpong","cores":2,"schemes":["Q100"]}"#,
+        r#"{"bench":"lock_sweep","cores":2,"schemes":["CC","Q100"]}"#,
+        r#"{"bench":"private_compute","cores":2,"schemes":["CC","S9*"]}"#,
+        r#"{"bench":"racy_increment","cores":2,"schemes":["Q50"]}"#,
+        r#"{"bench":"false_sharing","cores":2,"schemes":["CC"]}"#,
+        r#"{"bench":"lock_sweep","cores":4,"schemes":["CC"]}"#,
+        r#"{"bench":"private_compute","cores":4,"schemes":["SU"]}"#,
+    ]
+}
+
+/// Everything the run observed.
+#[derive(Debug, Default)]
+pub struct LoadgenStats {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    /// 429 with "queue full".
+    pub queue_shed: u64,
+    /// 429 with "tenant quota exceeded".
+    pub quota_shed: u64,
+    pub bad_requests: u64,
+    /// Jobs whose every scheme forked from the cache.
+    pub warm_jobs: u64,
+    pub cold_jobs: u64,
+    /// Client-observed wall (submit → terminal), summed per class.
+    pub warm_wall_ms: u64,
+    pub cold_wall_ms: u64,
+    /// (spec, scheme) pairs whose fingerprint diverged from the first
+    /// observation, checked for deterministic (zero-slack) schemes only
+    /// — slack schemes are nondeterministic by design. MUST be zero:
+    /// warm forks are bit-identical to cold runs.
+    pub fingerprint_mismatches: u64,
+    /// Scheme runs whose printed output missed the workload's expected
+    /// values. MUST be zero.
+    pub output_mismatches: u64,
+    pub wall: Duration,
+}
+
+impl LoadgenStats {
+    pub fn mean_cold_ms(&self) -> f64 {
+        if self.cold_jobs == 0 {
+            0.0
+        } else {
+            self.cold_wall_ms as f64 / self.cold_jobs as f64
+        }
+    }
+
+    pub fn mean_warm_ms(&self) -> f64 {
+        if self.warm_jobs == 0 {
+            0.0
+        } else {
+            self.warm_wall_ms as f64 / self.warm_jobs as f64
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\
+             \"queue_shed\":{},\"quota_shed\":{},\"bad_requests\":{},\
+             \"warm_jobs\":{},\"cold_jobs\":{},\
+             \"mean_warm_ms\":{:.2},\"mean_cold_ms\":{:.2},\
+             \"fingerprint_mismatches\":{},\"output_mismatches\":{},\
+             \"wall_ms\":{}}}",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.cancelled,
+            self.queue_shed,
+            self.quota_shed,
+            self.bad_requests,
+            self.warm_jobs,
+            self.cold_jobs,
+            self.mean_warm_ms(),
+            self.mean_cold_ms(),
+            self.fingerprint_mismatches,
+            self.output_mismatches,
+            self.wall.as_millis()
+        )
+    }
+}
+
+/// Shared mutable tallies while threads run.
+#[derive(Default)]
+struct Tallies {
+    stats: Mutex<LoadgenStats>,
+    /// First fingerprint seen per (spec index, scheme) — the reference
+    /// every later run (warm or cold) must reproduce.
+    reference: Mutex<HashMap<(usize, String), String>>,
+    issued: AtomicU64,
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 16
+}
+
+/// Run the generator against a live server. Blocks until done.
+pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> LoadgenStats {
+    let start = Instant::now();
+    let pool: Vec<String> = spec_pool().into_iter().map(String::from).collect();
+    let tallies = Arc::new(Tallies::default());
+
+    if cfg.burst > 0 {
+        burst_phase(addr, cfg, &tallies);
+    }
+
+    let threads: Vec<_> = (0..cfg.threads.max(1))
+        .map(|t| {
+            let pool = pool.clone();
+            let cfg = cfg.clone();
+            let tallies = tallies.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                let mut rng = cfg.seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(t as u64 + 1));
+                loop {
+                    if tallies.issued.fetch_add(1, Ordering::Relaxed) >= cfg.jobs {
+                        return;
+                    }
+                    let spec_idx = (lcg(&mut rng) % pool.len() as u64) as usize;
+                    let tenant = &cfg.tenants[(lcg(&mut rng) % cfg.tenants.len() as u64) as usize];
+                    run_one(&mut client, &pool[spec_idx], spec_idx, tenant, &cfg, &tallies);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+
+    let mut stats = std::mem::take(&mut *tallies.stats.lock().unwrap());
+    stats.wall = start.elapsed();
+    stats
+}
+
+/// Fire-and-forget submissions to overfill the queue, then await the
+/// accepted ones so the main phase starts from an idle server.
+fn burst_phase(addr: SocketAddr, cfg: &LoadgenConfig, tallies: &Tallies) {
+    let mut client = Client::new(addr);
+    let pool = spec_pool();
+    let mut rng = cfg.seed ^ 0xb02a;
+    let mut accepted = Vec::new();
+    for _ in 0..cfg.burst {
+        let spec_idx = (lcg(&mut rng) % pool.len() as u64) as usize;
+        let tenant_idx = (lcg(&mut rng) % cfg.tenants.len() as u64) as usize;
+        if let Ok(resp) = client.post_job(pool[spec_idx], &cfg.tenants[tenant_idx]) {
+            tally_submit(resp.status, &resp.body, tallies, |id| accepted.push((id, spec_idx)));
+        }
+    }
+    for (id, spec_idx) in accepted {
+        if let Ok(doc) = client.wait_job(id, cfg.deadline) {
+            // Burst jobs were awaited long after submission, so their
+            // client wall is meaningless — verify, don't time.
+            tally_terminal(&doc, spec_idx, None, tallies);
+        }
+    }
+}
+
+/// Submit one job, ride out 429 backpressure, await the result.
+fn run_one(
+    client: &mut Client,
+    spec: &str,
+    spec_idx: usize,
+    tenant: &str,
+    cfg: &LoadgenConfig,
+    tallies: &Tallies,
+) {
+    for _attempt in 0..1000 {
+        let resp = match client.post_job(spec, tenant) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        match resp.status {
+            202 => {
+                let mut id = None;
+                tally_submit(resp.status, &resp.body, tallies, |j| id = Some(j));
+                if let Some(id) = id {
+                    let submit = Instant::now();
+                    if let Ok(doc) = client.wait_job(id, cfg.deadline) {
+                        let wall = submit.elapsed().as_millis() as u64;
+                        tally_terminal(&doc, spec_idx, Some(wall), tallies);
+                    }
+                }
+                return;
+            }
+            429 => {
+                tally_submit(resp.status, &resp.body, tallies, |_| {});
+                // Honour Retry-After, capped so a load test stays a load
+                // test rather than a sleep test.
+                let secs =
+                    resp.header("retry-after").and_then(|v| v.parse::<u64>().ok()).unwrap_or(1);
+                std::thread::sleep(Duration::from_millis((secs * 1000).min(25)));
+            }
+            _ => {
+                tally_submit(resp.status, &resp.body, tallies, |_| {});
+                return;
+            }
+        }
+    }
+}
+
+fn tally_submit(status: u16, body: &str, tallies: &Tallies, mut on_accept: impl FnMut(u64)) {
+    let mut s = tallies.stats.lock().unwrap();
+    match status {
+        202 => {
+            s.submitted += 1;
+            drop(s);
+            if let Ok(doc) = crate::json::parse(body) {
+                if let Some(id) = doc.get("job").and_then(Json::as_i64) {
+                    on_accept(id as u64);
+                }
+            }
+        }
+        429 if body.contains("quota") => s.quota_shed += 1,
+        429 => s.queue_shed += 1,
+        _ => s.bad_requests += 1,
+    }
+}
+
+/// Digest a terminal status document into the tallies. `wall_ms` is the
+/// client-observed submit→terminal latency; `None` skips warm/cold
+/// timing (burst jobs) but still verifies fingerprints.
+fn tally_terminal(doc: &Json, spec_idx: usize, wall_ms: Option<u64>, tallies: &Tallies) {
+    let state = doc.get("state").and_then(Json::as_str).unwrap_or("");
+    let mut s = tallies.stats.lock().unwrap();
+    match state {
+        "done" => s.completed += 1,
+        "cancelled" => {
+            s.cancelled += 1;
+            return;
+        }
+        _ => {
+            s.failed += 1;
+            return;
+        }
+    }
+    let results = doc.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+    if let Some(wall_ms) = wall_ms {
+        let warm = !results.is_empty()
+            && results.iter().all(|r| r.get("cache_hit").and_then(Json::as_bool) == Some(true));
+        if warm {
+            s.warm_jobs += 1;
+            s.warm_wall_ms += wall_ms;
+        } else {
+            s.cold_jobs += 1;
+            s.cold_wall_ms += wall_ms;
+        }
+    }
+    for r in results {
+        if r.get("output_ok").and_then(Json::as_bool) != Some(true) {
+            s.output_mismatches += 1;
+        }
+        // Only deterministic (zero-slack) schemes promise bit-identical
+        // repeats; slack schemes legitimately vary run to run.
+        if r.get("deterministic").and_then(Json::as_bool) != Some(true) {
+            continue;
+        }
+        let (Some(scheme), Some(fp)) =
+            (r.get("scheme").and_then(Json::as_str), r.get("fingerprint").and_then(Json::as_str))
+        else {
+            continue;
+        };
+        let mut refmap = tallies.reference.lock().unwrap();
+        match refmap.get(&(spec_idx, scheme.to_string())) {
+            None => {
+                refmap.insert((spec_idx, scheme.to_string()), fp.to_string());
+            }
+            Some(reference) if reference != fp => s.fingerprint_mismatches += 1,
+            Some(_) => {}
+        }
+    }
+}

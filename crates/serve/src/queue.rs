@@ -1,0 +1,193 @@
+//! Bounded priority job queue with per-tenant in-flight quotas.
+//!
+//! Admission control happens atomically at enqueue: a job is accepted
+//! only if the queue has room *and* its tenant is under quota, so a
+//! single tenant cannot occupy the whole queue. Quota counts *in-flight*
+//! work — queued plus running — and is released when the job reaches a
+//! terminal state, not when a worker dequeues it; otherwise a tenant
+//! could hold every worker at once by keeping the queue drained.
+//!
+//! Ordering: higher `priority` first, FIFO (admission order) within a
+//! priority level. Workers block on a condvar; [`JobQueue::close`] wakes
+//! them all for shutdown.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::{Condvar, Mutex};
+
+/// Why a job was (not) admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    Enqueued,
+    /// Queue at capacity — shed with 429.
+    QueueFull,
+    /// Tenant at its in-flight quota — shed with 429.
+    QuotaExceeded,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct QueueEntry {
+    priority: i32,
+    /// Admission order; lower = earlier. Negated comparison gives FIFO
+    /// within a priority level on a max-heap.
+    seq: u64,
+    job_id: u64,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority.cmp(&other.priority).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    heap: BinaryHeap<QueueEntry>,
+    /// Queued + running jobs per tenant.
+    inflight: HashMap<String, usize>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// The shared queue. One per server.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+    tenant_quota: usize,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize, tenant_quota: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner::default()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            tenant_quota: tenant_quota.max(1),
+        }
+    }
+
+    /// Try to admit a job. On `Enqueued` the tenant's in-flight count is
+    /// already bumped; every admitted job must eventually [`Self::release`].
+    /// Returns the queue depth *after* the decision alongside the verdict,
+    /// so callers can record it without a second lock.
+    pub fn push(&self, job_id: u64, tenant: &str, priority: i32) -> (Admission, usize) {
+        let mut g = self.inner.lock().unwrap();
+        if g.heap.len() >= self.capacity {
+            return (Admission::QueueFull, g.heap.len());
+        }
+        let used = g.inflight.get(tenant).copied().unwrap_or(0);
+        if used >= self.tenant_quota {
+            return (Admission::QuotaExceeded, g.heap.len());
+        }
+        *g.inflight.entry(tenant.to_string()).or_insert(0) += 1;
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.heap.push(QueueEntry { priority, seq, job_id });
+        let depth = g.heap.len();
+        drop(g);
+        self.ready.notify_one();
+        (Admission::Enqueued, depth)
+    }
+
+    /// Block until a job is available or the queue is closed.
+    /// `None` means closed-and-drained: the worker should exit.
+    pub fn pop(&self) -> Option<u64> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(e) = g.heap.pop() {
+                return Some(e.job_id);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap();
+        }
+    }
+
+    /// Drop a tenant's in-flight slot. Call exactly once when an admitted
+    /// job reaches a terminal state (done, failed, cancelled).
+    pub fn release(&self, tenant: &str) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(n) = g.inflight.get_mut(tenant) {
+            *n -= 1;
+            if *n == 0 {
+                g.inflight.remove(tenant);
+            }
+        }
+    }
+
+    /// Stop admitting; wake all workers. Queued jobs still drain.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn priority_then_fifo_order() {
+        let q = JobQueue::new(16, 16);
+        assert_eq!(q.push(1, "t", 0).0, Admission::Enqueued);
+        assert_eq!(q.push(2, "t", 5).0, Admission::Enqueued);
+        assert_eq!(q.push(3, "t", 0).0, Admission::Enqueued);
+        assert_eq!(q.push(4, "t", 5).0, Admission::Enqueued);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn capacity_and_quota_shed() {
+        let q = JobQueue::new(2, 8);
+        assert_eq!(q.push(1, "a", 0).0, Admission::Enqueued);
+        assert_eq!(q.push(2, "b", 0).0, Admission::Enqueued);
+        assert_eq!(q.push(3, "c", 0).0, Admission::QueueFull);
+
+        let q = JobQueue::new(64, 2);
+        assert_eq!(q.push(1, "a", 0).0, Admission::Enqueued);
+        assert_eq!(q.push(2, "a", 0).0, Admission::Enqueued);
+        assert_eq!(q.push(3, "a", 0).0, Admission::QuotaExceeded);
+        // Other tenants are unaffected.
+        assert_eq!(q.push(4, "b", 0).0, Admission::Enqueued);
+        // Quota is held past dequeue — popping does not free the slot...
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(5, "a", 0).0, Admission::QuotaExceeded);
+        // ...terminal release does.
+        q.release("a");
+        assert_eq!(q.push(5, "a", 0).0, Admission::Enqueued);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(JobQueue::new(4, 4));
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+        // Jobs queued before close still drain.
+        let q = JobQueue::new(4, 4);
+        q.push(9, "t", 0);
+        q.close();
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,246 @@
+//! Job execution: the warm-start cache protocol and the per-scheme run
+//! loop.
+//!
+//! The cache protocol is the heart of the server. On a cold key, a CC
+//! probe engine runs the warmup and snapshots the first probed safe-point
+//! after ROI entry; the snapshot goes into the cache and — crucially —
+//! the cold job *itself* then forks every scheme from that snapshot
+//! instead of continuing the probe engine. Warm jobs fork from the cached
+//! bytes directly. Cold and warm runs therefore execute the exact same
+//! code path (`Engine::resume` from identical bytes: CC is
+//! bit-deterministic, so a re-probed snapshot is byte-identical), which
+//! is what makes the "warm results match cold results" guarantee hold by
+//! construction rather than by hope.
+//!
+//! Cancellation: the job's sticky flag is checked between schemes, and
+//! while an engine is in flight its cancel token is armed on the job so
+//! `DELETE /jobs/<id>` lands mid-simulation at the next manager
+//! iteration.
+
+use crate::cache::SnapCache;
+use crate::job::{Job, JobState, SchemeResult};
+use sk_core::engine::{Engine, RunOutcome};
+use sk_core::Scheme;
+use sk_obs::{ObsConfig, ServeObs};
+use sk_snap::fnv1a64;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// First CC-probe checkpoint target, cycles.
+const WARMUP_PROBE_START: u64 = 1 << 10;
+/// Probe ceiling: past this the job runs uncached (ROI never began).
+const WARMUP_PROBE_CAP: u64 = 1 << 24;
+
+/// How the job obtained (or failed to obtain) its warm-start snapshot.
+enum WarmStart {
+    /// Fork every scheme from these snapshot bytes.
+    Fork { bytes: Arc<Vec<u8>>, cache_hit: bool },
+    /// No usable safe-point — run every scheme from scratch.
+    Scratch,
+    /// Cancelled during the warmup probe.
+    Cancelled,
+}
+
+/// Run one admitted job to a terminal state. Returns the final state.
+/// Infallible from the caller's perspective: faults are folded into
+/// `JobState::Failed` (panics are the worker loop's `catch_unwind`).
+pub fn run_job(job: &Job, cache: &SnapCache, obs: &ServeObs) -> JobState {
+    if job.cancel_requested() {
+        return finish(job, obs, JobState::Cancelled);
+    }
+    if job.set_state(JobState::Running) != JobState::Running {
+        return finish(job, obs, job.state());
+    }
+
+    let Some(workload) = job.spec.workload() else {
+        // Unreachable for admitted jobs (validated at POST), kept typed.
+        return finish(job, obs, JobState::Failed("benchmark vanished".into()));
+    };
+    let cfg = job.spec.config();
+    let key = job.spec.snapshot_key(&workload.program, &cfg);
+
+    let start = Instant::now();
+    let warm = match cache.get(&key) {
+        Some(bytes) => {
+            obs.cache_hits.inc();
+            WarmStart::Fork { bytes, cache_hit: true }
+        }
+        None => {
+            obs.cache_misses.inc();
+            match probe_warmup(job, &workload.program, &cfg) {
+                Some(snapshot) => {
+                    let before = cache.evictions();
+                    let bytes = cache.insert(key, snapshot);
+                    obs.cache_evictions.add(cache.evictions() - before);
+                    WarmStart::Fork { bytes, cache_hit: false }
+                }
+                None if job.cancel_requested() => WarmStart::Cancelled,
+                None => WarmStart::Scratch,
+            }
+        }
+    };
+
+    let (bytes, cache_hit) = match warm {
+        WarmStart::Fork { bytes, cache_hit } => (Some(bytes), cache_hit),
+        WarmStart::Scratch => (None, false),
+        WarmStart::Cancelled => return finish(job, obs, JobState::Cancelled),
+    };
+
+    for scheme in &job.spec.schemes {
+        if job.cancel_requested() {
+            return finish(job, obs, JobState::Cancelled);
+        }
+        let mut engine = match &bytes {
+            Some(b) => match Engine::resume(b, Some(*scheme)) {
+                Ok(e) => e,
+                Err(e) => return finish(job, obs, JobState::Failed(format!("resume failed: {e}"))),
+            },
+            None => Engine::new(&workload.program, *scheme, &cfg),
+        };
+        let hub = job.spec.metrics.then(|| engine.attach_new_metrics(ObsConfig::default()));
+
+        let scheme_start = Instant::now();
+        job.arm_engine_token(engine.cancel_token());
+        let outcome = engine.run_until(None);
+        job.disarm_engine_token();
+        let wall_ms = scheme_start.elapsed().as_millis() as u64;
+        match outcome {
+            RunOutcome::Finished => {}
+            RunOutcome::Cancelled => return finish(job, obs, JobState::Cancelled),
+            RunOutcome::CheckpointReady => {
+                return finish(job, obs, JobState::Failed("unexpected checkpoint".into()))
+            }
+        }
+
+        let report = engine.into_report();
+        let printed: Vec<i64> = report.printed().into_iter().map(|(_, v)| v).collect();
+        job.push_result(SchemeResult {
+            scheme: report.scheme.clone(),
+            exec_cycles: report.exec_cycles,
+            fingerprint: format!("{:016x}", fnv1a64(report.fingerprint().as_bytes())),
+            output_ok: printed == workload.expected,
+            cache_hit,
+            deterministic: scheme.slack_bound() == Some(0),
+            wall_ms,
+            kips: report.kips(),
+        });
+        if let Some(hub) = hub {
+            job.push_metrics_dump(&report.scheme, hub.to_json());
+        }
+    }
+
+    let wall_ms = start.elapsed().as_millis() as u64;
+    if cache_hit {
+        obs.warm_wall_ms.record(wall_ms);
+    } else {
+        obs.cold_wall_ms.record(wall_ms);
+    }
+    finish(job, obs, JobState::Done)
+}
+
+/// CC warmup probe: run to doubling safe-point targets until ROI has
+/// begun, then snapshot. `None` on cancellation, on a workload that
+/// finishes before (or never reaches) ROI, or if the safe-point refuses
+/// to snapshot — all of which mean "run uncached".
+fn probe_warmup(
+    job: &Job,
+    program: &sk_isa::Program,
+    cfg: &sk_core::TargetConfig,
+) -> Option<Vec<u8>> {
+    let mut engine = Engine::new(program, Scheme::CycleByCycle, cfg);
+    job.arm_engine_token(engine.cancel_token());
+    let mut target = WARMUP_PROBE_START;
+    let snapshot = loop {
+        match engine.run_until(Some(target)) {
+            RunOutcome::CheckpointReady => {
+                if engine.roi_started() {
+                    break engine.snapshot().ok();
+                }
+                if target >= WARMUP_PROBE_CAP {
+                    break None;
+                }
+                target *= 2;
+            }
+            // Ran to completion before ROI warmup could be captured.
+            RunOutcome::Finished => break None,
+            RunOutcome::Cancelled => break None,
+        }
+    };
+    job.disarm_engine_token();
+    snapshot
+}
+
+/// Fold a terminal state into the job and the server counters, releasing
+/// nothing — the worker loop owns the queue release.
+fn finish(job: &Job, obs: &ServeObs, state: JobState) -> JobState {
+    let actual = job.set_state(state);
+    match &actual {
+        JobState::Done => obs.jobs_completed.inc(),
+        JobState::Failed(_) => obs.jobs_failed.inc(),
+        JobState::Cancelled => obs.jobs_cancelled.inc(),
+        _ => {}
+    }
+    actual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use crate::json::parse;
+
+    fn job(body: &str) -> Job {
+        Job::new(1, JobSpec::from_json(&parse(body).unwrap(), "t").unwrap())
+    }
+
+    #[test]
+    fn cold_then_warm_same_fingerprint() {
+        let cache = SnapCache::new(4);
+        let obs = ServeObs::new();
+        let body = r#"{"bench":"lock_sweep","cores":2,"schemes":["CC"]}"#;
+
+        let cold = job(body);
+        assert_eq!(run_job(&cold, &cache, &obs), JobState::Done);
+        let cold_r = cold.results();
+        assert_eq!(cold_r.len(), 1);
+        assert!(!cold_r[0].cache_hit);
+        assert!(cold_r[0].output_ok, "cold run output");
+        assert_eq!(cache.len(), 1, "cold run populated the cache");
+
+        let warm = job(body);
+        assert_eq!(run_job(&warm, &cache, &obs), JobState::Done);
+        let warm_r = warm.results();
+        assert!(warm_r[0].cache_hit);
+        assert!(warm_r[0].output_ok, "warm run output");
+        assert_eq!(warm_r[0].fingerprint, cold_r[0].fingerprint, "warm == cold, bit-exact");
+        assert_eq!(obs.cache_hits.get(), 1);
+        assert_eq!(obs.cache_misses.get(), 1);
+        assert_eq!(obs.jobs_completed.get(), 2);
+    }
+
+    #[test]
+    fn scheme_grid_forks_one_snapshot() {
+        let cache = SnapCache::new(4);
+        let obs = ServeObs::new();
+        let j =
+            job(r#"{"bench":"pingpong","cores":2,"schemes":["CC","Q100","S9*"],"metrics":true}"#);
+        assert_eq!(run_job(&j, &cache, &obs), JobState::Done);
+        let rs = j.results();
+        assert_eq!(rs.len(), 3);
+        assert!(rs.iter().all(|r| r.output_ok), "{rs:?}");
+        assert_eq!(j.metrics_dumps().len(), 3, "one sk-obs dump per scheme");
+        assert!(j.metrics_dumps()[0].1.starts_with("{\"schema\":\"sk-obs-metrics\""));
+    }
+
+    #[test]
+    fn pre_cancelled_job_never_runs() {
+        let cache = SnapCache::new(4);
+        let obs = ServeObs::new();
+        let j = job(r#"{"bench":"pingpong","cores":2}"#);
+        j.request_cancel();
+        assert_eq!(run_job(&j, &cache, &obs), JobState::Cancelled);
+        assert!(j.results().is_empty());
+        assert_eq!(obs.jobs_cancelled.get(), 1);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Satellite: concurrent forks of one cached snapshot are bit-exact.
+//!
+//! N threads share a single cached CC safe-point snapshot (one
+//! `Arc<Vec<u8>>` straight out of `SnapCache`) and fork it onto
+//! different schemes at the same time. Every concurrent fork must
+//! produce a fingerprint identical to a sequential cold-run reference of
+//! the same (snapshot, scheme) pair — and the CC fork must additionally
+//! match a from-scratch CC run, closing the loop to an uncached
+//! simulation. This is the property that lets the server hand one cache
+//! entry to many workers with no locking around the engine itself.
+
+use sk_core::engine::{Engine, RunOutcome};
+use sk_core::{run_parallel, Scheme, SimReport, TargetConfig};
+use sk_serve::cache::SnapCache;
+use sk_serve::job::JobSpec;
+use sk_serve::json;
+use std::sync::Arc;
+
+/// Build the shared snapshot exactly the way the server's cold path
+/// does: CC probe to doubling safe-point targets until ROI has begun.
+fn probe_snapshot(spec: &JobSpec) -> (Vec<u8>, TargetConfig, Vec<i64>) {
+    let w = spec.workload().expect("known bench");
+    let cfg = spec.config();
+    let mut e = Engine::new(&w.program, Scheme::CycleByCycle, &cfg);
+    let mut target = 1 << 10;
+    loop {
+        match e.run_until(Some(target)) {
+            RunOutcome::CheckpointReady => {
+                if e.roi_started() {
+                    return (e.snapshot().expect("safe-point snapshot"), cfg, w.expected);
+                }
+                target *= 2;
+            }
+            other => panic!("workload ended during warmup probe: {other:?}"),
+        }
+    }
+}
+
+fn fork(bytes: &[u8], scheme: Scheme) -> SimReport {
+    let mut e = Engine::resume(bytes, Some(scheme)).expect("fork from snapshot");
+    assert_eq!(e.run_until(None), RunOutcome::Finished);
+    e.into_report()
+}
+
+#[test]
+fn concurrent_forks_match_cold_references() {
+    let spec =
+        JobSpec::from_json(&json::parse(r#"{"bench":"lock_sweep","cores":2}"#).unwrap(), "t")
+            .unwrap();
+    let (snapshot, cfg, expected) = probe_snapshot(&spec);
+    let w = spec.workload().unwrap();
+
+    // The snapshot goes through the real cache, and every thread holds
+    // the same Arc'd buffer — as in the server.
+    let cache = SnapCache::new(4);
+    let key = spec.snapshot_key(&w.program, &cfg);
+    cache.insert(key, snapshot);
+    let bytes: Arc<Vec<u8>> = cache.get(&key).expect("just inserted");
+
+    // Several concurrent CC forks (the deterministic scheme: bit-exact
+    // repeats promised) interleaved with slack schemes, whose timing is
+    // nondeterministic by design but whose *functional* output on a
+    // race-free workload must still be right.
+    let schemes = [
+        Scheme::CycleByCycle,
+        Scheme::CycleByCycle,
+        Scheme::CycleByCycle,
+        Scheme::CycleByCycle,
+        "Q100".parse::<Scheme>().unwrap(),
+        "Q50".parse::<Scheme>().unwrap(),
+        "S9*".parse::<Scheme>().unwrap(),
+        "SU".parse::<Scheme>().unwrap(),
+        "L200".parse::<Scheme>().unwrap(),
+    ];
+
+    // Sequential cold CC reference.
+    let cc_reference: SimReport = fork(&bytes, Scheme::CycleByCycle);
+
+    // Two full rounds of concurrent forks sharing the one buffer.
+    for round in 0..2 {
+        let forks: Vec<_> = schemes
+            .iter()
+            .map(|s| {
+                let bytes = bytes.clone();
+                let s = *s;
+                std::thread::spawn(move || (s, fork(&bytes, s)))
+            })
+            .collect();
+        for t in forks {
+            let (scheme, got) = t.join().expect("fork thread");
+            if scheme.slack_bound() == Some(0) {
+                assert_eq!(
+                    got.fingerprint(),
+                    cc_reference.fingerprint(),
+                    "round {round}: concurrent CC fork diverged from its cold reference"
+                );
+                assert_eq!(got.printed(), cc_reference.printed(), "round {round}: printed");
+            }
+            let printed: Vec<i64> = got.printed().into_iter().map(|(_, v)| v).collect();
+            assert_eq!(
+                printed, expected,
+                "round {round}: {} fork produced wrong workload output",
+                got.scheme
+            );
+        }
+    }
+
+    // Close the loop: the CC fork equals an uncached from-scratch CC run.
+    let scratch = run_parallel(&w.program, Scheme::CycleByCycle, &cfg);
+    assert_eq!(
+        cc_reference.fingerprint(),
+        scratch.fingerprint(),
+        "CC forked from the warmup snapshot must equal a from-scratch CC run"
+    );
+    assert_eq!(cc_reference.printed(), scratch.printed());
+}

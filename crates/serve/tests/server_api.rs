@@ -1,0 +1,215 @@
+//! End-to-end API tests against a live in-process server: real sockets,
+//! real workers, real simulations (tiny 2-core micro-kernels).
+
+use sk_serve::client::Client;
+use sk_serve::json::Json;
+use sk_serve::server::{Server, ServerConfig};
+use std::time::Duration;
+
+fn small_server(workers: usize, queue: usize, quota: usize) -> Server {
+    Server::start(ServerConfig {
+        workers,
+        queue_capacity: queue,
+        tenant_quota: quota,
+        ..ServerConfig::default()
+    })
+    .expect("bind server")
+}
+
+const DEADLINE: Duration = Duration::from_secs(60);
+
+fn submit(c: &mut Client, body: &str, tenant: &str) -> u64 {
+    let resp = c.post_job(body, tenant).expect("post");
+    assert_eq!(resp.status, 202, "unexpected response: {}", resp.body);
+    resp.json().unwrap().get("job").unwrap().as_i64().unwrap() as u64
+}
+
+/// Run to completion, return (state doc, per-scheme (scheme, fingerprint,
+/// cache_hit, output_ok)).
+fn finish(c: &mut Client, id: u64) -> (Json, Vec<(String, String, bool, bool)>) {
+    let doc = c.wait_job(id, DEADLINE).expect("job finished");
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|r| {
+            (
+                r.get("scheme").unwrap().as_str().unwrap().to_string(),
+                r.get("fingerprint").unwrap().as_str().unwrap().to_string(),
+                r.get("cache_hit").unwrap().as_bool().unwrap(),
+                r.get("output_ok").unwrap().as_bool().unwrap(),
+            )
+        })
+        .collect();
+    (doc, results)
+}
+
+#[test]
+fn cold_then_warm_hits_the_cache_with_identical_fingerprints() {
+    let server = small_server(2, 16, 8);
+    let mut c = Client::new(server.addr());
+    let body = r#"{"bench":"lock_sweep","cores":2,"schemes":["CC","Q100"],"metrics":true}"#;
+
+    let cold_id = submit(&mut c, body, "alice");
+    let (cold_doc, cold) = finish(&mut c, cold_id);
+    assert_eq!(cold_doc.get("state").unwrap().as_str(), Some("done"));
+    assert_eq!(cold.len(), 2);
+    assert!(cold.iter().all(|(_, _, hit, ok)| !hit && *ok), "{cold:?}");
+
+    // Different tenant, same spec: the cache is content-addressed, not
+    // tenant-scoped.
+    let warm_id = submit(&mut c, body, "bob");
+    let (_, warm) = finish(&mut c, warm_id);
+    assert!(warm.iter().all(|(_, _, hit, ok)| *hit && *ok), "{warm:?}");
+    // Bit-identity is promised for the deterministic scheme (CC); the
+    // slack scheme (Q100) is timing-nondeterministic by design.
+    for ((cs, cf, _, _), (ws, wf, _, _)) in cold.iter().zip(&warm) {
+        assert_eq!(cs, ws);
+        if cs == "CC" {
+            assert_eq!(cf, wf, "warm CC fork diverged from the cold run");
+        }
+    }
+
+    // Per-job sk-obs dumps stream through the API.
+    let m = c.get(&format!("/jobs/{cold_id}/metrics")).unwrap();
+    assert_eq!(m.status, 200);
+    assert!(m.body.contains("\"schema\":\"sk-obs-metrics\""), "{}", m.body);
+
+    // Server telemetry shows the hit/miss ledger.
+    let metrics = c.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let doc = metrics.json().unwrap();
+    let counters = doc.get("counters").unwrap();
+    assert_eq!(counters.get("cache_misses").unwrap().as_i64(), Some(1));
+    assert_eq!(counters.get("cache_hits").unwrap().as_i64(), Some(1));
+    assert_eq!(counters.get("jobs_completed").unwrap().as_i64(), Some(2));
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_400_and_are_counted() {
+    let server = small_server(1, 4, 4);
+    let mut c = Client::new(server.addr());
+
+    for (body, why) in [
+        ("{not json", "syntax"),
+        ("[1,2,3]", "not an object"),
+        (r#"{"bench":"no-such-kernel"}"#, "unknown bench"),
+        (r#"{"bench":"FFT","schemes":["WAT"]}"#, "bad scheme"),
+        (r#"{"bench":"FFT","cores":999}"#, "cores cap"),
+    ] {
+        let resp = c.post_job(body, "alice").unwrap();
+        assert_eq!(resp.status, 400, "{why}: {}", resp.body);
+        assert!(resp.json().unwrap().get("error").is_some(), "{why}");
+    }
+    // Unknown endpoints 404; health stays green throughout.
+    assert_eq!(c.get("/nope").unwrap().status, 404);
+    assert_eq!(c.get("/healthz").unwrap().status, 200);
+
+    let doc = c.get("/metrics").unwrap().json().unwrap();
+    assert_eq!(doc.get("counters").unwrap().get("bad_requests").unwrap().as_i64(), Some(5));
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_429_with_retry_after_and_stays_live() {
+    // One worker, two queue slots: a burst must shed.
+    let server = small_server(1, 2, 64);
+    let mut c = Client::new(server.addr());
+    let body = r#"{"bench":"private_compute","cores":2,"schemes":["CC"]}"#;
+
+    let mut accepted = Vec::new();
+    let mut shed = 0u64;
+    for _ in 0..12 {
+        let resp = c.post_job(body, "alice").unwrap();
+        match resp.status {
+            202 => accepted.push(resp.json().unwrap().get("job").unwrap().as_i64().unwrap() as u64),
+            429 => {
+                assert_eq!(resp.header("retry-after"), Some("1"), "429 carries Retry-After");
+                assert!(resp.body.contains("queue full"), "{}", resp.body);
+                shed += 1;
+            }
+            other => panic!("unexpected status {other}: {}", resp.body),
+        }
+    }
+    assert!(shed > 0, "burst of 12 into a 2-slot queue must shed");
+    assert!(!accepted.is_empty(), "some jobs must be admitted");
+
+    // The server survives the burst: everything admitted completes, and
+    // the shed count is in the dump.
+    for id in &accepted {
+        let (doc, _) = finish(&mut c, *id);
+        assert_eq!(doc.get("state").unwrap().as_str(), Some("done"));
+    }
+    assert_eq!(c.get("/healthz").unwrap().status, 200);
+    let doc = c.get("/metrics").unwrap().json().unwrap();
+    assert_eq!(doc.get("counters").unwrap().get("jobs_shed").unwrap().as_i64(), Some(shed as i64));
+    server.shutdown();
+}
+
+#[test]
+fn tenant_quota_shedding_is_per_tenant() {
+    // Huge queue, quota of 1 in-flight job per tenant.
+    let server = small_server(1, 64, 1);
+    let mut c = Client::new(server.addr());
+    let body = r#"{"bench":"pingpong","cores":2,"schemes":["CC"]}"#;
+
+    let first = submit(&mut c, body, "alice");
+    let second = c.post_job(body, "alice").unwrap();
+    assert_eq!(second.status, 429, "alice is at quota");
+    assert!(second.body.contains("quota"), "{}", second.body);
+    // Bob is unaffected by alice's quota.
+    let bob = submit(&mut c, body, "bob");
+
+    for id in [first, bob] {
+        let (doc, _) = finish(&mut c, id);
+        assert_eq!(doc.get("state").unwrap().as_str(), Some("done"));
+    }
+    // Terminal jobs release the quota slot.
+    let again = c.post_job(body, "alice").unwrap();
+    assert_eq!(again.status, 202, "{}", again.body);
+    server.shutdown();
+}
+
+#[test]
+fn delete_cancels_a_queued_job() {
+    // One worker pinned on a long-ish job; the queued one gets cancelled.
+    let server = small_server(1, 8, 8);
+    let mut c = Client::new(server.addr());
+
+    let busy = submit(
+        &mut c,
+        r#"{"bench":"lock_sweep","cores":2,"schemes":["CC","Q100","S9*"]}"#,
+        "alice",
+    );
+    let victim = submit(&mut c, r#"{"bench":"FFT","cores":2,"schemes":["CC"]}"#, "bob");
+    let resp = c.cancel_job(victim).unwrap();
+    assert_eq!(resp.status, 202);
+
+    let (doc, results) = finish(&mut c, victim);
+    // The cancel races the worker: either it never ran, or it ran to
+    // completion first. Both are legal; "failed" is not.
+    let state = doc.get("state").unwrap().as_str().unwrap();
+    assert!(state == "cancelled" || state == "done", "state={state}");
+    if state == "cancelled" {
+        assert!(results.is_empty(), "a cancelled-before-run job has no results");
+    }
+    let (busy_doc, _) = finish(&mut c, busy);
+    assert_eq!(busy_doc.get("state").unwrap().as_str(), Some("done"));
+    server.shutdown();
+}
+
+#[test]
+fn benches_endpoint_lists_the_catalogue() {
+    let server = small_server(1, 4, 4);
+    let mut c = Client::new(server.addr());
+    let doc = c.get("/benches").unwrap().json().unwrap();
+    let names: Vec<&str> =
+        doc.get("benches").unwrap().as_arr().unwrap().iter().filter_map(Json::as_str).collect();
+    for expect in ["FFT", "LU", "pingpong", "lock_sweep"] {
+        assert!(names.iter().any(|n| n.eq_ignore_ascii_case(expect)), "missing {expect}");
+    }
+    server.shutdown();
+}

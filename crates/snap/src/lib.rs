@@ -23,6 +23,9 @@
 
 use std::fmt;
 
+pub mod hash;
+pub use hash::{fnv1a64, Fnv64, SnapshotKey};
+
 /// First eight bytes of every snapshot file: "SKSNAP" + two version-era
 /// padding bytes. Changing this invalidates all existing snapshots.
 pub const MAGIC: [u8; 8] = *b"SKSNAP\x00\x01";
@@ -93,18 +96,6 @@ impl From<std::io::Error> for SnapError {
     fn from(e: std::io::Error) -> Self {
         SnapError::Io(e.to_string())
     }
-}
-
-/// FNV-1a 64-bit over a byte slice. Not cryptographic — it guards against
-/// accidental corruption (truncation, bit rot, concurrent writes), which is
-/// the failure mode snapshots actually see.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// Append-only little-endian byte sink used by [`Persist::save`].

@@ -7,10 +7,13 @@
 //!
 //! Fingerprint equality is asserted wherever the backend itself is
 //! bit-deterministic: the deterministic backend under every scheme, and
-//! the threads backend under conservative/ordered schemes. Eager schemes
-//! on the threads backend are host-timing dependent even between two
-//! uninterrupted runs of the *same* configuration, so there the check is
-//! functional (printed output).
+//! the threads backend under zero-slack schemes
+//! (`Scheme::slack_bound() == Some(0)`). Any nonzero slack window makes
+//! the threads backend host-timing dependent even between two
+//! uninterrupted runs of the *same* configuration — stall-cycle counts
+//! jitter by a cycle — so there the checks are the scheme's actual
+//! guarantees: printed output, and for serialized workloads under
+//! ordered bounded slack, the execution time and committed counts.
 
 use slacksim_suite::prelude::*;
 
@@ -63,15 +66,24 @@ fn threads_backend_cc_is_bit_identical_on_vs_off() {
 }
 
 #[test]
-fn threads_backend_ordered_s10_is_bit_identical_on_serialized_workloads() {
+fn threads_backend_ordered_s10_is_time_exact_on_serialized_workloads() {
     // Structurally serialized workload (only the token holder runs), so
-    // the ordered bounded-slack scheme is bit-deterministic on the
-    // threads backend and the full fingerprint must match.
+    // the ordered bounded-slack scheme's *execution time* is exact on the
+    // threads backend: exec_cycles, per-core committed counts, and output
+    // must all be dispatch-invariant. Full fingerprints are NOT compared:
+    // with a nonzero slack window the threads backend jitters stall-cycle
+    // counts by a cycle even between two runs of the same configuration
+    // (the det-backend test above covers bit-identity for S10; threaded
+    // bit-identity is only a zero-slack guarantee).
     let w = kernels::micro::pingpong(60);
     let scheme = Scheme::OldestFirstBounded(10);
     let on = run_parallel(&w.program, scheme, &cfg_with(w.n_threads, true));
     let off = run_parallel(&w.program, scheme, &cfg_with(w.n_threads, false));
-    assert_same_fingerprint(&on, &off, "threads S10* pingpong");
+    assert!(on.superblocks && !off.superblocks, "threads S10* pingpong: runs mislabelled");
+    assert_eq!(on.exec_cycles, off.exec_cycles, "threads S10* pingpong: exec time diverged");
+    assert_eq!(on.printed(), off.printed(), "threads S10* pingpong: output diverged");
+    let committed = |r: &SimReport| r.cores.iter().map(|c| c.committed).collect::<Vec<_>>();
+    assert_eq!(committed(&on), committed(&off), "threads S10* pingpong: committed diverged");
 }
 
 #[test]
