@@ -13,7 +13,7 @@
 //! Common options:
 //!
 //! ```text
-//!   --scheme  CC|Q<n>|L<n>|S<n>|S<n>*|SU|A<min>-<max>   (default S9)
+//!   --scheme  CC|Q<n>|L<n>|S<n>|S<n>*|SU|A<b>|A<min>-<max>   (default S9)
 //!   --cores   <n>        target cores / workload threads (default 8)
 //!   --shards  <n>        sharded memory managers (default 0 = single)
 //!   --scale   test|bench|full                            (default bench)
@@ -431,14 +431,19 @@ fn report_json(r: &SimReport) -> String {
     s.push_str(&format!(
         "\"engine\":{{\"blocks\":{},\"wakeups\":{},\"global_updates\":{},\
          \"events_processed\":{},\"max_observed_slack\":{},\"final_quantum\":{},\
-         \"slack_profile_truncated\":{}}},",
+         \"slack_profile_truncated\":{},\"adapt_epochs\":{},\"adapt_raises\":{},\
+         \"adapt_lowers\":{},\"adapt_final_window\":{}}},",
         e.blocks,
         e.wakeups,
         e.global_updates,
         e.events_processed,
         e.max_observed_slack,
         e.final_quantum,
-        e.slack_profile_truncated
+        e.slack_profile_truncated,
+        e.adapt_epochs,
+        e.adapt_raises,
+        e.adapt_lowers,
+        e.adapt_final_window
     ));
     let d = &r.dir;
     s.push_str(&format!(
@@ -781,7 +786,7 @@ fn main() -> ExitCode {
             for w in benches(&opts) {
                 println!("  {:<18} {}", w.name, w.input);
             }
-            println!("schemes: CC  Q<n>  L<n>  S<n>  S<n>*  SU  A<min>-<max>");
+            println!("schemes: CC  Q<n>  L<n>  S<n>  S<n>*  SU  A<b>  A<min>-<max>");
         }
         _ => {
             println!("{}", HELP);
@@ -945,7 +950,7 @@ LOADGEN OPTIONS:
   --json <file>        write the stats JSON to a file
 
 OPTIONS:
-  --scheme CC|Q<n>|L<n>|S<n>|S<n>*|SU|A<min>-<max>  slack scheme (default S9)
+  --scheme CC|Q<n>|L<n>|S<n>|S<n>*|SU|A<b>|A<min>-<max>  slack scheme (default S9)
   --cores <n>          target cores (default 8)
   --shards <n>         sharded memory-manager threads (default 0 = single)
   --scale test|bench|full
@@ -1163,6 +1168,10 @@ mod tests {
         r.engine.max_observed_slack = 10;
         r.engine.final_quantum = 10;
         r.engine.slack_profile_truncated = 0;
+        r.engine.adapt_epochs = 6;
+        r.engine.adapt_raises = 4;
+        r.engine.adapt_lowers = 1;
+        r.engine.adapt_final_window = 32;
         r.dir.gets = 30;
         r.dir.getm = 12;
         r.dir.upgrades = 3;

@@ -1,0 +1,344 @@
+//! Closed-loop slack controller for [`Scheme::Adaptive`](crate::Scheme).
+//!
+//! The paper's adaptive-quantum extension (§3, after Falcón et al. [8])
+//! resizes a *quantum* from coherence traffic alone. This controller
+//! closes the loop around the *slack window* instead, using the live
+//! signals the engine already measures per manager iteration:
+//!
+//! * **violation pressure** — the conflict tracker's cumulative
+//!   store-past-load / load-past-store counters (the same series the
+//!   sk-obs violation-rate sampler records);
+//! * **slack saturation** — the largest observed `local − global` this
+//!   epoch (the manager's slack histogram input). A window the cores
+//!   consume to the edge is a window throttling simulation speed;
+//! * **park causes** — the clock board's cumulative window-block counter
+//!   (threaded backend; the deterministic backend's cores yield at the
+//!   window instead of parking, so saturation carries the signal there).
+//!
+//! Once per *control epoch* (a fixed span of simulated cycles derived
+//! from the budget) the controller makes one decision:
+//!
+//! * violations this epoch → **halve** the window (accuracy pressure);
+//! * otherwise, window saturated or cores parked at it → **double** it
+//!   (speed pressure);
+//! * otherwise → **hold**.
+//!
+//! The window is hard-clamped to `[1, budget]` at every step, which is
+//! the entire soundness argument for
+//! [`Scheme::slack_bound`](crate::Scheme::slack_bound): the engine
+//! publishes `max_local = global + window ≤ global + budget`, windows
+//! only ever extend a previously published bound, and global time is the
+//! minimum of the local clocks — so no access can be inverted by more
+//! than `budget` cycles no matter what trajectory the loop takes.
+//!
+//! Decisions are pure functions of simulated state, so a deterministic
+//! run reproduces the exact window trajectory from its schedule seed; the
+//! DetEngine additionally draws every decision through its seeded
+//! interleaver so the trajectory is part of the recorded schedule (see
+//! `sk_det::Interleaver::note_decision`).
+
+use sk_snap::{Persist, Reader, SnapError, Writer};
+
+/// First window granted before any telemetry exists. Deliberately small:
+/// ramping up costs a few epochs once, starting too wide costs accuracy
+/// on sharing-heavy openings.
+const INITIAL_WINDOW: u64 = 8;
+/// Bounds on the control-epoch length in simulated cycles.
+const EPOCH_MIN: u64 = 64;
+const EPOCH_MAX: u64 = 8192;
+/// Retained window-trajectory entries (the controller keeps deciding
+/// after the cap; only the recording stops).
+const TRAJECTORY_CAP: usize = 1 << 14;
+
+/// What one epoch decision did to the window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdaptDecision {
+    /// Violation pressure: the window was halved.
+    Lower,
+    /// Speed pressure (saturated or parked-at-window): the window was
+    /// doubled, clamped to the budget.
+    Raise,
+    /// No pressure either way: the window stands.
+    Hold,
+}
+
+/// Per-epoch closed-loop controller state for one engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlackController {
+    budget: u64,
+    window: u64,
+    epoch_len: u64,
+    next_epoch: u64,
+    /// Cumulative-counter marks at the last decision (saturating deltas,
+    /// so counter resets — ROI begin, snapshot resume — read as a quiet
+    /// epoch rather than underflow).
+    violation_mark: u64,
+    park_mark: u64,
+    /// Largest observed slack since the last decision.
+    epoch_slack_hi: u64,
+    epochs: u64,
+    raises: u64,
+    lowers: u64,
+    holds: u64,
+    /// `(global cycle, window)` at each decision, for replay pinning and
+    /// the frontier bench. Capped at `TRAJECTORY_CAP`.
+    trajectory: Vec<(u64, u64)>,
+}
+
+impl SlackController {
+    /// A fresh controller for an inversion budget of `budget` cycles
+    /// (must be ≥ 1; enforced at scheme parse/load time).
+    pub fn new(budget: u64) -> Self {
+        assert!(budget >= 1, "degenerate adaptive budget");
+        SlackController {
+            budget,
+            window: INITIAL_WINDOW.min(budget),
+            // Several windows per epoch so the saturation signal has time
+            // to show up, bounded so tiny budgets still adapt and huge
+            // budgets still react within a kernel phase.
+            epoch_len: budget.saturating_mul(4).clamp(EPOCH_MIN, EPOCH_MAX),
+            next_epoch: 0,
+            violation_mark: 0,
+            park_mark: 0,
+            epoch_slack_hi: 0,
+            epochs: 0,
+            raises: 0,
+            lowers: 0,
+            holds: 0,
+            trajectory: Vec::new(),
+        }
+    }
+
+    /// The hard clamp — equals `Scheme::Adaptive { budget }.slack_bound()`.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The effective slack window currently granted, in `[1, budget]`.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Length of one control epoch in simulated cycles.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// Decisions made so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// (raises, lowers, holds) decision counts.
+    pub fn decision_counts(&self) -> (u64, u64, u64) {
+        (self.raises, self.lowers, self.holds)
+    }
+
+    /// The recorded `(global cycle, window)` decision trajectory.
+    pub fn trajectory(&self) -> &[(u64, u64)] {
+        &self.trajectory
+    }
+
+    /// Feed one observed-slack sample (called every manager iteration;
+    /// the controller keeps the epoch maximum).
+    #[inline]
+    pub fn observe_slack(&mut self, slack: u64) {
+        if slack > self.epoch_slack_hi {
+            self.epoch_slack_hi = slack;
+        }
+    }
+
+    /// Is a decision due at global time `g`?
+    #[inline]
+    pub fn due(&self, g: u64) -> bool {
+        g >= self.next_epoch
+    }
+
+    /// Make the epoch decision at global time `g` from the cumulative
+    /// violation and park-cause counters. Returns what was decided; the
+    /// new window is [`SlackController::window`].
+    pub fn step(&mut self, g: u64, violations_cum: u64, parks_cum: u64) -> AdaptDecision {
+        let dv = violations_cum.saturating_sub(self.violation_mark);
+        let dp = parks_cum.saturating_sub(self.park_mark);
+        self.violation_mark = violations_cum;
+        self.park_mark = parks_cum;
+        let saturated = self.epoch_slack_hi.saturating_add(1) >= self.window;
+        self.epoch_slack_hi = 0;
+        let decision = if dv > 0 {
+            self.window = (self.window / 2).max(1);
+            self.lowers += 1;
+            AdaptDecision::Lower
+        } else if dp > 0 || saturated {
+            self.window = self.window.saturating_mul(2).min(self.budget);
+            self.raises += 1;
+            AdaptDecision::Raise
+        } else {
+            self.holds += 1;
+            AdaptDecision::Hold
+        };
+        debug_assert!(self.window >= 1 && self.window <= self.budget);
+        self.epochs += 1;
+        self.next_epoch = g.saturating_add(self.epoch_len);
+        if self.trajectory.len() < TRAJECTORY_CAP {
+            self.trajectory.push((g, self.window));
+        }
+        decision
+    }
+}
+
+impl Persist for SlackController {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.budget);
+        w.put_u64(self.window);
+        w.put_u64(self.epoch_len);
+        w.put_u64(self.next_epoch);
+        w.put_u64(self.violation_mark);
+        w.put_u64(self.park_mark);
+        w.put_u64(self.epoch_slack_hi);
+        w.put_u64(self.epochs);
+        w.put_u64(self.raises);
+        w.put_u64(self.lowers);
+        w.put_u64(self.holds);
+        w.put_usize(self.trajectory.len());
+        for &(g, win) in &self.trajectory {
+            w.put_u64(g);
+            w.put_u64(win);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let budget = r.get_u64()?;
+        if budget == 0 {
+            return Err(SnapError::Corrupt("adaptive controller with zero budget".into()));
+        }
+        let window = r.get_u64()?;
+        if window == 0 || window > budget {
+            return Err(SnapError::Corrupt(format!(
+                "adaptive window {window} outside [1, {budget}]"
+            )));
+        }
+        let mut c = SlackController {
+            budget,
+            window,
+            epoch_len: r.get_u64()?,
+            next_epoch: r.get_u64()?,
+            violation_mark: r.get_u64()?,
+            park_mark: r.get_u64()?,
+            epoch_slack_hi: r.get_u64()?,
+            epochs: r.get_u64()?,
+            raises: r.get_u64()?,
+            lowers: r.get_u64()?,
+            holds: r.get_u64()?,
+            trajectory: Vec::new(),
+        };
+        let n = r.get_count(16)?;
+        c.trajectory.reserve(n.min(TRAJECTORY_CAP));
+        for _ in 0..n {
+            let g = r.get_u64()?;
+            let win = r.get_u64()?;
+            c.trajectory.push((g, win));
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_up_under_saturation_and_clamps_at_budget() {
+        let mut c = SlackController::new(100);
+        assert_eq!(c.window(), 8);
+        let mut g = 0;
+        for _ in 0..16 {
+            c.observe_slack(c.window()); // cores ate the whole window
+            assert!(c.due(g));
+            assert_eq!(c.step(g, 0, 0), AdaptDecision::Raise);
+            g += c.epoch_len();
+        }
+        assert_eq!(c.window(), 100, "doubling clamps exactly at the budget");
+        let (raises, lowers, holds) = c.decision_counts();
+        assert_eq!((raises, lowers, holds), (16, 0, 0));
+    }
+
+    #[test]
+    fn violations_halve_and_the_floor_is_one() {
+        let mut c = SlackController::new(64);
+        let mut viol = 0;
+        for i in 0..10 {
+            viol += 3;
+            assert_eq!(c.step(i * c.epoch_len(), viol, 0), AdaptDecision::Lower);
+        }
+        assert_eq!(c.window(), 1, "repeated violation pressure floors at 1");
+        // Once violations stop, a floored window is trivially saturated,
+        // so the loop probes upward again instead of staying pinned.
+        assert_eq!(c.step(1_000_000, viol, 0), AdaptDecision::Raise);
+        assert_eq!(c.window(), 2);
+    }
+
+    #[test]
+    fn park_counter_is_a_raise_signal_and_deltas_saturate() {
+        let mut c = SlackController::new(32);
+        c.step(0, 0, 0); // consume the slack-saturation start epoch
+        let w0 = c.window();
+        assert_eq!(c.step(100, 0, 5), AdaptDecision::Raise);
+        assert!(c.window() >= w0);
+        // A counter reset (e.g. a resumed board) reads as a quiet epoch,
+        // not an underflow.
+        assert_eq!(c.step(200, 0, 0), AdaptDecision::Hold);
+    }
+
+    #[test]
+    fn window_never_exceeds_budget_under_any_signal_storm() {
+        let mut c = SlackController::new(10);
+        let mut viol = 0u64;
+        let mut parks = 0u64;
+        for i in 0u64..1000 {
+            // Deterministic pseudo-random-ish signal mix.
+            if i % 7 == 0 {
+                viol += i % 3;
+            }
+            parks += i % 5;
+            c.observe_slack(i % 16);
+            c.step(i * 10, viol, parks);
+            assert!(c.window() >= 1 && c.window() <= 10);
+        }
+        assert_eq!(c.epochs(), 1000);
+    }
+
+    #[test]
+    fn epoch_length_derives_from_the_budget_within_bounds() {
+        assert_eq!(SlackController::new(1).epoch_len(), EPOCH_MIN);
+        assert_eq!(SlackController::new(100).epoch_len(), 400);
+        assert_eq!(SlackController::new(1_000_000).epoch_len(), EPOCH_MAX);
+    }
+
+    #[test]
+    fn persist_round_trip_is_bit_exact() {
+        let mut c = SlackController::new(48);
+        c.observe_slack(7);
+        c.step(0, 0, 0);
+        c.step(300, 2, 1);
+        c.observe_slack(40);
+        let mut w = Writer::new();
+        c.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = SlackController::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.trajectory(), c.trajectory());
+    }
+
+    #[test]
+    fn corrupt_controller_state_is_rejected() {
+        let mut c = SlackController::new(4);
+        c.step(0, 0, 0);
+        let mut w = Writer::new();
+        c.save(&mut w);
+        let mut bytes = w.into_bytes();
+        // budget is the first u64 (little-endian): zero it.
+        bytes[..8].fill(0);
+        assert!(SlackController::load(&mut Reader::new(&bytes)).is_err());
+    }
+}

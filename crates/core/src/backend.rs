@@ -83,6 +83,9 @@ const LIVELOCK_ROUNDS: u64 = 100_000;
 pub struct DetEngine {
     engine: Engine,
     il: Interleaver,
+    /// Adaptive-controller decisions already folded into the interleaver
+    /// (see [`DetEngine::fold_adapt_decisions`]).
+    adapt_seen: u64,
 }
 
 impl DetEngine {
@@ -98,7 +101,26 @@ impl DetEngine {
             engine.cfg.mem_shards, 0,
             "the deterministic backend does not support sharded memory managers"
         );
-        DetEngine { engine, il: Interleaver::from_seed(seed) }
+        // A resumed adaptive engine arrives with decisions already made;
+        // only decisions taken under *this* interleaver belong in its
+        // schedule stream.
+        let adapt_seen = engine.adapt_decisions().map_or(0, |(n, _)| n);
+        DetEngine { engine, il: Interleaver::from_seed(seed), adapt_seen }
+    }
+
+    /// Draw every new closed-loop controller decision through the
+    /// interleaver ([`sk_det::Interleaver::note_decision`]): the granted
+    /// window enters the decision hash and the recorded schedule, so same
+    /// seed ⇒ bit-identical adaptive run *including the window
+    /// trajectory*, and a replayed schedule that diverges from the
+    /// recorded trajectory is detectable by hash.
+    fn fold_adapt_decisions(&mut self) {
+        if let Some((n, w)) = self.engine.adapt_decisions() {
+            while self.adapt_seen < n {
+                self.adapt_seen += 1;
+                self.il.note_decision(w);
+            }
+        }
     }
 
     /// The schedule seed.
@@ -202,7 +224,9 @@ impl DetEngine {
 
             let pick = runnable[self.il.pick(runnable.len())];
             let progressed = if pick == n {
-                match self.engine.manager_iter(None, &mut st) {
+                let verdict = self.engine.manager_iter(None, &mut st);
+                self.fold_adapt_decisions();
+                match verdict {
                     MgrVerdict::Finish | MgrVerdict::CheckpointReady => break 'sim,
                     MgrVerdict::Continue { ingested, .. } => ingested > 0,
                 }
@@ -240,7 +264,9 @@ impl DetEngine {
             // Nothing has moved for a full round of picks: force a manager
             // iteration (it may raise a window or release a barrier)…
             stall = 0;
-            match self.engine.manager_iter(None, &mut st) {
+            let verdict = self.engine.manager_iter(None, &mut st);
+            self.fold_adapt_decisions();
+            match verdict {
                 MgrVerdict::Finish | MgrVerdict::CheckpointReady => break 'sim,
                 MgrVerdict::Continue { ingested, deadlockable } => {
                     if ingested > 0 {

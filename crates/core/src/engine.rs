@@ -5,6 +5,7 @@
 //! the lower cache hierarchy and paces the run by publishing global time
 //! and per-core max local times through shared memory.
 
+use crate::adapt::{AdaptDecision, SlackController};
 use crate::clock::{ClockBoard, CoreState, GlobalCache};
 use crate::config::{CoreModel, StopCondition, TargetConfig};
 use crate::core_thread::{CoreOutput, CoreSim, RoiState};
@@ -271,6 +272,10 @@ pub struct Engine {
     /// Shared superblock table (None with `cfg.superblocks` off). Derived
     /// from the text and rebuilt on resume, never serialized.
     sbt: Option<Arc<SuperblockTable>>,
+    /// Closed-loop slack controller (`Scheme::Adaptive` only). Stepped
+    /// once per control epoch inside [`Engine::manager_iter`]; its window
+    /// replaces the uncore's static one when present.
+    adapt: Option<SlackController>,
     /// Fault injection for the conformance suite: added to every published
     /// window, letting cores illegally outrun the scheme's slack bound.
     /// Always zero outside tests.
@@ -293,9 +298,14 @@ impl Engine {
             core.set_batch_cap(scheme.batch_cap());
         }
         let n = cfg.n_cores;
-        let initial_window = match scheme {
-            Scheme::AdaptiveQuantum { min, .. } => min,
-            s => s.window(0),
+        let adapt = match scheme {
+            Scheme::Adaptive { budget } => Some(SlackController::new(budget)),
+            _ => None,
+        };
+        let initial_window = match (&adapt, scheme) {
+            (Some(c), _) => c.window(),
+            (None, Scheme::AdaptiveQuantum { min, .. }) => min,
+            (None, s) => s.window(0),
         };
         let board = Arc::new(ClockBoard::new(n, initial_window));
         let uncore = Uncore::new(cfg, scheme, in_producers, Some(board.clone()));
@@ -354,6 +364,7 @@ impl Engine {
             next_violation_sample: 0,
             text_len,
             sbt,
+            adapt,
             window_bug_extra: 0,
             cancel: Arc::new(AtomicBool::new(false)),
         }
@@ -439,6 +450,20 @@ impl Engine {
     /// `false`) before running further segments on the same engine.
     pub fn cancel_token(&self) -> Arc<AtomicBool> {
         self.cancel.clone()
+    }
+
+    /// `(decisions made, current effective window)` of the closed-loop
+    /// controller — `Some` only under [`Scheme::Adaptive`]. The
+    /// deterministic backend folds every decision into its interleaver
+    /// hash through this, making the trajectory part of the schedule.
+    pub fn adapt_decisions(&self) -> Option<(u64, u64)> {
+        self.adapt.as_ref().map(|c| (c.epochs(), c.window()))
+    }
+
+    /// The controller's recorded `(global cycle, window)` decision
+    /// trajectory — `Some` only under [`Scheme::Adaptive`].
+    pub fn adapt_trajectory(&self) -> Option<&[(u64, u64)]> {
+        self.adapt.as_ref().map(|c| c.trajectory())
     }
 
     /// Has the workload's region of interest begun (the manager has
@@ -555,7 +580,41 @@ impl Engine {
         } else {
             g
         };
-        let mut w = self.uncore.window(g_window);
+        let mut w = if let Some(ctrl) = self.adapt.as_mut() {
+            // Closed loop (see `crate::adapt`): feed this iteration's
+            // slack sample, then once per control epoch decide from the
+            // cumulative violation and park counters. The published
+            // window is `global + window ≤ global + budget`, and the
+            // board only ever extends a bound already published, so the
+            // scheme's `slack_bound()` holds along any trajectory.
+            ctrl.observe_slack(slack_now);
+            if ctrl.due(g) {
+                let viols = self.tracker.as_ref().map_or(0, |t| {
+                    t.stats.store_past_load.load(Ordering::Relaxed)
+                        + t.stats.load_past_store.load(Ordering::Relaxed)
+                });
+                let parks = self.board.blocks.load(Ordering::Relaxed);
+                let decision = ctrl.step(g, viols, parks);
+                self.engine.adapt_epochs += 1;
+                match decision {
+                    AdaptDecision::Raise => self.engine.adapt_raises += 1,
+                    AdaptDecision::Lower => self.engine.adapt_lowers += 1,
+                    AdaptDecision::Hold => {}
+                }
+                if let Some(o) = &obs {
+                    match decision {
+                        AdaptDecision::Raise => o.manager.adapt_raise.inc(),
+                        AdaptDecision::Lower => o.manager.adapt_lower.inc(),
+                        AdaptDecision::Hold => o.manager.adapt_hold.inc(),
+                    }
+                    o.manager.adapt_window.record(ctrl.window());
+                }
+            }
+            self.engine.adapt_final_window = ctrl.window();
+            g_window.saturating_add(ctrl.window())
+        } else {
+            self.uncore.window(g_window)
+        };
         if let Some(c) = until {
             // The core-side limit would clamp anyway; capping the
             // published window spares pointless wake-and-recheck
@@ -833,6 +892,15 @@ impl Engine {
             core.save_state(&mut w);
         }
         self.uncore.save_state(&mut w);
+        // v5: adaptive-controller state, so a resumed run continues the
+        // control loop mid-epoch bit-exactly instead of re-ramping.
+        match &self.adapt {
+            None => w.put_bool(false),
+            Some(c) => {
+                w.put_bool(true);
+                c.save(&mut w);
+            }
+        }
         match &self.obs {
             None => w.put_bool(false),
             Some(o) => {
@@ -953,6 +1021,18 @@ impl Engine {
         }
         let mut uncore = Uncore::new(&cfg, scheme, in_producers, Some(board.clone()));
         uncore.restore_state(&mut r)?;
+        let saved_adapt = if r.get_bool()? { Some(SlackController::load(&mut r)?) } else { None };
+        // Same budget ⇒ the loop continues mid-epoch exactly where it
+        // stopped; a fork onto a different budget (or onto Adaptive from
+        // a static snapshot) starts a fresh controller, like any other
+        // scheme change.
+        let adapt = match scheme {
+            Scheme::Adaptive { budget } => match saved_adapt {
+                Some(c) if c.budget() == budget => Some(c),
+                _ => Some(SlackController::new(budget)),
+            },
+            _ => None,
+        };
         let obs = if r.get_bool()? {
             let m = Metrics::load(&mut r)?;
             if m.n_cores() != cfg.n_cores {
@@ -993,6 +1073,7 @@ impl Engine {
             next_violation_sample: 0,
             text_len,
             sbt,
+            adapt,
             window_bug_extra: 0,
             cancel: Arc::new(AtomicBool::new(false)),
         };

@@ -33,6 +33,7 @@
 //! | module | paper concept |
 //! |---|---|
 //! | [`scheme`] | §3 slack schemes (CC, Q, L, S, S*, SU, adaptive) |
+//! | [`adapt`] | extension: closed-loop slack controller (`A<budget>`) |
 //! | [`clock`] | §2.1 global/local/max-local time + thread parking |
 //! | [`msg`], [`spsc`] | §2.2 OutQ / InQ / GQ event queues |
 //! | [`cpu`] | §2.2/§4.1 OoO (NetBurst-like) and in-order core models |
@@ -42,6 +43,7 @@
 //! | [`engine`] | the parallel engine (N+1 Pthreads) |
 //! | [`seq`] | the single-thread cycle-by-cycle baseline |
 
+pub mod adapt;
 pub mod backend;
 pub mod clock;
 pub mod config;
@@ -60,6 +62,7 @@ pub mod sync;
 pub mod uncore;
 pub mod violation;
 
+pub use adapt::{AdaptDecision, SlackController};
 pub use backend::{run_det, DetEngine, ExecBackend};
 pub use config::{ConfigError, CoreConfig, CoreModel, StopCondition, TargetConfig};
 pub use engine::{run_parallel, Engine, RunOutcome};

@@ -16,6 +16,7 @@
 //! | S*s*\* | `g + s` | ts ≤ g, ordered (oldest-first) |
 //! | SU | unbounded | eagerly, arrival order |
 //! | A*min*-*max* | adaptive quantum | at the barrier, ordered |
+//! | A*b* | closed-loop slack ≤ *b* | eagerly, arrival order |
 //!
 //! The invariant `global ≤ local ≤ max_local` (paper §2.1) holds for every
 //! scheme; `window()` is monotone in `g`, which makes max-local updates
@@ -49,6 +50,16 @@ pub enum Scheme {
         /// Largest quantum (used when cores do not interact).
         max: u64,
     },
+    /// Extension: closed-loop bounded slack. A per-epoch controller in the
+    /// manager (see `crate::adapt`) retunes the effective sliding window
+    /// from live telemetry (violation pressure, slack saturation, park
+    /// causes), hard-clamped to `budget` so [`Scheme::slack_bound`] stays a
+    /// sound oracle: no inversion can ever exceed the budget.
+    Adaptive {
+        /// Largest effective slack window the controller may grant — the
+        /// user's inversion/error budget in cycles.
+        budget: u64,
+    },
 }
 
 /// How the manager consumes the global queue.
@@ -79,6 +90,11 @@ impl Scheme {
             Scheme::AdaptiveQuantum { .. } => {
                 unreachable!("adaptive quantum windows come from Scheme::adaptive_window")
             }
+            // The loosest sound window. The live engine tightens it per
+            // epoch through the slack controller; generic callers (the
+            // sequential engine, host-level models) may use the full
+            // budget without breaking the slack bound.
+            Scheme::Adaptive { budget } => g.saturating_add(budget),
         }
     }
 
@@ -95,7 +111,9 @@ impl Scheme {
                 EventOrdering::TimestampOrdered
             }
             Scheme::Quantum(_) | Scheme::AdaptiveQuantum { .. } => EventOrdering::AtBarrier,
-            Scheme::BoundedSlack(_) | Scheme::Unbounded => EventOrdering::Eager,
+            Scheme::BoundedSlack(_) | Scheme::Unbounded | Scheme::Adaptive { .. } => {
+                EventOrdering::Eager
+            }
         }
     }
 
@@ -109,6 +127,7 @@ impl Scheme {
             | Scheme::BoundedSlack(n)
             | Scheme::OldestFirstBounded(n) => n >= 1,
             Scheme::AdaptiveQuantum { min, max } => min >= 1 && min <= max,
+            Scheme::Adaptive { budget } => budget >= 1,
         }
     }
 
@@ -130,6 +149,11 @@ impl Scheme {
         const MAX_BATCH: u64 = 64;
         match *self {
             Scheme::BoundedSlack(s) => s.clamp(1, MAX_BATCH),
+            // The controller may tighten the window below the budget at
+            // any epoch; the core-side clamp (`max_local − local`) already
+            // caps every batch to the open window, so the budget is the
+            // right static ceiling here.
+            Scheme::Adaptive { budget } => budget.clamp(1, MAX_BATCH),
             Scheme::Unbounded => MAX_BATCH,
             _ => 1,
         }
@@ -148,6 +172,10 @@ impl Scheme {
             Scheme::Lookahead(l) => Some(l),
             Scheme::BoundedSlack(s) | Scheme::OldestFirstBounded(s) => Some(s),
             Scheme::AdaptiveQuantum { max, .. } => Some(max),
+            // The controller's window is hard-clamped to the budget, so
+            // the budget bounds every inversion regardless of how the
+            // closed loop retunes (see `crate::adapt`).
+            Scheme::Adaptive { budget } => Some(budget),
             Scheme::Unbounded => None,
         }
     }
@@ -176,6 +204,7 @@ impl Scheme {
             Scheme::OldestFirstBounded(s) => format!("S{s}*"),
             Scheme::Unbounded => "SU".into(),
             Scheme::AdaptiveQuantum { min, max } => format!("A{min}-{max}"),
+            Scheme::Adaptive { budget } => format!("A{budget}"),
         }
     }
 
@@ -221,6 +250,10 @@ impl Persist for Scheme {
                 w.put_u64(min);
                 w.put_u64(max);
             }
+            Scheme::Adaptive { budget } => {
+                w.put_u8(7);
+                w.put_u64(budget);
+            }
         }
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
@@ -232,6 +265,7 @@ impl Persist for Scheme {
             4 => Scheme::OldestFirstBounded(r.get_u64()?),
             5 => Scheme::Unbounded,
             6 => Scheme::AdaptiveQuantum { min: r.get_u64()?, max: r.get_u64()? },
+            7 => Scheme::Adaptive { budget: r.get_u64()? },
             t => return Err(SnapError::Corrupt(format!("scheme tag {t}"))),
         };
         if !scheme.is_valid() {
@@ -258,11 +292,10 @@ pub enum SchemeParseError {
     UnknownScheme(String),
     /// The numeric parameter is missing or not a number.
     BadParameter(String),
-    /// An adaptive scheme without the `Amin-max` range syntax.
-    MissingAdaptiveRange(String),
     /// Well-formed, but the parameter admits no progress (zero
-    /// quantum/lookahead/slack, or an adaptive range with `min > max` or
-    /// `min = 0`). The payload is the parsed-but-rejected scheme.
+    /// quantum/lookahead/slack/budget, or an adaptive range with
+    /// `min > max` or `min = 0`). The payload is the parsed-but-rejected
+    /// scheme.
     Degenerate(Scheme),
 }
 
@@ -271,9 +304,6 @@ impl fmt::Display for SchemeParseError {
         match self {
             SchemeParseError::UnknownScheme(s) => write!(f, "unknown scheme '{s}'"),
             SchemeParseError::BadParameter(s) => write!(f, "bad scheme parameter in '{s}'"),
-            SchemeParseError::MissingAdaptiveRange(s) => {
-                write!(f, "adaptive scheme '{s}' needs 'Amin-max'")
-            }
             SchemeParseError::Degenerate(scheme) => {
                 write!(f, "degenerate scheme parameter '{scheme}': window admits no progress")
             }
@@ -287,7 +317,7 @@ impl FromStr for Scheme {
     type Err = SchemeParseError;
 
     /// Parse the Figure-8 notation: `CC`, `Q10`, `L10`, `S9`, `S9*`, `SU`,
-    /// `A10-1000`.
+    /// `A10-1000` (adaptive quantum), `A100` (closed-loop slack budget).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
         match s {
@@ -312,12 +342,12 @@ impl FromStr for Scheme {
                     Scheme::BoundedSlack(parse_n(rest)?)
                 }
             }
-            "A" | "a" => {
-                let (lo, hi) = rest
-                    .split_once('-')
-                    .ok_or_else(|| SchemeParseError::MissingAdaptiveRange(s.to_string()))?;
-                Scheme::AdaptiveQuantum { min: parse_n(lo)?, max: parse_n(hi)? }
-            }
+            "A" | "a" => match rest.split_once('-') {
+                // `Amin-max`: the traffic-driven adaptive quantum.
+                Some((lo, hi)) => Scheme::AdaptiveQuantum { min: parse_n(lo)?, max: parse_n(hi)? },
+                // `Ab`: the closed-loop slack controller with budget `b`.
+                None => Scheme::Adaptive { budget: parse_n(rest)? },
+            },
             _ => return Err(SchemeParseError::UnknownScheme(s.to_string())),
         };
         if !scheme.is_valid() {
@@ -356,6 +386,7 @@ mod tests {
         assert_eq!(Scheme::BoundedSlack(9).slack_bound(), Some(9));
         assert_eq!(Scheme::OldestFirstBounded(9).slack_bound(), Some(9));
         assert_eq!(Scheme::AdaptiveQuantum { min: 10, max: 1000 }.slack_bound(), Some(1000));
+        assert_eq!(Scheme::Adaptive { budget: 64 }.slack_bound(), Some(64));
         assert_eq!(Scheme::Unbounded.slack_bound(), None);
     }
 
@@ -380,6 +411,26 @@ mod tests {
         assert_eq!(Scheme::BoundedSlack(9).ordering(), EventOrdering::Eager);
         assert_eq!(Scheme::OldestFirstBounded(9).ordering(), EventOrdering::TimestampOrdered);
         assert_eq!(Scheme::Unbounded.ordering(), EventOrdering::Eager);
+        assert_eq!(Scheme::Adaptive { budget: 16 }.ordering(), EventOrdering::Eager);
+    }
+
+    #[test]
+    fn adaptive_budget_semantics() {
+        let a = Scheme::Adaptive { budget: 16 };
+        // The scheme-level window is the loosest sound one; the engine's
+        // controller only ever tightens below it.
+        assert_eq!(a.window(0), 16);
+        assert_eq!(a.window(100), 116);
+        assert!(!a.is_conservative());
+        assert_eq!(a.batch_cap(), 16);
+        assert_eq!(Scheme::Adaptive { budget: 1000 }.batch_cap(), 64);
+        assert_eq!(a.short_name(), "A16");
+        // Persist round trip through the tagged encoding.
+        let mut w = sk_snap::Writer::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sk_snap::Reader::new(&bytes);
+        assert_eq!(Scheme::load(&mut r).unwrap(), a);
     }
 
     #[test]
@@ -398,6 +449,8 @@ mod tests {
         }
         let a = Scheme::AdaptiveQuantum { min: 10, max: 1000 };
         assert_eq!(a.short_name().parse::<Scheme>().unwrap(), a);
+        let b = Scheme::Adaptive { budget: 100 };
+        assert_eq!(b.short_name().parse::<Scheme>().unwrap(), b);
         assert!("X5".parse::<Scheme>().is_err());
         assert!("Sx".parse::<Scheme>().is_err());
         // Degenerate parameters are rejected, not deadlocked on.
@@ -414,7 +467,10 @@ mod tests {
         assert_eq!("".parse::<Scheme>(), Err(UnknownScheme("".into())));
         assert_eq!("Sx".parse::<Scheme>(), Err(BadParameter("Sx".into())));
         assert_eq!("Q".parse::<Scheme>(), Err(BadParameter("Q".into())));
-        assert_eq!("A100".parse::<Scheme>(), Err(MissingAdaptiveRange("A100".into())));
+        // A bare `A<n>` is the closed-loop budget form, not a missing range.
+        assert_eq!("A100".parse::<Scheme>(), Ok(Scheme::Adaptive { budget: 100 }));
+        assert_eq!("A".parse::<Scheme>(), Err(BadParameter("A".into())));
+        assert_eq!("Aten".parse::<Scheme>(), Err(BadParameter("Aten".into())));
         assert_eq!("Aten-5".parse::<Scheme>(), Err(BadParameter("Aten-5".into())));
         // Every zero-window parameterization comes back as Degenerate with
         // the offending scheme attached — callers can report precisely.
@@ -429,6 +485,12 @@ mod tests {
         assert_eq!(
             "A10-5".parse::<Scheme>(),
             Err(Degenerate(Scheme::AdaptiveQuantum { min: 10, max: 5 }))
+        );
+        // A zero budget would freeze every window: typed rejection.
+        assert_eq!("A0".parse::<Scheme>(), Err(Degenerate(Scheme::Adaptive { budget: 0 })));
+        assert_eq!(
+            Degenerate(Scheme::Adaptive { budget: 0 }).to_string(),
+            "degenerate scheme parameter 'A0': window admits no progress"
         );
         // A multi-byte first character must not panic the parser.
         assert_eq!("é10".parse::<Scheme>(), Err(UnknownScheme("é10".into())));

@@ -53,6 +53,7 @@ fn scheme_matrix() -> Vec<Scheme> {
         Scheme::OldestFirstBounded(10),
         Scheme::Unbounded,
         Scheme::AdaptiveQuantum { min: 10, max: 1000 },
+        Scheme::Adaptive { budget: 16 },
     ]
 }
 
@@ -66,6 +67,7 @@ fn bounded_schemes() -> Vec<(Scheme, u64)> {
         (Scheme::BoundedSlack(10), 10),
         (Scheme::OldestFirstBounded(10), 10),
         (Scheme::AdaptiveQuantum { min: 10, max: 1000 }, 1000),
+        (Scheme::Adaptive { budget: 16 }, 16),
     ]
 }
 
@@ -263,6 +265,73 @@ fn injected_window_bug_is_caught_within_the_seed_budget() {
 }
 
 // ---------------------------------------------------------------------
+// Closed-loop adaptive controller (`Scheme::Adaptive`) determinism.
+// ---------------------------------------------------------------------
+
+const ADAPTIVE: Scheme = Scheme::Adaptive { budget: 16 };
+
+/// One deterministic adaptive run: report, pick count, decision hash
+/// (which covers every controller decision via `note_decision`), and the
+/// window trajectory.
+fn adaptive_run(w: &Workload, n: usize, seed: u64) -> (SimReport, u64, u64, Vec<(u64, u64)>) {
+    let mut det = DetEngine::new(&w.program, ADAPTIVE, &tracking_cfg(n), seed);
+    det.run();
+    let picks = det.picks();
+    let hash = det.decision_hash();
+    let traj = det.engine_mut().adapt_trajectory().expect("adaptive engine").to_vec();
+    (det.into_report(), picks, hash, traj)
+}
+
+/// det≡det for the adaptive scheme: same seed ⇒ bit-identical run,
+/// including the decision hash (task order *and* controller decisions)
+/// and the exact window trajectory — across the full seed budget.
+#[test]
+fn adaptive_det_is_bit_identical_per_seed() {
+    let w = micro::racy_increment(3, 30);
+    for seed in SEEDS {
+        let (ra, pa, ha, ta) = adaptive_run(&w, 3, seed);
+        let (rb, pb, hb, tb) = adaptive_run(&w, 3, seed);
+        assert_eq!(pa, pb, "seed {seed}: pick counts diverged");
+        assert_eq!(ha, hb, "seed {seed}: adaptive schedules diverged");
+        assert_eq!(ta, tb, "seed {seed}: window trajectories diverged");
+        assert_eq!(ra.fingerprint(), rb.fingerprint(), "seed {seed}: reports diverged");
+        assert!(!ta.is_empty(), "seed {seed}: the controller never decided");
+        assert!(
+            ta.iter().all(|&(_, win)| (1..=16).contains(&win)),
+            "seed {seed}: a granted window escaped [1, budget]"
+        );
+        assert!(
+            ra.violations.max_inversion_cycles <= 16,
+            "seed {seed}: inversion {} exceeds the declared budget",
+            ra.violations.max_inversion_cycles
+        );
+    }
+}
+
+/// A recorded adaptive schedule replays bit-exactly under a different
+/// seed: the log drives the picks, the controller re-derives the same
+/// decisions, and the decision hash proves the trajectory matched.
+#[test]
+fn adaptive_recorded_schedule_replays_trajectory_exactly() {
+    let w = micro::racy_increment(3, 30);
+    let c = tracking_cfg(3);
+    let mut a = DetEngine::new(&w.program, ADAPTIVE, &c, SEEDS[5]);
+    a.record_schedule();
+    a.run();
+    let log = a.recorded_schedule().unwrap().to_vec();
+    let hash = a.decision_hash();
+    let traj = a.engine_mut().adapt_trajectory().unwrap().to_vec();
+    let fp = a.into_report().fingerprint();
+
+    let mut b = DetEngine::new(&w.program, ADAPTIVE, &c, 424242);
+    b.replay(log);
+    b.run();
+    assert_eq!(b.decision_hash(), hash, "replay took a different schedule or trajectory");
+    assert_eq!(b.engine_mut().adapt_trajectory().unwrap(), &traj[..]);
+    assert_eq!(b.into_report().fingerprint(), fp);
+}
+
+// ---------------------------------------------------------------------
 // Committed seed corpus: regression schedules replay bit-exactly.
 // ---------------------------------------------------------------------
 
@@ -290,6 +359,32 @@ fn corpus_note(r: &SimReport) -> String {
     )
 }
 
+/// FNV-1a digest over the controller's (global, window) decision pairs —
+/// a compact fingerprint of the whole window trajectory.
+fn traj_digest(traj: &[(u64, u64)]) -> u64 {
+    let mut h = sk_snap::hash::Fnv64::new();
+    for &(g, win) in traj {
+        h.write_u64(g);
+        h.write_u64(win);
+    }
+    h.value()
+}
+
+/// Adaptive corpus notes additionally pin the controller's epoch count,
+/// final window, and the exact trajectory digest: a committed seed must
+/// replay to the identical control sequence, not just equal violations.
+fn adaptive_corpus_note(r: &SimReport, traj: &[(u64, u64)]) -> String {
+    format!(
+        "violations={} max_inversion={} epochs={} final_window={} traj=0x{:016x} \
+         corpus=adaptive-v1",
+        r.violations.total(),
+        r.violations.max_inversion_cycles,
+        r.engine.adapt_epochs,
+        r.engine.adapt_final_window,
+        traj_digest(traj)
+    )
+}
+
 /// Every schedule file committed under `tests/schedules/` replays to the
 /// exact violation counts recorded in its note — the determinism
 /// contract that makes a dumped seed a usable bug report.
@@ -310,12 +405,19 @@ fn seed_corpus_replays_bit_exactly() {
         let scheme: Scheme =
             sched.scheme.parse().unwrap_or_else(|e| panic!("{}: bad scheme: {e}", path.display()));
         let w = corpus_kernel(&sched.kernel, sched.n_cores);
-        let r = run_det(&w.program, scheme, &tracking_cfg(sched.n_cores), sched.seed);
+        let mut det = DetEngine::new(&w.program, scheme, &tracking_cfg(sched.n_cores), sched.seed);
+        det.run();
+        let traj = det.engine_mut().adapt_trajectory().map(|t| t.to_vec());
+        let r = det.into_report();
         assert_eq!(printed_values(&r), w.expected, "{}: wrong output", path.display());
+        let got = match &traj {
+            Some(t) if sched.note.contains("corpus=adaptive-v1") => adaptive_corpus_note(&r, t),
+            _ => corpus_note(&r),
+        };
         assert_eq!(
-            corpus_note(&r),
+            got,
             sched.note,
-            "{}: replay does not reproduce the recorded violations",
+            "{}: replay does not reproduce the recorded run",
             path.display()
         );
         checked += 1;
@@ -331,21 +433,30 @@ fn seed_corpus_replays_bit_exactly() {
 fn regen_seed_corpus() {
     let dir = schedules_dir();
     std::fs::create_dir_all(&dir).unwrap();
-    // One violating seed per racy scheme on the racy kernel, plus a
-    // conservative control that must stay clean.
-    let picks: [(&str, Scheme, u64); 4] = [
+    // One violating seed per racy scheme on the racy kernel, a
+    // conservative control that must stay clean, and adaptive seeds that
+    // pin the controller's exact window trajectory.
+    let picks: [(&str, Scheme, u64); 6] = [
         ("racy_increment", Scheme::BoundedSlack(10), SEEDS[1]),
         ("racy_increment", Scheme::Unbounded, SEEDS[0]),
         ("false_sharing", Scheme::BoundedSlack(10), SEEDS[2]),
         ("lock_sweep", Scheme::CycleByCycle, SEEDS[3]),
+        ("racy_increment", ADAPTIVE, SEEDS[5]),
+        ("lock_sweep", ADAPTIVE, SEEDS[2]),
     ];
     for (kernel, scheme, seed) in picks {
         let n = 3;
         let w = corpus_kernel(kernel, n);
-        let r = run_det(&w.program, scheme, &tracking_cfg(n), seed);
+        let mut det = DetEngine::new(&w.program, scheme, &tracking_cfg(n), seed);
+        det.run();
+        let traj = det.engine_mut().adapt_trajectory().map(|t| t.to_vec());
+        let r = det.into_report();
         assert_eq!(printed_values(&r), w.expected);
         let mut sched = Schedule::new(seed, &scheme.short_name(), kernel, n);
-        sched.note = corpus_note(&r);
+        sched.note = match &traj {
+            Some(t) => adaptive_corpus_note(&r, t),
+            None => corpus_note(&r),
+        };
         let name = format!(
             "{}-{}-{}.txt",
             kernel,

@@ -336,6 +336,60 @@ fn snapshot_roundtrips_byte_identically() {
 }
 
 #[test]
+fn adaptive_snapshot_mid_epoch_roundtrips_controller_state_bit_exactly() {
+    // The closed-loop controller (budget 16 ⇒ 64-cycle epochs) carries
+    // live mid-epoch state: counter marks, the epoch slack high-water,
+    // the decision trajectory. A safe-point that does not land on an
+    // epoch boundary must round-trip all of it byte for byte.
+    let p = token_ring_workload(4, 6);
+    let cfg = small_cfg(4);
+    let adaptive = Scheme::Adaptive { budget: 16 };
+    let full = run_parallel(&p, adaptive, &cfg);
+    let mid = (full_cycles(&full) / 2) | 1; // odd ⇒ never an epoch boundary
+    let mut e = Engine::new(&p, adaptive, &cfg);
+    assert_eq!(e.run_until(Some(mid)), RunOutcome::CheckpointReady);
+    let decisions = e.adapt_decisions().expect("adaptive engine");
+    let traj = e.adapt_trajectory().unwrap().to_vec();
+    assert!(decisions.0 > 0, "no control epoch elapsed before cycle {mid}");
+    let bytes = e.snapshot().expect("snapshot");
+
+    let mut r = Engine::resume(&bytes, None).expect("resume");
+    assert_eq!(r.adapt_decisions(), Some(decisions), "controller decisions drifted");
+    assert_eq!(r.adapt_trajectory().unwrap(), &traj[..], "trajectory drifted");
+    let bytes2 = r.snapshot().expect("re-snapshot");
+    assert_eq!(bytes, bytes2, "adaptive snapshot/resume round-trip drifted");
+
+    // …and the resumed engine finishes the run correctly, continuing the
+    // control loop rather than re-ramping from the initial window.
+    assert_eq!(r.run_until(None), RunOutcome::Finished);
+    let resumed = r.into_report();
+    assert_eq!(resumed.printed(), full.printed(), "resumed adaptive run output");
+    assert!(resumed.engine.adapt_epochs >= decisions.0);
+}
+
+#[test]
+fn static_snapshot_forks_onto_adaptive() {
+    // Fork-from-snapshot (the Fig. 6 grid workflow) must admit the
+    // adaptive scheme like any other: a CC snapshot resumed under A16
+    // starts a fresh controller and runs the loop from the fork point.
+    let p = token_ring_workload(4, 6);
+    let cfg = small_cfg(4);
+    let full = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    let mid = full_cycles(&full) / 2;
+    let mut e = Engine::new(&p, Scheme::CycleByCycle, &cfg);
+    assert_eq!(e.run_until(Some(mid)), RunOutcome::CheckpointReady);
+    let bytes = e.snapshot().expect("snapshot");
+
+    let mut f = Engine::resume(&bytes, Some(Scheme::Adaptive { budget: 16 })).expect("fork");
+    assert_eq!(f.adapt_decisions(), Some((0, 8)), "fork must start a fresh controller");
+    assert_eq!(f.run_until(None), RunOutcome::Finished);
+    let r = f.into_report();
+    assert_eq!(r.printed(), full.printed(), "forked adaptive run output");
+    assert!(r.engine.adapt_epochs > 0, "the controller never ran after the fork");
+    assert!(r.violations.max_inversion_cycles <= 16, "fork exceeded the adaptive budget");
+}
+
+#[test]
 fn fork_from_snapshot_onto_other_schemes() {
     // gridfork's core operation: one snapshot, forked onto every scheme.
     // Conservative forks must agree bit-for-bit with from-scratch runs of

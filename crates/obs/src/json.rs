@@ -22,10 +22,12 @@
 //!     }
 //!   ],
 //!   "manager": {
-//!     "counters": { "iterations": 9, "events_ingested": 456 },
+//!     "counters": { "iterations": 9, "events_ingested": 456,
+//!                   "adapt_raise": 4, "adapt_lower": 1, "adapt_hold": 2 },
 //!     "inq_high_water": [3, 1, 0, 2],
 //!     "hist": { "drain_batch": H, "backoff_us": H, "slack": H,
-//!               "barrier_wait": H, "lock_wait": H, "shard_batch": H }
+//!               "barrier_wait": H, "lock_wait": H, "shard_batch": H,
+//!               "adapt_window": H }
 //!   },
 //!   "violation_samples": [ { "cycle": 1000, "violations": 2 } ],
 //!   "trace": { "events": 10, "dropped": 0 }
@@ -130,9 +132,13 @@ pub fn metrics_json(m: &Metrics) -> String {
 
     let mg = &m.manager;
     out.push_str(&format!(
-        "\"manager\":{{\"counters\":{{\"iterations\":{},\"events_ingested\":{}}},",
+        "\"manager\":{{\"counters\":{{\"iterations\":{},\"events_ingested\":{},\
+         \"adapt_raise\":{},\"adapt_lower\":{},\"adapt_hold\":{}}},",
         mg.iterations.get(),
-        mg.events_ingested.get()
+        mg.events_ingested.get(),
+        mg.adapt_raise.get(),
+        mg.adapt_lower.get(),
+        mg.adapt_hold.get()
     ));
     out.push_str("\"inq_high_water\":[");
     for (i, hw) in mg.inq_high_water.iter().enumerate() {
@@ -151,6 +157,7 @@ pub fn metrics_json(m: &Metrics) -> String {
             ("barrier_wait", &mg.barrier_wait),
             ("lock_wait", &mg.lock_wait),
             ("shard_batch", &mg.shard_batch),
+            ("adapt_window", &mg.adapt_window),
         ],
     );
     out.push_str("},");

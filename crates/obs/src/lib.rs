@@ -220,6 +220,16 @@ pub struct ManagerObs {
     pub events_ingested: Counter,
     /// High-water occupancy per inbound (uncore -> core) ring.
     pub inq_high_water: Vec<Counter>,
+    /// Window-raise decisions by the closed-loop slack controller
+    /// (`Scheme::Adaptive` only; all four stay zero otherwise).
+    pub adapt_raise: Counter,
+    /// Window-lower decisions by the controller.
+    pub adapt_lower: Counter,
+    /// Hold decisions by the controller.
+    pub adapt_hold: Counter,
+    /// Effective slack window granted after each controller decision —
+    /// the window trajectory as a histogram.
+    pub adapt_window: Histogram,
 }
 
 impl ManagerObs {
@@ -242,6 +252,10 @@ impl Persist for ManagerObs {
         self.iterations.save(w);
         self.events_ingested.save(w);
         self.inq_high_water.save(w);
+        self.adapt_raise.save(w);
+        self.adapt_lower.save(w);
+        self.adapt_hold.save(w);
+        self.adapt_window.save(w);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         Ok(ManagerObs {
@@ -254,6 +268,10 @@ impl Persist for ManagerObs {
             iterations: Counter::load(r)?,
             events_ingested: Counter::load(r)?,
             inq_high_water: Vec::<Counter>::load(r)?,
+            adapt_raise: Counter::load(r)?,
+            adapt_lower: Counter::load(r)?,
+            adapt_hold: Counter::load(r)?,
+            adapt_window: Histogram::load(r)?,
         })
     }
 }

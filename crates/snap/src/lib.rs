@@ -37,7 +37,11 @@ pub const MAGIC: [u8; 8] = *b"SKSNAP\x00\x01";
 /// v4: `TargetConfig` carries the superblock-dispatch flag and per-core
 /// telemetry gains the superblock counters (the superblock table itself
 /// is derived and rebuilt on resume, never serialized).
-pub const FORMAT_VERSION: u32 = 4;
+/// v5: engine snapshots carry the closed-loop slack-controller state
+/// (`Scheme::Adaptive`), engine stats gain the controller decision
+/// counters, and manager telemetry gains the decision counters plus the
+/// window-trajectory histogram.
+pub const FORMAT_VERSION: u32 = 5;
 
 const HEADER_LEN: usize = 8 + 4 + 8;
 const CHECKSUM_LEN: usize = 8;
