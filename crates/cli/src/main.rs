@@ -574,8 +574,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if opts.checkpoint_at.is_some() && (opts.seq || opts.shards > 0) {
-        eprintln!("error: --checkpoint-at requires the parallel engine without --seq/--shards");
+    if opts.checkpoint_at.is_some() && opts.seq {
+        eprintln!("error: --checkpoint-at requires the parallel engine (drop --seq)");
         return ExitCode::FAILURE;
     }
     if opts.restore.is_some() && opts.seq {
@@ -587,12 +587,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let det_mode = opts.det_seed.is_some() || opts.det_schedules.is_some() || opts.replay.is_some();
-    if det_mode
-        && (opts.seq || opts.shards > 0 || opts.checkpoint_at.is_some() || opts.restore.is_some())
-    {
+    if det_mode && (opts.seq || opts.checkpoint_at.is_some() || opts.restore.is_some()) {
         eprintln!(
             "error: --det-seed/--det-schedules/--replay need the plain parallel target \
-             (no --seq/--shards/--checkpoint-at/--restore)"
+             (no --seq/--checkpoint-at/--restore)"
         );
         return ExitCode::FAILURE;
     }

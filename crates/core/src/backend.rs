@@ -95,12 +95,14 @@ impl DetEngine {
     }
 
     /// Adopt an existing engine (e.g. one restored from a snapshot).
-    /// Sharded memory managers are a threads-only feature.
-    pub fn from_engine(engine: Engine, seed: u64) -> DetEngine {
-        assert_eq!(
-            engine.cfg.mem_shards, 0,
-            "the deterministic backend does not support sharded memory managers"
-        );
+    /// Sharded memory managers run as additional cooperative tasks;
+    /// the cores' ring transport switches to nonblocking (overflow-queue)
+    /// mode because the consumers share this one host thread — a full
+    /// ring must yield to the scheduler, not spin.
+    pub fn from_engine(mut engine: Engine, seed: u64) -> DetEngine {
+        for core in engine.cores.iter_mut() {
+            core.set_nonblocking_rings(true);
+        }
         // A resumed adaptive engine arrives with decisions already made;
         // only decisions taken under *this* interleaver belong in its
         // schedule stream.
@@ -177,9 +179,15 @@ impl DetEngine {
         self.engine.board.reset_stop();
 
         let n = self.engine.cfg.n_cores;
+        let n_shards = self.engine.shards.len();
         let board = self.engine.board.clone();
         let t0 = Instant::now();
-        let mut st = MgrState::new(n, false);
+        // Dispatch timing mirrors the threaded backend's busy_ns
+        // accounting: on one host thread, busy_ns / wall is the *exact*
+        // fraction of the schedule each role consumed — the noise-free
+        // serialization measurement the scaleout bench reports.
+        let obs = self.engine.metrics().cloned();
+        let mut st = MgrState::new(n, self.engine.ordered_sharded());
         // Core i is permanently out of the schedule: its step returned
         // Stopped or Finished.
         let mut done = vec![false; n];
@@ -202,14 +210,15 @@ impl DetEngine {
         'sim: loop {
             // The runnable set: every live core whose board state is not a
             // parked one, plus the manager (always runnable — its iteration
-            // is cheap and drains whatever the cores published). A core
-            // at its window stays `Running` on the board and simply keeps
-            // answering `AtWindow` until the manager raises the window —
-            // a wasted pick, not an error.
+            // is cheap and drains whatever the cores published), plus one
+            // task per memory shard (task id `n + 1 + s`; equally cheap).
+            // A core at its window stays `Running` on the board and simply
+            // keeps answering `AtWindow` until the manager raises the
+            // window — a wasted pick, not an error.
             runnable.clear();
             for (i, &core_done) in done.iter().enumerate() {
-                if !core_done
-                    && !matches!(
+                if core_done
+                    || matches!(
                         board.state(i),
                         CoreState::Parked
                             | CoreState::SyncWait
@@ -217,18 +226,61 @@ impl DetEngine {
                             | CoreState::Finished
                     )
                 {
-                    runnable.push(i);
+                    continue;
                 }
+                // Sharded runs: a core at its window edge cannot progress
+                // until the coordinator raises the window, so skip the
+                // wasted pick — at 64+ cores these dominate the schedule
+                // under CC. Unsharded runnable sets are left exactly as
+                // before so previously recorded schedule logs replay.
+                if n_shards > 0 && !board.may_advance(i, board.local(i)) {
+                    continue;
+                }
+                runnable.push(i);
             }
             runnable.push(n); // the manager task
+            for s in 0..n_shards {
+                // Signal-gated (see the dispatch arm): an unsignalled
+                // shard has nothing to do, so it isn't runnable.
+                if self.engine.shard_signals[s].pending() {
+                    runnable.push(n + 1 + s); // the shard tasks
+                }
+            }
 
             let pick = runnable[self.il.pick(runnable.len())];
             let progressed = if pick == n {
+                let t = obs.as_ref().map(|_| Instant::now());
                 let verdict = self.engine.manager_iter(None, &mut st);
+                if let (Some(o), Some(t)) = (&obs, t) {
+                    o.manager.iterations.inc();
+                    o.manager.busy_ns.add(t.elapsed().as_nanos() as u64);
+                }
                 self.fold_adapt_decisions();
                 match verdict {
                     MgrVerdict::Finish | MgrVerdict::CheckpointReady => break 'sim,
                     MgrVerdict::Continue { ingested, .. } => ingested > 0,
+                }
+            } else if pick > n {
+                let si = pick - n - 1;
+                // Signal-gated: cores and the coordinator raise the
+                // shard's pending flag on every state change it could
+                // act on (event flush, window grant, frontier clamp),
+                // so an unsignalled pick has nothing to do — skip the
+                // O(n_cores) ring scan. Re-raise after a productive
+                // iterate so residual work (held-back heap events,
+                // parked overflow) gets another look.
+                if self.engine.shard_signals[si].take() {
+                    let t = obs.as_ref().map(|_| Instant::now());
+                    let progressed = self.engine.shards[si].iterate();
+                    if let (Some(o), Some(t)) = (&obs, t) {
+                        o.shards[si].busy_ns.add(t.elapsed().as_nanos() as u64);
+                    }
+                    if progressed {
+                        self.engine.shard_signals[si].signal();
+                    }
+                    progressed
+                } else {
+                    false
                 }
             } else {
                 if mem_blocked[pick] {
@@ -262,14 +314,28 @@ impl DetEngine {
                 continue;
             }
             // Nothing has moved for a full round of picks: force a manager
-            // iteration (it may raise a window or release a barrier)…
+            // iteration (it may raise a window or release a barrier) and a
+            // round of every shard (it may apply a grant or deliver the
+            // reply a MemWait core is parked on)…
             stall = 0;
+            let t = obs.as_ref().map(|_| Instant::now());
             let verdict = self.engine.manager_iter(None, &mut st);
+            if let (Some(o), Some(t)) = (&obs, t) {
+                o.manager.busy_ns.add(t.elapsed().as_nanos() as u64);
+            }
             self.fold_adapt_decisions();
+            let mut shard_progress = false;
+            for (si, sh) in self.engine.shards.iter_mut().enumerate() {
+                let t = obs.as_ref().map(|_| Instant::now());
+                shard_progress |= sh.iterate();
+                if let (Some(o), Some(t)) = (&obs, t) {
+                    o.shards[si].busy_ns.add(t.elapsed().as_nanos() as u64);
+                }
+            }
             match verdict {
                 MgrVerdict::Finish | MgrVerdict::CheckpointReady => break 'sim,
                 MgrVerdict::Continue { ingested, deadlockable } => {
-                    if ingested > 0 {
+                    if ingested > 0 || shard_progress {
                         deadlock_rounds = 0;
                         barren_rounds = 0;
                         continue;
@@ -307,6 +373,9 @@ impl DetEngine {
 
         // Teardown, mirroring the threaded run_until: stop everything,
         // let each core publish its final state, account late events.
+        // Sharded transports drain in rounds: overflowed core events
+        // re-offer into the rings, shards consume and deliver, until the
+        // queues are dry (bounded — nothing produces new work after stop).
         self.engine.uncore.broadcast_stop();
         board.stop_all();
         for core in self.engine.cores.iter_mut() {
@@ -315,7 +384,19 @@ impl DetEngine {
             }
             core.publish_obs();
         }
-        self.engine.final_drain();
+        for _ in 0..1024 {
+            let mut pending = false;
+            for core in self.engine.cores.iter_mut() {
+                pending |= !core.flush_rings();
+            }
+            for sh in self.engine.shards.iter_mut() {
+                sh.finish();
+            }
+            self.engine.final_drain();
+            if !pending {
+                break;
+            }
+        }
         self.engine.wall += t0.elapsed();
         if self.engine.metrics().is_some() {
             self.engine.uncore.publish_obs();

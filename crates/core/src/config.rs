@@ -110,7 +110,7 @@ impl CoreConfig {
 /// one with a clean 4xx instead of hitting an `expect` in the engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
-    /// `n_cores` outside the supported 1..=64 range.
+    /// `n_cores` outside the supported 1..=256 range.
     CoreCountOutOfRange { n_cores: usize },
     /// More memory shards than L2 banks to partition across them.
     ShardsExceedBanks { mem_shards: usize, n_banks: usize },
@@ -126,7 +126,7 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConfigError::CoreCountOutOfRange { n_cores } => {
-                write!(f, "n_cores {n_cores} out of range 1..=64")
+                write!(f, "n_cores {n_cores} out of range 1..=256")
             }
             ConfigError::ShardsExceedBanks { mem_shards, n_banks } => {
                 write!(f, "mem_shards {mem_shards} exceeds the {n_banks} L2 banks")
@@ -225,6 +225,14 @@ impl TargetConfig {
         }
     }
 
+    /// A many-core scale-out target (64/128/256 cores): simple in-order
+    /// cores over the paper memory hierarchy widened to one NUCA bank per
+    /// core ([`MemConfig::many_core`]), so directory banks, interconnect
+    /// channels and manager shards all scale with the core count.
+    pub fn many_core(n_cores: usize) -> Self {
+        TargetConfig { mem: MemConfig::many_core(n_cores), ..Self::small(n_cores) }
+    }
+
     /// The critical latency of this target (bounds safe quantum/slack).
     pub fn critical_latency(&self) -> u64 {
         self.mem.critical_latency()
@@ -232,7 +240,7 @@ impl TargetConfig {
 
     /// Structural sanity checks, run once per simulation.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.n_cores == 0 || self.n_cores > 64 {
+        if self.n_cores == 0 || self.n_cores > 256 {
             return Err(ConfigError::CoreCountOutOfRange { n_cores: self.n_cores });
         }
         if self.mem_shards > self.mem.n_banks {
@@ -392,10 +400,20 @@ mod tests {
     }
 
     #[test]
+    fn many_core_targets_validate() {
+        for n in [64, 128, 256] {
+            let t = TargetConfig::many_core(n);
+            assert_eq!(t.n_cores, n);
+            assert_eq!(t.mem.n_banks, n);
+            assert!(t.validate().is_ok(), "{n}-core target must validate");
+        }
+    }
+
+    #[test]
     fn validation_errors_are_typed() {
         let mut t = TargetConfig::small(2);
-        t.n_cores = 65;
-        assert_eq!(t.validate(), Err(ConfigError::CoreCountOutOfRange { n_cores: 65 }));
+        t.n_cores = 257;
+        assert_eq!(t.validate(), Err(ConfigError::CoreCountOutOfRange { n_cores: 257 }));
         let mut t = TargetConfig::small(2);
         t.mem_shards = t.mem.n_banks + 1;
         assert!(matches!(t.validate(), Err(ConfigError::ShardsExceedBanks { .. })));

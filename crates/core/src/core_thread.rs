@@ -26,7 +26,7 @@ use sk_isa::{DecodedInstr, DecodedProgram, Syscall};
 use sk_mem::{FuncMemory, PageCursor};
 use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -260,10 +260,26 @@ pub struct CoreSim {
     outq: Producer<OutEvent>,
     /// OutQs to the memory shards (empty in single-manager mode).
     shard_outqs: Vec<Producer<OutEvent>>,
+    /// Per-shard dirty-core bitmasks (shared with the shards): set word
+    /// `id >> 6`, bit `id & 63` after landing an event in a shard's ring
+    /// so its drain scans only active rings (see [`MemShard::iterate`]).
+    shard_dirty: Vec<Arc<Vec<std::sync::atomic::AtomicU64>>>,
     /// Wakeup signals for the shards (parallel engine only).
     shard_signals: Vec<Arc<crate::shard::ShardSignal>>,
     /// Shards this cycle's events were routed to (scratch bitmask).
     shards_touched: u64,
+    /// Set when an event routed to a shard index ≥ 64 (beyond the bitmask):
+    /// the signal loop then signals every shard instead.
+    shards_touched_all: bool,
+    /// Cooperative (deterministic-backend) transport mode: a full ring must
+    /// never be spin-waited, because the consumer is a task on the *same*
+    /// host thread. Events that do not fit go to the overflow queues below
+    /// and are re-offered at the next scheduling quantum.
+    nonblocking: bool,
+    /// Coordinator-bound events that found the OutQ full (nonblocking mode).
+    coord_overflow: VecDeque<OutEvent>,
+    /// Shard-bound events that found their ring full (nonblocking mode).
+    shard_overflow: Vec<VecDeque<OutEvent>>,
     n_banks: usize,
     heap: BinaryHeap<Reverse<HeapMsg>>,
     /// Reusable InQ drain buffer.
@@ -312,8 +328,13 @@ impl CoreSim {
             inqs: vec![inq],
             outq,
             shard_outqs: Vec::new(),
+            shard_dirty: Vec::new(),
             shard_signals: Vec::new(),
             shards_touched: 0,
+            shards_touched_all: false,
+            nonblocking: false,
+            coord_overflow: VecDeque::new(),
+            shard_overflow: Vec::new(),
             n_banks: cfg.mem.n_banks,
             heap: BinaryHeap::new(),
             inq_scratch: Vec::new(),
@@ -389,11 +410,106 @@ impl CoreSim {
         reply_rings: Vec<Consumer<InMsg>>,
         event_rings: Vec<Producer<OutEvent>>,
         signals: Vec<Arc<crate::shard::ShardSignal>>,
+        dirty: Vec<Arc<Vec<std::sync::atomic::AtomicU64>>>,
     ) {
         assert_eq!(reply_rings.len(), event_rings.len());
+        assert_eq!(dirty.len(), event_rings.len());
         self.inqs.extend(reply_rings);
+        self.shard_overflow = vec![VecDeque::new(); event_rings.len()];
         self.shard_outqs = event_rings;
         self.shard_signals = signals;
+        self.shard_dirty = dirty;
+    }
+
+    /// Flag this core's ring as dirty for shard `si` — MUST follow the
+    /// ring push (release pairs with the shard's mask-consuming acquire,
+    /// so a consumed bit proves the pushed event is visible).
+    #[inline]
+    fn mark_shard_dirty(&self, si: usize) {
+        self.shard_dirty[si][self.id >> 6]
+            .fetch_or(1 << (self.id & 63), std::sync::atomic::Ordering::Release);
+    }
+
+    /// Switch the transport to cooperative (nonblocking) mode: a full ring
+    /// parks the event in an overflow queue instead of spin-waiting for the
+    /// consumer. Only the deterministic backend sets this — under threads
+    /// the consumers run concurrently and the spin paths are correct.
+    pub fn set_nonblocking_rings(&mut self, on: bool) {
+        self.nonblocking = on;
+    }
+
+    /// Re-offer overflowed events to their rings, preserving per-ring FIFO
+    /// order. Returns true when every overflow queue is empty.
+    pub fn flush_rings(&mut self) -> bool {
+        let mut all = true;
+        for si in 0..self.shard_overflow.len() {
+            while let Some(&ev) = self.shard_overflow[si].front() {
+                if self.shard_outqs[si].try_push(ev).is_ok() {
+                    self.shard_overflow[si].pop_front();
+                    self.mark_shard_dirty(si);
+                } else {
+                    if let Some(sig) = self.shard_signals.get(si) {
+                        sig.signal();
+                    }
+                    all = false;
+                    break;
+                }
+            }
+        }
+        while let Some(&ev) = self.coord_overflow.front() {
+            if self.outq.push_batch(std::slice::from_ref(&ev)) == 1 {
+                self.coord_overflow.pop_front();
+            } else {
+                all = false;
+                break;
+            }
+        }
+        all
+    }
+
+    /// Deliver one event to shard `si`, honoring the transport mode:
+    /// blocking rings spin (yielding to the shard) until the push lands,
+    /// cooperative rings park overruns in per-ring FIFO overflow.
+    fn send_to_shard(&mut self, si: usize, ev: OutEvent) {
+        if si < 64 {
+            self.shards_touched |= 1 << si;
+        } else {
+            self.shards_touched_all = true;
+        }
+        if self.nonblocking {
+            // Cooperative mode: the shard task cannot run while we spin,
+            // so a full ring parks the event in per-ring FIFO overflow.
+            if !self.shard_overflow[si].is_empty() || self.shard_outqs[si].try_push(ev).is_err() {
+                // No dirty bit yet: `flush_rings` sets it when the event
+                // actually lands (a bit without a ring entry could be
+                // consumed early, stranding the event past the frontier).
+                self.shard_overflow[si].push_back(ev);
+            } else {
+                self.mark_shard_dirty(si);
+            }
+            return;
+        }
+        let mut item = ev;
+        while let Err(back) = self.shard_outqs[si].try_push(item) {
+            // The ring is generously sized; a full ring means the
+            // shard is far behind — yield to it. If the simulation is
+            // being torn down, drop the event.
+            if let Some(sig) = self.shard_signals.get(si) {
+                sig.signal();
+            }
+            self.drain_inq();
+            if self.stop_seen {
+                return;
+            }
+            item = back;
+            std::thread::yield_now();
+        }
+        self.mark_shard_dirty(si);
+    }
+
+    /// Are any events parked in the nonblocking overflow queues?
+    pub fn overflow_pending(&self) -> bool {
+        !self.coord_overflow.is_empty() || self.shard_overflow.iter().any(|q| !q.is_empty())
     }
 
     /// Current local time (completed cycles).
@@ -573,6 +689,7 @@ impl CoreSim {
         // batch — N slot writes, a single `Release` store of the tail.
         let mut events = 0u32;
         self.shards_touched = 0;
+        self.shards_touched_all = false;
         debug_assert!(self.out_scratch.is_empty());
         for pi in 0..self.host.pending_out.len() {
             let kind = self.host.pending_out[pi];
@@ -590,38 +707,42 @@ impl CoreSim {
                 }
             };
             let Some(si) = shard else {
+                // The coordinator's RoiBegin handler resets directory
+                // statistics; sharded directories need the same reset at the
+                // same point in event order, so the marker is broadcast into
+                // every shard's stream where it lands at its deterministic
+                // (ts, core, seq) position.
+                if matches!(kind, OutKind::RoiBegin) {
+                    for si in 0..self.shard_outqs.len() {
+                        self.send_to_shard(si, ev);
+                    }
+                }
                 self.out_scratch.push(ev);
                 continue;
             };
-            self.shards_touched |= 1 << si;
-            let mut item = ev;
-            while let Err(back) = self.shard_outqs[si].try_push(item) {
-                // The ring is generously sized; a full ring means the
-                // shard is far behind — yield to it. If the simulation is
-                // being torn down, drop the event.
-                if let Some(sig) = self.shard_signals.get(si) {
-                    sig.signal();
-                }
-                self.drain_inq();
-                if self.stop_seen {
-                    break;
-                }
-                item = back;
-                std::thread::yield_now();
-            }
+            self.send_to_shard(si, ev);
         }
         self.host.pending_out.clear();
-        let mut sent = 0;
-        while sent < self.out_scratch.len() {
-            sent += self.outq.push_batch(&self.out_scratch[sent..]);
-            if sent < self.out_scratch.len() {
-                // Ring full: the manager is far behind — yield to it (and
-                // bail if the simulation is being torn down).
-                self.drain_inq();
-                if self.stop_seen {
-                    break;
+        if self.nonblocking {
+            let sent = if self.coord_overflow.is_empty() {
+                self.outq.push_batch(&self.out_scratch)
+            } else {
+                0
+            };
+            self.coord_overflow.extend(self.out_scratch[sent..].iter().copied());
+        } else {
+            let mut sent = 0;
+            while sent < self.out_scratch.len() {
+                sent += self.outq.push_batch(&self.out_scratch[sent..]);
+                if sent < self.out_scratch.len() {
+                    // Ring full: the manager is far behind — yield to it (and
+                    // bail if the simulation is being torn down).
+                    self.drain_inq();
+                    if self.stop_seen {
+                        break;
+                    }
+                    std::thread::yield_now();
                 }
-                std::thread::yield_now();
             }
         }
         self.out_scratch.clear();
@@ -724,6 +845,15 @@ impl CoreSim {
         if board.stopping() || self.stop_seen {
             return StepOutcome::Stopped;
         }
+        if self.nonblocking && !self.flush_rings() {
+            // A ring is still full: stepping further could only grow the
+            // overflow. Yield the quantum so the consumer tasks can drain.
+            self.drain_inq();
+            if self.stop_seen {
+                return StepOutcome::Stopped;
+            }
+            return StepOutcome::Progressed;
+        }
         if self.cpu.finished() {
             board.finish(self.id);
             return StepOutcome::Finished;
@@ -810,7 +940,27 @@ impl CoreSim {
                 break events;
             }
         };
-        board.advance_local_batched(self.id, self.local);
+        // Events that did not fit their ring (nonblocking mode) are not yet
+        // visible to their consumer; the published clock must not pass them,
+        // or an ordered consumer could advance its horizon over a pending
+        // timestamp. `flush_rings` at quantum start guarantees overflow can
+        // only hold events from this batch, so the clamp stays monotone.
+        let mut published = self.local;
+        if self.nonblocking {
+            let stuck = self
+                .coord_overflow
+                .front()
+                .map(|e| e.ts)
+                .into_iter()
+                .chain(self.shard_overflow.iter().filter_map(|q| q.front().map(|e| e.ts)))
+                .min();
+            if let Some(ts) = stuck {
+                published = published.min(ts.saturating_sub(1));
+            }
+        }
+        if published > board.local(self.id) {
+            board.advance_local_batched(self.id, published);
+        }
         // A batch that stopped on budget while a fused run is suspended
         // split that run at the slack-window edge: the block never
         // publishes past the window, it resumes in the next batch.
@@ -849,11 +999,17 @@ impl CoreSim {
         }
         if events > 0 {
             board.signal_manager();
-            let mut touched = self.shards_touched;
-            while touched != 0 {
-                let si = touched.trailing_zeros() as usize;
-                touched &= touched - 1;
-                self.shard_signals[si].signal();
+            if self.shards_touched_all {
+                for sig in &self.shard_signals {
+                    sig.signal();
+                }
+            } else {
+                let mut touched = self.shards_touched;
+                while touched != 0 {
+                    let si = touched.trailing_zeros() as usize;
+                    touched &= touched - 1;
+                    self.shard_signals[si].signal();
+                }
             }
         }
 

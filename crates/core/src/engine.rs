@@ -20,7 +20,7 @@ use sk_isa::{DecodedProgram, Program, SuperblockTable};
 use sk_mem::FuncMemory;
 use sk_obs::{Metrics, ObsConfig};
 use sk_snap::{Persist, Reader, SnapError, Writer};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -183,6 +183,11 @@ pub(crate) struct MgrState {
     /// Ordered scheme with sharded managers: windows also hold back to
     /// the slowest shard's processed frontier.
     ordered_scheme: bool,
+    /// Threaded backend only: when a lagging shard frontier clamps the
+    /// window, signal the shard and yield-retry instead of parking (the
+    /// lag is resolved by other host threads). Must stay `false` for the
+    /// cooperative backend, whose shard tasks cannot run mid-iteration.
+    spin_on_frontier: bool,
 }
 
 impl MgrState {
@@ -192,6 +197,7 @@ impl MgrState {
             drain_scratch: Vec::new(),
             ready_streak: 0,
             ordered_scheme,
+            spin_on_frontier: false,
         }
     }
 }
@@ -252,9 +258,16 @@ pub struct Engine {
     pub(crate) board: Arc<ClockBoard>,
     tracker: Option<Arc<ConflictTracker>>,
     roi: Arc<RoiState>,
-    shards: Vec<crate::shard::MemShard>,
-    shard_signals: Vec<Arc<crate::shard::ShardSignal>>,
-    shard_frontiers: Vec<Arc<std::sync::atomic::AtomicU64>>,
+    pub(crate) shards: Vec<crate::shard::MemShard>,
+    pub(crate) shard_signals: Vec<Arc<crate::shard::ShardSignal>>,
+    shard_frontiers: Vec<Arc<AtomicU64>>,
+    /// The coordinator's window grant (sharded clock domains): instead of
+    /// raising `max_local` on every core itself — an O(n_cores) loop that
+    /// serializes in the coordinator at scale — the manager publishes the
+    /// new window here and signals the shards; each shard raises its own
+    /// clock domain. Monotone; liveness-only (a late raise keeps a core
+    /// blocked a little longer but never changes simulated results).
+    window_grant: Arc<AtomicU64>,
     engine: EngineStats,
     slack_profile: Vec<(u64, u64)>,
     /// Highest window already published to every core: re-raising an
@@ -311,7 +324,9 @@ impl Engine {
         let uncore = Uncore::new(cfg, scheme, in_producers, Some(board.clone()));
 
         // ---- sharded memory managers (extension; cfg.mem_shards > 0) ----
-        let n_shards = cfg.mem_shards.min(cfg.mem.n_banks);
+        // `validate()` (in `plumb`) already rejected mem_shards > n_banks.
+        let n_shards = cfg.mem_shards;
+        let window_grant = Arc::new(AtomicU64::new(0));
         let mut shards: Vec<crate::shard::MemShard> = Vec::new();
         let mut shard_signals: Vec<Arc<crate::shard::ShardSignal>> = Vec::new();
         if n_shards > 0 {
@@ -322,6 +337,11 @@ impl Engine {
                 (0..n_shards).map(|_| Vec::new()).collect();
             shard_signals =
                 (0..n_shards).map(|_| Arc::new(crate::shard::ShardSignal::default())).collect();
+            let dirty_masks: Vec<Arc<Vec<AtomicU64>>> = (0..n_shards)
+                .map(|_| {
+                    Arc::new((0..cfg.n_cores.div_ceil(64)).map(|_| AtomicU64::new(0)).collect())
+                })
+                .collect();
             for core in cores.iter_mut() {
                 let mut my_reply_rings = Vec::new();
                 let mut my_event_rings = Vec::new();
@@ -333,10 +353,24 @@ impl Engine {
                     my_event_rings.push(ev_p);
                     my_reply_rings.push(rep_c);
                 }
-                core.attach_shards(my_reply_rings, my_event_rings, shard_signals.clone());
+                core.attach_shards(
+                    my_reply_rings,
+                    my_event_rings,
+                    shard_signals.clone(),
+                    dirty_masks.clone(),
+                );
             }
             for (s, (evc, repp)) in ev_consumers.into_iter().zip(reply_producers).enumerate() {
-                shards.push(crate::shard::MemShard::new(s, cfg, scheme, evc, repp, board.clone()));
+                shards.push(crate::shard::MemShard::new(
+                    s,
+                    cfg,
+                    scheme,
+                    evc,
+                    repp,
+                    board.clone(),
+                    window_grant.clone(),
+                    dirty_masks[s].clone(),
+                ));
             }
         }
         let shard_frontiers: Vec<_> = shards.iter().map(|s| s.frontier.clone()).collect();
@@ -355,6 +389,7 @@ impl Engine {
             shards,
             shard_signals,
             shard_frontiers,
+            window_grant,
             engine: EngineStats::default(),
             slack_profile,
             last_window: 0,
@@ -399,6 +434,12 @@ impl Engine {
     /// hub is attached.
     pub fn attach_metrics(&mut self, obs: Arc<Metrics>) {
         assert_eq!(obs.n_cores(), self.cfg.n_cores, "metrics hub sized for a different core count");
+        assert!(
+            obs.shards.len() >= self.shards.len(),
+            "metrics hub sized for {} shards but the engine has {}",
+            obs.shards.len(),
+            self.shards.len()
+        );
         self.board.set_obs(obs.clone());
         for core in &mut self.cores {
             core.set_obs(obs.clone());
@@ -416,11 +457,20 @@ impl Engine {
         self.obs = Some(obs);
     }
 
-    /// Build a fresh hub from `cfg`, attach it, and return it.
+    /// Build a fresh hub from `cfg` (sized for this engine's core *and*
+    /// shard counts), attach it, and return it.
     pub fn attach_new_metrics(&mut self, cfg: ObsConfig) -> Arc<Metrics> {
-        let obs = Arc::new(Metrics::new(self.cfg.n_cores, cfg));
+        let obs = Arc::new(Metrics::new_sharded(self.cfg.n_cores, self.shards.len(), cfg));
         self.attach_metrics(obs.clone());
         obs
+    }
+
+    /// Does this engine couple windows to shard frontiers (an ordered
+    /// scheme running over sharded memory managers)? Shared by both
+    /// backends so their `MgrState` flags agree.
+    pub(crate) fn ordered_sharded(&self) -> bool {
+        self.scheme.ordering() != crate::scheme::EventOrdering::Eager
+            && !self.shard_frontiers.is_empty()
     }
 
     /// The attached telemetry hub, if any.
@@ -572,14 +622,61 @@ impl Engine {
         // global + slack, breaking the discipline. With sharded
         // managers and an ordered scheme, windows additionally hold
         // back to the slowest shard's processed frontier so no core
-        // outruns an undelivered reply.
-        let g_window = if st.ordered_scheme {
-            let fmin =
-                self.shard_frontiers.iter().map(|f| f.load(Ordering::Acquire)).min().unwrap_or(g);
-            g.min(fmin)
-        } else {
-            g
-        };
+        // outruns an undelivered reply. The adaptive controller (eager
+        // ordering) clamps against the inter-shard frontier too: its
+        // budget then bounds run-ahead past *delivered* time, keeping
+        // the closed loop's error model honest under sharding.
+        let g_window =
+            if st.ordered_scheme || (self.adapt.is_some() && !self.shard_frontiers.is_empty()) {
+                let fmin_of = |fs: &[Arc<AtomicU64>]| {
+                    fs.iter().map(|f| f.load(Ordering::Acquire)).min().unwrap_or(g)
+                };
+                let mut fmin = fmin_of(&self.shard_frontiers);
+                // A frontier behind global clamps the window below what the
+                // scheme would grant. In threaded mode the stall is resolved
+                // by *other threads* (the lagging shards), so signal them and
+                // yield a bounded number of times instead of falling into the
+                // idle backoff — a grant path paced by park timeouts costs
+                // hundreds of microseconds per simulated cycle under CC. The
+                // cooperative backend must not spin: its shard tasks cannot
+                // run until this iteration returns.
+                if fmin < g && !st.spin_on_frontier {
+                    // Cooperative backend: spinning is useless (the lagging
+                    // shard's task cannot run until this iteration returns),
+                    // but its pending flag must still be raised — the
+                    // deterministic scheduler's signal-gated shard picks
+                    // would otherwise skip the very iterate that publishes
+                    // the frontier this window is clamped on.
+                    for (s, f) in self.shard_frontiers.iter().enumerate() {
+                        if f.load(Ordering::Acquire) < g {
+                            self.shard_signals[s].signal();
+                        }
+                    }
+                } else if fmin < g {
+                    // Spin time is blocked-on-other-threads time, not
+                    // serialized coordinator work: book it separately so
+                    // occupancy readers can subtract it from `busy_ns`.
+                    let t_spin = obs.as_ref().map(|_| std::time::Instant::now());
+                    for _ in 0..64 {
+                        for (s, f) in self.shard_frontiers.iter().enumerate() {
+                            if f.load(Ordering::Acquire) < g {
+                                self.shard_signals[s].signal();
+                            }
+                        }
+                        std::thread::yield_now();
+                        fmin = fmin_of(&self.shard_frontiers);
+                        if fmin >= g {
+                            break;
+                        }
+                    }
+                    if let (Some(o), Some(t)) = (&obs, t_spin) {
+                        o.manager.frontier_wait_ns.add(t.elapsed().as_nanos() as u64);
+                    }
+                }
+                g.min(fmin)
+            } else {
+                g
+            };
         let mut w = if let Some(ctrl) = self.adapt.as_mut() {
             // Closed loop (see `crate::adapt`): feed this iteration's
             // slack sample, then once per control epoch decide from the
@@ -626,8 +723,26 @@ impl Engine {
         // the conformance suite must detect. Zero in every real run.
         w = w.saturating_add(self.window_bug_extra);
         if w > self.last_window {
-            for c in 0..n {
-                self.board.raise_max_local(c, w);
+            if self.shards.is_empty() || !st.spin_on_frontier {
+                // Single manager — or the cooperative backend, where the
+                // grant indirection would cost one scheduler hop per
+                // shard with no parallelism to win (every task shares
+                // one host thread). Raising is monotone and
+                // liveness-only, so who raises never changes simulated
+                // results; shards seeing a grant at or below an
+                // already-raised window simply no-op.
+                for c in 0..n {
+                    self.board.raise_max_local(c, w);
+                }
+            } else {
+                // Sharded clock domains: publish one monotone grant and
+                // let every shard raise its own domain, so the raise loop
+                // parallelizes with the shard count instead of serializing
+                // here. Late application is liveness-only (see `MemShard`).
+                self.window_grant.store(w, Ordering::Release);
+                for sig in &self.shard_signals {
+                    sig.signal();
+                }
             }
             self.last_window = w;
         }
@@ -680,17 +795,12 @@ impl Engine {
     /// earlier, if the simulation finishes first — the outcome says
     /// which).
     ///
-    /// `until` must not lie in the past of any core's clock, and
-    /// checkpointing is unsupported with sharded memory managers.
+    /// `until` must not lie in the past of any core's clock.
     pub fn run_until(&mut self, until: Option<u64>) -> RunOutcome {
         if self.finished {
             return RunOutcome::Finished;
         }
         if let Some(c) = until {
-            assert!(
-                self.shards.is_empty(),
-                "checkpointing is not supported with sharded memory managers"
-            );
             assert!(
                 self.cores.iter().all(|core| core.local() <= c),
                 "checkpoint cycle {c} is in the past of a core clock"
@@ -702,8 +812,7 @@ impl Engine {
         self.board.reset_stop();
 
         let n = self.cfg.n_cores;
-        let ordered_scheme = self.scheme.ordering() != crate::scheme::EventOrdering::Eager
-            && !self.shard_frontiers.is_empty();
+        let ordered_scheme = self.ordered_sharded();
         let t0 = Instant::now();
         // Time the manager has been continuously quiescent with nothing to
         // do while unfinished cores exist: a workload deadlock (e.g. a
@@ -738,6 +847,7 @@ impl Engine {
             // Adaptive pacing state: see IDLE_WAIT_MIN/MAX above.
             let mut idle_wait = IDLE_WAIT_MIN;
             let mut st = MgrState::new(n, ordered_scheme);
+            st.spin_on_frontier = true;
             loop {
                 let signalled = self.board.manager_wait(idle_wait);
                 if self.cancel.load(Ordering::Relaxed) {
@@ -750,7 +860,15 @@ impl Engine {
                         o.manager.backoff_us.record(idle_wait.as_micros() as u64);
                     }
                 }
-                match self.manager_iter(until, &mut st) {
+                let t_iter = obs.as_ref().map(|_| Instant::now());
+                let verdict = self.manager_iter(until, &mut st);
+                if let (Some(o), Some(t)) = (&obs, t_iter) {
+                    // Manager occupancy: time actually spent in iteration
+                    // bodies (excludes parked time), the serialization
+                    // signal the scaleout bench watches.
+                    o.manager.busy_ns.add(t.elapsed().as_nanos() as u64);
+                }
+                match verdict {
                     MgrVerdict::Finish => break,
                     MgrVerdict::CheckpointReady => {
                         outcome = RunOutcome::CheckpointReady;
@@ -832,35 +950,46 @@ impl Engine {
     /// fresh engine (nothing run yet), after `run_until(Some(c))` returned
     /// [`RunOutcome::CheckpointReady`], or after the simulation finished.
     ///
-    /// Unsupported configurations (sharded memory managers, trace
-    /// recording) return [`SnapError::Unsupported`] — they keep state in
-    /// host-side structures this format does not carry.
+    /// Unsupported configurations (trace recording) return
+    /// [`SnapError::Unsupported`] — they keep state in host-side
+    /// structures this format does not carry.
     pub fn snapshot(&mut self) -> Result<Vec<u8>, SnapError> {
-        if self.cfg.mem_shards > 0 {
-            return Err(SnapError::Unsupported(
-                "sharded memory managers cannot be snapshotted".into(),
-            ));
-        }
         if self.cfg.record_trace {
             return Err(SnapError::Unsupported(
                 "trace-recording runs cannot be snapshotted".into(),
             ));
         }
         // Move every in-flight message into serializable structures:
-        // overflowed replies retry into the rings, cores drain the rings
-        // into their timestamp heaps, until both levels are empty.
+        // cores re-offer overflowed events to their rings, shards drain
+        // and process them (sound at a safe-point — every queued event's
+        // timestamp is ≤ the checkpoint cycle, and `finish` preserves
+        // `(ts, core, seq)` order), overflowed replies retry into the
+        // rings, and cores drain the rings into their timestamp heaps,
+        // until every level is empty.
         for _ in 0..1024 {
+            for core in self.cores.iter_mut() {
+                core.flush_rings();
+            }
+            for sh in self.shards.iter_mut() {
+                sh.finish();
+            }
             self.uncore.flush_overflow();
             for core in self.cores.iter_mut() {
                 core.drain_pending();
             }
-            if self.uncore.overflow_empty() {
+            if self.uncore.overflow_empty()
+                && self.shards.iter().all(|s| s.deliveries_flushed())
+                && self.cores.iter().all(|c| !c.overflow_pending())
+            {
                 break;
             }
         }
-        if !self.uncore.overflow_empty() {
+        if !self.uncore.overflow_empty()
+            || !self.shards.iter().all(|s| s.deliveries_flushed())
+            || self.cores.iter().any(|c| c.overflow_pending())
+        {
             return Err(SnapError::Unsupported(
-                "InQ overflow failed to drain at the safe-point".into(),
+                "in-flight messages failed to drain at the safe-point".into(),
             ));
         }
         let mut w = Writer::with_capacity(1 << 16);
@@ -892,6 +1021,11 @@ impl Engine {
             core.save_state(&mut w);
         }
         self.uncore.save_state(&mut w);
+        // v6: sharded memory-manager state (count is zero when unsharded).
+        w.put_usize(self.shards.len());
+        for sh in &self.shards {
+            sh.save_state(&mut w);
+        }
         // v5: adaptive-controller state, so a resumed run continues the
         // control loop mid-epoch bit-exactly instead of re-ramping.
         match &self.adapt {
@@ -945,7 +1079,7 @@ impl Engine {
         let cfg = TargetConfig::load(&mut r)?;
         let saved_scheme = Scheme::load(&mut r)?;
         let scheme = scheme_override.unwrap_or(saved_scheme);
-        if cfg.mem_shards > 0 || cfg.record_trace {
+        if cfg.record_trace {
             return Err(SnapError::Unsupported(
                 "snapshot claims a configuration that cannot be snapshotted".into(),
             ));
@@ -985,6 +1119,19 @@ impl Engine {
         let engine_stats = EngineStats::load(&mut r)?;
 
         let board = Arc::new(ClockBoard::restored(&locals, g));
+        // Sharded plumbing mirrors `Engine::new`: fresh rings (empty at a
+        // safe-point by construction), fresh signals, restored state.
+        let n_shards = cfg.mem_shards;
+        let window_grant = Arc::new(AtomicU64::new(0));
+        let mut ev_consumers: Vec<Vec<spsc::Consumer<OutEvent>>> =
+            (0..n_shards).map(|_| Vec::new()).collect();
+        let mut reply_producers: Vec<Vec<spsc::Producer<InMsg>>> =
+            (0..n_shards).map(|_| Vec::new()).collect();
+        let shard_signals: Vec<Arc<crate::shard::ShardSignal>> =
+            (0..n_shards).map(|_| Arc::new(crate::shard::ShardSignal::default())).collect();
+        let dirty_masks: Vec<Arc<Vec<AtomicU64>>> = (0..n_shards)
+            .map(|_| Arc::new((0..cfg.n_cores.div_ceil(64)).map(|_| AtomicU64::new(0)).collect()))
+            .collect();
         let mut cores = Vec::with_capacity(cfg.n_cores);
         let mut out_consumers = Vec::with_capacity(cfg.n_cores);
         let mut in_producers = Vec::with_capacity(cfg.n_cores);
@@ -1007,6 +1154,24 @@ impl Engine {
                 roi.clone(),
             );
             core.set_batch_cap(scheme.batch_cap());
+            if n_shards > 0 {
+                let mut my_reply_rings = Vec::new();
+                let mut my_event_rings = Vec::new();
+                for s in 0..n_shards {
+                    let (ev_p, ev_c) = spsc::channel(cfg.queue_capacity);
+                    let (rep_p, rep_c) = spsc::channel(cfg.queue_capacity);
+                    ev_consumers[s].push(ev_c);
+                    reply_producers[s].push(rep_p);
+                    my_event_rings.push(ev_p);
+                    my_reply_rings.push(rep_c);
+                }
+                core.attach_shards(
+                    my_reply_rings,
+                    my_event_rings,
+                    shard_signals.clone(),
+                    dirty_masks.clone(),
+                );
+            }
             core.restore_state(&mut r)?;
             if core.local() != local {
                 return Err(SnapError::Corrupt(format!(
@@ -1021,6 +1186,29 @@ impl Engine {
         }
         let mut uncore = Uncore::new(&cfg, scheme, in_producers, Some(board.clone()));
         uncore.restore_state(&mut r)?;
+        // v6: sharded memory-manager state.
+        let ns = r.get_usize()?;
+        if ns != n_shards {
+            return Err(SnapError::Corrupt(format!(
+                "{ns} shard states for a {n_shards}-shard configuration"
+            )));
+        }
+        let mut shards = Vec::with_capacity(ns);
+        for (s, (evc, repp)) in ev_consumers.into_iter().zip(reply_producers).enumerate() {
+            let mut sh = crate::shard::MemShard::new(
+                s,
+                &cfg,
+                scheme,
+                evc,
+                repp,
+                board.clone(),
+                window_grant.clone(),
+                dirty_masks[s].clone(),
+            );
+            sh.restore_state(&mut r)?;
+            shards.push(sh);
+        }
+        let shard_frontiers: Vec<_> = shards.iter().map(|s| s.frontier.clone()).collect();
         let saved_adapt = if r.get_bool()? { Some(SlackController::load(&mut r)?) } else { None };
         // Same budget ⇒ the loop continues mid-epoch exactly where it
         // stopped; a fork onto a different budget (or onto Adaptive from
@@ -1061,9 +1249,10 @@ impl Engine {
             board,
             tracker,
             roi,
-            shards: Vec::new(),
-            shard_signals: Vec::new(),
-            shard_frontiers: Vec::new(),
+            shards,
+            shard_signals,
+            shard_frontiers,
+            window_grant,
             engine: engine_stats,
             slack_profile: Vec::new(),
             last_window: 0,

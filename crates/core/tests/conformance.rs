@@ -332,6 +332,100 @@ fn adaptive_recorded_schedule_replays_trajectory_exactly() {
 }
 
 // ---------------------------------------------------------------------
+// Sharded clock domains (cfg.mem_shards > 0): the conformance ladder
+// must survive partitioning the manager.
+// ---------------------------------------------------------------------
+
+fn sharded_cfg(n: usize, shards: usize) -> TargetConfig {
+    let mut c = cfg(n);
+    c.mem_shards = shards;
+    c
+}
+
+/// CC is bit-identical across shard counts AND backends: the per-bank
+/// interconnect channels make bank partitioning invisible to timing, so
+/// the sharded engine reproduces the single-manager CC run byte for byte,
+/// and the deterministic backend reproduces the threaded run at every
+/// shard count across the full seed budget.
+#[test]
+fn cc_det_matches_threaded_at_every_shard_count() {
+    let w = micro::lock_sweep(4, 6);
+    let baseline = run_parallel(&w.program, Scheme::CycleByCycle, &cfg(4)).fingerprint();
+    for shards in [0usize, 2, 4] {
+        let c = sharded_cfg(4, shards);
+        let threaded = run_parallel(&w.program, Scheme::CycleByCycle, &c).fingerprint();
+        assert_eq!(threaded, baseline, "CC with {shards} shards diverged from single-manager CC");
+        for seed in SEEDS {
+            let det = run_det(&w.program, Scheme::CycleByCycle, &c, seed).fingerprint();
+            assert_eq!(det, baseline, "CC det diverged (shards={shards}, seed={seed})");
+        }
+    }
+}
+
+/// Every bounded scheme keeps its slack bound at every shard count: the
+/// deterministic fuzzer's inversion oracle never sees an access land more
+/// than `slack_bound()` cycles late, no matter how the manager is split.
+#[test]
+fn slack_bounds_hold_across_shard_counts() {
+    let w = micro::racy_increment(3, 30);
+    for shards in [2usize, 4] {
+        let mut c = tracking_cfg(3);
+        c.mem_shards = shards;
+        for (scheme, bound) in bounded_schemes() {
+            for seed in &SEEDS[..3] {
+                let r = run_det(&w.program, scheme, &c, *seed);
+                assert_sane(&w, &r, &format!("{scheme} shards={shards} seed={seed}"));
+                assert!(
+                    r.violations.max_inversion_cycles <= bound,
+                    "{scheme} shards={shards} seed={seed}: inversion {} exceeds window {bound}",
+                    r.violations.max_inversion_cycles
+                );
+            }
+        }
+    }
+}
+
+/// 64-core scale-out: sharded CC is bit-identical to single-manager CC
+/// on a `many_core` target (printed output and the whole report
+/// fingerprint, which pins exec cycles), for shards ∈ {2, 4, 8}.
+#[test]
+fn many_core_cc_sharded_is_bit_identical_to_single_manager() {
+    let w = micro::lock_sweep(64, 2);
+    let mut base = TargetConfig::many_core(64);
+    base.max_cycles = 20_000_000;
+    let baseline = run_parallel(&w.program, Scheme::CycleByCycle, &base);
+    assert_eq!(printed_values(&baseline), w.expected, "64-core CC: wrong output");
+    for shards in [2usize, 4, 8] {
+        let mut c = base;
+        c.mem_shards = shards;
+        let r = run_parallel(&w.program, Scheme::CycleByCycle, &c);
+        assert_eq!(
+            r.fingerprint(),
+            baseline.fingerprint(),
+            "64-core CC with {shards} shards diverged from single-manager CC"
+        );
+    }
+}
+
+/// 64-core functional coverage of the non-CC scheme classes across shard
+/// counts: bounded, adaptive and unbounded schemes all complete with the
+/// right output under shards ∈ {0, 4, 8}.
+#[test]
+fn many_core_schemes_complete_across_shard_counts() {
+    let w = micro::lock_sweep(64, 1);
+    let mut base = TargetConfig::many_core(64);
+    base.max_cycles = 20_000_000;
+    for scheme in [Scheme::BoundedSlack(10), Scheme::Adaptive { budget: 16 }, Scheme::Unbounded] {
+        for shards in [0usize, 4, 8] {
+            let mut c = base;
+            c.mem_shards = shards;
+            let r = run_parallel(&w.program, scheme, &c);
+            assert_sane(&w, &r, &format!("64-core {scheme} shards={shards}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Committed seed corpus: regression schedules replay bit-exactly.
 // ---------------------------------------------------------------------
 

@@ -238,6 +238,78 @@ proptest! {
         check_batched_clock_ops(ops)?;
     }
 
+    /// Inter-shard frontier backpressure (sharded clock domains): with
+    /// windows computed as `min(global, slowest shard frontier) + bound`
+    /// — the sharded manager's rule for ordered schemes — no published
+    /// `max_local` ever exceeds `global + bound` *or* the slowest
+    /// frontier plus the bound, under random core advances, random
+    /// (monotone) frontier publishes, and random manager iterations over
+    /// random core/shard counts. Frontiers only rise to global times that
+    /// were already computed, exactly like `MemShard::iterate`.
+    #[test]
+    fn sharded_frontier_backpressure_bounds_published_windows(
+        n_cores in 1usize..9,
+        n_shards in 1usize..6,
+        bound in 1u64..50,
+        ops in proptest::collection::vec((0u8..4, 0usize..16, 1u64..40), 1..300)
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let board = ClockBoard::new(n_cores, bound);
+        let frontiers: Vec<AtomicU64> = (0..n_shards).map(|_| AtomicU64::new(0)).collect();
+        let mut last_window = bound;
+        for (op, idx, amount) in ops {
+            match op {
+                0 => {
+                    // A core simulates a batch forward within its window.
+                    let core = idx % n_cores;
+                    if board.state(core) == CoreState::Running {
+                        let l = board.local(core);
+                        let target = (l + amount).min(board.max_local(core));
+                        if target > l {
+                            board.advance_local_batched(core, target);
+                        }
+                    }
+                }
+                1 => {
+                    // A shard finishes an iteration: its frontier rises to
+                    // the global time it processed through (fetch_max, so
+                    // replays of a stale global are monotone no-ops).
+                    let s = idx % n_shards;
+                    let (g, _) = board.recompute_global();
+                    frontiers[s].fetch_max(g, Ordering::Release);
+                }
+                _ => {
+                    // A manager iteration: the ordered-scheme window rule.
+                    let (g, _) = board.recompute_global();
+                    let fmin =
+                        frontiers.iter().map(|f| f.load(Ordering::Acquire)).min().unwrap();
+                    let w = g.min(fmin) + bound;
+                    if w > last_window {
+                        for c in 0..n_cores {
+                            board.raise_max_local(c, w);
+                        }
+                        last_window = w;
+                    }
+                }
+            }
+            // The backpressure invariant, after every op: published
+            // windows trail both true global time and the slowest shard.
+            let g = board.global();
+            let fmin = frontiers.iter().map(|f| f.load(Ordering::Relaxed)).min().unwrap();
+            for c in 0..n_cores {
+                let m = board.max_local(c);
+                prop_assert!(
+                    m <= g + bound,
+                    "core {c}: window {m} outruns global {g} + bound {bound}"
+                );
+                prop_assert!(
+                    m <= fmin + bound,
+                    "core {c}: window {m} outruns slowest frontier {fmin} + bound {bound}"
+                );
+            }
+        }
+    }
+
     /// Parked cores never hold the global minimum back, and unparking
     /// restores them.
     #[test]

@@ -336,6 +336,33 @@ fn snapshot_roundtrips_byte_identically() {
 }
 
 #[test]
+fn sharded_snapshot_at_64_cores_roundtrips_byte_identically() {
+    // The v6 format carries per-shard state (frontier, applied grant,
+    // directory shard). At a safe-point with mem_shards=4 on a 64-core
+    // target: save → restore → re-snapshot must be byte-identical, and
+    // the restored run must finish bit-identically to an uninterrupted
+    // sharded run (which itself matches single-manager CC).
+    let p = counter_workload(64, 1);
+    let mut cfg = TargetConfig::many_core(64);
+    cfg.core.model = CoreModel::InOrder;
+    cfg.max_cycles = 20_000_000;
+    cfg.track_workload_violations = true;
+    cfg.mem_shards = 4;
+    let full = run_parallel(&p, Scheme::CycleByCycle, &cfg);
+    let mid = full_cycles(&full) / 2;
+    assert!(mid > 0, "degenerate 64-core run");
+
+    let mut e = Engine::new(&p, Scheme::CycleByCycle, &cfg);
+    assert_eq!(e.run_until(Some(mid)), RunOutcome::CheckpointReady, "sharded safe-point");
+    let bytes = e.snapshot().expect("sharded snapshot");
+    let mut r = Engine::resume(&bytes, None).expect("sharded resume");
+    let bytes2 = r.snapshot().expect("sharded re-snapshot");
+    assert_eq!(bytes, bytes2, "sharded snapshot/resume round-trip drifted");
+    assert_eq!(r.run_until(None), RunOutcome::Finished);
+    assert_bit_identical(&full, &r.into_report(), true, "sharded 64-core CC resume");
+}
+
+#[test]
 fn adaptive_snapshot_mid_epoch_roundtrips_controller_state_bit_exactly() {
     // The closed-loop controller (budget 16 ⇒ 64-cycle epochs) carries
     // live mid-epoch state: counter marks, the epoch slack high-water,

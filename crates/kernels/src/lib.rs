@@ -70,6 +70,14 @@ pub fn paper_suite(n_threads: usize, scale: Scale) -> Vec<Workload> {
         Scale::Bench => (10, 48, 96, 2, 64, 2),
         Scale::Full => (12, 96, 160, 3, 96, 3),
     };
+    // Many-core scale-out (64/128/256 threads): kernels that partition
+    // elements across threads need at least one element per thread, so
+    // the problem grows with the thread count past the scale's floor.
+    // At the historical core counts (<= 8, and <= 32 for every Bench
+    // size) the floors win and the inputs are unchanged.
+    let nb_bodies = nb_bodies.max(n_threads);
+    let w_mol = w_mol.max(n_threads);
+    let fft_log2 = fft_log2.max(usize::BITS - n_threads.next_power_of_two().leading_zeros() - 1);
     vec![
         barnes::barnes(n_threads, nb_bodies, nb_steps),
         fft::fft(n_threads, fft_log2),
@@ -88,6 +96,9 @@ pub fn extended_suite(n_threads: usize, scale: Scale) -> Vec<Workload> {
         Scale::Bench => (1024, 30, 4),
         Scale::Full => (4096, 62, 6),
     };
+    // Same many-core floor as `paper_suite`: one element/row per thread.
+    let radix_n = radix_n.max(n_threads);
+    let ocean_m = ocean_m.max(n_threads);
     let mut v = paper_suite(n_threads, scale);
     v.push(radix::radix(n_threads, radix_n));
     v.push(ocean::ocean(n_threads, ocean_m, ocean_sweeps));

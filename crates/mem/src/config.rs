@@ -57,6 +57,15 @@ impl MemConfig {
         }
     }
 
+    /// A many-core scale-out of the paper geometry: same per-bank latencies
+    /// and L1 sizes, but one NUCA bank (and interconnect channel) per core,
+    /// so bank parallelism — and thus shardability — grows with the machine.
+    /// `n_cores` must be a power of two so block interleaving stays uniform.
+    pub fn many_core(n_cores: usize) -> Self {
+        assert!(n_cores.is_power_of_two(), "many_core wants a power-of-two core count");
+        MemConfig { n_banks: n_cores, ..Self::paper_8core() }
+    }
+
     /// Unloaded L2 hit latency at NUCA distance 0: request hop + bank +
     /// reply hop. This is the paper's **critical latency** (10 cycles for
     /// the paper configuration).
@@ -163,5 +172,14 @@ mod tests {
     fn capacity_adds_up_to_256k() {
         let c = MemConfig::paper_8core();
         assert_eq!(c.l2_bank.size_bytes * c.n_banks as u64, 256 * 1024);
+    }
+
+    #[test]
+    fn many_core_scales_banks_with_cores() {
+        for n in [64, 128, 256] {
+            let c = MemConfig::many_core(n);
+            assert_eq!(c.n_banks, n);
+            assert_eq!(c.critical_latency(), 10, "critical latency is geometry-independent");
+        }
     }
 }

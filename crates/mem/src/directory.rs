@@ -27,11 +27,87 @@ use crate::BlockAddr;
 use sk_snap::{Persist, Reader, SnapError, Writer};
 use std::collections::HashMap;
 
+/// Most cores a directory can track presence for (the sharer set is a
+/// fixed 4-word bitmap; owner ids must fit a byte).
+pub const MAX_DIR_CORES: usize = 256;
+
+/// A fixed-width presence bitmap over up to [`MAX_DIR_CORES`] cores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreSet([u64; 4]);
+
+impl CoreSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        CoreSet::default()
+    }
+
+    /// The singleton set `{core}`.
+    pub fn one(core: usize) -> Self {
+        let mut s = CoreSet::default();
+        s.insert(core);
+        s
+    }
+
+    /// Insert `core`.
+    #[inline]
+    pub fn insert(&mut self, core: usize) {
+        self.0[core / 64] |= 1u64 << (core % 64);
+    }
+
+    /// Remove `core`.
+    #[inline]
+    pub fn remove(&mut self, core: usize) {
+        self.0[core / 64] &= !(1u64 << (core % 64));
+    }
+
+    /// Is `core` present?
+    #[inline]
+    pub fn contains(&self, core: usize) -> bool {
+        self.0[core / 64] & (1u64 << (core % 64)) != 0
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+impl Persist for CoreSet {
+    fn save(&self, w: &mut Writer) {
+        for word in self.0 {
+            w.put_u64(word);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.get_u64()?;
+        }
+        Ok(CoreSet(s))
+    }
+}
+
 /// Directory entry (absence from the map = Uncached).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum DirEntry {
     /// Read-only copies at the cores whose bits are set.
-    Shared { sharers: u64 },
+    Shared { sharers: CoreSet },
     /// A single core holds the block E or M.
     Exclusive { owner: u8 },
 }
@@ -94,7 +170,11 @@ pub struct Directory {
     n_cores: usize,
     entries: HashMap<BlockAddr, DirEntry>,
     banks: Vec<Cache<()>>,
-    bus: BusModel,
+    /// One occupancy channel per bank. Per-bank channels make the timing a
+    /// pure function of each bank's own request subsequence, so partitioning
+    /// banks across memory shards leaves every completion timestamp
+    /// bit-identical to the single-manager run.
+    buses: Vec<BusModel>,
     last_ts: HashMap<BlockAddr, u64>,
     /// Counters.
     pub stats: DirStats,
@@ -103,29 +183,41 @@ pub struct Directory {
 impl Directory {
     /// A directory for `n_cores` cores with the given memory config.
     pub fn new(n_cores: usize, cfg: MemConfig) -> Self {
-        assert!(n_cores <= 64, "presence bitmap is 64 bits wide");
+        assert!(n_cores <= MAX_DIR_CORES, "presence bitmap covers {MAX_DIR_CORES} cores");
         let banks = (0..cfg.n_banks).map(|_| Cache::new(cfg.l2_bank)).collect();
+        let buses = (0..cfg.n_banks)
+            .map(|_| BusModel::new(cfg.bus_occupancy, cfg.track_violations))
+            .collect();
         Directory {
             n_cores,
             entries: HashMap::new(),
             banks,
-            bus: BusModel::new(cfg.bus_occupancy, cfg.track_violations),
+            buses,
             last_ts: HashMap::new(),
             stats: DirStats::default(),
             cfg,
         }
     }
 
-    /// Interconnect statistics.
+    /// Interconnect statistics, aggregated over all per-bank channels.
     pub fn bus_stats(&self) -> crate::bus::BusStats {
-        self.bus.stats
+        let mut total = crate::bus::BusStats::default();
+        for b in &self.buses {
+            total.grants += b.stats.grants;
+            total.conflicts += b.stats.conflicts;
+            total.wait_cycles += b.stats.wait_cycles;
+            total.inversions += b.stats.inversions;
+        }
+        total
     }
 
     /// Zero all counters (region-of-interest begin). Coherence and cache
     /// state are preserved — only statistics reset.
     pub fn reset_stats(&mut self) {
         self.stats = DirStats::default();
-        self.bus.stats = crate::bus::BusStats::default();
+        for bus in &mut self.buses {
+            bus.stats = crate::bus::BusStats::default();
+        }
         for b in &mut self.banks {
             b.stats = crate::cache::CacheStats::default();
         }
@@ -170,14 +262,14 @@ impl Directory {
         use crate::l1::LineState;
         assert!(core < self.n_cores, "core {core} out of range");
         self.note_ts(block, ts);
-        let bit = 1u64 << core;
 
         match kind {
             ReqKind::PutS => {
                 self.stats.puts += 1;
                 if let Some(DirEntry::Shared { sharers }) = self.entries.get(&block).copied() {
-                    let rest = sharers & !bit;
-                    if rest == 0 {
+                    let mut rest = sharers;
+                    rest.remove(core);
+                    if rest.is_empty() {
                         self.entries.remove(&block);
                     } else {
                         self.entries.insert(block, DirEntry::Shared { sharers: rest });
@@ -213,9 +305,10 @@ impl Directory {
             _ => {}
         }
 
-        // Demand request: occupies the interconnect, then the bank.
-        let start = self.bus.acquire(ts);
+        // Demand request: occupies the bank's interconnect channel, then the
+        // bank itself.
         let bank = self.cfg.bank_of(block);
+        let start = self.buses[bank].acquire(ts);
         let base_lat = 2 * self.cfg.hop_lat
             + self.cfg.l2_bank_lat
             + self.cfg.nuca_step * self.cfg.ring_distance(core, bank);
@@ -245,8 +338,9 @@ impl Directory {
                         self.entries.insert(block, DirEntry::Exclusive { owner: core as u8 });
                         Some(LineState::Exclusive)
                     }
-                    Some(DirEntry::Shared { sharers }) => {
-                        self.entries.insert(block, DirEntry::Shared { sharers: sharers | bit });
+                    Some(DirEntry::Shared { mut sharers }) => {
+                        sharers.insert(core);
+                        self.entries.insert(block, DirEntry::Shared { sharers });
                         Some(LineState::Shared)
                     }
                     Some(DirEntry::Exclusive { owner }) => {
@@ -265,8 +359,9 @@ impl Directory {
                             });
                             self.stats.downgrades_out += 1;
                             done += 2 * self.cfg.hop_lat;
-                            self.entries
-                                .insert(block, DirEntry::Shared { sharers: bit | (1u64 << owner) });
+                            let mut sharers = CoreSet::one(core);
+                            sharers.insert(owner as usize);
+                            self.entries.insert(block, DirEntry::Shared { sharers });
                             Some(LineState::Shared)
                         }
                     }
@@ -281,19 +376,18 @@ impl Directory {
                 match self.entries.get(&block).copied() {
                     None => {}
                     Some(DirEntry::Shared { sharers }) => {
-                        let others = sharers & !bit;
-                        for c in 0..self.n_cores {
-                            if others & (1u64 << c) != 0 {
-                                invalidations.push(InvalidateMsg {
-                                    core: c,
-                                    block,
-                                    ts: dir_ts + self.cfg.hop_lat,
-                                    downgrade: false,
-                                });
-                                self.stats.invalidations_out += 1;
-                            }
+                        let mut others = sharers;
+                        others.remove(core);
+                        for c in others.iter() {
+                            invalidations.push(InvalidateMsg {
+                                core: c,
+                                block,
+                                ts: dir_ts + self.cfg.hop_lat,
+                                downgrade: false,
+                            });
+                            self.stats.invalidations_out += 1;
                         }
-                        if others != 0 {
+                        if !others.is_empty() {
                             done += 2 * self.cfg.hop_lat;
                         }
                     }
@@ -324,9 +418,7 @@ impl Directory {
         match self.entries.get(&block) {
             None => vec![],
             Some(DirEntry::Exclusive { owner }) => vec![*owner as usize],
-            Some(DirEntry::Shared { sharers }) => {
-                (0..self.n_cores).filter(|c| sharers & (1 << c) != 0).collect()
-            }
+            Some(DirEntry::Shared { sharers }) => sharers.iter().collect(),
         }
     }
 }
@@ -336,7 +428,7 @@ impl Persist for DirEntry {
         match self {
             DirEntry::Shared { sharers } => {
                 w.put_u8(0);
-                w.put_u64(*sharers);
+                sharers.save(w);
             }
             DirEntry::Exclusive { owner } => {
                 w.put_u8(1);
@@ -346,7 +438,7 @@ impl Persist for DirEntry {
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         match r.get_u8()? {
-            0 => Ok(DirEntry::Shared { sharers: r.get_u64()? }),
+            0 => Ok(DirEntry::Shared { sharers: CoreSet::load(r)? }),
             1 => Ok(DirEntry::Exclusive { owner: r.get_u8()? }),
             b => Err(SnapError::Corrupt(format!("dir entry tag {b}"))),
         }
@@ -399,7 +491,7 @@ impl Persist for Directory {
             self.entries[b].save(w);
         }
         self.banks.save(w);
-        self.bus.save(w);
+        self.buses.save(w);
         let mut ts_blocks: Vec<&BlockAddr> = self.last_ts.keys().collect();
         ts_blocks.sort_unstable();
         w.put_usize(ts_blocks.len());
@@ -412,7 +504,7 @@ impl Persist for Directory {
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         let cfg = MemConfig::load(r)?;
         let n_cores = r.get_usize()?;
-        if n_cores == 0 || n_cores > 64 {
+        if n_cores == 0 || n_cores > MAX_DIR_CORES {
             return Err(SnapError::Corrupt(format!("directory n_cores {n_cores}")));
         }
         let n = r.get_count(9)?;
@@ -429,7 +521,14 @@ impl Persist for Directory {
                 cfg.n_banks
             )));
         }
-        let bus = BusModel::load(r)?;
+        let buses = Vec::<BusModel>::load(r)?;
+        if buses.len() != cfg.n_banks {
+            return Err(SnapError::Corrupt(format!(
+                "{} interconnect channels but config says {} banks",
+                buses.len(),
+                cfg.n_banks
+            )));
+        }
         let n = r.get_count(16)?;
         let mut last_ts = HashMap::with_capacity(n);
         for _ in 0..n {
@@ -437,7 +536,7 @@ impl Persist for Directory {
             last_ts.insert(block, r.get_u64()?);
         }
         let stats = DirStats::load(r)?;
-        Ok(Directory { cfg, n_cores, entries, banks, bus, last_ts, stats })
+        Ok(Directory { cfg, n_cores, entries, banks, buses, last_ts, stats })
     }
 }
 

@@ -133,12 +133,15 @@ pub fn metrics_json(m: &Metrics) -> String {
     let mg = &m.manager;
     out.push_str(&format!(
         "\"manager\":{{\"counters\":{{\"iterations\":{},\"events_ingested\":{},\
-         \"adapt_raise\":{},\"adapt_lower\":{},\"adapt_hold\":{}}},",
+         \"adapt_raise\":{},\"adapt_lower\":{},\"adapt_hold\":{},\"busy_ns\":{},\
+         \"frontier_wait_ns\":{}}},",
         mg.iterations.get(),
         mg.events_ingested.get(),
         mg.adapt_raise.get(),
         mg.adapt_lower.get(),
-        mg.adapt_hold.get()
+        mg.adapt_hold.get(),
+        mg.busy_ns.get(),
+        mg.frontier_wait_ns.get()
     ));
     out.push_str("\"inq_high_water\":[");
     for (i, hw) in mg.inq_high_water.iter().enumerate() {
@@ -161,6 +164,34 @@ pub fn metrics_json(m: &Metrics) -> String {
         ],
     );
     out.push_str("},");
+
+    // Additive since version 1: per-memory-shard telemetry (empty array in
+    // single-manager runs). Readers ignore unknown fields per the schema
+    // contract, so no version bump.
+    out.push_str("\"shards\":[");
+    for (i, s) in m.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{i},\"counters\":{{\"iterations\":{},\"events\":{},\
+             \"window_raises\":{},\"busy_ns\":{}}},",
+            s.iterations.get(),
+            s.events.get(),
+            s.window_raises.get(),
+            s.busy_ns.get()
+        ));
+        push_hist_group(
+            &mut out,
+            &[
+                ("drain_batch", &s.drain_batch),
+                ("heap_occupancy", &s.heap_occupancy),
+                ("frontier_lag", &s.frontier_lag),
+            ],
+        );
+        out.push('}');
+    }
+    out.push_str("],");
 
     out.push_str("\"violation_samples\":[");
     for (i, (cycle, violations)) in m.violation_samples().into_iter().enumerate() {
@@ -196,6 +227,20 @@ mod tests {
         assert!(j.contains("\"n_cores\":2"));
         assert!(j.contains("\"cycles\":10"));
         assert!(j.contains("\"violation_samples\":[{\"cycle\":100,\"violations\":1}]"));
+        let opens = j.matches(['{', '[']).count();
+        let closes = j.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON: {j}");
+    }
+
+    #[test]
+    fn sharded_hub_dumps_shard_section() {
+        let m = Metrics::new_sharded(2, 3, ObsConfig::default());
+        m.shards[1].events.add(7);
+        m.shards[1].frontier_lag.record(12);
+        let j = metrics_json(&m);
+        assert!(j.contains("\"shards\":[{\"id\":0,"));
+        assert!(j.contains("\"events\":7"));
+        assert!(j.contains("\"frontier_lag\""));
         let opens = j.matches(['{', '[']).count();
         let closes = j.matches(['}', ']']).count();
         assert_eq!(opens, closes, "unbalanced JSON: {j}");

@@ -230,6 +230,17 @@ pub struct ManagerObs {
     /// Effective slack window granted after each controller decision —
     /// the window trajectory as a histogram.
     pub adapt_window: Histogram,
+    /// Wall-clock nanoseconds the coordinator spent inside manager
+    /// iterations (drains, window computation, sync resolution). Divided
+    /// by run wall time this is the **manager occupancy** — the scaleout
+    /// bench's serialization signal.
+    pub busy_ns: Counter,
+    /// Of `busy_ns`, nanoseconds spent in the threaded coordinator's
+    /// bounded yield-spin waiting for a lagging shard frontier. That is
+    /// time blocked on *other* threads, not serialized coordinator work,
+    /// so occupancy readers subtract it: `(busy_ns − frontier_wait_ns) /
+    /// wall` is the true serialization fraction.
+    pub frontier_wait_ns: Counter,
 }
 
 impl ManagerObs {
@@ -256,6 +267,8 @@ impl Persist for ManagerObs {
         self.adapt_lower.save(w);
         self.adapt_hold.save(w);
         self.adapt_window.save(w);
+        self.busy_ns.save(w);
+        self.frontier_wait_ns.save(w);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         Ok(ManagerObs {
@@ -272,6 +285,54 @@ impl Persist for ManagerObs {
             adapt_lower: Counter::load(r)?,
             adapt_hold: Counter::load(r)?,
             adapt_window: Histogram::load(r)?,
+            busy_ns: Counter::load(r)?,
+            frontier_wait_ns: Counter::load(r)?,
+        })
+    }
+}
+
+/// Telemetry owned by one memory-shard manager (sharded mode): the
+/// measurement behind the scaleout claim that manager work parallelizes —
+/// drain batches, ordered-heap occupancy and frontier lag per shard, plus
+/// the shard's own wall-clock busy time.
+#[derive(Debug, Default)]
+pub struct ShardObs {
+    /// Events ingested per drained core ring, per shard iteration.
+    pub drain_batch: Histogram,
+    /// Ordered-heap occupancy sampled at the end of each iteration.
+    pub heap_occupancy: Histogram,
+    /// `global − frontier` sampled at the end of each iteration: how far
+    /// this shard's delivered horizon trails global time, in cycles.
+    pub frontier_lag: Histogram,
+    /// Shard loop iterations.
+    pub iterations: Counter,
+    /// Events processed by this shard.
+    pub events: Counter,
+    /// Window grants fanned out to this shard's clock domain.
+    pub window_raises: Counter,
+    /// Wall-clock nanoseconds spent inside shard iterations.
+    pub busy_ns: Counter,
+}
+
+impl Persist for ShardObs {
+    fn save(&self, w: &mut Writer) {
+        self.drain_batch.save(w);
+        self.heap_occupancy.save(w);
+        self.frontier_lag.save(w);
+        self.iterations.save(w);
+        self.events.save(w);
+        self.window_raises.save(w);
+        self.busy_ns.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(ShardObs {
+            drain_batch: Histogram::load(r)?,
+            heap_occupancy: Histogram::load(r)?,
+            frontier_lag: Histogram::load(r)?,
+            iterations: Counter::load(r)?,
+            events: Counter::load(r)?,
+            window_raises: Counter::load(r)?,
+            busy_ns: Counter::load(r)?,
         })
     }
 }
@@ -290,18 +351,28 @@ pub struct Metrics {
     pub cores: Vec<CoreObs>,
     /// Manager-thread telemetry.
     pub manager: ManagerObs,
+    /// Per-memory-shard telemetry, indexed by shard id (empty when the
+    /// engine runs the classic single manager).
+    pub shards: Vec<ShardObs>,
     /// Wall-clock span recorder (cores + manager lanes).
     pub trace: TraceSink,
     violation_samples: Mutex<Vec<(u64, u64)>>,
 }
 
 impl Metrics {
-    /// A hub for `n_cores` simulated cores.
+    /// A hub for `n_cores` simulated cores and a single manager.
     pub fn new(n_cores: usize, cfg: ObsConfig) -> Self {
+        Self::new_sharded(n_cores, 0, cfg)
+    }
+
+    /// A hub for `n_cores` simulated cores and `n_shards` memory-shard
+    /// managers.
+    pub fn new_sharded(n_cores: usize, n_shards: usize, cfg: ObsConfig) -> Self {
         Metrics {
             cfg,
             cores: (0..n_cores).map(|_| CoreObs::default()).collect(),
             manager: ManagerObs::new(n_cores),
+            shards: (0..n_shards).map(|_| ShardObs::default()).collect(),
             trace: TraceSink::new(n_cores, cfg.trace_capacity),
             violation_samples: Mutex::new(Vec::new()),
         }
@@ -361,6 +432,11 @@ impl Persist for Metrics {
             w.put_u64(cycle);
             w.put_u64(violations);
         }
+        drop(samples);
+        w.put_usize(self.shards.len());
+        for s in &self.shards {
+            s.save(w);
+        }
     }
 
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
@@ -379,10 +455,16 @@ impl Persist for Metrics {
             let violations = r.get_u64()?;
             samples.push((cycle, violations));
         }
+        let n_shards = r.get_count(8)?;
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            shards.push(ShardObs::load(r)?);
+        }
         Ok(Metrics {
             cfg,
             cores,
             manager,
+            shards,
             trace: TraceSink::new(n_cores, cfg.trace_capacity),
             violation_samples: Mutex::new(samples),
         })

@@ -41,7 +41,12 @@ pub const MAGIC: [u8; 8] = *b"SKSNAP\x00\x01";
 /// (`Scheme::Adaptive`), engine stats gain the controller decision
 /// counters, and manager telemetry gains the decision counters plus the
 /// window-trajectory histogram.
-pub const FORMAT_VERSION: u32 = 5;
+/// v6: sharded clock domains — engine snapshots carry per-shard state
+/// (frontier, applied grant, directory shard), directory sharer sets
+/// widen to 256-core bitmaps, the interconnect serializes one occupancy
+/// channel per bank, manager telemetry gains `busy_ns`, and the hub
+/// carries per-shard telemetry blocks.
+pub const FORMAT_VERSION: u32 = 6;
 
 const HEADER_LEN: usize = 8 + 4 + 8;
 const CHECKSUM_LEN: usize = 8;

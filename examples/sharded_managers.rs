@@ -43,4 +43,24 @@ fn main() {
     println!("interconnect channel). Unbounded slack's host-induced error shrinks");
     println!("as manager throughput grows, and the closed-loop A16 controller");
     println!("holds its error near the conservative column at every shard count.");
+
+    // Many-core scale-out: the same invariant at 64 cores on a
+    // `many_core` target — sharded CC reproduces the single-manager run
+    // bit for bit (whole-report fingerprint, not just printed output),
+    // so partitioning both the directory and the window fan-out is
+    // invisible to simulated time.
+    let w64 = kernels::micro::lock_sweep(64, 2);
+    let mut cfg64 = TargetConfig::many_core(64);
+    cfg64.max_cycles = 20_000_000;
+    let cc1 = run_parallel(&w64.program, Scheme::CycleByCycle, &cfg64);
+    println!("\n64-core lock_sweep, CC, single manager: {} cycles", cc1.exec_cycles);
+    for shards in [4usize, 8] {
+        cfg64.mem_shards = shards;
+        let ccs = run_parallel(&w64.program, Scheme::CycleByCycle, &cfg64);
+        assert_eq!(ccs.fingerprint(), cc1.fingerprint());
+        println!(
+            "64-core lock_sweep, CC, 1 + {shards} shards: {} cycles (bit-identical)",
+            ccs.exec_cycles
+        );
+    }
 }
