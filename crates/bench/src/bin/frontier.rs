@@ -131,7 +131,12 @@ fn main() {
     let mut summary_ok = 0usize;
     let mut n_kernels = 0usize;
 
-    for w in sk_kernels::paper_suite(8, scale) {
+    // The paper suite plus the irregular family: the frontier should hold
+    // for message-passing workloads too, where slack-induced timestamp
+    // skew hits the sync path instead of data-parallel phases.
+    let suite =
+        sk_kernels::paper_suite(8, scale).into_iter().chain(sk_kernels::irregular_suite(8, scale));
+    for w in suite {
         let base = run_seq(&w, &cfg);
         let exec_end = base.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
         let roi_start = exec_end.saturating_sub(base.exec_cycles).max(1);

@@ -176,6 +176,11 @@ fn main() {
             let workloads = [
                 sk_kernels::micro::lock_sweep(n, iters),
                 sk_kernels::micro::private_compute(n, 200),
+                // Irregular message-passing leg: manager-ordered mailbox
+                // traffic scales with core count and is DRF, so its CC
+                // fingerprint must also agree across shard counts and
+                // backends.
+                sk_kernels::actors::mailbox_actors(n, 2),
             ];
             for w in &workloads {
                 for name in &schemes {

@@ -33,6 +33,8 @@
 //!   --det-schedules <k>  schedule-fuzz seeds 0..k (violating seeds dumped)
 //!   --schedule-out <dir> directory for dumped seed files (default .)
 //!   --replay <file>      replay a seed file (sets scheme/bench/cores/seed)
+//!   --scenario <file>    declarative .skn run description (pins scheme,
+//!                        cores, shards, model, kernel + inputs, ROI)
 //! ```
 
 use sk_core::engine::{Engine, RunOutcome};
@@ -74,6 +76,11 @@ struct Opts {
     schedule_out: Option<String>,
     /// Replay a committed seed file (overrides scheme/bench/cores/seed).
     replay: Option<String>,
+    /// Declarative `.skn` scenario file: pins the whole run shape
+    /// (scheme, cores, shards, model, kernel + inputs, ROI marker).
+    scenario: Option<String>,
+    /// ROI instruction budget (from a scenario's `roi_instructions`).
+    roi_limit: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -99,6 +106,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         det_schedules: None,
         schedule_out: None,
         replay: None,
+        scenario: None,
+        roi_limit: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -130,6 +139,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--schedule-out" => o.schedule_out = Some(take(&mut i)?.clone()),
             "--replay" => o.replay = Some(take(&mut i)?.clone()),
+            "--scenario" => o.scenario = Some(take(&mut i)?.clone()),
             "--checkpoint" => o.checkpoint = Some(take(&mut i)?.clone()),
             "--restore" => o.restore = Some(take(&mut i)?.clone()),
             "--json" => o.json = Some(take(&mut i)?.clone()),
@@ -173,6 +183,9 @@ fn config_for(o: &Opts) -> TargetConfig {
     cfg.fast_forward_compensation = o.fast_forward;
     cfg.mem.track_violations = o.track;
     cfg.mem_shards = o.shards;
+    if let Some(limit) = o.roi_limit {
+        cfg.stop = sk_core::StopCondition::RoiInstructions(limit);
+    }
     cfg
 }
 
@@ -412,12 +425,21 @@ fn json_f64(x: f64) -> String {
     }
 }
 
-fn report_json(r: &SimReport) -> String {
+fn report_json(r: &SimReport, scenario: Option<&sk_scenario::Scenario>) -> String {
+    let scenario_echo = match scenario {
+        None => "null".to_string(),
+        Some(sc) => format!(
+            "{{\"name\":\"{}\",\"kernel\":\"{}\",\"hash\":\"{:016x}\"}}",
+            json_escape(&sc.name),
+            json_escape(&sc.kernel),
+            sc.hash()
+        ),
+    };
     let mut s = String::with_capacity(4096);
     s.push_str(&format!(
         "{{\"scheme\":\"{}\",\"n_cores\":{},\"exec_cycles\":{},\"wall_seconds\":{},\
          \"total_committed\":{},\"total_roi_committed\":{},\"kips\":{},\
-         \"config\":{{\"superblocks\":{}}},",
+         \"config\":{{\"superblocks\":{},\"scenario\":{}}},",
         json_escape(&r.scheme),
         r.n_cores,
         r.exec_cycles,
@@ -426,6 +448,7 @@ fn report_json(r: &SimReport) -> String {
         r.total_roi_committed(),
         json_f64(r.kips()),
         r.superblocks,
+        scenario_echo,
     ));
     let e = &r.engine;
     s.push_str(&format!(
@@ -553,6 +576,10 @@ fn benches(o: &Opts) -> Vec<Workload> {
     // coherence-bound but race-free (violations must stay timing-only).
     v.push(sk_kernels::micro::racy_increment(o.cores, 50));
     v.push(sk_kernels::micro::false_sharing(o.cores, 50));
+    // Message-passing & irregular workloads: manager-ordered sync
+    // (semaphores, per-object locks, CAS) with schedule-dependent
+    // communication, still host-verifiable under every scheme.
+    v.extend(sk_kernels::irregular_suite(o.cores, o.scale));
     v
 }
 
@@ -598,6 +625,10 @@ fn main() -> ExitCode {
         eprintln!("error: --det-seed and --det-schedules are mutually exclusive");
         return ExitCode::FAILURE;
     }
+    if opts.scenario.is_some() && (opts.restore.is_some() || opts.replay.is_some()) {
+        eprintln!("error: --scenario pins the whole run shape; drop --replay/--restore");
+        return ExitCode::FAILURE;
+    }
     match cmd {
         "run" => {
             if let Some(path) = &opts.restore {
@@ -636,7 +667,7 @@ fn main() -> ExitCode {
                     print_stats(&r);
                 }
                 if let Some(j) = &opts.json {
-                    write_json(j, &report_json(&r));
+                    write_json(j, &report_json(&r, None));
                 }
                 return ExitCode::SUCCESS;
             }
@@ -679,10 +710,61 @@ fn main() -> ExitCode {
                     sched.seed, opts.scheme, name, opts.cores
                 );
             }
-            let all = benches(&opts);
-            let Some(w) = all.iter().find(|w| w.name.eq_ignore_ascii_case(&name)) else {
-                eprintln!("unknown benchmark '{name}'; try: slacksim list");
-                return ExitCode::FAILURE;
+            // A scenario file, like --replay, pins the run shape: scheme,
+            // target, kernel and inputs all come from the one artifact, so
+            // the CLI, the det fuzzer and a server job agree bit-for-bit.
+            let mut scenario: Option<sk_scenario::Scenario> = None;
+            if let Some(path) = &opts.scenario {
+                let sc = match std::fs::read_to_string(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| sk_scenario::Scenario::parse(&t).map_err(|e| e.to_string()))
+                {
+                    Ok(sc) => sc,
+                    Err(e) => {
+                        eprintln!("error: cannot load scenario {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                opts.scheme = sc.scheme;
+                opts.scheme_set = true;
+                opts.cores = sc.cores;
+                opts.shards = sc.mem_shards;
+                opts.model = sc.model;
+                opts.track |= sc.track_violations;
+                opts.roi_limit = sc.roi_instructions;
+                // A checkpoint marker needs the threaded engine; det
+                // modes run the snapshot-free backend.
+                if opts.checkpoint_at.is_none()
+                    && opts.det_seed.is_none()
+                    && opts.det_schedules.is_none()
+                {
+                    opts.checkpoint_at = sc.checkpoint_at;
+                }
+                name = sc.kernel.clone();
+                println!(
+                    "scenario {path}: {} on {} cores, scheme {} (hash {:016x})",
+                    name,
+                    sc.cores,
+                    sc.scheme.short_name(),
+                    sc.hash()
+                );
+                scenario = Some(sc);
+            }
+            let all = match &scenario {
+                // Parse already vetted the kernel and its parameters.
+                Some(sc) => vec![sc.workload().expect("parsed scenarios are valid")],
+                None => benches(&opts),
+            };
+            let w = if scenario.is_some() {
+                &all[0]
+            } else {
+                match all.iter().find(|w| w.name.eq_ignore_ascii_case(&name)) {
+                    Some(w) => w,
+                    None => {
+                        eprintln!("unknown benchmark '{name}'; try: slacksim list");
+                        return ExitCode::FAILURE;
+                    }
+                }
             };
             if let Some(k) = opts.det_schedules {
                 if !fuzz_schedules(w, &opts, k) {
@@ -692,7 +774,7 @@ fn main() -> ExitCode {
             }
             let (r, ok) = run_one(w, &opts);
             if let Some(j) = &opts.json {
-                write_json(j, &report_json(&r));
+                write_json(j, &report_json(&r, scenario.as_ref()));
             }
             if !ok {
                 return ExitCode::FAILURE;
@@ -718,8 +800,10 @@ fn main() -> ExitCode {
                 all_ok &= ok;
             }
             if let Some(j) = &opts.json {
-                let body =
-                    format!("[{}]", reports.iter().map(report_json).collect::<Vec<_>>().join(","));
+                let body = format!(
+                    "[{}]",
+                    reports.iter().map(|r| report_json(r, None)).collect::<Vec<_>>().join(",")
+                );
                 write_json(j, &body);
             }
             if !all_ok {
@@ -765,7 +849,7 @@ fn main() -> ExitCode {
                 print_stats(&r);
             }
             if let Some(j) = &opts.json {
-                write_json(j, &report_json(&r));
+                write_json(j, &report_json(&r, None));
             }
         }
         "fig2" => {
@@ -871,6 +955,15 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
                 }
                 "--seed" => cfg.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
                 "--smoke" => cfg = sk_serve::LoadgenConfig::smoke(),
+                "--scenario" => {
+                    let path = take(&mut i)?;
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("--scenario {path}: {e}"))?;
+                    // Vet locally before hammering the server with it.
+                    sk_scenario::Scenario::parse(&text)
+                        .map_err(|e| format!("--scenario {path}: {e}"))?;
+                    cfg.scenario = Some(text);
+                }
                 "--shutdown" => shutdown_after = true,
                 "--json" => json_out = Some(take(&mut i)?.clone()),
                 other => return Err(format!("unknown loadgen option '{other}'")),
@@ -944,6 +1037,7 @@ LOADGEN OPTIONS:
   --burst <n>          fire-and-forget overload burst first (default 64)
   --seed <n>           request-stream seed (default 0x5eed)
   --smoke              CI-sized run (12 jobs, 2 threads, no burst)
+  --scenario <file>    post every job from this .skn scenario file
   --shutdown           POST /shutdown when done
   --json <file>        write the stats JSON to a file
 
@@ -968,7 +1062,10 @@ OPTIONS:
   --det-seed <n>       deterministic backend: one run with schedule seed n
   --det-schedules <k>  schedule-fuzz seeds 0..k, dumping violating seeds
   --schedule-out <dir> where violating seed files go (default .)
-  --replay <file>      replay a committed seed file (sets scheme/bench/seed)";
+  --replay <file>      replay a committed seed file (sets scheme/bench/seed)
+  --scenario <file>    declarative .skn scenario (pins scheme/cores/shards/
+                       model/kernel/inputs/ROI; composes with --det-seed,
+                       --det-schedules and --json)";
 
 #[cfg(test)]
 mod tests {
@@ -1060,7 +1157,7 @@ mod tests {
             ..Default::default()
         };
         r.slack_profile = Some(vec![(1, 2), (3, 4)]);
-        let j = report_json(&r);
+        let j = report_json(&r, None);
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"scheme\":\"S9\\\"\\\\\""));
         assert!(j.contains("\"printed\":[1,-2]"));
@@ -1092,6 +1189,14 @@ mod tests {
         assert_eq!(o.replay.as_deref(), Some("sched.txt"));
         assert!(parse_opts(&args(&["--det-seed", "abc"])).is_err());
         assert!(parse_opts(&args(&["--det-schedules"])).is_err());
+    }
+
+    #[test]
+    fn parses_scenario_option() {
+        let o = parse_opts(&args(&["--scenario", "scenarios/pipeline.skn"])).unwrap();
+        assert_eq!(o.scenario.as_deref(), Some("scenarios/pipeline.skn"));
+        assert_eq!(o.roi_limit, None);
+        assert!(parse_opts(&args(&["--scenario"])).is_err());
     }
 
     #[test]
@@ -1198,13 +1303,24 @@ mod tests {
         r
     }
 
+    /// The deterministic scenario echoed into the golden report's config
+    /// object (exercises the `"scenario":{...}` arm; plain runs emit
+    /// `"scenario":null`).
+    fn golden_scenario() -> sk_scenario::Scenario {
+        sk_scenario::Scenario::parse(
+            "[scenario]\nname = \"golden\"\n[run]\nscheme = \"S10\"\n\
+             [kernel]\nname = \"pipeline\"\nitems = 8\n",
+        )
+        .unwrap()
+    }
+
     /// Freezes the `--json` report schema: any change to `report_json`
     /// must come with a deliberate regeneration of the golden file
     /// (`SK_REGEN_GOLDEN=1 cargo test -p sk-cli regen_golden`) and a
     /// matching consumer-side review. CI runs this test.
     #[test]
     fn report_json_matches_golden_schema() {
-        let actual = report_json(&golden_report());
+        let actual = report_json(&golden_report(), Some(&golden_scenario()));
         let expected = include_str!("golden_report.json");
         assert_eq!(
             actual,
@@ -1220,7 +1336,8 @@ mod tests {
             return;
         }
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/src/golden_report.json");
-        std::fs::write(path, report_json(&golden_report()) + "\n").unwrap();
+        std::fs::write(path, report_json(&golden_report(), Some(&golden_scenario())) + "\n")
+            .unwrap();
     }
 
     #[test]

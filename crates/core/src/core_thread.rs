@@ -115,6 +115,7 @@ impl HostState {
             Syscall::SemaWait => SyncOp::SemaWait { id: args[0] as u32 },
             Syscall::SemaSignal => SyncOp::SemaSignal { id: args[0] as u32 },
             Syscall::Spawn => SyncOp::Spawn { entry: args[0], arg: args[1] },
+            Syscall::Cas => SyncOp::Cas { addr: args[0] & !7, expected: args[1], desired: args[2] },
             _ => return None,
         })
     }
@@ -204,7 +205,7 @@ impl CoreHost for HostState {
                 }
                 self.sys_phase = SysPhase::Idle;
                 match op {
-                    SyncOp::Spawn { .. } => SysOutcome::Done(Some(v as u64)),
+                    SyncOp::Spawn { .. } | SyncOp::Cas { .. } => SysOutcome::Done(Some(v as u64)),
                     _ => SysOutcome::Done(None),
                 }
             }

@@ -309,6 +309,15 @@ pub(crate) mod tests_support {
                 Some(Syscall::GetTid) => SysOutcome::Done(Some(0)),
                 Some(Syscall::GetNcores) => SysOutcome::Done(Some(1)),
                 Some(Syscall::ReadCycle) => SysOutcome::Done(Some(now)),
+                Some(Syscall::Cas) => {
+                    // Single-core host: apply directly.
+                    let addr = args[0] & !7;
+                    let old = self.mem.read(addr);
+                    if old == args[1] {
+                        self.mem.write(addr, args[2]);
+                    }
+                    SysOutcome::Done(Some(old))
+                }
                 other => panic!("syscall {other:?} unsupported in the CPU unit-test host"),
             }
         }

@@ -321,7 +321,7 @@ impl Engine {
             (None, s) => s.window(0),
         };
         let board = Arc::new(ClockBoard::new(n, initial_window));
-        let uncore = Uncore::new(cfg, scheme, in_producers, Some(board.clone()));
+        let uncore = Uncore::new(cfg, scheme, in_producers, Some(board.clone()), mem.clone());
 
         // ---- sharded memory managers (extension; cfg.mem_shards > 0) ----
         // `validate()` (in `plumb`) already rejected mem_shards > n_banks.
@@ -1184,7 +1184,7 @@ impl Engine {
             out_consumers.push(out_c);
             in_producers.push(in_p);
         }
-        let mut uncore = Uncore::new(&cfg, scheme, in_producers, Some(board.clone()));
+        let mut uncore = Uncore::new(&cfg, scheme, in_producers, Some(board.clone()), mem.clone());
         uncore.restore_state(&mut r)?;
         // v6: sharded memory-manager state.
         let ns = r.get_usize()?;

@@ -422,6 +422,17 @@ fn step_syscall(
             threads[tid].pc += 8;
         }
         Syscall::RoiBegin | Syscall::RoiEnd => threads[tid].pc += 8,
+        Syscall::Cas => {
+            // Single-threaded interpretation: the round-robin scheduler is
+            // the event order, so the swap applies immediately.
+            let addr = a(threads, 0) & !7;
+            let old = match mem.compare_exchange(addr, a(threads, 1), a(threads, 2)) {
+                Ok(prev) => prev,
+                Err(prev) => prev,
+            };
+            threads[tid].regs[Reg::arg(0).index()] = old;
+            threads[tid].pc += 8;
+        }
         Syscall::Spawn => {
             let entry = a(threads, 0);
             let arg = a(threads, 1);
@@ -474,7 +485,6 @@ fn step_syscall(
             }
         }
     }
-    let _ = mem;
 }
 
 #[cfg(test)]

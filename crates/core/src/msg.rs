@@ -32,6 +32,12 @@ pub enum SyncOp {
     SemaSignal { id: u32 },
     /// Spawn a workload thread: reply `value = tid` or -1 if no core free.
     Spawn { entry: u64, arg: u64 },
+    /// Atomic compare-and-swap on functional memory: if the word at
+    /// `addr` equals `expected`, store `desired`. The reply carries the
+    /// observed (pre-swap) value. Applied by the manager when it
+    /// processes the event, so contended CAS winners are ordered by the
+    /// active slack scheme exactly like lock grants (§3.2.3).
+    Cas { addr: u64, expected: u64, desired: u64 },
 }
 
 /// An entry in a core's outgoing event queue (OutQ).
@@ -151,6 +157,12 @@ impl Persist for SyncOp {
                 w.put_u64(entry);
                 w.put_u64(arg);
             }
+            SyncOp::Cas { addr, expected, desired } => {
+                w.put_u8(9);
+                w.put_u64(addr);
+                w.put_u64(expected);
+                w.put_u64(desired);
+            }
         }
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapError> {
@@ -164,6 +176,7 @@ impl Persist for SyncOp {
             6 => SyncOp::SemaWait { id: r.get_u32()? },
             7 => SyncOp::SemaSignal { id: r.get_u32()? },
             8 => SyncOp::Spawn { entry: r.get_u64()?, arg: r.get_u64()? },
+            9 => SyncOp::Cas { addr: r.get_u64()?, expected: r.get_u64()?, desired: r.get_u64()? },
             t => return Err(SnapError::Corrupt(format!("sync-op tag {t}"))),
         })
     }

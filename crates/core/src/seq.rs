@@ -26,8 +26,8 @@ use std::time::Instant;
 /// Diagnostic variant: run to the cycle cap, then dump each core's
 /// pipeline state (used to investigate stalls).
 pub fn run_sequential_debug(program: &Program, cfg: &TargetConfig) -> String {
-    let Plumbing { mut cores, mut out_consumers, in_producers, .. } = plumb(program, cfg);
-    let mut uncore = Uncore::new(cfg, Scheme::CycleByCycle, in_producers, None);
+    let Plumbing { mut cores, mut out_consumers, in_producers, mem, .. } = plumb(program, cfg);
+    let mut uncore = Uncore::new(cfg, Scheme::CycleByCycle, in_producers, None, mem);
     let mut cycle: u64 = 0;
     loop {
         cycle += 1;
@@ -65,9 +65,9 @@ pub fn run_sequential_debug(program: &Program, cfg: &TargetConfig) -> String {
 
 /// Run `program` to completion on the sequential cycle-by-cycle engine.
 pub fn run_sequential(program: &Program, cfg: &TargetConfig) -> SimReport {
-    let Plumbing { mut cores, mut out_consumers, in_producers, tracker, roi, .. } =
+    let Plumbing { mut cores, mut out_consumers, in_producers, tracker, roi, mem, .. } =
         plumb(program, cfg);
-    let mut uncore = Uncore::new(cfg, Scheme::CycleByCycle, in_producers, None);
+    let mut uncore = Uncore::new(cfg, Scheme::CycleByCycle, in_producers, None, mem);
 
     let t0 = Instant::now();
     let mut cycle: u64 = 0;

@@ -266,6 +266,7 @@ impl SyncTable {
                 }
             }
             SyncOp::Spawn { .. } => unreachable!("Spawn is handled by the engine"),
+            SyncOp::Cas { .. } => unreachable!("Cas is applied by the manager against memory"),
         }
     }
 

@@ -78,6 +78,11 @@ pub struct Uncore {
     /// Optional telemetry hub (InQ high-water publishing; the SyncTable
     /// holds its own reference for wait-time histograms).
     obs: Option<Arc<sk_obs::Metrics>>,
+    /// Functional memory handle for `SyncOp::Cas`: like the Table 1 sync
+    /// objects, atomic RMW is emulated outside the simulated machine and
+    /// applied when the manager processes the event, so contended CAS
+    /// ordering follows the active scheme's event discipline.
+    mem: sk_mem::FuncMemory,
 }
 
 impl Uncore {
@@ -88,6 +93,7 @@ impl Uncore {
         scheme: Scheme,
         inqs: Vec<Producer<InMsg>>,
         board: Option<Arc<ClockBoard>>,
+        mem: sk_mem::FuncMemory,
     ) -> Self {
         let n = cfg.n_cores;
         assert_eq!(inqs.len(), n);
@@ -116,6 +122,7 @@ impl Uncore {
             events_processed: 0,
             roi_start: None,
             obs: None,
+            mem,
         }
     }
 
@@ -365,6 +372,23 @@ impl Uncore {
                 self.push_to_core(
                     core,
                     InMsg { ts: ts + self.sync_latency, kind: InKind::SyncReply { value } },
+                );
+            }
+            OutKind::Sync(SyncOp::Cas { addr, expected, desired }) => {
+                // Applied here — not at the core — so the winner among
+                // same-window CAS contenders is decided by the manager's
+                // event order (deterministic under ordered schemes,
+                // arrival order under eager ones), never by a host race.
+                let old = match self.mem.compare_exchange(addr, expected, desired) {
+                    Ok(prev) => prev,
+                    Err(prev) => prev,
+                };
+                self.push_to_core(
+                    core,
+                    InMsg {
+                        ts: ts + self.sync_latency,
+                        kind: InKind::SyncReply { value: old as i64 },
+                    },
                 );
             }
             OutKind::Sync(op) => {

@@ -498,3 +498,44 @@ fn unsupported_configurations_are_rejected() {
         other => panic!("trace-recording snapshot must be unsupported, got {other:?}"),
     }
 }
+
+/// Mid-run snapshot → resume → re-snapshot byte-identity on the irregular
+/// kernel family. These kernels park cores inside manager-ordered waits
+/// (semaphore queues, mailbox blocks, contended deque locks, in-flight
+/// CAS replies), so the round-trip covers sync-manager state — including
+/// the `SyncOp::Cas` persist path — that the data-parallel workloads
+/// never exercise at a safe-point.
+#[test]
+fn irregular_kernels_snapshot_roundtrip_byte_identically() {
+    for w in sk_kernels::irregular_suite(4, sk_kernels::Scale::Test) {
+        let cfg = small_cfg(w.n_threads);
+        let full = run_parallel(&w.program, Scheme::CycleByCycle, &cfg);
+        let mid = full_cycles(&full) / 2;
+        assert!(mid > 0, "{}: degenerate run", w.name);
+
+        let mut e = Engine::new(&w.program, Scheme::CycleByCycle, &cfg);
+        assert_eq!(
+            e.run_until(Some(mid)),
+            RunOutcome::CheckpointReady,
+            "{}: no safe-point at cycle {mid}",
+            w.name
+        );
+        let bytes = e.snapshot().unwrap_or_else(|e| panic!("{}: snapshot: {e}", w.name));
+        drop(e);
+
+        let mut r = Engine::resume(&bytes, None).expect("resume");
+        let bytes2 = r.snapshot().expect("re-snapshot");
+        assert_eq!(bytes, bytes2, "{}: snapshot/resume round-trip drifted", w.name);
+
+        // The resumed half must finish the run bit-identically to the
+        // uninterrupted one.
+        assert_eq!(r.run_until(None), RunOutcome::Finished);
+        let resumed = r.into_report();
+        assert_eq!(
+            resumed.fingerprint(),
+            full.fingerprint(),
+            "{}: resumed half diverged from the uninterrupted run",
+            w.name
+        );
+    }
+}

@@ -18,7 +18,7 @@ fn mk(scheme: Scheme, n: usize) -> (Uncore, Vec<Consumer<InMsg>>) {
         producers.push(p);
         consumers.push(c);
     }
-    (Uncore::new(&cfg, scheme, producers, None), consumers)
+    (Uncore::new(&cfg, scheme, producers, None, sk_mem::FuncMemory::new()), consumers)
 }
 
 fn ev(ts: u64, seq: u64, kind: OutKind) -> OutEvent {
@@ -145,7 +145,7 @@ fn overflow_spills_and_flushes() {
     let mut cfg = TargetConfig::small(1);
     cfg.n_cores = 1;
     let (p, mut c) = spsc::channel(2);
-    let mut u = Uncore::new(&cfg, Scheme::Unbounded, vec![p], None);
+    let mut u = Uncore::new(&cfg, Scheme::Unbounded, vec![p], None, sk_mem::FuncMemory::new());
     for i in 0..8u64 {
         u.ingest(0, ev(i + 1, i, OutKind::IMem { block: i * 64 }));
     }

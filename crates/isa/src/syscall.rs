@@ -52,6 +52,14 @@ pub enum Syscall {
     SemaWait = 16,
     /// V operation on semaphore `a0`.
     SemaSignal = 17,
+    /// Atomic compare-and-swap on the word at address `a0`: if it equals
+    /// `a1`, store `a2`. Returns the observed (pre-swap) value in `a0`.
+    /// Like the Table 1 sync API, the operation is emulated outside the
+    /// simulated machine and routed through the manager thread, so the
+    /// order of contended CAS winners is governed by the active slack
+    /// scheme — deterministic under cycle-by-cycle, arrival-ordered under
+    /// slack (`Cas(a, x, x)` is the idiomatic scheme-ordered read).
+    Cas = 18,
 
     /// Begin the region of interest: reset statistics (the paper starts
     /// collecting after all workload threads are created).
@@ -80,6 +88,7 @@ impl Syscall {
             15 => InitSema,
             16 => SemaWait,
             17 => SemaSignal,
+            18 => Cas,
             20 => RoiBegin,
             21 => RoiEnd,
             _ => return None,
@@ -115,6 +124,7 @@ mod tests {
             InitSema,
             SemaWait,
             SemaSignal,
+            Cas,
             RoiBegin,
             RoiEnd,
         ] {
@@ -125,6 +135,7 @@ mod tests {
     #[test]
     fn unknown_codes_are_none() {
         assert_eq!(Syscall::from_code(9), None);
+        assert_eq!(Syscall::from_code(19), None);
         assert_eq!(Syscall::from_code(22), None);
         assert_eq!(Syscall::from_code(u16::MAX), None);
     }

@@ -1,0 +1,200 @@
+//! Actor-style message passing over per-actor mailbox rings.
+//!
+//! `n` actors each run `msgs` rounds. In a round, actor `a` posts one
+//! payload to every peer's mailbox and then drains `n - 1` messages from
+//! its own. A mailbox is a power-of-two ring in shared memory; senders
+//! claim a write index under the mailbox's lock and write the slot while
+//! still holding it, then signal the mailbox's `items` semaphore after
+//! release. Because the slot write happens before the unlock, the lock
+//! chain guarantees that when `k` signals have been observed, slots
+//! `0..k` are all populated — the receiver needs no per-slot flag and
+//! the kernel is data-race-free through lock + semaphore edges alone.
+//! A barrier ends each round, so a ring of `max(8, n-1)` slots can never
+//! overwrite an unread message.
+//!
+//! The mailbox words are written by many cores and read by one, giving
+//! the violation tracker a dense supply of cross-core conflicting pairs
+//! under bounded-slack schemes while the printed total stays bit-exact.
+
+use crate::common::{self, barrier, unless_tid0_skip};
+use crate::Workload;
+use sk_isa::{ProgramBuilder, Reg, Syscall};
+
+/// Slots per mailbox for `n` actors (power of two, ≥ peers per round).
+fn ring_cap(n: usize) -> i64 {
+    ((n - 1).next_power_of_two().max(8)) as i64
+}
+
+/// `n` actors exchange `msgs` rounds of all-to-peers messages; thread 0
+/// prints the wrapped sum of every payload received by every actor.
+pub fn mailbox_actors(n: usize, msgs: i64) -> Workload {
+    assert!(n >= 2, "actors need at least one peer");
+    assert!(msgs >= 1);
+    let cap = ring_cap(n);
+    let a0 = Reg::arg(0);
+    let t = Reg::tmp;
+    let s = Reg::saved;
+    let mut b = ProgramBuilder::new();
+    let mboxes = b.zeros("mboxes", n * cap as usize);
+    let wclaim = b.zeros("wclaim", n);
+    let results = b.zeros("results", n);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    for a in 0..n as i64 {
+        common::sys2(&mut b, Syscall::InitSema, a, 0); // items in mailbox a
+        common::sys1(&mut b, Syscall::InitLock, 1 + a); // writer lock
+    }
+    common::standard_main(&mut b, n, worker);
+
+    b.bind(worker);
+    common::get_tid(&mut b, s(2));
+    b.li(s(3), n as i64);
+    b.li(s(1), msgs);
+    b.li(s(0), 0); // round r
+    b.li(s(4), 0); // own-mailbox read index (monotone across rounds)
+    b.li(s(5), 0); // acc
+    let rounds_done = b.new_label("rounds_done");
+    let round_loop = b.here("round_loop");
+    b.bge(s(0), s(1), rounds_done);
+
+    // ---- send: one payload to each peer p = (tid + i) % n, i = 1..n ----
+    b.li(s(6), 1);
+    let send_done = b.new_label("send_done");
+    let send_loop = b.here("send_loop");
+    b.bge(s(6), s(3), send_done);
+    b.add(t(0), s(2), s(6)); // p
+    let no_wrap = b.new_label("no_wrap");
+    b.blt(t(0), s(3), no_wrap);
+    b.sub(t(0), t(0), s(3));
+    b.bind(no_wrap);
+    b.addi(t(1), s(2), 1); // payload v = (tid+1)*100003 + 7r
+    b.li(t(2), 100003);
+    b.mul(t(1), t(1), t(2));
+    b.li(t(2), 7);
+    b.mul(t(2), s(0), t(2));
+    b.add(t(1), t(1), t(2));
+    b.addi(a0, t(0), 1);
+    b.sys(Syscall::Lock);
+    b.slli(t(3), t(0), 3); // idx = wclaim[p]++
+    b.li(t(4), wclaim as i64);
+    b.add(t(3), t(3), t(4));
+    b.ld(t(4), t(3), 0);
+    b.addi(t(5), t(4), 1);
+    b.st(t(5), t(3), 0);
+    b.andi(t(4), t(4), (cap - 1) as i32); // slot = mboxes[p*cap + idx%cap]
+    b.slli(t(4), t(4), 3);
+    b.li(t(5), cap * 8);
+    b.mul(t(5), t(0), t(5));
+    b.add(t(4), t(4), t(5));
+    b.li(t(5), mboxes as i64);
+    b.add(t(4), t(4), t(5));
+    b.st(t(1), t(4), 0); // write while holding the lock
+    b.addi(a0, t(0), 1);
+    b.sys(Syscall::Unlock);
+    b.mv(a0, t(0));
+    b.sys(Syscall::SemaSignal);
+    b.addi(s(6), s(6), 1);
+    b.j(send_loop);
+    b.bind(send_done);
+
+    // ---- receive n - 1 messages from our own mailbox ----
+    b.li(s(7), 1);
+    let recv_done = b.new_label("recv_done");
+    let recv_loop = b.here("recv_loop");
+    b.bge(s(7), s(3), recv_done);
+    b.mv(a0, s(2));
+    b.sys(Syscall::SemaWait);
+    b.andi(t(0), s(4), (cap - 1) as i32);
+    b.slli(t(0), t(0), 3);
+    b.li(t(1), cap * 8);
+    b.mul(t(1), s(2), t(1));
+    b.add(t(0), t(0), t(1));
+    b.li(t(1), mboxes as i64);
+    b.add(t(0), t(0), t(1));
+    b.ld(t(1), t(0), 0);
+    b.add(s(5), s(5), t(1));
+    b.addi(s(4), s(4), 1);
+    b.addi(s(7), s(7), 1);
+    b.j(recv_loop);
+    b.bind(recv_done);
+    barrier(&mut b); // round boundary: ring can never overrun
+    b.addi(s(0), s(0), 1);
+    b.j(round_loop);
+
+    b.bind(rounds_done);
+    b.li(t(0), results as i64);
+    b.slli(t(1), s(2), 3);
+    b.add(t(0), t(0), t(1));
+    b.st(s(5), t(0), 0);
+    barrier(&mut b);
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    b.li(t(0), results as i64);
+    b.li(t(1), 0);
+    b.li(t(2), 0);
+    b.li(t(3), n as i64);
+    let sum_done = b.new_label("sum_done");
+    let sum_loop = b.here("sum_loop");
+    b.bge(t(2), t(3), sum_done);
+    b.ld(t(4), t(0), 0);
+    b.add(t(1), t(1), t(4));
+    b.addi(t(0), t(0), 8);
+    b.addi(t(2), t(2), 1);
+    b.j(sum_loop);
+    b.bind(sum_done);
+    b.mv(a0, t(1));
+    b.sys(Syscall::PrintInt);
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    // Host reference: every sent payload is received exactly once.
+    let mut total: i64 = 0;
+    for a in 0..n as i64 {
+        for r in 0..msgs {
+            let v = (a + 1).wrapping_mul(100003).wrapping_add(7 * r);
+            total = total.wrapping_add(v.wrapping_mul(n as i64 - 1));
+        }
+    }
+    Workload {
+        name: "mailbox_actors".into(),
+        input: format!("{n} actors x {msgs} rounds, ring {cap}"),
+        program: b.build().expect("mailbox_actors assembles"),
+        expected: vec![total],
+        n_threads: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_core::{run_sequential, CoreModel, TargetConfig};
+
+    fn run(w: &Workload, n: usize) -> Vec<i64> {
+        let mut cfg = TargetConfig::small(n);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        r.printed().into_iter().map(|(_, v)| v).collect()
+    }
+
+    #[test]
+    fn two_actors_ping_each_other() {
+        let w = mailbox_actors(2, 3);
+        assert_eq!(run(&w, 2), w.expected);
+    }
+
+    #[test]
+    fn four_actors_match_host_reference() {
+        let w = mailbox_actors(4, 5);
+        assert_eq!(run(&w, 4), w.expected);
+    }
+
+    #[test]
+    fn read_index_wraps_the_ring() {
+        // 8 actors, ring cap 8, 3 rounds: 21 receives per actor wrap the
+        // read index past the ring twice.
+        let w = mailbox_actors(8, 3);
+        assert_eq!(run(&w, 8), w.expected);
+    }
+}

@@ -25,14 +25,18 @@
 //! identical under every slack scheme — which is exactly what makes the
 //! paper's Table 3 a *timing*-error table, not a correctness table.
 
+pub mod actors;
 pub mod barnes;
 pub mod common;
 pub mod fft;
 pub mod lu;
 pub mod micro;
 pub mod ocean;
+pub mod pipeline;
 pub mod radix;
+pub mod treiber;
 pub mod water;
+pub mod worksteal;
 
 use sk_isa::Program;
 
@@ -103,6 +107,26 @@ pub fn extended_suite(n_threads: usize, scale: Scale) -> Vec<Workload> {
     v.push(radix::radix(n_threads, radix_n));
     v.push(ocean::ocean(n_threads, ocean_m, ocean_sweeps));
     v
+}
+
+/// Message-passing and irregular-workload kernels. Unlike the SPLASH
+/// suite's data-parallel phases, these four stress manager-ordered sync
+/// (semaphores, fine-grained locks, manager-routed CAS) with irregular,
+/// schedule-dependent communication — yet each prints host-verifiable
+/// values, so workload-state corruption under bounded slack stays
+/// observable against [`Workload::expected`].
+pub fn irregular_suite(n_threads: usize, scale: Scale) -> Vec<Workload> {
+    let (items, rounds, tasks, pushes) = match scale {
+        Scale::Test => (8, 2, 24, 4),
+        Scale::Bench => (64, 8, 256, 32),
+        Scale::Full => (256, 16, 1024, 96),
+    };
+    vec![
+        pipeline::pipeline(n_threads.max(2), items),
+        actors::mailbox_actors(n_threads.max(2), rounds),
+        worksteal::work_steal(n_threads, (tasks as i64).max(2 * n_threads as i64)),
+        treiber::treiber_stack(n_threads, pushes),
+    ]
 }
 
 #[cfg(test)]

@@ -1,0 +1,190 @@
+//! Lock-free Treiber-stack stress kernel.
+//!
+//! Every thread pushes `pushes` nodes onto one shared stack through the
+//! manager-routed [`Syscall::Cas`], a barrier flips the program into a
+//! drain phase, and then every thread pops until the stack reads empty.
+//! Thread 0 prints two values: the wrapped sum of all popped payloads
+//! and the total pop count — both schedule-independent even though
+//! *which* thread pops *which* node is not.
+//!
+//! Contended CAS ordering is decided by the manager (like lock grants),
+//! so under the cycle-by-cycle scheme the winner sequence is
+//! bit-deterministic across the det and threaded backends. Node words are
+//! written by their owner before publication and frozen afterwards (the
+//! push/pop phases are barrier-separated and nodes are never re-pushed,
+//! so there is no ABA), which keeps the kernel data-race-free under CC.
+//! Under bounded slack, a popper can load a `next` pointer at a skewed
+//! timestamp relative to the publisher's store — the quintessential
+//! workload-state violation, caught by the tracker and, if it actually
+//! bites, visible as a wrong count against the host reference.
+
+use crate::common::{self, barrier, unless_tid0_skip};
+use crate::Workload;
+use sk_isa::{ProgramBuilder, Reg, Syscall};
+
+/// `n` threads push `pushes` nodes each, then collectively drain the
+/// stack; thread 0 prints `[wrapped payload sum, total pops]`.
+pub fn treiber_stack(n: usize, pushes: i64) -> Workload {
+    assert!(n >= 1);
+    assert!(pushes >= 1);
+    let a0 = Reg::arg(0);
+    let a1 = Reg::arg(1);
+    let a2 = Reg::arg(2);
+    let t = Reg::tmp;
+    let s = Reg::saved;
+    let mut b = ProgramBuilder::new();
+    let head = b.zeros("head", 1); // 0 = null (data segment starts above 0)
+    let nodes = b.zeros("nodes", n * pushes as usize * 2); // [value, next] pairs
+    let results = b.zeros("results", n);
+    let counts = b.zeros("counts", n);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    common::standard_main(&mut b, n, worker);
+
+    b.bind(worker);
+    common::get_tid(&mut b, s(2));
+    b.li(s(3), pushes);
+    b.li(s(4), 0); // i
+    b.li(t(0), pushes * 16);
+    b.mul(t(0), s(2), t(0));
+    b.li(s(6), nodes as i64);
+    b.add(s(6), s(6), t(0)); // this thread's next node
+    b.li(s(0), 0); // guess of current head
+
+    // ---- push phase ----
+    let push_done = b.new_label("push_done");
+    let push_loop = b.here("push_loop");
+    b.bge(s(4), s(3), push_done);
+    b.addi(t(0), s(2), 1); // payload = (tid+1)*1000003 + 13i
+    b.li(t(1), 1_000_003);
+    b.mul(t(0), t(0), t(1));
+    b.li(t(1), 13);
+    b.mul(t(1), s(4), t(1));
+    b.add(t(0), t(0), t(1));
+    b.st(t(0), s(6), 0); // node.value (private until published)
+    let push_ok = b.new_label("push_ok");
+    let push_retry = b.here("push_retry");
+    b.st(s(0), s(6), 8); // node.next = guess
+    b.li(a0, head as i64);
+    b.mv(a1, s(0));
+    b.mv(a2, s(6));
+    b.sys(Syscall::Cas); // a0 = old head
+    b.beq(a0, s(0), push_ok);
+    b.mv(s(0), a0); // lost the race: adopt observed head, retry
+    b.j(push_retry);
+    b.bind(push_ok);
+    b.mv(s(0), s(6)); // our node is now the head
+    b.addi(s(6), s(6), 16);
+    b.addi(s(4), s(4), 1);
+    b.j(push_loop);
+    b.bind(push_done);
+    barrier(&mut b); // freeze node words before anyone drains
+
+    // ---- pop phase: drain until empty ----
+    b.li(s(5), 0); // acc
+    b.li(s(7), 0); // pop count
+    let pop_finished = b.new_label("pop_finished");
+    let pop_loop = b.here("pop_loop");
+    // Cas(head, g, g) is the idiomatic scheme-ordered read of head.
+    b.li(a0, head as i64);
+    b.mv(a1, s(0));
+    b.mv(a2, s(0));
+    b.sys(Syscall::Cas);
+    b.mv(s(0), a0); // cur = head snapshot
+    b.beq(s(0), Reg::ZERO, pop_finished);
+    b.ld(t(1), s(0), 8); // next (frozen after the barrier)
+    b.li(a0, head as i64);
+    b.mv(a1, s(0));
+    b.mv(a2, t(1));
+    b.sys(Syscall::Cas);
+    let pop_lost = b.new_label("pop_lost");
+    b.bne(a0, s(0), pop_lost);
+    b.ld(t(0), s(0), 0); // we own cur now
+    b.add(s(5), s(5), t(0));
+    b.addi(s(7), s(7), 1);
+    b.mv(s(0), t(1));
+    b.j(pop_loop);
+    b.bind(pop_lost);
+    b.mv(s(0), a0);
+    b.j(pop_loop);
+    b.bind(pop_finished);
+
+    b.slli(t(1), s(2), 3);
+    b.li(t(0), results as i64);
+    b.add(t(0), t(0), t(1));
+    b.st(s(5), t(0), 0);
+    b.li(t(0), counts as i64);
+    b.add(t(0), t(0), t(1));
+    b.st(s(7), t(0), 0);
+    barrier(&mut b);
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    for base in [results, counts] {
+        b.li(t(0), base as i64);
+        b.li(t(1), 0);
+        b.li(t(2), 0);
+        b.li(t(3), n as i64);
+        let sum_done = b.new_label("sum_done");
+        let sum_loop = b.here("sum_loop");
+        b.bge(t(2), t(3), sum_done);
+        b.ld(t(4), t(0), 0);
+        b.add(t(1), t(1), t(4));
+        b.addi(t(0), t(0), 8);
+        b.addi(t(2), t(2), 1);
+        b.j(sum_loop);
+        b.bind(sum_done);
+        b.mv(a0, t(1));
+        b.sys(Syscall::PrintInt);
+    }
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    let mut sum: i64 = 0;
+    for tid in 0..n as i64 {
+        for i in 0..pushes {
+            sum = sum.wrapping_add((tid + 1).wrapping_mul(1_000_003).wrapping_add(13 * i));
+        }
+    }
+    Workload {
+        name: "treiber_stack".into(),
+        input: format!("{n} threads x {pushes} pushes"),
+        program: b.build().expect("treiber_stack assembles"),
+        expected: vec![sum, n as i64 * pushes],
+        n_threads: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_core::{run_sequential, CoreModel, TargetConfig};
+
+    fn run(w: &Workload, n: usize) -> Vec<i64> {
+        let mut cfg = TargetConfig::small(n);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        r.printed().into_iter().map(|(_, v)| v).collect()
+    }
+
+    #[test]
+    fn single_thread_push_pop_roundtrip() {
+        let w = treiber_stack(1, 4);
+        assert_eq!(run(&w, 1), w.expected);
+        assert_eq!(w.expected[1], 4);
+    }
+
+    #[test]
+    fn contended_stack_conserves_nodes() {
+        let w = treiber_stack(4, 6);
+        assert_eq!(run(&w, 4), w.expected);
+        assert_eq!(w.expected[1], 24);
+    }
+
+    #[test]
+    fn two_threads_heavy_contention() {
+        let w = treiber_stack(2, 16);
+        assert_eq!(run(&w, 2), w.expected);
+    }
+}

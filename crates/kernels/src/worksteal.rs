@@ -1,0 +1,258 @@
+//! Work-stealing runtime kernel: per-thread deques plus a steal protocol.
+//!
+//! Thread 0's deque is seeded with `min(T, 2n)` task ids; executing task
+//! `k` spawns child `k + seeds` (if `< T`) onto the executor's *own*
+//! deque, so every id in `0..T` runs exactly once and work migrates only
+//! by stealing. Owners pop LIFO from the bottom, thieves scan victims in
+//! tid order and steal FIFO from the top — the classic Chase–Lev shape,
+//! but with each deque guarded by its own lock (ids `1..=n`) instead of
+//! host atomics, so the kernel stays data-race-free and the wrapped
+//! global sum is identical under every scheme. What *does* vary with the
+//! scheme is the steal pattern: under slack, thieves observe victim
+//! `top`/`bot` words at skewed timestamps, feeding the violation tracker
+//! the irregular cross-core conflicts that regular data-parallel kernels
+//! never produce.
+//!
+//! A shared `remaining` counter under lock 0 gives idle thieves a
+//! termination test; `total` accumulates per-thread sums under the same
+//! lock.
+
+use crate::common::{self, barrier, lock, unless_tid0_skip, unlock};
+use crate::Workload;
+use sk_isa::{ProgramBuilder, Reg, Syscall};
+
+/// Task body: `w = 1 + (k & 7)` rounds of a wrapping Knuth-style hash.
+fn task_value(k: i64) -> i64 {
+    let w = 1 + (k & 7);
+    let mut x = k.wrapping_add(1);
+    for _ in 0..w {
+        x = x.wrapping_mul(2_654_435_761).wrapping_add(97);
+    }
+    x
+}
+
+/// `n` workers execute `total_tasks` chained tasks via work stealing;
+/// thread 0 prints the wrapped sum of every task's hash value.
+pub fn work_steal(n: usize, total_tasks: i64) -> Workload {
+    assert!(n >= 1);
+    assert!(total_tasks >= 1);
+    let t_cnt = total_tasks;
+    let seeds = t_cnt.min(2 * n as i64);
+    let a0 = Reg::arg(0);
+    let t = Reg::tmp;
+    let s = Reg::saved;
+    let mut b = ProgramBuilder::new();
+    // Each task is enqueued exactly once, so `T` words per deque is a
+    // safe high-water bound (indices are never recycled).
+    let deques = b.zeros("deques", n * t_cnt as usize);
+    let top = b.zeros("top", n);
+    let bot = b.zeros("bot", n);
+    let remaining = b.zeros("remaining", 1);
+    let total = b.zeros("total", 1);
+
+    let worker = b.new_label("worker");
+    let main = b.here("main");
+    // Seed deque 0 with ids 0..seeds before any worker exists.
+    b.li(t(0), deques as i64);
+    b.li(t(1), 0);
+    b.li(t(2), seeds);
+    let seed_done = b.new_label("seed_done");
+    let seed_loop = b.here("seed_loop");
+    b.bge(t(1), t(2), seed_done);
+    b.st(t(1), t(0), 0);
+    b.addi(t(0), t(0), 8);
+    b.addi(t(1), t(1), 1);
+    b.j(seed_loop);
+    b.bind(seed_done);
+    b.li(t(0), bot as i64);
+    b.st(t(2), t(0), 0); // bot[0] = seeds
+    b.li(t(0), remaining as i64);
+    b.li(t(1), t_cnt);
+    b.st(t(1), t(0), 0);
+    for d in 0..n as i64 {
+        common::sys1(&mut b, Syscall::InitLock, 1 + d); // deque lock
+    }
+    common::standard_main(&mut b, n, worker);
+
+    b.bind(worker);
+    common::get_tid(&mut b, s(2));
+    b.li(s(3), n as i64);
+    b.slli(t(0), s(2), 3);
+    b.li(s(0), top as i64);
+    b.add(s(0), s(0), t(0)); // &top[tid]
+    b.li(s(1), bot as i64);
+    b.add(s(1), s(1), t(0)); // &bot[tid]
+    b.li(t(1), t_cnt * 8);
+    b.mul(t(1), s(2), t(1));
+    b.li(s(4), deques as i64);
+    b.add(s(4), s(4), t(1)); // own deque base
+    b.li(s(5), 0); // acc
+
+    let own_empty = b.new_label("own_empty");
+    let execute = b.new_label("execute");
+    let worker_done = b.new_label("worker_done");
+    let main_loop = b.here("main_loop");
+    // ---- pop own deque (LIFO at bot) ----
+    b.addi(a0, s(2), 1);
+    b.sys(Syscall::Lock);
+    b.ld(t(0), s(0), 0);
+    b.ld(t(1), s(1), 0);
+    b.bge(t(0), t(1), own_empty);
+    b.addi(t(1), t(1), -1);
+    b.st(t(1), s(1), 0);
+    b.slli(t(2), t(1), 3);
+    b.add(t(2), t(2), s(4));
+    b.ld(s(7), t(2), 0); // task id
+    b.addi(a0, s(2), 1);
+    b.sys(Syscall::Unlock);
+    b.j(execute);
+    b.bind(own_empty);
+    b.addi(a0, s(2), 1);
+    b.sys(Syscall::Unlock);
+    // ---- steal scan: victims (tid + i) % n, i = 1..n, FIFO at top ----
+    b.li(s(6), 1);
+    let no_victim = b.new_label("no_victim");
+    let steal_miss = b.new_label("steal_miss");
+    let steal_loop = b.here("steal_loop");
+    b.bge(s(6), s(3), no_victim);
+    b.add(t(0), s(2), s(6));
+    let sv_nw = b.new_label("sv_nw");
+    b.blt(t(0), s(3), sv_nw);
+    b.sub(t(0), t(0), s(3));
+    b.bind(sv_nw);
+    b.addi(a0, t(0), 1);
+    b.sys(Syscall::Lock);
+    b.slli(t(3), t(0), 3);
+    b.li(t(1), top as i64);
+    b.add(t(1), t(1), t(3));
+    b.li(t(2), bot as i64);
+    b.add(t(2), t(2), t(3));
+    b.ld(t(4), t(1), 0); // top[v]
+    b.ld(t(5), t(2), 0); // bot[v]
+    b.bge(t(4), t(5), steal_miss);
+    b.addi(t(6), t(4), 1);
+    b.st(t(6), t(1), 0);
+    b.li(t(6), t_cnt * 8);
+    b.mul(t(6), t(0), t(6));
+    b.slli(t(4), t(4), 3);
+    b.add(t(6), t(6), t(4));
+    b.li(t(4), deques as i64);
+    b.add(t(6), t(6), t(4));
+    b.ld(s(7), t(6), 0); // stolen task id
+    b.addi(a0, t(0), 1);
+    b.sys(Syscall::Unlock);
+    b.j(execute);
+    b.bind(steal_miss);
+    b.addi(a0, t(0), 1);
+    b.sys(Syscall::Unlock);
+    b.addi(s(6), s(6), 1);
+    b.j(steal_loop);
+    b.bind(no_victim);
+    lock(&mut b);
+    b.li(t(0), remaining as i64);
+    b.ld(t(1), t(0), 0);
+    unlock(&mut b);
+    b.beq(t(1), Reg::ZERO, worker_done);
+    b.j(main_loop);
+
+    // ---- execute task s7, maybe push child, decrement remaining ----
+    b.bind(execute);
+    b.andi(t(0), s(7), 7);
+    b.addi(t(0), t(0), 1); // w
+    b.addi(t(1), s(7), 1); // x
+    b.li(t(2), 2_654_435_761);
+    b.li(t(3), 97);
+    let exec_done = b.new_label("exec_done");
+    let exec_loop = b.here("exec_loop");
+    b.beq(t(0), Reg::ZERO, exec_done);
+    b.mul(t(1), t(1), t(2));
+    b.add(t(1), t(1), t(3));
+    b.addi(t(0), t(0), -1);
+    b.j(exec_loop);
+    b.bind(exec_done);
+    b.add(s(5), s(5), t(1));
+    b.li(t(0), seeds);
+    b.add(t(0), s(7), t(0)); // child id
+    b.li(t(1), t_cnt);
+    let no_child = b.new_label("no_child");
+    b.bge(t(0), t(1), no_child);
+    b.addi(a0, s(2), 1);
+    b.sys(Syscall::Lock);
+    b.ld(t(1), s(1), 0);
+    b.slli(t(2), t(1), 3);
+    b.add(t(2), t(2), s(4));
+    b.st(t(0), t(2), 0);
+    b.addi(t(1), t(1), 1);
+    b.st(t(1), s(1), 0);
+    b.addi(a0, s(2), 1);
+    b.sys(Syscall::Unlock);
+    b.bind(no_child);
+    lock(&mut b);
+    b.li(t(0), remaining as i64);
+    b.ld(t(1), t(0), 0);
+    b.addi(t(1), t(1), -1);
+    b.st(t(1), t(0), 0);
+    unlock(&mut b);
+    b.j(main_loop);
+
+    b.bind(worker_done);
+    lock(&mut b);
+    b.li(t(0), total as i64);
+    b.ld(t(1), t(0), 0);
+    b.add(t(1), t(1), s(5));
+    b.st(t(1), t(0), 0);
+    unlock(&mut b);
+    barrier(&mut b);
+    let done = b.new_label("done");
+    unless_tid0_skip(&mut b, done);
+    b.li(t(0), total as i64);
+    b.ld(a0, t(0), 0);
+    b.sys(Syscall::PrintInt);
+    b.bind(done);
+    b.sys(Syscall::Exit);
+
+    b.entry(main);
+    let mut sum: i64 = 0;
+    for k in 0..t_cnt {
+        sum = sum.wrapping_add(task_value(k));
+    }
+    Workload {
+        name: "work_steal".into(),
+        input: format!("{n} workers, {t_cnt} tasks, {seeds} seeds"),
+        program: b.build().expect("work_steal assembles"),
+        expected: vec![sum],
+        n_threads: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_core::{run_sequential, CoreModel, TargetConfig};
+
+    fn run(w: &Workload, n: usize) -> Vec<i64> {
+        let mut cfg = TargetConfig::small(n);
+        cfg.core.model = CoreModel::InOrder;
+        let r = run_sequential(&w.program, &cfg);
+        r.printed().into_iter().map(|(_, v)| v).collect()
+    }
+
+    #[test]
+    fn single_worker_drains_its_chain() {
+        let w = work_steal(1, 5);
+        assert_eq!(run(&w, 1), w.expected);
+    }
+
+    #[test]
+    fn stealing_workers_match_host_reference() {
+        let w = work_steal(4, 32);
+        assert_eq!(run(&w, 4), w.expected);
+    }
+
+    #[test]
+    fn more_seeds_than_tasks_is_clamped() {
+        // T < 2n: every task is a seed, no children are spawned.
+        let w = work_steal(4, 3);
+        assert_eq!(run(&w, 4), w.expected);
+    }
+}

@@ -11,7 +11,8 @@
 use crate::json::{escape, Json};
 use sk_core::{CoreModel, Scheme, TargetConfig};
 use sk_isa::Program;
-use sk_kernels::{extended_suite, micro, Scale, Workload};
+use sk_kernels::{extended_suite, irregular_suite, micro, Scale, Workload};
+use sk_scenario::Scenario;
 use sk_snap::hash::SnapshotKey;
 use sk_snap::{Persist, Writer};
 use std::fmt;
@@ -51,6 +52,10 @@ pub struct JobSpec {
     /// Attach an sk-obs hub to every scheme run and keep the dumps.
     pub metrics: bool,
     pub model: CoreModel,
+    /// Jobs posted as a declarative `.skn` scenario carry the parsed
+    /// artifact: it supplies the workload + config, and its content hash
+    /// joins the warm-start cache key.
+    pub scenario: Option<Scenario>,
 }
 
 impl JobSpec {
@@ -60,6 +65,46 @@ impl JobSpec {
         let obj_err = || bad("request body must be a json object");
         if !matches!(v, Json::Obj(_)) {
             return Err(obj_err());
+        }
+        // Scenario-file jobs: `{"scenario": "<.skn text>"}`. The file pins
+        // the whole run shape, so the flag-style fields are rejected — a
+        // request must not say the same thing twice, differently.
+        if let Some(text) = v.get("scenario") {
+            let text =
+                text.as_str().ok_or_else(|| bad("\"scenario\" must be a string (.skn text)"))?;
+            for key in ["bench", "cores", "scale", "schemes", "model"] {
+                if v.get(key).is_some() {
+                    return Err(bad(format!(
+                        "\"scenario\" pins the run shape; drop the \"{key}\" field"
+                    )));
+                }
+            }
+            let sc = Scenario::parse(text).map_err(|e| bad(format!("bad scenario: {e}")))?;
+            if sc.cores > MAX_CORES {
+                return Err(bad(format!(
+                    "scenario asks for {} cores; this server caps jobs at {MAX_CORES}",
+                    sc.cores
+                )));
+            }
+            let priority = Self::parse_priority(v)?;
+            let metrics = Self::parse_metrics(v)?;
+            if tenant.is_empty() || tenant.len() > 64 || !tenant.is_ascii() {
+                return Err(bad("tenant must be non-empty ascii, at most 64 bytes"));
+            }
+            let spec = JobSpec {
+                bench: sc.kernel.clone(),
+                cores: sc.cores,
+                scale: Scale::Test,
+                schemes: vec![sc.scheme],
+                tenant: tenant.to_string(),
+                priority,
+                metrics,
+                model: sc.model,
+                scenario: Some(sc),
+            };
+            spec.workload().ok_or_else(|| bad("scenario workload rejected"))?;
+            spec.config().validate().map_err(|e| bad(format!("config rejected: {e}")))?;
+            return Ok(spec);
         }
         let bench = v
             .get("bench")
@@ -103,24 +148,8 @@ impl JobSpec {
                 out
             }
         };
-        let priority = match v.get("priority") {
-            None => 0,
-            Some(p) => {
-                let p = p.as_i64().ok_or_else(|| bad("\"priority\" must be an integer"))?;
-                if !PRIORITY_RANGE.contains(&p) {
-                    return Err(bad(format!(
-                        "\"priority\" must be in {}..={}",
-                        PRIORITY_RANGE.start(),
-                        PRIORITY_RANGE.end()
-                    )));
-                }
-                p as i32
-            }
-        };
-        let metrics = match v.get("metrics") {
-            None => false,
-            Some(m) => m.as_bool().ok_or_else(|| bad("\"metrics\" must be a boolean"))?,
-        };
+        let priority = Self::parse_priority(v)?;
+        let metrics = Self::parse_metrics(v)?;
         let model = match v.get("model").map(|m| m.as_str().unwrap_or("")) {
             None | Some("inorder") => CoreModel::InOrder,
             Some("ooo") => CoreModel::OutOfOrder,
@@ -143,6 +172,7 @@ impl JobSpec {
             priority,
             metrics,
             model,
+            scenario: None,
         };
         // Fail unknown benchmarks and invalid configs here, at admission.
         spec.workload()
@@ -151,12 +181,46 @@ impl JobSpec {
         Ok(spec)
     }
 
+    fn parse_priority(v: &Json) -> Result<i32, SpecError> {
+        match v.get("priority") {
+            None => Ok(0),
+            Some(p) => {
+                let p = p.as_i64().ok_or_else(|| bad("\"priority\" must be an integer"))?;
+                if !PRIORITY_RANGE.contains(&p) {
+                    return Err(bad(format!(
+                        "\"priority\" must be in {}..={}",
+                        PRIORITY_RANGE.start(),
+                        PRIORITY_RANGE.end()
+                    )));
+                }
+                Ok(p as i32)
+            }
+        }
+    }
+
+    fn parse_metrics(v: &Json) -> Result<bool, SpecError> {
+        match v.get("metrics") {
+            None => Ok(false),
+            Some(m) => m.as_bool().ok_or_else(|| bad("\"metrics\" must be a boolean")),
+        }
+    }
+
     /// Materialise the workload. `None` if the benchmark name is unknown.
     pub fn workload(&self) -> Option<Workload> {
+        // Scenario jobs carry their own kernel + parameters.
+        if let Some(sc) = &self.scenario {
+            return sc.workload().ok();
+        }
         // Suite kernels first (Barnes/FFT/LU/Water + Radix/Ocean), then
-        // the microbenchmarks under fixed, scale-derived inputs.
+        // the irregular family, then the microbenchmarks — all under
+        // fixed, scale-derived inputs.
+        // The irregular kernels need at least two cores (producer/consumer,
+        // actor peers, steal victims) — never offer them to a 1-core job.
+        let irregular =
+            if self.cores >= 2 { irregular_suite(self.cores, self.scale) } else { Vec::new() };
         if let Some(w) = extended_suite(self.cores, self.scale)
             .into_iter()
+            .chain(irregular)
             .find(|w| w.name.eq_ignore_ascii_case(&self.bench))
         {
             return Some(w);
@@ -180,8 +244,14 @@ impl JobSpec {
     /// The target config every run of this job uses. Scheme is per-run;
     /// everything else is fixed here so the cache key covers it.
     pub fn config(&self) -> TargetConfig {
-        let mut cfg = TargetConfig::small(self.cores);
-        cfg.core.model = self.model;
+        let mut cfg = match &self.scenario {
+            Some(sc) => sc.config(),
+            None => {
+                let mut cfg = TargetConfig::small(self.cores);
+                cfg.core.model = self.model;
+                cfg
+            }
+        };
         cfg.max_cycles = 50_000_000;
         cfg
     }
@@ -199,6 +269,13 @@ impl JobSpec {
         }
         let mut cw = Writer::new();
         cfg.save(&mut cw);
+        // A scenario's content hash joins the key: two scenario files that
+        // compile to the same program/config but differ in declared intent
+        // (e.g. name, future fields) still share warmth only when the
+        // canonical form agrees.
+        if let Some(sc) = &self.scenario {
+            cw.put_u64(sc.hash());
+        }
         SnapshotKey::new(&pw.into_bytes(), &cw.into_bytes())
     }
 }
@@ -207,6 +284,7 @@ impl JobSpec {
 pub fn bench_names(cores: usize) -> Vec<String> {
     let mut names: Vec<String> =
         extended_suite(cores.max(2), Scale::Test).into_iter().map(|w| w.name).collect();
+    names.extend(irregular_suite(cores.max(2), Scale::Test).into_iter().map(|w| w.name));
     names.extend(
         ["pingpong", "lock_sweep", "private_compute", "racy_increment", "false_sharing"]
             .map(String::from),
@@ -459,6 +537,60 @@ mod tests {
         // Scheme is NOT part of the key: the spec's schemes never enter it.
         let multi = spec(r#"{"bench":"FFT","schemes":["CC","Q100"]}"#).unwrap();
         assert_eq!(ka, multi.snapshot_key(&wa.program, &multi.config()));
+    }
+
+    const SKN: &str = "[target]\ncores = 4\n[run]\nscheme = \"S10\"\n\
+                       [kernel]\nname = \"pipeline\"\nitems = 8\n";
+
+    #[test]
+    fn scenario_spec_parses_and_pins_the_run_shape() {
+        let body = format!("{{\"scenario\":\"{}\",\"priority\":3}}", escape(SKN));
+        let s = spec(&body).unwrap();
+        assert_eq!(s.bench, "pipeline");
+        assert_eq!(s.cores, 4);
+        assert_eq!(s.schemes, vec![Scheme::BoundedSlack(10)]);
+        assert_eq!(s.priority, 3);
+        assert!(s.scenario.is_some());
+        assert!(s.workload().is_some());
+        assert!(s.config().validate().is_ok());
+    }
+
+    #[test]
+    fn scenario_rejects_redundant_flag_fields() {
+        let body = format!("{{\"scenario\":\"{}\",\"bench\":\"FFT\"}}", escape(SKN));
+        assert!(spec(&body).is_err(), "scenario + bench must be rejected");
+        let body = format!("{{\"scenario\":\"{}\",\"cores\":2}}", escape(SKN));
+        assert!(spec(&body).is_err(), "scenario + cores must be rejected");
+        assert!(spec(r#"{"scenario":"not a scenario"}"#).is_err(), "bad scenario text");
+        assert!(spec(r#"{"scenario":17}"#).is_err(), "non-string scenario");
+        // A scenario over the server core cap is admission-rejected even
+        // though the scenario crate itself allows up to 256 cores.
+        let big = SKN.replace("cores = 4", "cores = 32");
+        assert!(spec(&format!("{{\"scenario\":\"{}\"}}", escape(&big))).is_err());
+    }
+
+    #[test]
+    fn scenario_hash_joins_the_snapshot_key() {
+        let a = spec(&format!("{{\"scenario\":\"{}\"}}", escape(SKN))).unwrap();
+        let named = format!("[scenario]\nname = \"other\"\n{SKN}");
+        let b = spec(&format!("{{\"scenario\":\"{}\"}}", escape(&named))).unwrap();
+        let (wa, wb) = (a.workload().unwrap(), b.workload().unwrap());
+        let ka = a.snapshot_key(&wa.program, &a.config());
+        let kb = b.snapshot_key(&wb.program, &b.config());
+        // Same program and config, but distinct scenario content hashes.
+        assert_ne!(ka, kb);
+        assert_eq!(ka, a.snapshot_key(&wa.program, &a.config()), "key is deterministic");
+    }
+
+    #[test]
+    fn irregular_kernels_are_served() {
+        for name in ["pipeline", "mailbox_actors", "work_steal", "treiber_stack"] {
+            let s = spec(&format!("{{\"bench\":\"{name}\",\"cores\":2}}")).unwrap();
+            assert!(s.workload().is_some(), "{name} should resolve");
+            assert!(bench_names(4).iter().any(|n| n == name), "{name} listed in /benches");
+            // But never on a single core — these kernels need peers.
+            assert!(spec(&format!("{{\"bench\":\"{name}\",\"cores\":1}}")).is_err());
+        }
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Per-job completion deadline.
     pub deadline: Duration,
+    /// A `.skn` scenario file's text. When set, the scenario replaces the
+    /// spec pool entirely: every job posts `{"scenario": ...}`, so repeat
+    /// traffic hammers one warm-start key and the fingerprint cross-check
+    /// proves scenario-driven warm forks are bit-identical to cold runs.
+    pub scenario: Option<String>,
 }
 
 impl LoadgenConfig {
@@ -54,6 +59,7 @@ impl Default for LoadgenConfig {
             burst: 64,
             seed: 0x5eed,
             deadline: Duration::from_secs(120),
+            scenario: None,
         }
     }
 }
@@ -157,6 +163,15 @@ struct Tallies {
     issued: AtomicU64,
 }
 
+/// The effective request pool: the static spec pool, or — when a
+/// scenario file is loaded — a single spec posting that scenario.
+fn effective_pool(cfg: &LoadgenConfig) -> Vec<String> {
+    match &cfg.scenario {
+        Some(text) => vec![format!("{{\"scenario\":\"{}\"}}", crate::json::escape(text))],
+        None => spec_pool().into_iter().map(String::from).collect(),
+    }
+}
+
 fn lcg(state: &mut u64) -> u64 {
     *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
     *state >> 16
@@ -165,7 +180,7 @@ fn lcg(state: &mut u64) -> u64 {
 /// Run the generator against a live server. Blocks until done.
 pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> LoadgenStats {
     let start = Instant::now();
-    let pool: Vec<String> = spec_pool().into_iter().map(String::from).collect();
+    let pool: Vec<String> = effective_pool(cfg);
     let tallies = Arc::new(Tallies::default());
 
     if cfg.burst > 0 {
@@ -204,13 +219,13 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> LoadgenStats {
 /// accepted ones so the main phase starts from an idle server.
 fn burst_phase(addr: SocketAddr, cfg: &LoadgenConfig, tallies: &Tallies) {
     let mut client = Client::new(addr);
-    let pool = spec_pool();
+    let pool = effective_pool(cfg);
     let mut rng = cfg.seed ^ 0xb02a;
     let mut accepted = Vec::new();
     for _ in 0..cfg.burst {
         let spec_idx = (lcg(&mut rng) % pool.len() as u64) as usize;
         let tenant_idx = (lcg(&mut rng) % cfg.tenants.len() as u64) as usize;
-        if let Ok(resp) = client.post_job(pool[spec_idx], &cfg.tenants[tenant_idx]) {
+        if let Ok(resp) = client.post_job(&pool[spec_idx], &cfg.tenants[tenant_idx]) {
             tally_submit(resp.status, &resp.body, tallies, |id| accepted.push((id, spec_idx)));
         }
     }

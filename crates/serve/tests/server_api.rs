@@ -213,3 +213,43 @@ fn benches_endpoint_lists_the_catalogue() {
     }
     server.shutdown();
 }
+
+/// The acceptance loop for the declarative frontend: the *committed*
+/// scenario file drives a server job whose result is bit-identical to
+/// running the same artifact in-process — the same property the CLI and
+/// det-fuzzer legs pin, so one `.skn` means one simulation everywhere.
+#[test]
+fn committed_scenario_file_drives_a_bit_identical_job() {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/pipeline_cc.skn");
+    let text = std::fs::read_to_string(&path).expect("committed scenario file");
+
+    // In-process reference: same spec admission path as the server.
+    let body = format!("{{\"scenario\":\"{}\"}}", sk_serve::json::escape(&text));
+    let spec = sk_serve::job::JobSpec::from_json(&sk_serve::json::parse(&body).unwrap(), "alice")
+        .expect("committed scenario admits");
+    let w = spec.workload().expect("scenario workload");
+    let reference = sk_core::run_parallel(&w.program, spec.schemes[0], &spec.config());
+    let reference_fp = format!("{:016x}", sk_snap::fnv1a64(reference.fingerprint().as_bytes()));
+
+    let server = small_server(2, 16, 8);
+    let mut c = Client::new(server.addr());
+    let cold_id = submit(&mut c, &body, "alice");
+    let (doc, cold) = finish(&mut c, cold_id);
+    assert_eq!(doc.get("state").unwrap().as_str(), Some("done"));
+    assert_eq!(doc.get("bench").unwrap().as_str(), Some("pipeline"));
+    assert_eq!(cold.len(), 1);
+    let (scheme, fp, hit, ok) = &cold[0];
+    assert_eq!(scheme, "CC");
+    assert!(*ok && !*hit, "{cold:?}");
+    assert_eq!(fp, &reference_fp, "server scenario run diverged from the in-process run");
+
+    // Repeat posting of the same file warm-starts from the cache and
+    // still reproduces the reference bit-for-bit (CC is deterministic).
+    let warm_id = submit(&mut c, &body, "bob");
+    let (_, warm) = finish(&mut c, warm_id);
+    assert!(warm[0].2, "repeat scenario job missed the warm-start cache");
+    assert_eq!(warm[0].1, reference_fp, "warm scenario fork diverged");
+
+    server.shutdown();
+}
